@@ -1,0 +1,125 @@
+// Figures 3 and 4 (section 2.2.2): bridging code between differently optimized
+// code instances.
+//
+// Prints the bridging plan for a Figure 3-shaped operation — the canonical order
+// ("abstract"), the O1 schedule ("code2"), the suspended bus stop ("switch()"), the
+// synthesized bridge operations (executed exactly once, Figure 4's new code
+// fragment) and the entry point into the optimized code. Then measures the runtime
+// price of cross-optimization-level migration vs same-level migration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/bridge/bridge.h"
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+// Figure 3's shape: o1; switch(); o2..o6 — independent pure operations around a
+// visible program point.
+const char* kFigure3Program = R"(
+  class Fig3
+    var field: Int
+    op body(seed: Int): Int
+      var o1: Int := seed + 1
+      print o1
+      var o2: Int := seed * 2
+      var o3: Int := o2 + 1
+      print o3
+      var o4: Int := seed - 3
+      var o5: Int := o4 * o4
+      var o6: Int := o2 + o4
+      return o1 + o3 + o5 + o6
+    end
+  end
+  main
+    var f: Ref := new Fig3
+    print f.body(10)
+  end
+)";
+
+void PrintBridgePlan() {
+  std::printf("\n=== Figures 3/4: bridging code construction ===\n");
+  CompileResult r = CompileSource(kFigure3Program);
+  HETM_CHECK(r.ok());
+  const CompiledClass* cls = nullptr;
+  for (const auto& c : r.program->classes) {
+    if (c->name == "Fig3") {
+      cls = c.get();
+    }
+  }
+  HETM_CHECK(cls != nullptr);
+  const OpInfo& op = cls->ops[0];
+
+  std::printf("canonical (O0) order:\n%s", Disassemble(op.ir[0]).c_str());
+  std::printf("\ncode-motion (O1) order — %zu primitive transpositions recorded:\n%s",
+              op.transposes.size(), Disassemble(op.ir[1]).c_str());
+
+  // Suspend at the print() bus stop (stop 1, Figure 3's "switch()") in the O1
+  // instance and bridge to the O0 instance, and vice versa.
+  for (auto [src, dst] : {std::pair{OptLevel::kO1, OptLevel::kO0},
+                          std::pair{OptLevel::kO0, OptLevel::kO1}}) {
+    BridgePlan plan = BuildBridge(op, Arch::kSparc32, src, dst, /*stop=*/1, nullptr);
+    std::printf("\nbridge %s -> %s at stop 1: %zu bridge op(s), enter %s at IR index %d"
+                " (pc %u), %d edits replayed\n",
+                OptLevelName(src), OptLevelName(dst), plan.ops.size(), OptLevelName(dst),
+                plan.entry_index, plan.entry_pc, plan.edits_replayed);
+    for (const IrInstr& in : plan.ops) {
+      std::printf("  bridge-op: %s c%d\n", IrKindName(in.kind), in.dst);
+    }
+  }
+  std::printf("\n");
+}
+
+double CrossOptRoundTripMs(OptLevel o0, OptLevel o1) {
+  auto run = [&](int rounds) {
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc(), o0);
+    sys.AddNode(Sun3_100(), o1);
+    HETM_CHECK(sys.Load(benchutil::MoverSource(rounds, false)));
+    bool ok = sys.Run();
+    HETM_CHECK_MSG(ok, "bridging bench failed");
+    return sys.ElapsedMs();
+  };
+  return (run(24) - run(8)) / 16.0;
+}
+
+void PrintBridgeCost() {
+  std::printf("=== Runtime price of migrating between differently optimized codes ===\n");
+  double same = CrossOptRoundTripMs(OptLevel::kO0, OptLevel::kO0);
+  double cross = CrossOptRoundTripMs(OptLevel::kO0, OptLevel::kO1);
+  std::printf("SPARC(O0) <-> Sun3(O0): %6.1f ms per round trip\n", same);
+  std::printf("SPARC(O0) <-> Sun3(O1): %6.1f ms per round trip (+%.0f%% for bridge\n"
+              "  construction: edit-log replay + machine-independent bridge execution)\n\n",
+              cross, 100.0 * (cross - same) / same);
+}
+
+void BM_BuildBridge(benchmark::State& state) {
+  CompileResult r = CompileSource(kFigure3Program);
+  HETM_CHECK(r.ok());
+  const CompiledClass* cls = nullptr;
+  for (const auto& c : r.program->classes) {
+    if (c->name == "Fig3") {
+      cls = c.get();
+    }
+  }
+  for (auto _ : state) {
+    BridgePlan plan =
+        BuildBridge(cls->ops[0], Arch::kSparc32, OptLevel::kO1, OptLevel::kO0, 1, nullptr);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_BuildBridge);
+
+}  // namespace
+}  // namespace hetm
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  hetm::PrintBridgePlan();
+  hetm::PrintBridgeCost();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation A1: bus-stop table lookup cost.
+//
+// The paper's runtime performs a pc->stop translation on the source of every move
+// and a stop->pc translation at the destination ("new table lookup routines were
+// necessary", section 3.5). This bench measures the host-level cost of the binary-
+// search lookup on real compiler-emitted tables, compares it with a linear scan
+// (the ablation), and reports how many lookups the Table 1 workload performs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/compiler/compiler.h"
+#include "src/mobility/busstop_xlate.h"
+
+namespace hetm {
+namespace {
+
+// A program with many bus stops (calls, prints, polls) to get a dense table.
+std::string ManyStopsSource() {
+  std::string body;
+  for (int i = 0; i < 40; ++i) {
+    body += "        print " + std::to_string(i) + "\n";
+  }
+  return R"(
+    class Busy
+      var junk: Int
+      op noisy(): Int
+)" + body +
+         R"(
+        return 0
+      end
+    end
+    main
+      var b: Ref := new Busy
+      print b.noisy()
+    end
+)";
+}
+
+const ArchOpCode& NoisyCode(const CompiledProgram& prog, Arch arch) {
+  for (const auto& cls : prog.classes) {
+    if (cls->name == "Busy") {
+      return cls->ops[0].Code(arch, OptLevel::kO0);
+    }
+  }
+  HETM_UNREACHABLE("Busy class not found");
+}
+
+int LinearPcToStop(const ArchOpCode& code, uint32_t pc) {
+  for (size_t s = 0; s < code.stops.size(); ++s) {
+    if (code.stops[s].pc == pc) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+void BM_PcToStopBinary(benchmark::State& state) {
+  CompileResult r = CompileSource(ManyStopsSource());
+  HETM_CHECK(r.ok());
+  const ArchOpCode& code = NoisyCode(*r.program, Arch::kSparc32);
+  std::vector<uint32_t> pcs;
+  for (size_t s = 1; s < code.stops.size(); ++s) {
+    pcs.push_back(code.stops[s].pc);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    int stop = PcToStop(code, pcs[i++ % pcs.size()], false, nullptr);
+    benchmark::DoNotOptimize(stop);
+  }
+  state.counters["table_entries"] = static_cast<double>(code.stops.size());
+}
+BENCHMARK(BM_PcToStopBinary);
+
+void BM_PcToStopLinear(benchmark::State& state) {
+  CompileResult r = CompileSource(ManyStopsSource());
+  HETM_CHECK(r.ok());
+  const ArchOpCode& code = NoisyCode(*r.program, Arch::kSparc32);
+  std::vector<uint32_t> pcs;
+  for (size_t s = 1; s < code.stops.size(); ++s) {
+    pcs.push_back(code.stops[s].pc);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    int stop = LinearPcToStop(code, pcs[i++ % pcs.size()]);
+    benchmark::DoNotOptimize(stop);
+  }
+}
+BENCHMARK(BM_PcToStopLinear);
+
+void BM_StopToPc(benchmark::State& state) {
+  CompileResult r = CompileSource(ManyStopsSource());
+  HETM_CHECK(r.ok());
+  const ArchOpCode& code = NoisyCode(*r.program, Arch::kVax32);
+  int i = 0;
+  for (auto _ : state) {
+    uint32_t pc = StopToPc(code, i++ % static_cast<int>(code.stops.size()), nullptr);
+    benchmark::DoNotOptimize(pc);
+  }
+}
+BENCHMARK(BM_StopToPc);
+
+void PrintLookupVolume() {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  HETM_CHECK(sys.Load(benchutil::MoverSource(8, false)));
+  HETM_CHECK(sys.Run());
+  uint64_t lookups = 0;
+  for (int n = 0; n < 2; ++n) {
+    lookups += sys.node(n).meter().counters().busstop_lookups;
+  }
+  std::printf("\nTable 1 workload (8 round trips = 16 moves) performs %llu bus-stop\n"
+              "table translations: one pc->stop on each source and one stop->pc on each\n"
+              "destination per migrating activation record.\n\n",
+              static_cast<unsigned long long>(lookups));
+}
+
+}  // namespace
+}  // namespace hetm
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  hetm::PrintLookupVolume();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

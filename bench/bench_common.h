@@ -1,0 +1,92 @@
+// Shared helpers for the benchmark harness: the Table 1 workload (a small thread
+// with 13 live variables ping-ponging between two machines) and the measurement
+// discipline (marginal simulated cost per round trip, so world setup and code
+// loading are excluded, as in the paper's steady-state timings).
+#ifndef HETM_BENCH_BENCH_COMMON_H_
+#define HETM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "src/emerald/system.h"
+#include "src/support/check.h"
+
+namespace hetm::benchutil {
+
+// The Table 1 thread: 13 local variables live across every move (nine Ints, one
+// Real, one String, one Bool, plus the loop counter). `small_thread` selects the
+// 4-variable variant of the table's footnoted "smaller thread" VAX row.
+inline std::string MoverSource(int rounds, bool small_thread) {
+  std::string vars;
+  std::string sum;
+  if (small_thread) {
+    vars = R"(
+        var v1: Int := 101
+        var v2: Int := 202
+        var r1: Real := 2.5
+)";
+    sum = "v1 + v2 + i";
+  } else {
+    vars = R"(
+        var v1: Int := 101
+        var v2: Int := 202
+        var v3: Int := 303
+        var v4: Int := 404
+        var v5: Int := 505
+        var v6: Int := 606
+        var v7: Int := 707
+        var v8: Int := 808
+        var v9: Int := 909
+        var r1: Real := 2.5
+        var s1: String := "thread-payload"
+        var b1: Bool := true
+)";
+    sum = "v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + len(s1) + i";
+  }
+  std::string use_real = small_thread ? "        print r1\n" : "        print r1\n        print b1\n";
+  return std::string("    class Mover\n"
+                     "      var pad: Int\n"
+                     "      op hop(rounds: Int): Int\n") +
+         vars +
+         "        var i: Int := 0\n"
+         "        while i < rounds do\n"
+         "          move self to nodeat(1)\n"
+         "          move self to nodeat(0)\n"
+         "          i := i + 1\n"
+         "        end\n" +
+         use_real +
+         "        return " + sum + "\n"
+         "      end\n"
+         "    end\n"
+         "    main\n"
+         "      var m: Ref := new Mover\n"
+         "      print m.hop(" + std::to_string(rounds) + ")\n"
+         "    end\n";
+}
+
+inline double RunMoverMs(const MachineModel& a, const MachineModel& b,
+                         ConversionStrategy strategy, int rounds, bool small_thread) {
+  EmeraldSystem sys(strategy);
+  sys.AddNode(a);
+  sys.AddNode(b);
+  bool loaded = sys.Load(MoverSource(rounds, small_thread));
+  HETM_CHECK_MSG(loaded, "mover program failed to compile");
+  bool ok = sys.Run();
+  HETM_CHECK_MSG(ok, "mover program failed to run");
+  return sys.ElapsedMs();
+}
+
+// Marginal simulated milliseconds per round trip (two thread moves), measured as a
+// difference quotient so setup, code loading and teardown cancel out.
+inline double MigrationRoundTripMs(const MachineModel& a, const MachineModel& b,
+                                   ConversionStrategy strategy,
+                                   bool small_thread = false) {
+  constexpr int kLo = 8;
+  constexpr int kHi = 24;
+  double lo = RunMoverMs(a, b, strategy, kLo, small_thread);
+  double hi = RunMoverMs(a, b, strategy, kHi, small_thread);
+  return (hi - lo) / (kHi - kLo);
+}
+
+}  // namespace hetm::benchutil
+
+#endif  // HETM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,132 @@
+// Table 1 (section 3.6): thread mobility timings.
+//
+// Regenerates the paper's table: the simulated cost of moving a small thread (13
+// variables in the moving fragment) from one machine to another and back — two
+// thread moves per measurement — under the original homogeneous Emerald (raw
+// machine-dependent blits; only meaningful between identical machines) and the
+// enhanced heterogeneous system (machine-independent conversion with the paper's
+// naive recursive-descent routines).
+//
+// We can fill in every cell, including the ones the paper lost when its last VAX
+// died and only one Sun-3 remained (marked N/A in the paper). Absolute numbers come
+// from a cost model calibrated once against the SPARC<->SPARC row (see
+// EXPERIMENTS.md); the comparison of interest is the *shape*: which pairs are slow,
+// and the enhanced system's ~57-68% overhead.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_common.h"
+
+namespace hetm {
+namespace {
+
+struct Row {
+  const char* label;
+  MachineModel a;
+  MachineModel b;
+  std::optional<double> paper_original_ms;
+  std::optional<double> paper_enhanced_ms;
+  bool small_thread = false;
+};
+
+std::vector<Row> Table1Rows() {
+  return {
+      {"SPARC<->SPARC", SparcStationSlc(), SparcStationSlc(), 40.0, 63.0},
+      {"SPARC<->Sun3", SparcStationSlc(), Sun3_100(), std::nullopt, 122.0},
+      {"SPARC<->HP9000/300-1", SparcStationSlc(), Hp9000_433s(), std::nullopt, 52.0},
+      {"SPARC<->HP9000/300-2", SparcStationSlc(), Hp9000_385(), std::nullopt, 57.0},
+      {"SPARC<->VAX", SparcStationSlc(), VaxStation2000(), std::nullopt, std::nullopt},
+      {"Sun3<->Sun3", Sun3_100(), Sun3_100(), 65.0, std::nullopt},
+      {"Sun3<->HP9000/300-1", Sun3_100(), Hp9000_433s(), std::nullopt, 109.0},
+      {"Sun3<->HP9000/300-2", Sun3_100(), Hp9000_385(), std::nullopt, 113.0},
+      {"Sun3<->VAX", Sun3_100(), VaxStation2000(), std::nullopt, std::nullopt},
+      {"HP9000/300-1<->HP-2", Hp9000_433s(), Hp9000_385(), 28.0, 44.0},
+      {"HP9000/300-1<->VAX", Hp9000_433s(), VaxStation2000(), std::nullopt, std::nullopt},
+      {"VAX<->VAX", VaxStation2000(), VaxStation2000(), 79.0, std::nullopt},
+      // Footnote row: smaller thread between more modern VAXen.
+      {"VAX4000<->VAX4000 (small)", VaxStation4000(), VaxStation4000(), 48.0, 81.0,
+       /*small_thread=*/true},
+  };
+}
+
+bool Homogeneous(const Row& row) { return row.a.name == row.b.name; }
+
+void PrintTable() {
+  std::printf("\n=== Table 1: thread mobility timings (two moves per measurement) ===\n");
+  std::printf("%-26s | %9s %9s | %9s %9s | %9s\n", "systems", "orig(ms)", "paper",
+              "enh(ms)", "paper", "overhead");
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------------------"
+              "-------------------------");
+  for (const Row& row : Table1Rows()) {
+    double enhanced =
+        2.0 * benchutil::MigrationRoundTripMs(row.a, row.b, ConversionStrategy::kNaive,
+                                              row.small_thread) /
+        2.0;  // round trip already = two moves
+    std::optional<double> original;
+    if (Homogeneous(row)) {
+      original = benchutil::MigrationRoundTripMs(row.a, row.b, ConversionStrategy::kRaw,
+                                                 row.small_thread);
+    }
+    char orig_buf[32], paper_o[32], paper_e[32], over_buf[32];
+    if (original.has_value()) {
+      std::snprintf(orig_buf, sizeof(orig_buf), "%9.1f", *original);
+    } else {
+      std::snprintf(orig_buf, sizeof(orig_buf), "%9s", "n/a");
+    }
+    if (row.paper_original_ms.has_value()) {
+      std::snprintf(paper_o, sizeof(paper_o), "%9.0f", *row.paper_original_ms);
+    } else {
+      std::snprintf(paper_o, sizeof(paper_o), "%9s", "N/A");
+    }
+    if (row.paper_enhanced_ms.has_value()) {
+      std::snprintf(paper_e, sizeof(paper_e), "%9.0f", *row.paper_enhanced_ms);
+    } else {
+      std::snprintf(paper_e, sizeof(paper_e), "%9s", "N/A");
+    }
+    if (original.has_value()) {
+      std::snprintf(over_buf, sizeof(over_buf), "%8.0f%%",
+                    100.0 * (enhanced - *original) / *original);
+    } else {
+      std::snprintf(over_buf, sizeof(over_buf), "%9s", "");
+    }
+    std::printf("%-26s | %s %s | %9.1f %s | %s\n", row.label, orig_buf, paper_o, enhanced,
+                paper_e, over_buf);
+  }
+  std::printf(
+      "\n(paper N/A cells: the authors' last VAX died and only one Sun-3 remained;\n"
+      " our simulated testbed can measure every pair.)\n\n");
+}
+
+// Host-time benchmark: how fast the simulator itself executes the Table 1 workload.
+void BM_Table1SparcSparcEnhanced(benchmark::State& state) {
+  for (auto _ : state) {
+    double ms = benchutil::MigrationRoundTripMs(SparcStationSlc(), SparcStationSlc(),
+                                                ConversionStrategy::kNaive);
+    benchmark::DoNotOptimize(ms);
+    state.counters["sim_roundtrip_ms"] = ms;
+  }
+}
+BENCHMARK(BM_Table1SparcSparcEnhanced)->Unit(benchmark::kMillisecond);
+
+void BM_Table1HeterogeneousPair(benchmark::State& state) {
+  for (auto _ : state) {
+    double ms = benchutil::MigrationRoundTripMs(SparcStationSlc(), Sun3_100(),
+                                                ConversionStrategy::kNaive);
+    benchmark::DoNotOptimize(ms);
+    state.counters["sim_roundtrip_ms"] = ms;
+  }
+}
+BENCHMARK(BM_Table1HeterogeneousPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hetm
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  hetm::PrintTable();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// A distributed bank: the workload class the Emerald papers motivate mobility with.
+//
+// Branch account books live on different machines (a SPARC, a Sun-3 and a VAX).
+// Tellers run as concurrent spawned threads posting transactions to their local
+// branch under monitor protection. The auditor is a *mobile agent*: instead of
+// pulling every balance over the network, it moves itself to each branch and sums
+// the books with node-local invocations — the "move the computation to the data"
+// argument, here across heterogeneous machines.
+//
+// Build & run:   ./build/examples/bank_audit
+#include <cstdio>
+
+#include "src/emerald/system.h"
+
+int main() {
+  using namespace hetm;
+
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());  // headquarters
+  sys.AddNode(Sun3_100());         // branch 1
+  sys.AddNode(VaxStation4000());   // branch 2
+
+  bool ok = sys.Load(R"(
+    monitor class Branch
+      var balance: Int
+      var posted: Int
+      op post(amount: Int)
+        balance := balance + amount
+        posted := posted + 1
+      end
+      op postedCount(): Int
+        return posted
+      end
+      op localBalance(): Int
+        return balance
+      end
+    end
+
+    class Teller
+      var junk: Int
+      op workday(branch: Ref, txns: Int, amount: Int)
+        var i: Int := 0
+        while i < txns do
+          branch.post(amount)
+          i := i + 1
+        end
+      end
+    end
+
+    class Auditor
+      var total: Int
+      op audit(b1: Ref, b2: Ref): Int
+        total := 0
+        // Move to each branch and audit with node-local invocations.
+        move self to locate(b1)
+        print "auditor at branch 1"
+        total := total + b1.localBalance()
+        move self to locate(b2)
+        print "auditor at branch 2"
+        total := total + b2.localBalance()
+        move self to nodeat(0)
+        return total
+      end
+    end
+
+    main
+      var b1: Ref := new Branch
+      var b2: Ref := new Branch
+      move b1 to nodeat(1)
+      move b2 to nodeat(2)
+
+      var t1: Ref := new Teller
+      var t2: Ref := new Teller
+      var t3: Ref := new Teller
+      spawn t1.workday(b1, 20, 5)
+      spawn t2.workday(b1, 10, 3)
+      spawn t3.workday(b2, 25, 4)
+
+      // Wait for all 55 transactions to post.
+      var done: Int := 0
+      while done < 55 do
+        done := b1.postedCount() + b2.postedCount()
+      end
+
+      var a: Ref := new Auditor
+      var grand: Int := a.audit(b1, b2)
+      print "grand total:"
+      print grand
+    end
+  )");
+  if (!ok) {
+    for (const std::string& e : sys.errors()) {
+      std::fprintf(stderr, "compile error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  if (!sys.Run()) {
+    std::fprintf(stderr, "runtime error: %s\n", sys.error().c_str());
+    return 1;
+  }
+
+  std::printf("%s", sys.output().c_str());
+  std::printf("\n(expected grand total: 20*5 + 10*3 + 25*4 = 230)\n");
+  std::printf("simulated time: %.1f ms; remote invokes: ", sys.ElapsedMs());
+  uint64_t invokes = 0;
+  uint64_t moves = 0;
+  for (int n = 0; n < sys.world().num_nodes(); ++n) {
+    invokes += sys.node(n).meter().counters().remote_invokes;
+    moves += sys.node(n).meter().counters().moves;
+  }
+  std::printf("%llu, object/thread moves: %llu\n", static_cast<unsigned long long>(invokes),
+              static_cast<unsigned long long>(moves));
+  return 0;
+}

@@ -1,0 +1,191 @@
+// hetm_run: command-line front end — compile and run an Emerald-subset program from
+// a file on a configurable heterogeneous world.
+//
+// Usage:
+//   hetm_run PROGRAM.em [--nodes sparc,sun3,hp1,hp2,vax,vax2000]
+//                       [--variant original|enhanced|fast]
+//                       [--opt O0,O1,...]      per-node optimization levels
+//                       [--stats] [--disasm CLASS.OP]
+//
+// Example:
+//   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/emerald/system.h"
+#include "src/isa/disasm.h"
+
+namespace {
+
+using namespace hetm;
+
+bool ParseMachine(const std::string& name, MachineModel* out) {
+  if (name == "sparc") {
+    *out = SparcStationSlc();
+  } else if (name == "sun3") {
+    *out = Sun3_100();
+  } else if (name == "hp1") {
+    *out = Hp9000_433s();
+  } else if (name == "hp2") {
+    *out = Hp9000_385();
+  } else if (name == "vax") {
+    *out = VaxStation4000();
+  } else if (name == "vax2000") {
+    *out = VaxStation2000();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, sep)) {
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hetm_run PROGRAM.em [--nodes sparc,sun3,hp1,hp2,vax,vax2000]\n"
+               "                [--variant original|enhanced|fast] [--opt O0,O1,...]\n"
+               "                [--stats] [--disasm CLASS.OP]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string program_path = argv[1];
+  std::string nodes_arg = "sparc,vax";
+  std::string opt_arg;
+  std::string disasm_arg;
+  ConversionStrategy strategy = ConversionStrategy::kNaive;
+  bool stats = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--nodes") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      nodes_arg = v;
+    } else if (arg == "--variant") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      if (std::strcmp(v, "original") == 0) {
+        strategy = ConversionStrategy::kRaw;
+      } else if (std::strcmp(v, "enhanced") == 0) {
+        strategy = ConversionStrategy::kNaive;
+      } else if (std::strcmp(v, "fast") == 0) {
+        strategy = ConversionStrategy::kFast;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--opt") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      opt_arg = v;
+    } else if (arg == "--disasm") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      disasm_arg = v;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::ifstream in(program_path);
+  if (!in) {
+    std::fprintf(stderr, "hetm_run: cannot open %s\n", program_path.c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  EmeraldSystem sys(strategy);
+  std::vector<std::string> node_names = Split(nodes_arg, ',');
+  std::vector<std::string> opts = opt_arg.empty() ? std::vector<std::string>{}
+                                                  : Split(opt_arg, ',');
+  for (size_t i = 0; i < node_names.size(); ++i) {
+    MachineModel machine;
+    if (!ParseMachine(node_names[i], &machine)) {
+      std::fprintf(stderr, "hetm_run: unknown machine '%s'\n", node_names[i].c_str());
+      return 1;
+    }
+    OptLevel opt = OptLevel::kO0;
+    if (i < opts.size() && opts[i] == "O1") {
+      opt = OptLevel::kO1;
+    }
+    sys.AddNode(machine, opt);
+  }
+
+  if (!sys.Load(source.str(), program_path)) {
+    for (const std::string& e : sys.errors()) {
+      std::fprintf(stderr, "%s: %s\n", program_path.c_str(), e.c_str());
+    }
+    return 1;
+  }
+
+  if (!disasm_arg.empty()) {
+    std::vector<std::string> parts = Split(disasm_arg, '.');
+    if (parts.size() != 2) {
+      return Usage();
+    }
+    for (const auto& cls : sys.program()->classes) {
+      if (cls->name != parts[0]) {
+        continue;
+      }
+      int op_index = cls->FindOp(parts[1]);
+      if (op_index < 0) {
+        std::fprintf(stderr, "hetm_run: no op %s in class %s\n", parts[1].c_str(),
+                     parts[0].c_str());
+        return 1;
+      }
+      for (int a = 0; a < kNumArchs; ++a) {
+        Arch arch = static_cast<Arch>(a);
+        std::printf("=== %s.%s on %s (O0) ===\n%s\n", parts[0].c_str(), parts[1].c_str(),
+                    ArchName(arch),
+                    DisassembleCode(arch, cls->ops[op_index].Code(arch, OptLevel::kO0))
+                        .c_str());
+      }
+      return 0;
+    }
+    std::fprintf(stderr, "hetm_run: no class %s\n", parts[0].c_str());
+    return 1;
+  }
+
+  bool ok = sys.Run();
+  std::fputs(sys.output().c_str(), stdout);
+  if (!ok) {
+    std::fprintf(stderr, "hetm_run: %s\n", sys.error().c_str());
+    return 1;
+  }
+  if (stats) {
+    std::fprintf(stderr, "\n--- stats (simulated %.2f ms) ---\n", sys.ElapsedMs());
+    for (int n = 0; n < sys.world().num_nodes(); ++n) {
+      const Node& node = sys.node(n);
+      const CostCounters& c = node.meter().counters();
+      std::fprintf(stderr,
+                   "node %d %-13s: %8llu instr, %3llu moves, %4llu rinv, %6llu convcalls,"
+                   " %7llu bytes sent\n",
+                   n, node.machine().name.c_str(),
+                   static_cast<unsigned long long>(c.vm_instructions),
+                   static_cast<unsigned long long>(c.moves),
+                   static_cast<unsigned long long>(c.remote_invokes),
+                   static_cast<unsigned long long>(c.conv_calls),
+                   static_cast<unsigned long long>(c.bytes_sent));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Kilroy: the classic Emerald mobile-agent demonstration. An object carrying live
+// thread state (integers, a real, a string, a bool) visits every machine of the
+// paper's testbed — VAX, Sun-3, two HP9000/300s and a SPARC (Figure 1) — executing
+// native code at each stop and leaving a mark. The travelogue printed at the end was
+// accumulated *by the moving thread itself* across five architectures-and-format
+// changes.
+//
+// Build & run:   ./build/examples/kilroy
+#include <cstdio>
+
+#include "src/emerald/system.h"
+
+int main() {
+  using namespace hetm;
+
+  EmeraldSystem sys;
+  for (const MachineModel& m :
+       {SparcStationSlc(), Sun3_100(), Hp9000_433s(), Hp9000_385(), VaxStation4000()}) {
+    sys.AddNode(m);
+  }
+
+  bool ok = sys.Load(R"(
+    monitor class GuestBook
+      var entries: Int
+      op sign(who: String): Int
+        entries := entries + 1
+        print concat(who, " was here")
+        return entries
+      end
+      op count(): Int
+        return entries
+      end
+    end
+    class Kilroy
+      var hops: Int
+      op tour(book: Ref, nodes: Int): Int
+        var name: String := "kilroy"
+        var sum: Int := 0
+        var milestone: Real := 0.0
+        var n: Int := 1
+        while n < nodes do
+          move self to nodeat(n)
+          hops := hops + 1
+          sum := sum + book.sign(name)
+          milestone := milestone + 0.5
+          n := n + 1
+        end
+        move self to nodeat(0)
+        hops := hops + 1
+        print milestone
+        print sum
+        return hops
+      end
+    end
+    main
+      var book: Ref := new GuestBook
+      var k: Ref := new Kilroy
+      print k.tour(book, 5)
+      print book.count()
+    end
+  )");
+  if (!ok) {
+    for (const std::string& e : sys.errors()) {
+      std::fprintf(stderr, "compile error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  if (!sys.Run()) {
+    std::fprintf(stderr, "runtime error: %s\n", sys.error().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", sys.output().c_str());
+  std::printf("itinerary (simulated %.1f ms total):\n", sys.ElapsedMs());
+  for (int n = 0; n < sys.world().num_nodes(); ++n) {
+    const Node& node = sys.node(n);
+    const ArchInfo& info = GetArchInfo(node.arch());
+    std::printf("  node %d: %-13s %-5s %s-endian %-9s — %llu guest instructions\n", n,
+                node.machine().name.c_str(), info.name,
+                info.byte_order == ByteOrder::kBig ? "big" : "little",
+                info.float_format == FloatFormat::kVaxD ? "VAX-D" : "IEEE-754",
+                static_cast<unsigned long long>(node.meter().counters().vm_instructions));
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figures 3 and 4 made executable: migration between differently optimized codes.
+//
+// Compiles a Figure 3-shaped operation, shows the canonical (O0) and code-motion
+// (O1) schedules and the per-architecture machine code sizes — demonstrating that
+// the same bus stop sits at different pcs in every instance — then builds the
+// bridging code for a thread suspended at the visible stop and finally runs a world
+// where an O1 SPARC node and an O0 VAX node exchange the thread repeatedly, every
+// hop crossing both an architecture and an optimization level.
+//
+// Build & run:   ./build/examples/optimizer_bridge
+#include <cstdio>
+
+#include "src/bridge/bridge.h"
+#include "src/compiler/compiler.h"
+#include "src/emerald/system.h"
+
+namespace {
+
+const char* kProgram = R"__(
+  class Worker
+    var acc: Int
+    op crunch(seed: Int): Int
+      var a: Int := seed + 1
+      print a                      // bus stop 1: Figure 3's "switch()"
+      var b: Int := seed * 2
+      var c: Int := b + a
+      move self to nodeat(1)       // bus stop: migrate O1 -> O0, cross-arch
+      var d: Int := c * 3
+      var e: Int := d - b
+      move self to nodeat(0)       // and back: O0 -> O1
+      var f: Int := e + c + d
+      return f
+    end
+  end
+  main
+    var w: Ref := new Worker
+    print w.crunch(10)
+  end
+)__";
+
+}  // namespace
+
+int main() {
+  using namespace hetm;
+
+  CompileResult compiled = CompileSource(kProgram);
+  if (!compiled.ok()) {
+    for (const std::string& e : compiled.errors) {
+      std::fprintf(stderr, "compile error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  const CompiledClass* worker = nullptr;
+  for (const auto& cls : compiled.program->classes) {
+    if (cls->name == "Worker") {
+      worker = cls.get();
+    }
+  }
+  const OpInfo& op = worker->ops[0];
+
+  std::printf("=== canonical (O0) schedule ===\n%s\n", Disassemble(op.ir[0]).c_str());
+  std::printf("=== code-motion (O1) schedule: %zu recorded transpositions ===\n%s\n",
+              op.transposes.size(), Disassemble(op.ir[1]).c_str());
+
+  std::printf("=== the same operation, six code instances ===\n");
+  for (int a = 0; a < kNumArchs; ++a) {
+    for (int lvl = 0; lvl < kNumOptLevels; ++lvl) {
+      const ArchOpCode& code = op.code[a][lvl];
+      std::printf("  %-6s %s: %4zu bytes of machine code, bus stop 1 at pc %u\n",
+                  ArchName(static_cast<Arch>(a)), lvl == 0 ? "O0" : "O1",
+                  code.code.size(), code.stops[1].pc);
+    }
+  }
+
+  std::printf("\n=== bridging plans for a thread suspended at bus stop 1 ===\n");
+  for (auto [src, dst] :
+       {std::pair{OptLevel::kO0, OptLevel::kO1}, std::pair{OptLevel::kO1, OptLevel::kO0}}) {
+    BridgePlan plan = BuildBridge(op, Arch::kVax32, src, dst, 1, nullptr);
+    std::printf("%s -> %s: execute %zu operation(s) in the machine-independent bridge,"
+                " then enter %s native code at pc %u\n",
+                OptLevelName(src), OptLevelName(dst), plan.ops.size(), OptLevelName(dst),
+                plan.entry_pc);
+    for (const IrInstr& in : plan.ops) {
+      std::printf("    bridge-op %s -> cell %d\n", IrKindName(in.kind), in.dst);
+    }
+  }
+
+  std::printf("\n=== live run: SPARC at O1 <-> VAX at O0 ===\n");
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc(), OptLevel::kO1);
+  sys.AddNode(VaxStation4000(), OptLevel::kO0);
+  bool ok = sys.Load(kProgram);
+  if (!ok || !sys.Run()) {
+    std::fprintf(stderr, "failed: %s\n", sys.error().c_str());
+    return 1;
+  }
+  std::printf("program output (identical to any uniform world):\n%s", sys.output().c_str());
+  uint64_t bridge_ops = 0;
+  for (int n = 0; n < 2; ++n) {
+    bridge_ops += sys.node(n).meter().counters().bridge_ops;
+  }
+  std::printf("bridge micro-ops executed during the run: %llu\n",
+              static_cast<unsigned long long>(bridge_ops));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// The classic mobile agent, as a standalone program for hetm_run:
+//   ./build/examples/hetm_run examples/programs/kilroy.em --nodes sparc,sun3,vax --stats
+class Kilroy
+  var hops: Int
+  op tour(nodes: Int): Int
+    var name: String := "kilroy"
+    var n: Int := 1
+    while n < nodes do
+      move self to nodeat(n)
+      print concat(name, " was here")
+      hops := hops + 1
+      n := n + 1
+    end
+    move self to nodeat(0)
+    return hops + 1
+  end
+end
+main
+  var k: Ref := new Kilroy
+  print k.tour(3)
+end

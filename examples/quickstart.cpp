@@ -1,0 +1,62 @@
+// Quickstart: compile an Emerald-subset program once, boot a heterogeneous network
+// (Figure 1 of the paper), and watch an object — with the native-code thread running
+// inside it — migrate between machines with incompatible byte orders, float formats,
+// register files and instruction encodings.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/emerald/system.h"
+
+int main() {
+  using namespace hetm;
+
+  // The enhanced heterogeneous system with the paper's naive conversion routines.
+  EmeraldSystem sys;
+  int sparc = sys.AddNode(SparcStationSlc());   // big-endian IEEE RISC
+  int vax = sys.AddNode(VaxStation4000());      // little-endian VAX D-float CISC
+
+  bool ok = sys.Load(R"(
+    class Greeter
+      var visits: Int
+      op tour(): Int
+        var message: String := "hello from"
+        move self to nodeat(1)
+        visits := visits + 1
+        print concat(message, " the VAX")
+        move self to nodeat(0)
+        visits := visits + 1
+        print concat(message, " the SPARC")
+        return visits
+      end
+    end
+    main
+      var g: Ref := new Greeter
+      print g.tour()
+    end
+  )");
+  if (!ok) {
+    for (const std::string& e : sys.errors()) {
+      std::fprintf(stderr, "compile error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  if (!sys.Run()) {
+    std::fprintf(stderr, "runtime error: %s\n", sys.error().c_str());
+    return 1;
+  }
+
+  std::printf("program output:\n%s\n", sys.output().c_str());
+  std::printf("simulated elapsed time: %.2f ms\n", sys.ElapsedMs());
+  for (int n : {sparc, vax}) {
+    const CostCounters& c = sys.node(n).meter().counters();
+    std::printf("node %d (%s): %llu guest instructions, %llu moves initiated, "
+                "%llu conversion calls, %llu bytes sent\n",
+                n, sys.node(n).machine().name.c_str(),
+                static_cast<unsigned long long>(c.vm_instructions),
+                static_cast<unsigned long long>(c.moves),
+                static_cast<unsigned long long>(c.conv_calls),
+                static_cast<unsigned long long>(c.bytes_sent));
+  }
+  return 0;
+}

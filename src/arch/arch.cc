@@ -1,0 +1,44 @@
+#include "src/arch/arch.h"
+
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+// Register conventions (indices into the per-activation register file):
+//   VAX32: r0..r1 scratch, r2..r11 variable homes (10), r12..r15 reserved (AP/FP/SP/PC
+//          by analogy with the real VAX; the simulator models them outside the file).
+//   M68K:  d0..d7 data registers (d0/d1 scratch, d2..d7 homes) then a0..a7 address
+//          registers mapped to indices 8..15 (a0/a1 scratch, a2..a5 ref homes,
+//          a6=FP a7=SP reserved).
+//   SPARC: 32 registers; g0..g7 scratch/zero, o0..o5 outgoing scratch, l0..l7 + i0..i5
+//          variable homes (14) at indices 16..29.
+constexpr ArchInfo kInfos[kNumArchs] = {
+    {Arch::kVax32, "VAX", ByteOrder::kLittle, FloatFormat::kVaxD,
+     /*num_regs=*/16, /*int_home_regs=*/10, /*ref_home_regs=*/0,
+     /*int_home_base=*/2, /*ref_home_base=*/0, /*memory_operands=*/true,
+     /*atomic_unlink=*/true},
+    {Arch::kM68k, "M68K", ByteOrder::kBig, FloatFormat::kIeee754,
+     /*num_regs=*/16, /*int_home_regs=*/6, /*ref_home_regs=*/4,
+     /*int_home_base=*/2, /*ref_home_base=*/10, /*memory_operands=*/false,
+     /*atomic_unlink=*/false},
+    {Arch::kSparc32, "SPARC", ByteOrder::kBig, FloatFormat::kIeee754,
+     /*num_regs=*/32, /*int_home_regs=*/14, /*ref_home_regs=*/0,
+     /*int_home_base=*/16, /*ref_home_base=*/0, /*memory_operands=*/false,
+     /*atomic_unlink=*/false},
+};
+
+}  // namespace
+
+const ArchInfo& GetArchInfo(Arch arch) {
+  int idx = static_cast<int>(arch);
+  HETM_CHECK(idx >= 0 && idx < kNumArchs);
+  return kInfos[idx];
+}
+
+const char* ArchName(Arch arch) { return GetArchInfo(arch).name; }
+
+std::string ToString(Arch arch) { return GetArchInfo(arch).name; }
+
+}  // namespace hetm

@@ -1,0 +1,67 @@
+// Simulated target architectures.
+//
+// The paper's four workstation families reduce to three instruction-set architectures
+// (Sun-3 and HP9000/300 are both Motorola 68K machines). Each simulated ISA differs
+// from the others in every dimension the paper identifies as a migration obstacle:
+// byte order, floating-point format, register file size and partitioning, activation
+// record layout, instruction set shape (3-operand memory CISC vs 2-operand vs
+// load/store RISC), instruction encodings and therefore program counter values.
+#ifndef HETM_SRC_ARCH_ARCH_H_
+#define HETM_SRC_ARCH_ARCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/endian.h"
+
+namespace hetm {
+
+enum class Arch : uint8_t {
+  kVax32 = 0,   // little-endian CISC; 3-operand with memory operands; VAX D-float;
+                // atomic queue unlink (REMQUE) -> exit-only bus stops
+  kM68k = 1,    // big-endian; 2-operand; split data/address register file; IEEE floats
+  kSparc32 = 2, // big-endian load/store RISC; 13-bit immediates; IEEE floats
+};
+
+inline constexpr int kNumArchs = 3;
+
+enum class FloatFormat : uint8_t {
+  kIeee754,  // IEEE 754 double
+  kVaxD,     // simulated VAX D_floating: excess-128 exponent, hidden-bit fraction,
+             // PDP-11 word-swapped byte layout
+};
+
+struct ArchInfo {
+  Arch arch;
+  const char* name;
+  ByteOrder byte_order;
+  FloatFormat float_format;
+  // Total general registers visible to the code generator.
+  int num_regs;
+  // Registers usable as homes for integer/bool locals.
+  int int_home_regs;
+  // Registers usable as homes for reference locals (M68K address registers); for
+  // architectures with a unified file this equals 0 and refs share the int pool.
+  int ref_home_regs;
+  // First register index of each pool (scratch registers live below these).
+  int int_home_base;
+  int ref_home_base;
+  // Whether arithmetic may take activation-record slots as operands directly.
+  bool memory_operands;
+  // Whether the monitor-exit queue unlink is a single atomic instruction (VAX) rather
+  // than a kernel trap. Atomic unlink sites become *exit-only* bus stops (section 3.3).
+  bool atomic_unlink;
+};
+
+const ArchInfo& GetArchInfo(Arch arch);
+const char* ArchName(Arch arch);
+
+// All architectures use 32-bit words and 4-byte activation-record cells; Real values
+// occupy two consecutive cells, exactly like a 1990 32-bit workstation ABI.
+inline constexpr int kCellBytes = 4;
+
+std::string ToString(Arch arch);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ARCH_ARCH_H_

@@ -1,0 +1,57 @@
+// Per-node cycle accounting.
+//
+// Every piece of simulated work — VM instruction execution and kernel marshalling
+// alike — charges cycles to the node's CostMeter. The machine model converts cycles
+// to simulated microseconds. The meter also keeps the structural counters the paper
+// reports (conversion procedure calls, bytes converted), which bench_conversion uses
+// to reproduce the "1-2 calls per byte" observation.
+#ifndef HETM_SRC_ARCH_COST_METER_H_
+#define HETM_SRC_ARCH_COST_METER_H_
+
+#include <cstdint>
+
+#include "src/arch/machine.h"
+
+namespace hetm {
+
+struct CostCounters {
+  uint64_t vm_instructions = 0;
+  uint64_t vm_cycles = 0;  // cycles spent executing guest native code
+  uint64_t conv_calls = 0;       // dynamic conversion-procedure calls
+  uint64_t conv_bytes = 0;       // bytes pushed through converters
+  uint64_t float_conversions = 0;
+  uint64_t busstop_lookups = 0;
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t moves = 0;            // object/thread moves initiated here
+  uint64_t remote_invokes = 0;
+  uint64_t bridge_ops = 0;       // bridging micro-ops executed
+};
+
+class CostMeter {
+ public:
+  explicit CostMeter(const MachineModel& machine) : machine_(machine) {}
+
+  void Charge(uint64_t cycles) { cycles_ += cycles; }
+
+  uint64_t cycles() const { return cycles_; }
+  double ElapsedMicros() const { return machine_.CyclesToMicros(cycles_); }
+  const MachineModel& machine() const { return machine_; }
+
+  CostCounters& counters() { return counters_; }
+  const CostCounters& counters() const { return counters_; }
+
+  void Reset() {
+    cycles_ = 0;
+    counters_ = CostCounters{};
+  }
+
+ private:
+  MachineModel machine_;
+  uint64_t cycles_ = 0;
+  CostCounters counters_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ARCH_COST_METER_H_

@@ -1,0 +1,88 @@
+#include "src/arch/float_codec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+// Canonical in-register layout of our VAX D_floating value:
+//   bit 63      sign
+//   bits 62..55 excess-128 exponent
+//   bits 54..0  fraction (hidden leading bit with weight 0.5)
+constexpr int kFracBits = 55;
+constexpr uint64_t kFracMask = (uint64_t{1} << kFracBits) - 1;
+
+}  // namespace
+
+uint64_t DoubleToVaxDBits(double value) {
+  HETM_CHECK_MSG(std::isfinite(value), "VAX D_floating has no NaN/Inf encodings");
+  if (value == 0.0) {
+    return 0;  // true zero: sign 0, exponent 0
+  }
+  uint64_t sign = value < 0.0 ? 1 : 0;
+  double mag = std::fabs(value);
+  int exp2 = 0;
+  double mantissa = std::frexp(mag, &exp2);  // mag = mantissa * 2^exp2, mantissa in [0.5,1)
+  int vax_exp = exp2 + 128;
+  HETM_CHECK_MSG(vax_exp > 0 && vax_exp < 256, "value out of VAX D_floating range");
+  // mantissa = (2^55 + F) / 2^56 for stored fraction F.
+  double scaled = std::ldexp(mantissa, kFracBits + 1);  // in [2^55, 2^56)
+  uint64_t frac = static_cast<uint64_t>(scaled) - (uint64_t{1} << kFracBits);
+  HETM_CHECK(frac <= kFracMask);
+  return (sign << 63) | (static_cast<uint64_t>(vax_exp) << kFracBits) | frac;
+}
+
+double VaxDBitsToDouble(uint64_t bits) {
+  uint64_t sign = bits >> 63;
+  int vax_exp = static_cast<int>((bits >> kFracBits) & 0xFF);
+  uint64_t frac = bits & kFracMask;
+  if (vax_exp == 0) {
+    // Exponent zero with sign zero is true zero; with sign one it is the reserved
+    // operand, which a real VAX faults on. We have no way to produce one.
+    HETM_CHECK_MSG(sign == 0, "VAX reserved operand");
+    return 0.0;
+  }
+  double mantissa =
+      std::ldexp(static_cast<double>((uint64_t{1} << kFracBits) | frac), -(kFracBits + 1));
+  double mag = std::ldexp(mantissa, vax_exp - 128);
+  return sign ? -mag : mag;
+}
+
+void EncodeFloat64(double value, FloatFormat format, ByteOrder order, uint8_t out[8]) {
+  if (format == FloatFormat::kIeee754) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    Store64(out, bits, order);
+    return;
+  }
+  // VAX D layout: four 16-bit words, most significant word of the canonical bit image
+  // first, each word little-endian (PDP "middle-endian"). The `order` argument is
+  // ignored: there is only one VAX byte layout.
+  uint64_t bits = DoubleToVaxDBits(value);
+  for (int w = 0; w < 4; ++w) {
+    uint16_t word = static_cast<uint16_t>(bits >> (48 - 16 * w));
+    Store16(out + 2 * w, word, ByteOrder::kLittle);
+  }
+}
+
+double DecodeFloat64(const uint8_t in[8], FloatFormat format, ByteOrder order) {
+  if (format == FloatFormat::kIeee754) {
+    uint64_t bits = Load64(in, order);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  uint64_t bits = 0;
+  for (int w = 0; w < 4; ++w) {
+    uint16_t word = Load16(in + 2 * w, ByteOrder::kLittle);
+    bits |= static_cast<uint64_t>(word) << (48 - 16 * w);
+  }
+  return VaxDBitsToDouble(bits);
+}
+
+}  // namespace hetm

@@ -1,0 +1,31 @@
+// Floating-point representation conversion.
+//
+// The VAX does not use IEEE 754. Moving a Real value between a VAX and an IEEE
+// machine therefore requires genuine format conversion, not just a byte swap. We
+// model the VAX D_floating format: sign bit, 8-bit excess-128 exponent, 55-bit
+// fraction with a hidden MSB of 0.5 weighting, stored as four 16-bit words in
+// PDP-endian order (most significant word first, each word little-endian).
+#ifndef HETM_SRC_ARCH_FLOAT_CODEC_H_
+#define HETM_SRC_ARCH_FLOAT_CODEC_H_
+
+#include <cstdint>
+
+#include "src/arch/arch.h"
+
+namespace hetm {
+
+// Encodes a host double into the 8-byte memory image used by the given format, in
+// the architecture's byte layout. For kIeee754 the image is the IEEE bit pattern in
+// the given byte order; for kVaxD the image is the word-swapped VAX D layout.
+void EncodeFloat64(double value, FloatFormat format, ByteOrder order, uint8_t out[8]);
+
+// Decodes an 8-byte memory image back to a host double.
+double DecodeFloat64(const uint8_t in[8], FloatFormat format, ByteOrder order);
+
+// Raw D-float bit conversion helpers (exposed for tests).
+uint64_t DoubleToVaxDBits(double value);
+double VaxDBitsToDouble(uint64_t bits);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ARCH_FLOAT_CODEC_H_

@@ -1,0 +1,22 @@
+#include "src/arch/machine.h"
+
+namespace hetm {
+
+// cpi_scale values are relative micro-architecture factors chosen so that the
+// per-machine kernel-work throughput reproduces the orderings visible in Table 1:
+// the 68040 (433s) is the fastest M68K, the 68030 (385) in between, the 68020
+// Sun-3/100 the slowest machine in the study, and the VAXstation 2000 slower per
+// clock than the CVAX-class 4000. See EXPERIMENTS.md for the calibration notes.
+MachineModel SparcStationSlc() { return {"SPARCslc", Arch::kSparc32, 20.0, 1.00}; }
+MachineModel Sun3_100() { return {"Sun3/100", Arch::kM68k, 16.67, 2.00}; }
+MachineModel Hp9000_433s() { return {"HP9000/300-1", Arch::kM68k, 33.0, 1.06}; }
+MachineModel Hp9000_385() { return {"HP9000/300-2", Arch::kM68k, 25.0, 1.02}; }
+MachineModel VaxStation2000() { return {"VAX2000", Arch::kVax32, 5.0, 0.53}; }
+MachineModel VaxStation4000() { return {"VAX4000", Arch::kVax32, 12.5, 0.79}; }
+
+std::vector<MachineModel> AllTable1Machines() {
+  return {SparcStationSlc(), Sun3_100(), Hp9000_433s(), Hp9000_385(), VaxStation2000(),
+          VaxStation4000()};
+}
+
+}  // namespace hetm

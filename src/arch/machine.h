@@ -1,0 +1,49 @@
+// Machine models: an architecture plus a performance point. The paper's Table 1
+// machines differ both in ISA and in clock speed / micro-architecture, which is why
+// Sun-3 pairs are the slowest rows and the 68040-based HP9000/400 the fastest M68K.
+#ifndef HETM_SRC_ARCH_MACHINE_H_
+#define HETM_SRC_ARCH_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/arch.h"
+
+namespace hetm {
+
+struct MachineModel {
+  std::string name;
+  Arch arch;
+  double clock_mhz;
+  // Average micro-architectural speedup factor: effective cycles = cycles * cpi_scale.
+  // A 68040 retires the same instruction stream in fewer cycles than a 68030.
+  double cpi_scale;
+
+  // Converts a simulated cycle count into simulated microseconds.
+  double CyclesToMicros(uint64_t cycles) const {
+    return static_cast<double>(cycles) * cpi_scale / clock_mhz;
+  }
+};
+
+// The evaluation machines of Table 1 (section 3.6), plus the "more modern VAXen" of
+// the table's footnoted last row.
+//   SPARCstation SLC: 20 MHz SPARC.
+//   Sun-3/100 (Sun-3/160 class): 16.67 MHz 68020.
+//   HP 9000/400 model 433s ("HP9000/300-1"): 33 MHz 68040.
+//   HP 9000/300 model 385 ("HP9000/300-2"): 25 MHz 68030.
+//   VAXstation 2000: ~0.9 VUPS CVAX-era part, modeled as a slow VAX.
+//   VAXstation 4000-class ("modern VAX") for the footnote row.
+MachineModel SparcStationSlc();
+MachineModel Sun3_100();
+MachineModel Hp9000_433s();
+MachineModel Hp9000_385();
+MachineModel VaxStation2000();
+MachineModel VaxStation4000();
+
+// All six models, in the order used by the Table 1 harness.
+std::vector<MachineModel> AllTable1Machines();
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ARCH_MACHINE_H_

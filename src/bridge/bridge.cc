@@ -1,0 +1,239 @@
+#include "src/bridge/bridge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/arch/calibration.h"
+#include "src/mobility/ar_codec.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+bool IsControl(IrKind kind) {
+  return kind == IrKind::kLabel || kind == IrKind::kJmp || kind == IrKind::kJf ||
+         kind == IrKind::kRet;
+}
+
+// Position of the instruction carrying `stop` in `fn`.
+int StopPosition(const IrFunction& fn, int stop) {
+  for (size_t i = 0; i < fn.instrs.size(); ++i) {
+    if (fn.instrs[i].stop == stop) {
+      return static_cast<int>(i);
+    }
+  }
+  HETM_UNREACHABLE("stop not found in function");
+}
+
+}  // namespace
+
+BridgePlan BuildBridge(const OpInfo& op, Arch dst_arch, OptLevel src_opt, OptLevel dst_opt,
+                       int stop, CostMeter* meter) {
+  HETM_CHECK(src_opt != dst_opt);
+  const IrFunction& src = op.Ir(src_opt);
+  const IrFunction& dst = op.Ir(dst_opt);
+  const int n = static_cast<int>(src.instrs.size());
+
+  // Schedule-position -> base-index maps. O0 is the identity; O1 is op.perm,
+  // reconstructible by replaying the primitive edit log (we charge for the replay —
+  // the runtime "invokes parts of the compiler", section 2.3).
+  std::vector<int> identity(n);
+  for (int i = 0; i < n; ++i) {
+    identity[i] = i;
+  }
+  const std::vector<int>& perm_src = src_opt == OptLevel::kO0 ? identity : op.perm;
+  const std::vector<int>& perm_dst = dst_opt == OptLevel::kO0 ? identity : op.perm;
+  BridgePlan plan;
+  plan.edits_replayed = static_cast<int>(op.transposes.size());
+  if (meter != nullptr) {
+    meter->Charge(static_cast<uint64_t>(plan.edits_replayed) * kBridgeEditCycles);
+  }
+
+  // The executed set diverges only within the basic block containing the stop
+  // (motion never crosses control flow), and blocks are entered at the top, so
+  // within the block "executed" = the positions up to and including the stop.
+  int pos_src = StopPosition(src, stop);
+  int block_start_src = pos_src;
+  while (block_start_src > 0 && !IsControl(src.instrs[block_start_src - 1].kind)) {
+    --block_start_src;
+  }
+  std::unordered_set<int> executed;  // base indices, within the block
+  for (int p = block_start_src; p <= pos_src; ++p) {
+    executed.insert(perm_src[p]);
+  }
+
+  // Locate the same block in the destination schedule and the entry position: one
+  // past the last executed member.
+  int pos_dst = StopPosition(dst, stop);
+  int block_start_dst = pos_dst;
+  while (block_start_dst > 0 && !IsControl(dst.instrs[block_start_dst - 1].kind)) {
+    --block_start_dst;
+  }
+  int block_end_dst = pos_dst;
+  while (block_end_dst < n && !IsControl(dst.instrs[block_end_dst].kind)) {
+    ++block_end_dst;
+  }
+  int entry = block_start_dst;
+  for (int q = block_start_dst; q < block_end_dst; ++q) {
+    if (executed.count(perm_dst[q]) != 0) {
+      entry = q + 1;
+    }
+  }
+
+  // Bridge = unexecuted operations the destination schedule placed before the entry
+  // point, in base order. The destination order itself proves this is dependence-
+  // safe: for any bridge op Y and any unexecuted op X at/after the entry, Y precedes
+  // X in the (valid) destination order, so Y cannot depend on X; among bridge ops the
+  // base order is a valid order by construction.
+  std::vector<std::pair<int, IrInstr>> bridge;  // (base index, instr)
+  for (int q = block_start_dst; q < entry; ++q) {
+    int base_index = perm_dst[q];
+    if (executed.count(base_index) == 0) {
+      const IrInstr& in = dst.instrs[q];
+      HETM_CHECK_MSG(IsMotionEligible(in.kind),
+                     "bridge would contain a non-pure operation");
+      bridge.emplace_back(base_index, in);
+    }
+  }
+  std::sort(bridge.begin(), bridge.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [idx, in] : bridge) {
+    plan.ops.push_back(in);
+  }
+
+  plan.entry_index = entry;
+  const ArchOpCode& code = op.Code(dst_arch, dst_opt);
+  HETM_CHECK(entry <= static_cast<int>(code.instr_pc.size()));
+  plan.entry_pc = entry < static_cast<int>(code.instr_pc.size())
+                      ? code.instr_pc[entry]
+                      : static_cast<uint32_t>(code.code.size());
+  return plan;
+}
+
+void ExecuteBridgeOps(Arch arch, const CompiledClass& cls, const OpInfo& op,
+                      ActivationRecord& ar, const std::vector<IrInstr>& ops,
+                      CostMeter* meter) {
+  auto read = [&](int cell) { return ReadCellValue(arch, op, ar, cell); };
+  auto write = [&](int cell, const Value& v) { WriteCellValue(arch, op, ar, cell, v); };
+  auto readi = [&](int cell) { return read(cell).i; };
+  auto readr = [&](int cell) { return read(cell).r; };
+
+  for (const IrInstr& in : ops) {
+    if (meter != nullptr) {
+      meter->counters().bridge_ops += 1;
+      meter->Charge(kBridgeInterpOpCycles);
+    }
+    switch (in.kind) {
+      case IrKind::kConstInt:
+        write(in.dst, Value::Int(static_cast<int32_t>(in.imm)));
+        break;
+      case IrKind::kConstBool:
+        write(in.dst, Value::Bool(in.imm != 0));
+        break;
+      case IrKind::kConstReal:
+        write(in.dst, Value::Real(in.fimm));
+        break;
+      case IrKind::kConstStr:
+        write(in.dst, Value::Str(cls.literal_oids[in.imm]));
+        break;
+      case IrKind::kConstNil:
+        write(in.dst, Value::Ref(kNilOid));
+        break;
+      case IrKind::kMov:
+        write(in.dst, read(in.a));
+        break;
+      case IrKind::kAdd:
+        write(in.dst, Value::Int(readi(in.a) + readi(in.b)));
+        break;
+      case IrKind::kSub:
+        write(in.dst, Value::Int(readi(in.a) - readi(in.b)));
+        break;
+      case IrKind::kMul:
+        write(in.dst, Value::Int(readi(in.a) * readi(in.b)));
+        break;
+      case IrKind::kDiv:
+        write(in.dst, Value::Int(readi(in.a) / readi(in.b)));
+        break;
+      case IrKind::kMod:
+        write(in.dst, Value::Int(readi(in.a) % readi(in.b)));
+        break;
+      case IrKind::kNeg:
+        write(in.dst, Value::Int(-readi(in.a)));
+        break;
+      case IrKind::kFAdd:
+        write(in.dst, Value::Real(readr(in.a) + readr(in.b)));
+        break;
+      case IrKind::kFSub:
+        write(in.dst, Value::Real(readr(in.a) - readr(in.b)));
+        break;
+      case IrKind::kFMul:
+        write(in.dst, Value::Real(readr(in.a) * readr(in.b)));
+        break;
+      case IrKind::kFDiv:
+        write(in.dst, Value::Real(readr(in.a) / readr(in.b)));
+        break;
+      case IrKind::kFNeg:
+        write(in.dst, Value::Real(-readr(in.a)));
+        break;
+      case IrKind::kCvtIF:
+        write(in.dst, Value::Real(static_cast<double>(readi(in.a))));
+        break;
+      case IrKind::kCmpEq:
+        write(in.dst, Value::Bool(readi(in.a) == readi(in.b)));
+        break;
+      case IrKind::kCmpNe:
+        write(in.dst, Value::Bool(readi(in.a) != readi(in.b)));
+        break;
+      case IrKind::kCmpLt:
+        write(in.dst, Value::Bool(readi(in.a) < readi(in.b)));
+        break;
+      case IrKind::kCmpLe:
+        write(in.dst, Value::Bool(readi(in.a) <= readi(in.b)));
+        break;
+      case IrKind::kCmpGt:
+        write(in.dst, Value::Bool(readi(in.a) > readi(in.b)));
+        break;
+      case IrKind::kCmpGe:
+        write(in.dst, Value::Bool(readi(in.a) >= readi(in.b)));
+        break;
+      case IrKind::kFCmpEq:
+        write(in.dst, Value::Bool(readr(in.a) == readr(in.b)));
+        break;
+      case IrKind::kFCmpNe:
+        write(in.dst, Value::Bool(readr(in.a) != readr(in.b)));
+        break;
+      case IrKind::kFCmpLt:
+        write(in.dst, Value::Bool(readr(in.a) < readr(in.b)));
+        break;
+      case IrKind::kFCmpLe:
+        write(in.dst, Value::Bool(readr(in.a) <= readr(in.b)));
+        break;
+      case IrKind::kFCmpGt:
+        write(in.dst, Value::Bool(readr(in.a) > readr(in.b)));
+        break;
+      case IrKind::kFCmpGe:
+        write(in.dst, Value::Bool(readr(in.a) >= readr(in.b)));
+        break;
+      case IrKind::kRCmpEq:
+        write(in.dst, Value::Bool(read(in.a).oid == read(in.b).oid));
+        break;
+      case IrKind::kRCmpNe:
+        write(in.dst, Value::Bool(read(in.a).oid != read(in.b).oid));
+        break;
+      case IrKind::kNot:
+        write(in.dst, Value::Bool(readi(in.a) == 0));
+        break;
+      case IrKind::kAnd:
+        write(in.dst, Value::Bool(readi(in.a) != 0 && readi(in.b) != 0));
+        break;
+      case IrKind::kOr:
+        write(in.dst, Value::Bool(readi(in.a) != 0 || readi(in.b) != 0));
+        break;
+      default:
+        HETM_UNREACHABLE("non-pure op in bridging code");
+    }
+  }
+}
+
+}  // namespace hetm

@@ -1,0 +1,61 @@
+// Bridging code between differently optimized code instances (section 2.2.2,
+// Figures 3 and 4) — the technique the paper describes but did not prototype.
+//
+// The O1 optimizer moves pure operations across bus stops, so a thread suspended at
+// stop s under one schedule has executed a different set of operations than the
+// other schedule assumes at the same stop. Migration between nodes running different
+// optimization levels therefore synthesizes *bridging code*:
+//
+//   1. From the source schedule's edit log (primitive adjacent transpositions, all
+//      reversible), compute the set E of basic-block operations already executed
+//      when the thread suspended at stop s.
+//   2. In the destination schedule, find the entry position p = one past the last
+//      E-member; every operation at or after p is unexecuted.
+//   3. The bridge is the unexecuted operations scheduled *before* p in the
+//      destination order, executed exactly once in canonical (base) order by a
+//      machine-independent interpreter over the activation record's cells; the
+//      thread then enters native destination code at p (via the per-instruction pc
+//      map the backend emits).
+//
+// Because the optimizer only hoists (moves operations earlier), no unexecuted bus
+// stop can precede p, and the destination order itself witnesses that the bridge's
+// base-order execution respects all dependences (see bridge.cc for the argument).
+//
+// The bridge may itself still be pending when the thread moves again (the paper's
+// "moved once more before it has finished executing the bridging code"): activation
+// records carry their pending bridge and semantic optimization level until they
+// actually resume, and re-migration re-bridges from that level.
+#ifndef HETM_SRC_BRIDGE_BRIDGE_H_
+#define HETM_SRC_BRIDGE_BRIDGE_H_
+
+#include <vector>
+
+#include "src/arch/cost_meter.h"
+#include "src/compiler/compiled.h"
+#include "src/runtime/thread.h"
+
+namespace hetm {
+
+struct BridgePlan {
+  std::vector<IrInstr> ops;  // pure operations to execute exactly once, base order
+  int entry_index = -1;      // destination-schedule IR index to enter at
+  uint32_t entry_pc = 0;     // native pc of that index on the destination
+  int edits_replayed = 0;    // primitive edits consulted (cost accounting)
+};
+
+// Builds the bridge for an activation suspended at `stop` whose state corresponds to
+// schedule `src_opt`, entering `dst_opt` code on `dst_arch`. Charges edit-replay
+// cycles to `meter` (pass nullptr to skip accounting).
+BridgePlan BuildBridge(const OpInfo& op, Arch dst_arch, OptLevel src_opt, OptLevel dst_opt,
+                       int stop, CostMeter* meter);
+
+// Executes bridge operations over the machine-dependent activation record through
+// canonical values (the machine-independent interpreter of Figure 2's middle level).
+// `cls` supplies string-literal OIDs for kConstStr.
+void ExecuteBridgeOps(Arch arch, const CompiledClass& cls, const OpInfo& op,
+                      ActivationRecord& ar, const std::vector<IrInstr>& ops,
+                      CostMeter* meter);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_BRIDGE_BRIDGE_H_

@@ -1,0 +1,111 @@
+// Abstract syntax tree for the Emerald-subset language.
+#ifndef HETM_SRC_COMPILER_AST_H_
+#define HETM_SRC_COMPILER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/value.h"
+
+namespace hetm {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kIntLit, kRealLit, kBoolLit, kStrLit, kNilLit,
+  kSelf,
+  kName,      // local variable or self field
+  kUnary,     // op: '-' or 'not'
+  kBinary,    // op in BinOp
+  kInvoke,    // target.op(args)
+  kNew,       // new ClassName
+  kBuiltin,   // locate/here/concat/len/clockms/real
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class Builtin : uint8_t { kLocate, kHere, kConcat, kLen, kClockMs, kReal, kNodeAt };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  std::string text;          // name / string literal / class name / op name
+  char unary_op = 0;         // '-' or '!'
+  BinOp bin_op = BinOp::kAdd;
+  Builtin builtin = Builtin::kHere;
+  ExprPtr lhs;               // unary operand / binary lhs / invocation target
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  kVarDecl, kAssign, kIf, kWhile, kReturn, kMove, kPrint, kExpr, kSpawn,
+};
+
+struct IfArm {
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;           // kVarDecl / kAssign target
+  ValueKind decl_kind = ValueKind::kInt;
+  ExprPtr expr;               // initializer / assigned value / condition-less payload
+  ExprPtr expr2;              // kMove destination
+  std::vector<IfArm> arms;    // kIf: if/elseif arms
+  std::vector<StmtPtr> else_body;
+  std::vector<StmtPtr> body;  // kWhile body
+};
+
+struct ParamAst {
+  std::string name;
+  ValueKind kind;
+};
+
+struct OpAst {
+  std::string name;
+  int line = 0;
+  std::vector<ParamAst> params;
+  bool has_result = false;
+  ValueKind result_kind = ValueKind::kInt;
+  std::vector<StmtPtr> body;
+};
+
+struct FieldAst {
+  std::string name;
+  ValueKind kind;
+  int line = 0;
+};
+
+struct ClassAst {
+  std::string name;
+  bool monitored = false;
+  int line = 0;
+  std::vector<FieldAst> fields;
+  std::vector<OpAst> ops;
+};
+
+struct ProgramAst {
+  std::vector<ClassAst> classes;
+  std::vector<StmtPtr> main_body;
+  int main_line = 0;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_AST_H_

@@ -1,0 +1,951 @@
+#include "src/compiler/backend.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/isa/isa.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layout helpers
+// ---------------------------------------------------------------------------
+
+int KindBytes(ValueKind kind) { return kind == ValueKind::kReal ? 8 : 4; }
+
+// Returns the order in which slot-allocated entries are laid out on `arch`.
+// `kinds[i]` describes entry i; the returned vector lists entry indices.
+std::vector<int> ArchLayoutOrder(Arch arch, const std::vector<ValueKind>& kinds) {
+  std::vector<int> order;
+  order.reserve(kinds.size());
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  switch (arch) {
+    case Arch::kVax32:
+      break;  // declaration order
+    case Arch::kM68k:
+      std::reverse(order.begin(), order.end());
+      break;
+    case Arch::kSparc32: {
+      // References first, then ints/bools, then reals (stable within groups).
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        auto group = [&](int i) {
+          if (IsReference(kinds[i])) return 0;
+          if (kinds[i] == ValueKind::kReal) return 2;
+          return 1;
+        };
+        return group(a) < group(b);
+      });
+      break;
+    }
+  }
+  return order;
+}
+
+// Assigns byte offsets to the entries in `order`; reals are 8-aligned on SPARC.
+std::vector<int> AssignOffsets(Arch arch, const std::vector<ValueKind>& kinds,
+                               const std::vector<int>& order, int* total_bytes) {
+  std::vector<int> offsets(kinds.size(), -1);
+  int at = 0;
+  for (int i : order) {
+    int bytes = KindBytes(kinds[i]);
+    if (bytes == 8 && arch == Arch::kSparc32) {
+      at = (at + 7) & ~7;
+    }
+    offsets[i] = at;
+    at += bytes;
+  }
+  *total_bytes = (at + 7) & ~7;
+  return offsets;
+}
+
+}  // namespace
+
+void ComputeFieldLayouts(CompiledClass& cls) {
+  std::vector<ValueKind> kinds;
+  kinds.reserve(cls.fields.size());
+  for (const FieldDefIr& f : cls.fields) {
+    kinds.push_back(f.kind);
+  }
+  for (int a = 0; a < kNumArchs; ++a) {
+    Arch arch = static_cast<Arch>(a);
+    std::vector<int> order = ArchLayoutOrder(arch, kinds);
+    cls.field_offsets[a] = AssignOffsets(arch, kinds, order, &cls.object_bytes[a]);
+  }
+}
+
+void AssignHomesAndFrame(Arch arch, const IrFunction& fn, std::vector<Home>* homes,
+                         int* frame_bytes) {
+  const ArchInfo& info = GetArchInfo(arch);
+  homes->assign(fn.cells.size(), Home::Slot(0));
+
+  int int_next = info.int_home_base;
+  int int_end = info.int_home_base + info.int_home_regs;
+  int ref_next = info.ref_home_base;
+  int ref_end = info.ref_home_base + info.ref_home_regs;
+
+  std::vector<int> slot_cells;
+  for (size_t i = 0; i < fn.cells.size(); ++i) {
+    ValueKind kind = fn.cells[i].kind;
+    if (kind == ValueKind::kReal) {
+      slot_cells.push_back(static_cast<int>(i));
+      continue;
+    }
+    if (IsReference(kind) && info.ref_home_regs > 0) {
+      if (ref_next < ref_end) {
+        (*homes)[i] = Home::Reg(ref_next++);
+        continue;
+      }
+    } else if (int_next < int_end) {
+      (*homes)[i] = Home::Reg(int_next++);
+      continue;
+    }
+    slot_cells.push_back(static_cast<int>(i));
+  }
+
+  std::vector<ValueKind> kinds;
+  kinds.reserve(slot_cells.size());
+  for (int c : slot_cells) {
+    kinds.push_back(fn.cells[c].kind);
+  }
+  std::vector<int> order = ArchLayoutOrder(arch, kinds);
+  int total = 0;
+  std::vector<int> offsets = AssignOffsets(arch, kinds, order, &total);
+  for (size_t i = 0; i < slot_cells.size(); ++i) {
+    (*homes)[slot_cells[i]] = Home::Slot(offsets[i]);
+  }
+  if (arch == Arch::kM68k) {
+    total += kM68kFloatScratchBytes;
+  }
+  *frame_bytes = total;
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct StopRef {
+  int stop = -1;
+  int mop = -1;        // index of the stop-bearing machine instruction
+  bool retry = false;  // monitor entry: resume pc is the trap itself
+  bool exit_only = false;
+};
+
+struct LoweredOp {
+  std::vector<MicroOp> mops;
+  std::vector<int> first_mop;  // per IR instruction
+  std::vector<StopRef> stops;
+};
+
+class Lowerer {
+ public:
+  Lowerer(Arch arch, const IrFunction& fn, const std::vector<Home>& homes,
+          const CompiledClass& cls, int frame_bytes)
+      : arch_(arch), fn_(fn), homes_(homes), cls_(cls), frame_bytes_(frame_bytes) {}
+  virtual ~Lowerer() = default;
+
+  LoweredOp Run() {
+    label_mop_.assign(fn_.num_labels, -1);
+    for (size_t i = 0; i < fn_.instrs.size(); ++i) {
+      out_.first_mop.push_back(static_cast<int>(out_.mops.size()));
+      LowerInstr(fn_.instrs[i]);
+    }
+    // Resolve branch targets.
+    for (auto& [mop, label] : pending_branches_) {
+      HETM_CHECK(label_mop_[label] >= 0 &&
+                 label_mop_[label] < static_cast<int>(out_.mops.size()));
+      out_.mops[mop].target_index = label_mop_[label];
+    }
+    return std::move(out_);
+  }
+
+ protected:
+  virtual void LowerInstr(const IrInstr& in) = 0;
+
+  ValueKind KindOf(int cell) const { return fn_.cells[cell].kind; }
+  bool IsRealCell(int cell) const { return KindOf(cell) == ValueKind::kReal; }
+
+  MOperand Opn(int cell) const {
+    const Home& h = homes_[cell];
+    return h.kind == HomeKind::kReg ? MOperand::Reg(h.index) : MOperand::Slot(h.index);
+  }
+
+  int FieldOff(int field) const {
+    return cls_.field_offsets[static_cast<int>(arch_)][field];
+  }
+  ValueKind FieldKind(int field) const { return cls_.fields[field].kind; }
+  Oid LiteralOid(int index) const { return cls_.literal_oids[index]; }
+
+  MicroOp& Emit(MKind kind) {
+    out_.mops.push_back(MicroOp{});
+    MicroOp& m = out_.mops.back();
+    m.kind = kind;
+    return m;
+  }
+
+  void EmitBranch(MKind kind, int label, MOperand cond = MOperand::None()) {
+    MicroOp& m = Emit(kind);
+    m.a = cond;
+    pending_branches_.emplace_back(static_cast<int>(out_.mops.size()) - 1, label);
+  }
+
+  void RecordLabel(int label) { label_mop_[label] = static_cast<int>(out_.mops.size()); }
+
+  // Records the machine instruction just emitted as carrying bus stop `stop`.
+  void RecordStop(int stop, bool retry, bool exit_only) {
+    out_.stops.push_back(StopRef{stop, static_cast<int>(out_.mops.size()) - 1, retry,
+                                 exit_only});
+  }
+
+  bool IsMonEnterTrap(const IrInstr& in) const {
+    return in.kind == IrKind::kTrap &&
+           fn_.trap_sites[in.site].kind == TrapKind::kMonEnter;
+  }
+
+  // Shared lowering of the kinds whose form is identical on all architectures.
+  // Returns true if handled.
+  bool LowerCommon(const IrInstr& in) {
+    switch (in.kind) {
+      case IrKind::kLabel:
+        RecordLabel(static_cast<int>(in.imm));
+        return true;
+      case IrKind::kJmp:
+        EmitBranch(MKind::kJmp, static_cast<int>(in.imm));
+        return true;
+      case IrKind::kCall: {
+        MicroOp& m = Emit(MKind::kCall);
+        m.site = in.site;
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/false, /*exit_only=*/false);
+        return true;
+      }
+      case IrKind::kTrap: {
+        MicroOp& m = Emit(MKind::kTrap);
+        m.site = in.site;
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/IsMonEnterTrap(in), /*exit_only=*/false);
+        return true;
+      }
+      case IrKind::kPoll: {
+        MicroOp& m = Emit(MKind::kPoll);
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/false, /*exit_only=*/false);
+        return true;
+      }
+      case IrKind::kRet: {
+        MicroOp& m = Emit(MKind::kRet);
+        m.a = in.a >= 0 ? Opn(in.a) : MOperand::None();
+        return true;
+      }
+      // 8-byte Real field accesses copy object memory <-> frame memory in machine
+      // format on every architecture.
+      case IrKind::kGetField:
+        if (FieldKind(static_cast<int>(in.imm)) == ValueKind::kReal) {
+          MicroOp& m = Emit(MKind::kGetFD);
+          m.dst = Opn(in.dst);
+          m.imm = FieldOff(static_cast<int>(in.imm));
+          return true;
+        }
+        return false;
+      case IrKind::kSetField:
+        if (FieldKind(static_cast<int>(in.imm)) == ValueKind::kReal) {
+          MicroOp& m = Emit(MKind::kSetFD);
+          m.a = Opn(in.a);
+          m.imm = FieldOff(static_cast<int>(in.imm));
+          return true;
+        }
+        return false;
+      default:
+        return false;
+    }
+  }
+
+  Arch arch_;
+  const IrFunction& fn_;
+  const std::vector<Home>& homes_;
+  const CompiledClass& cls_;
+  int frame_bytes_;
+  LoweredOp out_;
+  std::vector<int> label_mop_;
+  std::vector<std::pair<int, int>> pending_branches_;
+};
+
+MKind IntBinKind(IrKind kind) {
+  switch (kind) {
+    case IrKind::kAdd: return MKind::kAdd;
+    case IrKind::kSub: return MKind::kSub;
+    case IrKind::kMul: return MKind::kMul;
+    case IrKind::kDiv: return MKind::kDiv;
+    case IrKind::kMod: return MKind::kMod;
+    case IrKind::kAnd: return MKind::kAnd;
+    case IrKind::kOr: return MKind::kOr;
+    case IrKind::kCmpEq:
+    case IrKind::kRCmpEq: return MKind::kCmpEq;
+    case IrKind::kCmpNe:
+    case IrKind::kRCmpNe: return MKind::kCmpNe;
+    case IrKind::kCmpLt: return MKind::kCmpLt;
+    case IrKind::kCmpLe: return MKind::kCmpLe;
+    case IrKind::kCmpGt: return MKind::kCmpGt;
+    case IrKind::kCmpGe: return MKind::kCmpGe;
+    default: HETM_UNREACHABLE("not an int binary op");
+  }
+}
+
+MKind FloatBinKind(IrKind kind) {
+  switch (kind) {
+    case IrKind::kFAdd: return MKind::kFAdd;
+    case IrKind::kFSub: return MKind::kFSub;
+    case IrKind::kFMul: return MKind::kFMul;
+    case IrKind::kFDiv: return MKind::kFDiv;
+    default: HETM_UNREACHABLE("not a float binary op");
+  }
+}
+
+MKind FloatCmpKind(IrKind kind) {
+  switch (kind) {
+    case IrKind::kFCmpEq: return MKind::kFCmpEq;
+    case IrKind::kFCmpNe: return MKind::kFCmpNe;
+    case IrKind::kFCmpLt: return MKind::kFCmpLt;
+    case IrKind::kFCmpLe: return MKind::kFCmpLe;
+    case IrKind::kFCmpGt: return MKind::kFCmpGt;
+    case IrKind::kFCmpGe: return MKind::kFCmpGe;
+    default: HETM_UNREACHABLE("not a float compare");
+  }
+}
+
+bool IsIntBin(IrKind kind) {
+  switch (kind) {
+    case IrKind::kAdd:
+    case IrKind::kSub:
+    case IrKind::kMul:
+    case IrKind::kDiv:
+    case IrKind::kMod:
+    case IrKind::kAnd:
+    case IrKind::kOr:
+    case IrKind::kCmpEq:
+    case IrKind::kCmpNe:
+    case IrKind::kCmpLt:
+    case IrKind::kCmpLe:
+    case IrKind::kCmpGt:
+    case IrKind::kCmpGe:
+    case IrKind::kRCmpEq:
+    case IrKind::kRCmpNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFloatBin(IrKind kind) {
+  return kind == IrKind::kFAdd || kind == IrKind::kFSub || kind == IrKind::kFMul ||
+         kind == IrKind::kFDiv;
+}
+
+bool IsFloatCmp(IrKind kind) {
+  switch (kind) {
+    case IrKind::kFCmpEq:
+    case IrKind::kFCmpNe:
+    case IrKind::kFCmpLt:
+    case IrKind::kFCmpLe:
+    case IrKind::kFCmpGt:
+    case IrKind::kFCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VAX: 3-operand, memory operands everywhere, atomic REMQUE monitor exit.
+// ---------------------------------------------------------------------------
+
+class VaxLowerer : public Lowerer {
+ public:
+  using Lowerer::Lowerer;
+
+ protected:
+  void LowerInstr(const IrInstr& in) override {
+    if (LowerCommon(in)) {
+      return;
+    }
+    switch (in.kind) {
+      case IrKind::kConstInt:
+      case IrKind::kConstBool: {
+        MicroOp& m = Emit(MKind::kMov);
+        m.dst = Opn(in.dst);
+        m.a = MOperand::Imm(static_cast<int32_t>(in.imm));
+        return;
+      }
+      case IrKind::kConstStr: {
+        MicroOp& m = Emit(MKind::kMov);
+        m.dst = Opn(in.dst);
+        m.a = MOperand::Imm(static_cast<int32_t>(LiteralOid(static_cast<int>(in.imm))));
+        return;
+      }
+      case IrKind::kConstNil: {
+        MicroOp& m = Emit(MKind::kMov);
+        m.dst = Opn(in.dst);
+        m.a = MOperand::Imm(0);
+        return;
+      }
+      case IrKind::kConstReal: {
+        MicroOp& m = Emit(MKind::kFMovImm);
+        m.dst = Opn(in.dst);
+        m.fimm = in.fimm;
+        return;
+      }
+      case IrKind::kMov: {
+        MicroOp& m = Emit(IsRealCell(in.dst) ? MKind::kFMov : MKind::kMov);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.a);
+        return;
+      }
+      case IrKind::kNeg:
+      case IrKind::kNot: {
+        MicroOp& m = Emit(in.kind == IrKind::kNeg ? MKind::kNeg : MKind::kNot);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.a);
+        return;
+      }
+      case IrKind::kFNeg: {
+        MicroOp& m = Emit(MKind::kFNeg);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.a);
+        return;
+      }
+      case IrKind::kCvtIF: {
+        MicroOp& m = Emit(MKind::kCvtIF);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.a);
+        return;
+      }
+      case IrKind::kGetField: {
+        MicroOp& m = Emit(MKind::kGetF);
+        m.dst = Opn(in.dst);
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        return;
+      }
+      case IrKind::kSetField: {
+        MicroOp& m = Emit(MKind::kSetF);
+        m.a = Opn(in.a);
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        return;
+      }
+      case IrKind::kJf:
+        EmitBranch(MKind::kJf, static_cast<int>(in.imm), Opn(in.a));
+        return;
+      case IrKind::kMonExit: {
+        // Atomic doubly-linked-queue unlink: a single instruction, no kernel entry.
+        // The bus stop is recorded exit-only: the VAX runtime can never observe a pc
+        // here, but an inbound thread suspended at this stop on another architecture
+        // must be resumable at the corresponding point (section 3.3).
+        MicroOp& m = Emit(MKind::kRemque);
+        m.a = Opn(in.a);
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/false, /*exit_only=*/true);
+        return;
+      }
+      default:
+        break;
+    }
+    if (IsIntBin(in.kind)) {
+      MicroOp& m = Emit(IntBinKind(in.kind));
+      m.dst = Opn(in.dst);
+      m.a = Opn(in.a);
+      m.b = Opn(in.b);
+      return;
+    }
+    if (IsFloatBin(in.kind)) {
+      MicroOp& m = Emit(FloatBinKind(in.kind));
+      m.dst = Opn(in.dst);
+      m.a = Opn(in.a);
+      m.b = Opn(in.b);
+      return;
+    }
+    if (IsFloatCmp(in.kind)) {
+      MicroOp& m = Emit(FloatCmpKind(in.kind));
+      m.dst = Opn(in.dst);
+      m.a = Opn(in.a);
+      m.b = Opn(in.b);
+      return;
+    }
+    HETM_UNREACHABLE("unlowered VAX IR instruction");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// M68K: two-operand (dst == a), d0 integer scratch, frame float scratch slot,
+// monitor exit is a kernel trap.
+// ---------------------------------------------------------------------------
+
+class M68kLowerer : public Lowerer {
+ public:
+  using Lowerer::Lowerer;
+
+ protected:
+  static constexpr int kD0 = 0;  // integer scratch register
+
+  int FScratchOff() const { return frame_bytes_ - kM68kFloatScratchBytes; }
+
+  void EmitMov(MOperand dst, MOperand a) {
+    if (dst == a) {
+      return;
+    }
+    MicroOp& m = Emit(MKind::kMov);
+    m.dst = dst;
+    m.a = a;
+  }
+
+  void EmitFMov(MOperand dst, MOperand a) {
+    if (dst == a) {
+      return;
+    }
+    MicroOp& m = Emit(MKind::kFMov);
+    m.dst = dst;
+    m.a = a;
+  }
+
+  void LowerInstr(const IrInstr& in) override {
+    if (LowerCommon(in)) {
+      return;
+    }
+    switch (in.kind) {
+      case IrKind::kConstInt:
+      case IrKind::kConstBool:
+        EmitMov(Opn(in.dst), MOperand::Imm(static_cast<int32_t>(in.imm)));
+        return;
+      case IrKind::kConstStr:
+        EmitMov(Opn(in.dst),
+                MOperand::Imm(static_cast<int32_t>(LiteralOid(static_cast<int>(in.imm)))));
+        return;
+      case IrKind::kConstNil:
+        EmitMov(Opn(in.dst), MOperand::Imm(0));
+        return;
+      case IrKind::kConstReal: {
+        MicroOp& m = Emit(MKind::kFMovImm);
+        m.dst = Opn(in.dst);
+        m.fimm = in.fimm;
+        return;
+      }
+      case IrKind::kMov:
+        if (IsRealCell(in.dst)) {
+          EmitFMov(Opn(in.dst), Opn(in.a));
+        } else {
+          EmitMov(Opn(in.dst), Opn(in.a));
+        }
+        return;
+      case IrKind::kNeg:
+      case IrKind::kNot: {
+        // Read-modify-write single-operand instruction.
+        EmitMov(Opn(in.dst), Opn(in.a));
+        MicroOp& m = Emit(in.kind == IrKind::kNeg ? MKind::kNeg : MKind::kNot);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.dst);
+        return;
+      }
+      case IrKind::kFNeg: {
+        EmitFMov(Opn(in.dst), Opn(in.a));
+        MicroOp& m = Emit(MKind::kFNeg);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.dst);
+        return;
+      }
+      case IrKind::kCvtIF: {
+        MicroOp& m = Emit(MKind::kCvtIF);
+        m.dst = Opn(in.dst);
+        m.a = Opn(in.a);
+        return;
+      }
+      case IrKind::kGetField: {
+        MicroOp& m = Emit(MKind::kGetF);
+        m.dst = Opn(in.dst);
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        return;
+      }
+      case IrKind::kSetField: {
+        MicroOp& m = Emit(MKind::kSetF);
+        m.a = Opn(in.a);
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        return;
+      }
+      case IrKind::kJf:
+        EmitBranch(MKind::kJf, static_cast<int>(in.imm), Opn(in.a));
+        return;
+      case IrKind::kMonExit: {
+        MicroOp& m = Emit(MKind::kMonExitTrap);
+        m.a = Opn(in.a);
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/false, /*exit_only=*/false);
+        return;
+      }
+      default:
+        break;
+    }
+    if (in.kind == IrKind::kMul || in.kind == IrKind::kDiv || in.kind == IrKind::kMod) {
+      // MULS/DIVS need a data-register destination: stage through d0.
+      EmitMov(MOperand::Reg(kD0), Opn(in.a));
+      MicroOp& m = Emit(IntBinKind(in.kind));
+      m.dst = MOperand::Reg(kD0);
+      m.a = MOperand::Reg(kD0);
+      m.b = Opn(in.b);
+      EmitMov(Opn(in.dst), MOperand::Reg(kD0));
+      return;
+    }
+    if (in.kind == IrKind::kAdd || in.kind == IrKind::kSub || in.kind == IrKind::kAnd ||
+        in.kind == IrKind::kOr) {
+      MOperand dst = Opn(in.dst);
+      MOperand a = Opn(in.a);
+      MOperand b = Opn(in.b);
+      bool commutative = in.kind != IrKind::kSub;
+      if (dst == a) {
+        MicroOp& m = Emit(IntBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = b;
+      } else if (dst == b && commutative) {
+        MicroOp& m = Emit(IntBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = a;
+      } else if (dst == b) {
+        // dst aliases the subtrahend: stage through d0.
+        EmitMov(MOperand::Reg(kD0), a);
+        MicroOp& m = Emit(MKind::kSub);
+        m.dst = MOperand::Reg(kD0);
+        m.a = MOperand::Reg(kD0);
+        m.b = b;
+        EmitMov(dst, MOperand::Reg(kD0));
+      } else {
+        EmitMov(dst, a);
+        MicroOp& m = Emit(IntBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = b;
+      }
+      return;
+    }
+    if (IsIntBin(in.kind)) {  // comparisons: CMP + Scc, modeled as one 3-operand op
+      MicroOp& m = Emit(IntBinKind(in.kind));
+      m.dst = Opn(in.dst);
+      m.a = Opn(in.a);
+      m.b = Opn(in.b);
+      return;
+    }
+    if (IsFloatBin(in.kind)) {
+      MOperand dst = Opn(in.dst);
+      MOperand a = Opn(in.a);
+      MOperand b = Opn(in.b);
+      bool commutative = in.kind == IrKind::kFAdd || in.kind == IrKind::kFMul;
+      if (dst == a) {
+        MicroOp& m = Emit(FloatBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = b;
+      } else if (dst == b && commutative) {
+        MicroOp& m = Emit(FloatBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = a;
+      } else if (dst == b) {
+        MOperand scratch = MOperand::Slot(FScratchOff());
+        EmitFMov(scratch, a);
+        MicroOp& m = Emit(FloatBinKind(in.kind));
+        m.dst = scratch;
+        m.a = scratch;
+        m.b = b;
+        EmitFMov(dst, scratch);
+      } else {
+        EmitFMov(dst, a);
+        MicroOp& m = Emit(FloatBinKind(in.kind));
+        m.dst = dst;
+        m.a = dst;
+        m.b = b;
+      }
+      return;
+    }
+    if (IsFloatCmp(in.kind)) {
+      MicroOp& m = Emit(FloatCmpKind(in.kind));
+      m.dst = Opn(in.dst);
+      m.a = Opn(in.a);
+      m.b = Opn(in.b);
+      return;
+    }
+    HETM_UNREACHABLE("unlowered M68K IR instruction");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SPARC: load/store, register-only ALU, sethi/or immediate synthesis, float
+// registers, monitor exit is a kernel trap.
+// ---------------------------------------------------------------------------
+
+class SparcLowerer : public Lowerer {
+ public:
+  using Lowerer::Lowerer;
+
+ protected:
+  static constexpr int kG1 = 1, kG2 = 2, kG3 = 3;  // integer scratch
+  static constexpr int kF0 = 0, kF1 = 1;           // float scratch
+
+  // Materializes the value of `cell` in a register (its home register, or a load
+  // into `scratch`).
+  MOperand SrcReg(int cell, int scratch) {
+    MOperand o = Opn(cell);
+    if (o.kind == MOpnKind::kReg) {
+      return o;
+    }
+    MicroOp& m = Emit(MKind::kMov);
+    m.dst = MOperand::Reg(scratch);
+    m.a = o;
+    return m.dst;
+  }
+
+  // Register the result of an operation on `cell` should be computed into.
+  MOperand DstReg(int cell, int scratch) {
+    MOperand o = Opn(cell);
+    return o.kind == MOpnKind::kReg ? o : MOperand::Reg(scratch);
+  }
+
+  // Stores `reg` back to `cell` if the cell is slot-homed.
+  void FinishDst(int cell, MOperand reg) {
+    MOperand o = Opn(cell);
+    if (o.kind == MOpnKind::kSlot) {
+      MicroOp& m = Emit(MKind::kMov);
+      m.dst = o;
+      m.a = reg;
+    }
+  }
+
+  void LoadImm32(MOperand dst_reg, int32_t v) {
+    if (v >= -4096 && v < 4096) {
+      MicroOp& m = Emit(MKind::kMov);
+      m.dst = dst_reg;
+      m.a = MOperand::Imm(v);
+      return;
+    }
+    uint32_t uv = static_cast<uint32_t>(v);
+    MicroOp& hi = Emit(MKind::kSethi);
+    hi.dst = dst_reg;
+    hi.a = MOperand::Imm(static_cast<int32_t>(uv >> 13));
+    MicroOp& lo = Emit(MKind::kOrImm);
+    lo.dst = dst_reg;
+    lo.a = dst_reg;
+    lo.b = MOperand::Imm(static_cast<int32_t>(uv & 0x1FFF));
+  }
+
+  void EmitConstInt(int dst_cell, int32_t v) {
+    MOperand o = Opn(dst_cell);
+    if (o.kind == MOpnKind::kReg) {
+      LoadImm32(o, v);
+      return;
+    }
+    LoadImm32(MOperand::Reg(kG1), v);
+    MicroOp& m = Emit(MKind::kMov);
+    m.dst = o;
+    m.a = MOperand::Reg(kG1);
+  }
+
+  // Loads a Real cell into a float scratch register.
+  MOperand FSrc(int cell, int freg) {
+    MicroOp& m = Emit(MKind::kFMov);
+    m.dst = MOperand::FReg(freg);
+    m.a = Opn(cell);  // always a slot
+    return m.dst;
+  }
+
+  void FStore(int cell, MOperand freg) {
+    MicroOp& m = Emit(MKind::kFMov);
+    m.dst = Opn(cell);
+    m.a = freg;
+  }
+
+  void LowerInstr(const IrInstr& in) override {
+    if (LowerCommon(in)) {
+      return;
+    }
+    switch (in.kind) {
+      case IrKind::kConstInt:
+      case IrKind::kConstBool:
+        EmitConstInt(in.dst, static_cast<int32_t>(in.imm));
+        return;
+      case IrKind::kConstStr:
+        EmitConstInt(in.dst,
+                     static_cast<int32_t>(LiteralOid(static_cast<int>(in.imm))));
+        return;
+      case IrKind::kConstNil:
+        EmitConstInt(in.dst, 0);
+        return;
+      case IrKind::kConstReal: {
+        MicroOp& m = Emit(MKind::kFMovImm);
+        m.dst = MOperand::FReg(kF0);
+        m.fimm = in.fimm;
+        FStore(in.dst, MOperand::FReg(kF0));
+        return;
+      }
+      case IrKind::kMov: {
+        if (IsRealCell(in.dst)) {
+          MOperand f = FSrc(in.a, kF0);
+          FStore(in.dst, f);
+          return;
+        }
+        MOperand src = SrcReg(in.a, kG1);
+        MOperand dst = Opn(in.dst);
+        if (dst == src) {
+          return;
+        }
+        MicroOp& m = Emit(MKind::kMov);
+        m.dst = dst;
+        m.a = src;
+        return;
+      }
+      case IrKind::kNeg:
+      case IrKind::kNot: {
+        MOperand a = SrcReg(in.a, kG1);
+        MOperand d = DstReg(in.dst, kG3);
+        MicroOp& m = Emit(in.kind == IrKind::kNeg ? MKind::kNeg : MKind::kNot);
+        m.dst = d;
+        m.a = a;
+        FinishDst(in.dst, d);
+        return;
+      }
+      case IrKind::kFNeg: {
+        MOperand a = FSrc(in.a, kF0);
+        MicroOp& m = Emit(MKind::kFNeg);
+        m.dst = MOperand::FReg(kF0);
+        m.a = a;
+        FStore(in.dst, MOperand::FReg(kF0));
+        return;
+      }
+      case IrKind::kCvtIF: {
+        MOperand a = SrcReg(in.a, kG1);
+        MicroOp& m = Emit(MKind::kCvtIF);
+        m.dst = MOperand::FReg(kF0);
+        m.a = a;
+        FStore(in.dst, MOperand::FReg(kF0));
+        return;
+      }
+      case IrKind::kGetField: {
+        MOperand d = DstReg(in.dst, kG1);
+        MicroOp& m = Emit(MKind::kGetF);
+        m.dst = d;
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        FinishDst(in.dst, d);
+        return;
+      }
+      case IrKind::kSetField: {
+        MOperand a = SrcReg(in.a, kG1);
+        MicroOp& m = Emit(MKind::kSetF);
+        m.a = a;
+        m.imm = FieldOff(static_cast<int>(in.imm));
+        return;
+      }
+      case IrKind::kJf: {
+        MOperand a = SrcReg(in.a, kG1);
+        EmitBranch(MKind::kJf, static_cast<int>(in.imm), a);
+        return;
+      }
+      case IrKind::kMonExit: {
+        MicroOp& m = Emit(MKind::kMonExitTrap);
+        m.a = Opn(in.a);
+        m.stop = in.stop;
+        RecordStop(in.stop, /*retry=*/false, /*exit_only=*/false);
+        return;
+      }
+      default:
+        break;
+    }
+    if (IsIntBin(in.kind)) {
+      MOperand a = SrcReg(in.a, kG1);
+      MOperand b = SrcReg(in.b, kG2);
+      MOperand d = DstReg(in.dst, kG3);
+      MicroOp& m = Emit(IntBinKind(in.kind));
+      m.dst = d;
+      m.a = a;
+      m.b = b;
+      FinishDst(in.dst, d);
+      return;
+    }
+    if (IsFloatBin(in.kind)) {
+      MOperand a = FSrc(in.a, kF0);
+      MOperand b = FSrc(in.b, kF1);
+      MicroOp& m = Emit(FloatBinKind(in.kind));
+      m.dst = MOperand::FReg(kF0);
+      m.a = a;
+      m.b = b;
+      FStore(in.dst, MOperand::FReg(kF0));
+      return;
+    }
+    if (IsFloatCmp(in.kind)) {
+      MOperand a = FSrc(in.a, kF0);
+      MOperand b = FSrc(in.b, kF1);
+      MOperand d = DstReg(in.dst, kG3);
+      MicroOp& m = Emit(FloatCmpKind(in.kind));
+      m.dst = d;
+      m.a = a;
+      m.b = b;
+      FinishDst(in.dst, d);
+      return;
+    }
+    HETM_UNREACHABLE("unlowered SPARC IR instruction");
+  }
+};
+
+LoweredOp LowerFunction(Arch arch, const IrFunction& fn, const std::vector<Home>& homes,
+                        const CompiledClass& cls, int frame_bytes) {
+  std::unique_ptr<Lowerer> lowerer;
+  switch (arch) {
+    case Arch::kVax32:
+      lowerer = std::make_unique<VaxLowerer>(arch, fn, homes, cls, frame_bytes);
+      break;
+    case Arch::kM68k:
+      lowerer = std::make_unique<M68kLowerer>(arch, fn, homes, cls, frame_bytes);
+      break;
+    case Arch::kSparc32:
+      lowerer = std::make_unique<SparcLowerer>(arch, fn, homes, cls, frame_bytes);
+      break;
+  }
+  return lowerer->Run();
+}
+
+}  // namespace
+
+void CompileOpBackends(const CompiledClass& cls, OpInfo& op) {
+  for (int a = 0; a < kNumArchs; ++a) {
+    Arch arch = static_cast<Arch>(a);
+    AssignHomesAndFrame(arch, op.ir[0], &op.homes[a], &op.frame_bytes[a]);
+    for (int lvl = 0; lvl < kNumOptLevels; ++lvl) {
+      const IrFunction& fn = op.ir[lvl];
+      LoweredOp low = LowerFunction(arch, fn, op.homes[a], cls, op.frame_bytes[a]);
+      EncodedCode enc = Encode(arch, low.mops);
+      ArchOpCode& out = op.code[a][lvl];
+      out.code = enc.bytes;
+      out.instr_pc.clear();
+      for (size_t i = 0; i < fn.instrs.size(); ++i) {
+        out.instr_pc.push_back(enc.pcs[low.first_mop[i]]);
+      }
+      out.stops.assign(fn.num_stops, BusStopEntry{});
+      out.stops[0] = BusStopEntry{0, false};
+      for (const StopRef& sr : low.stops) {
+        HETM_CHECK(sr.stop >= 1 && sr.stop < fn.num_stops);
+        uint32_t pc = sr.retry ? enc.pcs[sr.mop] : enc.pcs[sr.mop + 1];
+        out.stops[sr.stop] = BusStopEntry{pc, sr.exit_only};
+      }
+      // Bus stops must be dense and (by construction) in non-decreasing pc order.
+      // Two stops may share a pc only when the second is a monitor-entry retry stop
+      // whose resume point is the trap instruction itself; the kernel disambiguates
+      // those by the suspension reason (see PcToStop).
+      for (int s = 1; s < fn.num_stops; ++s) {
+        HETM_CHECK_MSG(out.stops[s].pc >= out.stops[s - 1].pc,
+                       "bus stop table not monotonic in %s", fn.name.c_str());
+      }
+    }
+  }
+}
+
+}  // namespace hetm

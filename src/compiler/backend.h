@@ -1,0 +1,39 @@
+// Code generation backends.
+//
+// For each architecture the backend assigns every IR cell a home (register or frame
+// slot — the pools and the frame layout rules differ per architecture), selects
+// instructions in the architecture's style (memory-to-memory 3-operand on VAX,
+// two-operand with scratch staging on M68K, load/store with sethi/or immediate
+// synthesis on SPARC), encodes the machine code, and emits the side tables the
+// runtime needs: bus-stop tables (stop number <-> pc), the per-IR-instruction pc map
+// used by bridging-code entry, and (through OpInfo's shared IR) the templates.
+// The generated code is never touched by the mobility machinery — all mobility
+// support is "information on the side", exactly as in the paper (section 3.3).
+#ifndef HETM_SRC_COMPILER_BACKEND_H_
+#define HETM_SRC_COMPILER_BACKEND_H_
+
+#include "src/compiler/compiled.h"
+
+namespace hetm {
+
+// Fills cls.field_offsets and cls.object_bytes for every architecture. Field layout
+// order is architecture-specific (declaration order on VAX, reversed on M68K,
+// references-then-ints-then-reals on SPARC), so moving an object always involves a
+// genuine re-layout, not a blit.
+void ComputeFieldLayouts(CompiledClass& cls);
+
+// Assigns homes and the frame size for one op on one architecture. Exposed for tests.
+void AssignHomesAndFrame(Arch arch, const IrFunction& fn, std::vector<Home>* homes,
+                         int* frame_bytes);
+
+// Compiles op.ir[*] for every (architecture, optimization level), filling op.homes,
+// op.frame_bytes and op.code. cls must already have field layouts and literal OIDs.
+void CompileOpBackends(const CompiledClass& cls, OpInfo& op);
+
+// M68K frames reserve a trailing 8-byte scratch area for float staging (it is not a
+// cell: never live at a bus stop, never marshalled).
+inline constexpr int kM68kFloatScratchBytes = 8;
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_BACKEND_H_

@@ -1,0 +1,118 @@
+// Compiled program representation — everything the runtime kernel consumes.
+//
+// One compilation produces code, templates and bus-stop tables for *all* target
+// architectures and optimization levels at once, with identical code OIDs and string
+// literal OIDs across architectures. This realizes the "program database" fix the
+// paper proposes (section 3.4) for its manual OID-synchronization step: semantically
+// identical code objects for different processors share one OID, and the per-arch
+// images are distinguished by the (OID, architecture, optimization level) repository
+// key.
+#ifndef HETM_SRC_COMPILER_COMPILED_H_
+#define HETM_SRC_COMPILER_COMPILED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/arch/arch.h"
+#include "src/compiler/ir.h"
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+enum class OptLevel : uint8_t { kO0 = 0, kO1 = 1 };
+inline constexpr int kNumOptLevels = 2;
+inline const char* OptLevelName(OptLevel o) { return o == OptLevel::kO0 ? "O0" : "O1"; }
+
+enum class HomeKind : uint8_t { kReg, kSlot };
+
+// Where a cell lives on one architecture: a register index, or a byte offset into
+// the activation-record frame. Real cells are always slot-homed (two machine cells).
+struct Home {
+  HomeKind kind = HomeKind::kSlot;
+  int index = 0;
+
+  static Home Reg(int r) { return {HomeKind::kReg, r}; }
+  static Home Slot(int byte_offset) { return {HomeKind::kSlot, byte_offset}; }
+  bool operator==(const Home&) const = default;
+};
+
+struct BusStopEntry {
+  uint32_t pc = 0;
+  // Exit-only stops exist in this architecture's table for stop->pc conversion but
+  // can never be observed as a suspended pc here (VAX atomic monitor exit, §3.3).
+  bool exit_only = false;
+};
+
+// One operation's native code for one (architecture, optimization level).
+struct ArchOpCode {
+  std::vector<uint8_t> code;
+  std::vector<BusStopEntry> stops;  // indexed by bus stop number; stops[0].pc == 0
+  // Scheduled-IR instruction index -> native pc of its first machine instruction.
+  // This is the "debugging information"-grade map bridging code entry needs (§2.2.2).
+  std::vector<uint32_t> instr_pc;
+};
+
+// One operation, fully compiled.
+struct OpInfo {
+  // ir[O0] is the canonical order; ir[O1] the code-motion-scheduled order. Both carry
+  // per-stop live sets (they differ: motion across stops changes liveness).
+  IrFunction ir[kNumOptLevels];
+  // Primitive-edit log transforming O0 into O1 (adjacent transpositions, applied in
+  // order), and the resulting permutation: perm[i] = O0 index of O1 instruction i.
+  std::vector<int> transposes;
+  std::vector<int> perm;
+  // Per-architecture variable homes (same for both opt levels) and frame size.
+  std::vector<Home> homes[kNumArchs];
+  int frame_bytes[kNumArchs] = {0, 0, 0};
+  ArchOpCode code[kNumArchs][kNumOptLevels];
+
+  const IrFunction& Ir(OptLevel o) const { return ir[static_cast<int>(o)]; }
+  const ArchOpCode& Code(Arch a, OptLevel o) const {
+    return code[static_cast<int>(a)][static_cast<int>(o)];
+  }
+};
+
+struct CompiledClass {
+  std::string name;
+  Oid code_oid = kNilOid;
+  bool monitored = false;
+  std::vector<FieldDefIr> fields;
+  // Per-architecture field byte offsets (layout order differs per arch) and total
+  // object data size.
+  std::vector<int> field_offsets[kNumArchs];
+  int object_bytes[kNumArchs] = {0, 0, 0};
+  std::vector<std::string> string_literals;
+  std::vector<Oid> literal_oids;  // same OIDs on every architecture
+  std::vector<OpInfo> ops;
+
+  int FindOp(const std::string& op_name) const {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].ir[0].name == op_name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+struct CompiledProgram {
+  std::vector<std::shared_ptr<const CompiledClass>> classes;
+  int main_class = -1;
+  // Program class index -> code OID (the kNewObj trap's imm indexes this).
+  std::vector<Oid> class_oids;
+
+  const CompiledClass* FindByOid(Oid oid) const {
+    for (const auto& cls : classes) {
+      if (cls->code_oid == oid) {
+        return cls.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_COMPILED_H_

@@ -1,0 +1,68 @@
+#include "src/compiler/compiler.h"
+
+#include "src/compiler/backend.h"
+#include "src/compiler/irgen.h"
+#include "src/compiler/lexer.h"
+#include "src/compiler/optimizer.h"
+#include "src/compiler/parser.h"
+
+namespace hetm {
+
+CompileResult CompileSource(const std::string& source, const std::string& program_name,
+                            ProgramDatabase& db) {
+  CompileResult result;
+
+  LexResult lexed = Lex(source);
+  if (!lexed.errors.empty()) {
+    result.errors = std::move(lexed.errors);
+    return result;
+  }
+  ParseResult parsed = Parse(lexed.tokens);
+  if (!parsed.ok()) {
+    result.errors = std::move(parsed.errors);
+    return result;
+  }
+  IrGenResult ir = GenerateIr(parsed.program);
+  if (!ir.ok()) {
+    result.errors = std::move(ir.errors);
+    return result;
+  }
+
+  auto program = std::make_shared<CompiledProgram>();
+  program->main_class = ir.program.main_class;
+
+  for (ClassIr& cls_ir : ir.program.classes) {
+    auto cls = std::make_shared<CompiledClass>();
+    cls->name = cls_ir.name;
+    cls->monitored = cls_ir.monitored;
+    cls->fields = cls_ir.fields;
+    cls->code_oid = db.CodeOidFor(program_name, cls_ir.name);
+    cls->string_literals = cls_ir.string_literals;
+    cls->literal_oids =
+        db.LiteralOidsFor(program_name, cls_ir.name, cls_ir.string_literals.size());
+    ComputeFieldLayouts(*cls);
+
+    for (IrFunction& fn : cls_ir.ops) {
+      cls->ops.emplace_back();
+      OpInfo& op = cls->ops.back();
+      op.ir[0] = std::move(fn);
+      ScheduleResult sched = ScheduleFunction(op.ir[0]);
+      op.ir[1] = std::move(sched.fn);
+      op.transposes = std::move(sched.transposes);
+      op.perm = std::move(sched.perm);
+      CompileOpBackends(*cls, op);
+    }
+    program->class_oids.push_back(cls->code_oid);
+    program->classes.push_back(std::move(cls));
+  }
+
+  result.program = std::move(program);
+  return result;
+}
+
+CompileResult CompileSource(const std::string& source) {
+  ProgramDatabase db;
+  return CompileSource(source, "anonymous", db);
+}
+
+}  // namespace hetm

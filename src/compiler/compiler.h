@@ -1,0 +1,35 @@
+// Compiler driver: Emerald-subset source -> CompiledProgram.
+//
+// One call compiles the program for every architecture and optimization level,
+// producing code images, templates (cell homes + per-stop live sets), bus-stop
+// tables and edit logs. Identical OIDs across architectures come from the
+// ProgramDatabase (section 3.4).
+#ifndef HETM_SRC_COMPILER_COMPILER_H_
+#define HETM_SRC_COMPILER_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiled.h"
+#include "src/compiler/program_db.h"
+
+namespace hetm {
+
+struct CompileResult {
+  std::shared_ptr<const CompiledProgram> program;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+// Compiles `source`. `program_name` keys the program database so recompilation
+// reproduces the same OIDs.
+CompileResult CompileSource(const std::string& source, const std::string& program_name,
+                            ProgramDatabase& db);
+
+// Convenience overload with a private throw-away database.
+CompileResult CompileSource(const std::string& source);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_COMPILER_H_

@@ -1,0 +1,423 @@
+#include "src/compiler/ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+int LiveWords(int num_cells) { return (num_cells + 63) / 64; }
+
+void SetBit(LiveSet& s, int bit) { s[bit / 64] |= uint64_t{1} << (bit % 64); }
+bool GetBit(const LiveSet& s, int bit) {
+  return (s[bit / 64] >> (bit % 64)) & 1;
+}
+void ClearBit(LiveSet& s, int bit) { s[bit / 64] &= ~(uint64_t{1} << (bit % 64)); }
+
+bool UnionInto(LiveSet& dst, const LiveSet& src) {
+  bool changed = false;
+  for (size_t i = 0; i < dst.size(); ++i) {
+    uint64_t merged = dst[i] | src[i];
+    if (merged != dst[i]) {
+      dst[i] = merged;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+int GetUsesAndDef(const IrFunction& fn, const IrInstr& in, std::vector<int>& uses) {
+  switch (in.kind) {
+    case IrKind::kConstInt:
+    case IrKind::kConstReal:
+    case IrKind::kConstBool:
+    case IrKind::kConstStr:
+    case IrKind::kConstNil:
+      return in.dst;
+    case IrKind::kMov:
+    case IrKind::kNeg:
+    case IrKind::kFNeg:
+    case IrKind::kCvtIF:
+    case IrKind::kNot:
+    case IrKind::kGetField:
+      if (in.a >= 0) {
+        uses.push_back(in.a);
+      }
+      return in.dst;
+    case IrKind::kAdd:
+    case IrKind::kSub:
+    case IrKind::kMul:
+    case IrKind::kDiv:
+    case IrKind::kMod:
+    case IrKind::kFAdd:
+    case IrKind::kFSub:
+    case IrKind::kFMul:
+    case IrKind::kFDiv:
+    case IrKind::kCmpEq:
+    case IrKind::kCmpNe:
+    case IrKind::kCmpLt:
+    case IrKind::kCmpLe:
+    case IrKind::kCmpGt:
+    case IrKind::kCmpGe:
+    case IrKind::kFCmpEq:
+    case IrKind::kFCmpNe:
+    case IrKind::kFCmpLt:
+    case IrKind::kFCmpLe:
+    case IrKind::kFCmpGt:
+    case IrKind::kFCmpGe:
+    case IrKind::kRCmpEq:
+    case IrKind::kRCmpNe:
+    case IrKind::kAnd:
+    case IrKind::kOr:
+      uses.push_back(in.a);
+      uses.push_back(in.b);
+      return in.dst;
+    case IrKind::kSetField:
+      uses.push_back(in.a);
+      return -1;
+    case IrKind::kLabel:
+    case IrKind::kJmp:
+    case IrKind::kPoll:
+      return -1;
+    case IrKind::kJf:
+      uses.push_back(in.a);
+      return -1;
+    case IrKind::kMonExit:
+      uses.push_back(in.a);
+      return -1;
+    case IrKind::kRet:
+      if (in.a >= 0) {
+        uses.push_back(in.a);
+      }
+      return -1;
+    case IrKind::kCall: {
+      const CallSiteInfo& site = fn.call_sites[in.site];
+      uses.push_back(site.target_cell);
+      for (int c : site.arg_cells) {
+        uses.push_back(c);
+      }
+      return site.result_cell;
+    }
+    case IrKind::kTrap: {
+      const TrapSiteInfo& site = fn.trap_sites[in.site];
+      for (int c : site.arg_cells) {
+        uses.push_back(c);
+      }
+      return site.result_cell;
+    }
+  }
+  HETM_UNREACHABLE("bad IrKind");
+}
+
+
+const char* IrKindName(IrKind kind) {
+  switch (kind) {
+    case IrKind::kConstInt: return "const.i";
+    case IrKind::kConstReal: return "const.r";
+    case IrKind::kConstBool: return "const.b";
+    case IrKind::kConstStr: return "const.s";
+    case IrKind::kConstNil: return "const.nil";
+    case IrKind::kMov: return "mov";
+    case IrKind::kAdd: return "add";
+    case IrKind::kSub: return "sub";
+    case IrKind::kMul: return "mul";
+    case IrKind::kDiv: return "div";
+    case IrKind::kMod: return "mod";
+    case IrKind::kNeg: return "neg";
+    case IrKind::kFAdd: return "fadd";
+    case IrKind::kFSub: return "fsub";
+    case IrKind::kFMul: return "fmul";
+    case IrKind::kFDiv: return "fdiv";
+    case IrKind::kFNeg: return "fneg";
+    case IrKind::kCvtIF: return "cvt.if";
+    case IrKind::kCmpEq: return "cmp.eq";
+    case IrKind::kCmpNe: return "cmp.ne";
+    case IrKind::kCmpLt: return "cmp.lt";
+    case IrKind::kCmpLe: return "cmp.le";
+    case IrKind::kCmpGt: return "cmp.gt";
+    case IrKind::kCmpGe: return "cmp.ge";
+    case IrKind::kFCmpEq: return "fcmp.eq";
+    case IrKind::kFCmpNe: return "fcmp.ne";
+    case IrKind::kFCmpLt: return "fcmp.lt";
+    case IrKind::kFCmpLe: return "fcmp.le";
+    case IrKind::kFCmpGt: return "fcmp.gt";
+    case IrKind::kFCmpGe: return "fcmp.ge";
+    case IrKind::kRCmpEq: return "rcmp.eq";
+    case IrKind::kRCmpNe: return "rcmp.ne";
+    case IrKind::kNot: return "not";
+    case IrKind::kAnd: return "and";
+    case IrKind::kOr: return "or";
+    case IrKind::kGetField: return "getf";
+    case IrKind::kSetField: return "setf";
+    case IrKind::kLabel: return "label";
+    case IrKind::kJmp: return "jmp";
+    case IrKind::kJf: return "jf";
+    case IrKind::kCall: return "call";
+    case IrKind::kTrap: return "trap";
+    case IrKind::kPoll: return "poll";
+    case IrKind::kMonExit: return "monexit";
+    case IrKind::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kPrint: return "print";
+    case TrapKind::kMoveTo: return "move";
+    case TrapKind::kLocate: return "locate";
+    case TrapKind::kHere: return "here";
+    case TrapKind::kMonEnter: return "monenter";
+    case TrapKind::kConcat: return "concat";
+    case TrapKind::kStrLen: return "len";
+    case TrapKind::kStrEq: return "streq";
+    case TrapKind::kClockMs: return "clockms";
+    case TrapKind::kNewObj: return "new";
+    case TrapKind::kNodeAt: return "nodeat";
+    case TrapKind::kHalt: return "halt";
+  }
+  return "?";
+}
+
+bool IsStopKind(IrKind kind) {
+  return kind == IrKind::kCall || kind == IrKind::kTrap || kind == IrKind::kPoll ||
+         kind == IrKind::kMonExit;
+}
+
+bool IsMotionEligible(IrKind kind) {
+  switch (kind) {
+    case IrKind::kConstInt:
+    case IrKind::kConstReal:
+    case IrKind::kConstBool:
+    case IrKind::kConstStr:
+    case IrKind::kConstNil:
+    case IrKind::kMov:
+    case IrKind::kAdd:
+    case IrKind::kSub:
+    case IrKind::kMul:
+    case IrKind::kDiv:
+    case IrKind::kMod:
+    case IrKind::kNeg:
+    case IrKind::kFAdd:
+    case IrKind::kFSub:
+    case IrKind::kFMul:
+    case IrKind::kFDiv:
+    case IrKind::kFNeg:
+    case IrKind::kCvtIF:
+    case IrKind::kCmpEq:
+    case IrKind::kCmpNe:
+    case IrKind::kCmpLt:
+    case IrKind::kCmpLe:
+    case IrKind::kCmpGt:
+    case IrKind::kCmpGe:
+    case IrKind::kFCmpEq:
+    case IrKind::kFCmpNe:
+    case IrKind::kFCmpLt:
+    case IrKind::kFCmpLe:
+    case IrKind::kFCmpGt:
+    case IrKind::kFCmpGe:
+    case IrKind::kRCmpEq:
+    case IrKind::kRCmpNe:
+    case IrKind::kNot:
+    case IrKind::kAnd:
+    case IrKind::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int IrFunction::AddCell(const std::string& cell_name, ValueKind kind, bool is_param,
+                        bool is_hidden) {
+  cells.push_back(CellDef{cell_name, kind, is_param, is_hidden});
+  return static_cast<int>(cells.size()) - 1;
+}
+
+bool IrFunction::CellLiveAtStop(int stop, int cell) const {
+  HETM_CHECK(stop >= 0 && stop < static_cast<int>(stop_live.size()));
+  return GetBit(stop_live[stop], cell);
+}
+
+int ClassIr::FindOp(const std::string& op_name) const {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].name == op_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ClassIr::FindField(const std::string& field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ProgramIr::FindClass(const std::string& name) const {
+  for (size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void ComputeLiveness(IrFunction& fn) {
+  const int n = static_cast<int>(fn.instrs.size());
+  const int words = LiveWords(static_cast<int>(fn.cells.size()));
+
+  // Label id -> instruction index.
+  std::vector<int> label_at(fn.num_labels, -1);
+  for (int i = 0; i < n; ++i) {
+    if (fn.instrs[i].kind == IrKind::kLabel) {
+      label_at[fn.instrs[i].imm] = i;
+    }
+  }
+
+  std::vector<LiveSet> live_in(n, LiveSet(words, 0));
+  std::vector<LiveSet> live_out(n, LiveSet(words, 0));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = n - 1; i >= 0; --i) {
+      const IrInstr& in = fn.instrs[i];
+      LiveSet out(words, 0);
+      // Successors.
+      if (in.kind == IrKind::kJmp) {
+        UnionInto(out, live_in[label_at[in.imm]]);
+      } else if (in.kind == IrKind::kRet) {
+        // no successors
+      } else {
+        if (i + 1 < n) {
+          UnionInto(out, live_in[i + 1]);
+        }
+        if (in.kind == IrKind::kJf) {
+          UnionInto(out, live_in[label_at[in.imm]]);
+        }
+      }
+      if (out != live_out[i]) {
+        live_out[i] = out;
+        changed = true;
+      }
+      // live_in = (live_out - def) + uses
+      LiveSet lin = out;
+      std::vector<int> uses;
+      int def = GetUsesAndDef(fn, in, uses);
+      if (def >= 0) {
+        ClearBit(lin, def);
+      }
+      for (int u : uses) {
+        SetBit(lin, u);
+      }
+      if (lin != live_in[i]) {
+        live_in[i] = std::move(lin);
+        changed = true;
+      }
+    }
+  }
+
+  fn.stop_live.assign(fn.num_stops, LiveSet(words, 0));
+  // Stop 0 is operation entry: the parameters plus anything the kernel deposits
+  // without an IR definition (the hidden self cell), which dataflow reports as
+  // live-in to the first instruction.
+  for (int c = 0; c < fn.num_params; ++c) {
+    SetBit(fn.stop_live[0], c);
+  }
+  if (n > 0) {
+    UnionInto(fn.stop_live[0], live_in[0]);
+  }
+  for (int i = 0; i < n; ++i) {
+    const IrInstr& in = fn.instrs[i];
+    if (!in.HasStop()) {
+      continue;
+    }
+    HETM_CHECK(in.stop >= 1 && in.stop < fn.num_stops);
+    bool is_retry_stop =
+        in.kind == IrKind::kTrap && fn.trap_sites[in.site].kind == TrapKind::kMonEnter;
+    // Monitor entry suspends *before* the instruction (the resume point re-executes
+    // the acquire), so its observable state is live-in; every other stop suspends
+    // after completion, so its observable state is live-out.
+    fn.stop_live[in.stop] = is_retry_stop ? live_in[i] : live_out[i];
+  }
+}
+
+void ValidateFunction(const IrFunction& fn) {
+  const int ncells = static_cast<int>(fn.cells.size());
+  auto check_cell = [&](int c, bool allow_none) {
+    if (c == -1) {
+      HETM_CHECK(allow_none);
+      return;
+    }
+    HETM_CHECK(c >= 0 && c < ncells);
+  };
+  int next_stop = 1;  // stop 0 is the entry
+  std::vector<bool> label_seen(fn.num_labels, false);
+  for (const IrInstr& in : fn.instrs) {
+    std::vector<int> uses;
+    // UsesAndDef also range-checks sites via operator[]; exercise it.
+    int def = GetUsesAndDef(fn, in, uses);
+    check_cell(def, true);
+    for (int u : uses) {
+      check_cell(u, false);
+    }
+    if (IsStopKind(in.kind)) {
+      HETM_CHECK_MSG(in.stop == next_stop, "bus stops must be dense and in code order");
+      ++next_stop;
+    } else {
+      HETM_CHECK(in.stop == -1);
+    }
+    if (in.kind == IrKind::kLabel) {
+      HETM_CHECK(in.imm >= 0 && in.imm < fn.num_labels);
+      HETM_CHECK_MSG(!label_seen[in.imm], "duplicate label");
+      label_seen[in.imm] = true;
+    }
+  }
+  HETM_CHECK(next_stop == fn.num_stops);
+  for (const IrInstr& in : fn.instrs) {
+    if (in.kind == IrKind::kJmp || in.kind == IrKind::kJf) {
+      HETM_CHECK(in.imm >= 0 && in.imm < fn.num_labels);
+      HETM_CHECK_MSG(label_seen[in.imm], "jump to missing label");
+    }
+  }
+}
+
+std::string Disassemble(const IrFunction& fn) {
+  std::ostringstream os;
+  os << "op " << fn.name << " (params " << fn.num_params << ", cells " << fn.cells.size()
+     << ", stops " << fn.num_stops << ")\n";
+  for (size_t i = 0; i < fn.instrs.size(); ++i) {
+    const IrInstr& in = fn.instrs[i];
+    os << "  " << i << ": " << IrKindName(in.kind);
+    if (in.dst >= 0) os << " c" << in.dst;
+    if (in.a >= 0) os << " c" << in.a;
+    if (in.b >= 0) os << " c" << in.b;
+    if (in.kind == IrKind::kConstInt || in.kind == IrKind::kConstBool ||
+        in.kind == IrKind::kLabel || in.kind == IrKind::kJmp || in.kind == IrKind::kJf ||
+        in.kind == IrKind::kConstStr || in.kind == IrKind::kGetField ||
+        in.kind == IrKind::kSetField) {
+      os << " #" << in.imm;
+    }
+    if (in.kind == IrKind::kConstReal) os << " #" << in.fimm;
+    if (in.kind == IrKind::kCall) {
+      const CallSiteInfo& s = fn.call_sites[in.site];
+      os << " ." << s.op_name << " target=c" << s.target_cell;
+    }
+    if (in.kind == IrKind::kTrap) {
+      os << " " << TrapKindName(fn.trap_sites[in.site].kind);
+    }
+    if (in.HasStop()) os << " [stop " << in.stop << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetm

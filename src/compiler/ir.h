@@ -1,0 +1,198 @@
+// Machine-independent intermediate representation.
+//
+// This is Figure 2's "intermediate code level": the form all backends specialize from
+// and the form thread states are dynamically converted back into when they migrate.
+// Key properties the mobility design relies on:
+//
+//  * Bus stops are IR instructions (operation entry, invocation return points, loop
+//    bottom polls, system calls) and are numbered during IR generation, so the stop
+//    numbering is identical across architectures and optimization levels *by
+//    construction* — no cross-compiler agreement protocol is needed.
+//  * Every value that can be observed at a bus stop lives in a named cell (parameter,
+//    user variable, or compiler-generated hidden temporary). Expression temporaries
+//    that would otherwise live across a stop are materialized into cells by irgen, so
+//    a single template per operation suffices (the Emerald trick cited in §3.2).
+//  * The code-motion optimizer transforms the IR by recorded primitive transpositions
+//    (src/bridge/edit_log.h), which is what makes bridging code constructible.
+#ifndef HETM_SRC_COMPILER_IR_H_
+#define HETM_SRC_COMPILER_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/oid.h"
+#include "src/runtime/value.h"
+
+namespace hetm {
+
+enum class IrKind : uint8_t {
+  // Pure data operations (eligible for code motion when operands are cells only).
+  kConstInt,   // dst <- imm
+  kConstReal,  // dst <- fimm
+  kConstBool,  // dst <- imm (0/1)
+  kConstStr,   // dst <- string-literal OID (imm = literal pool index)
+  kConstNil,   // dst <- nil reference
+  kMov,        // dst <- a
+  kAdd, kSub, kMul, kDiv, kMod,         // Int arithmetic: dst <- a op b
+  kNeg,                                  // dst <- -a
+  kFAdd, kFSub, kFMul, kFDiv, kFNeg,    // Real arithmetic
+  kCvtIF,                                // dst(Real) <- Int a
+  kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,       // Int compare -> Bool
+  kFCmpEq, kFCmpNe, kFCmpLt, kFCmpLe, kFCmpGt, kFCmpGe, // Real compare -> Bool
+  kRCmpEq, kRCmpNe,                      // reference identity compare -> Bool
+  kNot, kAnd, kOr,                       // Bool ops
+  kGetField,   // dst <- self.field[imm]     (not motion-eligible across stops)
+  kSetField,   // self.field[imm] <- a
+  // Control flow (never reordered).
+  kLabel,      // imm = label id
+  kJmp,        // imm = label id
+  kJf,         // if !a goto imm
+  // Bus-stop-bearing instructions (never reordered relative to each other).
+  kCall,       // site = call site id; stop = bus stop number (resume point after call)
+  kTrap,       // site = trap site id; stop = bus stop number
+  kPoll,       // loop-bottom poll; stop = bus stop number
+  kMonExit,    // monitor exit: atomic REMQUE on VAX (exit-only stop), trap elsewhere;
+               // a = monitored object cell (always `self`); stop assigned
+  kRet,        // return a (or a = -1 for void); not a stop (the thread leaves the AR)
+};
+
+const char* IrKindName(IrKind kind);
+
+// True for instructions that carry a bus stop number.
+bool IsStopKind(IrKind kind);
+// True for instructions the code-motion optimizer may move across bus stops: pure
+// operations whose operands are activation-record cells only (callees cannot observe
+// or modify another activation's cells, so motion across a call is safe).
+bool IsMotionEligible(IrKind kind);
+
+enum class TrapKind : uint8_t {
+  kPrint,     // print arg0 (any kind)
+  kMoveTo,    // move object arg0 to node arg1
+  kLocate,    // result <- node of object arg0
+  kHere,      // result <- this node
+  kMonEnter,  // enter monitor of object arg0 (blocks; stop pc = retry point)
+  kConcat,    // result <- concat(arg0, arg1) (strings)
+  kStrLen,    // result <- len(arg0)
+  kStrEq,     // result <- arg0 == arg1 (string content)
+  kClockMs,   // result <- node-local simulated clock, milliseconds
+  kNewObj,    // result <- new instance of class[imm = program class index]
+  kNodeAt,    // result <- the node object with index arg0
+  kHalt,      // terminate the program (end of main)
+};
+
+const char* TrapKindName(TrapKind kind);
+
+// One invocation site. The arguments and result are cells; the kernel copies between
+// caller cells and callee parameter cells through canonical values, using the
+// templates of both sides (which is what makes trans-architecture invocation work).
+struct CallSiteInfo {
+  int target_cell = -1;             // cell holding the target reference
+  std::string op_name;              // resolved to an op index at class level
+  int op_index = -1;
+  std::vector<int> arg_cells;
+  int result_cell = -1;             // -1 when the result is unused / op returns nothing
+  // Spawned invocations start a fresh thread and never reply (`spawn e.op(...)`).
+  bool is_spawn = false;
+};
+
+struct TrapSiteInfo {
+  TrapKind kind;
+  std::vector<int> arg_cells;
+  int result_cell = -1;
+  int imm = 0;                      // kNewObj: program class index
+};
+
+// A named slot in the machine-independent activation record.
+struct CellDef {
+  std::string name;
+  ValueKind kind;
+  bool is_param = false;
+  bool is_hidden = false;  // compiler-generated temporary
+};
+
+struct IrInstr {
+  IrKind kind;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  int64_t imm = 0;
+  double fimm = 0.0;
+  int site = -1;
+  int stop = -1;
+
+  bool HasStop() const { return stop >= 0; }
+};
+
+// Live-cell bitsets, one per bus stop (indexed by stop number). Word 0 holds cells
+// 0..63. These become the per-stop template information of section 3.3.
+using LiveSet = std::vector<uint64_t>;
+
+struct IrFunction {
+  std::string name;
+  int op_index = -1;
+  std::vector<CellDef> cells;
+  int num_params = 0;
+  // Hidden cell holding the `self` reference; deposited by the kernel when the
+  // activation record is built (it has no defining IR instruction). -1 if unused.
+  int self_cell = -1;
+  bool has_result = false;
+  ValueKind result_kind = ValueKind::kInt;
+  bool monitored = false;
+
+  std::vector<IrInstr> instrs;
+  std::vector<CallSiteInfo> call_sites;
+  std::vector<TrapSiteInfo> trap_sites;
+  int num_stops = 0;    // stop numbers are 0..num_stops-1; stop 0 is operation entry
+  int num_labels = 0;
+
+  // Per-stop live cell sets, filled by ComputeLiveness. stop_live[0] covers the entry
+  // state (parameters live, everything else dead).
+  std::vector<LiveSet> stop_live;
+
+  int AddCell(const std::string& name, ValueKind kind, bool is_param, bool is_hidden);
+  bool CellLiveAtStop(int stop, int cell) const;
+};
+
+struct FieldDefIr {
+  std::string name;
+  ValueKind kind;
+};
+
+struct ClassIr {
+  std::string name;
+  bool monitored = false;
+  std::vector<FieldDefIr> fields;
+  std::vector<IrFunction> ops;
+  std::vector<std::string> string_literals;  // shared literal pool, OIDs assigned later
+
+  int FindOp(const std::string& op_name) const;
+  int FindField(const std::string& field_name) const;
+};
+
+struct ProgramIr {
+  std::vector<ClassIr> classes;  // classes.back() is the synthetic $Main class
+  int main_class = -1;           // index of $Main
+
+  int FindClass(const std::string& name) const;
+};
+
+// Appends the cells read by `in` to `uses` and returns the cell it defines (or -1).
+// Shared by liveness, the code-motion optimizer and the bridging-code generator.
+int GetUsesAndDef(const IrFunction& fn, const IrInstr& in, std::vector<int>& uses);
+
+// Computes per-bus-stop live cell sets with a standard iterative backward dataflow
+// over the instruction list (labels/jumps form the CFG). Must be re-run after the
+// code-motion optimizer reorders instructions.
+void ComputeLiveness(IrFunction& fn);
+
+// Consistency checks: stop numbers dense and in instruction order, cells in range,
+// labels resolvable. Aborts on violation (compiler bug).
+void ValidateFunction(const IrFunction& fn);
+
+// Human-readable listing for tests and debugging.
+std::string Disassemble(const IrFunction& fn);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_IR_H_

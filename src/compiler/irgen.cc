@@ -1,0 +1,854 @@
+#include "src/compiler/irgen.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+struct OpSignature {
+  std::vector<ValueKind> params;
+  bool has_result = false;
+  ValueKind result_kind = ValueKind::kInt;
+  std::string first_class;  // for error messages
+};
+
+class IrGen {
+ public:
+  explicit IrGen(const ProgramAst& ast) : ast_(ast) {}
+
+  IrGenResult Run() {
+    CollectClassesAndSignatures();
+    for (size_t ci = 0; ci < ast_.classes.size(); ++ci) {
+      const ClassAst& cls = ast_.classes[ci];
+      for (const OpAst& op : cls.ops) {
+        GenOp(static_cast<int>(ci), cls, op);
+      }
+    }
+    GenMain();
+    IrGenResult result;
+    result.program = std::move(program_);
+    result.errors = std::move(errors_);
+    if (result.ok()) {
+      for (ClassIr& cls : result.program.classes) {
+        for (IrFunction& fn : cls.ops) {
+          ValidateFunction(fn);
+          ComputeLiveness(fn);
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  // ---- program-level setup -------------------------------------------------
+
+  void CollectClassesAndSignatures() {
+    for (const ClassAst& cls : ast_.classes) {
+      if (program_.FindClass(cls.name) >= 0) {
+        Error(cls.line, "duplicate class '" + cls.name + "'");
+      }
+      ClassIr ir;
+      ir.name = cls.name;
+      ir.monitored = cls.monitored;
+      for (const FieldAst& f : cls.fields) {
+        if (ir.FindField(f.name) >= 0) {
+          Error(f.line, "duplicate field '" + f.name + "' in class " + cls.name);
+        }
+        ir.fields.push_back(FieldDefIr{f.name, f.kind});
+      }
+      program_.classes.push_back(std::move(ir));
+    }
+    // Synthetic $Main class.
+    ClassIr main_cls;
+    main_cls.name = kMainClassName;
+    program_.main_class = static_cast<int>(program_.classes.size());
+    program_.classes.push_back(std::move(main_cls));
+
+    for (const ClassAst& cls : ast_.classes) {
+      for (const OpAst& op : cls.ops) {
+        OpSignature sig;
+        for (const ParamAst& p : op.params) {
+          sig.params.push_back(p.kind);
+        }
+        sig.has_result = op.has_result;
+        sig.result_kind = op.result_kind;
+        sig.first_class = cls.name;
+        auto [it, inserted] = signatures_.emplace(op.name, sig);
+        if (!inserted) {
+          const OpSignature& prev = it->second;
+          if (prev.params != sig.params || prev.has_result != sig.has_result ||
+              (sig.has_result && prev.result_kind != sig.result_kind)) {
+            Error(op.line, "operation '" + op.name + "' in class " + cls.name +
+                               " conflicts with the signature declared in class " +
+                               prev.first_class +
+                               " (operation names carry program-global signatures)");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- per-op state --------------------------------------------------------
+
+  void BeginOp(IrFunction& fn) {
+    fn_ = &fn;
+    scopes_.clear();
+    scopes_.emplace_back();
+    next_stop_ = 1;
+  }
+
+  int NewLabel() { return fn_->num_labels++; }
+
+  IrInstr& Emit(IrKind kind) {
+    fn_->instrs.push_back(IrInstr{});
+    IrInstr& in = fn_->instrs.back();
+    in.kind = kind;
+    if (IsStopKind(kind)) {
+      in.stop = next_stop_++;
+    }
+    return in;
+  }
+
+  int NewTemp(ValueKind kind) {
+    return fn_->AddCell("$t" + std::to_string(fn_->cells.size()), kind, false, true);
+  }
+
+  int SelfCell() {
+    if (fn_->self_cell < 0) {
+      fn_->self_cell = fn_->AddCell("$self", ValueKind::kRef, false, true);
+    }
+    return fn_->self_cell;
+  }
+
+  int LookupLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return -1;
+  }
+
+  void Error(int line, const std::string& msg) {
+    errors_.push_back("line " + std::to_string(line) + ": " + msg);
+  }
+
+  int AddStringLiteral(ClassIr& cls, const std::string& s) {
+    for (size_t i = 0; i < cls.string_literals.size(); ++i) {
+      if (cls.string_literals[i] == s) {
+        return static_cast<int>(i);
+      }
+    }
+    cls.string_literals.push_back(s);
+    return static_cast<int>(cls.string_literals.size()) - 1;
+  }
+
+  // ---- operations ----------------------------------------------------------
+
+  void GenOp(int class_index, const ClassAst& cls_ast, const OpAst& op) {
+    ClassIr& cls = program_.classes[class_index];
+    if (cls.FindOp(op.name) >= 0) {
+      Error(op.line, "duplicate operation '" + op.name + "' in class " + cls.name);
+      return;
+    }
+    cls.ops.push_back(IrFunction{});
+    IrFunction& fn = cls.ops.back();
+    fn.name = op.name;
+    fn.op_index = static_cast<int>(cls.ops.size()) - 1;
+    fn.has_result = op.has_result;
+    fn.result_kind = op.result_kind;
+    fn.monitored = cls_ast.monitored;
+
+    BeginOp(fn);
+    class_index_ = class_index;
+    for (const ParamAst& p : op.params) {
+      if (LookupLocal(p.name) >= 0) {
+        Error(op.line, "duplicate parameter '" + p.name + "'");
+      }
+      int cell = fn.AddCell(p.name, p.kind, true, false);
+      scopes_.back()[p.name] = cell;
+    }
+    fn.num_params = static_cast<int>(op.params.size());
+
+    if (fn.monitored) {
+      // Monitor entry on the way in; every exit path unlocks before returning.
+      TrapSiteInfo site;
+      site.kind = TrapKind::kMonEnter;
+      site.arg_cells = {SelfCell()};
+      EmitTrap(std::move(site));
+    }
+
+    GenBlock(op.body);
+    EmitImplicitReturn();
+    fn.num_stops = next_stop_;
+  }
+
+  void GenMain() {
+    ClassIr& cls = program_.classes[program_.main_class];
+    cls.ops.push_back(IrFunction{});
+    IrFunction& fn = cls.ops.back();
+    fn.name = kMainOpName;
+    fn.op_index = 0;
+    BeginOp(fn);
+    class_index_ = program_.main_class;
+    GenBlock(ast_.main_body);
+    EmitImplicitReturn();
+    fn.num_stops = next_stop_;
+  }
+
+  void EmitMonExitIfNeeded() {
+    if (fn_->monitored) {
+      IrInstr& in = Emit(IrKind::kMonExit);
+      in.a = SelfCell();
+    }
+  }
+
+  void EmitImplicitReturn() {
+    EmitMonExitIfNeeded();
+    if (fn_->has_result) {
+      int zero = DefaultValue(fn_->result_kind, 0);
+      IrInstr& in = Emit(IrKind::kRet);
+      in.a = zero;
+    } else {
+      Emit(IrKind::kRet);
+    }
+  }
+
+  // Emits the default (zero/nil/empty) value of `kind` into a fresh cell.
+  int DefaultValue(ValueKind kind, int line) {
+    int cell = NewTemp(kind);
+    switch (kind) {
+      case ValueKind::kInt: {
+        IrInstr& in = Emit(IrKind::kConstInt);
+        in.dst = cell;
+        in.imm = 0;
+        break;
+      }
+      case ValueKind::kReal: {
+        IrInstr& in = Emit(IrKind::kConstReal);
+        in.dst = cell;
+        in.fimm = 0.0;
+        break;
+      }
+      case ValueKind::kBool: {
+        IrInstr& in = Emit(IrKind::kConstBool);
+        in.dst = cell;
+        in.imm = 0;
+        break;
+      }
+      case ValueKind::kStr: {
+        IrInstr& in = Emit(IrKind::kConstStr);
+        in.dst = cell;
+        in.imm = AddStringLiteral(program_.classes[class_index_], "");
+        break;
+      }
+      case ValueKind::kRef:
+      case ValueKind::kNode: {
+        IrInstr& in = Emit(IrKind::kConstNil);
+        in.dst = cell;
+        break;
+      }
+    }
+    (void)line;
+    return cell;
+  }
+
+  int EmitTrap(TrapSiteInfo site) {
+    fn_->trap_sites.push_back(std::move(site));
+    IrInstr& in = Emit(IrKind::kTrap);
+    in.site = static_cast<int>(fn_->trap_sites.size()) - 1;
+    return in.site;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  void GenBlock(const std::vector<StmtPtr>& stmts) {
+    scopes_.emplace_back();
+    for (const StmtPtr& s : stmts) {
+      GenStmt(*s);
+    }
+    scopes_.pop_back();
+  }
+
+  void GenStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kVarDecl: {
+        if (scopes_.back().count(stmt.name) != 0) {
+          Error(stmt.line, "duplicate variable '" + stmt.name + "'");
+          return;
+        }
+        int cell = fn_->AddCell(stmt.name, stmt.decl_kind, false, false);
+        scopes_.back()[stmt.name] = cell;
+        if (stmt.expr != nullptr) {
+          auto [src, kind] = EvalCoerced(*stmt.expr, stmt.decl_kind, stmt.line, cell);
+          if (src != cell) {
+            IrInstr& in = Emit(IrKind::kMov);
+            in.dst = cell;
+            in.a = src;
+          }
+          (void)kind;
+        } else {
+          int def = DefaultValue(stmt.decl_kind, stmt.line);
+          IrInstr& in = Emit(IrKind::kMov);
+          in.dst = cell;
+          in.a = def;
+        }
+        return;
+      }
+      case StmtKind::kAssign: {
+        int local = LookupLocal(stmt.name);
+        if (local >= 0) {
+          ValueKind kind = fn_->cells[local].kind;
+          auto [src, k] = EvalCoerced(*stmt.expr, kind, stmt.line, local);
+          (void)k;
+          if (src != local) {
+            IrInstr& in = Emit(IrKind::kMov);
+            in.dst = local;
+            in.a = src;
+          }
+          return;
+        }
+        int field = program_.classes[class_index_].FindField(stmt.name);
+        if (field >= 0) {
+          ValueKind kind = program_.classes[class_index_].fields[field].kind;
+          auto [src, k] = EvalCoerced(*stmt.expr, kind, stmt.line, -1);
+          (void)k;
+          IrInstr& in = Emit(IrKind::kSetField);
+          in.a = src;
+          in.imm = field;
+          return;
+        }
+        Error(stmt.line, "unknown variable or field '" + stmt.name + "'");
+        return;
+      }
+      case StmtKind::kIf: {
+        int end_label = NewLabel();
+        for (const IfArm& arm : stmt.arms) {
+          int next_label = NewLabel();
+          auto [cond, kind] = Eval(*arm.cond, -1);
+          if (kind != ValueKind::kBool) {
+            Error(stmt.line, "condition must be Bool");
+          }
+          IrInstr& jf = Emit(IrKind::kJf);
+          jf.a = cond;
+          jf.imm = next_label;
+          GenBlock(arm.body);
+          IrInstr& jmp = Emit(IrKind::kJmp);
+          jmp.imm = end_label;
+          IrInstr& lbl = Emit(IrKind::kLabel);
+          lbl.imm = next_label;
+        }
+        GenBlock(stmt.else_body);
+        IrInstr& lbl = Emit(IrKind::kLabel);
+        lbl.imm = end_label;
+        return;
+      }
+      case StmtKind::kWhile: {
+        int head = NewLabel();
+        int exit = NewLabel();
+        IrInstr& hl = Emit(IrKind::kLabel);
+        hl.imm = head;
+        auto [cond, kind] = Eval(*stmt.expr, -1);
+        if (kind != ValueKind::kBool) {
+          Error(stmt.line, "loop condition must be Bool");
+        }
+        IrInstr& jf = Emit(IrKind::kJf);
+        jf.a = cond;
+        jf.imm = exit;
+        GenBlock(stmt.body);
+        // Loop-bottom poll: the bus stop that lets the runtime gain control inside
+        // loops (section 3.2's "bottom of loops").
+        Emit(IrKind::kPoll);
+        IrInstr& jmp = Emit(IrKind::kJmp);
+        jmp.imm = head;
+        IrInstr& el = Emit(IrKind::kLabel);
+        el.imm = exit;
+        return;
+      }
+      case StmtKind::kReturn: {
+        if (fn_->has_result) {
+          if (stmt.expr == nullptr) {
+            Error(stmt.line, "operation must return a value");
+            return;
+          }
+          auto [src, k] = EvalCoerced(*stmt.expr, fn_->result_kind, stmt.line, -1);
+          (void)k;
+          EmitMonExitIfNeeded();
+          IrInstr& in = Emit(IrKind::kRet);
+          in.a = src;
+        } else {
+          if (stmt.expr != nullptr) {
+            Error(stmt.line, "operation has no result type");
+          }
+          EmitMonExitIfNeeded();
+          Emit(IrKind::kRet);
+        }
+        return;
+      }
+      case StmtKind::kMove: {
+        auto [obj, ok] = Eval(*stmt.expr, -1);
+        if (!IsReference(ok)) {
+          Error(stmt.line, "move source must be an object reference");
+        }
+        auto [node, nk] = Eval(*stmt.expr2, -1);
+        if (nk != ValueKind::kNode) {
+          Error(stmt.line, "move destination must be a Node");
+        }
+        TrapSiteInfo site;
+        site.kind = TrapKind::kMoveTo;
+        site.arg_cells = {obj, node};
+        EmitTrap(std::move(site));
+        return;
+      }
+      case StmtKind::kPrint: {
+        auto [val, kind] = Eval(*stmt.expr, -1);
+        (void)kind;
+        TrapSiteInfo site;
+        site.kind = TrapKind::kPrint;
+        site.arg_cells = {val};
+        EmitTrap(std::move(site));
+        return;
+      }
+      case StmtKind::kExpr: {
+        EvalForEffect(*stmt.expr);
+        return;
+      }
+      case StmtKind::kSpawn: {
+        GenInvoke(*stmt.expr, /*want_result=*/false, -1, /*is_spawn=*/true);
+        return;
+      }
+    }
+  }
+
+  // ---- expressions ---------------------------------------------------------
+
+  using TypedCell = std::pair<int, ValueKind>;
+
+  // Evaluates an expression whose value is discarded. Invocations skip the result
+  // cell; other expressions are still evaluated for their (possible) traps.
+  void EvalForEffect(const Expr& e) {
+    if (e.kind == ExprKind::kInvoke) {
+      GenInvoke(e, /*want_result=*/false, -1, /*is_spawn=*/false);
+      return;
+    }
+    Eval(e, -1);
+  }
+
+  // Evaluates `e` and coerces the result to `want` (inserting Int->Real conversion),
+  // reporting an error on kind mismatch. `dst_hint` may name a cell of kind `want`
+  // that the value should be produced into if convenient.
+  TypedCell EvalCoerced(const Expr& e, ValueKind want, int line, int dst_hint) {
+    // `nil` adopts any reference kind.
+    if (e.kind == ExprKind::kNilLit && IsReference(want)) {
+      int cell = dst_hint >= 0 ? dst_hint : NewTemp(want);
+      IrInstr& in = Emit(IrKind::kConstNil);
+      in.dst = cell;
+      return {cell, want};
+    }
+    auto [cell, kind] = Eval(e, want == ValueKind::kReal ? -1 : dst_hint);
+    if (kind == want) {
+      return {cell, kind};
+    }
+    if (want == ValueKind::kReal && kind == ValueKind::kInt) {
+      int out = dst_hint >= 0 ? dst_hint : NewTemp(ValueKind::kReal);
+      IrInstr& in = Emit(IrKind::kCvtIF);
+      in.dst = out;
+      in.a = cell;
+      return {out, ValueKind::kReal};
+    }
+    // `Ref` accepts any reference (it is the universal object type).
+    if (want == ValueKind::kRef && IsReference(kind)) {
+      return {cell, kind};
+    }
+    Error(line, std::string("expected ") + ValueKindName(want) + " but expression has kind " +
+                    ValueKindName(kind));
+    return {cell, kind};
+  }
+
+  TypedCell Eval(const Expr& e, int dst_hint) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        int cell = UseHint(dst_hint, ValueKind::kInt);
+        IrInstr& in = Emit(IrKind::kConstInt);
+        in.dst = cell;
+        in.imm = e.int_value;
+        return {cell, ValueKind::kInt};
+      }
+      case ExprKind::kRealLit: {
+        int cell = UseHint(dst_hint, ValueKind::kReal);
+        IrInstr& in = Emit(IrKind::kConstReal);
+        in.dst = cell;
+        in.fimm = e.real_value;
+        return {cell, ValueKind::kReal};
+      }
+      case ExprKind::kBoolLit: {
+        int cell = UseHint(dst_hint, ValueKind::kBool);
+        IrInstr& in = Emit(IrKind::kConstBool);
+        in.dst = cell;
+        in.imm = e.int_value;
+        return {cell, ValueKind::kBool};
+      }
+      case ExprKind::kStrLit: {
+        int cell = UseHint(dst_hint, ValueKind::kStr);
+        IrInstr& in = Emit(IrKind::kConstStr);
+        in.dst = cell;
+        in.imm = AddStringLiteral(program_.classes[class_index_], e.text);
+        return {cell, ValueKind::kStr};
+      }
+      case ExprKind::kNilLit: {
+        int cell = UseHint(dst_hint, ValueKind::kRef);
+        IrInstr& in = Emit(IrKind::kConstNil);
+        in.dst = cell;
+        return {cell, ValueKind::kRef};
+      }
+      case ExprKind::kSelf: {
+        return {SelfCell(), ValueKind::kRef};
+      }
+      case ExprKind::kName: {
+        int local = LookupLocal(e.text);
+        if (local >= 0) {
+          return {local, fn_->cells[local].kind};
+        }
+        int field = program_.classes[class_index_].FindField(e.text);
+        if (field >= 0) {
+          ValueKind kind = program_.classes[class_index_].fields[field].kind;
+          int cell = UseHint(dst_hint, kind);
+          IrInstr& in = Emit(IrKind::kGetField);
+          in.dst = cell;
+          in.imm = field;
+          return {cell, kind};
+        }
+        Error(e.line, "unknown variable or field '" + e.text + "'");
+        return {DefaultValue(ValueKind::kInt, e.line), ValueKind::kInt};
+      }
+      case ExprKind::kUnary: {
+        auto [a, kind] = Eval(*e.lhs, -1);
+        if (e.unary_op == '-') {
+          if (kind == ValueKind::kInt) {
+            int cell = UseHint(dst_hint, ValueKind::kInt);
+            IrInstr& in = Emit(IrKind::kNeg);
+            in.dst = cell;
+            in.a = a;
+            return {cell, ValueKind::kInt};
+          }
+          if (kind == ValueKind::kReal) {
+            int cell = UseHint(dst_hint, ValueKind::kReal);
+            IrInstr& in = Emit(IrKind::kFNeg);
+            in.dst = cell;
+            in.a = a;
+            return {cell, ValueKind::kReal};
+          }
+          Error(e.line, "unary '-' needs Int or Real");
+          return {a, kind};
+        }
+        if (kind != ValueKind::kBool) {
+          Error(e.line, "'not' needs Bool");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kBool);
+        IrInstr& in = Emit(IrKind::kNot);
+        in.dst = cell;
+        in.a = a;
+        return {cell, ValueKind::kBool};
+      }
+      case ExprKind::kBinary:
+        return GenBinary(e, dst_hint);
+      case ExprKind::kInvoke:
+        return GenInvoke(e, /*want_result=*/true, dst_hint, /*is_spawn=*/false);
+      case ExprKind::kNew: {
+        int class_index = program_.FindClass(e.text);
+        if (class_index < 0) {
+          Error(e.line, "unknown class '" + e.text + "'");
+          class_index = 0;
+        }
+        int cell = UseHint(dst_hint, ValueKind::kRef);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kNewObj;
+        site.result_cell = cell;
+        site.imm = class_index;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kRef};
+      }
+      case ExprKind::kBuiltin:
+        return GenBuiltin(e, dst_hint);
+    }
+    HETM_UNREACHABLE("bad ExprKind");
+  }
+
+  int UseHint(int dst_hint, ValueKind kind) {
+    if (dst_hint >= 0 && fn_->cells[dst_hint].kind == kind) {
+      return dst_hint;
+    }
+    return NewTemp(kind);
+  }
+
+  TypedCell GenBinary(const Expr& e, int dst_hint) {
+    // `and`/`or` evaluate both sides (no short circuit); the simple kinds make this
+    // cheap and it keeps the IR free of extra control flow.
+    auto [a, ak] = Eval(*e.lhs, -1);
+    auto [b, bk] = Eval(*e.rhs, -1);
+    auto arith = [&](IrKind int_kind, IrKind real_kind) -> TypedCell {
+      if (ak == ValueKind::kInt && bk == ValueKind::kInt) {
+        int cell = UseHint(dst_hint, ValueKind::kInt);
+        IrInstr& in = Emit(int_kind);
+        in.dst = cell;
+        in.a = a;
+        in.b = b;
+        return {cell, ValueKind::kInt};
+      }
+      int fa = CoerceToReal(a, ak, e.line);
+      int fb = CoerceToReal(b, bk, e.line);
+      if (real_kind == IrKind::kLabel) {  // sentinel: no Real form (mod)
+        Error(e.line, "'%' needs Int operands");
+        return {a, ValueKind::kInt};
+      }
+      int cell = UseHint(dst_hint, ValueKind::kReal);
+      IrInstr& in = Emit(real_kind);
+      in.dst = cell;
+      in.a = fa;
+      in.b = fb;
+      return {cell, ValueKind::kReal};
+    };
+    auto compare = [&](IrKind int_kind, IrKind real_kind) -> TypedCell {
+      int cell = UseHint(dst_hint, ValueKind::kBool);
+      if (ak == ValueKind::kInt && bk == ValueKind::kInt) {
+        IrInstr& in = Emit(int_kind);
+        in.dst = cell;
+        in.a = a;
+        in.b = b;
+      } else if (ak == ValueKind::kBool && bk == ValueKind::kBool &&
+                 (int_kind == IrKind::kCmpEq || int_kind == IrKind::kCmpNe)) {
+        IrInstr& in = Emit(int_kind);
+        in.dst = cell;
+        in.a = a;
+        in.b = b;
+      } else if (ak == ValueKind::kStr && bk == ValueKind::kStr) {
+        if (int_kind != IrKind::kCmpEq && int_kind != IrKind::kCmpNe) {
+          Error(e.line, "strings support only == and !=");
+        }
+        TrapSiteInfo site;
+        site.kind = TrapKind::kStrEq;
+        site.arg_cells = {a, b};
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        if (int_kind == IrKind::kCmpNe) {
+          int inv = NewTemp(ValueKind::kBool);
+          IrInstr& in = Emit(IrKind::kNot);
+          in.dst = inv;
+          in.a = cell;
+          return {inv, ValueKind::kBool};
+        }
+      } else if (IsReference(ak) && IsReference(bk)) {
+        if (int_kind != IrKind::kCmpEq && int_kind != IrKind::kCmpNe) {
+          Error(e.line, "references support only == and !=");
+        }
+        IrInstr& in =
+            Emit(int_kind == IrKind::kCmpEq ? IrKind::kRCmpEq : IrKind::kRCmpNe);
+        in.dst = cell;
+        in.a = a;
+        in.b = b;
+      } else {
+        int fa = CoerceToReal(a, ak, e.line);
+        int fb = CoerceToReal(b, bk, e.line);
+        IrInstr& in = Emit(real_kind);
+        in.dst = cell;
+        in.a = fa;
+        in.b = fb;
+      }
+      return {cell, ValueKind::kBool};
+    };
+    switch (e.bin_op) {
+      case BinOp::kAdd: return arith(IrKind::kAdd, IrKind::kFAdd);
+      case BinOp::kSub: return arith(IrKind::kSub, IrKind::kFSub);
+      case BinOp::kMul: return arith(IrKind::kMul, IrKind::kFMul);
+      case BinOp::kDiv: return arith(IrKind::kDiv, IrKind::kFDiv);
+      case BinOp::kMod: return arith(IrKind::kMod, IrKind::kLabel);
+      case BinOp::kEq: return compare(IrKind::kCmpEq, IrKind::kFCmpEq);
+      case BinOp::kNe: return compare(IrKind::kCmpNe, IrKind::kFCmpNe);
+      case BinOp::kLt: return compare(IrKind::kCmpLt, IrKind::kFCmpLt);
+      case BinOp::kLe: return compare(IrKind::kCmpLe, IrKind::kFCmpLe);
+      case BinOp::kGt: return compare(IrKind::kCmpGt, IrKind::kFCmpGt);
+      case BinOp::kGe: return compare(IrKind::kCmpGe, IrKind::kFCmpGe);
+      case BinOp::kAnd:
+      case BinOp::kOr: {
+        if (ak != ValueKind::kBool || bk != ValueKind::kBool) {
+          Error(e.line, "'and'/'or' need Bool operands");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kBool);
+        IrInstr& in = Emit(e.bin_op == BinOp::kAnd ? IrKind::kAnd : IrKind::kOr);
+        in.dst = cell;
+        in.a = a;
+        in.b = b;
+        return {cell, ValueKind::kBool};
+      }
+    }
+    HETM_UNREACHABLE("bad BinOp");
+  }
+
+  int CoerceToReal(int cell, ValueKind kind, int line) {
+    if (kind == ValueKind::kReal) {
+      return cell;
+    }
+    if (kind != ValueKind::kInt) {
+      Error(line, "numeric operand expected");
+      return cell;
+    }
+    int out = NewTemp(ValueKind::kReal);
+    IrInstr& in = Emit(IrKind::kCvtIF);
+    in.dst = out;
+    in.a = cell;
+    return out;
+  }
+
+  TypedCell GenInvoke(const Expr& e, bool want_result, int dst_hint, bool is_spawn) {
+    auto sig_it = signatures_.find(e.text);
+    if (sig_it == signatures_.end()) {
+      Error(e.line, "no class declares an operation named '" + e.text + "'");
+      return {DefaultValue(ValueKind::kInt, e.line), ValueKind::kInt};
+    }
+    const OpSignature& sig = sig_it->second;
+    if (sig.params.size() != e.args.size()) {
+      Error(e.line, "operation '" + e.text + "' expects " +
+                        std::to_string(sig.params.size()) + " argument(s)");
+      return {DefaultValue(ValueKind::kInt, e.line), ValueKind::kInt};
+    }
+    auto [target, tk] = Eval(*e.lhs, -1);
+    if (!IsReference(tk)) {
+      Error(e.line, "invocation target must be an object reference");
+    }
+    CallSiteInfo site;
+    site.op_name = e.text;
+    site.is_spawn = is_spawn;
+    site.target_cell = target;
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      auto [arg, k] = EvalCoerced(*e.args[i], sig.params[i], e.line, -1);
+      (void)k;
+      site.arg_cells.push_back(arg);
+    }
+    ValueKind result_kind = sig.has_result ? sig.result_kind : ValueKind::kInt;
+    if (want_result) {
+      if (!sig.has_result) {
+        Error(e.line, "operation '" + e.text + "' returns no value");
+      }
+      site.result_cell = UseHint(dst_hint, result_kind);
+    }
+    int result = site.result_cell;
+    fn_->call_sites.push_back(std::move(site));
+    IrInstr& in = Emit(IrKind::kCall);
+    in.site = static_cast<int>(fn_->call_sites.size()) - 1;
+    if (result < 0) {
+      return {DefaultValue(ValueKind::kInt, e.line), ValueKind::kInt};
+    }
+    return {result, result_kind};
+  }
+
+  TypedCell GenBuiltin(const Expr& e, int dst_hint) {
+    switch (e.builtin) {
+      case Builtin::kLocate: {
+        auto [obj, kind] = Eval(*e.args[0], -1);
+        if (!IsReference(kind)) {
+          Error(e.line, "locate() needs an object reference");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kNode);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kLocate;
+        site.arg_cells = {obj};
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kNode};
+      }
+      case Builtin::kHere: {
+        int cell = UseHint(dst_hint, ValueKind::kNode);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kHere;
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kNode};
+      }
+      case Builtin::kConcat: {
+        auto [a, ak] = Eval(*e.args[0], -1);
+        auto [b, bk] = Eval(*e.args[1], -1);
+        if (ak != ValueKind::kStr || bk != ValueKind::kStr) {
+          Error(e.line, "concat() needs String arguments");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kStr);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kConcat;
+        site.arg_cells = {a, b};
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kStr};
+      }
+      case Builtin::kLen: {
+        auto [s, kind] = Eval(*e.args[0], -1);
+        if (kind != ValueKind::kStr) {
+          Error(e.line, "len() needs a String");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kInt);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kStrLen;
+        site.arg_cells = {s};
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kInt};
+      }
+      case Builtin::kClockMs: {
+        int cell = UseHint(dst_hint, ValueKind::kInt);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kClockMs;
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kInt};
+      }
+      case Builtin::kNodeAt: {
+        auto [a, kind] = Eval(*e.args[0], -1);
+        if (kind != ValueKind::kInt) {
+          Error(e.line, "nodeat() needs an Int");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kNode);
+        TrapSiteInfo site;
+        site.kind = TrapKind::kNodeAt;
+        site.arg_cells = {a};
+        site.result_cell = cell;
+        EmitTrap(std::move(site));
+        return {cell, ValueKind::kNode};
+      }
+      case Builtin::kReal: {
+        auto [a, kind] = Eval(*e.args[0], -1);
+        if (kind == ValueKind::kReal) {
+          return {a, kind};
+        }
+        if (kind != ValueKind::kInt) {
+          Error(e.line, "real() needs an Int");
+        }
+        int cell = UseHint(dst_hint, ValueKind::kReal);
+        IrInstr& in = Emit(IrKind::kCvtIF);
+        in.dst = cell;
+        in.a = a;
+        return {cell, ValueKind::kReal};
+      }
+    }
+    HETM_UNREACHABLE("bad Builtin");
+  }
+
+  const ProgramAst& ast_;
+  ProgramIr program_;
+  std::vector<std::string> errors_;
+  std::unordered_map<std::string, OpSignature> signatures_;
+
+  IrFunction* fn_ = nullptr;
+  int class_index_ = -1;
+  int next_stop_ = 1;
+  std::vector<std::map<std::string, int>> scopes_;
+};
+
+}  // namespace
+
+IrGenResult GenerateIr(const ProgramAst& ast) { return IrGen(ast).Run(); }
+
+}  // namespace hetm

@@ -1,0 +1,38 @@
+// AST -> IR lowering with type checking.
+//
+// Typing rules: variables, fields and parameters are statically kinded. Operation
+// names are program-global signatures — every class declaring an op `visit` must give
+// it the same parameter/result kinds — which lets invocations through untyped `Ref`
+// values be statically kinded while the op *index* is still resolved per-class at
+// invocation time by the kernel (Emerald's abstract-type flavour, reduced to names).
+//
+// Lowering guarantees the properties the mobility machinery needs (see ir.h): all
+// values observable at bus stops live in cells, stops are numbered in code order, and
+// monitored classes are wrapped in monenter/monexit traps (monexit compiles to the
+// atomic REMQUE on the VAX).
+#ifndef HETM_SRC_COMPILER_IRGEN_H_
+#define HETM_SRC_COMPILER_IRGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ast.h"
+#include "src/compiler/ir.h"
+
+namespace hetm {
+
+struct IrGenResult {
+  ProgramIr program;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+IrGenResult GenerateIr(const ProgramAst& ast);
+
+// Name of the synthetic class wrapping the `main` block.
+inline constexpr const char* kMainClassName = "$Main";
+inline constexpr const char* kMainOpName = "main";
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_IRGEN_H_

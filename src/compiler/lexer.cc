@@ -1,0 +1,269 @@
+#include "src/compiler/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace hetm {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, Tok>{
+      {"class", Tok::kClass},   {"monitor", Tok::kMonitor}, {"var", Tok::kVar},
+      {"op", Tok::kOp},         {"end", Tok::kEnd},         {"main", Tok::kMain},
+      {"if", Tok::kIf},         {"then", Tok::kThen},       {"elseif", Tok::kElseif},
+      {"else", Tok::kElse},     {"while", Tok::kWhile},     {"do", Tok::kDo},
+      {"return", Tok::kReturn}, {"move", Tok::kMove},       {"to", Tok::kTo},
+      {"print", Tok::kPrint},   {"new", Tok::kNew},         {"self", Tok::kSelf},
+      {"spawn", Tok::kSpawn},
+      {"true", Tok::kTrue},     {"false", Tok::kFalse},     {"nil", Tok::kNil},
+      {"and", Tok::kAnd},       {"or", Tok::kOr},           {"not", Tok::kNot},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kRealLit: return "real literal";
+    case Tok::kStrLit: return "string literal";
+    case Tok::kClass: return "'class'";
+    case Tok::kMonitor: return "'monitor'";
+    case Tok::kVar: return "'var'";
+    case Tok::kOp: return "'op'";
+    case Tok::kEnd: return "'end'";
+    case Tok::kMain: return "'main'";
+    case Tok::kIf: return "'if'";
+    case Tok::kThen: return "'then'";
+    case Tok::kElseif: return "'elseif'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kDo: return "'do'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kMove: return "'move'";
+    case Tok::kTo: return "'to'";
+    case Tok::kPrint: return "'print'";
+    case Tok::kNew: return "'new'";
+    case Tok::kSelf: return "'self'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kNil: return "'nil'";
+    case Tok::kSpawn: return "'spawn'";
+    case Tok::kAnd: return "'and'";
+    case Tok::kOr: return "'or'";
+    case Tok::kNot: return "'not'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kComma: return "','";
+    case Tok::kColon: return "':'";
+    case Tok::kDot: return "'.'";
+    case Tok::kAssign: return "':='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kBang: return "'!'";
+  }
+  return "?";
+}
+
+LexResult Lex(const std::string& source) {
+  LexResult result;
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  const size_t n = source.size();
+
+  auto peek = [&](size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() -> char {
+    char c = source[i++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  };
+  auto error = [&](const std::string& msg) {
+    result.errors.push_back("line " + std::to_string(line) + ": " + msg);
+  };
+  auto push = [&](Tok kind, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.line = tline;
+    t.col = tcol;
+    result.tokens.push_back(std::move(t));
+    return &result.tokens.back();
+  };
+
+  while (i < n) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') {
+        advance();
+      }
+      continue;
+    }
+    int tline = line;
+    int tcol = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+                       peek() == '$')) {
+        word.push_back(advance());
+      }
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        push(it->second, tline, tcol);
+      } else {
+        Token* t = push(Tok::kIdent, tline, tcol);
+        t->text = std::move(word);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(advance());
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_real = true;
+        num.push_back(advance());
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(advance());
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_real = true;
+        num.push_back(advance());
+        if (peek() == '+' || peek() == '-') {
+          num.push_back(advance());
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(advance());
+        }
+      }
+      if (is_real) {
+        Token* t = push(Tok::kRealLit, tline, tcol);
+        t->real_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        Token* t = push(Tok::kIntLit, tline, tcol);
+        t->int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        char ch = advance();
+        if (ch == '"') {
+          closed = true;
+          break;
+        }
+        if (ch == '\\') {
+          char esc = i < n ? advance() : '\0';
+          switch (esc) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case '"': s.push_back('"'); break;
+            case '\\': s.push_back('\\'); break;
+            default: error("bad escape sequence"); break;
+          }
+        } else {
+          s.push_back(ch);
+        }
+      }
+      if (!closed) {
+        error("unterminated string literal");
+      }
+      Token* t = push(Tok::kStrLit, tline, tcol);
+      t->text = std::move(s);
+      continue;
+    }
+    advance();
+    switch (c) {
+      case '(': push(Tok::kLParen, tline, tcol); break;
+      case ')': push(Tok::kRParen, tline, tcol); break;
+      case ',': push(Tok::kComma, tline, tcol); break;
+      case '.': push(Tok::kDot, tline, tcol); break;
+      case '+': push(Tok::kPlus, tline, tcol); break;
+      case '-': push(Tok::kMinus, tline, tcol); break;
+      case '*': push(Tok::kStar, tline, tcol); break;
+      case '/': push(Tok::kSlash, tline, tcol); break;
+      case '%': push(Tok::kPercent, tline, tcol); break;
+      case ':':
+        if (peek() == '=') {
+          advance();
+          push(Tok::kAssign, tline, tcol);
+        } else {
+          push(Tok::kColon, tline, tcol);
+        }
+        break;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          push(Tok::kEq, tline, tcol);
+        } else {
+          error("single '=' (use ':=' for assignment, '==' for comparison)");
+        }
+        break;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          push(Tok::kNe, tline, tcol);
+        } else {
+          push(Tok::kBang, tline, tcol);
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          push(Tok::kLe, tline, tcol);
+        } else {
+          push(Tok::kLt, tline, tcol);
+        }
+        break;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          push(Tok::kGe, tline, tcol);
+        } else {
+          push(Tok::kGt, tline, tcol);
+        }
+        break;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  eof.col = col;
+  result.tokens.push_back(eof);
+  return result;
+}
+
+}  // namespace hetm

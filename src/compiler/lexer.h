@@ -1,0 +1,22 @@
+// Hand-written lexer. Comments run from "//" to end of line. String literals use
+// double quotes with \n \t \" \\ escapes.
+#ifndef HETM_SRC_COMPILER_LEXER_H_
+#define HETM_SRC_COMPILER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/token.h"
+
+namespace hetm {
+
+struct LexResult {
+  std::vector<Token> tokens;   // always terminated with a kEof token
+  std::vector<std::string> errors;
+};
+
+LexResult Lex(const std::string& source);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_LEXER_H_

@@ -1,0 +1,87 @@
+#include "src/compiler/optimizer.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+bool Conflicts(const IrFunction& fn, const IrInstr& x, const IrInstr& y) {
+  std::vector<int> ux, uy;
+  int dx = GetUsesAndDef(fn, x, ux);
+  int dy = GetUsesAndDef(fn, y, uy);
+  if (dx >= 0) {
+    if (dx == dy) {
+      return true;  // WAW
+    }
+    if (std::find(uy.begin(), uy.end(), dx) != uy.end()) {
+      return true;  // RAW / WAR depending on order
+    }
+  }
+  if (dy >= 0 && std::find(ux.begin(), ux.end(), dy) != ux.end()) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CanTranspose(const IrFunction& fn, const IrInstr& first, const IrInstr& second) {
+  // Exactly one of the two must be a movable pure op; the other must be a bus stop
+  // (the interesting motion) or another pure op. Control flow never participates.
+  bool first_pure = IsMotionEligible(first.kind);
+  bool second_pure = IsMotionEligible(second.kind);
+  if (!first_pure && !second_pure) {
+    return false;
+  }
+  auto passable = [](const IrInstr& in) {
+    return IsMotionEligible(in.kind) || IsStopKind(in.kind);
+  };
+  if (!passable(first) || !passable(second)) {
+    return false;
+  }
+  return !Conflicts(fn, first, second);
+}
+
+ScheduleResult ScheduleFunction(const IrFunction& base) {
+  ScheduleResult result;
+  result.fn = base;
+  IrFunction& fn = result.fn;
+  const int n = static_cast<int>(fn.instrs.size());
+  result.perm.resize(n);
+  for (int i = 0; i < n; ++i) {
+    result.perm[i] = i;
+  }
+
+  // Deterministic hoisting pass: a movable pure op directly below a bus stop it does
+  // not depend on is executed before it instead. This is the paper's "code motion to
+  // change lifetimes of values": work that followed an invocation in the canonical
+  // order runs before it in the optimized order.
+  //
+  // Each op crosses AT MOST ONE bus stop. That restriction is what keeps positional
+  // bridging sound in both directions: at any suspension stop s, the extra operations
+  // an optimized instance has already executed are exactly a run of pure ops
+  // base-adjacent to s, so the bridge between schedules consists of pure operations
+  // only and the entry point never skips an unexecuted stop (see src/bridge).
+  for (int i = 1; i < n; ++i) {
+    int j = i;
+    int stops_crossed = 0;
+    while (j > 0 && stops_crossed < 1 && IsMotionEligible(fn.instrs[j].kind) &&
+           IsStopKind(fn.instrs[j - 1].kind) &&
+           CanTranspose(fn, fn.instrs[j - 1], fn.instrs[j])) {
+      std::swap(fn.instrs[j - 1], fn.instrs[j]);
+      std::swap(result.perm[j - 1], result.perm[j]);
+      result.transposes.push_back(j - 1);
+      --j;
+      ++stops_crossed;
+    }
+  }
+
+  ValidateFunction(fn);
+  ComputeLiveness(fn);
+  return result;
+}
+
+}  // namespace hetm

@@ -1,0 +1,40 @@
+// Code-motion optimizer with a reversible edit log (section 2.2.2).
+//
+// The O1 schedule hoists data-independent pure operations on activation-record cells
+// *across bus stops* (invocations, traps, polls) — the class of transformation that
+// makes program points in differently optimized codes non-corresponding and therefore
+// requires bridging code for migration. Every change is a primitive adjacent
+// transposition, recorded in order; the log is trivially reversible (replay backwards)
+// and the bridging-code generator derives the executed-set mapping from the resulting
+// permutation.
+//
+// Motion safety: only IsMotionEligible instructions move (pure operations whose
+// operands are activation-record cells; a callee can neither observe nor modify
+// another activation's cells, so crossing a call/trap preserves single-thread
+// semantics), moves never reorder two bus stops, never cross control flow, and
+// respect RAW/WAR/WAW dependences.
+#ifndef HETM_SRC_COMPILER_OPTIMIZER_H_
+#define HETM_SRC_COMPILER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/compiler/ir.h"
+
+namespace hetm {
+
+struct ScheduleResult {
+  IrFunction fn;                 // the scheduled function (liveness recomputed)
+  std::vector<int> transposes;   // positions p: swap(p, p+1), applied in order
+  std::vector<int> perm;         // perm[i] = base index of instruction now at i
+};
+
+// Produces the O1 schedule of `base` (which must have liveness computed).
+ScheduleResult ScheduleFunction(const IrFunction& base);
+
+// True if instructions at positions p and p+1 of `fn` may be legally transposed
+// (used by the scheduler and by property tests).
+bool CanTranspose(const IrFunction& fn, const IrInstr& first, const IrInstr& second);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_OPTIMIZER_H_

@@ -1,0 +1,530 @@
+#include "src/compiler/parser.h"
+
+#include <optional>
+
+namespace hetm {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : toks_(tokens) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    while (!At(Tok::kEof)) {
+      if (At(Tok::kClass) || At(Tok::kMonitor)) {
+        result.program.classes.push_back(ParseClass());
+      } else if (At(Tok::kMain)) {
+        result.program.main_line = Cur().line;
+        Advance();
+        result.program.main_body = ParseBlock({Tok::kEnd});
+        Expect(Tok::kEnd);
+      } else {
+        Error("expected 'class', 'monitor class' or 'main'");
+        Advance();
+      }
+      if (fatal_) {
+        break;
+      }
+    }
+    result.errors = std::move(errors_);
+    return result;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(int ahead = 1) const {
+    size_t p = pos_ + ahead;
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  bool At(Tok kind) const { return Cur().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) {
+      ++pos_;
+    }
+  }
+  bool Accept(Tok kind) {
+    if (At(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void Expect(Tok kind) {
+    if (!Accept(kind)) {
+      Error(std::string("expected ") + TokName(kind) + " but found " + TokName(Cur().kind));
+    }
+  }
+  void Error(const std::string& msg) {
+    errors_.push_back("line " + std::to_string(Cur().line) + ": " + msg);
+    if (errors_.size() > 25) {
+      fatal_ = true;
+    }
+  }
+
+  std::optional<ValueKind> ParseType() {
+    if (!At(Tok::kIdent)) {
+      Error("expected a type name");
+      return std::nullopt;
+    }
+    const std::string& t = Cur().text;
+    ValueKind kind;
+    if (t == "Int") {
+      kind = ValueKind::kInt;
+    } else if (t == "Real") {
+      kind = ValueKind::kReal;
+    } else if (t == "Bool") {
+      kind = ValueKind::kBool;
+    } else if (t == "String") {
+      kind = ValueKind::kStr;
+    } else if (t == "Ref") {
+      kind = ValueKind::kRef;
+    } else if (t == "Node") {
+      kind = ValueKind::kNode;
+    } else {
+      Error("unknown type '" + t + "'");
+      Advance();
+      return std::nullopt;
+    }
+    Advance();
+    return kind;
+  }
+
+  ClassAst ParseClass() {
+    ClassAst cls;
+    cls.line = Cur().line;
+    if (Accept(Tok::kMonitor)) {
+      cls.monitored = true;
+    }
+    Expect(Tok::kClass);
+    if (At(Tok::kIdent)) {
+      cls.name = Cur().text;
+      Advance();
+    } else {
+      Error("expected class name");
+    }
+    while (!At(Tok::kEnd) && !At(Tok::kEof)) {
+      if (At(Tok::kVar)) {
+        Advance();
+        FieldAst field;
+        field.line = Cur().line;
+        if (At(Tok::kIdent)) {
+          field.name = Cur().text;
+          Advance();
+        } else {
+          Error("expected field name");
+        }
+        Expect(Tok::kColon);
+        if (auto t = ParseType()) {
+          field.kind = *t;
+        }
+        cls.fields.push_back(std::move(field));
+      } else if (At(Tok::kOp)) {
+        cls.ops.push_back(ParseOp());
+      } else {
+        Error("expected 'var', 'op' or 'end' in class body");
+        Advance();
+      }
+      if (fatal_) {
+        break;
+      }
+    }
+    Expect(Tok::kEnd);
+    return cls;
+  }
+
+  OpAst ParseOp() {
+    OpAst op;
+    op.line = Cur().line;
+    Expect(Tok::kOp);
+    if (At(Tok::kIdent)) {
+      op.name = Cur().text;
+      Advance();
+    } else {
+      Error("expected operation name");
+    }
+    Expect(Tok::kLParen);
+    if (!At(Tok::kRParen)) {
+      do {
+        ParamAst p;
+        if (At(Tok::kIdent)) {
+          p.name = Cur().text;
+          Advance();
+        } else {
+          Error("expected parameter name");
+        }
+        Expect(Tok::kColon);
+        if (auto t = ParseType()) {
+          p.kind = *t;
+        }
+        op.params.push_back(std::move(p));
+      } while (Accept(Tok::kComma));
+    }
+    Expect(Tok::kRParen);
+    if (Accept(Tok::kColon)) {
+      if (auto t = ParseType()) {
+        op.has_result = true;
+        op.result_kind = *t;
+      }
+    }
+    op.body = ParseBlock({Tok::kEnd});
+    Expect(Tok::kEnd);
+    return op;
+  }
+
+  std::vector<StmtPtr> ParseBlock(std::initializer_list<Tok> terminators) {
+    std::vector<StmtPtr> stmts;
+    auto at_terminator = [&]() {
+      if (At(Tok::kEof)) {
+        return true;
+      }
+      for (Tok t : terminators) {
+        if (At(t)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (!at_terminator() && !fatal_) {
+      stmts.push_back(ParseStmt());
+    }
+    return stmts;
+  }
+
+  StmtPtr ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Cur().line;
+    switch (Cur().kind) {
+      case Tok::kVar: {
+        Advance();
+        stmt->kind = StmtKind::kVarDecl;
+        if (At(Tok::kIdent)) {
+          stmt->name = Cur().text;
+          Advance();
+        } else {
+          Error("expected variable name");
+        }
+        Expect(Tok::kColon);
+        if (auto t = ParseType()) {
+          stmt->decl_kind = *t;
+        }
+        if (Accept(Tok::kAssign)) {
+          stmt->expr = ParseExpr();
+        }
+        return stmt;
+      }
+      case Tok::kIf: {
+        Advance();
+        stmt->kind = StmtKind::kIf;
+        IfArm arm;
+        arm.cond = ParseExpr();
+        Expect(Tok::kThen);
+        arm.body = ParseBlock({Tok::kElseif, Tok::kElse, Tok::kEnd});
+        stmt->arms.push_back(std::move(arm));
+        while (At(Tok::kElseif)) {
+          Advance();
+          IfArm next;
+          next.cond = ParseExpr();
+          Expect(Tok::kThen);
+          next.body = ParseBlock({Tok::kElseif, Tok::kElse, Tok::kEnd});
+          stmt->arms.push_back(std::move(next));
+        }
+        if (Accept(Tok::kElse)) {
+          stmt->else_body = ParseBlock({Tok::kEnd});
+        }
+        Expect(Tok::kEnd);
+        return stmt;
+      }
+      case Tok::kWhile: {
+        Advance();
+        stmt->kind = StmtKind::kWhile;
+        stmt->expr = ParseExpr();
+        Expect(Tok::kDo);
+        stmt->body = ParseBlock({Tok::kEnd});
+        Expect(Tok::kEnd);
+        return stmt;
+      }
+      case Tok::kReturn: {
+        Advance();
+        stmt->kind = StmtKind::kReturn;
+        // A return value expression is present unless the next token starts a new
+        // statement or ends the block.
+        if (!At(Tok::kEnd) && !At(Tok::kElseif) && !At(Tok::kElse) && !At(Tok::kVar) &&
+            !At(Tok::kIf) && !At(Tok::kWhile) && !At(Tok::kReturn) && !At(Tok::kMove) &&
+            !At(Tok::kPrint) && !At(Tok::kEof)) {
+          stmt->expr = ParseExpr();
+        }
+        return stmt;
+      }
+      case Tok::kMove: {
+        Advance();
+        stmt->kind = StmtKind::kMove;
+        stmt->expr = ParseExpr();
+        Expect(Tok::kTo);
+        stmt->expr2 = ParseExpr();
+        return stmt;
+      }
+      case Tok::kPrint: {
+        Advance();
+        stmt->kind = StmtKind::kPrint;
+        stmt->expr = ParseExpr();
+        return stmt;
+      }
+      case Tok::kSpawn: {
+        Advance();
+        stmt->kind = StmtKind::kSpawn;
+        stmt->expr = ParseExpr();
+        if (stmt->expr->kind != ExprKind::kInvoke) {
+          Error("'spawn' must be followed by an invocation");
+        }
+        return stmt;
+      }
+      default: {
+        // Assignment (name := expr) or an expression statement.
+        if (At(Tok::kIdent) && Peek().kind == Tok::kAssign) {
+          stmt->kind = StmtKind::kAssign;
+          stmt->name = Cur().text;
+          Advance();
+          Advance();  // :=
+          stmt->expr = ParseExpr();
+          return stmt;
+        }
+        stmt->kind = StmtKind::kExpr;
+        stmt->expr = ParseExpr();
+        return stmt;
+      }
+    }
+  }
+
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr MakeBin(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->bin_op = op;
+    e->line = line;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr ParseOr() {
+    ExprPtr e = ParseAnd();
+    while (At(Tok::kOr)) {
+      int line = Cur().line;
+      Advance();
+      e = MakeBin(BinOp::kOr, std::move(e), ParseAnd(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr e = ParseCmp();
+    while (At(Tok::kAnd)) {
+      int line = Cur().line;
+      Advance();
+      e = MakeBin(BinOp::kAnd, std::move(e), ParseCmp(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseCmp() {
+    ExprPtr e = ParseAdd();
+    BinOp op;
+    switch (Cur().kind) {
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNe: op = BinOp::kNe; break;
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      default: return e;
+    }
+    int line = Cur().line;
+    Advance();
+    return MakeBin(op, std::move(e), ParseAdd(), line);
+  }
+
+  ExprPtr ParseAdd() {
+    ExprPtr e = ParseMul();
+    while (At(Tok::kPlus) || At(Tok::kMinus)) {
+      BinOp op = At(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      int line = Cur().line;
+      Advance();
+      e = MakeBin(op, std::move(e), ParseMul(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseMul() {
+    ExprPtr e = ParseUnary();
+    while (At(Tok::kStar) || At(Tok::kSlash) || At(Tok::kPercent)) {
+      BinOp op = At(Tok::kStar) ? BinOp::kMul
+                                : (At(Tok::kSlash) ? BinOp::kDiv : BinOp::kMod);
+      int line = Cur().line;
+      Advance();
+      e = MakeBin(op, std::move(e), ParseUnary(), line);
+    }
+    return e;
+  }
+
+  ExprPtr ParseUnary() {
+    if (At(Tok::kMinus) || At(Tok::kBang) || At(Tok::kNot)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->line = Cur().line;
+      e->unary_op = At(Tok::kMinus) ? '-' : '!';
+      Advance();
+      e->lhs = ParseUnary();
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    while (At(Tok::kDot)) {
+      Advance();
+      auto call = std::make_unique<Expr>();
+      call->kind = ExprKind::kInvoke;
+      call->line = Cur().line;
+      if (At(Tok::kIdent)) {
+        call->text = Cur().text;
+        Advance();
+      } else {
+        Error("expected operation name after '.'");
+      }
+      Expect(Tok::kLParen);
+      if (!At(Tok::kRParen)) {
+        do {
+          call->args.push_back(ParseExpr());
+        } while (Accept(Tok::kComma));
+      }
+      Expect(Tok::kRParen);
+      call->lhs = std::move(e);
+      e = std::move(call);
+    }
+    return e;
+  }
+
+  ExprPtr ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = Cur().line;
+    switch (Cur().kind) {
+      case Tok::kIntLit:
+        e->kind = ExprKind::kIntLit;
+        e->int_value = Cur().int_value;
+        Advance();
+        return e;
+      case Tok::kRealLit:
+        e->kind = ExprKind::kRealLit;
+        e->real_value = Cur().real_value;
+        Advance();
+        return e;
+      case Tok::kStrLit:
+        e->kind = ExprKind::kStrLit;
+        e->text = Cur().text;
+        Advance();
+        return e;
+      case Tok::kTrue:
+      case Tok::kFalse:
+        e->kind = ExprKind::kBoolLit;
+        e->int_value = At(Tok::kTrue) ? 1 : 0;
+        Advance();
+        return e;
+      case Tok::kNil:
+        e->kind = ExprKind::kNilLit;
+        Advance();
+        return e;
+      case Tok::kSelf:
+        e->kind = ExprKind::kSelf;
+        Advance();
+        return e;
+      case Tok::kNew:
+        Advance();
+        e->kind = ExprKind::kNew;
+        if (At(Tok::kIdent)) {
+          e->text = Cur().text;
+          Advance();
+        } else {
+          Error("expected class name after 'new'");
+        }
+        return e;
+      case Tok::kLParen: {
+        Advance();
+        ExprPtr inner = ParseExpr();
+        Expect(Tok::kRParen);
+        return inner;
+      }
+      case Tok::kIdent: {
+        const std::string& name = Cur().text;
+        // Builtin pseudo-functions.
+        if (Peek().kind == Tok::kLParen) {
+          Builtin builtin;
+          int nargs = -1;
+          if (name == "locate") {
+            builtin = Builtin::kLocate;
+            nargs = 1;
+          } else if (name == "here") {
+            builtin = Builtin::kHere;
+            nargs = 0;
+          } else if (name == "concat") {
+            builtin = Builtin::kConcat;
+            nargs = 2;
+          } else if (name == "len") {
+            builtin = Builtin::kLen;
+            nargs = 1;
+          } else if (name == "clockms") {
+            builtin = Builtin::kClockMs;
+            nargs = 0;
+          } else if (name == "real") {
+            builtin = Builtin::kReal;
+            nargs = 1;
+          } else if (name == "nodeat") {
+            builtin = Builtin::kNodeAt;
+            nargs = 1;
+          } else {
+            nargs = -1;
+          }
+          if (nargs >= 0) {
+            e->kind = ExprKind::kBuiltin;
+            e->builtin = builtin;
+            Advance();  // name
+            Advance();  // (
+            if (!At(Tok::kRParen)) {
+              do {
+                e->args.push_back(ParseExpr());
+              } while (Accept(Tok::kComma));
+            }
+            Expect(Tok::kRParen);
+            if (static_cast<int>(e->args.size()) != nargs) {
+              Error(name + " expects " + std::to_string(nargs) + " argument(s)");
+            }
+            return e;
+          }
+        }
+        e->kind = ExprKind::kName;
+        e->text = name;
+        Advance();
+        return e;
+      }
+      default:
+        Error(std::string("unexpected token ") + TokName(Cur().kind) + " in expression");
+        Advance();
+        e->kind = ExprKind::kNilLit;
+        return e;
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  size_t pos_ = 0;
+  std::vector<std::string> errors_;
+  bool fatal_ = false;
+};
+
+}  // namespace
+
+ParseResult Parse(const std::vector<Token>& tokens) { return Parser(tokens).Run(); }
+
+}  // namespace hetm

@@ -1,0 +1,23 @@
+// Recursive-descent parser producing a ProgramAst.
+#ifndef HETM_SRC_COMPILER_PARSER_H_
+#define HETM_SRC_COMPILER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ast.h"
+#include "src/compiler/token.h"
+
+namespace hetm {
+
+struct ParseResult {
+  ProgramAst program;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+ParseResult Parse(const std::vector<Token>& tokens);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_PARSER_H_

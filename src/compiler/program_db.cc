@@ -1,0 +1,28 @@
+#include "src/compiler/program_db.h"
+
+namespace hetm {
+
+Oid ProgramDatabase::CodeOidFor(const std::string& program_name,
+                                const std::string& class_name) {
+  auto key = std::make_pair(program_name, class_name);
+  auto it = code_oids_.find(key);
+  if (it != code_oids_.end()) {
+    return it->second;
+  }
+  Oid oid = next_code_++;
+  code_oids_.emplace(std::move(key), oid);
+  return oid;
+}
+
+std::vector<Oid> ProgramDatabase::LiteralOidsFor(const std::string& program_name,
+                                                 const std::string& class_name,
+                                                 size_t count) {
+  auto key = std::make_pair(program_name, class_name);
+  std::vector<Oid>& oids = literal_oids_[key];
+  while (oids.size() < count) {
+    oids.push_back(next_literal_++);
+  }
+  return std::vector<Oid>(oids.begin(), oids.begin() + count);
+}
+
+}  // namespace hetm

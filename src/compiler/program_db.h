@@ -1,0 +1,41 @@
+// Program database: OID synchronization across architectures (section 3.4).
+//
+// The paper's prototype made the programmer compile once per architecture and
+// manually synchronize the OID counter so semantically identical code objects got
+// identical OIDs; it proposes a program database as the production fix. This is that
+// database: OIDs are keyed by (program name, class name), so recompiling the same
+// program — for any architecture, at any optimization level — always yields the same
+// code OIDs and the same string-literal OIDs.
+#ifndef HETM_SRC_COMPILER_PROGRAM_DB_H_
+#define HETM_SRC_COMPILER_PROGRAM_DB_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+class ProgramDatabase {
+ public:
+  // Returns the code OID for `class_name` in `program_name`, allocating on first use.
+  Oid CodeOidFor(const std::string& program_name, const std::string& class_name);
+
+  // Returns the OIDs for a class's string-literal pool, allocating on first use.
+  // Repeated calls for the same class return the same OIDs (prefix-stable if the
+  // pool grew).
+  std::vector<Oid> LiteralOidsFor(const std::string& program_name,
+                                  const std::string& class_name, size_t count);
+
+ private:
+  std::map<std::pair<std::string, std::string>, Oid> code_oids_;
+  std::map<std::pair<std::string, std::string>, std::vector<Oid>> literal_oids_;
+  Oid next_code_ = kCodeOidBase + 1;
+  Oid next_literal_ = kLiteralOidBase + 1;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_PROGRAM_DB_H_

@@ -1,0 +1,42 @@
+// Tokens of the Emerald-subset language (see DESIGN.md section 4).
+#ifndef HETM_SRC_COMPILER_TOKEN_H_
+#define HETM_SRC_COMPILER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hetm {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStrLit,
+  // Keywords.
+  kClass, kMonitor, kVar, kOp, kEnd, kMain,
+  kIf, kThen, kElseif, kElse, kWhile, kDo, kReturn,
+  kMove, kTo, kPrint, kNew, kSelf, kTrue, kFalse, kNil, kSpawn,
+  kAnd, kOr, kNot,
+  // Punctuation / operators.
+  kLParen, kRParen, kComma, kColon, kDot,
+  kAssign,   // :=
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kBang,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier / string literal contents
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+const char* TokName(Tok kind);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_COMPILER_TOKEN_H_

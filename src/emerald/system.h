@@ -1,0 +1,68 @@
+// EmeraldSystem: the public facade.
+//
+// Compile an Emerald-subset program once (all architectures, all optimization
+// levels), assemble a heterogeneous world (Figure 1), run it, and read back output,
+// simulated time and per-node cost counters. See examples/quickstart.cpp.
+#ifndef HETM_SRC_EMERALD_SYSTEM_H_
+#define HETM_SRC_EMERALD_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiler.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+
+namespace hetm {
+
+class EmeraldSystem {
+ public:
+  // `strategy` selects the system variant (see World). The default is the paper's
+  // enhanced heterogeneous system with naive conversion routines.
+  explicit EmeraldSystem(ConversionStrategy strategy = ConversionStrategy::kNaive)
+      : world_(strategy) {}
+
+  // Adds a node; returns its index (node OIDs are NodeOid(index)).
+  int AddNode(const MachineModel& machine, OptLevel opt = OptLevel::kO0) {
+    return world_.AddNode(machine, opt);
+  }
+
+  // Compiles and registers a program. Returns false (and records diagnostics) on
+  // compile errors.
+  bool Load(const std::string& source, const std::string& program_name = "main") {
+    CompileResult result = CompileSource(source, program_name, db_);
+    errors_ = result.errors;
+    if (!result.ok()) {
+      return false;
+    }
+    program_ = result.program;
+    world_.RegisterProgram(program_);
+    return true;
+  }
+
+  // Boots main on `node` and runs to quiescence. Returns false on runtime error.
+  bool Run(int boot_node = 0) {
+    world_.Boot(boot_node);
+    return world_.Run();
+  }
+
+  const std::vector<std::string>& errors() const { return errors_; }
+  const std::string& output() const { return world_.output(); }
+  const std::string& error() const { return world_.error(); }
+  double ElapsedMs() const { return world_.NowMaxUs() / 1000.0; }
+
+  World& world() { return world_; }
+  Node& node(int index) { return world_.node(index); }
+  std::shared_ptr<const CompiledProgram> program() const { return program_; }
+
+ private:
+  ProgramDatabase db_;
+  World world_;
+  std::shared_ptr<const CompiledProgram> program_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_EMERALD_SYSTEM_H_

@@ -1,0 +1,93 @@
+#include "src/isa/disasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/isa/isa.h"
+
+namespace hetm {
+
+namespace {
+
+std::string FormatOperand(const MOperand& o) {
+  char buf[32];
+  switch (o.kind) {
+    case MOpnKind::kNone:
+      return "";
+    case MOpnKind::kReg:
+      std::snprintf(buf, sizeof(buf), "r%d", o.v);
+      return buf;
+    case MOpnKind::kSlot:
+      std::snprintf(buf, sizeof(buf), "fp[%d]", o.v);
+      return buf;
+    case MOpnKind::kImm:
+      std::snprintf(buf, sizeof(buf), "#%d", o.v);
+      return buf;
+    case MOpnKind::kFReg:
+      std::snprintf(buf, sizeof(buf), "f%d", o.v);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatMicroOp(const MicroOp& op) {
+  std::ostringstream os;
+  os << MKindName(op.kind);
+  bool first = true;
+  auto add = [&](const std::string& s) {
+    if (s.empty()) {
+      return;
+    }
+    os << (first ? " " : ", ") << s;
+    first = false;
+  };
+  add(FormatOperand(op.dst));
+  add(FormatOperand(op.a));
+  add(FormatOperand(op.b));
+  if (op.kind == MKind::kJmp || op.kind == MKind::kJf) {
+    add("->" + std::to_string(op.target_pc));
+  }
+  if (op.kind == MKind::kCall || op.kind == MKind::kTrap) {
+    add("site:" + std::to_string(op.site));
+  }
+  if (op.kind == MKind::kGetF || op.kind == MKind::kSetF || op.kind == MKind::kGetFD ||
+      op.kind == MKind::kSetFD) {
+    add("self+" + std::to_string(op.imm));
+  }
+  if (op.kind == MKind::kFMovImm) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "#%g", op.fimm);
+    add(buf);
+  }
+  return os.str();
+}
+
+std::string DisassembleCode(Arch arch, const ArchOpCode& code) {
+  std::ostringstream os;
+  uint32_t pc = 0;
+  while (pc < code.code.size()) {
+    MicroOp op = DecodeAt(arch, code.code, pc);
+    // Bus-stop annotations for this pc (entry/resume points).
+    for (size_t s = 0; s < code.stops.size(); ++s) {
+      if (code.stops[s].pc == pc) {
+        os << "            ; <- bus stop " << s << (code.stops[s].exit_only ? " (exit-only)" : "")
+           << "\n";
+      }
+    }
+    char head[32];
+    std::snprintf(head, sizeof(head), "  %04x:  ", pc);
+    os << head << FormatMicroOp(op) << "   [" << op.length << "B, " << op.cycles
+       << " cyc]\n";
+    pc += op.length;
+  }
+  for (size_t s = 0; s < code.stops.size(); ++s) {
+    if (code.stops[s].pc == code.code.size()) {
+      os << "            ; <- bus stop " << s << " (end)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hetm

@@ -1,0 +1,22 @@
+// Textual disassembly of per-architecture machine code, annotated with bus stops.
+// Diagnostic tooling (examples/hetm_run --disasm, tests); the runtime never parses
+// text.
+#ifndef HETM_SRC_ISA_DISASM_H_
+#define HETM_SRC_ISA_DISASM_H_
+
+#include <string>
+
+#include "src/compiler/compiled.h"
+#include "src/isa/microop.h"
+
+namespace hetm {
+
+// One instruction, e.g. "add r17, r18, #4" or "fadd s24 <- s32, s40".
+std::string FormatMicroOp(const MicroOp& op);
+
+// Whole code object with pc labels and bus-stop annotations.
+std::string DisassembleCode(Arch arch, const ArchOpCode& code);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ISA_DISASM_H_

@@ -1,0 +1,166 @@
+#include "src/isa/isa.h"
+
+#include "src/isa/isa_internal.h"
+
+namespace hetm {
+
+const char* MKindName(MKind kind) {
+  switch (kind) {
+    case MKind::kMov: return "mov";
+    case MKind::kAdd: return "add";
+    case MKind::kSub: return "sub";
+    case MKind::kMul: return "mul";
+    case MKind::kDiv: return "div";
+    case MKind::kMod: return "mod";
+    case MKind::kNeg: return "neg";
+    case MKind::kNot: return "not";
+    case MKind::kAnd: return "and";
+    case MKind::kOr: return "or";
+    case MKind::kCmpEq: return "cmpeq";
+    case MKind::kCmpNe: return "cmpne";
+    case MKind::kCmpLt: return "cmplt";
+    case MKind::kCmpLe: return "cmple";
+    case MKind::kCmpGt: return "cmpgt";
+    case MKind::kCmpGe: return "cmpge";
+    case MKind::kSethi: return "sethi";
+    case MKind::kOrImm: return "orimm";
+    case MKind::kFMov: return "fmov";
+    case MKind::kFMovImm: return "fmovimm";
+    case MKind::kFAdd: return "fadd";
+    case MKind::kFSub: return "fsub";
+    case MKind::kFMul: return "fmul";
+    case MKind::kFDiv: return "fdiv";
+    case MKind::kFNeg: return "fneg";
+    case MKind::kFCmpEq: return "fcmpeq";
+    case MKind::kFCmpNe: return "fcmpne";
+    case MKind::kFCmpLt: return "fcmplt";
+    case MKind::kFCmpLe: return "fcmple";
+    case MKind::kFCmpGt: return "fcmpgt";
+    case MKind::kFCmpGe: return "fcmpge";
+    case MKind::kCvtIF: return "cvtif";
+    case MKind::kGetF: return "getf";
+    case MKind::kSetF: return "setf";
+    case MKind::kGetFD: return "getfd";
+    case MKind::kSetFD: return "setfd";
+    case MKind::kJmp: return "jmp";
+    case MKind::kJf: return "jf";
+    case MKind::kCall: return "call";
+    case MKind::kTrap: return "trap";
+    case MKind::kPoll: return "poll";
+    case MKind::kRet: return "ret";
+    case MKind::kRemque: return "remque";
+    case MKind::kMonExitTrap: return "monexit";
+  }
+  return "?";
+}
+
+OpRoles RolesOf(MKind kind) {
+  switch (kind) {
+    case MKind::kMov:
+    case MKind::kNeg:
+    case MKind::kNot:
+    case MKind::kFMov:
+    case MKind::kFNeg:
+    case MKind::kCvtIF:
+      return {true, true, false};
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kMul:
+    case MKind::kDiv:
+    case MKind::kMod:
+    case MKind::kAnd:
+    case MKind::kOr:
+    case MKind::kCmpEq:
+    case MKind::kCmpNe:
+    case MKind::kCmpLt:
+    case MKind::kCmpLe:
+    case MKind::kCmpGt:
+    case MKind::kCmpGe:
+    case MKind::kOrImm:
+    case MKind::kFAdd:
+    case MKind::kFSub:
+    case MKind::kFMul:
+    case MKind::kFDiv:
+    case MKind::kFCmpEq:
+    case MKind::kFCmpNe:
+    case MKind::kFCmpLt:
+    case MKind::kFCmpLe:
+    case MKind::kFCmpGt:
+    case MKind::kFCmpGe:
+      return {true, true, true};
+    case MKind::kSethi:
+      return {true, true, false};  // a is the immediate
+    case MKind::kFMovImm:
+    case MKind::kGetF:
+    case MKind::kGetFD:
+      return {true, false, false};
+    case MKind::kSetF:
+    case MKind::kSetFD:
+    case MKind::kJf:
+    case MKind::kRet:
+    case MKind::kRemque:
+    case MKind::kMonExitTrap:
+      return {false, true, false};
+    case MKind::kJmp:
+    case MKind::kCall:
+    case MKind::kTrap:
+    case MKind::kPoll:
+      return {false, false, false};
+  }
+  HETM_UNREACHABLE("bad MKind");
+}
+
+EncodedCode Encode(Arch arch, const std::vector<MicroOp>& ops) {
+  switch (arch) {
+    case Arch::kVax32:
+      return VaxEncode(ops);
+    case Arch::kM68k:
+      return M68kEncode(ops);
+    case Arch::kSparc32:
+      return SparcEncode(ops);
+  }
+  HETM_UNREACHABLE("bad arch");
+}
+
+MicroOp DecodeAt(Arch arch, const std::vector<uint8_t>& code, uint32_t pc) {
+  MicroOp op;
+  switch (arch) {
+    case Arch::kVax32:
+      op = VaxDecodeAt(code, pc);
+      break;
+    case Arch::kM68k:
+      op = M68kDecodeAt(code, pc);
+      break;
+    case Arch::kSparc32:
+      op = SparcDecodeAt(code, pc);
+      break;
+  }
+  op.cycles = CycleCost(arch, op);
+  return op;
+}
+
+std::vector<MicroOp> DecodeAll(Arch arch, const std::vector<uint8_t>& code) {
+  std::vector<MicroOp> ops;
+  uint32_t pc = 0;
+  while (pc < code.size()) {
+    MicroOp op = DecodeAt(arch, code, pc);
+    HETM_CHECK(op.length > 0);
+    pc += op.length;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+uint32_t CycleCost(Arch arch, const MicroOp& op) {
+  switch (arch) {
+    case Arch::kVax32:
+      return VaxCycles(op);
+    case Arch::kM68k:
+      return M68kCycles(op);
+    case Arch::kSparc32:
+      return SparcCycles(op);
+  }
+  HETM_UNREACHABLE("bad arch");
+}
+
+}  // namespace hetm

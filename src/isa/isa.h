@@ -1,0 +1,52 @@
+// Per-architecture instruction encoding and decoding.
+//
+// Each architecture encodes the same decoded MicroOp vocabulary into a genuinely
+// different binary format:
+//
+//   VAX32:   little-endian, variable-length: opcode byte + per-operand specifier
+//            bytes (register, 16-bit displacement slot, 32-bit immediate), operand
+//            order src,src,dst. Floating literals are embedded in VAX D format.
+//   M68K:    big-endian, 16-bit-word granular: opcode word with a mode nibble pair,
+//            extension words per operand. Two-operand arithmetic only (backends emit
+//            dst == a forms).
+//   SPARC32: big-endian, fixed 4-byte words, load/store only; large immediates are
+//            built with kSethi/kOrImm pairs; float literals use a trailing 8-byte
+//            constant-pool word pair.
+//
+// Because lengths differ, program counter values for the same program point differ
+// across architectures — the problem bus stops solve.
+#ifndef HETM_SRC_ISA_ISA_H_
+#define HETM_SRC_ISA_ISA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/arch.h"
+#include "src/isa/microop.h"
+
+namespace hetm {
+
+struct EncodedCode {
+  std::vector<uint8_t> bytes;
+  // Byte pc of each input MicroOp, plus one trailing entry = total size. Backends use
+  // this to build bus-stop tables and the instruction-index -> pc map bridging needs.
+  std::vector<uint32_t> pcs;
+};
+
+// Encodes the instruction sequence. MicroOp::target_index references are resolved to
+// pc displacements. Aborts (compiler bug) on operand modes the architecture forbids.
+EncodedCode Encode(Arch arch, const std::vector<MicroOp>& ops);
+
+// Decodes one instruction at `pc`. Fills length, cycles and absolute target_pc.
+MicroOp DecodeAt(Arch arch, const std::vector<uint8_t>& code, uint32_t pc);
+
+// Decodes a whole code object (for tests and disassembly).
+std::vector<MicroOp> DecodeAll(Arch arch, const std::vector<uint8_t>& code);
+
+// Architecture-specific cycle cost of a decoded instruction (already applied to
+// MicroOp::cycles by DecodeAt; exposed for tests).
+uint32_t CycleCost(Arch arch, const MicroOp& op);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ISA_ISA_H_

@@ -1,0 +1,51 @@
+// Shared helpers for the per-architecture encoders/decoders. Internal to src/isa.
+#ifndef HETM_SRC_ISA_ISA_INTERNAL_H_
+#define HETM_SRC_ISA_ISA_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/isa/microop.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+// Which of dst/a/b an instruction kind carries. Extras (immediates, displacements,
+// sites, field offsets, float literals) are per-kind and handled by each encoder.
+struct OpRoles {
+  bool dst = false;
+  bool a = false;
+  bool b = false;
+};
+
+OpRoles RolesOf(MKind kind);
+
+inline bool IsBranch(MKind kind) { return kind == MKind::kJmp || kind == MKind::kJf; }
+inline bool HasSite(MKind kind) { return kind == MKind::kCall || kind == MKind::kTrap; }
+inline bool IsFieldOp(MKind kind) {
+  return kind == MKind::kGetF || kind == MKind::kSetF || kind == MKind::kGetFD ||
+         kind == MKind::kSetFD;
+}
+
+inline int32_t SignExtend(uint32_t v, int bits) {
+  uint32_t m = uint32_t{1} << (bits - 1);
+  return static_cast<int32_t>((v ^ m) - m);
+}
+
+// Per-arch implementations.
+EncodedCode VaxEncode(const std::vector<MicroOp>& ops);
+MicroOp VaxDecodeAt(const std::vector<uint8_t>& code, uint32_t pc);
+uint32_t VaxCycles(const MicroOp& op);
+
+EncodedCode M68kEncode(const std::vector<MicroOp>& ops);
+MicroOp M68kDecodeAt(const std::vector<uint8_t>& code, uint32_t pc);
+uint32_t M68kCycles(const MicroOp& op);
+
+EncodedCode SparcEncode(const std::vector<MicroOp>& ops);
+MicroOp SparcDecodeAt(const std::vector<uint8_t>& code, uint32_t pc);
+uint32_t SparcCycles(const MicroOp& op);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ISA_ISA_INTERNAL_H_

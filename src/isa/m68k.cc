@@ -1,0 +1,303 @@
+// M68K encoding: big-endian, 16-bit-word granular, two-operand style.
+//
+// Layout: one opcode word — high byte 0x40 + kind, low byte packs operand modes
+// (dst<<4 | a<<2 | b, two bits each: 0 none, 1 reg, 2 slot, 3 imm) — followed by
+// extension words: a 16-bit word per register or slot operand, a 32-bit long per
+// immediate, then extras (16-bit branch displacement relative to the end of the
+// instruction, 16-bit site id, 16-bit field offset, 8-byte IEEE big-endian float
+// literal). The two-operand nature of the architecture shows in the emitted code:
+// arithmetic instructions always have dst == a (the backend guarantees it), and the
+// encoder only stores the dst and b positions for them.
+#include "src/arch/float_codec.h"
+#include "src/isa/isa_internal.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+constexpr uint8_t kOpcodeBase = 0x40;
+constexpr ByteOrder kOrder = ByteOrder::kBig;
+
+bool IsTwoOperandArith(MKind kind) {
+  switch (kind) {
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kAnd:
+    case MKind::kOr:
+    case MKind::kFAdd:
+    case MKind::kFSub:
+    case MKind::kFMul:
+    case MKind::kFDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint8_t ModeOf(const MOperand& o) {
+  switch (o.kind) {
+    case MOpnKind::kNone: return 0;
+    case MOpnKind::kReg: return 1;
+    case MOpnKind::kSlot: return 2;
+    case MOpnKind::kImm: return 3;
+    case MOpnKind::kFReg: HETM_UNREACHABLE("M68K float ops are memory-to-memory");
+  }
+  return 0;
+}
+
+uint32_t ExtSize(const MOperand& o) {
+  switch (o.kind) {
+    case MOpnKind::kNone: return 0;
+    case MOpnKind::kReg: return 2;
+    case MOpnKind::kSlot: return 2;
+    case MOpnKind::kImm: return 4;
+    case MOpnKind::kFReg: return 0;
+  }
+  return 0;
+}
+
+// Operand positions actually encoded for an instruction. Two-operand arithmetic
+// stores dst and b only (a is the same location as dst).
+void EncodedPositions(const MicroOp& op, const MOperand** slots, int* count) {
+  OpRoles roles = RolesOf(op.kind);
+  *count = 0;
+  if (IsTwoOperandArith(op.kind)) {
+    HETM_CHECK_MSG(op.dst == op.a, "M68K arithmetic requires dst == a");
+    slots[(*count)++] = &op.dst;
+    slots[(*count)++] = &op.b;
+    return;
+  }
+  if (roles.dst) slots[(*count)++] = &op.dst;
+  if (roles.a) slots[(*count)++] = &op.a;
+  if (roles.b) slots[(*count)++] = &op.b;
+}
+
+uint32_t InstrLength(const MicroOp& op) {
+  const MOperand* slots[3];
+  int count = 0;
+  EncodedPositions(op, slots, &count);
+  uint32_t n = 2;
+  for (int i = 0; i < count; ++i) {
+    n += ExtSize(*slots[i]);
+  }
+  if (IsBranch(op.kind)) n += 2;
+  if (HasSite(op.kind)) n += 2;
+  if (IsFieldOp(op.kind)) n += 2;
+  if (op.kind == MKind::kFMovImm) n += 8;
+  return n;
+}
+
+void EmitExt(std::vector<uint8_t>& out, const MOperand& o) {
+  size_t at = out.size();
+  switch (o.kind) {
+    case MOpnKind::kNone:
+      return;
+    case MOpnKind::kReg:
+      HETM_CHECK(o.v >= 0 && o.v < 16);
+      out.resize(at + 2);
+      Store16(&out[at], static_cast<uint16_t>(o.v), kOrder);
+      return;
+    case MOpnKind::kSlot:
+      out.resize(at + 2);
+      Store16(&out[at], static_cast<uint16_t>(o.v), kOrder);
+      return;
+    case MOpnKind::kImm:
+      out.resize(at + 4);
+      Store32(&out[at], static_cast<uint32_t>(o.v), kOrder);
+      return;
+    case MOpnKind::kFReg:
+      HETM_UNREACHABLE("M68K float ops are memory-to-memory");
+  }
+}
+
+MOperand ReadExt(const std::vector<uint8_t>& code, uint32_t& pc, uint8_t mode) {
+  switch (mode) {
+    case 0:
+      return MOperand::None();
+    case 1: {
+      uint16_t r = Load16(&code[pc], kOrder);
+      pc += 2;
+      return MOperand::Reg(r);
+    }
+    case 2: {
+      uint16_t off = Load16(&code[pc], kOrder);
+      pc += 2;
+      return MOperand::Slot(off);
+    }
+    default: {
+      int32_t v = static_cast<int32_t>(Load32(&code[pc], kOrder));
+      pc += 4;
+      return MOperand::Imm(v);
+    }
+  }
+}
+
+}  // namespace
+
+EncodedCode M68kEncode(const std::vector<MicroOp>& ops) {
+  EncodedCode out;
+  uint32_t pc = 0;
+  for (const MicroOp& op : ops) {
+    out.pcs.push_back(pc);
+    pc += InstrLength(op);
+  }
+  out.pcs.push_back(pc);
+  out.bytes.reserve(pc);
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MicroOp& op = ops[i];
+    const MOperand* slots[3];
+    int count = 0;
+    EncodedPositions(op, slots, &count);
+    uint8_t fmt = 0;
+    // Pack up to three modes: first at bits 5..4, second at 3..2, third at 1..0.
+    for (int s = 0; s < count; ++s) {
+      fmt = static_cast<uint8_t>(fmt | (ModeOf(*slots[s]) << (4 - 2 * s)));
+    }
+    size_t at = out.bytes.size();
+    out.bytes.resize(at + 2);
+    Store16(&out.bytes[at],
+            static_cast<uint16_t>(((kOpcodeBase + static_cast<uint16_t>(op.kind)) << 8) | fmt),
+            kOrder);
+    for (int s = 0; s < count; ++s) {
+      EmitExt(out.bytes, *slots[s]);
+    }
+    if (IsBranch(op.kind)) {
+      HETM_CHECK(op.target_index >= 0 &&
+                 op.target_index < static_cast<int32_t>(ops.size()));
+      int32_t disp =
+          static_cast<int32_t>(out.pcs[op.target_index]) - static_cast<int32_t>(out.pcs[i + 1]);
+      HETM_CHECK(disp >= INT16_MIN && disp <= INT16_MAX);
+      at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(disp), kOrder);
+    }
+    if (HasSite(op.kind)) {
+      at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(op.site), kOrder);
+    }
+    if (IsFieldOp(op.kind)) {
+      at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(op.imm), kOrder);
+    }
+    if (op.kind == MKind::kFMovImm) {
+      uint8_t lit[8];
+      EncodeFloat64(op.fimm, FloatFormat::kIeee754, kOrder, lit);
+      out.bytes.insert(out.bytes.end(), lit, lit + 8);
+    }
+    HETM_CHECK(out.bytes.size() == out.pcs[i] + InstrLength(op));
+  }
+  return out;
+}
+
+MicroOp M68kDecodeAt(const std::vector<uint8_t>& code, uint32_t pc) {
+  MicroOp op;
+  uint32_t p = pc;
+  uint16_t opcode = Load16(&code[p], kOrder);
+  p += 2;
+  uint8_t kind_byte = static_cast<uint8_t>(opcode >> 8);
+  uint8_t fmt = static_cast<uint8_t>(opcode & 0xFF);
+  HETM_CHECK_MSG(kind_byte >= kOpcodeBase, "bad M68K opcode 0x%04x at pc %u", opcode, pc);
+  op.kind = static_cast<MKind>(kind_byte - kOpcodeBase);
+
+  MOperand decoded[3];
+  int count = IsTwoOperandArith(op.kind)
+                  ? 2
+                  : (RolesOf(op.kind).dst ? 1 : 0) + (RolesOf(op.kind).a ? 1 : 0) +
+                        (RolesOf(op.kind).b ? 1 : 0);
+  for (int s = 0; s < count; ++s) {
+    uint8_t mode = (fmt >> (4 - 2 * s)) & 0x3;
+    decoded[s] = ReadExt(code, p, mode);
+  }
+  if (IsTwoOperandArith(op.kind)) {
+    op.dst = decoded[0];
+    op.a = decoded[0];
+    op.b = decoded[1];
+  } else {
+    OpRoles roles = RolesOf(op.kind);
+    int s = 0;
+    if (roles.dst) op.dst = decoded[s++];
+    if (roles.a) op.a = decoded[s++];
+    if (roles.b) op.b = decoded[s++];
+  }
+  if (IsBranch(op.kind)) {
+    int16_t disp = static_cast<int16_t>(Load16(&code[p], kOrder));
+    p += 2;
+    op.target_pc = static_cast<uint32_t>(static_cast<int32_t>(p) + disp);
+  }
+  if (HasSite(op.kind)) {
+    op.site = Load16(&code[p], kOrder);
+    p += 2;
+  }
+  if (IsFieldOp(op.kind)) {
+    op.imm = Load16(&code[p], kOrder);
+    p += 2;
+  }
+  if (op.kind == MKind::kFMovImm) {
+    op.fimm = DecodeFloat64(&code[p], FloatFormat::kIeee754, kOrder);
+    p += 8;
+  }
+  op.length = p - pc;
+  return op;
+}
+
+uint32_t M68kCycles(const MicroOp& op) {
+  uint32_t base;
+  switch (op.kind) {
+    case MKind::kMov: base = 4; break;
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kAnd:
+    case MKind::kOr: base = 6; break;
+    case MKind::kMul: base = 44; break;
+    case MKind::kDiv: base = 90; break;
+    case MKind::kMod: base = 94; break;
+    case MKind::kNeg:
+    case MKind::kNot: base = 4; break;
+    case MKind::kCmpEq:
+    case MKind::kCmpNe:
+    case MKind::kCmpLt:
+    case MKind::kCmpLe:
+    case MKind::kCmpGt:
+    case MKind::kCmpGe: base = 8; break;
+    case MKind::kSethi:
+    case MKind::kOrImm: base = 6; break;  // unused by the M68K backend
+    case MKind::kFMov: base = 20; break;
+    case MKind::kFMovImm: base = 24; break;
+    case MKind::kFAdd:
+    case MKind::kFSub: base = 50; break;
+    case MKind::kFMul: base = 76; break;
+    case MKind::kFDiv: base = 108; break;
+    case MKind::kFNeg: base = 22; break;
+    case MKind::kFCmpEq:
+    case MKind::kFCmpNe:
+    case MKind::kFCmpLt:
+    case MKind::kFCmpLe:
+    case MKind::kFCmpGt:
+    case MKind::kFCmpGe: base = 30; break;
+    case MKind::kCvtIF: base = 40; break;
+    case MKind::kGetF:
+    case MKind::kSetF: base = 10; break;
+    case MKind::kGetFD:
+    case MKind::kSetFD: base = 20; break;
+    case MKind::kJmp: base = 10; break;
+    case MKind::kJf: base = 10; break;
+    case MKind::kCall:
+    case MKind::kTrap: base = 16; break;
+    case MKind::kPoll: base = 4; break;
+    case MKind::kRet: base = 12; break;
+    case MKind::kRemque: base = 16; break;  // unused: exit is a trap on M68K
+    case MKind::kMonExitTrap: base = 16; break;
+    default: base = 6; break;
+  }
+  uint32_t mem = 0;
+  for (const MOperand* o : {&op.dst, &op.a, &op.b}) {
+    if (o->kind == MOpnKind::kSlot) mem += 4;
+  }
+  return base + mem;
+}
+
+}  // namespace hetm

@@ -1,0 +1,86 @@
+// Machine instructions, in decoded form.
+//
+// Each architecture has its own binary encoding (src/isa/{vax,m68k,sparc}.cc) with
+// its own instruction lengths — which is exactly why program counter values are not
+// portable and bus stops are needed. The *decoded* form is shared so one interpreter
+// core can execute all three instruction sets; the per-arch decoders fill in the
+// arch-specific cycle costs and enforce each architecture's operand-mode rules
+// (memory-to-memory on VAX, two-operand on M68K, load/store-only on SPARC).
+#ifndef HETM_SRC_ISA_MICROOP_H_
+#define HETM_SRC_ISA_MICROOP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hetm {
+
+enum class MOpnKind : uint8_t {
+  kNone = 0,
+  kReg = 1,   // general register index
+  kSlot = 2,  // activation-record slot, value = byte offset into the frame
+  kImm = 3,   // 32-bit immediate encoded in the instruction stream
+  kFReg = 4,  // floating-point register (SPARC only)
+};
+
+struct MOperand {
+  MOpnKind kind = MOpnKind::kNone;
+  int32_t v = 0;
+
+  static MOperand None() { return {}; }
+  static MOperand Reg(int r) { return {MOpnKind::kReg, r}; }
+  static MOperand Slot(int byte_offset) { return {MOpnKind::kSlot, byte_offset}; }
+  static MOperand Imm(int32_t value) { return {MOpnKind::kImm, value}; }
+  static MOperand FReg(int r) { return {MOpnKind::kFReg, r}; }
+
+  bool IsNone() const { return kind == MOpnKind::kNone; }
+  bool operator==(const MOperand& o) const = default;
+};
+
+enum class MKind : uint8_t {
+  // 32-bit integer / reference data movement and arithmetic.
+  kMov, kAdd, kSub, kMul, kDiv, kMod, kNeg, kNot, kAnd, kOr,
+  kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+  kSethi,   // dst <- imm << 14 (SPARC immediate-building)
+  kOrImm,   // dst <- a | imm14
+  // 64-bit float operations. Operands are frame slots on VAX/M68K (memory-to-memory
+  // style, as the 68881 and VAX D-float instructions allow) and float registers on
+  // SPARC (load/store style).
+  kFMov, kFMovImm, kFAdd, kFSub, kFMul, kFDiv, kFNeg,
+  kFCmpEq, kFCmpNe, kFCmpLt, kFCmpLe, kFCmpGt, kFCmpGe,
+  kCvtIF,   // float dst <- int a
+  // Field access relative to the current activation's self object; imm = the
+  // architecture-specific field byte offset baked in by the backend.
+  kGetF, kSetF,     // 4-byte fields
+  kGetFD, kSetFD,   // 8-byte Real fields (copied in machine format, no conversion)
+  // Control.
+  kJmp, kJf,
+  // Kernel interactions (bus-stop-bearing; `site` indexes the op's call/trap tables).
+  kCall, kTrap, kPoll, kRet,
+  // Monitor exit: atomic doubly-linked-list unlink. A single instruction on the VAX
+  // (kRemque, executed inline without kernel entry); a kernel trap elsewhere.
+  kRemque, kMonExitTrap,
+};
+
+const char* MKindName(MKind kind);
+
+struct MicroOp {
+  MKind kind = MKind::kMov;
+  MOperand dst;
+  MOperand a;
+  MOperand b;
+  double fimm = 0.0;       // kFMovImm literal
+  int32_t imm = 0;         // kGetF/kSetF/kGetFD/kSetFD field byte offset
+  int32_t site = -1;       // kCall / kTrap site id
+  int32_t stop = -1;       // bus stop number for stop-bearing instructions
+  // Branch target. Backends fill `target_index` (index of the target MicroOp);
+  // encoders turn it into a pc displacement; decoders reconstruct `target_pc`.
+  int32_t target_index = -1;
+  uint32_t target_pc = 0;
+  // Filled by the decoder.
+  uint32_t length = 0;     // encoded size in bytes
+  uint32_t cycles = 0;     // architecture cycle cost
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_ISA_MICROOP_H_

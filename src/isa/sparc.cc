@@ -1,0 +1,455 @@
+// SPARC32 encoding: big-endian, fixed 4-byte words, load/store architecture.
+//
+// Every instruction is one 32-bit word (except FMOVIMM, which carries an 8-byte
+// constant-pool literal after its word). Register fields are 5 bits; immediate
+// fields are 13 bits signed (larger constants are built with kSethi + kOrImm pairs,
+// splitting a 32-bit value into a 19-bit high part and a 13-bit low part). Arithmetic
+// operates on registers only; frame slots are reached through explicit load/store
+// forms of kMov/kFMov. Branch displacements are in words, relative to the branch's
+// own pc.
+//
+// Word layouts (bit 31..24 is always 0x80 + kind):
+//   ALU bin:        [op][rd:5][ra:5][i:1][rb5-or-simm13]       (bits 23..0)
+//   kMov:           [op][mode:2][r:5][v:13]   mode 0 r<-r (v=ra), 1 r<-simm13,
+//                                             2 r<-slot (load), 3 slot<-r (store)
+//   kSethi:         [op][rd:5][imm:19]
+//   unary (neg/not):[op][rd:5][ra:5]
+//   kFMov:          [op][mode:2][f:5][v:13]   mode 0 f<-f, 2 f<-slot, 3 slot<-f
+//   kFMovImm:       [op][fd:5] + 8-byte IEEE literal
+//   float bin:      [op][fd:5][fa:5][fb:5]
+//   kFNeg/kCvtIF:   [op][fd:5][src:5]
+//   float compare:  [op][rd:5][fa:5][fb:5]
+//   kGetF/kSetF:    [op][r:5][off:13]
+//   kGetFD/kSetFD:  [op][slot:12][off:12]
+//   kJmp:           [op][disp:24 signed words]
+//   kJf:            [op][ra:5][disp:19 signed words]
+//   kCall/kTrap:    [op][site:16]
+//   kRet/kRemque/kMonExitTrap: [op][mode:2][v:18]  mode 0 none, 1 reg, 2 slot
+//   kPoll:          [op]
+#include "src/arch/float_codec.h"
+#include "src/isa/isa_internal.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+constexpr uint8_t kOpcodeBase = 0x80;
+constexpr ByteOrder kOrder = ByteOrder::kBig;
+
+bool IsAluBin(MKind kind) {
+  switch (kind) {
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kMul:
+    case MKind::kDiv:
+    case MKind::kMod:
+    case MKind::kAnd:
+    case MKind::kOr:
+    case MKind::kOrImm:
+    case MKind::kCmpEq:
+    case MKind::kCmpNe:
+    case MKind::kCmpLt:
+    case MKind::kCmpLe:
+    case MKind::kCmpGt:
+    case MKind::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFloatBin(MKind kind) {
+  switch (kind) {
+    case MKind::kFAdd:
+    case MKind::kFSub:
+    case MKind::kFMul:
+    case MKind::kFDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFloatCmp(MKind kind) {
+  switch (kind) {
+    case MKind::kFCmpEq:
+    case MKind::kFCmpNe:
+    case MKind::kFCmpLt:
+    case MKind::kFCmpLe:
+    case MKind::kFCmpGt:
+    case MKind::kFCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint32_t Field(uint32_t v, int hi, int lo) { return (v >> lo) & ((1u << (hi - lo + 1)) - 1); }
+
+uint32_t CheckedReg(const MOperand& o) {
+  HETM_CHECK_MSG(o.kind == MOpnKind::kReg, "SPARC expects a register operand");
+  HETM_CHECK(o.v >= 0 && o.v < 32);
+  return static_cast<uint32_t>(o.v);
+}
+
+uint32_t CheckedFReg(const MOperand& o) {
+  HETM_CHECK_MSG(o.kind == MOpnKind::kFReg, "SPARC expects a float register operand");
+  HETM_CHECK(o.v >= 0 && o.v < 32);
+  return static_cast<uint32_t>(o.v);
+}
+
+uint32_t CheckedSlot13(const MOperand& o) {
+  HETM_CHECK(o.kind == MOpnKind::kSlot);
+  HETM_CHECK_MSG(o.v >= 0 && o.v < (1 << 13), "frame too large for SPARC 13-bit offsets");
+  return static_cast<uint32_t>(o.v);
+}
+
+uint32_t EncodeWord(const MicroOp& op, int32_t word_disp) {
+  uint32_t w = static_cast<uint32_t>(kOpcodeBase + static_cast<uint32_t>(op.kind)) << 24;
+  switch (op.kind) {
+    case MKind::kSethi: {
+      HETM_CHECK(op.a.kind == MOpnKind::kImm);
+      uint32_t imm = static_cast<uint32_t>(op.a.v);
+      HETM_CHECK(imm < (1u << 19));
+      return w | (CheckedReg(op.dst) << 19) | imm;
+    }
+    case MKind::kMov: {
+      if (op.dst.kind == MOpnKind::kReg && op.a.kind == MOpnKind::kReg) {
+        return w | (0u << 22) | (CheckedReg(op.dst) << 17) | CheckedReg(op.a);
+      }
+      if (op.dst.kind == MOpnKind::kReg && op.a.kind == MOpnKind::kImm) {
+        HETM_CHECK_MSG(op.a.v >= -4096 && op.a.v < 4096, "SPARC immediate exceeds 13 bits");
+        return w | (1u << 22) | (CheckedReg(op.dst) << 17) |
+               (static_cast<uint32_t>(op.a.v) & 0x1FFF);
+      }
+      if (op.dst.kind == MOpnKind::kReg && op.a.kind == MOpnKind::kSlot) {
+        return w | (2u << 22) | (CheckedReg(op.dst) << 17) | CheckedSlot13(op.a);
+      }
+      HETM_CHECK_MSG(op.dst.kind == MOpnKind::kSlot && op.a.kind == MOpnKind::kReg,
+                     "SPARC mov must be r<-r, r<-imm, load or store");
+      return w | (3u << 22) | (CheckedReg(op.a) << 17) | CheckedSlot13(op.dst);
+    }
+    case MKind::kNeg:
+    case MKind::kNot:
+      return w | (CheckedReg(op.dst) << 19) | (CheckedReg(op.a) << 14);
+    case MKind::kFMov: {
+      if (op.dst.kind == MOpnKind::kFReg && op.a.kind == MOpnKind::kFReg) {
+        return w | (0u << 22) | (CheckedFReg(op.dst) << 17) | CheckedFReg(op.a);
+      }
+      if (op.dst.kind == MOpnKind::kFReg && op.a.kind == MOpnKind::kSlot) {
+        return w | (2u << 22) | (CheckedFReg(op.dst) << 17) | CheckedSlot13(op.a);
+      }
+      HETM_CHECK_MSG(op.dst.kind == MOpnKind::kSlot && op.a.kind == MOpnKind::kFReg,
+                     "SPARC fmov must be f<-f, lddf or stdf");
+      return w | (3u << 22) | (CheckedFReg(op.a) << 17) | CheckedSlot13(op.dst);
+    }
+    case MKind::kFMovImm:
+      return w | (CheckedFReg(op.dst) << 19);
+    case MKind::kFNeg:
+    case MKind::kCvtIF: {
+      uint32_t src = op.kind == MKind::kCvtIF ? CheckedReg(op.a) : CheckedFReg(op.a);
+      return w | (CheckedFReg(op.dst) << 19) | (src << 14);
+    }
+    case MKind::kGetF:
+      HETM_CHECK(op.imm >= 0 && op.imm < (1 << 13));
+      return w | (CheckedReg(op.dst) << 19) | static_cast<uint32_t>(op.imm);
+    case MKind::kSetF:
+      HETM_CHECK(op.imm >= 0 && op.imm < (1 << 13));
+      return w | (CheckedReg(op.a) << 19) | static_cast<uint32_t>(op.imm);
+    case MKind::kGetFD:
+      HETM_CHECK(op.imm >= 0 && op.imm < (1 << 12));
+      return w | (CheckedSlot13(op.dst) << 12) | static_cast<uint32_t>(op.imm);
+    case MKind::kSetFD:
+      HETM_CHECK(op.imm >= 0 && op.imm < (1 << 12));
+      return w | (CheckedSlot13(op.a) << 12) | static_cast<uint32_t>(op.imm);
+    case MKind::kJmp:
+      HETM_CHECK(word_disp >= -(1 << 23) && word_disp < (1 << 23));
+      return w | (static_cast<uint32_t>(word_disp) & 0xFFFFFF);
+    case MKind::kJf:
+      HETM_CHECK(word_disp >= -(1 << 18) && word_disp < (1 << 18));
+      return w | (CheckedReg(op.a) << 19) | (static_cast<uint32_t>(word_disp) & 0x7FFFF);
+    case MKind::kCall:
+    case MKind::kTrap:
+      HETM_CHECK(op.site >= 0 && op.site < (1 << 16));
+      return w | static_cast<uint32_t>(op.site);
+    case MKind::kRet:
+    case MKind::kRemque:
+    case MKind::kMonExitTrap: {
+      if (op.a.kind == MOpnKind::kNone) {
+        return w | (0u << 22);
+      }
+      if (op.a.kind == MOpnKind::kReg) {
+        return w | (1u << 22) | CheckedReg(op.a);
+      }
+      HETM_CHECK(op.a.kind == MOpnKind::kSlot);
+      return w | (2u << 22) | CheckedSlot13(op.a);
+    }
+    case MKind::kPoll:
+      return w;
+    default:
+      break;
+  }
+  if (IsAluBin(op.kind)) {
+    uint32_t word = w | (CheckedReg(op.dst) << 19) | (CheckedReg(op.a) << 14);
+    if (op.b.kind == MOpnKind::kImm) {
+      // kOrImm is the low half of a sethi/or pair and takes an unsigned 13-bit
+      // immediate; all other ALU immediates are signed 13-bit.
+      if (op.kind == MKind::kOrImm) {
+        HETM_CHECK(op.b.v >= 0 && op.b.v < (1 << 13));
+      } else {
+        HETM_CHECK_MSG(op.b.v >= -4096 && op.b.v < 4096, "SPARC immediate exceeds 13 bits");
+      }
+      return word | (1u << 13) | (static_cast<uint32_t>(op.b.v) & 0x1FFF);
+    }
+    return word | CheckedReg(op.b);
+  }
+  if (IsFloatBin(op.kind)) {
+    return w | (CheckedFReg(op.dst) << 19) | (CheckedFReg(op.a) << 14) |
+           (CheckedFReg(op.b) << 9);
+  }
+  if (IsFloatCmp(op.kind)) {
+    return w | (CheckedReg(op.dst) << 19) | (CheckedFReg(op.a) << 14) |
+           (CheckedFReg(op.b) << 9);
+  }
+  HETM_UNREACHABLE("unencodable SPARC instruction");
+}
+
+}  // namespace
+
+EncodedCode SparcEncode(const std::vector<MicroOp>& ops) {
+  EncodedCode out;
+  uint32_t pc = 0;
+  for (const MicroOp& op : ops) {
+    out.pcs.push_back(pc);
+    pc += op.kind == MKind::kFMovImm ? 12 : 4;
+  }
+  out.pcs.push_back(pc);
+  out.bytes.reserve(pc);
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MicroOp& op = ops[i];
+    int32_t word_disp = 0;
+    if (IsBranch(op.kind)) {
+      HETM_CHECK(op.target_index >= 0 &&
+                 op.target_index < static_cast<int32_t>(ops.size()));
+      int32_t byte_disp =
+          static_cast<int32_t>(out.pcs[op.target_index]) - static_cast<int32_t>(out.pcs[i]);
+      HETM_CHECK(byte_disp % 4 == 0);
+      word_disp = byte_disp / 4;
+    }
+    uint32_t w = EncodeWord(op, word_disp);
+    size_t at = out.bytes.size();
+    out.bytes.resize(at + 4);
+    Store32(&out.bytes[at], w, kOrder);
+    if (op.kind == MKind::kFMovImm) {
+      uint8_t lit[8];
+      EncodeFloat64(op.fimm, FloatFormat::kIeee754, kOrder, lit);
+      out.bytes.insert(out.bytes.end(), lit, lit + 8);
+    }
+  }
+  return out;
+}
+
+MicroOp SparcDecodeAt(const std::vector<uint8_t>& code, uint32_t pc) {
+  MicroOp op;
+  uint32_t w = Load32(&code[pc], kOrder);
+  uint8_t kind_byte = static_cast<uint8_t>(w >> 24);
+  HETM_CHECK_MSG(kind_byte >= kOpcodeBase, "bad SPARC opcode 0x%08x at pc %u", w, pc);
+  op.kind = static_cast<MKind>(kind_byte - kOpcodeBase);
+  op.length = 4;
+  switch (op.kind) {
+    case MKind::kSethi:
+      op.dst = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+      op.a = MOperand::Imm(static_cast<int32_t>(Field(w, 18, 0)));
+      return op;
+    case MKind::kMov: {
+      uint32_t mode = Field(w, 23, 22);
+      uint32_t r = Field(w, 21, 17);
+      uint32_t v = Field(w, 12, 0);
+      switch (mode) {
+        case 0:
+          op.dst = MOperand::Reg(static_cast<int>(r));
+          op.a = MOperand::Reg(static_cast<int>(v & 0x1F));
+          break;
+        case 1:
+          op.dst = MOperand::Reg(static_cast<int>(r));
+          op.a = MOperand::Imm(SignExtend(v, 13));
+          break;
+        case 2:
+          op.dst = MOperand::Reg(static_cast<int>(r));
+          op.a = MOperand::Slot(static_cast<int>(v));
+          break;
+        default:
+          op.dst = MOperand::Slot(static_cast<int>(v));
+          op.a = MOperand::Reg(static_cast<int>(r));
+          break;
+      }
+      return op;
+    }
+    case MKind::kNeg:
+    case MKind::kNot:
+      op.dst = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+      op.a = MOperand::Reg(static_cast<int>(Field(w, 18, 14)));
+      return op;
+    case MKind::kFMov: {
+      uint32_t mode = Field(w, 23, 22);
+      uint32_t f = Field(w, 21, 17);
+      uint32_t v = Field(w, 12, 0);
+      switch (mode) {
+        case 0:
+          op.dst = MOperand::FReg(static_cast<int>(f));
+          op.a = MOperand::FReg(static_cast<int>(v & 0x1F));
+          break;
+        case 2:
+          op.dst = MOperand::FReg(static_cast<int>(f));
+          op.a = MOperand::Slot(static_cast<int>(v));
+          break;
+        default:
+          op.dst = MOperand::Slot(static_cast<int>(v));
+          op.a = MOperand::FReg(static_cast<int>(f));
+          break;
+      }
+      return op;
+    }
+    case MKind::kFMovImm:
+      op.dst = MOperand::FReg(static_cast<int>(Field(w, 23, 19)));
+      op.fimm = DecodeFloat64(&code[pc + 4], FloatFormat::kIeee754, kOrder);
+      op.length = 12;
+      return op;
+    case MKind::kFNeg:
+    case MKind::kCvtIF: {
+      op.dst = MOperand::FReg(static_cast<int>(Field(w, 23, 19)));
+      int src = static_cast<int>(Field(w, 18, 14));
+      op.a = op.kind == MKind::kCvtIF ? MOperand::Reg(src) : MOperand::FReg(src);
+      return op;
+    }
+    case MKind::kGetF:
+      op.dst = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+      op.imm = static_cast<int32_t>(Field(w, 12, 0));
+      return op;
+    case MKind::kSetF:
+      op.a = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+      op.imm = static_cast<int32_t>(Field(w, 12, 0));
+      return op;
+    case MKind::kGetFD:
+      op.dst = MOperand::Slot(static_cast<int>(Field(w, 23, 12)));
+      op.imm = static_cast<int32_t>(Field(w, 11, 0));
+      return op;
+    case MKind::kSetFD:
+      op.a = MOperand::Slot(static_cast<int>(Field(w, 23, 12)));
+      op.imm = static_cast<int32_t>(Field(w, 11, 0));
+      return op;
+    case MKind::kJmp: {
+      int32_t disp = SignExtend(Field(w, 23, 0), 24);
+      op.target_pc = static_cast<uint32_t>(static_cast<int32_t>(pc) + disp * 4);
+      return op;
+    }
+    case MKind::kJf: {
+      op.a = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+      int32_t disp = SignExtend(Field(w, 18, 0), 19);
+      op.target_pc = static_cast<uint32_t>(static_cast<int32_t>(pc) + disp * 4);
+      return op;
+    }
+    case MKind::kCall:
+    case MKind::kTrap:
+      op.site = static_cast<int32_t>(Field(w, 15, 0));
+      return op;
+    case MKind::kRet:
+    case MKind::kRemque:
+    case MKind::kMonExitTrap: {
+      uint32_t mode = Field(w, 23, 22);
+      uint32_t v = Field(w, 17, 0);
+      if (mode == 1) {
+        op.a = MOperand::Reg(static_cast<int>(v & 0x1F));
+      } else if (mode == 2) {
+        op.a = MOperand::Slot(static_cast<int>(v));
+      }
+      return op;
+    }
+    case MKind::kPoll:
+      return op;
+    default:
+      break;
+  }
+  if (IsAluBin(op.kind)) {
+    op.dst = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+    op.a = MOperand::Reg(static_cast<int>(Field(w, 18, 14)));
+    if (Field(w, 13, 13) != 0) {
+      op.b = op.kind == MKind::kOrImm
+                 ? MOperand::Imm(static_cast<int32_t>(Field(w, 12, 0)))
+                 : MOperand::Imm(SignExtend(Field(w, 12, 0), 13));
+    } else {
+      op.b = MOperand::Reg(static_cast<int>(Field(w, 12, 0) & 0x1F));
+    }
+    return op;
+  }
+  if (IsFloatBin(op.kind)) {
+    op.dst = MOperand::FReg(static_cast<int>(Field(w, 23, 19)));
+    op.a = MOperand::FReg(static_cast<int>(Field(w, 18, 14)));
+    op.b = MOperand::FReg(static_cast<int>(Field(w, 13, 9)));
+    return op;
+  }
+  if (IsFloatCmp(op.kind)) {
+    op.dst = MOperand::Reg(static_cast<int>(Field(w, 23, 19)));
+    op.a = MOperand::FReg(static_cast<int>(Field(w, 18, 14)));
+    op.b = MOperand::FReg(static_cast<int>(Field(w, 13, 9)));
+    return op;
+  }
+  HETM_UNREACHABLE("undecodable SPARC instruction");
+}
+
+uint32_t SparcCycles(const MicroOp& op) {
+  switch (op.kind) {
+    case MKind::kMov:
+      if (op.a.kind == MOpnKind::kSlot) return 2;   // load
+      if (op.dst.kind == MOpnKind::kSlot) return 3; // store
+      return 1;
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kAnd:
+    case MKind::kOr:
+    case MKind::kOrImm:
+    case MKind::kSethi:
+    case MKind::kNeg:
+    case MKind::kNot: return 1;
+    case MKind::kMul: return 19;
+    case MKind::kDiv: return 39;
+    case MKind::kMod: return 41;
+    case MKind::kCmpEq:
+    case MKind::kCmpNe:
+    case MKind::kCmpLt:
+    case MKind::kCmpLe:
+    case MKind::kCmpGt:
+    case MKind::kCmpGe: return 2;
+    case MKind::kFMov: return 3;
+    case MKind::kFMovImm: return 4;
+    case MKind::kFAdd:
+    case MKind::kFSub: return 7;
+    case MKind::kFMul: return 9;
+    case MKind::kFDiv: return 12;
+    case MKind::kFNeg: return 3;
+    case MKind::kFCmpEq:
+    case MKind::kFCmpNe:
+    case MKind::kFCmpLt:
+    case MKind::kFCmpLe:
+    case MKind::kFCmpGt:
+    case MKind::kFCmpGe: return 4;
+    case MKind::kCvtIF: return 6;
+    case MKind::kGetF:
+    case MKind::kSetF: return 3;
+    case MKind::kGetFD:
+    case MKind::kSetFD: return 5;
+    case MKind::kJmp: return 2;
+    case MKind::kJf: return 2;
+    case MKind::kCall:
+    case MKind::kTrap: return 8;
+    case MKind::kPoll: return 2;
+    case MKind::kRet: return 4;
+    case MKind::kRemque: return 8;  // unused: exit is a trap on SPARC
+    case MKind::kMonExitTrap: return 8;
+  }
+  return 1;
+}
+
+}  // namespace hetm

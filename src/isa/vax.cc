@@ -1,0 +1,237 @@
+// VAX32 encoding: little-endian, variable-length CISC.
+//
+// Layout: one opcode byte (0x10 + kind), then operand specifiers in src,src,dst
+// order, then kind-specific extras. Operand specifiers:
+//   0x00            none (omitted operand position, e.g. valueless RET)
+//   0x50 | r        register r (r0..r15)
+//   0xA0 off16      frame slot, 16-bit byte displacement (little-endian)
+//   0x8F imm32      32-bit immediate (little-endian)
+// Extras: branches append a 16-bit displacement relative to the end of the
+// instruction; CALL/TRAP append a 16-bit site id; field ops append a 16-bit field
+// offset; FMOVIMM appends an 8-byte literal in VAX D_floating format (the float
+// literal bytes in the code stream are themselves machine-dependent).
+#include "src/arch/float_codec.h"
+#include "src/isa/isa_internal.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+constexpr uint8_t kOpcodeBase = 0x10;
+constexpr ByteOrder kOrder = ByteOrder::kLittle;
+
+uint32_t OperandSize(const MOperand& o) {
+  switch (o.kind) {
+    case MOpnKind::kNone:
+      return 1;
+    case MOpnKind::kReg:
+      return 1;
+    case MOpnKind::kSlot:
+      return 3;
+    case MOpnKind::kImm:
+      return 5;
+    case MOpnKind::kFReg:
+      HETM_UNREACHABLE("VAX has no float registers");
+  }
+  return 0;
+}
+
+uint32_t InstrLength(const MicroOp& op) {
+  OpRoles roles = RolesOf(op.kind);
+  uint32_t n = 1;
+  if (roles.a) n += OperandSize(op.a);
+  if (roles.b) n += OperandSize(op.b);
+  if (roles.dst) n += OperandSize(op.dst);
+  if (IsBranch(op.kind)) n += 2;
+  if (HasSite(op.kind)) n += 2;
+  if (IsFieldOp(op.kind)) n += 2;
+  if (op.kind == MKind::kFMovImm) n += 8;
+  return n;
+}
+
+void EmitOperand(std::vector<uint8_t>& out, const MOperand& o) {
+  switch (o.kind) {
+    case MOpnKind::kNone:
+      out.push_back(0x00);
+      return;
+    case MOpnKind::kReg:
+      HETM_CHECK(o.v >= 0 && o.v < 16);
+      out.push_back(static_cast<uint8_t>(0x50 | o.v));
+      return;
+    case MOpnKind::kSlot: {
+      out.push_back(0xA0);
+      size_t at = out.size();
+      out.resize(at + 2);
+      Store16(&out[at], static_cast<uint16_t>(o.v), kOrder);
+      return;
+    }
+    case MOpnKind::kImm: {
+      out.push_back(0x8F);
+      size_t at = out.size();
+      out.resize(at + 4);
+      Store32(&out[at], static_cast<uint32_t>(o.v), kOrder);
+      return;
+    }
+    case MOpnKind::kFReg:
+      HETM_UNREACHABLE("VAX has no float registers");
+  }
+}
+
+MOperand ReadOperand(const std::vector<uint8_t>& code, uint32_t& pc) {
+  uint8_t mode = code[pc++];
+  if (mode == 0x00) {
+    return MOperand::None();
+  }
+  if ((mode & 0xF0) == 0x50) {
+    return MOperand::Reg(mode & 0x0F);
+  }
+  if (mode == 0xA0) {
+    uint16_t off = Load16(&code[pc], kOrder);
+    pc += 2;
+    return MOperand::Slot(off);
+  }
+  HETM_CHECK_MSG(mode == 0x8F, "bad VAX operand specifier 0x%02x", mode);
+  int32_t v = static_cast<int32_t>(Load32(&code[pc], kOrder));
+  pc += 4;
+  return MOperand::Imm(v);
+}
+
+}  // namespace
+
+EncodedCode VaxEncode(const std::vector<MicroOp>& ops) {
+  EncodedCode out;
+  uint32_t pc = 0;
+  for (const MicroOp& op : ops) {
+    out.pcs.push_back(pc);
+    pc += InstrLength(op);
+  }
+  out.pcs.push_back(pc);
+  out.bytes.reserve(pc);
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const MicroOp& op = ops[i];
+    OpRoles roles = RolesOf(op.kind);
+    out.bytes.push_back(static_cast<uint8_t>(kOpcodeBase + static_cast<uint8_t>(op.kind)));
+    if (roles.a) EmitOperand(out.bytes, op.a);
+    if (roles.b) EmitOperand(out.bytes, op.b);
+    if (roles.dst) EmitOperand(out.bytes, op.dst);
+    if (IsBranch(op.kind)) {
+      HETM_CHECK(op.target_index >= 0 &&
+                 op.target_index < static_cast<int32_t>(ops.size()));
+      int32_t disp =
+          static_cast<int32_t>(out.pcs[op.target_index]) - static_cast<int32_t>(out.pcs[i + 1]);
+      HETM_CHECK(disp >= INT16_MIN && disp <= INT16_MAX);
+      size_t at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(disp), kOrder);
+    }
+    if (HasSite(op.kind)) {
+      size_t at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(op.site), kOrder);
+    }
+    if (IsFieldOp(op.kind)) {
+      size_t at = out.bytes.size();
+      out.bytes.resize(at + 2);
+      Store16(&out.bytes[at], static_cast<uint16_t>(op.imm), kOrder);
+    }
+    if (op.kind == MKind::kFMovImm) {
+      uint8_t lit[8];
+      EncodeFloat64(op.fimm, FloatFormat::kVaxD, kOrder, lit);
+      out.bytes.insert(out.bytes.end(), lit, lit + 8);
+    }
+    HETM_CHECK(out.bytes.size() == out.pcs[i] + InstrLength(op));
+  }
+  return out;
+}
+
+MicroOp VaxDecodeAt(const std::vector<uint8_t>& code, uint32_t pc) {
+  MicroOp op;
+  uint32_t p = pc;
+  uint8_t opcode = code[p++];
+  HETM_CHECK_MSG(opcode >= kOpcodeBase, "bad VAX opcode 0x%02x at pc %u", opcode, pc);
+  op.kind = static_cast<MKind>(opcode - kOpcodeBase);
+  OpRoles roles = RolesOf(op.kind);
+  if (roles.a) op.a = ReadOperand(code, p);
+  if (roles.b) op.b = ReadOperand(code, p);
+  if (roles.dst) op.dst = ReadOperand(code, p);
+  if (IsBranch(op.kind)) {
+    int16_t disp = static_cast<int16_t>(Load16(&code[p], kOrder));
+    p += 2;
+    op.target_pc = static_cast<uint32_t>(static_cast<int32_t>(p) + disp);
+  }
+  if (HasSite(op.kind)) {
+    op.site = Load16(&code[p], kOrder);
+    p += 2;
+  }
+  if (IsFieldOp(op.kind)) {
+    op.imm = Load16(&code[p], kOrder);
+    p += 2;
+  }
+  if (op.kind == MKind::kFMovImm) {
+    op.fimm = DecodeFloat64(&code[p], FloatFormat::kVaxD, kOrder);
+    p += 8;
+  }
+  op.length = p - pc;
+  return op;
+}
+
+uint32_t VaxCycles(const MicroOp& op) {
+  uint32_t base;
+  switch (op.kind) {
+    case MKind::kMov: base = 4; break;
+    case MKind::kAdd:
+    case MKind::kSub:
+    case MKind::kAnd:
+    case MKind::kOr: base = 5; break;
+    case MKind::kMul: base = 20; break;
+    case MKind::kDiv: base = 40; break;
+    case MKind::kMod: base = 42; break;
+    case MKind::kNeg:
+    case MKind::kNot: base = 4; break;
+    case MKind::kCmpEq:
+    case MKind::kCmpNe:
+    case MKind::kCmpLt:
+    case MKind::kCmpLe:
+    case MKind::kCmpGt:
+    case MKind::kCmpGe: base = 6; break;
+    case MKind::kSethi:
+    case MKind::kOrImm: base = 4; break;  // unused by the VAX backend
+    case MKind::kFMov: base = 8; break;
+    case MKind::kFMovImm: base = 10; break;
+    case MKind::kFAdd:
+    case MKind::kFSub: base = 24; break;
+    case MKind::kFMul: base = 30; break;
+    case MKind::kFDiv: base = 60; break;
+    case MKind::kFNeg: base = 8; break;
+    case MKind::kFCmpEq:
+    case MKind::kFCmpNe:
+    case MKind::kFCmpLt:
+    case MKind::kFCmpLe:
+    case MKind::kFCmpGt:
+    case MKind::kFCmpGe: base = 12; break;
+    case MKind::kCvtIF: base = 12; break;
+    case MKind::kGetF:
+    case MKind::kSetF: base = 6; break;
+    case MKind::kGetFD:
+    case MKind::kSetFD: base = 10; break;
+    case MKind::kJmp: base = 6; break;
+    case MKind::kJf: base = 7; break;
+    case MKind::kCall:
+    case MKind::kTrap: base = 12; break;
+    case MKind::kPoll: base = 3; break;
+    case MKind::kRet: base = 10; break;
+    case MKind::kRemque: base = 16; break;  // atomic queue unlink, one instruction
+    case MKind::kMonExitTrap: base = 12; break;  // unused by the VAX backend
+    default: base = 5; break;
+  }
+  // Memory (slot) operands cost extra on a memory-to-memory CISC.
+  uint32_t mem = 0;
+  for (const MOperand* o : {&op.dst, &op.a, &op.b}) {
+    if (o->kind == MOpnKind::kSlot) mem += 2;
+  }
+  return base + mem;
+}
+
+}  // namespace hetm

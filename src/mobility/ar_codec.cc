@@ -1,0 +1,126 @@
+#include "src/mobility/ar_codec.h"
+
+#include "src/arch/float_codec.h"
+#include "src/support/check.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+Value WrapRaw(ValueKind kind, uint32_t raw) {
+  switch (kind) {
+    case ValueKind::kInt:
+      return Value::Int(static_cast<int32_t>(raw));
+    case ValueKind::kBool:
+      return Value::Bool(raw != 0);
+    case ValueKind::kStr:
+      return Value::Str(raw);
+    case ValueKind::kRef:
+      return Value::Ref(raw);
+    case ValueKind::kNode:
+      return Value::NodeRef(raw);
+    case ValueKind::kReal:
+      break;
+  }
+  HETM_UNREACHABLE("raw read of a Real cell");
+}
+
+uint32_t UnwrapRaw(const Value& v) {
+  switch (v.kind) {
+    case ValueKind::kInt:
+    case ValueKind::kBool:
+      return static_cast<uint32_t>(v.i);
+    case ValueKind::kStr:
+    case ValueKind::kRef:
+    case ValueKind::kNode:
+      return v.oid;
+    case ValueKind::kReal:
+      break;
+  }
+  HETM_UNREACHABLE("raw write of a Real value");
+}
+
+}  // namespace
+
+ActivationRecord MakeActivation(Arch arch, Oid code_oid, int op_index, const OpInfo& op,
+                                Oid self) {
+  const ArchInfo& info = GetArchInfo(arch);
+  ActivationRecord ar;
+  ar.self = self;
+  ar.code_oid = code_oid;
+  ar.op_index = op_index;
+  ar.frame.assign(op.frame_bytes[static_cast<int>(arch)], 0);
+  ar.regs.assign(info.num_regs, 0);
+  ar.fregs.assign(2, 0.0);
+  return ar;
+}
+
+Value ReadCellValue(Arch arch, const OpInfo& op, const ActivationRecord& ar, int cell) {
+  const ArchInfo& info = GetArchInfo(arch);
+  ValueKind kind = op.ir[0].cells[cell].kind;
+  const Home& home = op.homes[static_cast<int>(arch)][cell];
+  if (kind == ValueKind::kReal) {
+    HETM_CHECK(home.kind == HomeKind::kSlot);
+    return Value::Real(
+        DecodeFloat64(&ar.frame[home.index], info.float_format, info.byte_order));
+  }
+  uint32_t raw = home.kind == HomeKind::kReg
+                     ? ar.regs[home.index]
+                     : Load32(&ar.frame[home.index], info.byte_order);
+  return WrapRaw(kind, raw);
+}
+
+void WriteCellValue(Arch arch, const OpInfo& op, ActivationRecord& ar, int cell,
+                    const Value& v) {
+  const ArchInfo& info = GetArchInfo(arch);
+  ValueKind kind = op.ir[0].cells[cell].kind;
+  const Home& home = op.homes[static_cast<int>(arch)][cell];
+  if (kind == ValueKind::kReal) {
+    HETM_CHECK(v.kind == ValueKind::kReal);
+    HETM_CHECK(home.kind == HomeKind::kSlot);
+    EncodeFloat64(v.r, info.float_format, info.byte_order, &ar.frame[home.index]);
+    return;
+  }
+  // Reference-kinded cells accept any reference value (Ref is the universal object
+  // type); everything else must match exactly.
+  if (IsReference(kind)) {
+    HETM_CHECK(IsReference(v.kind));
+  } else {
+    HETM_CHECK(v.kind == kind);
+  }
+  uint32_t raw = UnwrapRaw(v);
+  if (home.kind == HomeKind::kReg) {
+    ar.regs[home.index] = raw;
+  } else {
+    Store32(&ar.frame[home.index], raw, info.byte_order);
+  }
+}
+
+void MarshalArCells(Arch arch, const OpInfo& op, OptLevel opt, const ActivationRecord& ar,
+                    int stop, WireWriter& w) {
+  const IrFunction& fn = op.Ir(opt);
+  std::vector<std::pair<int, Value>> live;
+  for (size_t c = 0; c < fn.cells.size(); ++c) {
+    if (fn.CellLiveAtStop(stop, static_cast<int>(c))) {
+      live.emplace_back(static_cast<int>(c),
+                        ReadCellValue(arch, op, ar, static_cast<int>(c)));
+    }
+  }
+  w.U16(static_cast<uint16_t>(live.size()));
+  for (const auto& [cell, value] : live) {
+    w.U16(static_cast<uint16_t>(cell));
+    w.TaggedValue(value);
+  }
+}
+
+void UnmarshalArCells(Arch arch, const OpInfo& op, ActivationRecord& ar, WireReader& r) {
+  uint16_t count = r.U16();
+  for (uint16_t i = 0; i < count; ++i) {
+    int cell = r.U16();
+    Value v = r.TaggedValue();
+    WriteCellValue(arch, op, ar, cell, v);
+  }
+}
+
+}  // namespace hetm

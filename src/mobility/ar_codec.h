@@ -1,0 +1,45 @@
+// Activation-record conversion between machine-dependent and machine-independent
+// representations (section 3.5: "an additional layer of marshalling was necessary to
+// convert activation records to and from a machine-independent format").
+//
+// The machine-independent activation record stores all live variables in canonical
+// cell order as tagged network-format values (the paper's "new activation record
+// format [storing] all local variables in the activation record rather than in
+// registers"). The machine-dependent side is a raw frame image plus a register file,
+// described by the template: per-cell homes and per-stop live sets.
+#ifndef HETM_SRC_MOBILITY_AR_CODEC_H_
+#define HETM_SRC_MOBILITY_AR_CODEC_H_
+
+#include "src/arch/arch.h"
+#include "src/compiler/compiled.h"
+#include "src/mobility/wire.h"
+#include "src/runtime/thread.h"
+#include "src/runtime/value.h"
+
+namespace hetm {
+
+// Allocates a zeroed machine-dependent activation record for `op` on `arch`.
+ActivationRecord MakeActivation(Arch arch, Oid code_oid, int op_index, const OpInfo& op,
+                                Oid self);
+
+// Reads the canonical value of one cell out of a machine-dependent record.
+Value ReadCellValue(Arch arch, const OpInfo& op, const ActivationRecord& ar, int cell);
+
+// Writes a canonical value into a cell's machine-dependent home, converting to the
+// architecture's byte order / float format. The value kind must match the cell kind
+// (Ref-kinded cells accept any reference).
+void WriteCellValue(Arch arch, const OpInfo& op, ActivationRecord& ar, int cell,
+                    const Value& v);
+
+// Marshals the cells live at `stop` (per the `opt`-level template) as
+// {u16 count, (u16 cell, tagged value)...}.
+void MarshalArCells(Arch arch, const OpInfo& op, OptLevel opt, const ActivationRecord& ar,
+                    int stop, WireWriter& w);
+
+// Rebuilds cells from the wire into a fresh machine-dependent record (dead cells
+// stay zero).
+void UnmarshalArCells(Arch arch, const OpInfo& op, ActivationRecord& ar, WireReader& r);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_MOBILITY_AR_CODEC_H_

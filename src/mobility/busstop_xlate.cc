@@ -1,0 +1,36 @@
+#include "src/mobility/busstop_xlate.h"
+
+#include <algorithm>
+
+#include "src/arch/calibration.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter) {
+  if (meter != nullptr) {
+    meter->counters().busstop_lookups += 1;
+    meter->Charge(kBusStopLookupCycles);
+  }
+  auto lo = std::lower_bound(code.stops.begin(), code.stops.end(), pc,
+                             [](const BusStopEntry& e, uint32_t p) { return e.pc < p; });
+  auto hi = std::upper_bound(code.stops.begin(), code.stops.end(), pc,
+                             [](uint32_t p, const BusStopEntry& e) { return p < e.pc; });
+  HETM_CHECK_MSG(lo != hi, "pc %u is not a bus stop", pc);
+  // Prefer the retry (last) entry when blocked on a monitor; the completion (first)
+  // entry otherwise.
+  auto it = blocked_monitor ? hi - 1 : lo;
+  HETM_CHECK_MSG(!it->exit_only, "observed a pc at an exit-only bus stop");
+  return static_cast<int>(it - code.stops.begin());
+}
+
+uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter) {
+  if (meter != nullptr) {
+    meter->counters().busstop_lookups += 1;
+    meter->Charge(kBusStopLookupCycles);
+  }
+  HETM_CHECK(stop >= 0 && stop < static_cast<int>(code.stops.size()));
+  return code.stops[stop].pc;
+}
+
+}  // namespace hetm

@@ -1,0 +1,31 @@
+// Program counter <-> bus stop number translation (section 3.3).
+//
+// The compiler emits, per (operation, architecture, optimization level), a table
+// mapping bus stop numbers to native pcs. Because stops are numbered in code order
+// the table is sorted by pc, so the reverse lookup is a binary search. Exit-only
+// entries (VAX atomic monitor exit) support stop->pc conversion only; a pc can never
+// be *observed* there.
+//
+// Two stops may share a pc: an invocation-return stop immediately followed by a
+// monitor-entry retry stop whose resume point is the trap instruction itself. The
+// kernel disambiguates with `blocked_monitor` — it knows why the thread is suspended.
+#ifndef HETM_SRC_MOBILITY_BUSSTOP_XLATE_H_
+#define HETM_SRC_MOBILITY_BUSSTOP_XLATE_H_
+
+#include <cstdint>
+
+#include "src/arch/cost_meter.h"
+#include "src/compiler/compiled.h"
+
+namespace hetm {
+
+// Converts an observed pc to its bus stop number. Aborts if the pc is not a visible
+// bus stop (a runtime bug: the kernel only ever sees pcs at stops).
+int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter);
+
+// Converts a bus stop number back to a native pc on the destination architecture.
+uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_MOBILITY_BUSSTOP_XLATE_H_

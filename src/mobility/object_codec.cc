@@ -1,0 +1,76 @@
+#include "src/mobility/object_codec.h"
+
+#include "src/arch/float_codec.h"
+#include "src/support/check.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+Value ReadFieldValue(Arch arch, const CompiledClass& cls, const EmObject& obj, int field) {
+  const ArchInfo& info = GetArchInfo(arch);
+  ValueKind kind = cls.fields[field].kind;
+  int off = cls.field_offsets[static_cast<int>(arch)][field];
+  if (kind == ValueKind::kReal) {
+    return Value::Real(DecodeFloat64(&obj.fields[off], info.float_format, info.byte_order));
+  }
+  uint32_t raw = Load32(&obj.fields[off], info.byte_order);
+  switch (kind) {
+    case ValueKind::kInt:
+      return Value::Int(static_cast<int32_t>(raw));
+    case ValueKind::kBool:
+      return Value::Bool(raw != 0);
+    case ValueKind::kStr:
+      return Value::Str(raw);
+    case ValueKind::kRef:
+      return Value::Ref(raw);
+    case ValueKind::kNode:
+      return Value::NodeRef(raw);
+    default:
+      break;
+  }
+  HETM_UNREACHABLE("bad field kind");
+}
+
+void WriteFieldValue(Arch arch, const CompiledClass& cls, EmObject& obj, int field,
+                     const Value& v) {
+  const ArchInfo& info = GetArchInfo(arch);
+  ValueKind kind = cls.fields[field].kind;
+  int off = cls.field_offsets[static_cast<int>(arch)][field];
+  if (kind == ValueKind::kReal) {
+    HETM_CHECK(v.kind == ValueKind::kReal);
+    EncodeFloat64(v.r, info.float_format, info.byte_order, &obj.fields[off]);
+    return;
+  }
+  uint32_t raw;
+  if (IsReference(kind)) {
+    HETM_CHECK(IsReference(v.kind));
+    raw = v.oid;
+  } else {
+    HETM_CHECK(v.kind == kind);
+    raw = static_cast<uint32_t>(v.i);
+  }
+  Store32(&obj.fields[off], raw, info.byte_order);
+}
+
+void MarshalObjectFields(Arch arch, const CompiledClass& cls, const EmObject& obj,
+                         WireWriter& w) {
+  w.U16(static_cast<uint16_t>(cls.fields.size()));
+  for (size_t f = 0; f < cls.fields.size(); ++f) {
+    w.TaggedValue(ReadFieldValue(arch, cls, obj, static_cast<int>(f)));
+  }
+}
+
+void UnmarshalObjectFields(Arch arch, const CompiledClass& cls, EmObject& obj,
+                           WireReader& r) {
+  uint16_t count = r.U16();
+  HETM_CHECK(count == cls.fields.size());
+  for (uint16_t f = 0; f < count; ++f) {
+    WriteFieldValue(arch, cls, obj, f, r.TaggedValue());
+  }
+}
+
+std::vector<uint8_t> MakeFieldImage(Arch arch, const CompiledClass& cls) {
+  return std::vector<uint8_t>(cls.object_bytes[static_cast<int>(arch)], 0);
+}
+
+}  // namespace hetm

@@ -1,0 +1,35 @@
+// Object data conversion between machine-dependent layouts.
+//
+// Field order, byte order and float format all differ per architecture, so moving an
+// object re-lays out its data through canonical values, driven by the class template
+// (per-arch field offsets + kinds). In kRaw (original homogeneous) mode the image is
+// blitted unchanged.
+#ifndef HETM_SRC_MOBILITY_OBJECT_CODEC_H_
+#define HETM_SRC_MOBILITY_OBJECT_CODEC_H_
+
+#include "src/arch/arch.h"
+#include "src/compiler/compiled.h"
+#include "src/mobility/wire.h"
+#include "src/runtime/object.h"
+#include "src/runtime/value.h"
+
+namespace hetm {
+
+// Reads/writes one field of an object hosted on `arch`.
+Value ReadFieldValue(Arch arch, const CompiledClass& cls, const EmObject& obj, int field);
+void WriteFieldValue(Arch arch, const CompiledClass& cls, EmObject& obj, int field,
+                     const Value& v);
+
+// Enhanced-mode field marshalling: every field as a tagged value, in declaration
+// order (the canonical, machine-independent order).
+void MarshalObjectFields(Arch arch, const CompiledClass& cls, const EmObject& obj,
+                         WireWriter& w);
+void UnmarshalObjectFields(Arch arch, const CompiledClass& cls, EmObject& obj,
+                           WireReader& r);
+
+// Allocates a zeroed field image for `cls` on `arch`.
+std::vector<uint8_t> MakeFieldImage(Arch arch, const CompiledClass& cls);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_MOBILITY_OBJECT_CODEC_H_

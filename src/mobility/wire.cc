@@ -1,0 +1,211 @@
+#include "src/mobility/wire.h"
+
+#include "src/arch/calibration.h"
+#include "src/arch/float_codec.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+ByteOrder WireOrder(ConversionStrategy strategy, Arch arch) {
+  return strategy == ConversionStrategy::kRaw ? GetArchInfo(arch).byte_order
+                                              : ByteOrder::kBig;
+}
+
+}  // namespace
+
+WireWriter::WireWriter(ConversionStrategy strategy, Arch arch, CostMeter* meter)
+    : strategy_(strategy), arch_(arch), meter_(meter), writer_(WireOrder(strategy, arch)) {}
+
+void WireWriter::ChargeValue(size_t bytes) {
+  switch (strategy_) {
+    case ConversionStrategy::kRaw:
+      meter_->Charge(bytes * kCopyPerByteCycles);
+      break;
+    case ConversionStrategy::kNaive: {
+      // Recursive descent: one call for the value's conversion routine plus leaf
+      // calls working two bytes at a time — the paper's 1-2 calls per byte.
+      uint64_t calls = 1 + (bytes + 1) / 2;
+      meter_->counters().conv_calls += calls;
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(calls * kConvCallCycles + bytes * kConvPerByteCycles);
+      break;
+    }
+    case ConversionStrategy::kFast:
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(bytes * kFastConvPerByteCycles);
+      break;
+  }
+}
+
+void WireWriter::U8(uint8_t v) {
+  ChargeValue(1);
+  writer_.U8(v);
+}
+
+void WireWriter::U16(uint16_t v) {
+  ChargeValue(2);
+  writer_.U16(v);
+}
+
+void WireWriter::U32(uint32_t v) {
+  ChargeValue(4);
+  writer_.U32(v);
+}
+
+void WireWriter::F64(double v) {
+  ChargeValue(8);
+  if (strategy_ != ConversionStrategy::kRaw) {
+    // Network format is IEEE big-endian; converting from a non-IEEE machine costs a
+    // genuine format conversion.
+    if (GetArchInfo(arch_).float_format != FloatFormat::kIeee754) {
+      meter_->counters().float_conversions += 1;
+      meter_->Charge(kFloatConvCycles);
+    }
+    writer_.F64(v);  // ByteWriter::F64 honours the big-endian wire order
+    return;
+  }
+  uint8_t buf[8];
+  const ArchInfo& info = GetArchInfo(arch_);
+  EncodeFloat64(v, info.float_format, info.byte_order, buf);
+  writer_.Bytes(buf, 8);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  ChargeValue(s.size());
+  writer_.Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void WireWriter::TaggedValue(const Value& v) {
+  U8(static_cast<uint8_t>(v.kind));
+  switch (v.kind) {
+    case ValueKind::kInt:
+    case ValueKind::kBool:
+      I32(v.i);
+      return;
+    case ValueKind::kReal:
+      F64(v.r);
+      return;
+    case ValueKind::kStr:
+    case ValueKind::kRef:
+    case ValueKind::kNode:
+      Oid32(v.oid);
+      return;
+  }
+  HETM_UNREACHABLE("bad ValueKind");
+}
+
+void WireWriter::Blit(const uint8_t* data, size_t n) {
+  meter_->Charge(n * kCopyPerByteCycles);
+  writer_.Bytes(data, n);
+}
+
+void WireWriter::FinishMessage() {
+  if (strategy_ == ConversionStrategy::kFast) {
+    meter_->counters().conv_calls += 1;
+    meter_->Charge(kFastConvSetupCycles);
+  }
+}
+
+WireReader::WireReader(ConversionStrategy strategy, Arch arch, CostMeter* meter,
+                       const std::vector<uint8_t>& data)
+    : strategy_(strategy),
+      arch_(arch),
+      meter_(meter),
+      reader_(data, WireOrder(strategy, arch)) {}
+
+void WireReader::ChargeValue(size_t bytes) {
+  switch (strategy_) {
+    case ConversionStrategy::kRaw:
+      meter_->Charge(bytes * kCopyPerByteCycles);
+      break;
+    case ConversionStrategy::kNaive: {
+      uint64_t calls = 1 + (bytes + 1) / 2;
+      meter_->counters().conv_calls += calls;
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(calls * kConvCallCycles + bytes * kConvPerByteCycles);
+      break;
+    }
+    case ConversionStrategy::kFast:
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(bytes * kFastConvPerByteCycles);
+      break;
+  }
+}
+
+uint8_t WireReader::U8() {
+  ChargeValue(1);
+  return reader_.U8();
+}
+
+uint16_t WireReader::U16() {
+  ChargeValue(2);
+  return reader_.U16();
+}
+
+uint32_t WireReader::U32() {
+  ChargeValue(4);
+  return reader_.U32();
+}
+
+double WireReader::F64() {
+  ChargeValue(8);
+  if (strategy_ != ConversionStrategy::kRaw) {
+    if (GetArchInfo(arch_).float_format != FloatFormat::kIeee754) {
+      meter_->counters().float_conversions += 1;
+      meter_->Charge(kFloatConvCycles);
+    }
+    return reader_.F64();
+  }
+  uint8_t buf[8];
+  reader_.RawBytes(buf, 8);
+  const ArchInfo& info = GetArchInfo(arch_);
+  return DecodeFloat64(buf, info.float_format, info.byte_order);
+}
+
+std::string WireReader::Str() {
+  uint32_t n = U32();
+  ChargeValue(n);
+  std::string s(n, '\0');
+  reader_.RawBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+Value WireReader::TaggedValue() {
+  ValueKind kind = static_cast<ValueKind>(U8());
+  switch (kind) {
+    case ValueKind::kInt: {
+      Value v = Value::Int(I32());
+      return v;
+    }
+    case ValueKind::kBool: {
+      Value v = Value::Bool(I32() != 0);
+      return v;
+    }
+    case ValueKind::kReal:
+      return Value::Real(F64());
+    case ValueKind::kStr:
+      return Value::Str(Oid32());
+    case ValueKind::kRef:
+      return Value::Ref(Oid32());
+    case ValueKind::kNode:
+      return Value::NodeRef(Oid32());
+  }
+  HETM_UNREACHABLE("bad ValueKind tag");
+}
+
+void WireReader::Blit(uint8_t* dst, size_t n) {
+  meter_->Charge(n * kCopyPerByteCycles);
+  reader_.RawBytes(dst, n);
+}
+
+void WireReader::FinishMessage() {
+  if (strategy_ == ConversionStrategy::kFast) {
+    meter_->counters().conv_calls += 1;
+    meter_->Charge(kFastConvSetupCycles);
+  }
+}
+
+}  // namespace hetm

@@ -1,0 +1,102 @@
+// Wire-format writers and readers with conversion-cost accounting.
+//
+// Three strategies, matching the systems the paper measures and predicts:
+//
+//   kRaw   — the original homogeneous Emerald: machine-dependent images are blitted
+//            in the sender's byte order; only copy cycles are charged. Legal only
+//            between identical architectures.
+//   kNaive — the enhanced system as actually implemented in the paper (section 3.5):
+//            "a set of hand-written conversion routines ... not optimized for speed",
+//            converting by recursive descent with, on average, 1-2 conversion
+//            procedure calls per byte transferred. Every value written/read charges
+//            per-call and per-byte cycles, and float values charge a format
+//            conversion on top.
+//   kFast  — the paper's projected optimized implementation ("we could reduce the
+//            performance penalty by 50% by using more efficient routines"): bulk
+//            table-driven conversion charging a per-message setup plus cheap
+//            per-byte work. The wire format is identical; only the cost differs.
+//
+// The wire byte order for kNaive/kFast is network (big-endian) order; floats are
+// IEEE-754. kRaw uses the sender's machine order and float format.
+#ifndef HETM_SRC_MOBILITY_WIRE_H_
+#define HETM_SRC_MOBILITY_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/arch.h"
+#include "src/arch/cost_meter.h"
+#include "src/runtime/value.h"
+#include "src/support/byte_buffer.h"
+
+namespace hetm {
+
+enum class ConversionStrategy : uint8_t { kRaw, kNaive, kFast };
+
+class WireWriter {
+ public:
+  // `arch` is the sender's architecture; it determines byte order and float format
+  // in kRaw mode. `meter` accumulates the conversion cost on the sender's CPU.
+  WireWriter(ConversionStrategy strategy, Arch arch, CostMeter* meter);
+
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v);
+  void Str(const std::string& s);
+  void Oid32(Oid oid) { U32(oid); }
+  // A tagged canonical value (kind byte + payload).
+  void TaggedValue(const Value& v);
+  // Raw bytes (no per-value conversion, copy cost only) — used for kRaw frame blits.
+  void Blit(const uint8_t* data, size_t n);
+
+  // Per-message bookkeeping: call once when the message is complete. Charges the
+  // kFast setup cost (idempotent accounting is the caller's concern).
+  void FinishMessage();
+
+  std::vector<uint8_t> Take() { return writer_.Take(); }
+  size_t size() const { return writer_.size(); }
+  ConversionStrategy strategy() const { return strategy_; }
+
+ private:
+  void ChargeValue(size_t bytes);
+
+  ConversionStrategy strategy_;
+  Arch arch_;
+  CostMeter* meter_;
+  ByteWriter writer_;
+};
+
+class WireReader {
+ public:
+  WireReader(ConversionStrategy strategy, Arch arch, CostMeter* meter,
+             const std::vector<uint8_t>& data);
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64();
+  std::string Str();
+  Oid Oid32() { return U32(); }
+  Value TaggedValue();
+  void Blit(uint8_t* dst, size_t n);
+  void FinishMessage();
+
+  bool AtEnd() const { return reader_.AtEnd(); }
+  size_t remaining() const { return reader_.remaining(); }
+  ConversionStrategy strategy() const { return strategy_; }
+
+ private:
+  void ChargeValue(size_t bytes);
+
+  ConversionStrategy strategy_;
+  Arch arch_;
+  CostMeter* meter_;
+  ByteReader reader_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_MOBILITY_WIRE_H_

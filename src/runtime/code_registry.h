@@ -1,0 +1,52 @@
+// Code repository: (code OID) -> compiled class, for all architectures at once.
+//
+// Plays the role of the paper's NFS-shared code store (section 3.4): any node can
+// demand-load the native code for a code OID in its own architecture and
+// optimization level. Registered programs are immutable and shared by all nodes of
+// a world.
+#ifndef HETM_SRC_RUNTIME_CODE_REGISTRY_H_
+#define HETM_SRC_RUNTIME_CODE_REGISTRY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/compiler/compiled.h"
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+class CodeRegistry {
+ public:
+  struct Entry {
+    const CompiledClass* cls = nullptr;
+    const CompiledProgram* program = nullptr;
+  };
+
+  void Register(std::shared_ptr<const CompiledProgram> program) {
+    for (const auto& cls : program->classes) {
+      Entry e;
+      e.cls = cls.get();
+      e.program = program.get();
+      by_oid_[cls->code_oid] = e;
+    }
+    programs_.push_back(std::move(program));
+  }
+
+  const Entry* Find(Oid code_oid) const {
+    auto it = by_oid_.find(code_oid);
+    return it == by_oid_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<std::shared_ptr<const CompiledProgram>>& programs() const {
+    return programs_;
+  }
+
+ private:
+  std::unordered_map<Oid, Entry> by_oid_;
+  std::vector<std::shared_ptr<const CompiledProgram>> programs_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_CODE_REGISTRY_H_

@@ -1,0 +1,45 @@
+// Inter-node messages. Every message body is real bytes in the wire format produced
+// by WireWriter; routing headers are plain fields (they stand for the fixed-size
+// packet header, accounted for in WireSize).
+#ifndef HETM_SRC_RUNTIME_MESSAGES_H_
+#define HETM_SRC_RUNTIME_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/arch.h"
+#include "src/mobility/wire.h"
+#include "src/runtime/oid.h"
+#include "src/runtime/thread.h"
+
+namespace hetm {
+
+enum class MsgType : uint8_t {
+  kInvoke,          // remote invocation request, routed by object OID
+  kReply,           // invocation result / cross-segment return, routed by segment
+  kMoveObject,      // an object plus every thread fragment executing inside it
+  kMoveRequest,     // ask the object's host to move it (remote `move` statement)
+  kLocationUpdate,  // tell an object's birth node where it now lives
+};
+
+struct Message {
+  MsgType type = MsgType::kInvoke;
+  int src_node = -1;
+  // Routing: object-addressed messages follow location hints / the birth node;
+  // segment-addressed messages follow segment forwarding hints.
+  Oid route_oid = kNilOid;
+  SegRef route_seg;
+  int dest_node_arg = -1;  // kMoveRequest: where the object should go
+  // Payload encoding parameters (the receiver must decode with the same strategy
+  // and, for kRaw, the same architecture).
+  ConversionStrategy strategy = ConversionStrategy::kNaive;
+  Arch payload_arch = Arch::kVax32;
+  std::vector<uint8_t> payload;
+
+  // Bytes on the Ethernet: payload plus the fixed header.
+  size_t WireSize() const { return payload.size() + 32; }
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_MESSAGES_H_

@@ -1,0 +1,920 @@
+#include "src/runtime/node.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/arch/calibration.h"
+#include "src/arch/float_codec.h"
+#include "src/bridge/bridge.h"
+#include "src/isa/isa.h"
+#include "src/mobility/ar_codec.h"
+#include "src/mobility/busstop_xlate.h"
+#include "src/mobility/object_codec.h"
+#include "src/sim/world.h"
+#include "src/support/check.h"
+#include "src/support/endian.h"
+
+namespace hetm {
+
+namespace {
+
+// The IR instruction carrying a given bus stop, for deriving resume metadata
+// (pending call sites) from a stop number.
+const IrInstr* StopInstr(const IrFunction& fn, int stop) {
+  if (stop == 0) {
+    return nullptr;  // operation entry: no instruction
+  }
+  for (const IrInstr& in : fn.instrs) {
+    if (in.stop == stop) {
+      return &in;
+    }
+  }
+  HETM_UNREACHABLE("stop without instruction");
+}
+
+constexpr uint64_t kStintQuantum = 20000;  // instructions between forced poll yields
+
+}  // namespace
+
+Node::Node(World* world, int index, MachineModel machine, OptLevel opt)
+    : world_(world), index_(index), machine_(std::move(machine)), opt_(opt),
+      meter_(machine_) {}
+
+// ---------------------------------------------------------------------------
+// Object services
+// ---------------------------------------------------------------------------
+
+const CodeRegistry::Entry& Node::EntryFor(Oid code_oid) {
+  const CodeRegistry::Entry* entry = world_->code().Find(code_oid);
+  HETM_CHECK_MSG(entry != nullptr, "unknown code OID %08x", code_oid);
+  EnsureClassLoaded(*entry);
+  return *entry;
+}
+
+void Node::EnsureClassLoaded(const CodeRegistry::Entry& entry) {
+  if (!loaded_classes_.insert(entry.cls->code_oid).second) {
+    return;
+  }
+  // Demand-load from the shared repository (the paper's NFS illusion) and intern the
+  // class's string literals under their compile-time OIDs — identical on all nodes.
+  ChargeCycles(kCodeLoadCycles);
+  for (size_t i = 0; i < entry.cls->string_literals.size(); ++i) {
+    InstallString(entry.cls->literal_oids[i], entry.cls->string_literals[i]);
+  }
+}
+
+Oid Node::CreateObject(Oid class_oid) {
+  const CodeRegistry::Entry& entry = EntryFor(class_oid);
+  Oid oid = MakeDataOid(index_, next_oid_counter_++);
+  auto obj = std::make_unique<EmObject>();
+  obj->oid = oid;
+  obj->code_oid = class_oid;
+  obj->fields = MakeFieldImage(arch(), *entry.cls);
+  heap_.emplace(oid, std::move(obj));
+  ChargeCycles(kSyscallBodyCycles);
+  return oid;
+}
+
+Oid Node::InternNewString(const std::string& content) {
+  Oid oid = MakeDataOid(index_, next_oid_counter_++);
+  InstallString(oid, content);
+  return oid;
+}
+
+void Node::InstallString(Oid oid, const std::string& content) {
+  auto it = heap_.find(oid);
+  if (it != heap_.end()) {
+    HETM_CHECK(it->second->is_string && it->second->str == content);
+    return;
+  }
+  auto obj = std::make_unique<EmObject>();
+  obj->oid = oid;
+  obj->is_string = true;
+  obj->str = content;
+  heap_.emplace(oid, std::move(obj));
+}
+
+EmObject* Node::FindLocal(Oid oid) {
+  auto it = heap_.find(oid);
+  return it == heap_.end() ? nullptr : it->second.get();
+}
+
+const EmObject* Node::FindLocal(Oid oid) const {
+  auto it = heap_.find(oid);
+  return it == heap_.end() ? nullptr : it->second.get();
+}
+
+int Node::ProbableLocation(Oid oid) const {
+  if (heap_.count(oid) != 0) {
+    return index_;
+  }
+  auto it = location_hint_.find(oid);
+  if (it != location_hint_.end()) {
+    return it->second;
+  }
+  if (IsDataOid(oid)) {
+    return BirthNodeOfDataOid(oid);
+  }
+  return index_;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void Node::StartMainThread(Oid main_class_oid) {
+  const CodeRegistry::Entry& entry = EntryFor(main_class_oid);
+  Oid main_obj = CreateObject(main_class_oid);
+  ThreadId tid{index_, next_thread_seq_++};
+  main_thread_ = tid;
+  has_main_thread_ = true;
+
+  Segment seg;
+  seg.id = SegId{tid, static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
+  seg.state = SegState::kRunnable;
+  int op_index = entry.cls->FindOp("main");
+  HETM_CHECK(op_index >= 0);
+  const OpInfo& op = entry.cls->ops[op_index];
+  ActivationRecord ar = MakeActivation(arch(), main_class_oid, op_index, op, main_obj);
+  ar.sem_opt = opt_;
+  if (op.ir[0].self_cell >= 0) {
+    WriteCellValue(arch(), op, ar, op.ir[0].self_cell, Value::Ref(main_obj));
+  }
+  seg.ars.push_back(std::move(ar));
+  SegId id = seg.id;
+  segments_.emplace(id, std::move(seg));
+  EnqueueRunnable(id);
+}
+
+void Node::EnqueueRunnable(const SegId& id) { run_queue_.push_back(id); }
+
+void Node::Pump() {
+  // A small stint budget keeps the world loop responsive: a busy-waiting thread must
+  // not starve message delivery (its clock would race ahead of the network).
+  int stints = 0;
+  while (!run_queue_.empty() && stints < 4) {
+    SegId id = run_queue_.front();
+    run_queue_.pop_front();
+    auto it = segments_.find(id);
+    if (it == segments_.end() || it->second.state != SegState::kRunnable) {
+      continue;  // stale queue entry (segment moved away or got blocked)
+    }
+    ++stints;
+    RunSegment(id);
+  }
+}
+
+void Node::RunSegment(SegId id) {
+  Segment& seg = segments_.at(id);
+  RunOutcome out = ExecuteTop(seg);
+  if (out == RunOutcome::kYield) {
+    EnqueueRunnable(id);
+  }
+  // kBlocked: re-enqueued when woken / replied. kDead / kMoved: segment is gone.
+}
+
+void Node::WakeSegment(const SegId& id) {
+  auto it = segments_.find(id);
+  HETM_CHECK_MSG(it != segments_.end(), "woken segment is not resident");
+  HETM_CHECK(it->second.state == SegState::kBlockedMonitor);
+  it->second.state = SegState::kRunnable;
+  it->second.blocked_monitor = kNilOid;
+  EnqueueRunnable(id);
+}
+
+void Node::RuntimeError(const std::string& message) {
+  world_->SetError("node " + std::to_string(index_) + " (" + machine_.name +
+                   "): " + message);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+const MicroOp& Node::Fetch(const ArchOpCode& code, uint32_t pc) {
+  auto& cache = decode_cache_[&code];
+  auto it = cache.find(pc);
+  if (it == cache.end()) {
+    it = cache.emplace(pc, DecodeAt(arch(), code.code, pc)).first;
+  }
+  return it->second;
+}
+
+uint32_t Node::ReadIntOpn(const ActivationRecord& ar, const MOperand& o) const {
+  switch (o.kind) {
+    case MOpnKind::kReg:
+      return ar.regs[o.v];
+    case MOpnKind::kSlot:
+      return Load32(&ar.frame[o.v], GetArchInfo(arch()).byte_order);
+    case MOpnKind::kImm:
+      return static_cast<uint32_t>(o.v);
+    default:
+      HETM_UNREACHABLE("bad integer operand");
+  }
+}
+
+void Node::WriteIntOpn(ActivationRecord& ar, const MOperand& o, uint32_t v) {
+  switch (o.kind) {
+    case MOpnKind::kReg:
+      ar.regs[o.v] = v;
+      return;
+    case MOpnKind::kSlot:
+      Store32(&ar.frame[o.v], v, GetArchInfo(arch()).byte_order);
+      return;
+    default:
+      HETM_UNREACHABLE("bad integer destination");
+  }
+}
+
+double Node::ReadFOpn(const ActivationRecord& ar, const MOperand& o) const {
+  const ArchInfo& info = GetArchInfo(arch());
+  switch (o.kind) {
+    case MOpnKind::kSlot:
+      return DecodeFloat64(&ar.frame[o.v], info.float_format, info.byte_order);
+    case MOpnKind::kFReg:
+      return ar.fregs[o.v];
+    default:
+      HETM_UNREACHABLE("bad float operand");
+  }
+}
+
+void Node::WriteFOpn(ActivationRecord& ar, const MOperand& o, double v) {
+  const ArchInfo& info = GetArchInfo(arch());
+  switch (o.kind) {
+    case MOpnKind::kSlot:
+      EncodeFloat64(v, info.float_format, info.byte_order, &ar.frame[o.v]);
+      return;
+    case MOpnKind::kFReg:
+      ar.fregs[o.v] = v;
+      return;
+    default:
+      HETM_UNREACHABLE("bad float destination");
+  }
+}
+
+void Node::RunPendingBridge(Segment& seg) {
+  ActivationRecord& ar = seg.Top();
+  if (ar.pending_bridge.empty()) {
+    if (ar.pending_stop >= 0) {
+      // Bridge with no operations (pure entry-point adjustment).
+      ar.pending_stop = -1;
+      ar.sem_opt = opt_;
+    }
+    return;
+  }
+  const CodeRegistry::Entry& entry = EntryFor(ar.code_oid);
+  const OpInfo& op = entry.cls->ops[ar.op_index];
+  ExecuteBridgeOps(arch(), *entry.cls, op, ar, ar.pending_bridge, &meter_);
+  ar.pending_bridge.clear();
+  ar.pending_stop = -1;
+  ar.sem_opt = opt_;
+}
+
+Node::RunOutcome Node::ExecuteTop(Segment& seg) {
+  const CodeRegistry::Entry* entry = nullptr;
+  const OpInfo* op = nullptr;
+  const ArchOpCode* code = nullptr;
+  size_t bound_depth = 0;
+  uint64_t stint = 0;
+
+  for (;;) {
+    HETM_CHECK(!seg.ars.empty());
+    if (entry == nullptr || bound_depth != seg.ars.size()) {
+      RunPendingBridge(seg);
+      ActivationRecord& top = seg.Top();
+      entry = &EntryFor(top.code_oid);
+      op = &entry->cls->ops[top.op_index];
+      code = &op->Code(arch(), opt_);
+      bound_depth = seg.ars.size();
+    }
+    ActivationRecord& ar = seg.Top();
+    const MicroOp& m = Fetch(*code, ar.pc);
+    ChargeCycles(m.cycles);
+    meter_.counters().vm_instructions += 1;
+    meter_.counters().vm_cycles += m.cycles;
+    ++stint;
+    uint32_t next = ar.pc + m.length;
+
+    switch (m.kind) {
+      case MKind::kMov:
+        WriteIntOpn(ar, m.dst, ReadIntOpn(ar, m.a));
+        break;
+      case MKind::kSethi:
+        WriteIntOpn(ar, m.dst, static_cast<uint32_t>(m.a.v) << 13);
+        break;
+      case MKind::kOrImm:
+        WriteIntOpn(ar, m.dst,
+                    ReadIntOpn(ar, m.a) | (static_cast<uint32_t>(m.b.v) & 0x1FFF));
+        break;
+      case MKind::kAdd:
+        WriteIntOpn(ar, m.dst, ReadIntOpn(ar, m.a) + ReadIntOpn(ar, m.b));
+        break;
+      case MKind::kSub:
+        WriteIntOpn(ar, m.dst, ReadIntOpn(ar, m.a) - ReadIntOpn(ar, m.b));
+        break;
+      case MKind::kMul:
+        WriteIntOpn(ar, m.dst,
+                    static_cast<uint32_t>(static_cast<int64_t>(
+                                              static_cast<int32_t>(ReadIntOpn(ar, m.a))) *
+                                          static_cast<int32_t>(ReadIntOpn(ar, m.b))));
+        break;
+      case MKind::kDiv:
+      case MKind::kMod: {
+        int64_t a = static_cast<int32_t>(ReadIntOpn(ar, m.a));
+        int64_t b = static_cast<int32_t>(ReadIntOpn(ar, m.b));
+        if (b == 0) {
+          RuntimeError("integer division by zero");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
+        int64_t r = m.kind == MKind::kDiv ? a / b : a % b;
+        WriteIntOpn(ar, m.dst, static_cast<uint32_t>(r));
+        break;
+      }
+      case MKind::kNeg:
+        WriteIntOpn(ar, m.dst, 0u - ReadIntOpn(ar, m.a));
+        break;
+      case MKind::kNot:
+        WriteIntOpn(ar, m.dst, ReadIntOpn(ar, m.a) == 0 ? 1 : 0);
+        break;
+      case MKind::kAnd:
+        WriteIntOpn(ar, m.dst,
+                    (ReadIntOpn(ar, m.a) != 0 && ReadIntOpn(ar, m.b) != 0) ? 1 : 0);
+        break;
+      case MKind::kOr:
+        WriteIntOpn(ar, m.dst,
+                    (ReadIntOpn(ar, m.a) != 0 || ReadIntOpn(ar, m.b) != 0) ? 1 : 0);
+        break;
+      case MKind::kCmpEq:
+      case MKind::kCmpNe:
+      case MKind::kCmpLt:
+      case MKind::kCmpLe:
+      case MKind::kCmpGt:
+      case MKind::kCmpGe: {
+        int32_t a = static_cast<int32_t>(ReadIntOpn(ar, m.a));
+        int32_t b = static_cast<int32_t>(ReadIntOpn(ar, m.b));
+        bool r = false;
+        switch (m.kind) {
+          case MKind::kCmpEq: r = a == b; break;
+          case MKind::kCmpNe: r = a != b; break;
+          case MKind::kCmpLt: r = a < b; break;
+          case MKind::kCmpLe: r = a <= b; break;
+          case MKind::kCmpGt: r = a > b; break;
+          default: r = a >= b; break;
+        }
+        WriteIntOpn(ar, m.dst, r ? 1 : 0);
+        break;
+      }
+      case MKind::kFMov:
+        WriteFOpn(ar, m.dst, ReadFOpn(ar, m.a));
+        break;
+      case MKind::kFMovImm:
+        WriteFOpn(ar, m.dst, m.fimm);
+        break;
+      case MKind::kFAdd:
+        WriteFOpn(ar, m.dst, ReadFOpn(ar, m.a) + ReadFOpn(ar, m.b));
+        break;
+      case MKind::kFSub:
+        WriteFOpn(ar, m.dst, ReadFOpn(ar, m.a) - ReadFOpn(ar, m.b));
+        break;
+      case MKind::kFMul:
+        WriteFOpn(ar, m.dst, ReadFOpn(ar, m.a) * ReadFOpn(ar, m.b));
+        break;
+      case MKind::kFDiv:
+        WriteFOpn(ar, m.dst, ReadFOpn(ar, m.a) / ReadFOpn(ar, m.b));
+        break;
+      case MKind::kFNeg:
+        WriteFOpn(ar, m.dst, -ReadFOpn(ar, m.a));
+        break;
+      case MKind::kCvtIF:
+        WriteFOpn(ar, m.dst,
+                  static_cast<double>(static_cast<int32_t>(ReadIntOpn(ar, m.a))));
+        break;
+      case MKind::kFCmpEq:
+      case MKind::kFCmpNe:
+      case MKind::kFCmpLt:
+      case MKind::kFCmpLe:
+      case MKind::kFCmpGt:
+      case MKind::kFCmpGe: {
+        double a = ReadFOpn(ar, m.a);
+        double b = ReadFOpn(ar, m.b);
+        bool r = false;
+        switch (m.kind) {
+          case MKind::kFCmpEq: r = a == b; break;
+          case MKind::kFCmpNe: r = a != b; break;
+          case MKind::kFCmpLt: r = a < b; break;
+          case MKind::kFCmpLe: r = a <= b; break;
+          case MKind::kFCmpGt: r = a > b; break;
+          default: r = a >= b; break;
+        }
+        WriteIntOpn(ar, m.dst, r ? 1 : 0);
+        break;
+      }
+      case MKind::kGetF: {
+        EmObject* obj = FindLocal(ar.self);
+        HETM_CHECK(obj != nullptr);
+        WriteIntOpn(ar, m.dst,
+                    Load32(&obj->fields[m.imm], GetArchInfo(arch()).byte_order));
+        break;
+      }
+      case MKind::kSetF: {
+        EmObject* obj = FindLocal(ar.self);
+        HETM_CHECK(obj != nullptr);
+        Store32(&obj->fields[m.imm], ReadIntOpn(ar, m.a),
+                GetArchInfo(arch()).byte_order);
+        break;
+      }
+      case MKind::kGetFD: {
+        EmObject* obj = FindLocal(ar.self);
+        HETM_CHECK(obj != nullptr && m.dst.kind == MOpnKind::kSlot);
+        std::copy(obj->fields.begin() + m.imm, obj->fields.begin() + m.imm + 8,
+                  ar.frame.begin() + m.dst.v);
+        break;
+      }
+      case MKind::kSetFD: {
+        EmObject* obj = FindLocal(ar.self);
+        HETM_CHECK(obj != nullptr && m.a.kind == MOpnKind::kSlot);
+        std::copy(ar.frame.begin() + m.a.v, ar.frame.begin() + m.a.v + 8,
+                  obj->fields.begin() + m.imm);
+        break;
+      }
+      case MKind::kJmp:
+        ar.pc = m.target_pc;
+        continue;
+      case MKind::kJf:
+        ar.pc = ReadIntOpn(ar, m.a) == 0 ? m.target_pc : next;
+        continue;
+      case MKind::kPoll:
+        if (stint >= kStintQuantum) {
+          ar.pc = next;
+          return RunOutcome::kYield;
+        }
+        break;
+      case MKind::kRemque:
+      case MKind::kMonExitTrap:
+        // Monitor exit: atomic single instruction on VAX (kRemque, no kernel entry
+        // observable), kernel trap elsewhere. Semantics identical.
+        MonitorExitInline(ReadIntOpn(ar, m.a));
+        break;
+      case MKind::kCall: {
+        TrapOutcome t = HandleCall(seg, {&seg, entry, op, code, stint}, m.site, next);
+        switch (t) {
+          case TrapOutcome::kContinue:
+            entry = nullptr;  // stack changed: rebind
+            continue;
+          case TrapOutcome::kReschedule:
+            return RunOutcome::kBlocked;  // awaiting remote reply
+          case TrapOutcome::kThreadMoved:
+            return RunOutcome::kMoved;
+          default:
+            return RunOutcome::kDead;
+        }
+      }
+      case MKind::kTrap: {
+        const TrapSiteInfo& site = op->ir[0].trap_sites[m.site];
+        if (site.kind == TrapKind::kMonEnter) {
+          Value obj = ReadCellValue(arch(), *op, ar, site.arg_cells[0]);
+          if (MonitorEnter(seg, obj.oid)) {
+            break;  // acquired: fall through to pc = next
+          }
+          // Blocked: pc stays at the trap (the retry bus stop).
+          return RunOutcome::kBlocked;
+        }
+        ar.pc = next;  // all other traps resume after the instruction
+        TrapOutcome t = HandleTrap(seg, {&seg, entry, op, code, stint}, site, next);
+        switch (t) {
+          case TrapOutcome::kContinue:
+            entry = nullptr;  // conservative rebind (allocation may load classes)
+            continue;
+          case TrapOutcome::kThreadMoved:
+            return RunOutcome::kMoved;
+          case TrapOutcome::kError:
+            return RunOutcome::kDead;
+          default:
+            return RunOutcome::kBlocked;
+        }
+      }
+      case MKind::kRet: {
+        TrapOutcome t = HandleReturn(seg, {&seg, entry, op, code, stint}, m.a);
+        if (t == TrapOutcome::kContinue) {
+          entry = nullptr;
+          continue;
+        }
+        return RunOutcome::kDead;  // segment exhausted (reply sent or thread ended)
+      }
+    }
+    ar.pc = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invocation
+// ---------------------------------------------------------------------------
+
+void Node::PushActivation(Segment& seg, EmObject& obj, const CodeRegistry::Entry& entry,
+                          int op_index, const std::vector<Value>& args) {
+  const OpInfo& op = entry.cls->ops[op_index];
+  const IrFunction& fn = op.ir[0];
+  HETM_CHECK(static_cast<int>(args.size()) == fn.num_params);
+  ActivationRecord ar = MakeActivation(arch(), entry.cls->code_oid, op_index, op, obj.oid);
+  ar.sem_opt = opt_;
+  for (int i = 0; i < fn.num_params; ++i) {
+    WriteCellValue(arch(), op, ar, i, args[i]);
+  }
+  if (fn.self_cell >= 0) {
+    WriteCellValue(arch(), op, ar, fn.self_cell, Value::Ref(obj.oid));
+  }
+  seg.ars.push_back(std::move(ar));
+}
+
+Node::TrapOutcome Node::HandleCall(Segment& seg, const ExecCtx& ctx, int site_index,
+                                   uint32_t next_pc) {
+  const CallSiteInfo& site = ctx.op->ir[0].call_sites[site_index];
+  ActivationRecord& ar = seg.Top();
+  Value target = ReadCellValue(arch(), *ctx.op, ar, site.target_cell);
+  if (target.oid == kNilOid) {
+    RuntimeError("invocation of nil");
+    segments_.erase(seg.id);
+    return TrapOutcome::kError;
+  }
+  if (IsNodeOid(target.oid) || IsLiteralOid(target.oid)) {
+    RuntimeError("target does not support user operations");
+    segments_.erase(seg.id);
+    return TrapOutcome::kError;
+  }
+  std::vector<Value> args;
+  args.reserve(site.arg_cells.size());
+  for (int c : site.arg_cells) {
+    args.push_back(ReadCellValue(arch(), *ctx.op, ar, c));
+  }
+  ar.pc = next_pc;
+
+  if (site.is_spawn) {
+    // `spawn e.op(...)`: start a fresh thread on the target object and continue
+    // immediately; the new thread never replies.
+    ThreadId tid{index_, next_thread_seq_++};
+    EmObject* sobj = FindLocal(target.oid);
+    if (sobj != nullptr && !sobj->is_string) {
+      const CodeRegistry::Entry& callee = EntryFor(sobj->code_oid);
+      int op_index = callee.cls->FindOp(site.op_name);
+      if (op_index < 0) {
+        RuntimeError("class " + callee.cls->name + " has no operation '" + site.op_name +
+                     "'");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
+      ChargeCycles(kLocalCallKernelCycles);
+      Segment ns;
+      ns.id = SegId{tid, static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
+      ns.state = SegState::kRunnable;
+      PushActivation(ns, *sobj, callee, op_index, args);
+      SegId nid = ns.id;
+      segments_.emplace(nid, std::move(ns));
+      EnqueueRunnable(nid);
+      return TrapOutcome::kContinue;
+    }
+    WireWriter sw(world_->strategy(), arch(), &meter_);
+    sw.U8(0);  // flags: no reply expected
+    sw.I32(tid.home_node);
+    sw.U32(tid.seq);
+    sw.U32(0);  // no caller segment
+    sw.Oid32(target.oid);
+    sw.Str(site.op_name);
+    sw.U8(static_cast<uint8_t>(args.size()));
+    std::vector<Oid> sclosure;
+    for (const Value& v : args) {
+      sw.TaggedValue(v);
+      CollectStringsFromValue(v, sclosure);
+      NoteEscape(v);
+    }
+    WriteStringSection(sw, sclosure);
+    sw.FinishMessage();
+    ChargeCycles(kInvokeFixedSourceCycles);
+    meter_.counters().remote_invokes += 1;
+    Message smsg;
+    smsg.type = MsgType::kInvoke;
+    smsg.src_node = index_;
+    smsg.route_oid = target.oid;
+    smsg.strategy = world_->strategy();
+    smsg.payload_arch = arch();
+    smsg.payload = sw.Take();
+    SendMessage(ProbableLocation(target.oid), std::move(smsg));
+    return TrapOutcome::kContinue;
+  }
+  ar.pending_call_site = site_index;
+
+  EmObject* obj = FindLocal(target.oid);
+  if (obj != nullptr && !obj->is_string) {
+    const CodeRegistry::Entry& callee = EntryFor(obj->code_oid);
+    int op_index = callee.cls->FindOp(site.op_name);
+    if (op_index < 0) {
+      RuntimeError("class " + callee.cls->name + " has no operation '" + site.op_name +
+                   "'");
+      segments_.erase(seg.id);
+      return TrapOutcome::kError;
+    }
+    ChargeCycles(kLocalCallKernelCycles);
+    PushActivation(seg, *obj, callee, op_index, args);
+    return TrapOutcome::kContinue;
+  }
+  if (obj != nullptr) {
+    RuntimeError("strings have no user operations");
+    segments_.erase(seg.id);
+    return TrapOutcome::kError;
+  }
+
+  // Remote invocation: marshal the arguments in network format and suspend until
+  // the reply routes back to this segment.
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U8(1);  // flags: reply expected
+  w.I32(seg.id.thread.home_node);
+  w.U32(seg.id.thread.seq);
+  w.U32(seg.id.seg);
+  w.Oid32(target.oid);
+  w.Str(site.op_name);
+  w.U8(static_cast<uint8_t>(args.size()));
+  std::vector<Oid> closure;
+  for (const Value& v : args) {
+    w.TaggedValue(v);
+    CollectStringsFromValue(v, closure);
+    NoteEscape(v);
+  }
+  WriteStringSection(w, closure);
+  w.FinishMessage();
+  ChargeCycles(kInvokeFixedSourceCycles);
+  if (w.strategy() != ConversionStrategy::kRaw) {
+    ChargeCycles(kEnhancedInvokeFixedCycles);
+  }
+  meter_.counters().remote_invokes += 1;
+
+  Message msg;
+  msg.type = MsgType::kInvoke;
+  msg.src_node = index_;
+  msg.route_oid = target.oid;
+  msg.strategy = world_->strategy();
+  msg.payload_arch = arch();
+  msg.payload = w.Take();
+  SendMessage(ProbableLocation(target.oid), std::move(msg));
+  seg.state = SegState::kAwaitingReply;
+  return TrapOutcome::kReschedule;
+}
+
+Node::TrapOutcome Node::HandleReturn(Segment& seg, const ExecCtx& ctx,
+                                     const MOperand& src) {
+  const IrFunction& fn = ctx.op->ir[0];
+  bool has_value = fn.has_result;
+  Value result;
+  if (has_value) {
+    ActivationRecord& ar = seg.Top();
+    if (fn.result_kind == ValueKind::kReal) {
+      result = Value::Real(ReadFOpn(ar, src));
+    } else {
+      uint32_t raw = ReadIntOpn(ar, src);
+      switch (fn.result_kind) {
+        case ValueKind::kInt: result = Value::Int(static_cast<int32_t>(raw)); break;
+        case ValueKind::kBool: result = Value::Bool(raw != 0); break;
+        case ValueKind::kStr: result = Value::Str(raw); break;
+        case ValueKind::kRef: result = Value::Ref(raw); break;
+        case ValueKind::kNode: result = Value::NodeRef(raw); break;
+        default: break;
+      }
+    }
+  }
+  ChargeCycles(kLocalRetKernelCycles);
+  seg.ars.pop_back();
+
+  if (!seg.ars.empty()) {
+    ActivationRecord& caller = seg.Top();
+    if (caller.pending_call_site >= 0) {
+      const CodeRegistry::Entry& centry = EntryFor(caller.code_oid);
+      const OpInfo& cop = centry.cls->ops[caller.op_index];
+      const CallSiteInfo& cs = cop.ir[0].call_sites[caller.pending_call_site];
+      if (cs.result_cell >= 0 && has_value) {
+        WriteCellValue(arch(), cop, caller, cs.result_cell, result);
+      }
+      caller.pending_call_site = -1;
+    }
+    return TrapOutcome::kContinue;
+  }
+
+  // Segment exhausted: return crosses to the segment below, or the thread ends.
+  SegRef down = seg.down;
+  ThreadId thread = seg.id.thread;
+  segments_.erase(seg.id);
+  if (down.valid()) {
+    WireWriter w(world_->strategy(), arch(), &meter_);
+    w.U8(has_value ? 1 : 0);
+    std::vector<Oid> closure;
+    if (has_value) {
+      w.TaggedValue(result);
+      CollectStringsFromValue(result, closure);
+      NoteEscape(result);
+    }
+    WriteStringSection(w, closure);
+    w.FinishMessage();
+    Message msg;
+    msg.type = MsgType::kReply;
+    msg.src_node = index_;
+    msg.route_seg = down;
+    msg.strategy = world_->strategy();
+    msg.payload_arch = arch();
+    msg.payload = w.Take();
+    if (w.strategy() != ConversionStrategy::kRaw) {
+      ChargeCycles(kEnhancedInvokeFixedCycles);
+    }
+    SendMessage(down.node, std::move(msg));
+  } else if (has_main_thread_ && thread == main_thread_) {
+    world_->SetFinished();
+  }
+  return TrapOutcome::kError;  // caller translates to kDead (segment is gone)
+}
+
+// ---------------------------------------------------------------------------
+// Traps
+// ---------------------------------------------------------------------------
+
+Node::TrapOutcome Node::HandleTrap(Segment& seg, const ExecCtx& ctx,
+                                   const TrapSiteInfo& site, uint32_t next_pc) {
+  (void)next_pc;
+  ActivationRecord& ar = seg.Top();
+  auto arg = [&](int i) { return ReadCellValue(arch(), *ctx.op, ar, site.arg_cells[i]); };
+  auto deposit = [&](const Value& v) {
+    if (site.result_cell >= 0) {
+      WriteCellValue(arch(), *ctx.op, ar, site.result_cell, v);
+    }
+  };
+  switch (site.kind) {
+    case TrapKind::kPrint: {
+      ChargeCycles(kSyscallBodyCycles);
+      world_->AppendOutput(RenderValue(arg(0)) + "\n");
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kMoveTo: {
+      ChargeCycles(kSyscallBodyCycles);
+      Value obj = arg(0);
+      Value dest = arg(1);
+      if (obj.oid == kNilOid || !IsNodeOid(dest.oid)) {
+        RuntimeError("bad move: object or destination invalid");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
+      int dest_node = NodeIndexOfOid(dest.oid);
+      if (dest_node < 0 || dest_node >= world_->num_nodes()) {
+        RuntimeError("move destination node does not exist");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
+      EmObject* o = FindLocal(obj.oid);
+      if (o == nullptr) {
+        // Remote move request, forwarded to wherever the object probably is.
+        WireWriter w(world_->strategy(), arch(), &meter_);
+        w.FinishMessage();
+        Message msg;
+        msg.type = MsgType::kMoveRequest;
+        msg.src_node = index_;
+        msg.route_oid = obj.oid;
+        msg.dest_node_arg = dest_node;
+        msg.strategy = world_->strategy();
+        msg.payload_arch = arch();
+        SendMessage(ProbableLocation(obj.oid), std::move(msg));
+        return TrapOutcome::kContinue;
+      }
+      if (o->is_string) {
+        return TrapOutcome::kContinue;  // immutable: moving is a no-op (copied on use)
+      }
+      if (dest_node == index_) {
+        return TrapOutcome::kContinue;
+      }
+      bool moved = PerformMove(obj.oid, dest_node, &seg);
+      return moved ? TrapOutcome::kThreadMoved : TrapOutcome::kContinue;
+    }
+    case TrapKind::kLocate: {
+      ChargeCycles(kSyscallBodyCycles);
+      deposit(Value::NodeRef(NodeOid(ProbableLocation(arg(0).oid))));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kHere: {
+      ChargeCycles(kSyscallBodyCycles);
+      deposit(Value::NodeRef(NodeOid(index_)));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kMonEnter:
+      HETM_UNREACHABLE("monitor entry is handled in the interpreter loop");
+    case TrapKind::kConcat: {
+      const EmObject* a = FindLocal(arg(0).oid);
+      const EmObject* b = FindLocal(arg(1).oid);
+      HETM_CHECK(a != nullptr && a->is_string && b != nullptr && b->is_string);
+      ChargeCycles(kSyscallBodyCycles + (a->str.size() + b->str.size()) * 2);
+      deposit(Value::Str(InternNewString(a->str + b->str)));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kStrLen: {
+      const EmObject* s = FindLocal(arg(0).oid);
+      HETM_CHECK(s != nullptr && s->is_string);
+      ChargeCycles(kSyscallBodyCycles);
+      deposit(Value::Int(static_cast<int32_t>(s->str.size())));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kStrEq: {
+      const EmObject* a = FindLocal(arg(0).oid);
+      const EmObject* b = FindLocal(arg(1).oid);
+      HETM_CHECK(a != nullptr && a->is_string && b != nullptr && b->is_string);
+      ChargeCycles(kSyscallBodyCycles + a->str.size());
+      deposit(Value::Bool(a->str == b->str));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kClockMs: {
+      ChargeCycles(kSyscallBodyCycles);
+      deposit(Value::Int(static_cast<int32_t>(now_us() / 1000.0)));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kNewObj: {
+      Oid class_oid = ctx.entry->program->class_oids[site.imm];
+      deposit(Value::Ref(CreateObject(class_oid)));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kNodeAt: {
+      ChargeCycles(kSyscallBodyCycles);
+      int n = arg(0).i;
+      if (n < 0 || n >= world_->num_nodes()) {
+        RuntimeError("nodeat(" + std::to_string(n) + "): no such node");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
+      deposit(Value::NodeRef(NodeOid(n)));
+      return TrapOutcome::kContinue;
+    }
+    case TrapKind::kHalt: {
+      world_->SetFinished();
+      segments_.erase(seg.id);
+      return TrapOutcome::kError;
+    }
+  }
+  HETM_UNREACHABLE("bad TrapKind");
+}
+
+bool Node::MonitorEnter(Segment& seg, Oid obj_oid) {
+  EmObject* obj = FindLocal(obj_oid);
+  HETM_CHECK_MSG(obj != nullptr, "monitor entry on a non-resident object");
+  MonitorState& m = obj->monitor;
+  if (m.depth == 0 || m.owner == seg.id.thread) {
+    m.depth += 1;
+    m.owner = seg.id.thread;
+    return true;
+  }
+  m.wait_queue.push_back(seg.id);
+  seg.state = SegState::kBlockedMonitor;
+  seg.blocked_monitor = obj_oid;
+  return false;
+}
+
+void Node::MonitorExitInline(Oid obj_oid) {
+  EmObject* obj = FindLocal(obj_oid);
+  HETM_CHECK_MSG(obj != nullptr, "monitor exit on a non-resident object");
+  MonitorState& m = obj->monitor;
+  HETM_CHECK(m.depth > 0);
+  m.depth -= 1;
+  if (m.depth == 0 && !m.wait_queue.empty()) {
+    SegId next = m.wait_queue.front();
+    m.wait_queue.erase(m.wait_queue.begin());
+    WakeSegment(next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string Node::RenderValue(const Value& v) const {
+  char buf[64];
+  switch (v.kind) {
+    case ValueKind::kInt:
+      std::snprintf(buf, sizeof(buf), "%d", v.i);
+      return buf;
+    case ValueKind::kBool:
+      return v.i ? "true" : "false";
+    case ValueKind::kReal:
+      std::snprintf(buf, sizeof(buf), "%g", v.r);
+      return buf;
+    case ValueKind::kStr: {
+      const EmObject* s = FindLocal(v.oid);
+      return s != nullptr && s->is_string ? s->str : "<string?>";
+    }
+    case ValueKind::kRef:
+      if (v.oid == kNilOid) {
+        return "nil";
+      }
+      std::snprintf(buf, sizeof(buf), "<object %08x>", v.oid);
+      return buf;
+    case ValueKind::kNode: {
+      int n = NodeIndexOfOid(v.oid);
+      if (n >= 0 && n < world_->num_nodes()) {
+        return "<node " + world_->node(n).machine().name + ">";
+      }
+      return "<node?>";
+    }
+  }
+  return "?";
+}
+
+}  // namespace hetm

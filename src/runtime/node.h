@@ -1,0 +1,191 @@
+// A node: one simulated workstation running the Emerald runtime kernel.
+//
+// The node owns a heap of objects in its architecture's data formats, the stack
+// segments of the threads currently executing here, and the VM that runs its
+// architecture's native code. The kernel gains control only at bus stops (calls,
+// traps, loop polls) — the compiler-arranged points of section 3.2 — and implements
+// invocation (local and remote), monitors, object/thread mobility and location
+// forwarding.
+#ifndef HETM_SRC_RUNTIME_NODE_H_
+#define HETM_SRC_RUNTIME_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/arch/cost_meter.h"
+#include "src/arch/machine.h"
+#include "src/compiler/compiled.h"
+#include "src/isa/microop.h"
+#include "src/runtime/code_registry.h"
+#include "src/runtime/messages.h"
+#include "src/runtime/object.h"
+#include "src/runtime/thread.h"
+
+namespace hetm {
+
+class World;
+
+class Node {
+ public:
+  Node(World* world, int index, MachineModel machine, OptLevel opt);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // --- identity & accounting -------------------------------------------------
+  int index() const { return index_; }
+  Arch arch() const { return machine_.arch; }
+  const MachineModel& machine() const { return machine_; }
+  OptLevel opt_level() const { return opt_; }
+  CostMeter& meter() { return meter_; }
+  const CostMeter& meter() const { return meter_; }
+  // The node clock is *derived* from the cost meter, so every charged cycle —
+  // including conversion work charged deep inside the wire codecs — advances
+  // simulated time. Message delivery can only push the clock forward.
+  double now_us() const {
+    return clock_offset_us_ + machine_.CyclesToMicros(meter_.cycles());
+  }
+  void AdvanceTo(double time_us) {
+    clock_offset_us_ =
+        std::max(clock_offset_us_, time_us - machine_.CyclesToMicros(meter_.cycles()));
+  }
+  void ChargeCycles(uint64_t cycles) { meter_.Charge(cycles); }
+
+  // --- kernel entry points ---------------------------------------------------
+  void StartMainThread(Oid main_class_oid);
+  bool HasRunnable() const { return !run_queue_.empty(); }
+  void Pump();  // runs until no segment on this node is runnable
+  void HandleMessage(const Message& msg);
+
+  // --- object services (also used by tests and the facade) --------------------
+  Oid CreateObject(Oid class_oid);
+  Oid InternNewString(const std::string& content);
+  void InstallString(Oid oid, const std::string& content);
+  EmObject* FindLocal(Oid oid);
+  const EmObject* FindLocal(Oid oid) const;
+  bool IsResident(Oid oid) const { return heap_.count(oid) != 0; }
+  // Best-known location of an object (node index).
+  int ProbableLocation(Oid oid) const;
+
+  const std::map<SegId, Segment>& segments() const { return segments_; }
+
+  // --- garbage collection -----------------------------------------------------
+  // Node-local safe-point mark-sweep. Every thread on the node is suspended at a
+  // bus stop, so the per-stop templates (live sets + homes) identify every pointer
+  // in every activation record exactly — the "easy pointer identification" use of
+  // bus stops the paper describes alongside mobility. Objects whose references have
+  // ever been marshalled off-node are pinned (a node-local collector cannot prove
+  // anything about remote references).
+  struct GcStats {
+    size_t roots = 0;
+    size_t live_objects = 0;
+    size_t collected = 0;
+    size_t bytes_freed = 0;
+  };
+  GcStats CollectGarbage();
+
+ private:
+  friend class World;
+
+  enum class RunOutcome { kYield, kBlocked, kDead, kMoved };
+
+  struct ExecCtx {
+    Segment* seg = nullptr;
+    const CodeRegistry::Entry* entry = nullptr;
+    const OpInfo* op = nullptr;
+    const ArchOpCode* code = nullptr;
+    uint64_t instrs_this_stint = 0;
+  };
+
+  // Interpreter.
+  void RunSegment(SegId id);
+  RunOutcome ExecuteTop(Segment& seg);
+  const MicroOp& Fetch(const ArchOpCode& code, uint32_t pc);
+  bool BindTop(Segment& seg, ExecCtx* ctx);
+  void RunPendingBridge(Segment& seg);
+
+  // Operand access over the current AR.
+  uint32_t ReadIntOpn(const ActivationRecord& ar, const MOperand& o) const;
+  void WriteIntOpn(ActivationRecord& ar, const MOperand& o, uint32_t v);
+  double ReadFOpn(const ActivationRecord& ar, const MOperand& o) const;
+  void WriteFOpn(ActivationRecord& ar, const MOperand& o, double v);
+
+  // Kernel services.
+  enum class TrapOutcome { kContinue, kReschedule, kBlockedMonitor, kThreadMoved, kError };
+  TrapOutcome HandleTrap(Segment& seg, const ExecCtx& ctx, const TrapSiteInfo& site,
+                         uint32_t next_pc);
+  TrapOutcome HandleCall(Segment& seg, const ExecCtx& ctx, int site_index,
+                         uint32_t next_pc);
+  TrapOutcome HandleReturn(Segment& seg, const ExecCtx& ctx, const MOperand& src);
+  void PushActivation(Segment& seg, EmObject& obj, const CodeRegistry::Entry& entry,
+                      int op_index, const std::vector<Value>& args);
+  bool MonitorEnter(Segment& seg, Oid obj_oid);
+  void MonitorExitInline(Oid obj_oid);
+  void WakeSegment(const SegId& id);
+  void EnqueueRunnable(const SegId& id);
+  void RuntimeError(const std::string& message);
+
+  // Mobility.
+  bool PerformMove(Oid obj_oid, int dest_node, Segment* current);
+  void MarshalSegment(const Segment& seg, WireWriter& w,
+                      std::vector<Oid>& string_closure);
+  void MarshalAr(const ActivationRecord& ar, bool blocked_monitor, WireWriter& w,
+                 std::vector<Oid>& string_closure);
+  Segment UnmarshalSegment(WireReader& r);
+  ActivationRecord UnmarshalAr(WireReader& r);
+  void InstallSegment(Segment seg);
+  void HandleInvoke(const Message& msg);
+  void HandleReply(const Message& msg);
+  void HandleMoveObject(const Message& msg);
+  void HandleMoveRequest(const Message& msg);
+  void HandleLocationUpdate(const Message& msg);
+  bool ForwardByObject(const Message& msg);
+  void SendMessage(int to_node, Message msg);
+  void CollectStringsFromValue(const Value& v, std::vector<Oid>& closure) const;
+  void WriteStringSection(WireWriter& w, const std::vector<Oid>& closure) const;
+  void ReadStringSection(WireReader& r);
+
+  // Class/code management.
+  const CodeRegistry::Entry& EntryFor(Oid code_oid);
+  void EnsureClassLoaded(const CodeRegistry::Entry& entry);
+
+  // Value rendering for `print`.
+  std::string RenderValue(const Value& v) const;
+
+  World* world_;
+  int index_;
+  MachineModel machine_;
+  OptLevel opt_;
+  CostMeter meter_;
+  double clock_offset_us_ = 0.0;
+
+  std::unordered_map<Oid, std::unique_ptr<EmObject>> heap_;
+  std::unordered_map<Oid, int> location_hint_;
+  std::map<SegId, Segment> segments_;
+  std::map<SegId, int> seg_hint_;
+  std::deque<SegId> run_queue_;
+  std::unordered_set<Oid> loaded_classes_;
+  // User-object OIDs whose references left this node (pinned for GC).
+  std::unordered_set<Oid> escaped_;
+  void NoteEscape(const Value& v) {
+    if (v.kind == ValueKind::kRef && v.oid != kNilOid) {
+      escaped_.insert(v.oid);
+    }
+  }
+  std::unordered_map<const ArchOpCode*, std::unordered_map<uint32_t, MicroOp>> decode_cache_;
+
+  uint32_t next_oid_counter_ = 1;
+  uint32_t next_thread_seq_ = 1;
+  uint32_t next_seg_seq_ = 1;
+  ThreadId main_thread_{};
+  bool has_main_thread_ = false;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_NODE_H_

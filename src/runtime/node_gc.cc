@@ -1,0 +1,101 @@
+// Safe-point garbage collection.
+//
+// The paper (section 2.2.1): "In Emerald, this technique [bus stops] is also used to
+// provide the garbage collector with well-defined states for easy pointer
+// identification." This collector is that use case: when the kernel runs, every
+// thread on the node is suspended at a bus stop, so the per-stop template (live-cell
+// set + per-cell homes) enumerates every reference in every activation record
+// exactly — registers included — with no conservative scanning.
+//
+// Scope: node-local. References that were ever marshalled off-node pin their objects
+// (a local collector cannot see remote heaps); everything else unreachable from the
+// node's activation records is reclaimed. String objects are immutable copies and
+// are collected like data; per-class string literals and node objects are permanent.
+#include "src/arch/calibration.h"
+#include "src/mobility/ar_codec.h"
+#include "src/mobility/busstop_xlate.h"
+#include "src/mobility/object_codec.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+Node::GcStats Node::CollectGarbage() {
+  GcStats stats;
+  std::vector<Oid> worklist;
+  auto push_ref = [&](const Value& v) {
+    if (IsReference(v.kind) && v.oid != kNilOid) {
+      worklist.push_back(v.oid);
+    }
+  };
+
+  // --- Roots -----------------------------------------------------------------
+  for (Oid oid : escaped_) {
+    worklist.push_back(oid);
+  }
+  stats.roots += escaped_.size();
+
+  for (const auto& [id, seg] : segments_) {
+    for (size_t i = 0; i < seg.ars.size(); ++i) {
+      const ActivationRecord& ar = seg.ars[i];
+      const CodeRegistry::Entry& entry = EntryFor(ar.code_oid);
+      const OpInfo& op = entry.cls->ops[ar.op_index];
+      bool top = i + 1 == seg.ars.size();
+      bool blocked = top && seg.state == SegState::kBlockedMonitor;
+      OptLevel sem = ar.pending_stop >= 0 ? ar.sem_opt : opt_;
+      int stop = ar.pending_stop >= 0
+                     ? ar.pending_stop
+                     : PcToStop(op.Code(arch(), opt_), ar.pc, blocked, &meter_);
+      const IrFunction& fn = op.Ir(sem);
+      worklist.push_back(ar.self);
+      ++stats.roots;
+      for (size_t cell = 0; cell < fn.cells.size(); ++cell) {
+        if (!IsReference(fn.cells[cell].kind) ||
+            !fn.CellLiveAtStop(stop, static_cast<int>(cell))) {
+          continue;
+        }
+        push_ref(ReadCellValue(arch(), op, ar, static_cast<int>(cell)));
+        ++stats.roots;
+      }
+    }
+  }
+
+  // --- Mark ------------------------------------------------------------------
+  std::unordered_set<Oid> marked;
+  while (!worklist.empty()) {
+    Oid oid = worklist.back();
+    worklist.pop_back();
+    if (!marked.insert(oid).second) {
+      continue;
+    }
+    ChargeCycles(kGcPerObjectCycles);
+    const EmObject* obj = FindLocal(oid);
+    if (obj == nullptr || obj->is_string) {
+      continue;  // remote, node, literal or leaf string: no outgoing references
+    }
+    const CodeRegistry::Entry& entry = EntryFor(obj->code_oid);
+    for (size_t f = 0; f < entry.cls->fields.size(); ++f) {
+      if (IsReference(entry.cls->fields[f].kind)) {
+        push_ref(ReadFieldValue(arch(), *entry.cls, *obj, static_cast<int>(f)));
+      }
+    }
+  }
+
+  // --- Sweep -----------------------------------------------------------------
+  for (auto it = heap_.begin(); it != heap_.end();) {
+    Oid oid = it->first;
+    if (!IsDataOid(oid) || marked.count(oid) != 0) {
+      ++stats.live_objects;
+      ++it;
+      continue;
+    }
+    ChargeCycles(kGcPerObjectCycles);
+    stats.bytes_freed += it->second->fields.size() + it->second->str.size();
+    ++stats.collected;
+    it = heap_.erase(it);
+  }
+  return stats;
+}
+
+}  // namespace hetm

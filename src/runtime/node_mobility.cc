@@ -1,0 +1,581 @@
+// Mobility half of the node kernel: moving objects and the native-code threads
+// executing inside them (sections 2.2, 3.5), remote invocation delivery, replies,
+// and location forwarding.
+#include <algorithm>
+
+#include "src/arch/calibration.h"
+#include "src/bridge/bridge.h"
+#include "src/mobility/ar_codec.h"
+#include "src/mobility/busstop_xlate.h"
+#include "src/mobility/object_codec.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+const IrInstr* FindStopInstr(const IrFunction& fn, int stop) {
+  if (stop == 0) {
+    return nullptr;
+  }
+  for (const IrInstr& in : fn.instrs) {
+    if (in.stop == stop) {
+      return &in;
+    }
+  }
+  HETM_UNREACHABLE("stop without instruction");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Messaging plumbing
+// ---------------------------------------------------------------------------
+
+void Node::SendMessage(int to_node, Message msg) {
+  meter_.counters().messages_sent += 1;
+  meter_.counters().bytes_sent += msg.WireSize();
+  ChargeCycles(kMsgPathCycles);
+  world_->Send(index_, to_node, std::move(msg));
+}
+
+void Node::HandleMessage(const Message& msg) {
+  ChargeCycles(kMsgPathCycles);
+  switch (msg.type) {
+    case MsgType::kInvoke:
+      HandleInvoke(msg);
+      return;
+    case MsgType::kReply:
+      HandleReply(msg);
+      return;
+    case MsgType::kMoveObject:
+      HandleMoveObject(msg);
+      return;
+    case MsgType::kMoveRequest:
+      HandleMoveRequest(msg);
+      return;
+    case MsgType::kLocationUpdate:
+      HandleLocationUpdate(msg);
+      return;
+  }
+  HETM_UNREACHABLE("bad MsgType");
+}
+
+bool Node::ForwardByObject(const Message& msg) {
+  int loc = ProbableLocation(msg.route_oid);
+  if (loc == index_) {
+    world_->SetError("object " + std::to_string(msg.route_oid) +
+                     " lost: no forwarding information");
+    return false;
+  }
+  SendMessage(loc, msg);
+  return true;
+}
+
+void Node::CollectStringsFromValue(const Value& v, std::vector<Oid>& closure) const {
+  if (v.kind != ValueKind::kStr || v.oid == kNilOid) {
+    return;
+  }
+  if (std::find(closure.begin(), closure.end(), v.oid) != closure.end()) {
+    return;
+  }
+  const EmObject* s = FindLocal(v.oid);
+  HETM_CHECK_MSG(s != nullptr && s->is_string,
+                 "string content must be resident where its reference is used");
+  closure.push_back(v.oid);
+}
+
+void Node::WriteStringSection(WireWriter& w, const std::vector<Oid>& closure) const {
+  w.U16(static_cast<uint16_t>(closure.size()));
+  for (Oid oid : closure) {
+    const EmObject* s = FindLocal(oid);
+    HETM_CHECK(s != nullptr && s->is_string);
+    w.Oid32(oid);
+    w.Str(s->str);
+  }
+}
+
+void Node::ReadStringSection(WireReader& r) {
+  uint16_t count = r.U16();
+  for (uint16_t i = 0; i < count; ++i) {
+    Oid oid = r.Oid32();
+    std::string content = r.Str();
+    InstallString(oid, content);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote invocation
+// ---------------------------------------------------------------------------
+
+void Node::HandleInvoke(const Message& msg) {
+  if (!IsResident(msg.route_oid)) {
+    ForwardByObject(msg);
+    return;
+  }
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  bool reply_expected = r.U8() != 0;
+  ThreadId thread;
+  thread.home_node = r.I32();
+  thread.seq = r.U32();
+  uint32_t caller_seg = r.U32();
+  Oid target = r.Oid32();
+  std::string op_name = r.Str();
+  uint8_t argc = r.U8();
+  std::vector<Value> args;
+  args.reserve(argc);
+  for (uint8_t i = 0; i < argc; ++i) {
+    args.push_back(r.TaggedValue());
+  }
+  ReadStringSection(r);
+  r.FinishMessage();
+  HETM_CHECK(target == msg.route_oid);
+
+  EmObject* obj = FindLocal(target);
+  HETM_CHECK(obj != nullptr && !obj->is_string);
+  const CodeRegistry::Entry& entry = EntryFor(obj->code_oid);
+  int op_index = entry.cls->FindOp(op_name);
+  if (op_index < 0) {
+    RuntimeError("class " + entry.cls->name + " has no operation '" + op_name + "'");
+    return;
+  }
+  ChargeCycles(kInvokeFixedDestCycles);
+  if (r.strategy() != ConversionStrategy::kRaw) {
+    ChargeCycles(kEnhancedInvokeFixedCycles);
+  }
+
+  Segment seg;
+  seg.id = SegId{thread, static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
+  if (reply_expected) {
+    seg.down = SegRef{msg.src_node, SegId{thread, caller_seg}};
+  }
+  seg.state = SegState::kRunnable;
+  PushActivation(seg, *obj, entry, op_index, args);
+  SegId id = seg.id;
+  segments_.emplace(id, std::move(seg));
+  EnqueueRunnable(id);
+}
+
+void Node::HandleReply(const Message& msg) {
+  auto it = segments_.find(msg.route_seg.id);
+  if (it == segments_.end()) {
+    // The segment moved on: follow the forwarding hint.
+    auto hint = seg_hint_.find(msg.route_seg.id);
+    HETM_CHECK_MSG(hint != seg_hint_.end(), "reply for an unknown segment");
+    Message fwd = msg;
+    fwd.route_seg.node = hint->second;
+    SendMessage(hint->second, std::move(fwd));
+    return;
+  }
+  Segment& seg = it->second;
+  HETM_CHECK(seg.state == SegState::kAwaitingReply);
+
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  bool has_value = r.U8() != 0;
+  Value result;
+  if (has_value) {
+    result = r.TaggedValue();
+  }
+  ReadStringSection(r);
+  r.FinishMessage();
+  if (r.strategy() != ConversionStrategy::kRaw) {
+    ChargeCycles(kEnhancedInvokeFixedCycles);
+  }
+
+  ActivationRecord& top = seg.Top();
+  if (top.pending_call_site >= 0 && has_value) {
+    const CodeRegistry::Entry& entry = EntryFor(top.code_oid);
+    const OpInfo& op = entry.cls->ops[top.op_index];
+    const CallSiteInfo& cs = op.ir[0].call_sites[top.pending_call_site];
+    if (cs.result_cell >= 0) {
+      WriteCellValue(arch(), op, top, cs.result_cell, result);
+    }
+  }
+  top.pending_call_site = -1;
+  seg.state = SegState::kRunnable;
+  EnqueueRunnable(seg.id);
+}
+
+// ---------------------------------------------------------------------------
+// Object + thread moves
+// ---------------------------------------------------------------------------
+
+void Node::MarshalAr(const ActivationRecord& ar, bool blocked_monitor, WireWriter& w,
+                     std::vector<Oid>& string_closure) {
+  const CodeRegistry::Entry& entry = EntryFor(ar.code_oid);
+  const OpInfo& op = entry.cls->ops[ar.op_index];
+
+  w.Oid32(ar.self);
+  w.Oid32(ar.code_oid);
+  w.U16(static_cast<uint16_t>(ar.op_index));
+
+  // The record's semantic optimization level: the schedule whose per-stop state it
+  // matches. Differs from the node level only while a bridge is pending.
+  OptLevel sem = ar.pending_stop >= 0 ? ar.sem_opt : opt_;
+  int stop = ar.pending_stop >= 0
+                 ? ar.pending_stop
+                 : PcToStop(op.Code(arch(), opt_), ar.pc, blocked_monitor, &meter_);
+  w.U8(static_cast<uint8_t>(sem));
+  w.U16(static_cast<uint16_t>(stop));
+
+  ChargeCycles(kArTemplateWalkCycles);
+
+  if (w.strategy() == ConversionStrategy::kRaw) {
+    // Original homogeneous Emerald: blit the machine-dependent image. Pointer values
+    // are OIDs (location transparent), so no swizzling is needed; the template is
+    // still consulted for the string closure below.
+    w.U32(ar.pc);
+    w.U16(static_cast<uint16_t>(ar.frame.size()));
+    w.Blit(ar.frame.data(), ar.frame.size());
+    w.U16(static_cast<uint16_t>(ar.regs.size()));
+    for (uint32_t reg : ar.regs) {
+      w.U32(reg);
+    }
+  } else {
+    MarshalArCells(arch(), op, sem, ar, stop, w);
+  }
+
+  // Gather string contents referenced by live cells (immutable objects move by
+  // copy) and record escaping object references (GC pinning).
+  const IrFunction& fn = op.Ir(sem);
+  for (size_t c = 0; c < fn.cells.size(); ++c) {
+    if (!fn.CellLiveAtStop(stop, static_cast<int>(c))) {
+      continue;
+    }
+    if (fn.cells[c].kind == ValueKind::kStr) {
+      CollectStringsFromValue(ReadCellValue(arch(), op, ar, static_cast<int>(c)),
+                              string_closure);
+    } else if (fn.cells[c].kind == ValueKind::kRef) {
+      NoteEscape(ReadCellValue(arch(), op, ar, static_cast<int>(c)));
+    }
+  }
+}
+
+void Node::MarshalSegment(const Segment& seg, WireWriter& w,
+                          std::vector<Oid>& string_closure) {
+  w.I32(seg.id.thread.home_node);
+  w.U32(seg.id.thread.seq);
+  w.U32(seg.id.seg);
+  w.U8(seg.down.valid() ? 1 : 0);
+  if (seg.down.valid()) {
+    w.I32(seg.down.node);
+    w.I32(seg.down.id.thread.home_node);
+    w.U32(seg.down.id.thread.seq);
+    w.U32(seg.down.id.seg);
+  }
+  w.U8(static_cast<uint8_t>(seg.state));
+  w.Oid32(seg.blocked_monitor);
+  w.U16(static_cast<uint16_t>(seg.ars.size()));
+  // Youngest (top) activation record first, as in the paper's implementation; the
+  // receiver pays a relocation pass to place them (section 3.5).
+  for (auto it = seg.ars.rbegin(); it != seg.ars.rend(); ++it) {
+    bool blocked = seg.state == SegState::kBlockedMonitor && it == seg.ars.rbegin();
+    MarshalAr(*it, blocked, w, string_closure);
+  }
+}
+
+ActivationRecord Node::UnmarshalAr(WireReader& r) {
+  Oid self = r.Oid32();
+  Oid code_oid = r.Oid32();
+  int op_index = r.U16();
+  OptLevel sem = static_cast<OptLevel>(r.U8());
+  int stop = r.U16();
+
+  const CodeRegistry::Entry& entry = EntryFor(code_oid);
+  const OpInfo& op = entry.cls->ops[op_index];
+  ActivationRecord ar = MakeActivation(arch(), code_oid, op_index, op, self);
+  ChargeCycles(kArTemplateWalkCycles);
+
+  if (r.strategy() == ConversionStrategy::kRaw) {
+    ar.pc = r.U32();
+    uint16_t frame_size = r.U16();
+    HETM_CHECK(frame_size == ar.frame.size());
+    r.Blit(ar.frame.data(), frame_size);
+    uint16_t regs = r.U16();
+    HETM_CHECK(regs == ar.regs.size());
+    for (uint16_t i = 0; i < regs; ++i) {
+      ar.regs[i] = r.U32();
+    }
+    ar.sem_opt = opt_;
+  } else {
+    UnmarshalArCells(arch(), op, ar, r);
+    if (sem == opt_) {
+      ar.pc = StopToPc(op.Code(arch(), opt_), stop, &meter_);
+      ar.sem_opt = opt_;
+    } else {
+      // Differently optimized source: synthesize bridging code (section 2.2.2).
+      BridgePlan plan = BuildBridge(op, arch(), sem, opt_, stop, &meter_);
+      ar.pc = plan.entry_pc;
+      ar.pending_bridge = std::move(plan.ops);
+      ar.pending_stop = stop;
+      ar.sem_opt = sem;
+    }
+  }
+
+  // Rederive the pending call site from the stop (resume metadata is not wire data).
+  const IrInstr* stop_instr = FindStopInstr(op.ir[0], stop);
+  if (stop_instr != nullptr && stop_instr->kind == IrKind::kCall) {
+    ar.pending_call_site = stop_instr->site;
+  }
+  return ar;
+}
+
+Segment Node::UnmarshalSegment(WireReader& r) {
+  Segment seg;
+  seg.id.thread.home_node = r.I32();
+  seg.id.thread.seq = r.U32();
+  seg.id.seg = r.U32();
+  if (r.U8() != 0) {
+    seg.down.node = r.I32();
+    seg.down.id.thread.home_node = r.I32();
+    seg.down.id.thread.seq = r.U32();
+    seg.down.id.seg = r.U32();
+  }
+  seg.state = static_cast<SegState>(r.U8());
+  seg.blocked_monitor = r.Oid32();
+  uint16_t count = r.U16();
+  size_t frame_bytes = 0;
+  std::vector<ActivationRecord> youngest_first;
+  youngest_first.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    youngest_first.push_back(UnmarshalAr(r));
+    frame_bytes += youngest_first.back().frame.size();
+  }
+  // Records were converted youngest-first; the stack is stored oldest-first, so the
+  // receiver performs the relocation pass of section 3.5.
+  ChargeCycles(frame_bytes * kRelocPerByteCycles);
+  seg.ars.assign(std::make_move_iterator(youngest_first.rbegin()),
+                 std::make_move_iterator(youngest_first.rend()));
+  return seg;
+}
+
+void Node::InstallSegment(Segment seg) {
+  SegId id = seg.id;
+  seg_hint_.erase(id);
+  if (seg.state == SegState::kBlockedMonitor) {
+    // Monitor entry is a retry bus stop: the arriving segment simply re-attempts the
+    // acquisition when scheduled (the wait queue is rebuilt at the destination).
+    seg.state = SegState::kRunnable;
+    seg.blocked_monitor = kNilOid;
+  }
+  bool runnable = seg.state == SegState::kRunnable;
+  auto [it, inserted] = segments_.emplace(id, std::move(seg));
+  HETM_CHECK_MSG(inserted, "segment id collision on install");
+  if (runnable) {
+    EnqueueRunnable(id);
+  }
+}
+
+bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
+  EmObject* obj_ptr = FindLocal(obj_oid);
+  HETM_CHECK(obj_ptr != nullptr && !obj_ptr->is_string);
+  EmObject& obj = *obj_ptr;
+  const CodeRegistry::Entry& entry = EntryFor(obj.code_oid);
+  bool thread_moved = false;
+
+  // --- 1. Cut every stack that has activation records inside the moving object ---
+  std::vector<SegId> affected;
+  for (const auto& [id, seg] : segments_) {
+    for (const ActivationRecord& ar : seg.ars) {
+      if (ar.self == obj_oid) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+
+  std::vector<Segment> moving;
+  for (const SegId& id : affected) {
+    Segment& seg = segments_.at(id);
+    struct Run {
+      bool is_obj;
+      std::vector<ActivationRecord> ars;
+    };
+    std::vector<Run> runs;
+    for (ActivationRecord& ar : seg.ars) {
+      bool is_obj = ar.self == obj_oid;
+      if (runs.empty() || runs.back().is_obj != is_obj) {
+        runs.push_back(Run{is_obj, {}});
+      }
+      runs.back().ars.push_back(std::move(ar));
+    }
+    const int n = static_cast<int>(runs.size());
+    // The top fragment keeps the segment's id (replies address the top activation);
+    // lower fragments get fresh ids and chain via down references.
+    std::vector<SegId> ids(n);
+    ids[n - 1] = id;
+    for (int i = 0; i < n - 1; ++i) {
+      ids[i] = SegId{id.thread,
+                     static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
+    }
+    SegRef below = seg.down;
+    bool top_moves = runs[n - 1].is_obj;
+    for (int i = 0; i < n; ++i) {
+      bool is_obj = runs[i].is_obj;
+      int frag_node = is_obj ? dest_node : index_;
+      if (i == n - 1 && !is_obj) {
+        // Keep the existing map entry for the top fragment.
+        seg.ars = std::move(runs[i].ars);
+        seg.down = below;
+        break;
+      }
+      Segment frag;
+      frag.id = ids[i];
+      frag.ars = std::move(runs[i].ars);
+      frag.down = below;
+      if (i == n - 1) {
+        frag.state = seg.state;
+        frag.blocked_monitor = seg.blocked_monitor;
+      } else {
+        // Every non-top fragment's top record is suspended at a call whose callee is
+        // the fragment above it.
+        frag.state = SegState::kAwaitingReply;
+      }
+      below = SegRef{frag_node, frag.id};
+      if (is_obj) {
+        moving.push_back(std::move(frag));
+      } else {
+        SegId fid = frag.id;
+        segments_.emplace(fid, std::move(frag));
+      }
+    }
+    if (top_moves) {
+      if (current != nullptr && current->id == id) {
+        thread_moved = true;
+      }
+      segments_.erase(id);
+      seg_hint_[id] = dest_node;
+    }
+  }
+
+  // --- 2. Marshal object + fragments + string closure ---
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  std::vector<Oid> closure;
+  w.Oid32(obj_oid);
+  w.Oid32(obj.code_oid);
+  w.I32(obj.monitor.depth);
+  w.I32(obj.monitor.owner.home_node);
+  w.U32(obj.monitor.owner.seq);
+  if (w.strategy() == ConversionStrategy::kRaw) {
+    w.U16(static_cast<uint16_t>(obj.fields.size()));
+    w.Blit(obj.fields.data(), obj.fields.size());
+  } else {
+    MarshalObjectFields(arch(), *entry.cls, obj, w);
+  }
+  for (size_t f = 0; f < entry.cls->fields.size(); ++f) {
+    if (entry.cls->fields[f].kind == ValueKind::kStr) {
+      CollectStringsFromValue(ReadFieldValue(arch(), *entry.cls, obj, static_cast<int>(f)),
+                              closure);
+    } else if (entry.cls->fields[f].kind == ValueKind::kRef) {
+      NoteEscape(ReadFieldValue(arch(), *entry.cls, obj, static_cast<int>(f)));
+    }
+  }
+  w.U16(static_cast<uint16_t>(moving.size()));
+  for (const Segment& seg : moving) {
+    MarshalSegment(seg, w, closure);
+  }
+  WriteStringSection(w, closure);
+  w.FinishMessage();
+
+  ChargeCycles(kMoveFixedSourceCycles);
+  if (w.strategy() != ConversionStrategy::kRaw) {
+    ChargeCycles(kEnhancedMoveFixedCycles);
+  }
+  meter_.counters().moves += 1;
+
+  // --- 3. Ship and forget ---
+  heap_.erase(obj_oid);
+  location_hint_[obj_oid] = dest_node;
+  Message msg;
+  msg.type = MsgType::kMoveObject;
+  msg.src_node = index_;
+  msg.route_oid = obj_oid;
+  msg.strategy = world_->strategy();
+  msg.payload_arch = arch();
+  msg.payload = w.Take();
+  SendMessage(dest_node, std::move(msg));
+  return thread_moved;
+}
+
+void Node::HandleMoveObject(const Message& msg) {
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  Oid oid = r.Oid32();
+  Oid code_oid = r.Oid32();
+  const CodeRegistry::Entry& entry = EntryFor(code_oid);
+
+  auto obj = std::make_unique<EmObject>();
+  obj->oid = oid;
+  obj->code_oid = code_oid;
+  obj->monitor.depth = r.I32();
+  obj->monitor.owner.home_node = r.I32();
+  obj->monitor.owner.seq = r.U32();
+  if (r.strategy() == ConversionStrategy::kRaw) {
+    uint16_t size = r.U16();
+    obj->fields.assign(size, 0);
+    r.Blit(obj->fields.data(), size);
+  } else {
+    obj->fields = MakeFieldImage(arch(), *entry.cls);
+    UnmarshalObjectFields(arch(), *entry.cls, *obj, r);
+  }
+  HETM_CHECK_MSG(heap_.count(oid) == 0, "object arrived where it already resides");
+  heap_.emplace(oid, std::move(obj));
+  location_hint_.erase(oid);
+
+  uint16_t seg_count = r.U16();
+  std::vector<Segment> segs;
+  segs.reserve(seg_count);
+  for (uint16_t i = 0; i < seg_count; ++i) {
+    segs.push_back(UnmarshalSegment(r));
+  }
+  ReadStringSection(r);
+  r.FinishMessage();
+  for (Segment& seg : segs) {
+    InstallSegment(std::move(seg));
+  }
+  ChargeCycles(kMoveFixedDestCycles);
+  if (r.strategy() != ConversionStrategy::kRaw) {
+    ChargeCycles(kEnhancedMoveFixedCycles);
+  }
+
+  // Keep the distributed location structures current: tell the birth node.
+  if (IsDataOid(oid)) {
+    int birth = BirthNodeOfDataOid(oid);
+    if (birth != index_) {
+      WireWriter w(world_->strategy(), arch(), &meter_);
+      w.I32(index_);
+      w.FinishMessage();
+      Message update;
+      update.type = MsgType::kLocationUpdate;
+      update.src_node = index_;
+      update.route_oid = oid;
+      update.strategy = world_->strategy();
+      update.payload_arch = arch();
+      update.payload = w.Take();
+      SendMessage(birth, std::move(update));
+    }
+  }
+}
+
+void Node::HandleMoveRequest(const Message& msg) {
+  if (!IsResident(msg.route_oid)) {
+    ForwardByObject(msg);
+    return;
+  }
+  if (msg.dest_node_arg == index_) {
+    return;
+  }
+  PerformMove(msg.route_oid, msg.dest_node_arg, nullptr);
+}
+
+void Node::HandleLocationUpdate(const Message& msg) {
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  int loc = r.I32();
+  r.FinishMessage();
+  if (!IsResident(msg.route_oid)) {
+    location_hint_[msg.route_oid] = loc;
+  }
+}
+
+}  // namespace hetm

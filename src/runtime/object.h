@@ -1,0 +1,41 @@
+// Runtime objects.
+//
+// Object data is stored in the machine-dependent layout of the hosting node's
+// architecture (field order, byte order, float format all differ per arch); the
+// class's per-arch field offset tables describe it. String objects are immutable
+// and move by copying, like Emerald code objects.
+#ifndef HETM_SRC_RUNTIME_OBJECT_H_
+#define HETM_SRC_RUNTIME_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/oid.h"
+#include "src/runtime/thread.h"
+
+namespace hetm {
+
+// Monitor state moves with its object. The wait queue is node-local (waiting
+// segments always reside with the object and are re-queued on arrival after a move,
+// since monitor entry is a retry bus stop).
+struct MonitorState {
+  int depth = 0;       // 0 = unlocked; reentrant for same-thread nested entry
+  ThreadId owner;
+  std::vector<SegId> wait_queue;
+
+  bool Locked() const { return depth > 0; }
+};
+
+struct EmObject {
+  Oid oid = kNilOid;
+  Oid code_oid = kNilOid;   // class; kNilOid for string objects
+  bool is_string = false;
+  std::vector<uint8_t> fields;  // machine-dependent image (node arch layout)
+  std::string str;              // string content (is_string)
+  MonitorState monitor;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_OBJECT_H_

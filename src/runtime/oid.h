@@ -1,0 +1,41 @@
+// Object identifiers.
+//
+// Every Emerald entity — data objects, string objects, node objects and code objects —
+// is named by a globally unique OID (section 3.2). References held in object fields
+// and activation records are OIDs, which makes them network transparent: moving an
+// object never invalidates references to it.
+#ifndef HETM_SRC_RUNTIME_OID_H_
+#define HETM_SRC_RUNTIME_OID_H_
+
+#include <cstdint>
+
+namespace hetm {
+
+using Oid = uint32_t;
+
+inline constexpr Oid kNilOid = 0;
+
+// OID space partitioning. The top nibble selects the kind; for data/string objects the
+// next byte is the birth node, which gives every node a well-known place to start a
+// location search (the Emerald "forwarding from the birth node" strategy).
+inline constexpr Oid kNodeOidBase = 0x10000000;    // node objects: base + node index
+inline constexpr Oid kCodeOidBase = 0x20000000;    // code objects, assigned by ProgramDatabase
+inline constexpr Oid kLiteralOidBase = 0x30000000; // compile-time string literals
+inline constexpr Oid kDataOidBase = 0x40000000;    // runtime-allocated objects & strings
+
+inline constexpr Oid NodeOid(int node_index) { return kNodeOidBase + static_cast<Oid>(node_index); }
+inline constexpr bool IsNodeOid(Oid oid) { return (oid & 0xF0000000u) == kNodeOidBase; }
+inline constexpr int NodeIndexOfOid(Oid oid) { return static_cast<int>(oid & 0x0FFFFFFFu); }
+inline constexpr bool IsCodeOid(Oid oid) { return (oid & 0xF0000000u) == kCodeOidBase; }
+inline constexpr bool IsLiteralOid(Oid oid) { return (oid & 0xF0000000u) == kLiteralOidBase; }
+inline constexpr bool IsDataOid(Oid oid) { return (oid & 0xF0000000u) == kDataOidBase; }
+
+// Data OID layout: 0x4 | birth node (8 bits) | per-node counter (20 bits).
+inline constexpr Oid MakeDataOid(int birth_node, uint32_t counter) {
+  return kDataOidBase | (static_cast<Oid>(birth_node & 0xFF) << 20) | (counter & 0xFFFFFu);
+}
+inline constexpr int BirthNodeOfDataOid(Oid oid) { return static_cast<int>((oid >> 20) & 0xFF); }
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_OID_H_

@@ -1,0 +1,88 @@
+// Threads, activation records and stack segments.
+//
+// A thread is a distributed entity: its call stack is a chain of *segments*, each
+// holding the contiguous run of activation records that currently resides on one
+// node. Moving an object moves every activation record executing one of its
+// operations (the paper's Example 1), cutting segments and re-linking the chain; a
+// return from the bottom record of a segment crosses the network to the segment
+// below.
+#ifndef HETM_SRC_RUNTIME_THREAD_H_
+#define HETM_SRC_RUNTIME_THREAD_H_
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "src/compiler/compiled.h"
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+struct ThreadId {
+  int32_t home_node = 0;  // creating node
+  uint32_t seq = 0;
+  auto operator<=>(const ThreadId&) const = default;
+};
+
+// Globally unique segment name within a thread (allocating node tagged in the id).
+struct SegId {
+  ThreadId thread;
+  uint32_t seg = 0;
+  auto operator<=>(const SegId&) const = default;
+};
+
+// A remote (or local) reference to a segment: the node is a routing *hint* — the
+// segment may have moved on, in which case forwarding chains take over.
+struct SegRef {
+  int32_t node = -1;
+  SegId id;
+  bool valid() const { return node >= 0; }
+};
+
+// One activation record, in the machine-dependent representation of the node it
+// lives on: raw frame bytes in the node architecture's layout and byte order, plus
+// the per-activation register file (the "callee-saved register area" the templates
+// describe). `pc` is a native program counter; it is only converted to a bus-stop
+// number when the record migrates.
+struct ActivationRecord {
+  Oid self = kNilOid;
+  Oid code_oid = kNilOid;
+  int op_index = 0;
+  uint32_t pc = 0;
+  std::vector<uint8_t> frame;
+  std::vector<uint32_t> regs;
+  std::vector<double> fregs;     // float scratch (SPARC); never live at a bus stop
+  int pending_call_site = -1;    // call site awaiting a result while suspended
+
+  // Bridging state (section 2.2.2). While `pending_bridge` is non-empty the
+  // record's *semantic* state corresponds to `sem_opt`-scheduled code suspended at
+  // bus stop `pending_stop`, even though `pc` already points into this node's code;
+  // the bridge executes exactly once, right before the record next resumes. If the
+  // record migrates again first, it re-marshals from (sem_opt, pending_stop) and the
+  // destination builds a fresh bridge — the paper's "moved once more before it has
+  // finished executing the bridging code" case.
+  OptLevel sem_opt = OptLevel::kO0;
+  int pending_stop = -1;
+  std::vector<IrInstr> pending_bridge;
+};
+
+enum class SegState : uint8_t {
+  kRunnable,        // ready to execute (top AR's pc is a resume point)
+  kAwaitingReply,   // top AR suspended at a call whose callee is on another node
+  kBlockedMonitor,  // top AR suspended at a monitor-entry retry point
+};
+
+struct Segment {
+  SegId id;
+  std::vector<ActivationRecord> ars;  // bottom .. top
+  SegRef down;                        // where the bottom AR's return goes (invalid = root)
+  SegState state = SegState::kRunnable;
+  Oid blocked_monitor = kNilOid;
+
+  ActivationRecord& Top() { return ars.back(); }
+  const ActivationRecord& Top() const { return ars.back(); }
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_THREAD_H_

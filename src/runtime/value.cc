@@ -1,0 +1,45 @@
+#include "src/runtime/value.h"
+
+#include <cstdio>
+
+namespace hetm {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kInt:
+      return "Int";
+    case ValueKind::kReal:
+      return "Real";
+    case ValueKind::kBool:
+      return "Bool";
+    case ValueKind::kStr:
+      return "String";
+    case ValueKind::kRef:
+      return "Ref";
+    case ValueKind::kNode:
+      return "Node";
+  }
+  return "?";
+}
+
+std::string ToString(const Value& v) {
+  char buf[64];
+  switch (v.kind) {
+    case ValueKind::kInt:
+      std::snprintf(buf, sizeof(buf), "%d", v.i);
+      return buf;
+    case ValueKind::kReal:
+      std::snprintf(buf, sizeof(buf), "%g", v.r);
+      return buf;
+    case ValueKind::kBool:
+      return v.i ? "true" : "false";
+    case ValueKind::kStr:
+    case ValueKind::kRef:
+    case ValueKind::kNode:
+      std::snprintf(buf, sizeof(buf), "%s@%08x", ValueKindName(v.kind), v.oid);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace hetm

@@ -1,0 +1,59 @@
+// Language value kinds and the kernel's canonical (machine-independent) value form.
+//
+// ValueKind is the static type of a variable, field or parameter. The kernel moves
+// data between machine-dependent homes (registers / frame slots / object fields) via
+// the canonical Value form, which is exactly the machine-independent representation
+// the paper converts thread states through (Figure 2's "MI" level).
+#ifndef HETM_SRC_RUNTIME_VALUE_H_
+#define HETM_SRC_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/runtime/oid.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+enum class ValueKind : uint8_t {
+  kInt = 0,   // 32-bit signed integer, one cell
+  kReal = 1,  // 64-bit float, two cells, machine float format in memory
+  kBool = 2,  // one cell
+  kStr = 3,   // reference (OID) to an immutable string object
+  kRef = 4,   // reference (OID) to a user object
+  kNode = 5,  // reference (OID) to a node object
+};
+
+inline bool IsReference(ValueKind kind) {
+  return kind == ValueKind::kStr || kind == ValueKind::kRef || kind == ValueKind::kNode;
+}
+
+inline int CellsOf(ValueKind kind) { return kind == ValueKind::kReal ? 2 : 1; }
+
+const char* ValueKindName(ValueKind kind);
+
+// Canonical value: host representation tagged with its language kind.
+struct Value {
+  ValueKind kind = ValueKind::kInt;
+  int32_t i = 0;   // kInt / kBool (0 or 1)
+  double r = 0.0;  // kReal
+  Oid oid = kNilOid;  // kStr / kRef / kNode
+
+  static Value Int(int32_t v) { return {ValueKind::kInt, v, 0.0, kNilOid}; }
+  static Value Real(double v) { return {ValueKind::kReal, 0, v, kNilOid}; }
+  static Value Bool(bool v) { return {ValueKind::kBool, v ? 1 : 0, 0.0, kNilOid}; }
+  static Value Str(Oid o) { return {ValueKind::kStr, 0, 0.0, o}; }
+  static Value Ref(Oid o) { return {ValueKind::kRef, 0, 0.0, o}; }
+  static Value NodeRef(Oid o) { return {ValueKind::kNode, 0, 0.0, o}; }
+
+  bool AsBool() const {
+    HETM_CHECK(kind == ValueKind::kBool);
+    return i != 0;
+  }
+};
+
+std::string ToString(const Value& v);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_RUNTIME_VALUE_H_

@@ -1,0 +1,97 @@
+#include "src/sim/world.h"
+
+#include "src/arch/calibration.h"
+#include "src/compiler/irgen.h"
+#include "src/runtime/node.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+World::World(ConversionStrategy strategy) : strategy_(strategy) {}
+
+World::~World() = default;
+
+int World::AddNode(const MachineModel& machine, OptLevel opt) {
+  int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(this, index, machine, opt));
+  if (strategy_ == ConversionStrategy::kRaw && index > 0) {
+    // The original homogeneous Emerald only runs between identical machine
+    // representations: one architecture, one schedule.
+    HETM_CHECK_MSG(nodes_[0]->arch() == nodes_[index]->arch() &&
+                       nodes_[0]->opt_level() == nodes_[index]->opt_level(),
+                   "the original (raw) system requires homogeneous nodes");
+  }
+  return index;
+}
+
+void World::RegisterProgram(std::shared_ptr<const CompiledProgram> program) {
+  boot_program_ = program.get();
+  code_.Register(std::move(program));
+}
+
+void World::Boot(int node) {
+  HETM_CHECK_MSG(boot_program_ != nullptr, "no program registered");
+  HETM_CHECK(node >= 0 && node < num_nodes());
+  Oid main_oid = boot_program_->class_oids[boot_program_->main_class];
+  nodes_[node]->StartMainThread(main_oid);
+}
+
+void World::Send(int from_node, int to_node, Message msg) {
+  HETM_CHECK(to_node >= 0 && to_node < num_nodes());
+  double serialization_us =
+      static_cast<double>(msg.WireSize()) * 8.0 / kEthernetMbps;  // bits / (bits/us)
+  double delivery = nodes_[from_node]->now_us() + kMessageLatencyUs + serialization_us;
+  queue_.push(Event{delivery, next_event_seq_++, to_node, std::move(msg)});
+}
+
+bool World::Run(uint64_t max_events) {
+  uint64_t events = 0;
+  while (events < max_events && ok()) {
+    bool any = false;
+    for (auto& node : nodes_) {
+      if (node->HasRunnable()) {
+        node->Pump();
+        any = true;
+      }
+    }
+    uint64_t executed = 0;
+    for (const auto& node : nodes_) {
+      executed += node->meter().counters().vm_instructions;
+    }
+    if (executed > fuel_limit_) {
+      SetError("fuel limit exceeded (" + std::to_string(executed) + " instructions)");
+      return false;
+    }
+    if (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      ++events;
+      nodes_[ev.dst]->AdvanceTo(ev.time);
+      nodes_[ev.dst]->HandleMessage(ev.msg);
+      continue;
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return ok();
+}
+
+void World::AppendOutput(const std::string& line) { output_ += line; }
+
+void World::SetError(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message;
+  }
+  AppendOutput("RUNTIME ERROR: " + message + "\n");
+}
+
+double World::NowMaxUs() const {
+  double t = 0.0;
+  for (const auto& node : nodes_) {
+    t = std::max(t, node->now_us());
+  }
+  return t;
+}
+
+}  // namespace hetm

@@ -1,0 +1,99 @@
+// The simulated world: nodes on a shared 10 Mbit/s Ethernet (Figure 1).
+//
+// Discrete-event simulation: each node has its own clock, advanced by the cycles its
+// VM and kernel charge; messages are delivered at send-time + latency +
+// serialization time. Execution is causally consistent: a node handles a message no
+// earlier than its delivery time, and ping-pong workloads (everything Table 1
+// measures) are timed exactly.
+#ifndef HETM_SRC_SIM_WORLD_H_
+#define HETM_SRC_SIM_WORLD_H_
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/arch/machine.h"
+#include "src/compiler/compiled.h"
+#include "src/mobility/wire.h"
+#include "src/runtime/code_registry.h"
+#include "src/runtime/messages.h"
+
+namespace hetm {
+
+class Node;
+
+class World {
+ public:
+  // `strategy` selects the system variant: kRaw is the original homogeneous Emerald
+  // (machine-dependent blits; all nodes must share one architecture and optimization
+  // level), kNaive the enhanced heterogeneous system as the paper built it, kFast
+  // the enhanced system with the optimized conversion routines the paper projects.
+  explicit World(ConversionStrategy strategy = ConversionStrategy::kNaive);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // Adds a node running `machine`, executing `opt`-level code. Returns its index.
+  int AddNode(const MachineModel& machine, OptLevel opt = OptLevel::kO0);
+
+  void RegisterProgram(std::shared_ptr<const CompiledProgram> program);
+
+  // Creates the $Main object of the last registered program on `node` and starts the
+  // main thread there.
+  void Boot(int node = 0);
+
+  // Runs to quiescence (no runnable work, no messages in flight) or until the fuel
+  // limit / event cap is hit. Returns true if the world quiesced normally.
+  bool Run(uint64_t max_events = 1'000'000);
+
+  void Send(int from_node, int to_node, Message msg);
+
+  Node& node(int index) { return *nodes_[index]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  CodeRegistry& code() { return code_; }
+  ConversionStrategy strategy() const { return strategy_; }
+
+  void AppendOutput(const std::string& line);
+  const std::string& output() const { return output_; }
+  void SetError(const std::string& message);
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+  void SetFinished() { finished_ = true; }
+  bool finished() const { return finished_; }
+
+  // Total guest instructions all nodes may execute before Run gives up (runaway
+  // guard for guest programs).
+  void SetFuelLimit(uint64_t instructions) { fuel_limit_ = instructions; }
+
+  // Latest simulated time across all nodes, in microseconds.
+  double NowMaxUs() const;
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    int dst;
+    Message msg;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  ConversionStrategy strategy_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  uint64_t next_event_seq_ = 0;
+  CodeRegistry code_;
+  const CompiledProgram* boot_program_ = nullptr;
+  std::string output_;
+  std::string error_;
+  bool finished_ = false;
+  uint64_t fuel_limit_ = 500'000'000;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SIM_WORLD_H_

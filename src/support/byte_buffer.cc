@@ -1,0 +1,80 @@
+#include "src/support/byte_buffer.h"
+
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace hetm {
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+uint8_t ByteReader::U8() {
+  HETM_CHECK(pos_ + 1 <= size_);
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::U16() {
+  HETM_CHECK(pos_ + 2 <= size_);
+  uint16_t v = Load16(data_ + pos_, order_);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::U32() {
+  HETM_CHECK(pos_ + 4 <= size_);
+  uint32_t v = Load32(data_ + pos_, order_);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  HETM_CHECK(pos_ + 8 <= size_);
+  uint64_t v = Load64(data_ + pos_, order_);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::Str() {
+  uint32_t n = U32();
+  HETM_CHECK(pos_ + n <= size_);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::RawBytes(uint8_t* dst, size_t n) {
+  HETM_CHECK(pos_ + n <= size_);
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+}
+
+std::vector<uint8_t> ByteReader::TakeBytes(size_t n) {
+  HETM_CHECK(pos_ + n <= size_);
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::Seek(size_t pos) {
+  HETM_CHECK(pos <= size_);
+  pos_ = pos;
+}
+
+}  // namespace hetm

@@ -1,0 +1,92 @@
+// Growable byte buffer with explicit-byte-order append/read primitives. Used for
+// machine code images, raw object/frame memory and the network wire format.
+#ifndef HETM_SRC_SUPPORT_BYTE_BUFFER_H_
+#define HETM_SRC_SUPPORT_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/endian.h"
+
+namespace hetm {
+
+// Append-only writer. All multi-byte values are written in the byte order given at
+// construction time (network writers use kBig; per-arch code emitters use the
+// architecture's order).
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteOrder order) : order_(order) {}
+
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U16(uint16_t v) {
+    size_t at = bytes_.size();
+    bytes_.resize(at + 2);
+    Store16(&bytes_[at], v, order_);
+  }
+  void U32(uint32_t v) {
+    size_t at = bytes_.size();
+    bytes_.resize(at + 4);
+    Store32(&bytes_[at], v, order_);
+  }
+  void U64(uint64_t v) {
+    size_t at = bytes_.size();
+    bytes_.resize(at + 8);
+    Store64(&bytes_[at], v, order_);
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v);
+  void Bytes(const uint8_t* data, size_t n) { bytes_.insert(bytes_.end(), data, data + n); }
+  void Bytes(const std::vector<uint8_t>& data) { Bytes(data.data(), data.size()); }
+  // Length-prefixed string (u32 length + raw bytes).
+  void Str(const std::string& s);
+
+  // Patches a previously written 16/32-bit field in place (for branch displacements).
+  void PatchU16(size_t offset, uint16_t v) { Store16(&bytes_[offset], v, order_); }
+  void PatchU32(size_t offset, uint32_t v) { Store32(&bytes_[offset], v, order_); }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+  ByteOrder order() const { return order_; }
+
+ private:
+  ByteOrder order_;
+  std::vector<uint8_t> bytes_;
+};
+
+// Sequential reader over a byte span. Reads abort (via HETM_CHECK) if they run past
+// the end: a truncated wire message indicates a protocol bug, not a recoverable
+// condition in this in-process simulation.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size, ByteOrder order)
+      : data_(data), size_(size), order_(order) {}
+  ByteReader(const std::vector<uint8_t>& data, ByteOrder order)
+      : ByteReader(data.data(), data.size(), order) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64();
+  std::string Str();
+  void RawBytes(uint8_t* dst, size_t n);
+  std::vector<uint8_t> TakeBytes(size_t n);
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  void Seek(size_t pos);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  ByteOrder order_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SUPPORT_BYTE_BUFFER_H_

@@ -1,0 +1,37 @@
+// Internal invariant checking. HETM_CHECK aborts with a message on violation; it is
+// enabled in all build types because the runtime kernel's correctness depends on the
+// compiler-emitted metadata being consistent, and silent corruption of a migrated
+// thread state is far worse than a crash.
+#ifndef HETM_SRC_SUPPORT_CHECK_H_
+#define HETM_SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define HETM_CHECK(cond)                                                              \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "HETM_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                            \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define HETM_CHECK_MSG(cond, ...)                                                     \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "HETM_CHECK failed at %s:%d: %s: ", __FILE__, __LINE__,    \
+                   #cond);                                                            \
+      std::fprintf(stderr, __VA_ARGS__);                                              \
+      std::fprintf(stderr, "\n");                                                     \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define HETM_UNREACHABLE(msg)                                                         \
+  do {                                                                                \
+    std::fprintf(stderr, "HETM_UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__, msg); \
+    std::abort();                                                                     \
+  } while (0)
+
+#endif  // HETM_SRC_SUPPORT_CHECK_H_

@@ -1,0 +1,87 @@
+// Byte-order helpers. The simulated architectures store data in their own byte order
+// inside object fields and activation-record slots; the network wire format is
+// big-endian ("network byte order"), as in the paper's htons/ntohl discussion.
+#ifndef HETM_SRC_SUPPORT_ENDIAN_H_
+#define HETM_SRC_SUPPORT_ENDIAN_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hetm {
+
+enum class ByteOrder { kLittle, kBig };
+
+inline uint16_t ByteSwap16(uint16_t v) { return static_cast<uint16_t>((v >> 8) | (v << 8)); }
+
+inline uint32_t ByteSwap32(uint32_t v) {
+  return ((v >> 24) & 0x000000FFu) | ((v >> 8) & 0x0000FF00u) | ((v << 8) & 0x00FF0000u) |
+         ((v << 24) & 0xFF000000u);
+}
+
+inline uint64_t ByteSwap64(uint64_t v) {
+  return (static_cast<uint64_t>(ByteSwap32(static_cast<uint32_t>(v))) << 32) |
+         ByteSwap32(static_cast<uint32_t>(v >> 32));
+}
+
+// Stores `v` into `dst` in the requested byte order, independent of host order.
+inline void Store16(uint8_t* dst, uint16_t v, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    dst[0] = static_cast<uint8_t>(v >> 8);
+    dst[1] = static_cast<uint8_t>(v);
+  } else {
+    dst[0] = static_cast<uint8_t>(v);
+    dst[1] = static_cast<uint8_t>(v >> 8);
+  }
+}
+
+inline void Store32(uint8_t* dst, uint32_t v, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    dst[0] = static_cast<uint8_t>(v >> 24);
+    dst[1] = static_cast<uint8_t>(v >> 16);
+    dst[2] = static_cast<uint8_t>(v >> 8);
+    dst[3] = static_cast<uint8_t>(v);
+  } else {
+    dst[0] = static_cast<uint8_t>(v);
+    dst[1] = static_cast<uint8_t>(v >> 8);
+    dst[2] = static_cast<uint8_t>(v >> 16);
+    dst[3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+inline void Store64(uint8_t* dst, uint64_t v, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    Store32(dst, static_cast<uint32_t>(v >> 32), order);
+    Store32(dst + 4, static_cast<uint32_t>(v), order);
+  } else {
+    Store32(dst, static_cast<uint32_t>(v), order);
+    Store32(dst + 4, static_cast<uint32_t>(v >> 32), order);
+  }
+}
+
+inline uint16_t Load16(const uint8_t* src, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    return static_cast<uint16_t>((src[0] << 8) | src[1]);
+  }
+  return static_cast<uint16_t>(src[0] | (src[1] << 8));
+}
+
+inline uint32_t Load32(const uint8_t* src, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    return (static_cast<uint32_t>(src[0]) << 24) | (static_cast<uint32_t>(src[1]) << 16) |
+           (static_cast<uint32_t>(src[2]) << 8) | static_cast<uint32_t>(src[3]);
+  }
+  return static_cast<uint32_t>(src[0]) | (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) | (static_cast<uint32_t>(src[3]) << 24);
+}
+
+inline uint64_t Load64(const uint8_t* src, ByteOrder order) {
+  if (order == ByteOrder::kBig) {
+    return (static_cast<uint64_t>(Load32(src, order)) << 32) | Load32(src + 4, order);
+  }
+  return static_cast<uint64_t>(Load32(src, order)) |
+         (static_cast<uint64_t>(Load32(src + 4, order)) << 32);
+}
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SUPPORT_ENDIAN_H_

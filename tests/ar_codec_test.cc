@@ -1,0 +1,161 @@
+// Activation-record conversion: machine-dependent <-> machine-independent forms.
+#include "src/mobility/ar_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+const char* kProgram = R"(
+  class T
+    var f: Int
+    op op1(p1: Int, p2: Real, p3: Bool, p4: Ref): Int
+      var l1: Int := p1 * 2
+      var l2: Real := p2 + 1.0
+      var l3: String := "state"
+      print l3
+      return l1
+    end
+  end
+  main
+  end
+)";
+
+struct Compiled {
+  std::shared_ptr<const CompiledProgram> program;
+  const OpInfo* op;
+};
+
+Compiled CompileT() {
+  CompileResult r = CompileSource(kProgram);
+  EXPECT_TRUE(r.ok());
+  Compiled c;
+  c.program = r.program;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == "T") {
+      c.op = &cls->ops[0];
+    }
+  }
+  return c;
+}
+
+class ArCodecPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(ArCodecPerArch, CellWriteReadRoundTripsEveryKind) {
+  Arch arch = GetParam();
+  Compiled c = CompileT();
+  ActivationRecord ar = MakeActivation(arch, 0x20000001, 0, *c.op, 0x40000001);
+  const IrFunction& fn = c.op->ir[0];
+  for (size_t cell = 0; cell < fn.cells.size(); ++cell) {
+    Value v;
+    switch (fn.cells[cell].kind) {
+      case ValueKind::kInt: v = Value::Int(-123456 - static_cast<int>(cell)); break;
+      case ValueKind::kReal: v = Value::Real(3.25 + static_cast<double>(cell)); break;
+      case ValueKind::kBool: v = Value::Bool(cell % 2 == 0); break;
+      case ValueKind::kStr: v = Value::Str(0x30000000 + static_cast<Oid>(cell)); break;
+      case ValueKind::kRef: v = Value::Ref(0x40000000 + static_cast<Oid>(cell)); break;
+      case ValueKind::kNode: v = Value::NodeRef(NodeOid(static_cast<int>(cell) % 4)); break;
+    }
+    WriteCellValue(arch, *c.op, ar, static_cast<int>(cell), v);
+    Value back = ReadCellValue(arch, *c.op, ar, static_cast<int>(cell));
+    EXPECT_EQ(back.kind, fn.cells[cell].kind);
+    EXPECT_EQ(back.i, v.i);
+    EXPECT_EQ(back.r, v.r);
+    EXPECT_EQ(back.oid, v.oid);
+  }
+}
+
+TEST_P(ArCodecPerArch, FrameIsMachineDependent) {
+  Arch arch = GetParam();
+  Compiled c = CompileT();
+  ActivationRecord ar = MakeActivation(arch, 0x20000001, 0, *c.op, 0x40000001);
+  EXPECT_EQ(static_cast<int>(ar.frame.size()),
+            c.op->frame_bytes[static_cast<int>(arch)]);
+  EXPECT_EQ(static_cast<int>(ar.regs.size()), GetArchInfo(arch).num_regs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ArCodecPerArch,
+                         ::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return ArchName(info.param);
+                         });
+
+class ArCodecCrossArch : public ::testing::TestWithParam<std::pair<Arch, Arch>> {};
+
+TEST_P(ArCodecCrossArch, MarshalUnmarshalPreservesLiveState) {
+  auto [src_arch, dst_arch] = GetParam();
+  Compiled c = CompileT();
+  const IrFunction& fn = c.op->ir[0];
+  ActivationRecord src = MakeActivation(src_arch, 0x20000001, 0, *c.op, 0x40000001);
+  // Populate the entry state (parameters + self).
+  WriteCellValue(src_arch, *c.op, src, 0, Value::Int(-777));
+  WriteCellValue(src_arch, *c.op, src, 1, Value::Real(1.0 / 1024.0));
+  WriteCellValue(src_arch, *c.op, src, 2, Value::Bool(true));
+  WriteCellValue(src_arch, *c.op, src, 3, Value::Ref(0x40ABCDEF));
+
+  CostMeter meter{SparcStationSlc()};
+  WireWriter w(ConversionStrategy::kNaive, src_arch, &meter);
+  MarshalArCells(src_arch, *c.op, OptLevel::kO0, src, /*stop=*/0, w);
+  std::vector<uint8_t> bytes = w.Take();
+
+  ActivationRecord dst = MakeActivation(dst_arch, 0x20000001, 0, *c.op, 0x40000001);
+  WireReader r(ConversionStrategy::kNaive, src_arch, &meter, bytes);
+  UnmarshalArCells(dst_arch, *c.op, dst, r);
+  EXPECT_TRUE(r.AtEnd());
+
+  for (int cell = 0; cell < fn.num_params; ++cell) {
+    Value a = ReadCellValue(src_arch, *c.op, src, cell);
+    Value b = ReadCellValue(dst_arch, *c.op, dst, cell);
+    EXPECT_EQ(a.i, b.i) << "cell " << cell;
+    EXPECT_EQ(a.r, b.r) << "cell " << cell;
+    EXPECT_EQ(a.oid, b.oid) << "cell " << cell;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ArCodecCrossArch,
+    ::testing::Values(std::pair{Arch::kVax32, Arch::kSparc32},
+                      std::pair{Arch::kSparc32, Arch::kVax32},
+                      std::pair{Arch::kM68k, Arch::kVax32},
+                      std::pair{Arch::kVax32, Arch::kM68k},
+                      std::pair{Arch::kSparc32, Arch::kM68k},
+                      std::pair{Arch::kM68k, Arch::kSparc32}));
+
+TEST(ArCodec, OnlyLiveCellsAreMarshalled) {
+  Compiled c = CompileT();
+  // At the print stop, l3 (the printed string) is dead afterwards but l1 is live
+  // (returned). Count the wire entries.
+  const IrFunction& fn = c.op->ir[0];
+  int print_stop = -1;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.kind == IrKind::kTrap && fn.trap_sites[in.site].kind == TrapKind::kPrint) {
+      print_stop = in.stop;
+    }
+  }
+  ASSERT_GE(print_stop, 1);
+  int live_count = 0;
+  for (size_t cell = 0; cell < fn.cells.size(); ++cell) {
+    live_count += fn.CellLiveAtStop(print_stop, static_cast<int>(cell)) ? 1 : 0;
+  }
+  EXPECT_LT(live_count, static_cast<int>(fn.cells.size()));
+
+  ActivationRecord ar = MakeActivation(Arch::kSparc32, 0x20000001, 0, *c.op, 1);
+  CostMeter meter{SparcStationSlc()};
+  WireWriter w(ConversionStrategy::kNaive, Arch::kSparc32, &meter);
+  MarshalArCells(Arch::kSparc32, *c.op, OptLevel::kO0, ar, print_stop, w);
+  std::vector<uint8_t> bytes = w.Take();
+  WireReader r(ConversionStrategy::kNaive, Arch::kSparc32, &meter, bytes);
+  EXPECT_EQ(r.U16(), live_count);
+}
+
+TEST(ArCodecDeath, KindMismatchRejected) {
+  Compiled c = CompileT();
+  ActivationRecord ar = MakeActivation(Arch::kSparc32, 0x20000001, 0, *c.op, 1);
+  EXPECT_DEATH(WriteCellValue(Arch::kSparc32, *c.op, ar, 0, Value::Real(1.0)),
+               "HETM_CHECK");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,256 @@
+// Backend properties: homes, frame and field layouts, bus-stop tables, templates.
+#include "src/compiler/backend.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+std::shared_ptr<const CompiledProgram> Compile(const std::string& src) {
+  CompileResult r = CompileSource(src);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  return r.program;
+}
+
+const CompiledClass& ClassOf(const CompiledProgram& prog, const std::string& name) {
+  for (const auto& cls : prog.classes) {
+    if (cls->name == name) {
+      return *cls;
+    }
+  }
+  ADD_FAILURE() << "class not found: " << name;
+  static CompiledClass dummy;
+  return dummy;
+}
+
+const char* kMixedProgram = R"(
+  class Mixed
+    var fi: Int
+    var fr: Real
+    var fs: String
+    var fb: Bool
+    var fref: Ref
+    op work(a: Int, b: Real, c: Ref): Real
+      var i1: Int := a
+      var i2: Int := a * 2
+      var i3: Int := a * 3
+      var i4: Int := a * 4
+      var i5: Int := a * 5
+      var i6: Int := a * 6
+      var i7: Int := a * 7
+      var i8: Int := a * 8
+      var i9: Int := a * 9
+      var i10: Int := a * 10
+      var i11: Int := a * 11
+      var i12: Int := a * 12
+      var r1: Real := b + 1.0
+      var s1: String := "x"
+      var n1: Node := here()
+      print i1 + i2 + i3 + i4 + i5 + i6 + i7 + i8 + i9 + i10 + i11 + i12
+      print s1
+      print n1
+      fref := c
+      return r1
+    end
+  end
+  main
+  end
+)";
+
+class BackendPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(BackendPerArch, HomesRespectRegisterPools) {
+  Arch arch = GetParam();
+  const ArchInfo& info = GetArchInfo(arch);
+  auto prog = Compile(kMixedProgram);
+  const CompiledClass& cls = ClassOf(*prog, "Mixed");
+  const OpInfo& op = cls.ops[0];
+  const std::vector<Home>& homes = op.homes[static_cast<int>(arch)];
+  const IrFunction& fn = op.ir[0];
+  ASSERT_EQ(homes.size(), fn.cells.size());
+
+  std::set<int> used_regs;
+  for (size_t c = 0; c < homes.size(); ++c) {
+    ValueKind kind = fn.cells[c].kind;
+    if (homes[c].kind == HomeKind::kReg) {
+      int reg = homes[c].index;
+      EXPECT_TRUE(used_regs.insert(reg).second) << "register assigned twice";
+      EXPECT_NE(kind, ValueKind::kReal) << "reals are always slot-homed";
+      if (IsReference(kind) && info.ref_home_regs > 0) {
+        EXPECT_GE(reg, info.ref_home_base);
+        EXPECT_LT(reg, info.ref_home_base + info.ref_home_regs);
+      } else {
+        EXPECT_GE(reg, info.int_home_base);
+        EXPECT_LT(reg, info.int_home_base + info.int_home_regs);
+      }
+    } else {
+      int off = homes[c].index;
+      EXPECT_GE(off, 0);
+      EXPECT_LE(off + (kind == ValueKind::kReal ? 8 : 4),
+                op.frame_bytes[static_cast<int>(arch)]);
+    }
+  }
+  // The program has far more int cells than any pool: the int pool must be
+  // exhausted. (The ref pool on M68K may be partially used — the op has only three
+  // reference-kinded cells.)
+  EXPECT_GE(static_cast<int>(used_regs.size()), info.int_home_regs);
+  EXPECT_LE(static_cast<int>(used_regs.size()),
+            info.int_home_regs + info.ref_home_regs);
+}
+
+TEST_P(BackendPerArch, SlotHomesDoNotOverlap) {
+  Arch arch = GetParam();
+  auto prog = Compile(kMixedProgram);
+  const OpInfo& op = ClassOf(*prog, "Mixed").ops[0];
+  const std::vector<Home>& homes = op.homes[static_cast<int>(arch)];
+  const IrFunction& fn = op.ir[0];
+  std::vector<std::pair<int, int>> ranges;
+  for (size_t c = 0; c < homes.size(); ++c) {
+    if (homes[c].kind == HomeKind::kSlot) {
+      int size = fn.cells[c].kind == ValueKind::kReal ? 8 : 4;
+      ranges.emplace_back(homes[c].index, homes[c].index + size);
+    }
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      bool disjoint =
+          ranges[i].second <= ranges[j].first || ranges[j].second <= ranges[i].first;
+      EXPECT_TRUE(disjoint) << "overlapping slots";
+    }
+  }
+}
+
+TEST_P(BackendPerArch, StopTablesDenseMonotonicAndDistinctPerOptLevel) {
+  Arch arch = GetParam();
+  auto prog = Compile(kMixedProgram);
+  const OpInfo& op = ClassOf(*prog, "Mixed").ops[0];
+  for (int lvl = 0; lvl < kNumOptLevels; ++lvl) {
+    const ArchOpCode& code = op.code[static_cast<int>(arch)][lvl];
+    ASSERT_EQ(static_cast<int>(code.stops.size()), op.ir[lvl].num_stops);
+    EXPECT_EQ(code.stops[0].pc, 0u);
+    for (size_t s = 1; s < code.stops.size(); ++s) {
+      EXPECT_GE(code.stops[s].pc, code.stops[s - 1].pc);
+      EXPECT_LE(code.stops[s].pc, code.code.size());
+    }
+    // instr_pc is monotone non-decreasing and covers the whole image.
+    for (size_t i = 1; i < code.instr_pc.size(); ++i) {
+      EXPECT_GE(code.instr_pc[i], code.instr_pc[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, BackendPerArch,
+                         ::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return ArchName(info.param);
+                         });
+
+TEST(Backend, FieldLayoutOrderDiffersPerArch) {
+  auto prog = Compile(kMixedProgram);
+  const CompiledClass& cls = ClassOf(*prog, "Mixed");
+  // VAX: declaration order — fi at 0.
+  EXPECT_EQ(cls.field_offsets[static_cast<int>(Arch::kVax32)][0], 0);
+  // M68K: reversed — the LAST field is at 0.
+  EXPECT_EQ(cls.field_offsets[static_cast<int>(Arch::kM68k)][cls.fields.size() - 1], 0);
+  // SPARC: references first — fs (String, index 2) before fi (Int, index 0).
+  const auto& sparc = cls.field_offsets[static_cast<int>(Arch::kSparc32)];
+  EXPECT_LT(sparc[2], sparc[0]);
+  // Real field 8-aligned on SPARC.
+  EXPECT_EQ(sparc[1] % 8, 0);
+  // Object sizes can differ (alignment), but each covers all fields.
+  for (int a = 0; a < kNumArchs; ++a) {
+    for (size_t f = 0; f < cls.fields.size(); ++f) {
+      int size = cls.fields[f].kind == ValueKind::kReal ? 8 : 4;
+      EXPECT_LE(cls.field_offsets[a][f] + size, cls.object_bytes[a]);
+    }
+  }
+}
+
+TEST(Backend, VaxMonitorExitIsExitOnlyBusStop) {
+  auto prog = Compile(R"(
+    monitor class M
+      var n: Int
+      op f(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+    end
+  )");
+  const CompiledClass& cls = ClassOf(*prog, "M");
+  const OpInfo& op = cls.ops[0];
+  // Find the monexit stop number from the IR.
+  int monexit_stop = -1;
+  for (const IrInstr& in : op.ir[0].instrs) {
+    if (in.kind == IrKind::kMonExit) {
+      monexit_stop = in.stop;
+    }
+  }
+  ASSERT_GE(monexit_stop, 1);
+  // Exit-only on the VAX (atomic REMQUE, no observable pc)...
+  EXPECT_TRUE(op.Code(Arch::kVax32, OptLevel::kO0).stops[monexit_stop].exit_only);
+  // ...and a normal (trap) stop on the other architectures.
+  EXPECT_FALSE(op.Code(Arch::kM68k, OptLevel::kO0).stops[monexit_stop].exit_only);
+  EXPECT_FALSE(op.Code(Arch::kSparc32, OptLevel::kO0).stops[monexit_stop].exit_only);
+  // The stop tables are isomorphic: same stop count everywhere (section 3.3).
+  EXPECT_EQ(op.Code(Arch::kVax32, OptLevel::kO0).stops.size(),
+            op.Code(Arch::kSparc32, OptLevel::kO0).stops.size());
+}
+
+TEST(Backend, GeneratedCodeIsGenuinelyDifferentPerArch) {
+  auto prog = Compile(kMixedProgram);
+  const OpInfo& op = ClassOf(*prog, "Mixed").ops[0];
+  const ArchOpCode& vax = op.Code(Arch::kVax32, OptLevel::kO0);
+  const ArchOpCode& m68k = op.Code(Arch::kM68k, OptLevel::kO0);
+  const ArchOpCode& sparc = op.Code(Arch::kSparc32, OptLevel::kO0);
+  EXPECT_NE(vax.code, m68k.code);
+  EXPECT_NE(m68k.code, sparc.code);
+  // And bus stop pcs differ for the same stop numbers.
+  bool any_pc_differs = false;
+  for (size_t s = 1; s < vax.stops.size(); ++s) {
+    if (vax.stops[s].pc != sparc.stops[s].pc) {
+      any_pc_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_pc_differs);
+}
+
+TEST(Backend, AssignHomesDirectly) {
+  IrFunction fn;
+  fn.name = "t";
+  for (int i = 0; i < 20; ++i) {
+    fn.AddCell("v" + std::to_string(i), ValueKind::kInt, false, false);
+  }
+  fn.AddCell("r", ValueKind::kReal, false, false);
+  std::vector<Home> homes;
+  int frame = 0;
+  AssignHomesAndFrame(Arch::kSparc32, fn, &homes, &frame);
+  ASSERT_EQ(homes.size(), 21u);
+  // 14 SPARC homes available -> first 14 ints in registers, 6 in slots + the real.
+  int regs = 0;
+  for (const Home& h : homes) {
+    regs += h.kind == HomeKind::kReg ? 1 : 0;
+  }
+  EXPECT_EQ(regs, 14);
+  EXPECT_EQ(homes[20].kind, HomeKind::kSlot);
+  EXPECT_GE(frame, 6 * 4 + 8);
+}
+
+TEST(Backend, M68kFrameReservesFloatScratch) {
+  IrFunction fn;
+  fn.name = "t";
+  fn.AddCell("x", ValueKind::kInt, false, false);
+  std::vector<Home> homes;
+  int frame = 0;
+  AssignHomesAndFrame(Arch::kM68k, fn, &homes, &frame);
+  EXPECT_EQ(homes[0].kind, HomeKind::kReg);
+  EXPECT_EQ(frame, kM68kFloatScratchBytes);  // no slots, scratch only
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,155 @@
+// Migration between differently optimized codes via bridging code (section 2.2.2).
+//
+// These are end-to-end tests: nodes are configured with different optimization
+// levels, so every migration between them must synthesize bridging code that
+// executes the schedule difference exactly once. Correctness criterion: identical
+// program output to an all-O0 world.
+#include <gtest/gtest.h>
+
+#include "src/compiler/optimizer.h"
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+const char* kScheduleSensitiveProgram = R"(
+  class Worker
+    var acc: Int
+    // The body interleaves pure arithmetic with bus stops (prints and moves), giving
+    // the O1 scheduler material to hoist across stops — Figure 3's shape: o1; stop;
+    // o2..o6 becomes a reordering where some oN execute before the stop.
+    op crunch(seed: Int): Int
+      var a: Int := seed + 1
+      print a
+      var b: Int := seed * 2
+      var c: Int := b + a
+      move self to nodeat(1)
+      var d: Int := c * 3
+      var e: Int := d - b
+      print e
+      move self to nodeat(0)
+      var f: Int := e + c + d
+      return f
+    end
+  end
+  main
+    var w: Ref := new Worker
+    print w.crunch(10)
+  end
+)";
+
+std::string RunWith(OptLevel opt0, OptLevel opt1) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc(), opt0);
+  sys.AddNode(VaxStation4000(), opt1);
+  EXPECT_TRUE(sys.Load(kScheduleSensitiveProgram));
+  EXPECT_TRUE(sys.Run()) << sys.error();
+  return sys.output();
+}
+
+TEST(BridgeSystem, CrossOptMigrationMatchesUniformWorlds) {
+  std::string baseline = RunWith(OptLevel::kO0, OptLevel::kO0);
+  EXPECT_EQ(baseline, RunWith(OptLevel::kO1, OptLevel::kO1));
+  EXPECT_EQ(baseline, RunWith(OptLevel::kO0, OptLevel::kO1));
+  EXPECT_EQ(baseline, RunWith(OptLevel::kO1, OptLevel::kO0));
+}
+
+// The scheduler genuinely moves code across bus stops in this program (otherwise the
+// cross-opt tests above would not be exercising bridging at all).
+TEST(BridgeSystem, SchedulerActuallyReordersAcrossStops) {
+  CompileResult r = CompileSource(kScheduleSensitiveProgram);
+  ASSERT_TRUE(r.ok());
+  bool any_motion = false;
+  for (const auto& cls : r.program->classes) {
+    for (const OpInfo& op : cls->ops) {
+      if (!op.transposes.empty()) {
+        any_motion = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_motion);
+}
+
+// Ping-pong between O0 and O1 nodes many times: every hop re-bridges, and state
+// stays exact.
+TEST(BridgeSystem, RepeatedReBridgingStaysExact) {
+  EmeraldSystem sys;
+  sys.AddNode(Sun3_100(), OptLevel::kO0);
+  sys.AddNode(Hp9000_433s(), OptLevel::kO1);
+  ASSERT_TRUE(sys.Load(R"(
+    class Bouncer
+      var total: Int
+      op bounce(rounds: Int): Int
+        var i: Int := 0
+        var acc: Int := 7
+        var r: Real := 1.0
+        while i < rounds do
+          move self to nodeat(1)
+          acc := acc * 3 + i
+          r := r * 1.5
+          move self to nodeat(0)
+          acc := acc - i
+          i := i + 1
+        end
+        print r
+        total := acc
+        return total
+      end
+    end
+    main
+      var b: Ref := new Bouncer
+      print b.bounce(6)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  // Reference values computed by the same arithmetic in the host.
+  int acc = 7;
+  double r = 1.0;
+  for (int i = 0; i < 6; ++i) {
+    acc = acc * 3 + i;
+    r *= 1.5;
+    acc -= i;
+  }
+  EXPECT_EQ(sys.output(), std::to_string(r).substr(0, 0) + [&] {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g\n%d\n", r, acc);
+    return std::string(buf);
+  }());
+}
+
+// Heterogeneous *and* differently optimized at once: the bridge is architecture-
+// independent (machine-independent interpreter over canonical values), so crossing
+// VAX O1 -> SPARC O0 works the same as same-arch crossings.
+TEST(BridgeSystem, CrossArchCrossOptSimultaneously) {
+  EmeraldSystem sys;
+  sys.AddNode(VaxStation4000(), OptLevel::kO1);
+  sys.AddNode(SparcStationSlc(), OptLevel::kO0);
+  sys.AddNode(Sun3_100(), OptLevel::kO1);
+  ASSERT_TRUE(sys.Load(R"(
+    class Tri
+      var sum: Int
+      op tour(): Int
+        var x: Int := 11
+        var y: Real := 2.5
+        move self to nodeat(1)
+        x := x * 5
+        y := y + 0.75
+        move self to nodeat(2)
+        x := x - 6
+        print y
+        move self to nodeat(0)
+        sum := x
+        return sum
+      end
+    end
+    main
+      var t: Ref := new Tri
+      print t.tour()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "3.25\n49\n");
+}
+
+}  // namespace
+}  // namespace hetm

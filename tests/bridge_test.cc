@@ -1,0 +1,282 @@
+// Unit-level properties of the bridging-code generator: exactly-once execution and
+// pure-op bridges, for every stop and both directions (section 2.2.2).
+#include "src/bridge/bridge.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+#include "src/mobility/ar_codec.h"
+
+namespace hetm {
+namespace {
+
+const char* kProgram = R"(
+  class B
+    var f: Int
+    op body(seed: Int): Int
+      var a: Int := seed + 1
+      print a
+      var b: Int := seed * 2
+      var c: Int := b + a
+      print c
+      var d: Int := c * 3
+      var e: Int := d - b
+      print e
+      var g: Int := e + c
+      return g
+    end
+  end
+  main
+  end
+)";
+
+struct Compiled {
+  std::shared_ptr<const CompiledProgram> program;
+  const CompiledClass* cls = nullptr;
+  const OpInfo* op = nullptr;
+};
+
+Compiled CompileB() {
+  CompileResult r = CompileSource(kProgram);
+  EXPECT_TRUE(r.ok());
+  Compiled c;
+  c.program = r.program;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == "B") {
+      c.cls = cls.get();
+      c.op = &cls->ops[0];
+    }
+  }
+  return c;
+}
+
+// Basic-block boundaries around a position.
+bool IsControl(IrKind k) {
+  return k == IrKind::kLabel || k == IrKind::kJmp || k == IrKind::kJf || k == IrKind::kRet;
+}
+
+// The exactly-once property: for a thread suspended at `stop` in src-schedule code,
+// { executed in src } ∪ { bridge ops } ∪ { dst suffix from the entry point } must be
+// exactly the block's operation set, with no duplicates.
+void CheckExactlyOnce(const OpInfo& op, OptLevel src_opt, OptLevel dst_opt, int stop) {
+  const IrFunction& src = op.Ir(src_opt);
+  const IrFunction& dst = op.Ir(dst_opt);
+  const int n = static_cast<int>(src.instrs.size());
+  std::vector<int> identity(n);
+  for (int i = 0; i < n; ++i) {
+    identity[i] = i;
+  }
+  const std::vector<int>& perm_src = src_opt == OptLevel::kO0 ? identity : op.perm;
+  const std::vector<int>& perm_dst = dst_opt == OptLevel::kO0 ? identity : op.perm;
+
+  int pos_src = -1;
+  for (int i = 0; i < n; ++i) {
+    if (src.instrs[i].stop == stop) {
+      pos_src = i;
+    }
+  }
+  ASSERT_GE(pos_src, 0);
+  int bs_src = pos_src;
+  while (bs_src > 0 && !IsControl(src.instrs[bs_src - 1].kind)) {
+    --bs_src;
+  }
+  std::set<int> executed;
+  for (int p = bs_src; p <= pos_src; ++p) {
+    executed.insert(perm_src[p]);
+  }
+
+  BridgePlan plan = BuildBridge(op, Arch::kSparc32, src_opt, dst_opt, stop, nullptr);
+
+  // Locate the block in the destination schedule.
+  int pos_dst = -1;
+  for (int i = 0; i < n; ++i) {
+    if (dst.instrs[i].stop == stop) {
+      pos_dst = i;
+    }
+  }
+  int bs_dst = pos_dst;
+  while (bs_dst > 0 && !IsControl(dst.instrs[bs_dst - 1].kind)) {
+    --bs_dst;
+  }
+  int be_dst = pos_dst;
+  while (be_dst < n && !IsControl(dst.instrs[be_dst].kind)) {
+    ++be_dst;
+  }
+
+  // Entry point lies within the block (or just past it) and everything from the
+  // entry on is unexecuted.
+  ASSERT_GE(plan.entry_index, bs_dst);
+  ASSERT_LE(plan.entry_index, be_dst);
+  std::multiset<int> covered;
+  for (int q = plan.entry_index; q < be_dst; ++q) {
+    EXPECT_EQ(executed.count(perm_dst[q]), 0u) << "entry skips an executed op";
+    covered.insert(perm_dst[q]);
+  }
+  // Bridge ops are pure and correspond to the remaining block operations.
+  for (const IrInstr& in : plan.ops) {
+    EXPECT_TRUE(IsMotionEligible(in.kind));
+  }
+  EXPECT_EQ(plan.ops.size() + covered.size() + executed.size(),
+            static_cast<size_t>(be_dst - bs_src));
+  // No unexecuted stop may sit in the bridge region (the bridge cannot trap).
+  for (int q = bs_dst; q < plan.entry_index; ++q) {
+    if (executed.count(perm_dst[q]) == 0) {
+      EXPECT_TRUE(IsMotionEligible(dst.instrs[q].kind));
+    }
+  }
+}
+
+TEST(Bridge, ExactlyOnceForEveryStopAndDirection) {
+  Compiled c = CompileB();
+  for (int stop = 1; stop < c.op->ir[0].num_stops; ++stop) {
+    CheckExactlyOnce(*c.op, OptLevel::kO0, OptLevel::kO1, stop);
+    CheckExactlyOnce(*c.op, OptLevel::kO1, OptLevel::kO0, stop);
+  }
+}
+
+TEST(Bridge, EntryPcMatchesInstrPcMap) {
+  Compiled c = CompileB();
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    BridgePlan plan = BuildBridge(*c.op, arch, OptLevel::kO0, OptLevel::kO1, 1, nullptr);
+    const ArchOpCode& code = c.op->Code(arch, OptLevel::kO1);
+    ASSERT_LT(plan.entry_index, static_cast<int>(code.instr_pc.size()));
+    EXPECT_EQ(plan.entry_pc, code.instr_pc[plan.entry_index]);
+  }
+}
+
+TEST(Bridge, ChargesEditReplay) {
+  Compiled c = CompileB();
+  CostMeter meter{SparcStationSlc()};
+  BridgePlan plan =
+      BuildBridge(*c.op, Arch::kSparc32, OptLevel::kO0, OptLevel::kO1, 1, &meter);
+  EXPECT_EQ(plan.edits_replayed, static_cast<int>(c.op->transposes.size()));
+  EXPECT_GT(meter.cycles(), 0u);
+}
+
+TEST(Bridge, ExecuteBridgeOpsComputesCorrectValues) {
+  Compiled c = CompileB();
+  // Suspend at stop 1 (print a) in O0, bridge to O1: the bridge computes the ops O1
+  // hoisted above the stop. Seed the AR with the entry state and run the bridge.
+  ActivationRecord ar =
+      MakeActivation(Arch::kSparc32, c.cls->code_oid, 0, *c.op, 0x40000001);
+  WriteCellValue(Arch::kSparc32, *c.op, ar, 0, Value::Int(10));  // seed
+  // Execute everything O0 says ran before stop 1: a := seed + 1 (plus consts).
+  const IrFunction& fn = c.op->ir[0];
+  std::vector<IrInstr> prefix;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.HasStop()) {
+      break;
+    }
+    prefix.push_back(in);
+  }
+  ExecuteBridgeOps(Arch::kSparc32, *c.cls, *c.op, ar, prefix, nullptr);
+
+  BridgePlan plan =
+      BuildBridge(*c.op, Arch::kSparc32, OptLevel::kO0, OptLevel::kO1, 1, nullptr);
+  CostMeter meter{SparcStationSlc()};
+  ExecuteBridgeOps(Arch::kSparc32, *c.cls, *c.op, ar, plan.ops, &meter);
+  EXPECT_EQ(meter.counters().bridge_ops, plan.ops.size());
+
+  // Whatever the bridge computed must match direct evaluation: b = 20, c = b + a.
+  int cell_b = -1;
+  int cell_c = -1;
+  for (size_t i = 0; i < fn.cells.size(); ++i) {
+    if (fn.cells[i].name == "b") cell_b = static_cast<int>(i);
+    if (fn.cells[i].name == "c") cell_c = static_cast<int>(i);
+  }
+  ASSERT_GE(cell_b, 0);
+  // b was hoisted above stop 1 by O1 iff it appears in the bridge; if so its value
+  // must be correct.
+  bool b_in_bridge = false;
+  for (const IrInstr& in : plan.ops) {
+    if (in.dst == cell_b) {
+      b_in_bridge = true;
+    }
+  }
+  if (b_in_bridge) {
+    EXPECT_EQ(ReadCellValue(Arch::kSparc32, *c.op, ar, cell_b).i, 20);
+  }
+  if (cell_c >= 0) {
+    bool c_in_bridge = false;
+    for (const IrInstr& in : plan.ops) {
+      if (in.dst == cell_c) {
+        c_in_bridge = true;
+      }
+    }
+    if (c_in_bridge) {
+      EXPECT_EQ(ReadCellValue(Arch::kSparc32, *c.op, ar, cell_c).i, 31);
+    }
+  }
+}
+
+TEST(Bridge, SameLevelNeedsNoBridge) {
+  Compiled c = CompileB();
+  // BuildBridge requires differing levels by contract.
+  EXPECT_DEATH(
+      BuildBridge(*c.op, Arch::kSparc32, OptLevel::kO0, OptLevel::kO0, 1, nullptr),
+      "HETM_CHECK");
+}
+
+TEST(Bridge, ExecuteBridgeOpsCoversAllPureKinds) {
+  // Direct micro-interpreter checks over a hand-built activation record.
+  CompileResult r = CompileSource(R"(
+    class K
+      var f: Int
+      op all(x: Int, y: Real): Bool
+        var i: Int := x + 1
+        var j: Int := x * i - (x / 2) % 3
+        var neg: Int := -j
+        var fr: Real := y * 2.0 - 1.0 / y
+        var cv: Real := real(i)
+        var b1: Bool := (i < j) and (i <= j) or not (i == j)
+        var b2: Bool := (fr > cv) or (fr >= cv) or (fr != cv) or (fr < cv) or (fr <= cv)
+        var s: String := "k"
+        var rf: Ref := self
+        var same: Bool := rf == self
+        print s
+        return b1 and b2 and same and (neg != 0)
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  const CompiledClass* cls = nullptr;
+  for (const auto& c : r.program->classes) {
+    if (c->name == "K") {
+      cls = c.get();
+    }
+  }
+  const OpInfo& op = cls->ops[0];
+  const IrFunction& fn = op.ir[0];
+  ActivationRecord ar = MakeActivation(Arch::kVax32, cls->code_oid, 0, op, 0x40000001);
+  WriteCellValue(Arch::kVax32, op, ar, 0, Value::Int(7));
+  WriteCellValue(Arch::kVax32, op, ar, 1, Value::Real(4.0));
+  if (fn.self_cell >= 0) {
+    WriteCellValue(Arch::kVax32, op, ar, fn.self_cell, Value::Ref(0x40000001));
+  }
+  // Run every pure instruction before the print stop through the MI interpreter.
+  std::vector<IrInstr> pure;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.HasStop()) {
+      break;
+    }
+    ASSERT_TRUE(IsMotionEligible(in.kind)) << IrKindName(in.kind);
+    pure.push_back(in);
+  }
+  ExecuteBridgeOps(Arch::kVax32, *cls, op, ar, pure, nullptr);
+  // Spot-check: i = 8, j = 7*8 - (7/2)%3 = 56 - 0 = 56 (7/2=3, 3%3=0).
+  int cell_i = -1;
+  int cell_j = -1;
+  for (size_t i = 0; i < fn.cells.size(); ++i) {
+    if (fn.cells[i].name == "i") cell_i = static_cast<int>(i);
+    if (fn.cells[i].name == "j") cell_j = static_cast<int>(i);
+  }
+  EXPECT_EQ(ReadCellValue(Arch::kVax32, op, ar, cell_i).i, 8);
+  EXPECT_EQ(ReadCellValue(Arch::kVax32, op, ar, cell_j).i, 56);
+}
+
+}  // namespace
+}  // namespace hetm

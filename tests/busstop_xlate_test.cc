@@ -1,0 +1,146 @@
+// pc <-> bus-stop translation on real compiler-emitted tables.
+#include "src/mobility/busstop_xlate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/calibration.h"
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+const OpInfo& CompileOp(const char* src, const char* cls_name,
+                        std::shared_ptr<const CompiledProgram>* keep) {
+  CompileResult r = CompileSource(src);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  *keep = r.program;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == cls_name) {
+      return cls->ops[0];
+    }
+  }
+  HETM_UNREACHABLE("class not found");
+}
+
+const char* kProgram = R"(
+  class C
+    var f: Int
+    op body(n: Int): Int
+      print n
+      var i: Int := 0
+      while i < n do
+        print i
+        i := i + 1
+      end
+      return i
+    end
+  end
+  main
+  end
+)";
+
+class XlatePerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(XlatePerArch, RoundTripEveryVisibleStop) {
+  Arch arch = GetParam();
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileOp(kProgram, "C", &keep);
+  const ArchOpCode& code = op.Code(arch, OptLevel::kO0);
+  for (int stop = 0; stop < static_cast<int>(code.stops.size()); ++stop) {
+    if (code.stops[stop].exit_only) {
+      continue;
+    }
+    uint32_t pc = StopToPc(code, stop, nullptr);
+    EXPECT_EQ(PcToStop(code, pc, /*blocked_monitor=*/false, nullptr), stop)
+        << ArchName(arch);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, XlatePerArch,
+                         ::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return ArchName(info.param);
+                         });
+
+TEST(Xlate, ChargesLookupCycles) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileOp(kProgram, "C", &keep);
+  const ArchOpCode& code = op.Code(Arch::kSparc32, OptLevel::kO0);
+  CostMeter meter{SparcStationSlc()};
+  StopToPc(code, 1, &meter);
+  PcToStop(code, code.stops[1].pc, false, &meter);
+  EXPECT_EQ(meter.counters().busstop_lookups, 2u);
+  EXPECT_EQ(meter.cycles(), 2 * kBusStopLookupCycles);
+}
+
+TEST(XlateDeath, NonStopPcAborts) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileOp(kProgram, "C", &keep);
+  const ArchOpCode& code = op.Code(Arch::kSparc32, OptLevel::kO0);
+  // pc 2 is mid-instruction (SPARC instructions are 4-byte aligned): never a stop.
+  EXPECT_DEATH(PcToStop(code, 2, false, nullptr), "not a bus stop");
+}
+
+TEST(Xlate, MonitorRetryStopDisambiguation) {
+  // A monitored op whose monitor-entry trap is the very first instruction shares
+  // pc 0 with the entry stop; the blocked_monitor flag selects the retry entry.
+  const char* src = R"(
+    monitor class M
+      var n: Int
+      op f(): Int
+        return n
+      end
+    end
+    main
+    end
+  )";
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileOp(src, "M", &keep);
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    const ArchOpCode& code = op.Code(arch, OptLevel::kO0);
+    ASSERT_GE(code.stops.size(), 2u);
+    EXPECT_EQ(code.stops[0].pc, code.stops[1].pc) << "monenter retry pc == entry pc";
+    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/false, nullptr), 0);
+    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/true, nullptr), 1);
+  }
+}
+
+TEST(XlateDeath, VaxExitOnlyStopCannotBeObserved) {
+  const char* src = R"(
+    monitor class M
+      var n: Int
+      op f(): Int
+        return n
+      end
+    end
+    main
+    end
+  )";
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileOp(src, "M", &keep);
+  const ArchOpCode& vax = op.Code(Arch::kVax32, OptLevel::kO0);
+  int monexit_stop = -1;
+  for (const IrInstr& in : op.ir[0].instrs) {
+    if (in.kind == IrKind::kMonExit) {
+      monexit_stop = in.stop;
+    }
+  }
+  ASSERT_GE(monexit_stop, 1);
+  ASSERT_TRUE(vax.stops[monexit_stop].exit_only);
+  // Stop -> pc conversion works (inbound threads resume there)...
+  uint32_t pc = StopToPc(vax, monexit_stop, nullptr);
+  // ...but observing that pc is a runtime bug (the REMQUE is atomic), unless the pc
+  // happens to coincide with a neighbouring legitimate stop.
+  bool shares_pc = false;
+  for (int s = 0; s < static_cast<int>(vax.stops.size()); ++s) {
+    if (s != monexit_stop && vax.stops[s].pc == pc) {
+      shares_pc = true;
+    }
+  }
+  if (!shares_pc) {
+    EXPECT_DEATH(PcToStop(vax, pc, false, nullptr), "exit-only");
+  }
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,96 @@
+#include "src/support/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace hetm {
+namespace {
+
+TEST(ByteWriter, SequentialWritesAndSizes) {
+  ByteWriter w(ByteOrder::kBig);
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0102030405060708ull);
+  EXPECT_EQ(w.size(), 1u + 2 + 4 + 8);
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteWriter, SignedAndFloat) {
+  ByteWriter w(ByteOrder::kLittle);
+  w.I32(-123456);
+  w.F64(-2.5e10);
+  ByteReader r(w.bytes(), ByteOrder::kLittle);
+  EXPECT_EQ(r.I32(), -123456);
+  EXPECT_EQ(r.F64(), -2.5e10);
+}
+
+TEST(ByteWriter, LengthPrefixedString) {
+  ByteWriter w(ByteOrder::kBig);
+  w.Str("kilroy was here");
+  w.Str("");
+  w.Str(std::string("embedded\0nul", 12));
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_EQ(r.Str(), "kilroy was here");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.Str(), std::string("embedded\0nul", 12));
+}
+
+TEST(ByteWriter, PatchFixesBranchDisplacement) {
+  ByteWriter w(ByteOrder::kLittle);
+  w.U8(0x42);
+  size_t at = w.size();
+  w.U16(0);  // placeholder
+  w.U32(0xCAFEBABE);
+  w.PatchU16(at, 0xBEEF);
+  ByteReader r(w.bytes(), ByteOrder::kLittle);
+  EXPECT_EQ(r.U8(), 0x42);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xCAFEBABEu);
+}
+
+TEST(ByteReader, SeekAndRemaining) {
+  ByteWriter w(ByteOrder::kBig);
+  for (int i = 0; i < 16; ++i) {
+    w.U8(static_cast<uint8_t>(i));
+  }
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_EQ(r.remaining(), 16u);
+  r.Seek(8);
+  EXPECT_EQ(r.U8(), 8);
+  EXPECT_EQ(r.remaining(), 7u);
+}
+
+TEST(ByteReader, RawAndTakeBytes) {
+  ByteWriter w(ByteOrder::kBig);
+  w.Bytes(reinterpret_cast<const uint8_t*>("abcdef"), 6);
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  uint8_t buf[3];
+  r.RawBytes(buf, 3);
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(buf[2], 'c');
+  std::vector<uint8_t> rest = r.TakeBytes(3);
+  EXPECT_EQ(rest, (std::vector<uint8_t>{'d', 'e', 'f'}));
+}
+
+TEST(ByteReaderDeath, OverrunAborts) {
+  ByteWriter w(ByteOrder::kBig);
+  w.U16(7);
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  r.U16();
+  EXPECT_DEATH(r.U8(), "HETM_CHECK");
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w(ByteOrder::kBig);
+  w.U32(1);
+  std::vector<uint8_t> bytes = w.Take();
+  EXPECT_EQ(bytes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,190 @@
+// Concurrency: spawned threads, monitor mutual exclusion (the doubly-linked wait
+// queue whose unlink is the VAX's atomic REMQUE), and migration of objects with
+// multiple threads inside them.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+TEST(Concurrency, SpawnRunsConcurrentThread) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class Counter
+      var n: Int
+      op bump(times: Int)
+        var i: Int := 0
+        while i < times do
+          n := n + 1
+          i := i + 1
+        end
+      end
+      op value(): Int
+        return n
+      end
+    end
+    main
+      var c: Ref := new Counter
+      spawn c.bump(500)
+      spawn c.bump(500)
+      var v: Int := 0
+      while v < 1000 do
+        v := c.value()
+      end
+      print v
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1000\n");
+}
+
+// A read-modify-write with a blocking remote call in the middle: without a monitor
+// this loses updates; the monitor must serialize the two spawned threads. This
+// exercises *contended* monitor entry (the retry bus stop) and the wait queue.
+TEST(Concurrency, MonitorSerializesRacingThreads) {
+  for (bool monitored : {true, false}) {
+    std::string klass = monitored ? "monitor class" : "class";
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc());
+    sys.AddNode(Sun3_100());
+    ASSERT_TRUE(sys.Load(R"(
+    class Helper
+      var junk: Int
+      op pause(): Int
+        return 1
+      end
+    end
+    )" + klass + R"( Racy
+      var n: Int
+      var done: Int
+      op incr(helper: Ref)
+        var t: Int := n
+        helper.pause()   // blocks mid-critical-section (helper is remote)
+        n := t + 1
+        done := done + 1
+      end
+      op finished(): Int
+        return done
+      end
+      op value(): Int
+        return n
+      end
+    end
+    main
+      var h: Ref := new Helper
+      move h to nodeat(1)
+      var r: Ref := new Racy
+      spawn r.incr(h)
+      spawn r.incr(h)
+      var d: Int := 0
+      while d < 2 do
+        d := r.finished()
+      end
+      print r.value()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    if (monitored) {
+      EXPECT_EQ(sys.output(), "2\n");  // serialized: both increments observed
+    } else {
+      // Unsynchronized: the interleaved read-modify-write loses an update.
+      EXPECT_EQ(sys.output(), "1\n");
+    }
+  }
+}
+
+// Note: in the unmonitored case `done := done + 1` also races, but the increments
+// are separated by the monitor-free blocking call pattern above, so `done` reaches 2
+// exactly when both threads completed; the lost update shows up in `n` only.
+
+// Moving a monitored object while one thread holds its lock (blocked in a remote
+// call) and another thread is queued on the monitor: both thread fragments and the
+// monitor state migrate together; the waiter re-queues at the destination and the
+// program completes exactly as if no move had happened.
+TEST(Concurrency, MoveObjectWithLockHolderAndWaiter) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Helper
+      var junk: Int
+      op pause(): Int
+        return 1
+      end
+    end
+    monitor class Box
+      var n: Int
+      var done: Int
+      op slow(helper: Ref)
+        n := n + 1
+        helper.pause()   // holds the monitor across a remote call
+        n := n + 10
+        done := done + 1
+      end
+      op fast()
+        n := n * 2
+        done := done + 1
+      end
+      op finished(): Int
+        return done
+      end
+      op value(): Int
+        return n
+      end
+    end
+    main
+      var h: Ref := new Helper
+      move h to nodeat(1)
+      var b: Ref := new Box
+      spawn b.slow(h)   // acquires the monitor, blocks in helper.pause()
+      spawn b.fast()    // queues on the monitor
+      move b to nodeat(2)  // migrate box + lock holder fragment + waiter fragment
+      var d: Int := 0
+      while d < 2 do
+        d := b.finished()
+      end
+      print b.value()
+      print locate(b) == nodeat(2)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  // slow: n=1, then +10 => 11; fast (after slow releases): 22.
+  EXPECT_EQ(sys.output(), "22\ntrue\n");
+}
+
+// Spawn onto a remote object: the fresh thread is born on the remote node.
+TEST(Concurrency, SpawnOnRemoteObject) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class Sink
+      var got: Int
+      op put(v: Int)
+        got := got + v
+      end
+      op total(): Int
+        return got
+      end
+    end
+    main
+      var s: Ref := new Sink
+      move s to nodeat(1)
+      spawn s.put(40)
+      spawn s.put(2)
+      var t: Int := 0
+      while t < 42 do
+        t := s.total()
+      end
+      print t
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "42\n");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,209 @@
+// Differential property testing: pseudo-randomly generated programs must print the
+// same output on every architecture, at every optimization level, and regardless of
+// how often the executing object migrates mid-computation. This is the strongest
+// statement of the paper's correctness claim: the machine-dependent representations
+// differ everywhere, the observable semantics nowhere.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : x_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 7;
+    x_ ^= x_ << 17;
+    return x_;
+  }
+  int Range(int n) { return static_cast<int>(Next() % static_cast<uint64_t>(n)); }
+
+ private:
+  uint64_t x_;
+};
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(uint64_t seed, int num_nodes) : rng_(seed), num_nodes_(num_nodes) {}
+
+  std::string Generate() {
+    std::string body;
+    // Declarations.
+    for (int i = 0; i < 4; ++i) {
+      body += Indent() + "var i" + std::to_string(i) + ": Int := " +
+              std::to_string(rng_.Range(2000) - 1000) + "\n";
+    }
+    for (int i = 0; i < 2; ++i) {
+      body += Indent() + "var r" + std::to_string(i) + ": Real := " +
+              std::to_string(rng_.Range(64)) + "." + std::to_string(rng_.Range(100)) +
+              "\n";
+    }
+    body += Indent() + "var b0: Bool := " + (rng_.Range(2) != 0 ? "true" : "false") + "\n";
+    for (int s = 0; s < 14; ++s) {
+      body += Statement(2);
+    }
+    body += Indent() + "return i0 + i1 + i2 + i3\n";
+
+    return "class Worker\n"
+           "  var acc: Int\n"
+           "  op work(seed: Int): Int\n" +
+           body +
+           "  end\n"
+           "end\n"
+           "main\n"
+           "  var w: Ref := new Worker\n"
+           "  print w.work(" + std::to_string(rng_.Range(100)) + ")\n"
+           "end\n";
+  }
+
+ private:
+  std::string Indent() const { return std::string(static_cast<size_t>(depth_) * 2 + 4, ' '); }
+
+  std::string IntVar() { return "i" + std::to_string(rng_.Range(4)); }
+  std::string RealVar() { return "r" + std::to_string(rng_.Range(2)); }
+
+  std::string IntExpr(int depth) {
+    if (depth == 0 || rng_.Range(3) == 0) {
+      switch (rng_.Range(3)) {
+        case 0: return IntVar();
+        case 1: return std::to_string(rng_.Range(200) - 100);
+        default: return "seed";
+      }
+    }
+    switch (rng_.Range(6)) {
+      case 0: return "(" + IntExpr(depth - 1) + " + " + IntExpr(depth - 1) + ")";
+      case 1: return "(" + IntExpr(depth - 1) + " - " + IntExpr(depth - 1) + ")";
+      case 2: return "(" + IntExpr(depth - 1) + " * " + std::to_string(rng_.Range(7) - 3) + ")";
+      case 3: return "(" + IntExpr(depth - 1) + " / " + std::to_string(rng_.Range(9) + 1) + ")";
+      case 4: return "(" + IntExpr(depth - 1) + " % " + std::to_string(rng_.Range(9) + 1) + ")";
+      default: return "(-" + IntExpr(depth - 1) + ")";
+    }
+  }
+
+  std::string RealExpr(int depth) {
+    if (depth == 0 || rng_.Range(3) == 0) {
+      if (rng_.Range(2) == 0) {
+        return RealVar();
+      }
+      return std::to_string(rng_.Range(16)) + "." + std::to_string(rng_.Range(100));
+    }
+    switch (rng_.Range(3)) {
+      case 0: return "(" + RealExpr(depth - 1) + " + " + RealExpr(depth - 1) + ")";
+      case 1: return "(" + RealExpr(depth - 1) + " - " + RealExpr(depth - 1) + ")";
+      default: return "(" + RealExpr(depth - 1) + " * 0.5)";
+    }
+  }
+
+  std::string BoolExpr(int depth) {
+    switch (rng_.Range(4)) {
+      case 0: return "(" + IntExpr(depth) + " < " + IntExpr(depth) + ")";
+      case 1: return "(" + IntExpr(depth) + " == " + IntExpr(depth) + ")";
+      case 2: return "(b0 and (" + IntExpr(depth) + " >= " + IntExpr(depth) + "))";
+      default: return "(not b0)";
+    }
+  }
+
+  std::string Statement(int depth) {
+    switch (rng_.Range(8)) {
+      case 0:
+        return Indent() + IntVar() + " := " + IntExpr(2) + "\n";
+      case 1:
+        return Indent() + RealVar() + " := " + RealExpr(2) + "\n";
+      case 2:
+        return Indent() + "b0 := " + BoolExpr(1) + "\n";
+      case 3:
+        return Indent() + "print " + IntVar() + "\n";
+      case 4: {
+        if (depth == 0) {
+          return Indent() + "print " + RealVar() + "\n";
+        }
+        ++depth_;
+        std::string arm1 = Statement(depth - 1);
+        std::string arm2 = Statement(depth - 1);
+        --depth_;
+        return Indent() + "if " + BoolExpr(1) + " then\n" + arm1 + Indent() + "else\n" +
+               arm2 + Indent() + "end\n";
+      }
+      case 5: {
+        if (depth == 0) {
+          return Indent() + "print b0\n";
+        }
+        std::string counter = "t" + std::to_string(counter_id_++);
+        ++depth_;
+        std::string inner = Statement(depth - 1);
+        --depth_;
+        return Indent() + "var " + counter + ": Int := " + std::to_string(rng_.Range(4) + 1) +
+               "\n" + Indent() + "while " + counter + " > 0 do\n" + inner + Indent() +
+               "  " + counter + " := " + counter + " - 1\n" + Indent() + "end\n";
+      }
+      case 6:
+        if (num_nodes_ > 1) {
+          return Indent() + "move self to nodeat(" + std::to_string(rng_.Range(num_nodes_)) +
+                 ")\n";
+        }
+        return Indent() + "acc := acc + 1\n";
+      default:
+        return Indent() + "acc := acc + " + IntExpr(1) + "\n";
+    }
+  }
+
+  Rng rng_;
+  int num_nodes_;
+  int depth_ = 0;
+  int counter_id_ = 0;
+};
+
+std::string RunOn(const std::string& src, std::vector<MachineModel> machines,
+                  OptLevel opt) {
+  EmeraldSystem sys;
+  for (const MachineModel& m : machines) {
+    sys.AddNode(m, opt);
+  }
+  EXPECT_TRUE(sys.Load(src)) << src;
+  EXPECT_TRUE(sys.Run()) << sys.error() << "\nprogram:\n" << src;
+  return sys.output();
+}
+
+class Differential : public ::testing::TestWithParam<int> {};
+
+TEST_P(Differential, SingleNodeAllArchsAllOptLevelsAgree) {
+  ProgramGen gen(static_cast<uint64_t>(GetParam()), /*num_nodes=*/1);
+  std::string src = gen.Generate();
+  std::string reference =
+      RunOn(src, {SparcStationSlc()}, OptLevel::kO0);
+  for (const MachineModel& m : {SparcStationSlc(), Sun3_100(), VaxStation4000()}) {
+    for (OptLevel opt : {OptLevel::kO0, OptLevel::kO1}) {
+      EXPECT_EQ(RunOn(src, {m}, opt), reference)
+          << m.name << " " << OptLevelName(opt) << "\nprogram:\n" << src;
+    }
+  }
+}
+
+TEST_P(Differential, HeterogeneousMigrationPreservesOutput) {
+  ProgramGen gen(static_cast<uint64_t>(GetParam()) * 7919 + 13, /*num_nodes=*/3);
+  std::string src = gen.Generate();
+  // Reference: the same three-node topology but homogeneous, so every `move self`
+  // is still a real migration — just never a representation change.
+  std::string reference = RunOn(
+      src, {SparcStationSlc(), SparcStationSlc(), SparcStationSlc()}, OptLevel::kO0);
+  // The same program, with its `move self` statements now genuinely migrating the
+  // worker across three architectures (and mixed opt levels on a second run).
+  std::string het =
+      RunOn(src, {SparcStationSlc(), Sun3_100(), VaxStation4000()}, OptLevel::kO0);
+  EXPECT_EQ(het, reference) << src;
+  EmeraldSystem mixed;
+  mixed.AddNode(SparcStationSlc(), OptLevel::kO1);
+  mixed.AddNode(Sun3_100(), OptLevel::kO0);
+  mixed.AddNode(VaxStation4000(), OptLevel::kO1);
+  ASSERT_TRUE(mixed.Load(src));
+  ASSERT_TRUE(mixed.Run()) << mixed.error() << "\nprogram:\n" << src;
+  EXPECT_EQ(mixed.output(), reference) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace hetm

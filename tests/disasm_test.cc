@@ -1,0 +1,100 @@
+#include "src/isa/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+#include "src/isa/isa.h"
+
+namespace hetm {
+namespace {
+
+const OpInfo& CompileBody(std::shared_ptr<const CompiledProgram>* keep) {
+  CompileResult r = CompileSource(R"(
+    class D
+      var f: Real
+      op body(n: Int): Real
+        var x: Real := 1.5
+        print n
+        var i: Int := 0
+        while i < n do
+          x := x * 2.0
+          i := i + 1
+        end
+        f := x
+        return x
+      end
+    end
+    main
+    end
+  )");
+  EXPECT_TRUE(r.ok());
+  *keep = r.program;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == "D") {
+      return cls->ops[0];
+    }
+  }
+  HETM_UNREACHABLE("class D not found");
+}
+
+TEST(Disasm, FormatsOperandsByKind) {
+  MicroOp m;
+  m.kind = MKind::kAdd;
+  m.dst = MOperand::Reg(3);
+  m.a = MOperand::Slot(8);
+  m.b = MOperand::Imm(-7);
+  EXPECT_EQ(FormatMicroOp(m), "add r3, fp[8], #-7");
+
+  MicroOp f;
+  f.kind = MKind::kFMov;
+  f.dst = MOperand::FReg(0);
+  f.a = MOperand::Slot(16);
+  EXPECT_EQ(FormatMicroOp(f), "fmov f0, fp[16]");
+
+  MicroOp t;
+  t.kind = MKind::kTrap;
+  t.site = 3;
+  EXPECT_EQ(FormatMicroOp(t), "trap site:3");
+
+  MicroOp g;
+  g.kind = MKind::kGetF;
+  g.dst = MOperand::Reg(17);
+  g.imm = 12;
+  EXPECT_EQ(FormatMicroOp(g), "getf r17, self+12");
+}
+
+TEST(Disasm, WholeOpListingsCoverEveryByteOnEveryArch) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileBody(&keep);
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    const ArchOpCode& code = op.Code(arch, OptLevel::kO0);
+    std::string listing = DisassembleCode(arch, code);
+    // Every bus stop is annotated.
+    for (size_t s = 0; s < code.stops.size(); ++s) {
+      EXPECT_NE(listing.find("bus stop " + std::to_string(s)), std::string::npos)
+          << ArchName(arch);
+    }
+    // Lengths printed sum to the image (spot-check: listing has one line per
+    // decoded instruction).
+    size_t instrs = DecodeAll(arch, code.code).size();
+    size_t lines = 0;
+    for (char c : listing) {
+      lines += c == '\n' ? 1 : 0;
+    }
+    EXPECT_GE(lines, instrs);
+  }
+}
+
+TEST(Disasm, VaxAndSparcListingsDiffer) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const OpInfo& op = CompileBody(&keep);
+  std::string vax = DisassembleCode(Arch::kVax32, op.Code(Arch::kVax32, OptLevel::kO0));
+  std::string sparc =
+      DisassembleCode(Arch::kSparc32, op.Code(Arch::kSparc32, OptLevel::kO0));
+  EXPECT_NE(vax, sparc);
+  // SPARC uses sethi for the big float-flag constants / loads; VAX never does.
+  EXPECT_EQ(vax.find("sethi"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,74 @@
+#include "src/support/endian.h"
+
+#include <gtest/gtest.h>
+
+namespace hetm {
+namespace {
+
+TEST(Endian, Swap16) {
+  EXPECT_EQ(ByteSwap16(0x1234), 0x3412);
+  EXPECT_EQ(ByteSwap16(0x0000), 0x0000);
+  EXPECT_EQ(ByteSwap16(0xFFFF), 0xFFFF);
+  EXPECT_EQ(ByteSwap16(0x00FF), 0xFF00);
+}
+
+TEST(Endian, Swap32) {
+  EXPECT_EQ(ByteSwap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(ByteSwap32(0x00000001u), 0x01000000u);
+  EXPECT_EQ(ByteSwap32(0xDEADBEEFu), 0xEFBEADDEu);
+}
+
+TEST(Endian, Swap64) {
+  EXPECT_EQ(ByteSwap64(0x0102030405060708ull), 0x0807060504030201ull);
+  EXPECT_EQ(ByteSwap64(ByteSwap64(0xCAFEBABE12345678ull)), 0xCAFEBABE12345678ull);
+}
+
+TEST(Endian, StoreLoadBigEndianLayout) {
+  uint8_t buf[4];
+  Store32(buf, 0x12345678u, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(buf[2], 0x56);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(Load32(buf, ByteOrder::kBig), 0x12345678u);
+}
+
+TEST(Endian, StoreLoadLittleEndianLayout) {
+  uint8_t buf[4];
+  Store32(buf, 0x12345678u, ByteOrder::kLittle);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[1], 0x56);
+  EXPECT_EQ(buf[2], 0x34);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(Load32(buf, ByteOrder::kLittle), 0x12345678u);
+}
+
+TEST(Endian, CrossOrderLoadIsSwap) {
+  uint8_t buf[4];
+  Store32(buf, 0xA1B2C3D4u, ByteOrder::kLittle);
+  EXPECT_EQ(Load32(buf, ByteOrder::kBig), ByteSwap32(0xA1B2C3D4u));
+}
+
+class EndianRoundTrip : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(EndianRoundTrip, AllWidths) {
+  ByteOrder order = GetParam();
+  uint8_t buf[8];
+  // Deterministic pseudo-random sweep.
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    Store16(buf, static_cast<uint16_t>(x), order);
+    EXPECT_EQ(Load16(buf, order), static_cast<uint16_t>(x));
+    Store32(buf, static_cast<uint32_t>(x), order);
+    EXPECT_EQ(Load32(buf, order), static_cast<uint32_t>(x));
+    Store64(buf, x, order);
+    EXPECT_EQ(Load64(buf, order), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, EndianRoundTrip,
+                         ::testing::Values(ByteOrder::kLittle, ByteOrder::kBig));
+
+}  // namespace
+}  // namespace hetm

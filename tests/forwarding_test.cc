@@ -1,0 +1,153 @@
+// Object location: forwarding chains, birth-node fallback, location updates.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+TEST(Forwarding, InvocationChasesObjectThroughManyMoves) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_433s());
+  ASSERT_TRUE(sys.Load(R"(
+    class Wanderer
+      var n: Int
+      op tag(v: Int): Int
+        n := n + v
+        return n
+      end
+    end
+    main
+      var w: Ref := new Wanderer
+      move w to nodeat(1)
+      move w to nodeat(2)
+      move w to nodeat(3)
+      move w to nodeat(1)
+      // The object hopped 1->2->3->1; invoking from node 0 must chase hints.
+      print w.tag(5)
+      print locate(w) == nodeat(1)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "5\ntrue\n");
+}
+
+TEST(Forwarding, ThirdPartyNodeFindsObjectViaBirthNode) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());  // birth node of everything main creates
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Target
+      var n: Int
+      op hit(): Int
+        n := n + 1
+        return n
+      end
+    end
+    class Prober
+      var junk: Int
+      op probe(t: Ref): Int
+        // Executed on node 2, which has never seen `t`: the invoke routes via t's
+        // birth node (node 0), which knows where it went.
+        return t.hit()
+      end
+    end
+    main
+      var t: Ref := new Target
+      move t to nodeat(1)
+      var p: Ref := new Prober
+      move p to nodeat(2)
+      print p.probe(t)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1\n");
+}
+
+TEST(Forwarding, RemoteMoveRequestIsForwarded) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Pawn
+      var n: Int
+      op poke(): Int
+        return 9
+      end
+    end
+    class Mover
+      var junk: Int
+      op relocate(pawn: Ref): Int
+        // Runs on node 1; pawn lives on node 0: a remote move request.
+        move pawn to nodeat(2)
+        return 1
+      end
+    end
+    main
+      var pawn: Ref := new Pawn
+      var m: Ref := new Mover
+      move m to nodeat(1)
+      m.relocate(pawn)
+      print pawn.poke()
+      print locate(pawn) == nodeat(2)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "9\ntrue\n");
+}
+
+TEST(Forwarding, RepeatedPingPongKeepsHintsFresh) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class Ball
+      var n: Int
+      op touch(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var b: Ref := new Ball
+      var i: Int := 0
+      while i < 6 do
+        move b to nodeat(1)
+        b.touch()
+        move b to nodeat(0)
+        b.touch()
+        i := i + 1
+      end
+      print b.touch()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "13\n");
+}
+
+TEST(Forwarding, LocateReflectsBestKnownLocation) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Thing
+      var n: Int
+    end
+    main
+      var t: Ref := new Thing
+      print locate(t) == here()
+      move t to nodeat(1)
+      print locate(t) == nodeat(1)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "true\ntrue\n");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,302 @@
+#include "src/compiler/irgen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/lexer.h"
+#include "src/compiler/parser.h"
+
+namespace hetm {
+namespace {
+
+IrGenResult Gen(const std::string& src) {
+  LexResult lexed = Lex(src);
+  EXPECT_TRUE(lexed.errors.empty());
+  ParseResult parsed = Parse(lexed.tokens);
+  EXPECT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  return GenerateIr(parsed.program);
+}
+
+const IrFunction& OpOf(const ProgramIr& prog, const std::string& cls,
+                       const std::string& op) {
+  int ci = prog.FindClass(cls);
+  EXPECT_GE(ci, 0);
+  int oi = prog.classes[ci].FindOp(op);
+  EXPECT_GE(oi, 0);
+  return prog.classes[ci].ops[oi];
+}
+
+TEST(IrGen, BusStopsDenseAndInCodeOrder) {
+  IrGenResult r = Gen(R"(
+    class C
+      var f: Int
+      op body(): Int
+        print 1
+        var i: Int := 0
+        while i < 3 do
+          print i
+          i := i + 1
+        end
+        return f
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  const IrFunction& fn = OpOf(r.program, "C", "body");
+  // Stops: print(1), print(i) inside loop, loop-bottom poll => entry + 3.
+  EXPECT_EQ(fn.num_stops, 4);
+  int seen = 1;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.HasStop()) {
+      EXPECT_EQ(in.stop, seen++);
+    }
+  }
+}
+
+TEST(IrGen, MonitoredOpsWrappedWithEnterAndExit) {
+  IrGenResult r = Gen(R"(
+    monitor class M
+      var n: Int
+      op f(): Int
+        if n > 0 then
+          return 1
+        end
+        return 2
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  const IrFunction& fn = OpOf(r.program, "M", "f");
+  // First stop-bearing trap is the monitor entry.
+  const IrInstr* first_trap = nullptr;
+  int monexits = 0;
+  int rets = 0;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.kind == IrKind::kTrap && first_trap == nullptr) {
+      first_trap = &in;
+    }
+    if (in.kind == IrKind::kMonExit) {
+      ++monexits;
+    }
+    if (in.kind == IrKind::kRet) {
+      ++rets;
+    }
+  }
+  ASSERT_NE(first_trap, nullptr);
+  EXPECT_EQ(fn.trap_sites[first_trap->site].kind, TrapKind::kMonEnter);
+  // Every return path (two explicit + the implicit trailing one) unlocks first.
+  EXPECT_EQ(monexits, rets);
+}
+
+TEST(IrGen, SelfCellIsHiddenAndLiveAtEntryWhenUsed) {
+  IrGenResult r = Gen(R"(
+    class C
+      var f: Int
+      op me(): Ref
+        return self
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  const IrFunction& fn = OpOf(r.program, "C", "me");
+  ASSERT_GE(fn.self_cell, 0);
+  EXPECT_TRUE(fn.cells[fn.self_cell].is_hidden);
+  EXPECT_TRUE(fn.CellLiveAtStop(0, fn.self_cell));
+}
+
+TEST(IrGen, ParamsAreFirstCellsAndLiveAtEntry) {
+  IrGenResult r = Gen(R"(
+    class C
+      var f: Int
+      op add3(a: Int, b: Int, c: Int): Int
+        return a + b + c
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  const IrFunction& fn = OpOf(r.program, "C", "add3");
+  EXPECT_EQ(fn.num_params, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fn.cells[i].is_param);
+    EXPECT_TRUE(fn.CellLiveAtStop(0, i));
+  }
+}
+
+TEST(IrGen, LivenessAcrossCallStop) {
+  IrGenResult r = Gen(R"(
+    class C
+      var f: Int
+      op helper(): Int
+        return 1
+      end
+      op body(): Int
+        var kept: Int := 10
+        var dropped: Int := 20
+        print dropped
+        var got: Int := self.helper()
+        return kept + got
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  const IrFunction& fn = OpOf(r.program, "C", "body");
+  int kept = -1;
+  int dropped = -1;
+  for (size_t i = 0; i < fn.cells.size(); ++i) {
+    if (fn.cells[i].name == "kept") kept = static_cast<int>(i);
+    if (fn.cells[i].name == "dropped") dropped = static_cast<int>(i);
+  }
+  ASSERT_GE(kept, 0);
+  ASSERT_GE(dropped, 0);
+  // Find the call stop.
+  int call_stop = -1;
+  for (const IrInstr& in : fn.instrs) {
+    if (in.kind == IrKind::kCall) {
+      call_stop = in.stop;
+    }
+  }
+  ASSERT_GE(call_stop, 1);
+  EXPECT_TRUE(fn.CellLiveAtStop(call_stop, kept));
+  EXPECT_FALSE(fn.CellLiveAtStop(call_stop, dropped));
+}
+
+TEST(IrGen, TypeErrors) {
+  struct Case {
+    const char* src;
+    const char* expect;
+  };
+  std::vector<Case> cases = {
+      {"main\nvar x: Int := true\nend", "expected Int"},
+      {"main\nvar b: Bool := 1 + 2\nend", "expected Bool"},
+      {"main\nif 1 then\nprint 1\nend\nend", "must be Bool"},
+      {"main\nwhile 0 do\nend\nend", "must be Bool"},
+      {"main\nprint undeclared\nend", "unknown variable"},
+      {"main\nvar s: String := concat(1, \"x\")\nend", "needs String"},
+      {"main\nvar x: Int := 1 % 2.0\nend", "'%' needs Int"},
+      {"main\nmove 5 to here()\nend", "object reference"},
+      {"main\nvar r: Ref := nil\nmove r to 7\nend", "must be a Node"},
+      {"main\nvar x: Int := nodeat(true)\nend", "needs an Int"},
+      {"main\nvar a: String := \"x\"\nvar b: Bool := a < a\nend",
+       "strings support only"},
+  };
+  for (const Case& c : cases) {
+    IrGenResult r = Gen(c.src);
+    ASSERT_FALSE(r.ok()) << c.src;
+    EXPECT_NE(r.errors[0].find(c.expect), std::string::npos)
+        << c.src << " -> " << r.errors[0];
+  }
+}
+
+TEST(IrGen, SignatureConflictAcrossClasses) {
+  IrGenResult r = Gen(R"(
+    class A
+      var f: Int
+      op go(x: Int): Int
+        return x
+      end
+    end
+    class B
+      var f: Int
+      op go(x: Real): Int
+        return 1
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("conflicts"), std::string::npos);
+}
+
+TEST(IrGen, SameSignatureInTwoClassesIsFine) {
+  IrGenResult r = Gen(R"(
+    class A
+      var f: Int
+      op go(x: Int): Int
+        return x
+      end
+    end
+    class B
+      var f: Int
+      op go(x: Int): Int
+        return x * 2
+      end
+    end
+    main
+    end
+  )");
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+}
+
+TEST(IrGen, IntToRealImplicitWidening) {
+  IrGenResult r = Gen("main\nvar r: Real := 2\nvar s: Real := r + 1\nend");
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+}
+
+TEST(IrGen, DuplicateDeclarationsRejected) {
+  EXPECT_FALSE(Gen("main\nvar x: Int := 1\nvar x: Int := 2\nend").ok());
+  EXPECT_FALSE(Gen("class C\nvar f: Int\nvar f: Int\nend\nmain\nend").ok());
+  EXPECT_FALSE(Gen("class C\nvar f: Int\nop g()\nend\nop g()\nend\nend\nmain\nend").ok());
+  EXPECT_FALSE(Gen("class C\nvar f: Int\nend\nclass C\nvar f: Int\nend\nmain\nend").ok());
+}
+
+TEST(IrGen, ValidatePassesOnGeneratedFunctions) {
+  IrGenResult r = Gen(R"(
+    class C
+      var f: Real
+      op mix(a: Int, b: Real, s: String): Real
+        var acc: Real := b
+        var i: Int := 0
+        while i < a do
+          if i % 2 == 0 then
+            acc := acc * 1.5
+          else
+            acc := acc - real(i)
+          end
+          i := i + 1
+        end
+        f := acc
+        print s
+        return acc
+      end
+    end
+    main
+      var c: Ref := new C
+      print c.mix(4, 1.0, "go")
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  for (const ClassIr& cls : r.program.classes) {
+    for (const IrFunction& fn : cls.ops) {
+      ValidateFunction(fn);  // aborts on inconsistency
+      EXPECT_EQ(static_cast<int>(fn.stop_live.size()), fn.num_stops);
+    }
+  }
+}
+
+TEST(IrGen, BlockScopingAllowsShadowFreeReuse) {
+  // A name declared inside an if-arm goes out of scope at the arm's end.
+  IrGenResult r = Gen(R"(
+    main
+      if true then
+        var t: Int := 1
+        print t
+      end
+      var t: Int := 2
+      print t
+    end
+  )");
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+}
+
+}  // namespace
+}  // namespace hetm

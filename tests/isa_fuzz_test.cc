@@ -1,0 +1,202 @@
+// Randomized encode/decode round trips: any legal instruction stream must survive
+// encoding bit-exactly on every architecture.
+#include <gtest/gtest.h>
+
+#include "src/isa/isa.h"
+
+namespace hetm {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : x_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+  uint64_t Next() {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 7;
+    x_ ^= x_ << 17;
+    return x_;
+  }
+  int Range(int n) { return static_cast<int>(Next() % static_cast<uint64_t>(n)); }
+
+ private:
+  uint64_t x_;
+};
+
+// Generates an architecture-legal random instruction.
+MicroOp RandomOp(Arch arch, Rng& rng) {
+  auto reg = [&]() {
+    return MOperand::Reg(arch == Arch::kSparc32 ? rng.Range(32) : rng.Range(16));
+  };
+  auto slot = [&]() { return MOperand::Slot(rng.Range(1024) * 4); };
+  auto imm13 = [&]() { return MOperand::Imm(rng.Range(8191) - 4095); };
+  auto imm32 = [&]() { return MOperand::Imm(static_cast<int32_t>(rng.Next())); };
+  auto int_src = [&]() -> MOperand {
+    switch (rng.Range(3)) {
+      case 0: return reg();
+      case 1: return slot();
+      default: return arch == Arch::kSparc32 ? imm13() : imm32();
+    }
+  };
+  auto int_dst = [&]() -> MOperand {
+    return arch == Arch::kSparc32 || rng.Range(2) == 0 ? reg() : slot();
+  };
+
+  MicroOp m;
+  switch (rng.Range(10)) {
+    case 0: {  // ALU binary
+      MKind kinds[] = {MKind::kAdd, MKind::kSub, MKind::kMul, MKind::kDiv,
+                       MKind::kCmpLt, MKind::kAnd};
+      m.kind = kinds[rng.Range(6)];
+      if (arch == Arch::kSparc32) {
+        m.dst = reg();
+        m.a = reg();
+        m.b = rng.Range(2) != 0 ? reg() : imm13();
+      } else if (arch == Arch::kM68k) {
+        bool two_op = m.kind == MKind::kAdd || m.kind == MKind::kSub || m.kind == MKind::kAnd;
+        m.dst = int_dst();
+        m.a = two_op ? m.dst : int_src();
+        m.b = int_src();
+      } else {
+        m.dst = int_dst();
+        m.a = int_src();
+        m.b = int_src();
+      }
+      break;
+    }
+    case 1:  // mov
+      m.kind = MKind::kMov;
+      if (arch == Arch::kSparc32) {
+        if (rng.Range(2) != 0) {
+          m.dst = reg();
+          m.a = rng.Range(2) != 0 ? reg() : (rng.Range(2) != 0 ? imm13() : slot());
+        } else {
+          m.dst = slot();
+          m.a = reg();
+        }
+      } else {
+        m.dst = int_dst();
+        m.a = int_src();
+      }
+      break;
+    case 2:  // unary
+      m.kind = rng.Range(2) != 0 ? MKind::kNeg : MKind::kNot;
+      if (arch == Arch::kSparc32) {
+        m.dst = reg();
+        m.a = reg();
+      } else {
+        m.dst = int_dst();
+        m.a = arch == Arch::kM68k ? m.dst : int_src();
+      }
+      break;
+    case 3:  // float
+      if (arch == Arch::kSparc32) {
+        m.kind = MKind::kFAdd;
+        m.dst = MOperand::FReg(rng.Range(4));
+        m.a = MOperand::FReg(rng.Range(4));
+        m.b = MOperand::FReg(rng.Range(4));
+      } else {
+        m.kind = MKind::kFAdd;
+        m.dst = slot();
+        m.a = arch == Arch::kM68k ? m.dst : slot();
+        m.b = slot();
+      }
+      break;
+    case 4:  // float literal
+      m.kind = MKind::kFMovImm;
+      m.dst = arch == Arch::kSparc32 ? MOperand::FReg(rng.Range(4)) : slot();
+      m.fimm = static_cast<double>(rng.Range(1 << 20)) / 64.0 - 1024.0;
+      break;
+    case 5:  // field access
+      m.kind = rng.Range(2) != 0 ? MKind::kGetF : MKind::kSetF;
+      if (m.kind == MKind::kGetF) {
+        m.dst = arch == Arch::kSparc32 ? reg() : int_dst();
+      } else {
+        m.a = arch == Arch::kSparc32 ? reg() : int_dst();
+      }
+      m.imm = rng.Range(1024) * 4;
+      break;
+    case 6:  // call/trap
+      m.kind = rng.Range(2) != 0 ? MKind::kCall : MKind::kTrap;
+      m.site = rng.Range(65536);
+      break;
+    case 7:  // ret
+      m.kind = MKind::kRet;
+      m.a = rng.Range(3) == 0 ? MOperand::None() : (rng.Range(2) != 0 ? reg() : slot());
+      break;
+    case 8:  // poll
+      m.kind = MKind::kPoll;
+      break;
+    default:  // sethi/orimm (SPARC), monitor ops elsewhere
+      if (arch == Arch::kSparc32) {
+        m.kind = MKind::kSethi;
+        m.dst = reg();
+        m.a = MOperand::Imm(rng.Range(1 << 19));
+      } else if (arch == Arch::kVax32) {
+        m.kind = MKind::kRemque;
+        m.a = int_src();
+      } else {
+        m.kind = MKind::kMonExitTrap;
+        m.a = int_dst();
+      }
+      break;
+  }
+  return m;
+}
+
+class IsaFuzz : public ::testing::TestWithParam<std::tuple<Arch, int>> {};
+
+TEST_P(IsaFuzz, RandomStreamsRoundTrip) {
+  auto [arch, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) + static_cast<uint64_t>(arch) * 1000);
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 200; ++i) {
+    ops.push_back(RandomOp(arch, rng));
+  }
+  // Sprinkle branches with valid targets.
+  for (int i = 0; i < 10; ++i) {
+    MicroOp j;
+    j.kind = rng.Range(2) != 0 ? MKind::kJmp : MKind::kJf;
+    if (j.kind == MKind::kJf) {
+      j.a = MOperand::Reg(arch == Arch::kSparc32 ? rng.Range(32) : rng.Range(16));
+    }
+    int pos = rng.Range(static_cast<int>(ops.size()));
+    j.target_index = rng.Range(static_cast<int>(ops.size()) + 1);
+    ops.insert(ops.begin() + pos, j);
+    // Inserting shifts indices; clamp all targets to valid range.
+    for (MicroOp& m : ops) {
+      if ((m.kind == MKind::kJmp || m.kind == MKind::kJf) &&
+          m.target_index >= static_cast<int>(ops.size())) {
+        m.target_index = static_cast<int>(ops.size()) - 1;
+      }
+    }
+  }
+
+  EncodedCode enc = Encode(arch, ops);
+  ASSERT_EQ(enc.pcs.size(), ops.size() + 1);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    MicroOp d = DecodeAt(arch, enc.bytes, enc.pcs[i]);
+    ASSERT_EQ(d.kind, ops[i].kind) << ArchName(arch) << " @" << i;
+    EXPECT_EQ(d.dst, ops[i].dst) << ArchName(arch) << " @" << i;
+    EXPECT_EQ(d.a, ops[i].a) << ArchName(arch) << " @" << i;
+    EXPECT_EQ(d.b, ops[i].b) << ArchName(arch) << " @" << i;
+    EXPECT_EQ(d.length, enc.pcs[i + 1] - enc.pcs[i]);
+    if (d.kind == MKind::kJmp || d.kind == MKind::kJf) {
+      EXPECT_EQ(d.target_pc, enc.pcs[ops[i].target_index]);
+    }
+    if (d.kind == MKind::kFMovImm) {
+      EXPECT_EQ(d.fimm, ops[i].fimm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IsaFuzz,
+    ::testing::Combine(::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32),
+                       ::testing::Range(1, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<Arch, int>>& info) {
+      return std::string(ArchName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,216 @@
+// Per-architecture instruction encoding round trips and format properties.
+#include "src/isa/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace hetm {
+namespace {
+
+bool SameOperand(const MOperand& a, const MOperand& b) { return a == b; }
+
+void ExpectRoundTrip(Arch arch, const std::vector<MicroOp>& ops) {
+  EncodedCode enc = Encode(arch, ops);
+  ASSERT_EQ(enc.pcs.size(), ops.size() + 1);
+  EXPECT_EQ(enc.pcs.back(), enc.bytes.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    MicroOp d = DecodeAt(arch, enc.bytes, enc.pcs[i]);
+    EXPECT_EQ(d.kind, ops[i].kind) << ArchName(arch) << " op " << i;
+    EXPECT_EQ(d.length, enc.pcs[i + 1] - enc.pcs[i]);
+    EXPECT_GT(d.cycles, 0u);
+    EXPECT_TRUE(SameOperand(d.dst, ops[i].dst)) << ArchName(arch) << " op " << i;
+    EXPECT_TRUE(SameOperand(d.a, ops[i].a)) << ArchName(arch) << " op " << i;
+    EXPECT_TRUE(SameOperand(d.b, ops[i].b)) << ArchName(arch) << " op " << i;
+    if (ops[i].kind == MKind::kCall || ops[i].kind == MKind::kTrap) {
+      EXPECT_EQ(d.site, ops[i].site);
+    }
+    if (ops[i].kind == MKind::kGetF || ops[i].kind == MKind::kSetF ||
+        ops[i].kind == MKind::kGetFD || ops[i].kind == MKind::kSetFD) {
+      EXPECT_EQ(d.imm, ops[i].imm);
+    }
+    if (ops[i].kind == MKind::kFMovImm) {
+      EXPECT_EQ(d.fimm, ops[i].fimm);
+    }
+    if (ops[i].kind == MKind::kJmp || ops[i].kind == MKind::kJf) {
+      EXPECT_EQ(d.target_pc, enc.pcs[ops[i].target_index]) << ArchName(arch);
+    }
+  }
+}
+
+MicroOp Mk(MKind kind, MOperand dst = MOperand::None(), MOperand a = MOperand::None(),
+           MOperand b = MOperand::None()) {
+  MicroOp m;
+  m.kind = kind;
+  m.dst = dst;
+  m.a = a;
+  m.b = b;
+  return m;
+}
+
+TEST(IsaVax, MemoryToMemoryForms) {
+  // The VAX does 3-operand arithmetic with any mix of register, slot and immediate
+  // operands — one instruction where SPARC needs four.
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kAdd, MOperand::Slot(12), MOperand::Slot(4), MOperand::Imm(-100000)),
+      Mk(MKind::kMul, MOperand::Reg(3), MOperand::Slot(8), MOperand::Reg(2)),
+      Mk(MKind::kMov, MOperand::Slot(0), MOperand::Imm(0x7FFFFFFF)),
+      Mk(MKind::kCmpLt, MOperand::Reg(5), MOperand::Slot(16), MOperand::Imm(7)),
+      Mk(MKind::kFAdd, MOperand::Slot(24), MOperand::Slot(32), MOperand::Slot(40)),
+      Mk(MKind::kRemque, MOperand::None(), MOperand::Reg(6)),
+      Mk(MKind::kRet, MOperand::None(), MOperand::Slot(4)),
+  };
+  ExpectRoundTrip(Arch::kVax32, ops);
+}
+
+TEST(IsaVax, FloatLiteralStoredInVaxDFormat) {
+  std::vector<MicroOp> ops = {Mk(MKind::kFMovImm, MOperand::Slot(8))};
+  ops[0].fimm = 3.140625;
+  EncodedCode enc = Encode(Arch::kVax32, ops);
+  MicroOp d = DecodeAt(Arch::kVax32, enc.bytes, 0);
+  EXPECT_EQ(d.fimm, 3.140625);
+  // The same literal encodes to different code bytes on an IEEE architecture.
+  EncodedCode m68k = Encode(Arch::kM68k, ops);
+  EXPECT_NE(enc.bytes, m68k.bytes);
+}
+
+TEST(IsaM68k, TwoOperandArithmeticRequiresDstEqualsA) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kAdd, MOperand::Reg(3), MOperand::Reg(3), MOperand::Slot(8)),
+      Mk(MKind::kSub, MOperand::Slot(4), MOperand::Slot(4), MOperand::Imm(9)),
+      Mk(MKind::kFAdd, MOperand::Slot(8), MOperand::Slot(8), MOperand::Slot(16)),
+  };
+  ExpectRoundTrip(Arch::kM68k, ops);
+}
+
+TEST(IsaM68kDeath, ThreeOperandAddRejected) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kAdd, MOperand::Reg(1), MOperand::Reg(2), MOperand::Reg(3))};
+  EXPECT_DEATH(Encode(Arch::kM68k, ops), "dst == a");
+}
+
+TEST(IsaM68k, WordGranularInstructionLengths) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kPoll),
+      Mk(MKind::kMov, MOperand::Reg(2), MOperand::Imm(123456)),
+      Mk(MKind::kMov, MOperand::Slot(4), MOperand::Reg(9)),
+  };
+  EncodedCode enc = Encode(Arch::kM68k, ops);
+  for (size_t i = 0; i + 1 < enc.pcs.size(); ++i) {
+    EXPECT_EQ((enc.pcs[i + 1] - enc.pcs[i]) % 2, 0u) << "M68K instructions are words";
+  }
+}
+
+TEST(IsaSparc, FixedWidthWords) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kAdd, MOperand::Reg(17), MOperand::Reg(18), MOperand::Imm(-4096)),
+      Mk(MKind::kMov, MOperand::Reg(17), MOperand::Slot(64)),   // load
+      Mk(MKind::kMov, MOperand::Slot(64), MOperand::Reg(17)),   // store
+      Mk(MKind::kSethi, MOperand::Reg(1), MOperand::Imm((1 << 19) - 1)),
+      Mk(MKind::kOrImm, MOperand::Reg(1), MOperand::Reg(1), MOperand::Imm(0x1FFF)),
+      Mk(MKind::kFMov, MOperand::FReg(0), MOperand::Slot(8)),
+      Mk(MKind::kFAdd, MOperand::FReg(0), MOperand::FReg(0), MOperand::FReg(1)),
+      Mk(MKind::kCvtIF, MOperand::FReg(1), MOperand::Reg(3)),
+      Mk(MKind::kPoll),
+  };
+  ExpectRoundTrip(Arch::kSparc32, ops);
+  EncodedCode enc = Encode(Arch::kSparc32, ops);
+  for (size_t i = 0; i + 1 < enc.pcs.size(); ++i) {
+    EXPECT_EQ(enc.pcs[i + 1] - enc.pcs[i], 4u);
+  }
+}
+
+TEST(IsaSparcDeath, SlotOperandInAluRejected) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kAdd, MOperand::Reg(17), MOperand::Slot(4), MOperand::Reg(18))};
+  EXPECT_DEATH(Encode(Arch::kSparc32, ops), "register");
+}
+
+TEST(IsaSparcDeath, OversizedImmediateRejected) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kMov, MOperand::Reg(17), MOperand::Imm(100000))};
+  EXPECT_DEATH(Encode(Arch::kSparc32, ops), "13 bits");
+}
+
+TEST(Isa, BranchesRoundTripForwardAndBackward) {
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    std::vector<MicroOp> ops;
+    ops.push_back(Mk(MKind::kPoll));
+    MicroOp jf = Mk(MKind::kJf, MOperand::None(), MOperand::Reg(2));
+    jf.target_index = 4;  // forward
+    ops.push_back(jf);
+    ops.push_back(Mk(MKind::kPoll));
+    MicroOp jmp = Mk(MKind::kJmp);
+    jmp.target_index = 0;  // backward
+    ops.push_back(jmp);
+    ops.push_back(Mk(MKind::kPoll));
+    ExpectRoundTrip(arch, ops);
+  }
+}
+
+TEST(Isa, CallTrapSitesRoundTrip) {
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    MicroOp call = Mk(MKind::kCall);
+    call.site = 1234;
+    MicroOp trap = Mk(MKind::kTrap);
+    trap.site = 65535;
+    ExpectRoundTrip(arch, {call, trap});
+  }
+}
+
+TEST(Isa, FieldOpsRoundTrip) {
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    MOperand r = arch == Arch::kSparc32 ? MOperand::Reg(17) : MOperand::Slot(4);
+    MicroOp get = Mk(MKind::kGetF, r);
+    get.imm = 20;
+    MicroOp set = Mk(MKind::kSetF, MOperand::None(), r);
+    set.imm = 24;
+    MicroOp getd = Mk(MKind::kGetFD, MOperand::Slot(8));
+    getd.imm = 32;
+    MicroOp setd = Mk(MKind::kSetFD, MOperand::None(), MOperand::Slot(8));
+    setd.imm = 40;
+    ExpectRoundTrip(arch, {get, set, getd, setd});
+  }
+}
+
+TEST(Isa, SameProgramDifferentSizesPerArch) {
+  // The same micro-op sequence (restricted to universally legal forms) encodes to
+  // different lengths on each architecture — the root of the pc-mapping problem.
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kMov, MOperand::Reg(3), MOperand::Reg(3)),
+      Mk(MKind::kPoll),
+      Mk(MKind::kRet),
+  };
+  EncodedCode vax = Encode(Arch::kVax32, ops);
+  EncodedCode m68k = Encode(Arch::kM68k, ops);
+  EncodedCode sparc = Encode(Arch::kSparc32, ops);
+  EXPECT_NE(vax.bytes.size(), m68k.bytes.size());
+  EXPECT_NE(m68k.bytes.size(), sparc.bytes.size());
+  EXPECT_NE(vax.bytes, m68k.bytes);
+}
+
+TEST(Isa, CycleCostsReflectArchCharacter) {
+  MicroOp mul = Mk(MKind::kMul, MOperand::Reg(3), MOperand::Reg(3), MOperand::Reg(4));
+  // Multiplication: slow microcode on M68K, medium on VAX, fast-ish on SPARC.
+  EXPECT_GT(CycleCost(Arch::kM68k, mul), CycleCost(Arch::kVax32, mul));
+  EXPECT_GT(CycleCost(Arch::kVax32, mul), CycleCost(Arch::kSparc32, mul));
+  // Memory operands cost extra on the CISCs.
+  MicroOp add_rr = Mk(MKind::kAdd, MOperand::Reg(2), MOperand::Reg(2), MOperand::Reg(3));
+  MicroOp add_mm = Mk(MKind::kAdd, MOperand::Slot(0), MOperand::Slot(0), MOperand::Slot(4));
+  EXPECT_GT(CycleCost(Arch::kVax32, add_mm), CycleCost(Arch::kVax32, add_rr));
+}
+
+TEST(Isa, DecodeAllWalksWholeImage) {
+  std::vector<MicroOp> ops = {
+      Mk(MKind::kMov, MOperand::Reg(2), MOperand::Imm(42)),
+      Mk(MKind::kNeg, MOperand::Reg(3), MOperand::Reg(2)),
+      Mk(MKind::kRet, MOperand::None(), MOperand::Reg(3)),
+  };
+  for (Arch arch : {Arch::kVax32, Arch::kM68k}) {
+    EncodedCode enc = Encode(arch, ops);
+    std::vector<MicroOp> decoded = DecodeAll(arch, enc.bytes);
+    ASSERT_EQ(decoded.size(), ops.size());
+    EXPECT_EQ(decoded[0].a.v, 42);
+  }
+}
+
+}  // namespace
+}  // namespace hetm

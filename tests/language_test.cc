@@ -1,0 +1,266 @@
+// Broad language semantics, exercised through the full pipeline on each
+// architecture: recursion, deep stacks, control flow, wraparound arithmetic,
+// string operations, implicit widening.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+std::string RunSingle(const MachineModel& m, const std::string& src) {
+  EmeraldSystem sys;
+  sys.AddNode(m);
+  EXPECT_TRUE(sys.Load(src)) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  EXPECT_TRUE(sys.Run()) << sys.error();
+  return sys.output();
+}
+
+class LanguagePerArch : public ::testing::TestWithParam<MachineModel> {};
+
+TEST_P(LanguagePerArch, RecursiveFibonacci) {
+  std::string out = RunSingle(GetParam(), R"(
+    class Math
+      var junk: Int
+      op fib(n: Int): Int
+        if n < 2 then
+          return n
+        end
+        return self.fib(n - 1) + self.fib(n - 2)
+      end
+    end
+    main
+      var m: Ref := new Math
+      print m.fib(15)
+    end
+  )");
+  EXPECT_EQ(out, "610\n");
+}
+
+TEST_P(LanguagePerArch, DeepCallStack) {
+  std::string out = RunSingle(GetParam(), R"(
+    class Deep
+      var junk: Int
+      op down(n: Int): Int
+        if n == 0 then
+          return 0
+        end
+        return 1 + self.down(n - 1)
+      end
+    end
+    main
+      var d: Ref := new Deep
+      print d.down(300)
+    end
+  )");
+  EXPECT_EQ(out, "300\n");
+}
+
+TEST_P(LanguagePerArch, SignedWraparoundIsIdenticalEverywhere) {
+  // 2^31 - 1 + 1 wraps to -2^31 on every simulated architecture (two's complement).
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      var big: Int := 2147483646
+      big := big + 1
+      print big
+      big := big + 1
+      print big
+      print -2147483647 - 1
+    end
+  )");
+  EXPECT_EQ(out, "2147483647\n-2147483648\n-2147483648\n");
+}
+
+TEST_P(LanguagePerArch, IntegerDivisionTruncatesTowardZero) {
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      print 7 / 2
+      print -7 / 2
+      print 7 % 3
+      print -7 % 3
+    end
+  )");
+  EXPECT_EQ(out, "3\n-3\n1\n-1\n");
+}
+
+TEST_P(LanguagePerArch, ElseifChains) {
+  std::string out = RunSingle(GetParam(), R"(
+    class Grader
+      var junk: Int
+      op grade(score: Int): String
+        if score >= 90 then
+          return "A"
+        elseif score >= 80 then
+          return "B"
+        elseif score >= 70 then
+          return "C"
+        else
+          return "F"
+        end
+      end
+    end
+    main
+      var g: Ref := new Grader
+      print g.grade(95)
+      print g.grade(85)
+      print g.grade(71)
+      print g.grade(12)
+    end
+  )");
+  EXPECT_EQ(out, "A\nB\nC\nF\n");
+}
+
+TEST_P(LanguagePerArch, NestedLoops) {
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      var total: Int := 0
+      var i: Int := 0
+      while i < 10 do
+        var j: Int := 0
+        while j < 10 do
+          total := total + i * j
+          j := j + 1
+        end
+        i := i + 1
+      end
+      print total
+    end
+  )");
+  EXPECT_EQ(out, "2025\n");
+}
+
+TEST_P(LanguagePerArch, RealArithmeticAndComparisons) {
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      var a: Real := 1.5
+      var b: Real := 0.25
+      print a + b
+      print a - b
+      print a * b
+      print a / b
+      print -a
+      print a > b
+      print a <= b
+      print a == 1.5
+      print a != b
+      print real(3) + 0.5
+      var widened: Real := 2
+      print widened * a
+    end
+  )");
+  EXPECT_EQ(out, "1.75\n1.25\n0.375\n6\n-1.5\ntrue\nfalse\ntrue\ntrue\n3.5\n3\n");
+}
+
+TEST_P(LanguagePerArch, StringOperations) {
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      var a: String := "alpha"
+      var b: String := concat(a, concat("-", "beta"))
+      print b
+      print len(b)
+      print len("")
+      print "x" == "x"
+      print concat("x", "") == "x"
+    end
+  )");
+  EXPECT_EQ(out, "alpha-beta\n10\n0\ntrue\ntrue\n");
+}
+
+TEST_P(LanguagePerArch, BooleanOperatorTables) {
+  std::string out = RunSingle(GetParam(), R"(
+    main
+      print true and true
+      print true and false
+      print false or true
+      print false or false
+      print not false
+      print (1 < 2) and (2 < 3) or false
+    end
+  )");
+  EXPECT_EQ(out, "true\nfalse\ntrue\nfalse\ntrue\ntrue\n");
+}
+
+TEST_P(LanguagePerArch, ObjectIdentityAndNil) {
+  std::string out = RunSingle(GetParam(), R"(
+    class Cell
+      var v: Int
+      op set(x: Int)
+        v := x
+      end
+      op get(): Int
+        return v
+      end
+    end
+    main
+      var a: Ref := new Cell
+      var b: Ref := new Cell
+      var c: Ref := a
+      print a == c
+      print a == b
+      print a != b
+      print a == nil
+      var z: Ref := nil
+      print z == nil
+      a.set(7)
+      print c.get()
+      print b.get()
+    end
+  )");
+  EXPECT_EQ(out, "true\nfalse\ntrue\nfalse\ntrue\n7\n0\n");
+}
+
+TEST_P(LanguagePerArch, FieldsDefaultToZeroAndNil) {
+  std::string out = RunSingle(GetParam(), R"(
+    class Fresh
+      var i: Int
+      var r: Real
+      var b: Bool
+      var p: Ref
+      op report(): Bool
+        return (i == 0) and (r == 0.0) and (not b) and (p == nil)
+      end
+    end
+    main
+      var f: Ref := new Fresh
+      print f.report()
+    end
+  )");
+  EXPECT_EQ(out, "true\n");
+}
+
+TEST_P(LanguagePerArch, ReentrantMonitor) {
+  std::string out = RunSingle(GetParam(), R"(
+    monitor class R
+      var n: Int
+      op outer(): Int
+        n := 1
+        return self.inner() + 10
+      end
+      op inner(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var r: Ref := new R
+      print r.outer()
+    end
+  )");
+  EXPECT_EQ(out, "12\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, LanguagePerArch,
+                         ::testing::Values(SparcStationSlc(), Sun3_100(),
+                                           VaxStation4000()),
+                         [](const ::testing::TestParamInfo<MachineModel>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hetm

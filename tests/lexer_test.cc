@@ -1,0 +1,101 @@
+#include "src/compiler/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hetm {
+namespace {
+
+std::vector<Tok> Kinds(const std::string& src) {
+  LexResult r = Lex(src);
+  EXPECT_TRUE(r.errors.empty()) << (r.errors.empty() ? "" : r.errors[0]);
+  std::vector<Tok> kinds;
+  for (const Token& t : r.tokens) {
+    kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto kinds = Kinds("class monitor var op end main kilroy _x $t1");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kClass, Tok::kMonitor, Tok::kVar, Tok::kOp,
+                                     Tok::kEnd, Tok::kMain, Tok::kIdent, Tok::kIdent,
+                                     Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, IntegerLiterals) {
+  LexResult r = Lex("0 42 123456789");
+  ASSERT_EQ(r.tokens.size(), 4u);
+  EXPECT_EQ(r.tokens[0].int_value, 0);
+  EXPECT_EQ(r.tokens[1].int_value, 42);
+  EXPECT_EQ(r.tokens[2].int_value, 123456789);
+}
+
+TEST(Lexer, RealLiterals) {
+  LexResult r = Lex("3.25 1e6 2.5e-3 7E+2");
+  ASSERT_EQ(r.tokens.size(), 5u);
+  EXPECT_EQ(r.tokens[0].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(r.tokens[0].real_value, 3.25);
+  EXPECT_DOUBLE_EQ(r.tokens[1].real_value, 1e6);
+  EXPECT_DOUBLE_EQ(r.tokens[2].real_value, 2.5e-3);
+  EXPECT_DOUBLE_EQ(r.tokens[3].real_value, 700.0);
+}
+
+TEST(Lexer, IntFollowedByDotIsNotReal) {
+  // `x.op()` after an integer: `1.foo` lexes as int, dot, ident.
+  auto kinds = Kinds("1.foo");
+  EXPECT_EQ(kinds,
+            (std::vector<Tok>{Tok::kIntLit, Tok::kDot, Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, StringEscapes) {
+  LexResult r = Lex(R"("a\nb\t\"q\"\\")");
+  ASSERT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.tokens[0].text, "a\nb\t\"q\"\\");
+}
+
+TEST(Lexer, Operators) {
+  auto kinds = Kinds(":= == != <= >= < > + - * / % ( ) , : . !");
+  EXPECT_EQ(kinds, (std::vector<Tok>{
+                       Tok::kAssign, Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe, Tok::kLt,
+                       Tok::kGt, Tok::kPlus, Tok::kMinus, Tok::kStar, Tok::kSlash,
+                       Tok::kPercent, Tok::kLParen, Tok::kRParen, Tok::kComma,
+                       Tok::kColon, Tok::kDot, Tok::kBang, Tok::kEof}));
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  auto kinds = Kinds("a // everything here is ignored := class\nb");
+  EXPECT_EQ(kinds, (std::vector<Tok>{Tok::kIdent, Tok::kIdent, Tok::kEof}));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  LexResult r = Lex("a\nb\n  c");
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_EQ(r.tokens[1].line, 2);
+  EXPECT_EQ(r.tokens[2].line, 3);
+  EXPECT_EQ(r.tokens[2].col, 3);
+}
+
+TEST(Lexer, ErrorOnSingleEquals) {
+  LexResult r = Lex("a = b");
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].find(":="), std::string::npos);
+}
+
+TEST(Lexer, ErrorOnUnterminatedString) {
+  LexResult r = Lex("\"oops");
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, ErrorOnBadCharacter) {
+  LexResult r = Lex("a @ b");
+  ASSERT_FALSE(r.errors.empty());
+}
+
+TEST(Lexer, SpawnKeyword) {
+  auto kinds = Kinds("spawn x.go()");
+  EXPECT_EQ(kinds[0], Tok::kSpawn);
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,304 @@
+// Harder mobility scenarios: interleaved stacks cut into many fragments, threads
+// migrating while deep in recursion, objects moved repeatedly while invoked, and
+// long heterogeneous tours with state checksums.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+// A and B call each other recursively, so one thread's stack interleaves
+// activation records of both objects: A B A B A B. Moving A mid-recursion cuts the
+// stack into multiple fragments (A-runs leave, B-runs stay) chained by cross-node
+// returns; the recursion then unwinds across the network.
+TEST(MigrationStress, InterleavedStackCutIntoManyFragments) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class A
+      var moved: Int
+      op ping(b: Ref, n: Int): Int
+        if n == 0 then
+          // Bottom of the interleaved recursion: move OURSELVES away. Every A
+          // activation record below this point migrates too.
+          move self to nodeat(2)
+          moved := 1
+          return 0
+        end
+        return b.pong(self, n - 1) + 1
+      end
+    end
+    class B
+      var junk: Int
+      op pong(a: Ref, n: Int): Int
+        return a.ping(self, n) + 100
+      end
+    end
+    main
+      var a: Ref := new A
+      var b: Ref := new B
+      move b to nodeat(1)
+      print a.ping(b, 4)
+      print locate(a) == nodeat(2)
+      print locate(b) == nodeat(1)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  // Depth 4: four +100 (B frames) and four +1 (A frames) around the 0.
+  EXPECT_EQ(sys.output(), "404\ntrue\ntrue\n");
+}
+
+// An object moved while a recursive computation runs inside it: the whole stack of
+// self-activations migrates and the recursion continues on the new node.
+TEST(MigrationStress, MoveSelfMidRecursionCarriesWholeStack) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class Rec
+      var junk: Int
+      op sum(n: Int): Int
+        if n == 5 then
+          move self to nodeat(1)
+        end
+        if n == 0 then
+          return 0
+        end
+        return n + self.sum(n - 1)
+      end
+    end
+    main
+      var r: Ref := new Rec
+      print r.sum(10)
+      print locate(r) == nodeat(1)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "55\ntrue\n");
+}
+
+// Two objects take turns moving EACH OTHER while both carry live state.
+TEST(MigrationStress, ObjectsMoveEachOther) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_433s());
+  ASSERT_TRUE(sys.Load(R"(
+    class Dancer
+      var steps: Int
+      op step(partner: Ref, where: Int): Int
+        move partner to nodeat(where)
+        steps := steps + 1
+        return steps
+      end
+      op count(): Int
+        return steps
+      end
+    end
+    main
+      var x: Ref := new Dancer
+      var y: Ref := new Dancer
+      x.step(y, 1)
+      y.step(x, 2)
+      x.step(y, 0)
+      y.step(x, 1)
+      print x.count() + y.count()
+      print locate(x) == nodeat(1)
+      print locate(y) == nodeat(0)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "4\ntrue\ntrue\n");
+}
+
+// Long pseudo-random tour across five machines with a rolling checksum of every
+// value kind; the checksum must equal the single-node result.
+TEST(MigrationStress, FiftyHopChecksumTour) {
+  const char* program = R"(
+    class Tourist
+      var hops: Int
+      op tour(rounds: Int): Int
+        var check: Int := 1
+        var mark: Real := 1.0
+        var tag: String := "x"
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat((i * 7 + 3) % 5)
+          check := check * 31 + i
+          check := check % 1000003
+          mark := mark * 1.01
+          if i % 10 == 0 then
+            tag := concat(tag, "+")
+          end
+          i := i + 1
+        end
+        print len(tag)
+        print mark > 1.0
+        hops := rounds
+        return check
+      end
+    end
+    main
+      var t: Ref := new Tourist
+      print t.tour(50)
+    end
+  )";
+  // Reference on a homogeneous 5-node world.
+  EmeraldSystem ref;
+  for (int i = 0; i < 5; ++i) {
+    ref.AddNode(SparcStationSlc());
+  }
+  ASSERT_TRUE(ref.Load(program));
+  ASSERT_TRUE(ref.Run()) << ref.error();
+
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(Hp9000_433s());
+  sys.AddNode(Hp9000_385());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(program));
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), ref.output());
+}
+
+// The reply to a cross-node call must chase a segment that moved TWICE while
+// suspended: forwarding hints chain across two hops.
+TEST(MigrationStress, ReplyChasesTwiceMovedSegment) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_433s());
+  ASSERT_TRUE(sys.Load(R"(
+    class Slow
+      var junk: Int
+      op work(boss: Ref): Int
+        // While we compute, the caller (whose frame waits for our reply) is moved
+        // twice by a third party.
+        move boss to nodeat(2)
+        move boss to nodeat(3)
+        return 99
+      end
+    end
+    class Boss
+      var token: Int
+      op run(s: Ref): Int
+        token := 1
+        var got: Int := s.work(self)
+        print locate(self) == nodeat(3)
+        return got + token
+      end
+    end
+    main
+      var s: Ref := new Slow
+      move s to nodeat(1)
+      var boss: Ref := new Boss
+      print boss.run(s)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "true\n100\n");
+}
+
+// Strings created on one node, stored in fields, and read after several hops: the
+// immutable-copy closure must follow the object everywhere.
+TEST(MigrationStress, StringClosureFollowsObjectEverywhere) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Diary
+      var page1: String
+      var page2: String
+      op write(): Int
+        page1 := concat("day", "1")
+        move self to nodeat(1)
+        page2 := concat(page1, "+day2")
+        move self to nodeat(2)
+        return len(page2)
+      end
+      op read(): String
+        return page2
+      end
+    end
+    main
+      var d: Ref := new Diary
+      print d.write()
+      print d.read()
+      print d.read() == "day1+day2"
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "9\nday1+day2\ntrue\n");
+}
+
+
+// Two spawned agents roam the same heterogeneous network concurrently, each
+// carrying independent state; their moves, remote invocations and location updates
+// interleave arbitrarily in the event queue.
+TEST(MigrationStress, TwoConcurrentRoamingAgents) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class Board
+      var sum: Int
+      var finished: Int
+      op post(v: Int)
+        sum := sum + v
+        finished := finished + 1
+      end
+      op done(): Int
+        return finished
+      end
+      op total(): Int
+        return sum
+      end
+    end
+    class Agent
+      var junk: Int
+      op roam(board: Ref, start: Int): Int
+        var acc: Int := start
+        var i: Int := 0
+        while i < 8 do
+          move self to nodeat((start + i) % 3)
+          acc := acc * 2 + i
+          i := i + 1
+        end
+        board.post(acc)
+        return acc
+      end
+    end
+    main
+      var board: Ref := new Board
+      var a: Ref := new Agent
+      var b: Ref := new Agent
+      spawn a.roam(board, 1)
+      spawn b.roam(board, 2)
+      var d: Int := 0
+      while d < 2 do
+        d := board.done()
+      end
+      print board.total()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  // acc(start) = fold over i: acc = acc*2+i, 8 steps.
+  auto fold = [](int start) {
+    int acc = start;
+    for (int i = 0; i < 8; ++i) {
+      acc = acc * 2 + i;
+    }
+    return acc;
+  };
+  EXPECT_EQ(sys.output(), std::to_string(fold(1) + fold(2)) + "\n");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,132 @@
+// Coverage for small shared components: Value rendering, ArchInfo invariants,
+// CodeRegistry, CompiledProgram lookup, message sizes, IR disassembly.
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+#include "src/runtime/code_registry.h"
+#include "src/runtime/messages.h"
+#include "src/runtime/value.h"
+
+namespace hetm {
+namespace {
+
+TEST(Value, ToStringRendersEveryKind) {
+  EXPECT_EQ(ToString(Value::Int(-42)), "-42");
+  EXPECT_EQ(ToString(Value::Real(2.5)), "2.5");
+  EXPECT_EQ(ToString(Value::Bool(true)), "true");
+  EXPECT_EQ(ToString(Value::Bool(false)), "false");
+  EXPECT_EQ(ToString(Value::Str(0x30000001)), "String@30000001");
+  EXPECT_EQ(ToString(Value::Ref(0x40000001)), "Ref@40000001");
+}
+
+TEST(Value, KindPredicates) {
+  EXPECT_TRUE(IsReference(ValueKind::kStr));
+  EXPECT_TRUE(IsReference(ValueKind::kRef));
+  EXPECT_TRUE(IsReference(ValueKind::kNode));
+  EXPECT_FALSE(IsReference(ValueKind::kInt));
+  EXPECT_EQ(CellsOf(ValueKind::kReal), 2);
+  EXPECT_EQ(CellsOf(ValueKind::kInt), 1);
+  EXPECT_STREQ(ValueKindName(ValueKind::kReal), "Real");
+}
+
+TEST(ValueDeath, AsBoolRequiresBool) {
+  EXPECT_DEATH(Value::Int(1).AsBool(), "HETM_CHECK");
+}
+
+TEST(ArchInfo, DescriptorsAreConsistent) {
+  for (int a = 0; a < kNumArchs; ++a) {
+    const ArchInfo& info = GetArchInfo(static_cast<Arch>(a));
+    EXPECT_GT(info.num_regs, 0);
+    EXPECT_GT(info.int_home_regs, 0);
+    EXPECT_LE(info.int_home_base + info.int_home_regs, info.num_regs);
+    if (info.ref_home_regs > 0) {
+      EXPECT_LE(info.ref_home_base + info.ref_home_regs, info.num_regs);
+      // Pools must not overlap.
+      bool disjoint = info.ref_home_base >= info.int_home_base + info.int_home_regs ||
+                      info.int_home_base >= info.ref_home_base + info.ref_home_regs;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+  EXPECT_TRUE(GetArchInfo(Arch::kVax32).atomic_unlink);
+  EXPECT_FALSE(GetArchInfo(Arch::kM68k).atomic_unlink);
+  EXPECT_EQ(GetArchInfo(Arch::kVax32).byte_order, ByteOrder::kLittle);
+  EXPECT_EQ(GetArchInfo(Arch::kVax32).float_format, FloatFormat::kVaxD);
+  EXPECT_EQ(ToString(Arch::kSparc32), "SPARC");
+}
+
+TEST(Machines, Table1ModelsAreDistinct) {
+  std::vector<MachineModel> machines = AllTable1Machines();
+  EXPECT_EQ(machines.size(), 6u);
+  for (const MachineModel& m : machines) {
+    EXPECT_GT(m.clock_mhz, 0.0);
+    EXPECT_GT(m.cpi_scale, 0.0);
+    // CyclesToMicros sanity.
+    EXPECT_GT(m.CyclesToMicros(1000), 0.0);
+  }
+  // Work-throughput ordering the paper implies: Sun-3 slowest per cycle budget.
+  auto us = [](const MachineModel& m) { return m.CyclesToMicros(1000000); };
+  EXPECT_GT(us(Sun3_100()), us(Hp9000_433s()));
+  EXPECT_GT(us(Sun3_100()), us(SparcStationSlc()));
+  EXPECT_GT(us(VaxStation2000()), us(VaxStation4000()));
+}
+
+TEST(CodeRegistry, FindByOidAndProgramBackPointer) {
+  CompileResult r = CompileSource(R"(
+    class X
+      var f: Int
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  CodeRegistry registry;
+  registry.Register(r.program);
+  Oid x_oid = r.program->classes[0]->code_oid;
+  const CodeRegistry::Entry* entry = registry.Find(x_oid);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->cls->name, "X");
+  EXPECT_EQ(entry->program, r.program.get());
+  EXPECT_EQ(registry.Find(0xDEAD), nullptr);
+  EXPECT_EQ(r.program->FindByOid(x_oid), r.program->classes[0].get());
+  EXPECT_EQ(r.program->FindByOid(0xDEAD), nullptr);
+}
+
+TEST(Messages, WireSizeIncludesHeader) {
+  Message msg;
+  msg.payload.assign(100, 0);
+  EXPECT_EQ(msg.WireSize(), 132u);
+}
+
+TEST(IrDisassemble, ListsCellsStopsAndSites) {
+  CompileResult r = CompileSource(R"(
+    class Y
+      var f: Int
+      op go(n: Int): Int
+        print n
+        return self.go(n - 1)
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  const CompiledClass* y = nullptr;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == "Y") {
+      y = cls.get();
+    }
+  }
+  std::string text = Disassemble(y->ops[0].ir[0]);
+  EXPECT_NE(text.find("op go"), std::string::npos);
+  EXPECT_NE(text.find("[stop 1]"), std::string::npos);
+  EXPECT_NE(text.find(".go"), std::string::npos);  // call site annotation
+  EXPECT_NE(text.find("trap print"), std::string::npos);
+}
+
+TEST(OptLevelNames, Stable) {
+  EXPECT_STREQ(OptLevelName(OptLevel::kO0), "O0");
+  EXPECT_STREQ(OptLevelName(OptLevel::kO1), "O1");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,117 @@
+// Object field images across per-architecture layouts.
+#include "src/mobility/object_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+const char* kProgram = R"(
+  class Bag
+    var i: Int
+    var r: Real
+    var b: Bool
+    var s: String
+    var peer: Ref
+    var n: Node
+  end
+  main
+  end
+)";
+
+const CompiledClass& CompileBag(std::shared_ptr<const CompiledProgram>* keep) {
+  CompileResult r = CompileSource(kProgram);
+  EXPECT_TRUE(r.ok());
+  *keep = r.program;
+  for (const auto& cls : r.program->classes) {
+    if (cls->name == "Bag") {
+      return *cls;
+    }
+  }
+  HETM_UNREACHABLE("Bag not found");
+}
+
+std::vector<Value> SampleValues() {
+  return {Value::Int(-98765), Value::Real(1234.5625), Value::Bool(true),
+          Value::Str(0x30000005), Value::Ref(0x40123456), Value::NodeRef(NodeOid(3))};
+}
+
+class ObjectCodecPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(ObjectCodecPerArch, FieldRoundTrips) {
+  Arch arch = GetParam();
+  std::shared_ptr<const CompiledProgram> keep;
+  const CompiledClass& cls = CompileBag(&keep);
+  EmObject obj;
+  obj.fields = MakeFieldImage(arch, cls);
+  std::vector<Value> vals = SampleValues();
+  for (size_t f = 0; f < vals.size(); ++f) {
+    WriteFieldValue(arch, cls, obj, static_cast<int>(f), vals[f]);
+  }
+  for (size_t f = 0; f < vals.size(); ++f) {
+    Value back = ReadFieldValue(arch, cls, obj, static_cast<int>(f));
+    EXPECT_EQ(back.i, vals[f].i);
+    EXPECT_EQ(back.r, vals[f].r);
+    EXPECT_EQ(back.oid, vals[f].oid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ObjectCodecPerArch,
+                         ::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32),
+                         [](const ::testing::TestParamInfo<Arch>& info) {
+                           return ArchName(info.param);
+                         });
+
+TEST(ObjectCodec, RawImagesDifferAcrossArchitectures) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const CompiledClass& cls = CompileBag(&keep);
+  std::vector<std::vector<uint8_t>> images;
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    EmObject obj;
+    obj.fields = MakeFieldImage(arch, cls);
+    std::vector<Value> vals = SampleValues();
+    for (size_t f = 0; f < vals.size(); ++f) {
+      WriteFieldValue(arch, cls, obj, static_cast<int>(f), vals[f]);
+    }
+    images.push_back(obj.fields);
+  }
+  EXPECT_NE(images[0], images[1]);
+  EXPECT_NE(images[1], images[2]);
+  EXPECT_NE(images[0], images[2]);
+}
+
+TEST(ObjectCodec, MarshalRelayoutsAcrossArchitectures) {
+  std::shared_ptr<const CompiledProgram> keep;
+  const CompiledClass& cls = CompileBag(&keep);
+  for (Arch src : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    for (Arch dst : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+      EmObject obj;
+      obj.fields = MakeFieldImage(src, cls);
+      std::vector<Value> vals = SampleValues();
+      for (size_t f = 0; f < vals.size(); ++f) {
+        WriteFieldValue(src, cls, obj, static_cast<int>(f), vals[f]);
+      }
+      CostMeter meter{SparcStationSlc()};
+      WireWriter w(ConversionStrategy::kNaive, src, &meter);
+      MarshalObjectFields(src, cls, obj, w);
+      std::vector<uint8_t> bytes = w.Take();
+
+      EmObject arrived;
+      arrived.fields = MakeFieldImage(dst, cls);
+      WireReader r(ConversionStrategy::kNaive, src, &meter, bytes);
+      UnmarshalObjectFields(dst, cls, arrived, r);
+      EXPECT_TRUE(r.AtEnd());
+      for (size_t f = 0; f < vals.size(); ++f) {
+        Value back = ReadFieldValue(dst, cls, arrived, static_cast<int>(f));
+        EXPECT_EQ(back.i, vals[f].i) << ArchName(src) << "->" << ArchName(dst);
+        EXPECT_EQ(back.r, vals[f].r) << ArchName(src) << "->" << ArchName(dst);
+        EXPECT_EQ(back.oid, vals[f].oid) << ArchName(src) << "->" << ArchName(dst);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetm

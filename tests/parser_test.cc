@@ -1,0 +1,184 @@
+#include "src/compiler/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/lexer.h"
+
+namespace hetm {
+namespace {
+
+ParseResult ParseSrc(const std::string& src) {
+  LexResult lexed = Lex(src);
+  EXPECT_TRUE(lexed.errors.empty());
+  return Parse(lexed.tokens);
+}
+
+TEST(Parser, ClassWithFieldsAndOps) {
+  ParseResult r = ParseSrc(R"(
+    class Account
+      var balance: Int
+      var owner: String
+      op deposit(amount: Int): Int
+        balance := balance + amount
+        return balance
+      end
+      op reset()
+        balance := 0
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  ASSERT_EQ(r.program.classes.size(), 1u);
+  const ClassAst& cls = r.program.classes[0];
+  EXPECT_EQ(cls.name, "Account");
+  EXPECT_FALSE(cls.monitored);
+  ASSERT_EQ(cls.fields.size(), 2u);
+  EXPECT_EQ(cls.fields[0].name, "balance");
+  EXPECT_EQ(cls.fields[0].kind, ValueKind::kInt);
+  EXPECT_EQ(cls.fields[1].kind, ValueKind::kStr);
+  ASSERT_EQ(cls.ops.size(), 2u);
+  EXPECT_TRUE(cls.ops[0].has_result);
+  EXPECT_EQ(cls.ops[0].params.size(), 1u);
+  EXPECT_FALSE(cls.ops[1].has_result);
+}
+
+TEST(Parser, MonitorClass) {
+  ParseResult r = ParseSrc("monitor class M\nend\nmain\nend");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.program.classes[0].monitored);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  ParseResult r = ParseSrc("main\nvar x: Int := 1 + 2 * 3\nend");
+  ASSERT_TRUE(r.ok());
+  const Stmt& s = *r.program.main_body[0];
+  ASSERT_EQ(s.kind, StmtKind::kVarDecl);
+  const Expr& e = *s.expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(e.rhs->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, PrecedenceCmpOverAnd) {
+  ParseResult r = ParseSrc("main\nvar b: Bool := 1 < 2 and 3 >= 4\nend");
+  ASSERT_TRUE(r.ok());
+  const Expr& e = *r.program.main_body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::kAnd);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::kLt);
+  EXPECT_EQ(e.rhs->bin_op, BinOp::kGe);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  ParseResult r = ParseSrc("main\nvar x: Int := (1 + 2) * 3\nend");
+  ASSERT_TRUE(r.ok());
+  const Expr& e = *r.program.main_body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::kMul);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::kAdd);
+}
+
+TEST(Parser, ChainedInvocationStructure) {
+  ParseResult r = ParseSrc("main\nvar a: Ref := nil\nvar x: Int := a.f().g(1)\nend");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  const Expr& e = *r.program.main_body[1]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kInvoke);
+  EXPECT_EQ(e.text, "g");
+  ASSERT_EQ(e.args.size(), 1u);
+  ASSERT_EQ(e.lhs->kind, ExprKind::kInvoke);
+  EXPECT_EQ(e.lhs->text, "f");
+}
+
+TEST(Parser, IfElseifElse) {
+  ParseResult r = ParseSrc(R"(
+    main
+      if true then
+        print 1
+      elseif false then
+        print 2
+      elseif true then
+        print 3
+      else
+        print 4
+      end
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  const Stmt& s = *r.program.main_body[0];
+  ASSERT_EQ(s.kind, StmtKind::kIf);
+  EXPECT_EQ(s.arms.size(), 3u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(Parser, WhileMoveSpawnPrint) {
+  ParseResult r = ParseSrc(R"(
+    main
+      var x: Ref := nil
+      while true do
+        move x to here()
+        spawn x.tick()
+        print "hi"
+      end
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  const Stmt& loop = *r.program.main_body[1];
+  ASSERT_EQ(loop.kind, StmtKind::kWhile);
+  EXPECT_EQ(loop.body[0]->kind, StmtKind::kMove);
+  EXPECT_EQ(loop.body[1]->kind, StmtKind::kSpawn);
+  EXPECT_EQ(loop.body[2]->kind, StmtKind::kPrint);
+}
+
+TEST(Parser, BuiltinArityChecked) {
+  ParseResult r = ParseSrc("main\nvar n: Node := locate()\nend");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("expects 1"), std::string::npos);
+}
+
+TEST(Parser, SpawnRequiresInvocation) {
+  ParseResult r = ParseSrc("main\nspawn 42\nend");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("invocation"), std::string::npos);
+}
+
+TEST(Parser, UnknownTypeIsError) {
+  ParseResult r = ParseSrc("main\nvar x: Float := 1\nend");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("unknown type"), std::string::npos);
+}
+
+TEST(Parser, MissingEndIsError) {
+  ParseResult r = ParseSrc("class C\nmain\nend");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Parser, UnaryOperators) {
+  ParseResult r = ParseSrc("main\nvar x: Int := -(3 + 4)\nvar b: Bool := not true\nend");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  EXPECT_EQ(r.program.main_body[0]->expr->kind, ExprKind::kUnary);
+  EXPECT_EQ(r.program.main_body[0]->expr->unary_op, '-');
+  EXPECT_EQ(r.program.main_body[1]->expr->unary_op, '!');
+}
+
+TEST(Parser, ReturnWithAndWithoutValue) {
+  ParseResult r = ParseSrc(R"(
+    class C
+      var junk: Int
+      op f(): Int
+        return 42
+      end
+      op g()
+        return
+      end
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(r.ok()) << r.errors[0];
+  EXPECT_NE(r.program.classes[0].ops[0].body[0]->expr, nullptr);
+  EXPECT_EQ(r.program.classes[0].ops[1].body[0]->expr, nullptr);
+}
+
+}  // namespace
+}  // namespace hetm

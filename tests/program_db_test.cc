@@ -1,0 +1,103 @@
+// OID synchronization across recompilations (section 3.4's program database).
+#include "src/compiler/program_db.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compiler.h"
+
+namespace hetm {
+namespace {
+
+const char* kProgram = R"(
+  class A
+    var f: Int
+    op go(): Int
+      var s: String := "alpha"
+      print s
+      return 1
+    end
+  end
+  class B
+    var f: Int
+    op go(): Int
+      var s: String := "beta"
+      print s
+      return 2
+    end
+  end
+  main
+  end
+)";
+
+TEST(ProgramDb, RecompilationYieldsIdenticalOids) {
+  ProgramDatabase db;
+  CompileResult first = CompileSource(kProgram, "prog", db);
+  CompileResult second = CompileSource(kProgram, "prog", db);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first.program->classes.size(), second.program->classes.size());
+  for (size_t i = 0; i < first.program->classes.size(); ++i) {
+    EXPECT_EQ(first.program->classes[i]->code_oid, second.program->classes[i]->code_oid);
+    EXPECT_EQ(first.program->classes[i]->literal_oids,
+              second.program->classes[i]->literal_oids);
+  }
+}
+
+TEST(ProgramDb, DistinctProgramsGetDistinctOids) {
+  ProgramDatabase db;
+  CompileResult a = CompileSource(kProgram, "prog-a", db);
+  CompileResult b = CompileSource(kProgram, "prog-b", db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.program->classes[0]->code_oid, b.program->classes[0]->code_oid);
+}
+
+TEST(ProgramDb, OidsAreCodeOids) {
+  CompileResult r = CompileSource(kProgram);
+  ASSERT_TRUE(r.ok());
+  for (const auto& cls : r.program->classes) {
+    EXPECT_TRUE(IsCodeOid(cls->code_oid));
+    for (Oid lit : cls->literal_oids) {
+      EXPECT_TRUE(IsLiteralOid(lit));
+    }
+  }
+}
+
+TEST(ProgramDb, LiteralPoolsAreDeduplicated) {
+  CompileResult r = CompileSource(R"(
+    main
+      print "same"
+      print "same"
+      print "different"
+    end
+  )");
+  ASSERT_TRUE(r.ok());
+  const CompiledClass& main_cls = *r.program->classes[r.program->main_class];
+  EXPECT_EQ(main_cls.string_literals.size(), 2u);
+}
+
+TEST(ProgramDb, OidPartitioningHelpers) {
+  EXPECT_TRUE(IsNodeOid(NodeOid(3)));
+  EXPECT_EQ(NodeIndexOfOid(NodeOid(3)), 3);
+  Oid data = MakeDataOid(5, 42);
+  EXPECT_TRUE(IsDataOid(data));
+  EXPECT_EQ(BirthNodeOfDataOid(data), 5);
+  EXPECT_FALSE(IsDataOid(NodeOid(1)));
+  EXPECT_FALSE(IsNodeOid(data));
+}
+
+TEST(ProgramDb, SameOidsAllowCrossArchCodeLookup) {
+  // The whole point: one OID names the class on every architecture, with the
+  // repository key carrying the arch dimension (here: per-arch code blobs in one
+  // CompiledClass).
+  CompileResult r = CompileSource(kProgram);
+  ASSERT_TRUE(r.ok());
+  const CompiledClass& cls = *r.program->classes[0];
+  for (int a = 0; a < kNumArchs; ++a) {
+    for (int lvl = 0; lvl < kNumOptLevels; ++lvl) {
+      EXPECT_FALSE(cls.ops[0].code[a][lvl].code.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetm

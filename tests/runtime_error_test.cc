@@ -1,0 +1,166 @@
+// Guest-program failures must surface as runtime errors, never host crashes.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+void ExpectRuntimeError(const std::string& src, const std::string& needle) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(src)) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  EXPECT_FALSE(sys.Run());
+  EXPECT_NE(sys.error().find(needle), std::string::npos)
+      << "got error: " << sys.error();
+  EXPECT_NE(sys.output().find("RUNTIME ERROR"), std::string::npos);
+}
+
+TEST(RuntimeError, DivisionByZero) {
+  ExpectRuntimeError(R"(
+    main
+      var z: Int := 0
+      print 7 / z
+    end
+  )",
+                     "division by zero");
+}
+
+TEST(RuntimeError, ModuloByZero) {
+  ExpectRuntimeError(R"(
+    main
+      var z: Int := 0
+      print 7 % z
+    end
+  )",
+                     "division by zero");
+}
+
+TEST(RuntimeError, InvokeNil) {
+  ExpectRuntimeError(R"(
+    class C
+      var f: Int
+      op go(): Int
+        return 1
+      end
+    end
+    main
+      var r: Ref := nil
+      print r.go()
+    end
+  )",
+                     "nil");
+}
+
+TEST(RuntimeError, NoSuchOperationOnClass) {
+  ExpectRuntimeError(R"(
+    class A
+      var f: Int
+      op only_a(): Int
+        return 1
+      end
+    end
+    class B
+      var f: Int
+      op only_b(): Int
+        return 2
+      end
+    end
+    main
+      var b: Ref := new B
+      print b.only_a()
+    end
+  )",
+                     "has no operation");
+}
+
+TEST(RuntimeError, NodeAtOutOfRange) {
+  ExpectRuntimeError(R"(
+    main
+      print nodeat(99)
+    end
+  )",
+                     "no such node");
+}
+
+TEST(RuntimeError, InvokeOnNodeObject) {
+  ExpectRuntimeError(R"(
+    class Decoy
+      var f: Int
+      op anything(): Int
+        return 1
+      end
+    end
+    main
+      var n: Node := here()
+      print n.anything()
+    end
+  )",
+                     "does not support user operations");
+}
+
+TEST(RuntimeError, FuelLimitStopsRunawayLoop) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.world().SetFuelLimit(100000);
+  ASSERT_TRUE(sys.Load(R"(
+    main
+      var i: Int := 0
+      while true do
+        i := i + 1
+      end
+    end
+  )"));
+  EXPECT_FALSE(sys.Run());
+  EXPECT_NE(sys.error().find("fuel"), std::string::npos);
+}
+
+TEST(RuntimeError, RemoteFailureReportsToo) {
+  // The failing division happens on the remote node after migration.
+  ExpectRuntimeError(R"(
+    class C
+      var f: Int
+      op boom(): Int
+        move self to nodeat(1)
+        var z: Int := 0
+        return 1 / z
+      end
+    end
+    main
+      var c: Ref := new C
+      print c.boom()
+    end
+  )",
+                     "division by zero");
+}
+
+TEST(RuntimeError, CompileErrorsAreReportedNotRun) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  EXPECT_FALSE(sys.Load("main\nvar x: Int := true\nend"));
+  ASSERT_FALSE(sys.errors().empty());
+  EXPECT_NE(sys.errors()[0].find("expected Int"), std::string::npos);
+}
+
+TEST(RuntimeError, InvokeOnStringObject) {
+  ExpectRuntimeError(R"(
+    class Decoy
+      var f: Int
+      op anything(): Int
+        return 1
+      end
+    end
+    main
+      // A dynamically created string (literals are literal-OID objects and are
+      // rejected one check earlier).
+      var s: String := concat("he", "llo")
+      var r: Ref := s
+      print r.anything()
+    end
+  )",
+                     "strings have no user operations");
+}
+
+}  // namespace
+}  // namespace hetm

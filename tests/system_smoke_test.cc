@@ -1,0 +1,156 @@
+// End-to-end smoke tests: compile + run small programs on single- and multi-node
+// worlds, on every architecture.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+std::vector<MachineModel> AllArchMachines() {
+  return {SparcStationSlc(), Sun3_100(), VaxStation4000()};
+}
+
+TEST(SystemSmoke, HelloOnEveryArch) {
+  for (const MachineModel& m : AllArchMachines()) {
+    EmeraldSystem sys;
+    sys.AddNode(m);
+    ASSERT_TRUE(sys.Load(R"(
+      main
+        print "hello, world"
+      end
+    )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    EXPECT_EQ(sys.output(), "hello, world\n") << m.name;
+  }
+}
+
+TEST(SystemSmoke, ArithmeticAndLoops) {
+  for (const MachineModel& m : AllArchMachines()) {
+    EmeraldSystem sys;
+    sys.AddNode(m);
+    ASSERT_TRUE(sys.Load(R"(
+      main
+        var sum: Int := 0
+        var i: Int := 1
+        while i <= 100 do
+          sum := sum + i
+          i := i + 1
+        end
+        print sum
+        var r: Real := 1.5
+        r := r * 4.0 + 0.25
+        print r
+        print 7 % 3
+        print -42 / 6
+        print (3 < 4) and not (5 == 6)
+      end
+    )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    EXPECT_EQ(sys.output(), "5050\n6.25\n1\n-7\ntrue\n") << m.name;
+  }
+}
+
+TEST(SystemSmoke, ObjectsAndInvocations) {
+  for (const MachineModel& m : AllArchMachines()) {
+    EmeraldSystem sys;
+    sys.AddNode(m);
+    ASSERT_TRUE(sys.Load(R"(
+      class Counter
+        var n: Int
+        op bump(by: Int): Int
+          n := n + by
+          return n
+        end
+        op value(): Int
+          return n
+        end
+      end
+      main
+        var c: Ref := new Counter
+        c.bump(5)
+        c.bump(7)
+        print c.value()
+      end
+    )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    EXPECT_EQ(sys.output(), "12\n") << m.name;
+  }
+}
+
+TEST(SystemSmoke, StringsAndBuiltins) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(R"(
+    main
+      var a: String := "kil"
+      var b: String := concat(a, "roy")
+      print b
+      print len(b)
+      print b == "kilroy"
+      print b != "kilroy"
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "kilroy\n6\ntrue\nfalse\n");
+}
+
+TEST(SystemSmoke, RemoteInvocation) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class Adder
+      op add(a: Int, b: Int): Int
+        return a + b
+      end
+    end
+    main
+      var a: Ref := new Adder
+      move a to here()    // no-op
+      print a.add(2, 3)
+      move a to locate(a) // still a no-op
+      print a.add(4, 5)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "5\n9\n");
+}
+
+TEST(SystemSmoke, MoveObjectThenInvokeRemotely) {
+  EmeraldSystem sys;
+  int n0 = sys.AddNode(SparcStationSlc());
+  int n1 = sys.AddNode(Sun3_100());
+  (void)n0;
+  (void)n1;
+  ASSERT_TRUE(sys.Load(R"(
+    class Holder
+      var x: Int
+      var r: Real
+      var s: String
+      op fill(): Int
+        x := 1234
+        r := 3.25
+        s := "payload"
+        return x
+      end
+      op show(): Int
+        print x
+        print r
+        print s
+        return x
+      end
+    end
+    main
+      var h: Ref := new Holder
+      h.fill()
+      move h to locate(h)  // no-op move to self
+      h.show()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1234\n3.25\npayload\n");
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,171 @@
+// Wire codec round trips and conversion-cost accounting.
+#include "src/mobility/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/calibration.h"
+
+namespace hetm {
+namespace {
+
+CostMeter MakeMeter() { return CostMeter(SparcStationSlc()); }
+CostMeter MakeVaxMeter() { return CostMeter(VaxStation4000()); }
+
+class WireRoundTrip
+    : public ::testing::TestWithParam<std::tuple<ConversionStrategy, Arch>> {};
+
+TEST_P(WireRoundTrip, PrimitivesAndValues) {
+  auto [strategy, arch] = GetParam();
+  CostMeter wm(SparcStationSlc());
+  WireWriter w(strategy, arch, &wm);
+  w.U8(0x5A);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.I32(-42);
+  w.F64(-123.456789);
+  w.Str("heterogeneous");
+  w.TaggedValue(Value::Int(-7));
+  w.TaggedValue(Value::Real(2.5));
+  w.TaggedValue(Value::Bool(true));
+  w.TaggedValue(Value::Str(0x30000001));
+  w.TaggedValue(Value::Ref(0x40100001));
+  w.TaggedValue(Value::NodeRef(NodeOid(2)));
+  w.FinishMessage();
+  std::vector<uint8_t> bytes = w.Take();
+
+  CostMeter rm(SparcStationSlc());
+  WireReader r(strategy, arch, &rm, bytes);
+  EXPECT_EQ(r.U8(), 0x5A);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.F64(), -123.456789);
+  EXPECT_EQ(r.Str(), "heterogeneous");
+  EXPECT_EQ(r.TaggedValue().i, -7);
+  EXPECT_EQ(r.TaggedValue().r, 2.5);
+  EXPECT_TRUE(r.TaggedValue().AsBool());
+  EXPECT_EQ(r.TaggedValue().oid, 0x30000001u);
+  EXPECT_EQ(r.TaggedValue().oid, 0x40100001u);
+  EXPECT_EQ(r.TaggedValue().oid, NodeOid(2));
+  r.FinishMessage();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAndArchs, WireRoundTrip,
+    ::testing::Combine(::testing::Values(ConversionStrategy::kRaw,
+                                         ConversionStrategy::kNaive,
+                                         ConversionStrategy::kFast),
+                       ::testing::Values(Arch::kVax32, Arch::kM68k, Arch::kSparc32)));
+
+TEST(Wire, RawModeWritesSenderByteOrder) {
+  CostMeter m = MakeMeter();
+  {
+    WireWriter w(ConversionStrategy::kRaw, Arch::kVax32, &m);
+    w.U32(0x11223344);
+    std::vector<uint8_t> bytes = w.Take();
+    EXPECT_EQ(bytes[0], 0x44);  // little-endian on the wire
+  }
+  {
+    WireWriter w(ConversionStrategy::kRaw, Arch::kSparc32, &m);
+    w.U32(0x11223344);
+    std::vector<uint8_t> bytes = w.Take();
+    EXPECT_EQ(bytes[0], 0x11);  // big-endian on the wire
+  }
+}
+
+TEST(Wire, EnhancedModesUseNetworkOrderRegardlessOfArch) {
+  CostMeter m = MakeMeter();
+  for (Arch arch : {Arch::kVax32, Arch::kM68k, Arch::kSparc32}) {
+    WireWriter w(ConversionStrategy::kNaive, arch, &m);
+    w.U32(0x11223344);
+    std::vector<uint8_t> bytes = w.Take();
+    EXPECT_EQ(bytes[0], 0x11) << ArchName(arch);
+  }
+}
+
+TEST(Wire, RawFloatUsesMachineFormat) {
+  // A VAX raw float image differs from the IEEE image; both decode back exactly.
+  CostMeter m = MakeVaxMeter();
+  WireWriter wv(ConversionStrategy::kRaw, Arch::kVax32, &m);
+  wv.F64(6.28125);
+  std::vector<uint8_t> vax_bytes = wv.Take();
+  WireWriter ws(ConversionStrategy::kRaw, Arch::kSparc32, &m);
+  ws.F64(6.28125);
+  std::vector<uint8_t> sparc_bytes = ws.Take();
+  EXPECT_NE(vax_bytes, sparc_bytes);
+  WireReader rv(ConversionStrategy::kRaw, Arch::kVax32, &m, vax_bytes);
+  EXPECT_EQ(rv.F64(), 6.28125);
+}
+
+TEST(Wire, NaiveChargesPerCallAndCountsCalls) {
+  CostMeter m = MakeMeter();
+  WireWriter w(ConversionStrategy::kNaive, Arch::kSparc32, &m);
+  uint64_t before = m.cycles();
+  w.U32(7);
+  // One value call + two leaf (2-bytes-each) calls.
+  EXPECT_EQ(m.counters().conv_calls, 3u);
+  EXPECT_EQ(m.counters().conv_bytes, 4u);
+  EXPECT_EQ(m.cycles() - before, 3 * kConvCallCycles + 4 * kConvPerByteCycles);
+}
+
+TEST(Wire, NaiveCallsPerByteMatchPaperRange) {
+  // "An average of 1-2 calls of conversion procedures are performed for each byte."
+  CostMeter m = MakeMeter();
+  WireWriter w(ConversionStrategy::kNaive, Arch::kSparc32, &m);
+  for (int i = 0; i < 50; ++i) {
+    w.TaggedValue(Value::Int(i));
+  }
+  double per_byte = static_cast<double>(m.counters().conv_calls) /
+                    static_cast<double>(m.counters().conv_bytes);
+  EXPECT_GE(per_byte, 0.5);
+  EXPECT_LE(per_byte, 2.0);
+}
+
+TEST(Wire, FastChargesSetupPerMessageAndLittlePerByte) {
+  CostMeter naive_m = MakeMeter();
+  CostMeter fast_m = MakeMeter();
+  WireWriter naive(ConversionStrategy::kNaive, Arch::kSparc32, &naive_m);
+  WireWriter fast(ConversionStrategy::kFast, Arch::kSparc32, &fast_m);
+  for (int i = 0; i < 100; ++i) {
+    naive.U32(static_cast<uint32_t>(i));
+    fast.U32(static_cast<uint32_t>(i));
+  }
+  naive.FinishMessage();
+  fast.FinishMessage();
+  EXPECT_LT(fast_m.cycles(), naive_m.cycles());
+  EXPECT_EQ(fast_m.counters().conv_calls, 1u);  // one bulk routine per message
+}
+
+TEST(Wire, VaxFloatConversionChargedOnlyInEnhancedModes) {
+  CostMeter m = MakeVaxMeter();
+  WireWriter w(ConversionStrategy::kNaive, Arch::kVax32, &m);
+  w.F64(1.5);
+  EXPECT_EQ(m.counters().float_conversions, 1u);
+  CostMeter m2 = MakeVaxMeter();
+  WireWriter w2(ConversionStrategy::kRaw, Arch::kVax32, &m2);
+  w2.F64(1.5);
+  EXPECT_EQ(m2.counters().float_conversions, 0u);
+  // IEEE machines pay no float format conversion even in enhanced mode.
+  CostMeter m3 = MakeMeter();
+  WireWriter w3(ConversionStrategy::kNaive, Arch::kSparc32, &m3);
+  w3.F64(1.5);
+  EXPECT_EQ(m3.counters().float_conversions, 0u);
+}
+
+TEST(Wire, CrossArchEnhancedTransfer) {
+  // Write on a VAX, read on a SPARC: the machine-independent format carries the
+  // value across byte order and float format.
+  CostMeter vm = MakeVaxMeter();
+  WireWriter w(ConversionStrategy::kNaive, Arch::kVax32, &vm);
+  w.TaggedValue(Value::Real(-0.015625));
+  w.TaggedValue(Value::Int(-2000000000));
+  std::vector<uint8_t> bytes = w.Take();
+  CostMeter sm = MakeMeter();
+  WireReader r(ConversionStrategy::kNaive, Arch::kSparc32, &sm, bytes);
+  EXPECT_EQ(r.TaggedValue().r, -0.015625);
+  EXPECT_EQ(r.TaggedValue().i, -2000000000);
+}
+
+}  // namespace
+}  // namespace hetm

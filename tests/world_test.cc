@@ -1,0 +1,124 @@
+// Simulated world: clocks, network timing, system-variant constraints.
+#include "src/sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/calibration.h"
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+TEST(World, ClockDerivedFromMeter) {
+  World world;
+  int n = world.AddNode(SparcStationSlc());
+  Node& node = world.node(n);
+  EXPECT_EQ(node.now_us(), 0.0);
+  node.ChargeCycles(20000);  // 20 MHz -> 1000 us
+  EXPECT_DOUBLE_EQ(node.now_us(), 1000.0);
+  // Delivery can only push forward, never back.
+  node.AdvanceTo(500.0);
+  EXPECT_DOUBLE_EQ(node.now_us(), 1000.0);
+  node.AdvanceTo(2500.0);
+  EXPECT_DOUBLE_EQ(node.now_us(), 2500.0);
+  node.ChargeCycles(20000);
+  EXPECT_DOUBLE_EQ(node.now_us(), 3500.0);
+}
+
+TEST(World, MessageDeliveryIncludesLatencyAndSerialization) {
+  World world;
+  world.AddNode(SparcStationSlc());
+  world.AddNode(SparcStationSlc());
+  Message msg;
+  msg.type = MsgType::kLocationUpdate;
+  msg.payload.assign(968, 0);  // 968 + 32 header = 1000 bytes = 8000 bits
+  world.Send(0, 1, msg);
+  // Run drains the queue; node 1's clock must be at least latency + wire time.
+  world.Run();
+  double expected = kMessageLatencyUs + 8000.0 / kEthernetMbps;
+  EXPECT_GE(world.node(1).now_us(), expected);
+}
+
+TEST(World, MachineSpeedScalesSimulatedTime) {
+  World world;
+  int fast = world.AddNode(Hp9000_433s());
+  int slow = world.AddNode(Sun3_100());
+  world.node(fast).ChargeCycles(1000000);
+  world.node(slow).ChargeCycles(1000000);
+  EXPECT_LT(world.node(fast).now_us(), world.node(slow).now_us());
+}
+
+TEST(WorldDeath, RawModeRejectsHeterogeneousNodes) {
+  World world(ConversionStrategy::kRaw);
+  world.AddNode(SparcStationSlc());
+  EXPECT_DEATH(world.AddNode(VaxStation4000()), "homogeneous");
+}
+
+TEST(WorldDeath, RawModeRejectsMixedOptLevels) {
+  World world(ConversionStrategy::kRaw);
+  world.AddNode(SparcStationSlc(), OptLevel::kO0);
+  EXPECT_DEATH(world.AddNode(SparcStationSlc(), OptLevel::kO1), "homogeneous");
+}
+
+TEST(World, OutputAccumulatesAcrossNodes) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(R"(
+    class Echo
+      var junk: Int
+      op say(): Int
+        print "from the vax"
+        return 1
+      end
+    end
+    main
+      var e: Ref := new Echo
+      move e to nodeat(1)
+      print "from the sparc"
+      e.say()
+    end
+  )"));
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "from the sparc\nfrom the vax\n");
+}
+
+TEST(World, ElapsedTimeIsMaxOverNodes) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load("main\nprint 1\nend"));
+  ASSERT_TRUE(sys.Run());
+  EXPECT_GE(sys.ElapsedMs() * 1000.0, sys.node(0).now_us() - 1e-9);
+}
+
+TEST(World, SimulatedClockVisibleToGuest) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class Remote
+      var junk: Int
+      op nop(): Int
+        return 0
+      end
+    end
+    main
+      var r: Ref := new Remote
+      move r to nodeat(1)
+      var t0: Int := clockms()
+      var i: Int := 0
+      while i < 5 do
+        r.nop()
+        i := i + 1
+      end
+      var t1: Int := clockms()
+      print t1 - t0 > 0
+    end
+  )"));
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "true\n");
+}
+
+}  // namespace
+}  // namespace hetm
