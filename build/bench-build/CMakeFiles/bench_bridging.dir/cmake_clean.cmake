@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bridging"
+  "../bench/bench_bridging.pdb"
+  "CMakeFiles/bench_bridging.dir/bench_bridging.cc.o"
+  "CMakeFiles/bench_bridging.dir/bench_bridging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

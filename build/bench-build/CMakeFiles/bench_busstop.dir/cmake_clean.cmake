@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_busstop"
+  "../bench/bench_busstop.pdb"
+  "CMakeFiles/bench_busstop.dir/bench_busstop.cc.o"
+  "CMakeFiles/bench_busstop.dir/bench_busstop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_busstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

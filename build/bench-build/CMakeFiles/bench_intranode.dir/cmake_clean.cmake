@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_intranode"
+  "../bench/bench_intranode.pdb"
+  "CMakeFiles/bench_intranode.dir/bench_intranode.cc.o"
+  "CMakeFiles/bench_intranode.dir/bench_intranode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_invocation"
+  "../bench/bench_invocation.pdb"
+  "CMakeFiles/bench_invocation.dir/bench_invocation.cc.o"
+  "CMakeFiles/bench_invocation.dir/bench_invocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_threadsize"
+  "../bench/bench_threadsize.pdb"
+  "CMakeFiles/bench_threadsize.dir/bench_threadsize.cc.o"
+  "CMakeFiles/bench_threadsize.dir/bench_threadsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threadsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

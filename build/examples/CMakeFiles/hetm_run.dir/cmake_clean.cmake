@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetm_run.dir/hetm_run.cc.o"
+  "CMakeFiles/hetm_run.dir/hetm_run.cc.o.d"
+  "hetm_run"
+  "hetm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hetm_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kilroy.dir/kilroy.cpp.o"
+  "CMakeFiles/kilroy.dir/kilroy.cpp.o.d"
+  "kilroy"
+  "kilroy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kilroy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_bridge.dir/optimizer_bridge.cpp.o"
+  "CMakeFiles/optimizer_bridge.dir/optimizer_bridge.cpp.o.d"
+  "optimizer_bridge"
+  "optimizer_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch.cc" "src/CMakeFiles/hetm.dir/arch/arch.cc.o" "gcc" "src/CMakeFiles/hetm.dir/arch/arch.cc.o.d"
+  "/root/repo/src/arch/float_codec.cc" "src/CMakeFiles/hetm.dir/arch/float_codec.cc.o" "gcc" "src/CMakeFiles/hetm.dir/arch/float_codec.cc.o.d"
+  "/root/repo/src/arch/machine.cc" "src/CMakeFiles/hetm.dir/arch/machine.cc.o" "gcc" "src/CMakeFiles/hetm.dir/arch/machine.cc.o.d"
+  "/root/repo/src/bridge/bridge.cc" "src/CMakeFiles/hetm.dir/bridge/bridge.cc.o" "gcc" "src/CMakeFiles/hetm.dir/bridge/bridge.cc.o.d"
+  "/root/repo/src/compiler/backend.cc" "src/CMakeFiles/hetm.dir/compiler/backend.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/backend.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/CMakeFiles/hetm.dir/compiler/compiler.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/compiler.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/CMakeFiles/hetm.dir/compiler/ir.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/ir.cc.o.d"
+  "/root/repo/src/compiler/irgen.cc" "src/CMakeFiles/hetm.dir/compiler/irgen.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/irgen.cc.o.d"
+  "/root/repo/src/compiler/lexer.cc" "src/CMakeFiles/hetm.dir/compiler/lexer.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/lexer.cc.o.d"
+  "/root/repo/src/compiler/optimizer.cc" "src/CMakeFiles/hetm.dir/compiler/optimizer.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/optimizer.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/CMakeFiles/hetm.dir/compiler/parser.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/compiler/program_db.cc" "src/CMakeFiles/hetm.dir/compiler/program_db.cc.o" "gcc" "src/CMakeFiles/hetm.dir/compiler/program_db.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/hetm.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/hetm.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/hetm.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/hetm.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/m68k.cc" "src/CMakeFiles/hetm.dir/isa/m68k.cc.o" "gcc" "src/CMakeFiles/hetm.dir/isa/m68k.cc.o.d"
+  "/root/repo/src/isa/sparc.cc" "src/CMakeFiles/hetm.dir/isa/sparc.cc.o" "gcc" "src/CMakeFiles/hetm.dir/isa/sparc.cc.o.d"
+  "/root/repo/src/isa/vax.cc" "src/CMakeFiles/hetm.dir/isa/vax.cc.o" "gcc" "src/CMakeFiles/hetm.dir/isa/vax.cc.o.d"
+  "/root/repo/src/mobility/ar_codec.cc" "src/CMakeFiles/hetm.dir/mobility/ar_codec.cc.o" "gcc" "src/CMakeFiles/hetm.dir/mobility/ar_codec.cc.o.d"
+  "/root/repo/src/mobility/busstop_xlate.cc" "src/CMakeFiles/hetm.dir/mobility/busstop_xlate.cc.o" "gcc" "src/CMakeFiles/hetm.dir/mobility/busstop_xlate.cc.o.d"
+  "/root/repo/src/mobility/object_codec.cc" "src/CMakeFiles/hetm.dir/mobility/object_codec.cc.o" "gcc" "src/CMakeFiles/hetm.dir/mobility/object_codec.cc.o.d"
+  "/root/repo/src/mobility/wire.cc" "src/CMakeFiles/hetm.dir/mobility/wire.cc.o" "gcc" "src/CMakeFiles/hetm.dir/mobility/wire.cc.o.d"
+  "/root/repo/src/runtime/node.cc" "src/CMakeFiles/hetm.dir/runtime/node.cc.o" "gcc" "src/CMakeFiles/hetm.dir/runtime/node.cc.o.d"
+  "/root/repo/src/runtime/node_gc.cc" "src/CMakeFiles/hetm.dir/runtime/node_gc.cc.o" "gcc" "src/CMakeFiles/hetm.dir/runtime/node_gc.cc.o.d"
+  "/root/repo/src/runtime/node_mobility.cc" "src/CMakeFiles/hetm.dir/runtime/node_mobility.cc.o" "gcc" "src/CMakeFiles/hetm.dir/runtime/node_mobility.cc.o.d"
+  "/root/repo/src/runtime/value.cc" "src/CMakeFiles/hetm.dir/runtime/value.cc.o" "gcc" "src/CMakeFiles/hetm.dir/runtime/value.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/CMakeFiles/hetm.dir/sim/world.cc.o" "gcc" "src/CMakeFiles/hetm.dir/sim/world.cc.o.d"
+  "/root/repo/src/support/byte_buffer.cc" "src/CMakeFiles/hetm.dir/support/byte_buffer.cc.o" "gcc" "src/CMakeFiles/hetm.dir/support/byte_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

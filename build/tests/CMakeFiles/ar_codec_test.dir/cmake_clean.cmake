@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_codec_test.dir/ar_codec_test.cc.o"
+  "CMakeFiles/ar_codec_test.dir/ar_codec_test.cc.o.d"
+  "ar_codec_test"
+  "ar_codec_test.pdb"
+  "ar_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

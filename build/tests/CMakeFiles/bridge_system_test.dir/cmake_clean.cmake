@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_system_test.dir/bridge_system_test.cc.o"
+  "CMakeFiles/bridge_system_test.dir/bridge_system_test.cc.o.d"
+  "bridge_system_test"
+  "bridge_system_test.pdb"
+  "bridge_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

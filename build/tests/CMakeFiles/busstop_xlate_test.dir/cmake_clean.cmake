@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/busstop_xlate_test.dir/busstop_xlate_test.cc.o"
+  "CMakeFiles/busstop_xlate_test.dir/busstop_xlate_test.cc.o.d"
+  "busstop_xlate_test"
+  "busstop_xlate_test.pdb"
+  "busstop_xlate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/busstop_xlate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

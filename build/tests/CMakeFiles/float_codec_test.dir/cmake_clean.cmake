@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_codec_test.dir/float_codec_test.cc.o"
+  "CMakeFiles/float_codec_test.dir/float_codec_test.cc.o.d"
+  "float_codec_test"
+  "float_codec_test.pdb"
+  "float_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

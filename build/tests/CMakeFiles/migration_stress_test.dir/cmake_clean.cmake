@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_stress_test.dir/migration_stress_test.cc.o"
+  "CMakeFiles/migration_stress_test.dir/migration_stress_test.cc.o.d"
+  "migration_stress_test"
+  "migration_stress_test.pdb"
+  "migration_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_db_test.dir/program_db_test.cc.o"
+  "CMakeFiles/program_db_test.dir/program_db_test.cc.o.d"
+  "program_db_test"
+  "program_db_test.pdb"
+  "program_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

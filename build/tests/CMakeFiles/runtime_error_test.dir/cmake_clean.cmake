@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_error_test.dir/runtime_error_test.cc.o"
+  "CMakeFiles/runtime_error_test.dir/runtime_error_test.cc.o.d"
+  "runtime_error_test"
+  "runtime_error_test.pdb"
+  "runtime_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
