@@ -6,15 +6,21 @@
 //                       [--variant original|enhanced|fast]
 //                       [--opt O0,O1,...]      per-node optimization levels
 //                       [--stats] [--disasm CLASS.OP]
+//                       [--drop R] [--dup R] [--seed N] [--net-trace]
+//
+// --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
+// reliable transport (src/net) with the given frame loss / duplication rates.
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "src/emerald/system.h"
+#include "src/net/transport.h"
 #include "src/isa/disasm.h"
 
 namespace {
@@ -54,7 +60,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hetm_run PROGRAM.em [--nodes sparc,sun3,hp1,hp2,vax,vax2000]\n"
                "                [--variant original|enhanced|fast] [--opt O0,O1,...]\n"
-               "                [--stats] [--disasm CLASS.OP]\n");
+               "                [--stats] [--disasm CLASS.OP]\n"
+               "                [--drop RATE] [--dup RATE] [--seed N] [--net-trace]\n");
   return 2;
 }
 
@@ -70,6 +77,11 @@ int main(int argc, char** argv) {
   std::string disasm_arg;
   ConversionStrategy strategy = ConversionStrategy::kNaive;
   bool stats = false;
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  uint64_t net_seed = 1;
+  bool net_trace = false;
+  bool use_net = false;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -100,6 +112,24 @@ int main(int argc, char** argv) {
       disasm_arg = v;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--drop") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      drop_rate = std::atof(v);
+      use_net = true;
+    } else if (arg == "--dup") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      dup_rate = std::atof(v);
+      use_net = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      net_seed = static_cast<uint64_t>(std::atoll(v));
+      use_net = true;
+    } else if (arg == "--net-trace") {
+      net_trace = true;
+      use_net = true;
     } else {
       return Usage();
     }
@@ -165,8 +195,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (use_net) {
+    if (drop_rate < 0.0 || drop_rate >= 1.0 || dup_rate < 0.0 || dup_rate >= 1.0) {
+      std::fprintf(stderr, "hetm_run: --drop/--dup rates must be in [0, 1)\n");
+      return 1;
+    }
+    NetConfig cfg;
+    cfg.fault.seed = net_seed;
+    cfg.fault.drop_rate = drop_rate;
+    cfg.fault.duplicate_rate = dup_rate;
+    cfg.trace = net_trace;
+    sys.world().EnableNet(cfg);
+  }
+
   bool ok = sys.Run();
   std::fputs(sys.output().c_str(), stdout);
+  if (net_trace && sys.world().net() != nullptr) {
+    std::fputs(sys.world().net()->trace().c_str(), stderr);
+  }
   if (!ok) {
     std::fprintf(stderr, "hetm_run: %s\n", sys.error().c_str());
     return 1;
@@ -185,6 +231,16 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(c.remote_invokes),
                    static_cast<unsigned long long>(c.conv_calls),
                    static_cast<unsigned long long>(c.bytes_sent));
+      if (use_net) {
+        std::fprintf(stderr,
+                     "        transport: %6llu frames, %4llu retx, %4llu dups dropped,"
+                     " %3llu moves committed, %2llu aborted\n",
+                     static_cast<unsigned long long>(c.packets_sent),
+                     static_cast<unsigned long long>(c.retransmits),
+                     static_cast<unsigned long long>(c.dups_suppressed),
+                     static_cast<unsigned long long>(c.moves_committed),
+                     static_cast<unsigned long long>(c.moves_aborted));
+      }
     }
   }
   return 0;

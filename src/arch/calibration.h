@@ -19,6 +19,21 @@ inline constexpr double kEthernetMbps = 10.0;
 // One-way per-message kernel+wire latency excluding serialization time.
 inline constexpr double kMessageLatencyUs = 2000.0;
 
+// --- Reliable transport (src/net): simulated protocol work per frame ---
+// Sequence-number bookkeeping, timer arming and the send-side copy into the
+// "driver" on every data frame (original or retransmitted).
+inline constexpr uint64_t kTransportSendCycles = 3000;
+// Receive-side demultiplexing, duplicate filtering and reassembly bookkeeping.
+inline constexpr uint64_t kTransportRecvCycles = 3200;
+// Building / absorbing a pure ack frame (no payload).
+inline constexpr uint64_t kAckPathCycles = 1800;
+// Checksumming, per payload byte, paid on each send and each verify.
+inline constexpr uint64_t kChecksumPerByteCycles = 2;
+// Handshake bookkeeping per control message (prepare/commit/query/verdict) and
+// per locate query/reply processed.
+inline constexpr uint64_t kMoveHandshakeCycles = 2500;
+inline constexpr uint64_t kLocatePathCycles = 2000;
+
 // --- Kernel work common to both systems (per thread/object move) ---
 // Object-table update, thread freeze/thaw, forwarding setup, scheduler work on each
 // side of a move. Charged once on the source and once on the destination.

@@ -26,6 +26,15 @@ struct CostCounters {
   uint64_t moves = 0;            // object/thread moves initiated here
   uint64_t remote_invokes = 0;
   uint64_t bridge_ops = 0;       // bridging micro-ops executed
+  // --- reliable transport (src/net) ---
+  uint64_t packets_sent = 0;     // data frames handed to the wire (first copies)
+  uint64_t retransmits = 0;      // data frames re-sent after an RTO
+  uint64_t acks_sent = 0;
+  uint64_t dups_suppressed = 0;  // duplicate data frames dropped by the receiver
+  uint64_t corrupt_dropped = 0;  // frames failing the transport checksum
+  uint64_t moves_committed = 0;  // at-most-once handshakes completed
+  uint64_t moves_aborted = 0;    // handshakes abandoned (peer crashed); limbo restored
+  uint64_t locate_queries = 0;   // location-rebuild broadcasts initiated
 };
 
 class CostMeter {

@@ -119,6 +119,21 @@ void UnmarshalArCells(Arch arch, const OpInfo& op, ActivationRecord& ar, WireRea
   for (uint16_t i = 0; i < count; ++i) {
     int cell = r.U16();
     Value v = r.TaggedValue();
+    if (!r.ok()) {
+      return;
+    }
+    // Corrupt streams can name cells that don't exist or values of the wrong kind;
+    // validate before the store (WriteCellValue aborts on violations by design).
+    if (cell < 0 || cell >= static_cast<int>(op.ir[0].cells.size())) {
+      r.Fail();
+      return;
+    }
+    ValueKind kind = op.ir[0].cells[cell].kind;
+    bool compatible = IsReference(kind) ? IsReference(v.kind) : v.kind == kind;
+    if (!compatible) {
+      r.Fail();
+      return;
+    }
     WriteCellValue(arch, op, ar, cell, v);
   }
 }

@@ -63,9 +63,22 @@ void MarshalObjectFields(Arch arch, const CompiledClass& cls, const EmObject& ob
 void UnmarshalObjectFields(Arch arch, const CompiledClass& cls, EmObject& obj,
                            WireReader& r) {
   uint16_t count = r.U16();
-  HETM_CHECK(count == cls.fields.size());
+  if (count != cls.fields.size()) {
+    r.Fail();
+    return;
+  }
   for (uint16_t f = 0; f < count; ++f) {
-    WriteFieldValue(arch, cls, obj, f, r.TaggedValue());
+    Value v = r.TaggedValue();
+    if (!r.ok()) {
+      return;
+    }
+    ValueKind kind = cls.fields[f].kind;
+    bool compatible = IsReference(kind) ? IsReference(v.kind) : v.kind == kind;
+    if (!compatible) {
+      r.Fail();
+      return;
+    }
+    WriteFieldValue(arch, cls, obj, f, v);
   }
 }
 

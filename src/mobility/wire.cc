@@ -135,23 +135,25 @@ void WireReader::ChargeValue(size_t bytes) {
   }
 }
 
-uint8_t WireReader::U8() {
-  ChargeValue(1);
-  return reader_.U8();
+bool WireReader::Want(size_t bytes) {
+  if (!ok_ || reader_.remaining() < bytes) {
+    ok_ = false;
+    return false;
+  }
+  ChargeValue(bytes);
+  return true;
 }
 
-uint16_t WireReader::U16() {
-  ChargeValue(2);
-  return reader_.U16();
-}
+uint8_t WireReader::U8() { return Want(1) ? reader_.U8() : 0; }
 
-uint32_t WireReader::U32() {
-  ChargeValue(4);
-  return reader_.U32();
-}
+uint16_t WireReader::U16() { return Want(2) ? reader_.U16() : 0; }
+
+uint32_t WireReader::U32() { return Want(4) ? reader_.U32() : 0; }
 
 double WireReader::F64() {
-  ChargeValue(8);
+  if (!Want(8)) {
+    return 0.0;
+  }
   if (strategy_ != ConversionStrategy::kRaw) {
     if (GetArchInfo(arch_).float_format != FloatFormat::kIeee754) {
       meter_->counters().float_conversions += 1;
@@ -167,7 +169,9 @@ double WireReader::F64() {
 
 std::string WireReader::Str() {
   uint32_t n = U32();
-  ChargeValue(n);
+  if (!Want(n)) {
+    return std::string();
+  }
   std::string s(n, '\0');
   reader_.RawBytes(reinterpret_cast<uint8_t*>(s.data()), n);
   return s;
@@ -193,10 +197,16 @@ Value WireReader::TaggedValue() {
     case ValueKind::kNode:
       return Value::NodeRef(Oid32());
   }
-  HETM_UNREACHABLE("bad ValueKind tag");
+  // A kind byte outside the enum is corrupt wire data, not a protocol bug.
+  Fail();
+  return Value::Int(0);
 }
 
 void WireReader::Blit(uint8_t* dst, size_t n) {
+  if (!ok_ || reader_.remaining() < n) {
+    ok_ = false;
+    return;
+  }
   meter_->Charge(n * kCopyPerByteCycles);
   reader_.RawBytes(dst, n);
 }

@@ -68,6 +68,11 @@ class WireWriter {
   ByteWriter writer_;
 };
 
+// Unlike the writer, the reader consumes bytes that crossed a (simulated) network
+// and may be truncated or corrupted. It never aborts on malformed input: any read
+// past the end of the buffer, or a tagged value with an invalid kind byte, sets a
+// sticky failure flag and every subsequent read returns a zero value. Decoders
+// check ok() before committing any decoded state.
 class WireReader {
  public:
   WireReader(ConversionStrategy strategy, Arch arch, CostMeter* meter,
@@ -88,13 +93,21 @@ class WireReader {
   size_t remaining() const { return reader_.remaining(); }
   ConversionStrategy strategy() const { return strategy_; }
 
+  // Sticky malformed-input flag. Decoders may also Fail() on semantic violations
+  // (bad indices, kind mismatches) discovered while consuming the stream.
+  bool ok() const { return ok_; }
+  void Fail() { ok_ = false; }
+
  private:
   void ChargeValue(size_t bytes);
+  // True (and charges the conversion cost) iff `bytes` more can be read.
+  bool Want(size_t bytes);
 
   ConversionStrategy strategy_;
   Arch arch_;
   CostMeter* meter_;
   ByteReader reader_;
+  bool ok_ = true;
 };
 
 }  // namespace hetm

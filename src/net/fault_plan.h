@@ -1,0 +1,81 @@
+// Deterministic fault injection for the simulated Ethernet (the fault half of
+// src/net; the reliable-channel half is transport.h).
+//
+// Every unreliable behaviour — frame loss, duplication, extra delay (reordering),
+// payload corruption, node crash-stop and restart — is driven by one seeded PRNG
+// plus an explicit crash schedule, so a failure schedule is a pure function of the
+// seed and the (deterministic) event order. Replaying the same seed reproduces the
+// identical schedule, which is what makes the fault tests assert on exact traces.
+#ifndef HETM_SRC_NET_FAULT_PLAN_H_
+#define HETM_SRC_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/messages.h"
+
+namespace hetm {
+
+// splitmix64: tiny, statistically solid, and bit-stable across platforms (no
+// implementation-defined library distributions).
+class NetRng {
+ public:
+  explicit NetRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1), 53 significant bits.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t state_;
+};
+
+// Crash-stop `node` at a fixed simulated time; restart_at_us < 0 = never restarts.
+struct CrashEvent {
+  int node = -1;
+  double at_us = 0.0;
+  double restart_at_us = -1.0;
+};
+
+// Crash-stop `node` at the exact instant the nth data frame carrying a message of
+// type `on_type` would be delivered to it — the frame dies with the node. This is
+// how tests hit precise protocol windows ("destination crashes mid-move") without
+// guessing timestamps. restart_after_us < 0 = never restarts.
+struct CrashTrigger {
+  int node = -1;
+  MsgType on_type = MsgType::kMoveObject;
+  int nth = 1;
+  double restart_after_us = -1.0;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Per-frame probabilities, applied independently to every transmission attempt
+  // (including retransmissions and acks).
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double corrupt_rate = 0.0;  // one flipped payload bit (or a damaged checksum)
+  double reorder_rate = 0.0;  // P(frame is held back by an extra random delay)
+  double max_extra_delay_us = 6000.0;
+  // Normally a corrupted frame fails the transport checksum and is dropped there.
+  // With this set, corruption re-computes the checksum over the damaged bytes so the
+  // frame verifies and the damage reaches the wire decoders — the fuzzing mode the
+  // decoder-robustness tests use.
+  bool corrupt_evades_checksum = false;
+  std::vector<CrashEvent> crashes;
+  std::vector<CrashTrigger> crash_triggers;
+
+  bool AnyRandomFaults() const {
+    return drop_rate > 0 || duplicate_rate > 0 || corrupt_rate > 0 || reorder_rate > 0;
+  }
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_NET_FAULT_PLAN_H_

@@ -1,0 +1,497 @@
+#include "src/net/transport.h"
+
+#include <cstdio>
+
+#include "src/arch/calibration.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+// The trace is bounded so pathological schedules cannot eat the heap; truncation is
+// deterministic, so trace equality across same-seed runs still holds.
+constexpr size_t kMaxTraceBytes = 2u << 20;
+
+double SerializationUs(size_t wire_bytes) {
+  return static_cast<double>(wire_bytes) * 8.0 / kEthernetMbps;
+}
+
+}  // namespace
+
+Network::Network(World* world, NetConfig config)
+    : world_(world),
+      config_(std::move(config)),
+      rng_(config_.fault.seed),
+      trigger_hits_(config_.fault.crash_triggers.size(), 0) {}
+
+void Network::Start() {
+  endpoints_.clear();
+  endpoints_.resize(world_->num_nodes());
+  for (const CrashEvent& c : config_.fault.crashes) {
+    HETM_CHECK(c.node >= 0 && c.node < world_->num_nodes());
+    world_->PushAdmin(c.at_us, c.node, /*up=*/false);
+    if (c.restart_at_us >= 0) {
+      world_->PushAdmin(c.restart_at_us, c.node, /*up=*/true);
+    }
+  }
+  for (const CrashTrigger& t : config_.fault.crash_triggers) {
+    HETM_CHECK(t.node >= 0 && t.node < world_->num_nodes());
+  }
+}
+
+bool Network::NodeUp(int node) const {
+  return endpoints_.empty() || endpoints_[node].up;
+}
+
+bool Network::HasUnacked(int node, int peer) const {
+  auto it = endpoints_[node].send.find(peer);
+  return it != endpoints_[node].send.end() && !it->second.unacked.empty();
+}
+
+uint64_t Network::Checksum(const NetPacket& pkt) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(pkt.kind);
+  mix(pkt.seq);
+  mix(pkt.ack);
+  mix(pkt.src_epoch);
+  mix(pkt.stream);
+  mix(static_cast<uint64_t>(pkt.msg.type));
+  mix(pkt.msg.route_oid);
+  mix(pkt.msg.move_id);
+  for (uint8_t b : pkt.msg.payload) {
+    mix(b);
+  }
+  return h;
+}
+
+void Network::Trace(double time_us, const std::string& line) {
+  if (!config_.trace || trace_.size() >= kMaxTraceBytes) {
+    return;
+  }
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "t=%.1f ", time_us);
+  trace_ += stamp;
+  trace_ += line;
+  trace_ += '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+void Network::Submit(int from, int to, Message msg) {
+  Endpoint& ep = endpoints_[from];
+  if (!ep.up) {
+    return;  // a crashed node emits nothing
+  }
+  Node& sender = world_->node(from);
+  sender.meter().counters().packets_sent += 1;
+  sender.ChargeCycles(kTransportSendCycles +
+                      msg.payload.size() * kChecksumPerByteCycles);
+
+  SendChannel& ch = ep.send[to];
+  uint32_t seq = ch.next_seq++;
+  Pending pending;
+  pending.msg = std::move(msg);
+  pending.rto_us = config_.rto_us;
+  TransmitData(from, to, seq, pending.msg);
+  auto [it, inserted] = ch.unacked.emplace(seq, std::move(pending));
+  HETM_CHECK(inserted);
+  ScheduleRetx(from, to, seq, it->second.rto_us);
+}
+
+void Network::TransmitData(int from, int to, uint32_t seq, const Message& msg) {
+  NetPacket pkt;
+  pkt.from = from;
+  pkt.to = to;
+  pkt.kind = 0;
+  pkt.seq = seq;
+  pkt.src_epoch = endpoints_[from].epoch;
+  pkt.stream = endpoints_[from].send[to].stream;
+  pkt.msg = msg;
+  pkt.wire_bytes = msg.WireSize() + kTransportHeaderBytes;
+  pkt.checksum = Checksum(pkt);
+  EmitFrame(std::move(pkt));
+}
+
+void Network::SendAck(int from, int to, uint32_t cumulative, uint32_t stream,
+                      double at_us) {
+  Endpoint& ep = endpoints_[from];
+  if (!ep.up) {
+    return;
+  }
+  Node& sender = world_->node(from);
+  sender.meter().counters().acks_sent += 1;
+  sender.ChargeCycles(kAckPathCycles);
+
+  NetPacket pkt;
+  pkt.from = from;
+  pkt.to = to;
+  pkt.kind = 1;
+  pkt.ack = cumulative;
+  pkt.src_epoch = ep.epoch;
+  pkt.stream = stream;  // which numbering generation this ack covers
+  pkt.wire_bytes = kPacketHeaderBytes + kTransportHeaderBytes;
+  pkt.checksum = Checksum(pkt);
+  // Acks leave at the delivery instant, not at the node's runtime clock: protocol
+  // processing is interrupt-level (as in the Emerald kernel), so an ack never
+  // queues behind the language runtime. Otherwise a receiver busy with class
+  // loading would stamp its acks late and trip the sender's RTO on a fault-free
+  // channel.
+  EmitFrame(std::move(pkt), at_us);
+}
+
+void Network::EmitFrame(NetPacket pkt, double base_us) {
+  // Fixed draw count per frame: the schedule downstream of any frame is identical
+  // whether or not this one is dropped, duplicated, corrupted or delayed.
+  double d_drop = rng_.NextDouble();
+  double d_dup = rng_.NextDouble();
+  double d_corrupt = rng_.NextDouble();
+  double d_reorder = rng_.NextDouble();
+  double reorder_mag = rng_.NextDouble();
+  double dup_mag = rng_.NextDouble();
+  uint64_t corrupt_pos = rng_.Next();
+
+  const FaultPlan& f = config_.fault;
+  double now = base_us >= 0 ? base_us : world_->node(pkt.from).now_us();
+  char buf[160];
+  if (f.corrupt_rate > 0 && d_corrupt < f.corrupt_rate) {
+    if (pkt.kind == 0 && !pkt.msg.payload.empty()) {
+      // Damage one payload bit. The transport header (seq/ack/epoch) is never
+      // silently damaged: header corruption always lands in the checksum and the
+      // frame is dropped — sequence state stays trustworthy, which the at-most-once
+      // argument depends on.
+      size_t bit = static_cast<size_t>(corrupt_pos % (pkt.msg.payload.size() * 8));
+      pkt.msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      if (f.corrupt_evades_checksum) {
+        pkt.checksum = Checksum(pkt);  // damage reaches the decoders
+      }
+    } else {
+      pkt.checksum ^= 1;  // payload-less frame: damage is always caught
+    }
+    std::snprintf(buf, sizeof(buf), "corrupt %d->%d kind=%u seq=%u", pkt.from, pkt.to,
+                  pkt.kind, pkt.seq);
+    Trace(now, buf);
+  }
+
+  double base = now + kMessageLatencyUs + SerializationUs(pkt.wire_bytes);
+  double arrival = base;
+  if (f.reorder_rate > 0 && d_reorder < f.reorder_rate) {
+    arrival += reorder_mag * f.max_extra_delay_us;
+  }
+
+  if (f.drop_rate > 0 && d_drop < f.drop_rate) {
+    std::snprintf(buf, sizeof(buf), "drop %d->%d kind=%u seq=%u ack=%u type=%d",
+                  pkt.from, pkt.to, pkt.kind, pkt.seq, pkt.ack,
+                  static_cast<int>(pkt.msg.type));
+    Trace(now, buf);
+  } else {
+    world_->PushPacket(arrival, pkt);
+  }
+  if (f.duplicate_rate > 0 && d_dup < f.duplicate_rate) {
+    std::snprintf(buf, sizeof(buf), "dup %d->%d kind=%u seq=%u", pkt.from, pkt.to,
+                  pkt.kind, pkt.seq);
+    Trace(now, buf);
+    world_->PushPacket(base + dup_mag * f.max_extra_delay_us, pkt);
+  }
+}
+
+void Network::ScheduleRetx(int self, int peer, uint32_t seq, double delay_us) {
+  Endpoint& ep = endpoints_[self];
+  uint64_t id = ep.next_timer_id++;
+  ep.retx_timers.emplace(id, std::make_pair(peer, seq));
+  auto it = ep.send[peer].unacked.find(seq);
+  HETM_CHECK(it != ep.send[peer].unacked.end());
+  it->second.timer_id = id;
+  world_->PushTimer(world_->node(self).now_us() + delay_us, self, kTimerNetRetx, id);
+}
+
+void Network::OnRetxTimer(double time_us, int node, uint64_t timer_id) {
+  Endpoint& ep = endpoints_[node];
+  auto tit = ep.retx_timers.find(timer_id);
+  if (tit == ep.retx_timers.end()) {
+    return;  // acked or superseded: the popped event is a no-op
+  }
+  auto [peer, seq] = tit->second;
+  ep.retx_timers.erase(tit);
+  if (!ep.up) {
+    return;
+  }
+  auto cit = ep.send.find(peer);
+  if (cit == ep.send.end()) {
+    return;
+  }
+  auto pit = cit->second.unacked.find(seq);
+  if (pit == cit->second.unacked.end()) {
+    return;
+  }
+  Pending& pending = pit->second;
+  if (pending.attempts >= config_.max_attempts) {
+    ChannelFail(node, peer);
+    return;
+  }
+  Node& sender = world_->node(node);
+  sender.AdvanceTo(time_us);
+  sender.meter().counters().retransmits += 1;
+  sender.ChargeCycles(kTransportSendCycles +
+                      pending.msg.payload.size() * kChecksumPerByteCycles);
+  pending.attempts += 1;
+  pending.rto_us *= config_.rto_backoff;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "retx %d->%d seq=%u attempt=%d", node, peer, seq,
+                pending.attempts);
+  Trace(sender.now_us(), buf);
+  TransmitData(node, peer, seq, pending.msg);
+  ScheduleRetx(node, peer, seq, pending.rto_us);
+}
+
+void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream) {
+  Endpoint& ep = endpoints_[self];
+  auto cit = ep.send.find(peer);
+  if (cit == ep.send.end()) {
+    return;
+  }
+  SendChannel& ch = cit->second;
+  if (stream != ch.stream) {
+    return;  // ack for a superseded numbering: its seqs mean nothing now
+  }
+  while (!ch.unacked.empty() && ch.unacked.begin()->first <= ack) {
+    ep.retx_timers.erase(ch.unacked.begin()->second.timer_id);
+    ch.unacked.erase(ch.unacked.begin());
+  }
+}
+
+void Network::ObservePeerEpoch(int self, int peer, uint32_t epoch) {
+  SendChannel& ch = endpoints_[self].send[peer];
+  if (epoch <= ch.peer_epoch_seen) {
+    return;
+  }
+  bool restarted = ch.peer_epoch_seen != 0;  // first contact is not a restart
+  ch.peer_epoch_seen = epoch;
+  if (!restarted) {
+    return;
+  }
+  // The peer lost its receive state: renumber everything still unacked from 1 so
+  // the fresh incarnation's expected=1 matches, and retransmit immediately.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "chan-reset %d->%d epoch=%u", self, peer, epoch);
+  Trace(world_->node(self).now_us(), buf);
+  ResetSendChannel(self, peer);
+}
+
+void Network::ResetSendChannel(int self, int peer) {
+  Endpoint& ep = endpoints_[self];
+  SendChannel& ch = ep.send[peer];
+  std::vector<Message> backlog;
+  backlog.reserve(ch.unacked.size());
+  for (auto& [seq, pending] : ch.unacked) {
+    ep.retx_timers.erase(pending.timer_id);
+    backlog.push_back(std::move(pending.msg));
+  }
+  ch.unacked.clear();
+  ch.next_seq = 1;
+  ch.stream += 1;  // new numbering generation: old-stream frames/acks become stale
+  Node& sender = world_->node(self);
+  for (Message& msg : backlog) {
+    uint32_t seq = ch.next_seq++;
+    sender.meter().counters().retransmits += 1;
+    sender.ChargeCycles(kTransportSendCycles +
+                        msg.payload.size() * kChecksumPerByteCycles);
+    Pending pending;
+    pending.msg = std::move(msg);
+    pending.rto_us = config_.rto_us;
+    TransmitData(self, peer, seq, pending.msg);
+    auto [it, inserted] = ch.unacked.emplace(seq, std::move(pending));
+    HETM_CHECK(inserted);
+    ScheduleRetx(self, peer, seq, it->second.rto_us);
+  }
+}
+
+void Network::ChannelFail(int self, int peer) {
+  Endpoint& ep = endpoints_[self];
+  auto cit = ep.send.find(peer);
+  if (cit == ep.send.end()) {
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "chan-fail %d->%d", self, peer);
+  Trace(world_->node(self).now_us(), buf);
+  std::vector<Message> undelivered;
+  undelivered.reserve(cit->second.unacked.size());
+  for (auto& [seq, pending] : cit->second.unacked) {
+    ep.retx_timers.erase(pending.timer_id);
+    undelivered.push_back(std::move(pending.msg));
+  }
+  ep.send.erase(cit);
+  world_->node(self).OnPeerUnreachable(peer, std::move(undelivered));
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
+  Endpoint& ep = endpoints_[pkt.to];
+  char buf[160];
+
+  // Deterministic crash triggers fire at the delivery instant; the frame dies with
+  // the node.
+  if (pkt.kind == 0 && ep.up) {
+    for (size_t i = 0; i < config_.fault.crash_triggers.size(); ++i) {
+      const CrashTrigger& t = config_.fault.crash_triggers[i];
+      if (t.node == pkt.to && t.on_type == pkt.msg.type) {
+        trigger_hits_[i] += 1;
+        if (trigger_hits_[i] == t.nth) {
+          CrashNode(pkt.to, time_us, t.restart_after_us);
+          return;
+        }
+      }
+    }
+  }
+  if (!ep.up) {
+    std::snprintf(buf, sizeof(buf), "lost-down %d->%d kind=%u seq=%u", pkt.from,
+                  pkt.to, pkt.kind, pkt.seq);
+    Trace(time_us, buf);
+    return;
+  }
+
+  Node& receiver = world_->node(pkt.to);
+  receiver.AdvanceTo(time_us);
+
+  if (Checksum(pkt) != pkt.checksum) {
+    receiver.meter().counters().corrupt_dropped += 1;
+    receiver.ChargeCycles(kTransportRecvCycles +
+                          pkt.msg.payload.size() * kChecksumPerByteCycles);
+    std::snprintf(buf, sizeof(buf), "checksum-drop %d->%d kind=%u seq=%u", pkt.from,
+                  pkt.to, pkt.kind, pkt.seq);
+    Trace(time_us, buf);
+    return;
+  }
+
+  RecvChannel& rch = ep.recv[pkt.from];
+  if (pkt.src_epoch < rch.peer_epoch) {
+    std::snprintf(buf, sizeof(buf), "stale-epoch %d->%d seq=%u", pkt.from, pkt.to,
+                  pkt.seq);
+    Trace(time_us, buf);
+    return;
+  }
+  if (pkt.src_epoch > rch.peer_epoch) {
+    rch.peer_epoch = pkt.src_epoch;
+    rch.expected = 1;
+    rch.peer_stream = pkt.stream;
+    rch.ooo.clear();
+  }
+  ObservePeerEpoch(pkt.to, pkt.from, pkt.src_epoch);
+
+  if (pkt.kind == 1) {
+    receiver.ChargeCycles(kAckPathCycles);
+    ProcessAck(pkt.to, pkt.from, pkt.ack, pkt.stream);
+    return;
+  }
+
+  receiver.ChargeCycles(kTransportRecvCycles +
+                        pkt.msg.payload.size() * kChecksumPerByteCycles);
+
+  if (pkt.stream < rch.peer_stream) {
+    std::snprintf(buf, sizeof(buf), "stale-stream %d->%d seq=%u", pkt.from, pkt.to,
+                  pkt.seq);
+    Trace(time_us, buf);
+    return;  // straggler from before a channel renumbering
+  }
+  if (pkt.stream > rch.peer_stream) {
+    // The sender renumbered its backlog (it observed our restart): everything
+    // buffered from the old numbering is void.
+    rch.peer_stream = pkt.stream;
+    rch.expected = 1;
+    rch.ooo.clear();
+  }
+
+  if (pkt.seq < rch.expected) {
+    receiver.meter().counters().dups_suppressed += 1;
+    std::snprintf(buf, sizeof(buf), "dup-suppress %d->%d seq=%u", pkt.from, pkt.to,
+                  pkt.seq);
+    Trace(time_us, buf);
+    SendAck(pkt.to, pkt.from, rch.expected - 1, rch.peer_stream, time_us);
+    return;
+  }
+  if (pkt.seq > rch.expected) {
+    if (!rch.ooo.emplace(pkt.seq, pkt.msg).second) {
+      receiver.meter().counters().dups_suppressed += 1;
+    }
+    SendAck(pkt.to, pkt.from, rch.expected - 1, rch.peer_stream, time_us);
+    return;
+  }
+
+  std::snprintf(buf, sizeof(buf), "deliver %d->%d seq=%u type=%d", pkt.from, pkt.to,
+                pkt.seq, static_cast<int>(pkt.msg.type));
+  Trace(time_us, buf);
+  // Drain the in-order run (this frame plus any buffered successors) and ack it
+  // BEFORE upper-layer processing: the ack means "the transport holds the frame",
+  // and handler work (class loading, code translation) can advance the receiver's
+  // clock by tens of simulated milliseconds — an ack stamped after that would fire
+  // the sender's RTO spuriously on a healthy channel.
+  std::vector<Message> deliverable;
+  deliverable.push_back(pkt.msg);
+  rch.expected += 1;
+  while (!rch.ooo.empty() && rch.ooo.begin()->first == rch.expected) {
+    Message queued = std::move(rch.ooo.begin()->second);
+    rch.ooo.erase(rch.ooo.begin());
+    std::snprintf(buf, sizeof(buf), "deliver %d->%d seq=%u type=%d (reordered)",
+                  pkt.from, pkt.to, rch.expected, static_cast<int>(queued.type));
+    Trace(time_us, buf);
+    deliverable.push_back(std::move(queued));
+    rch.expected += 1;
+  }
+  SendAck(pkt.to, pkt.from, rch.expected - 1, rch.peer_stream, time_us);
+  for (Message& m : deliverable) {
+    receiver.HandleMessage(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart
+// ---------------------------------------------------------------------------
+
+void Network::CrashNode(int node, double time_us, double restart_after_us) {
+  Endpoint& ep = endpoints_[node];
+  if (!ep.up) {
+    return;
+  }
+  ep.up = false;
+  ep.send.clear();
+  ep.recv.clear();
+  ep.retx_timers.clear();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "crash node=%d", node);
+  Trace(time_us, buf);
+  world_->node(node).OnCrash();
+  if (restart_after_us >= 0) {
+    world_->PushAdmin(time_us + restart_after_us, node, /*up=*/true);
+  }
+}
+
+void Network::OnAdminEvent(double time_us, int node, bool up) {
+  Endpoint& ep = endpoints_[node];
+  if (!up) {
+    CrashNode(node, time_us, /*restart_after_us=*/-1.0);
+    return;
+  }
+  if (ep.up) {
+    return;
+  }
+  ep.up = true;
+  ep.epoch += 1;
+  world_->node(node).AdvanceTo(time_us);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "restart node=%d epoch=%u", node, ep.epoch);
+  Trace(time_us, buf);
+}
+
+}  // namespace hetm

@@ -1,0 +1,170 @@
+// Reliable at-most-once transport over the faulty Ethernet of fault_plan.h.
+//
+// Sits between World::Send and Node::HandleMessage when enabled via
+// World::EnableNet. Three layers:
+//
+//   1. The fault model (FaultPlan): every frame — data or ack, original or
+//      retransmission — independently risks drop, duplication, extra delay
+//      (overtaking later frames) and corruption; nodes crash-stop and restart on a
+//      deterministic schedule.
+//   2. The reliable channel: per ordered node-pair sequence numbers, cumulative
+//      acks, out-of-order buffering, per-frame retransmit timers with exponential
+//      backoff and a retry cap, duplicate suppression, an FNV-1a checksum, and
+//      incarnation epochs so a restarted receiver is re-synchronized instead of
+//      deadlocking on its lost sequence state. All protocol work is charged to the
+//      owning node's CostMeter (kTransport*Cycles), so reliability overhead shows
+//      up in the benchmarks.
+//   3. Failure reporting: when a frame exhausts its retries the channel declares
+//      the peer unreachable and hands every undelivered message back to the sending
+//      node (Node::OnPeerUnreachable), which aborts move handshakes or re-routes
+//      object traffic. The fault model's random faults are transient, so a retry
+//      cap deep enough (max_attempts) makes "unreachable" equivalent to "crashed" —
+//      the invariant the at-most-once move handshake leans on. True network
+//      partitions are out of scope (ROADMAP open item).
+//
+// Determinism: all randomness comes from the FaultPlan's seeded PRNG, and every
+// frame transmission consumes a fixed number of draws regardless of which faults
+// hit, so the schedule never depends on float comparison shortcuts. The trace()
+// string records every fault and delivery decision for replay comparison.
+#ifndef HETM_SRC_NET_TRANSPORT_H_
+#define HETM_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/fault_plan.h"
+#include "src/runtime/messages.h"
+
+namespace hetm {
+
+class World;
+
+// Tuning knobs of the reliable channel and the handshake/recovery machinery.
+struct NetConfig {
+  FaultPlan fault;
+  // Retransmission: initial timeout, multiplicative backoff, attempt cap. The cap
+  // must be deep enough that P(all attempts lost) is negligible at the configured
+  // drop rate — "peer unreachable" must mean "peer crashed".
+  double rto_us = 15000.0;
+  double rto_backoff = 2.0;
+  int max_attempts = 10;
+  // Move handshake: how long the source waits for kMoveCommit before querying the
+  // destination, and how many queries before it presumes the destination dead.
+  double move_timeout_us = 80000.0;
+  int move_query_attempts = 6;
+  // Location rebuild: broadcast retry spacing and cap.
+  double locate_retry_us = 12000.0;
+  int locate_attempts = 6;
+  // Stale-hint chases before an object-routed message falls back to a locate
+  // broadcast instead of following hints further.
+  int max_forward_hops = 8;
+  bool trace = true;  // record the event trace (tests); benches switch it off
+};
+
+// One frame on the wire. kind 0 = data (carries a Message), kind 1 = pure ack.
+struct NetPacket {
+  int from = -1;
+  int to = -1;
+  uint8_t kind = 0;
+  uint32_t seq = 0;        // data: channel sequence number
+  uint32_t ack = 0;        // ack: cumulative highest-in-order-received
+  uint32_t src_epoch = 1;  // sender's incarnation number
+  // Channel numbering generation: bumped when the sender renumbers its backlog
+  // after a peer restart, so stragglers from the old numbering (and acks for it)
+  // are recognizably stale instead of colliding with the new sequence space.
+  uint32_t stream = 1;
+  uint64_t checksum = 0;
+  size_t wire_bytes = 0;
+  Message msg;
+};
+
+// Timer kinds multiplexed over World's timer events.
+inline constexpr uint8_t kTimerNetRetx = 0;      // id = transport timer id
+inline constexpr uint8_t kTimerMoveCheck = 1;    // id = move id
+inline constexpr uint8_t kTimerLocateRetry = 2;  // id = object oid
+
+class Network {
+ public:
+  Network(World* world, NetConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Schedules the FaultPlan's timed crash events. Called once from EnableNet after
+  // all nodes exist.
+  void Start();
+
+  // Entry point from World::Send: enqueue `msg` on the from->to channel.
+  void Submit(int from, int to, Message msg);
+
+  // Event-loop callbacks (World::Run dispatch).
+  void OnPacketEvent(double time_us, const NetPacket& pkt);
+  void OnRetxTimer(double time_us, int node, uint64_t timer_id);
+  void OnAdminEvent(double time_us, int node, bool up);
+
+  bool NodeUp(int node) const;
+  // True while the node->peer channel still has frames awaiting ack — i.e. the
+  // transport has not yet decided between "delivered" and "peer unreachable". The
+  // move handshake waits on this instead of declaring a stall prematurely.
+  bool HasUnacked(int node, int peer) const;
+  const NetConfig& config() const { return config_; }
+  const std::string& trace() const { return trace_; }
+
+ private:
+  struct Pending {
+    Message msg;
+    int attempts = 1;  // transmissions so far
+    double rto_us = 0.0;
+    uint64_t timer_id = 0;
+  };
+  struct SendChannel {
+    uint32_t next_seq = 1;
+    uint32_t stream = 1;
+    uint32_t peer_epoch_seen = 0;  // 0 = nothing heard from the peer yet
+    std::map<uint32_t, Pending> unacked;
+  };
+  struct RecvChannel {
+    uint32_t expected = 1;
+    uint32_t peer_epoch = 0;
+    uint32_t peer_stream = 1;
+    std::map<uint32_t, Message> ooo;  // buffered out-of-order data
+  };
+  struct Endpoint {
+    bool up = true;
+    uint32_t epoch = 1;
+    std::map<int, SendChannel> send;  // by peer
+    std::map<int, RecvChannel> recv;  // by peer
+    uint64_t next_timer_id = 1;
+    std::map<uint64_t, std::pair<int, uint32_t>> retx_timers;  // id -> (peer, seq)
+  };
+
+  static uint64_t Checksum(const NetPacket& pkt);
+  void TransmitData(int from, int to, uint32_t seq, const Message& msg);
+  // `at_us` stamps the ack at the delivery instant (interrupt-level protocol
+  // processing), independent of the receiver's runtime clock.
+  void SendAck(int from, int to, uint32_t cumulative, uint32_t stream, double at_us);
+  // Applies the fault model (fixed PRNG draw count) and pushes surviving copies
+  // into the world queue.
+  void EmitFrame(NetPacket pkt, double base_us = -1.0);
+  void ProcessAck(int self, int peer, uint32_t ack, uint32_t stream);
+  void ObservePeerEpoch(int self, int peer, uint32_t epoch);
+  void ResetSendChannel(int self, int peer);
+  void ScheduleRetx(int self, int peer, uint32_t seq, double delay_us);
+  void ChannelFail(int self, int peer);
+  void CrashNode(int node, double time_us, double restart_after_us);
+  void Trace(double time_us, const std::string& line);
+
+  World* world_;
+  NetConfig config_;
+  NetRng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> trigger_hits_;  // per FaultPlan::crash_triggers entry
+  std::string trace_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_NET_TRANSPORT_H_

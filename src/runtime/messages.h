@@ -4,6 +4,7 @@
 #ifndef HETM_SRC_RUNTIME_MESSAGES_H_
 #define HETM_SRC_RUNTIME_MESSAGES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,12 +15,36 @@
 
 namespace hetm {
 
+// Fixed per-message packet header on the Ethernet: type, routing oids/segments,
+// source node, handshake ids. Shared by WireSize() and the transport layer's
+// frame-size accounting.
+inline constexpr size_t kPacketHeaderBytes = 32;
+// Extra bytes the reliable channel prepends to every frame: sequence number,
+// cumulative ack, incarnation epoch, checksum (src/net/transport.h). Pure-control
+// frames (acks) carry kPacketHeaderBytes + kTransportHeaderBytes and no payload.
+inline constexpr size_t kTransportHeaderBytes = 16;
+
 enum class MsgType : uint8_t {
   kInvoke,          // remote invocation request, routed by object OID
   kReply,           // invocation result / cross-segment return, routed by segment
   kMoveObject,      // an object plus every thread fragment executing inside it
   kMoveRequest,     // ask the object's host to move it (remote `move` statement)
   kLocationUpdate,  // tell an object's birth node where it now lives
+  // --- at-most-once move handshake (src/net; only sent when a Network is on) ---
+  kMovePrepare,     // source -> dest: reserve the object, queue its traffic
+  kMoveCommit,      // dest -> source: transfer installed, release the limbo copy
+  kMoveQuery,       // source -> dest: commit never arrived; what happened?
+  kMoveVerdict,     // dest -> source: committed / pending / unknown
+  // --- crash recovery: rebuilding location hints after a restart ---
+  kLocateQuery,     // broadcast: does anyone host (or own-in-limbo) this object?
+  kLocateReply,     // answer, location in dest_node_arg (-1 = not here)
+};
+
+// HandleMoveQuery answers one of these; carried in Message::verdict.
+enum class MoveVerdict : uint8_t {
+  kUnknown = 0,    // no record of the move (receiver lost its state: crashed)
+  kPending = 1,    // prepared but the transfer has not been installed yet
+  kCommitted = 2,  // installed; the ownership record names this move id
 };
 
 struct Message {
@@ -29,7 +54,14 @@ struct Message {
   // segment-addressed messages follow segment forwarding hints.
   Oid route_oid = kNilOid;
   SegRef route_seg;
-  int dest_node_arg = -1;  // kMoveRequest: where the object should go
+  int dest_node_arg = -1;  // kMoveRequest: where to; kLocateReply: found where
+  // Move-handshake correlation id (kMovePrepare/kMoveObject/kMoveCommit/kMoveQuery/
+  // kMoveVerdict). 0 on the direct (transport-less) path.
+  uint32_t move_id = 0;
+  MoveVerdict verdict = MoveVerdict::kUnknown;  // kMoveVerdict only
+  // Hops this object-routed message has chased stale location hints; bounded by
+  // NetConfig::max_forward_hops before falling back to a locate broadcast.
+  int forward_hops = 0;
   // Payload encoding parameters (the receiver must decode with the same strategy
   // and, for kRaw, the same architecture).
   ConversionStrategy strategy = ConversionStrategy::kNaive;
@@ -37,7 +69,7 @@ struct Message {
   std::vector<uint8_t> payload;
 
   // Bytes on the Ethernet: payload plus the fixed header.
-  size_t WireSize() const { return payload.size() + 32; }
+  size_t WireSize() const { return payload.size() + kPacketHeaderBytes; }
 };
 
 }  // namespace hetm

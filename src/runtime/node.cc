@@ -51,6 +51,14 @@ const CodeRegistry::Entry& Node::EntryFor(Oid code_oid) {
   return *entry;
 }
 
+const CodeRegistry::Entry* Node::TryEntryFor(Oid code_oid) {
+  const CodeRegistry::Entry* entry = world_->code().Find(code_oid);
+  if (entry != nullptr) {
+    EnsureClassLoaded(*entry);
+  }
+  return entry;
+}
+
 void Node::EnsureClassLoaded(const CodeRegistry::Entry& entry) {
   if (!loaded_classes_.insert(entry.cls->code_oid).second) {
     return;
@@ -410,30 +418,51 @@ Node::RunOutcome Node::ExecuteTop(Segment& seg) {
         WriteIntOpn(ar, m.dst, r ? 1 : 0);
         break;
       }
+      // Field access validates residency and image bounds instead of asserting:
+      // a corrupted self reference in a decoded activation record must surface as
+      // a runtime error, not a kernel abort (decoder-robustness requirement).
       case MKind::kGetF: {
         EmObject* obj = FindLocal(ar.self);
-        HETM_CHECK(obj != nullptr);
+        if (obj == nullptr || obj->fields.size() < static_cast<size_t>(m.imm) + 4) {
+          RuntimeError("field access on an invalid object");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
         WriteIntOpn(ar, m.dst,
                     Load32(&obj->fields[m.imm], GetArchInfo(arch()).byte_order));
         break;
       }
       case MKind::kSetF: {
         EmObject* obj = FindLocal(ar.self);
-        HETM_CHECK(obj != nullptr);
+        if (obj == nullptr || obj->fields.size() < static_cast<size_t>(m.imm) + 4) {
+          RuntimeError("field access on an invalid object");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
         Store32(&obj->fields[m.imm], ReadIntOpn(ar, m.a),
                 GetArchInfo(arch()).byte_order);
         break;
       }
       case MKind::kGetFD: {
         EmObject* obj = FindLocal(ar.self);
-        HETM_CHECK(obj != nullptr && m.dst.kind == MOpnKind::kSlot);
+        HETM_CHECK(m.dst.kind == MOpnKind::kSlot);
+        if (obj == nullptr || obj->fields.size() < static_cast<size_t>(m.imm) + 8) {
+          RuntimeError("field access on an invalid object");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
         std::copy(obj->fields.begin() + m.imm, obj->fields.begin() + m.imm + 8,
                   ar.frame.begin() + m.dst.v);
         break;
       }
       case MKind::kSetFD: {
         EmObject* obj = FindLocal(ar.self);
-        HETM_CHECK(obj != nullptr && m.a.kind == MOpnKind::kSlot);
+        HETM_CHECK(m.a.kind == MOpnKind::kSlot);
+        if (obj == nullptr || obj->fields.size() < static_cast<size_t>(m.imm) + 8) {
+          RuntimeError("field access on an invalid object");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
         std::copy(ar.frame.begin() + m.a.v, ar.frame.begin() + m.a.v + 8,
                   obj->fields.begin() + m.imm);
         break;
@@ -451,11 +480,19 @@ Node::RunOutcome Node::ExecuteTop(Segment& seg) {
         }
         break;
       case MKind::kRemque:
-      case MKind::kMonExitTrap:
+      case MKind::kMonExitTrap: {
         // Monitor exit: atomic single instruction on VAX (kRemque, no kernel entry
         // observable), kernel trap elsewhere. Semantics identical.
-        MonitorExitInline(ReadIntOpn(ar, m.a));
+        Oid moid = ReadIntOpn(ar, m.a);
+        EmObject* mobj = FindLocal(moid);
+        if (mobj == nullptr || mobj->is_string || mobj->monitor.depth == 0) {
+          RuntimeError("monitor exit on an object not held");
+          segments_.erase(seg.id);
+          return RunOutcome::kDead;
+        }
+        MonitorExitInline(moid);
         break;
+      }
       case MKind::kCall: {
         TrapOutcome t = HandleCall(seg, {&seg, entry, op, code, stint}, m.site, next);
         switch (t) {
@@ -474,6 +511,12 @@ Node::RunOutcome Node::ExecuteTop(Segment& seg) {
         const TrapSiteInfo& site = op->ir[0].trap_sites[m.site];
         if (site.kind == TrapKind::kMonEnter) {
           Value obj = ReadCellValue(arch(), *op, ar, site.arg_cells[0]);
+          EmObject* mobj = FindLocal(obj.oid);
+          if (mobj == nullptr || mobj->is_string) {
+            RuntimeError("monitor entry on a non-resident object");
+            segments_.erase(seg.id);
+            return RunOutcome::kDead;
+          }
           if (MonitorEnter(seg, obj.oid)) {
             break;  // acquired: fall through to pc = next
           }
@@ -803,14 +846,22 @@ Node::TrapOutcome Node::HandleTrap(Segment& seg, const ExecCtx& ctx,
     case TrapKind::kConcat: {
       const EmObject* a = FindLocal(arg(0).oid);
       const EmObject* b = FindLocal(arg(1).oid);
-      HETM_CHECK(a != nullptr && a->is_string && b != nullptr && b->is_string);
+      if (a == nullptr || !a->is_string || b == nullptr || !b->is_string) {
+        RuntimeError("string operation on a non-string value");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
       ChargeCycles(kSyscallBodyCycles + (a->str.size() + b->str.size()) * 2);
       deposit(Value::Str(InternNewString(a->str + b->str)));
       return TrapOutcome::kContinue;
     }
     case TrapKind::kStrLen: {
       const EmObject* s = FindLocal(arg(0).oid);
-      HETM_CHECK(s != nullptr && s->is_string);
+      if (s == nullptr || !s->is_string) {
+        RuntimeError("string operation on a non-string value");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
       ChargeCycles(kSyscallBodyCycles);
       deposit(Value::Int(static_cast<int32_t>(s->str.size())));
       return TrapOutcome::kContinue;
@@ -818,7 +869,11 @@ Node::TrapOutcome Node::HandleTrap(Segment& seg, const ExecCtx& ctx,
     case TrapKind::kStrEq: {
       const EmObject* a = FindLocal(arg(0).oid);
       const EmObject* b = FindLocal(arg(1).oid);
-      HETM_CHECK(a != nullptr && a->is_string && b != nullptr && b->is_string);
+      if (a == nullptr || !a->is_string || b == nullptr || !b->is_string) {
+        RuntimeError("string operation on a non-string value");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
       ChargeCycles(kSyscallBodyCycles + a->str.size());
       deposit(Value::Bool(a->str == b->str));
       return TrapOutcome::kContinue;

@@ -62,6 +62,20 @@ class Node {
   void Pump();  // runs until no segment on this node is runnable
   void HandleMessage(const Message& msg);
 
+  // --- failure / recovery hooks (reliable transport, src/net) -----------------
+  // The channel to `peer` exhausted its retries: `undelivered` holds every message
+  // that never got through, in send order. Aborts affected move handshakes and
+  // re-routes object traffic.
+  void OnPeerUnreachable(int peer, std::vector<Message> undelivered);
+  // Crash-stop: every piece of volatile runtime state is lost. The meter (and thus
+  // the clock) survives — simulated time is monotonic across the outage.
+  void OnCrash();
+  // Handshake / recovery timers (dispatched through the world event queue).
+  void OnMoveTimer(uint32_t move_id);
+  void OnLocateTimer(Oid oid);
+  // Non-string objects currently living here (the tests' exactly-one-copy probe).
+  std::vector<Oid> ResidentUserObjects() const;
+
   // --- object services (also used by tests and the facade) --------------------
   Oid CreateObject(Oid class_oid);
   Oid InternNewString(const std::string& content);
@@ -150,8 +164,48 @@ class Node {
   void WriteStringSection(WireWriter& w, const std::vector<Oid>& closure) const;
   void ReadStringSection(WireReader& r);
 
+  // At-most-once move handshake (transport mode; see DESIGN.md "Network and
+  // failure model"). The source keeps the object and its moving segments in limbo
+  // until the destination's kMoveCommit; the destination records completed move ids
+  // (the ownership-handoff record) so a re-queried handshake answers consistently.
+  struct PendingMove {
+    uint32_t id = 0;
+    Oid obj = kNilOid;
+    int dest = -1;
+    std::unique_ptr<EmObject> limbo_obj;
+    std::vector<Segment> limbo_segs;
+    std::vector<Message> queued;  // object/segment traffic held during the handshake
+    int queries_left = 0;
+  };
+  struct Reservation {
+    uint32_t move_id = 0;
+    int src = -1;
+  };
+  struct PendingLocate {
+    std::vector<Message> queued;
+    int outstanding = 0;
+    int attempts_left = 0;
+    uint32_t round = 0;
+  };
+  bool TransportActive() const;
+  Message MakeControl(MsgType type, Oid route_oid, uint32_t move_id);
+  void HandleMovePrepare(const Message& msg);
+  void HandleMoveCommit(const Message& msg);
+  void HandleMoveQuery(const Message& msg);
+  void HandleMoveVerdict(const Message& msg);
+  void HandleLocateQuery(const Message& msg);
+  void HandleLocateReply(const Message& msg);
+  void CommitMove(uint32_t move_id);
+  void AbortMove(uint32_t move_id);
+  void StartLocate(Oid oid, const Message& original);
+  void BroadcastLocate(Oid oid);
+  void FinishLocateRound(Oid oid);
+
   // Class/code management.
   const CodeRegistry::Entry& EntryFor(Oid code_oid);
+  // Like EntryFor but returns nullptr for unknown code OIDs (wire-decode paths,
+  // where a bad OID is corrupt data rather than a kernel bug).
+  const CodeRegistry::Entry* TryEntryFor(Oid code_oid);
   void EnsureClassLoaded(const CodeRegistry::Entry& entry);
 
   // Value rendering for `print`.
@@ -178,6 +232,16 @@ class Node {
     }
   }
   std::unordered_map<const ArchOpCode*, std::unordered_map<uint32_t, MicroOp>> decode_cache_;
+
+  // Handshake / recovery state (populated only in transport mode).
+  std::unordered_map<uint32_t, PendingMove> pending_moves_;  // by move id (source)
+  std::unordered_map<Oid, uint32_t> moving_out_;             // object -> move id
+  std::map<SegId, uint32_t> limbo_seg_index_;                // limbo seg -> move id
+  std::unordered_map<Oid, Reservation> incoming_moves_;      // prepared (dest side)
+  std::unordered_map<uint32_t, uint8_t> move_log_;  // ownership record: installed ids
+  std::unordered_map<Oid, std::vector<Message>> reserved_queues_;  // held at dest
+  std::unordered_map<Oid, PendingLocate> locating_;
+  uint32_t next_move_seq_ = 1;
 
   uint32_t next_oid_counter_ = 1;
   uint32_t next_thread_seq_ = 1;

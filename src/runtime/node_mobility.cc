@@ -1,6 +1,25 @@
 // Mobility half of the node kernel: moving objects and the native-code threads
 // executing inside them (sections 2.2, 3.5), remote invocation delivery, replies,
 // and location forwarding.
+//
+// Two transport regimes. On the original direct path (no Network installed) a move
+// is ship-and-forget, exactly as the paper's system worked on its reliable LAN. In
+// transport mode (World::EnableNet) a move is an at-most-once handshake:
+//
+//   source                         destination
+//     kMovePrepare   ------------>   reserve oid, queue its traffic
+//     kMoveObject    ------------>   validate, install, record move id
+//                    <------------   kMoveCommit
+//     release limbo copy
+//
+// The source keeps the object and the moving segments in limbo (owning them for
+// queries and aborts) until the commit; prepare and transfer ride the same FIFO
+// reliable channel, so the reservation is always in place when the transfer lands.
+// If the commit never arrives the source queries (kMoveQuery/kMoveVerdict); a
+// verdict of kUnknown — the destination lost its state, i.e. crashed — or a
+// channel failure aborts the move and reinstalls the limbo copy locally. A crashed
+// destination loses its volatile install, so exactly one live copy survives any
+// schedule the fault model can produce.
 #include <algorithm>
 
 #include "src/arch/calibration.h"
@@ -8,6 +27,7 @@
 #include "src/mobility/ar_codec.h"
 #include "src/mobility/busstop_xlate.h"
 #include "src/mobility/object_codec.h"
+#include "src/net/transport.h"
 #include "src/runtime/node.h"
 #include "src/sim/world.h"
 #include "src/support/check.h"
@@ -16,7 +36,13 @@ namespace hetm {
 
 namespace {
 
-const IrInstr* FindStopInstr(const IrFunction& fn, int stop) {
+// Sanity caps on wire-decoded counts: anything larger is corrupt data, not a
+// plausible program (guards allocation amplification before the per-item reads
+// start failing on their own).
+constexpr uint16_t kMaxWireSegments = 1024;
+constexpr int32_t kMaxWireMonitorDepth = 1024;
+
+const IrInstr* TryFindStopInstr(const IrFunction& fn, int stop) {
   if (stop == 0) {
     return nullptr;
   }
@@ -25,7 +51,11 @@ const IrInstr* FindStopInstr(const IrFunction& fn, int stop) {
       return &in;
     }
   }
-  HETM_UNREACHABLE("stop without instruction");
+  return nullptr;
+}
+
+bool KindCompatible(ValueKind cell_kind, ValueKind value_kind) {
+  return IsReference(cell_kind) ? IsReference(value_kind) : value_kind == cell_kind;
 }
 
 }  // namespace
@@ -34,11 +64,24 @@ const IrInstr* FindStopInstr(const IrFunction& fn, int stop) {
 // Messaging plumbing
 // ---------------------------------------------------------------------------
 
+bool Node::TransportActive() const { return world_->net() != nullptr; }
+
 void Node::SendMessage(int to_node, Message msg) {
   meter_.counters().messages_sent += 1;
   meter_.counters().bytes_sent += msg.WireSize();
   ChargeCycles(kMsgPathCycles);
   world_->Send(index_, to_node, std::move(msg));
+}
+
+Message Node::MakeControl(MsgType type, Oid route_oid, uint32_t move_id) {
+  Message m;
+  m.type = type;
+  m.src_node = index_;
+  m.route_oid = route_oid;
+  m.move_id = move_id;
+  m.strategy = world_->strategy();
+  m.payload_arch = arch();
+  return m;
 }
 
 void Node::HandleMessage(const Message& msg) {
@@ -59,12 +102,55 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kLocationUpdate:
       HandleLocationUpdate(msg);
       return;
+    case MsgType::kMovePrepare:
+      HandleMovePrepare(msg);
+      return;
+    case MsgType::kMoveCommit:
+      HandleMoveCommit(msg);
+      return;
+    case MsgType::kMoveQuery:
+      HandleMoveQuery(msg);
+      return;
+    case MsgType::kMoveVerdict:
+      HandleMoveVerdict(msg);
+      return;
+    case MsgType::kLocateQuery:
+      HandleLocateQuery(msg);
+      return;
+    case MsgType::kLocateReply:
+      HandleLocateReply(msg);
+      return;
   }
   HETM_UNREACHABLE("bad MsgType");
 }
 
 bool Node::ForwardByObject(const Message& msg) {
+  if (TransportActive()) {
+    // Mid-handshake traffic parks on the handshake instead of chasing hints: the
+    // object is in limbo here (outbound) or reserved here (inbound), and racing a
+    // retransmitted transfer would ping-pong forever.
+    auto out = moving_out_.find(msg.route_oid);
+    if (out != moving_out_.end()) {
+      pending_moves_.at(out->second).queued.push_back(msg);
+      return true;
+    }
+    if (incoming_moves_.count(msg.route_oid) != 0) {
+      reserved_queues_[msg.route_oid].push_back(msg);
+      return true;
+    }
+  }
   int loc = ProbableLocation(msg.route_oid);
+  if (TransportActive()) {
+    const NetConfig& cfg = world_->net()->config();
+    if (loc == index_ || msg.forward_hops >= cfg.max_forward_hops) {
+      StartLocate(msg.route_oid, msg);
+      return true;
+    }
+    Message fwd = msg;
+    fwd.forward_hops += 1;
+    SendMessage(loc, std::move(fwd));
+    return true;
+  }
   if (loc == index_) {
     world_->SetError("object " + std::to_string(msg.route_oid) +
                      " lost: no forwarding information");
@@ -82,8 +168,11 @@ void Node::CollectStringsFromValue(const Value& v, std::vector<Oid>& closure) co
     return;
   }
   const EmObject* s = FindLocal(v.oid);
-  HETM_CHECK_MSG(s != nullptr && s->is_string,
-                 "string content must be resident where its reference is used");
+  if (s == nullptr || !s->is_string) {
+    // A corrupted string reference that slipped through decoding: marshal the bare
+    // oid without content; any use of it at the receiver is a soft runtime error.
+    return;
+  }
   closure.push_back(v.oid);
 }
 
@@ -102,6 +191,16 @@ void Node::ReadStringSection(WireReader& r) {
   for (uint16_t i = 0; i < count; ++i) {
     Oid oid = r.Oid32();
     std::string content = r.Str();
+    if (!r.ok()) {
+      return;
+    }
+    // A corrupted oid colliding with an existing object (or an existing string of
+    // different content) is malformed input, not an interning conflict.
+    const EmObject* existing = FindLocal(oid);
+    if (existing != nullptr && (!existing->is_string || existing->str != content)) {
+      r.Fail();
+      return;
+    }
     InstallString(oid, content);
   }
 }
@@ -131,14 +230,29 @@ void Node::HandleInvoke(const Message& msg) {
   }
   ReadStringSection(r);
   r.FinishMessage();
-  HETM_CHECK(target == msg.route_oid);
+  if (!r.ok() || target != msg.route_oid) {
+    RuntimeError("malformed invoke payload");
+    return;
+  }
 
   EmObject* obj = FindLocal(target);
-  HETM_CHECK(obj != nullptr && !obj->is_string);
+  if (obj == nullptr || obj->is_string) {
+    RuntimeError("invoke target is not a user object");
+    return;
+  }
   const CodeRegistry::Entry& entry = EntryFor(obj->code_oid);
   int op_index = entry.cls->FindOp(op_name);
   if (op_index < 0) {
     RuntimeError("class " + entry.cls->name + " has no operation '" + op_name + "'");
+    return;
+  }
+  const IrFunction& fn = entry.cls->ops[op_index].ir[0];
+  bool args_valid = static_cast<int>(args.size()) == fn.num_params;
+  for (int i = 0; args_valid && i < fn.num_params; ++i) {
+    args_valid = KindCompatible(fn.cells[i].kind, args[i].kind);
+  }
+  if (!args_valid) {
+    RuntimeError("malformed invoke payload");
     return;
   }
   ChargeCycles(kInvokeFixedDestCycles);
@@ -161,16 +275,31 @@ void Node::HandleInvoke(const Message& msg) {
 void Node::HandleReply(const Message& msg) {
   auto it = segments_.find(msg.route_seg.id);
   if (it == segments_.end()) {
+    if (TransportActive()) {
+      // The addressed segment is in limbo mid-handshake: park the reply on the
+      // move; it is redelivered locally on abort or forwarded on commit.
+      auto limbo = limbo_seg_index_.find(msg.route_seg.id);
+      if (limbo != limbo_seg_index_.end()) {
+        pending_moves_.at(limbo->second).queued.push_back(msg);
+        return;
+      }
+    }
     // The segment moved on: follow the forwarding hint.
     auto hint = seg_hint_.find(msg.route_seg.id);
-    HETM_CHECK_MSG(hint != seg_hint_.end(), "reply for an unknown segment");
+    if (hint == seg_hint_.end()) {
+      RuntimeError("reply for an unknown segment");
+      return;
+    }
     Message fwd = msg;
     fwd.route_seg.node = hint->second;
     SendMessage(hint->second, std::move(fwd));
     return;
   }
   Segment& seg = it->second;
-  HETM_CHECK(seg.state == SegState::kAwaitingReply);
+  if (seg.state != SegState::kAwaitingReply) {
+    RuntimeError("reply for a segment that is not awaiting one");
+    return;
+  }
 
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
   bool has_value = r.U8() != 0;
@@ -180,6 +309,10 @@ void Node::HandleReply(const Message& msg) {
   }
   ReadStringSection(r);
   r.FinishMessage();
+  if (!r.ok()) {
+    RuntimeError("malformed reply payload");
+    return;
+  }
   if (r.strategy() != ConversionStrategy::kRaw) {
     ChargeCycles(kEnhancedInvokeFixedCycles);
   }
@@ -190,6 +323,10 @@ void Node::HandleReply(const Message& msg) {
     const OpInfo& op = entry.cls->ops[top.op_index];
     const CallSiteInfo& cs = op.ir[0].call_sites[top.pending_call_site];
     if (cs.result_cell >= 0) {
+      if (!KindCompatible(op.ir[0].cells[cs.result_cell].kind, result.kind)) {
+        RuntimeError("malformed reply payload");
+        return;
+      }
       WriteCellValue(arch(), op, top, cs.result_cell, result);
     }
   }
@@ -277,30 +414,68 @@ void Node::MarshalSegment(const Segment& seg, WireWriter& w,
 }
 
 ActivationRecord Node::UnmarshalAr(WireReader& r) {
+  ActivationRecord ar;
   Oid self = r.Oid32();
   Oid code_oid = r.Oid32();
   int op_index = r.U16();
-  OptLevel sem = static_cast<OptLevel>(r.U8());
+  uint8_t sem_byte = r.U8();
   int stop = r.U16();
-
-  const CodeRegistry::Entry& entry = EntryFor(code_oid);
-  const OpInfo& op = entry.cls->ops[op_index];
-  ActivationRecord ar = MakeActivation(arch(), code_oid, op_index, op, self);
+  if (!r.ok()) {
+    return ar;
+  }
+  // Decode-then-validate: every index from the wire is checked against this node's
+  // view of the program before it selects anything.
+  const CodeRegistry::Entry* entry = TryEntryFor(code_oid);
+  if (entry == nullptr || op_index >= static_cast<int>(entry->cls->ops.size()) ||
+      sem_byte >= kNumOptLevels) {
+    r.Fail();
+    return ar;
+  }
+  OptLevel sem = static_cast<OptLevel>(sem_byte);
+  const OpInfo& op = entry->cls->ops[op_index];
+  if (stop >= static_cast<int>(op.Code(arch(), opt_).stops.size()) ||
+      stop >= static_cast<int>(op.Code(arch(), sem).stops.size())) {
+    r.Fail();
+    return ar;
+  }
+  const IrInstr* stop_instr = TryFindStopInstr(op.ir[0], stop);
+  if (stop != 0 && stop_instr == nullptr) {
+    r.Fail();
+    return ar;
+  }
+  ar = MakeActivation(arch(), code_oid, op_index, op, self);
   ChargeCycles(kArTemplateWalkCycles);
 
   if (r.strategy() == ConversionStrategy::kRaw) {
-    ar.pc = r.U32();
+    uint32_t pc = r.U32();
     uint16_t frame_size = r.U16();
-    HETM_CHECK(frame_size == ar.frame.size());
+    if (!r.ok() || frame_size != ar.frame.size()) {
+      r.Fail();
+      return ar;
+    }
+    // A blitted pc must name an instruction boundary in this code image.
+    const ArchOpCode& code = op.Code(arch(), opt_);
+    if (std::find(code.instr_pc.begin(), code.instr_pc.end(), pc) ==
+        code.instr_pc.end()) {
+      r.Fail();
+      return ar;
+    }
+    ar.pc = pc;
     r.Blit(ar.frame.data(), frame_size);
     uint16_t regs = r.U16();
-    HETM_CHECK(regs == ar.regs.size());
+    if (!r.ok() || regs != ar.regs.size()) {
+      r.Fail();
+      return ar;
+    }
     for (uint16_t i = 0; i < regs; ++i) {
       ar.regs[i] = r.U32();
     }
     ar.sem_opt = opt_;
   } else {
     UnmarshalArCells(arch(), op, ar, r);
+    if (!r.ok()) {
+      return ar;
+    }
     if (sem == opt_) {
       ar.pc = StopToPc(op.Code(arch(), opt_), stop, &meter_);
       ar.sem_opt = opt_;
@@ -315,7 +490,6 @@ ActivationRecord Node::UnmarshalAr(WireReader& r) {
   }
 
   // Rederive the pending call site from the stop (resume metadata is not wire data).
-  const IrInstr* stop_instr = FindStopInstr(op.ir[0], stop);
   if (stop_instr != nullptr && stop_instr->kind == IrKind::kCall) {
     ar.pending_call_site = stop_instr->site;
   }
@@ -333,14 +507,23 @@ Segment Node::UnmarshalSegment(WireReader& r) {
     seg.down.id.thread.seq = r.U32();
     seg.down.id.seg = r.U32();
   }
-  seg.state = static_cast<SegState>(r.U8());
+  uint8_t state_byte = r.U8();
   seg.blocked_monitor = r.Oid32();
   uint16_t count = r.U16();
+  if (!r.ok() || state_byte > static_cast<uint8_t>(SegState::kBlockedMonitor) ||
+      count == 0 || count > kMaxWireSegments) {
+    r.Fail();
+    return seg;
+  }
+  seg.state = static_cast<SegState>(state_byte);
   size_t frame_bytes = 0;
   std::vector<ActivationRecord> youngest_first;
   youngest_first.reserve(count);
   for (uint16_t i = 0; i < count; ++i) {
     youngest_first.push_back(UnmarshalAr(r));
+    if (!r.ok()) {
+      return seg;
+    }
     frame_bytes += youngest_first.back().frame.size();
   }
   // Records were converted youngest-first; the stack is stored oldest-first, so the
@@ -362,7 +545,10 @@ void Node::InstallSegment(Segment seg) {
   }
   bool runnable = seg.state == SegState::kRunnable;
   auto [it, inserted] = segments_.emplace(id, std::move(seg));
-  HETM_CHECK_MSG(inserted, "segment id collision on install");
+  if (!inserted) {
+    RuntimeError("segment id collision on install");
+    return;
+  }
   if (runnable) {
     EnqueueRunnable(id);
   }
@@ -485,58 +671,156 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   }
   meter_.counters().moves += 1;
 
-  // --- 3. Ship and forget ---
-  heap_.erase(obj_oid);
+  if (!TransportActive()) {
+    // --- 3a. Direct path: ship and forget ---
+    heap_.erase(obj_oid);
+    location_hint_[obj_oid] = dest_node;
+    Message msg;
+    msg.type = MsgType::kMoveObject;
+    msg.src_node = index_;
+    msg.route_oid = obj_oid;
+    msg.strategy = world_->strategy();
+    msg.payload_arch = arch();
+    msg.payload = w.Take();
+    SendMessage(dest_node, std::move(msg));
+    return thread_moved;
+  }
+
+  // --- 3b. Transport path: at-most-once handshake. Prepare and transfer ride the
+  // same FIFO channel; the object and the moving segments go into limbo until the
+  // destination commits.
+  uint32_t move_id = (static_cast<uint32_t>(index_ + 1) << 20) + next_move_seq_++;
+  PendingMove pm;
+  pm.id = move_id;
+  pm.obj = obj_oid;
+  pm.dest = dest_node;
+  auto heap_node = heap_.extract(obj_oid);
+  pm.limbo_obj = std::move(heap_node.mapped());
+  pm.limbo_segs = std::move(moving);
+  pm.queries_left = world_->net()->config().move_query_attempts;
   location_hint_[obj_oid] = dest_node;
+  moving_out_[obj_oid] = move_id;
+  for (const Segment& s : pm.limbo_segs) {
+    limbo_seg_index_[s.id] = move_id;
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  SendMessage(dest_node, MakeControl(MsgType::kMovePrepare, obj_oid, move_id));
   Message msg;
   msg.type = MsgType::kMoveObject;
   msg.src_node = index_;
   msg.route_oid = obj_oid;
+  msg.move_id = move_id;
   msg.strategy = world_->strategy();
   msg.payload_arch = arch();
   msg.payload = w.Take();
   SendMessage(dest_node, std::move(msg));
+  world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                    kTimerMoveCheck, move_id);
+  pending_moves_.emplace(move_id, std::move(pm));
   return thread_moved;
 }
 
 void Node::HandleMoveObject(const Message& msg) {
+  bool transport = TransportActive();
+  if (transport) {
+    auto res = incoming_moves_.find(msg.route_oid);
+    if (res == incoming_moves_.end() || res->second.move_id != msg.move_id) {
+      if (move_log_.count(msg.move_id) != 0) {
+        // Duplicate transfer after our commit was lost in a channel reset: the
+        // ownership record says we installed it, so just re-commit.
+        ChargeCycles(kMoveHandshakeCycles);
+        SendMessage(msg.src_node,
+                    MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id));
+        return;
+      }
+      // A transfer without a live reservation: our prepared state is gone (we
+      // crashed since the prepare). Dropping is safe — the source times out,
+      // queries, gets kUnknown, and reinstalls its limbo copy.
+      return;
+    }
+  }
+
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
   Oid oid = r.Oid32();
   Oid code_oid = r.Oid32();
-  const CodeRegistry::Entry& entry = EntryFor(code_oid);
+  int32_t mon_depth = r.I32();
+  ThreadId mon_owner;
+  mon_owner.home_node = r.I32();
+  mon_owner.seq = r.U32();
+  const CodeRegistry::Entry* entry = r.ok() ? TryEntryFor(code_oid) : nullptr;
+  if (entry == nullptr || oid != msg.route_oid || mon_depth < 0 ||
+      mon_depth > kMaxWireMonitorDepth) {
+    RuntimeError("malformed move payload");
+    return;
+  }
+  if (heap_.count(oid) != 0) {
+    RuntimeError("object arrived where it already resides");
+    return;
+  }
 
   auto obj = std::make_unique<EmObject>();
   obj->oid = oid;
   obj->code_oid = code_oid;
-  obj->monitor.depth = r.I32();
-  obj->monitor.owner.home_node = r.I32();
-  obj->monitor.owner.seq = r.U32();
+  obj->monitor.depth = mon_depth;
+  obj->monitor.owner = mon_owner;
   if (r.strategy() == ConversionStrategy::kRaw) {
     uint16_t size = r.U16();
+    if (size != MakeFieldImage(arch(), *entry->cls).size()) {
+      RuntimeError("malformed move payload");
+      return;
+    }
     obj->fields.assign(size, 0);
     r.Blit(obj->fields.data(), size);
   } else {
-    obj->fields = MakeFieldImage(arch(), *entry.cls);
-    UnmarshalObjectFields(arch(), *entry.cls, *obj, r);
+    obj->fields = MakeFieldImage(arch(), *entry->cls);
+    UnmarshalObjectFields(arch(), *entry->cls, *obj, r);
   }
-  HETM_CHECK_MSG(heap_.count(oid) == 0, "object arrived where it already resides");
-  heap_.emplace(oid, std::move(obj));
-  location_hint_.erase(oid);
-
   uint16_t seg_count = r.U16();
+  if (!r.ok() || seg_count > kMaxWireSegments) {
+    RuntimeError("malformed move payload");
+    return;
+  }
   std::vector<Segment> segs;
   segs.reserve(seg_count);
   for (uint16_t i = 0; i < seg_count; ++i) {
     segs.push_back(UnmarshalSegment(r));
+    if (!r.ok()) {
+      RuntimeError("malformed move payload");
+      return;
+    }
   }
   ReadStringSection(r);
   r.FinishMessage();
+  if (!r.ok()) {
+    RuntimeError("malformed move payload");
+    return;
+  }
+
+  // Commit point: everything validated, mutate node state.
+  heap_.emplace(oid, std::move(obj));
+  location_hint_.erase(oid);
   for (Segment& seg : segs) {
     InstallSegment(std::move(seg));
   }
   ChargeCycles(kMoveFixedDestCycles);
   if (r.strategy() != ConversionStrategy::kRaw) {
     ChargeCycles(kEnhancedMoveFixedCycles);
+  }
+
+  if (transport) {
+    // Record the handoff and answer: this move id is ours now.
+    move_log_[msg.move_id] = 1;
+    incoming_moves_.erase(oid);
+    ChargeCycles(kMoveHandshakeCycles);
+    SendMessage(msg.src_node, MakeControl(MsgType::kMoveCommit, oid, msg.move_id));
+    auto queued = reserved_queues_.find(oid);
+    if (queued != reserved_queues_.end()) {
+      std::vector<Message> held = std::move(queued->second);
+      reserved_queues_.erase(queued);
+      for (const Message& m : held) {
+        HandleMessage(m);
+      }
+    }
   }
 
   // Keep the distributed location structures current: tell the birth node.
@@ -566,6 +850,10 @@ void Node::HandleMoveRequest(const Message& msg) {
   if (msg.dest_node_arg == index_) {
     return;
   }
+  if (msg.dest_node_arg < 0 || msg.dest_node_arg >= world_->num_nodes()) {
+    RuntimeError("malformed move request");
+    return;
+  }
   PerformMove(msg.route_oid, msg.dest_node_arg, nullptr);
 }
 
@@ -573,8 +861,305 @@ void Node::HandleLocationUpdate(const Message& msg) {
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
   int loc = r.I32();
   r.FinishMessage();
+  if (!r.ok() || loc < 0 || loc >= world_->num_nodes()) {
+    RuntimeError("malformed location update");
+    return;
+  }
   if (!IsResident(msg.route_oid)) {
     location_hint_[msg.route_oid] = loc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// At-most-once move handshake (transport mode)
+// ---------------------------------------------------------------------------
+
+void Node::HandleMovePrepare(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  incoming_moves_[msg.route_oid] = Reservation{msg.move_id, msg.src_node};
+}
+
+void Node::HandleMoveCommit(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  CommitMove(msg.move_id);
+}
+
+void Node::HandleMoveQuery(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  Message verdict = MakeControl(MsgType::kMoveVerdict, msg.route_oid, msg.move_id);
+  if (move_log_.count(msg.move_id) != 0) {
+    verdict.verdict = MoveVerdict::kCommitted;
+  } else {
+    auto res = incoming_moves_.find(msg.route_oid);
+    bool pending = res != incoming_moves_.end() && res->second.move_id == msg.move_id;
+    verdict.verdict = pending ? MoveVerdict::kPending : MoveVerdict::kUnknown;
+  }
+  SendMessage(msg.src_node, std::move(verdict));
+}
+
+void Node::HandleMoveVerdict(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  switch (msg.verdict) {
+    case MoveVerdict::kCommitted:
+      CommitMove(msg.move_id);
+      return;
+    case MoveVerdict::kUnknown:
+      // The destination has no record of the move: it crashed since the prepare
+      // and its volatile install (if any) is gone. Reclaim ownership.
+      AbortMove(msg.move_id);
+      return;
+    case MoveVerdict::kPending:
+      return;  // still in flight; the move timer keeps watching
+  }
+}
+
+void Node::CommitMove(uint32_t move_id) {
+  auto it = pending_moves_.find(move_id);
+  if (it == pending_moves_.end()) {
+    return;  // already resolved
+  }
+  PendingMove pm = std::move(it->second);
+  pending_moves_.erase(it);
+  moving_out_.erase(pm.obj);
+  for (const Segment& s : pm.limbo_segs) {
+    limbo_seg_index_.erase(s.id);
+  }
+  meter_.counters().moves_committed += 1;
+  ChargeCycles(kMoveHandshakeCycles);
+  // Traffic parked during the handshake chases the object to its new home.
+  for (Message& m : pm.queued) {
+    if (m.type == MsgType::kReply) {
+      m.route_seg.node = pm.dest;
+    }
+    m.forward_hops = 0;
+    SendMessage(pm.dest, std::move(m));
+  }
+}
+
+void Node::AbortMove(uint32_t move_id) {
+  auto it = pending_moves_.find(move_id);
+  if (it == pending_moves_.end()) {
+    return;  // already resolved
+  }
+  PendingMove pm = std::move(it->second);
+  pending_moves_.erase(it);
+  moving_out_.erase(pm.obj);
+  location_hint_.erase(pm.obj);
+  heap_.emplace(pm.obj, std::move(pm.limbo_obj));
+  for (Segment& s : pm.limbo_segs) {
+    limbo_seg_index_.erase(s.id);
+    // Stay-behind fragments recorded the destination in their down references;
+    // point them back home.
+    for (auto& [id, seg] : segments_) {
+      if (seg.down.valid() && seg.down.id == s.id) {
+        seg.down.node = index_;
+      }
+    }
+    InstallSegment(std::move(s));
+  }
+  meter_.counters().moves_aborted += 1;
+  ChargeCycles(kMoveFixedDestCycles + kMoveHandshakeCycles);
+  for (const Message& m : pm.queued) {
+    HandleMessage(m);  // the object is resident again
+  }
+}
+
+void Node::OnMoveTimer(uint32_t move_id) {
+  auto it = pending_moves_.find(move_id);
+  if (it == pending_moves_.end()) {
+    return;  // committed or aborted; stale timer pops as a no-op
+  }
+  PendingMove& pm = it->second;
+  if (pm.queries_left <= 0) {
+    if (world_->net()->HasUnacked(index_, pm.dest)) {
+      // The retransmit chain to the destination is still running: the transport
+      // will either deliver (a verdict follows) or declare the peer unreachable
+      // (OnPeerUnreachable aborts the move). Keep waiting — aborting now could
+      // race a commit and leave two live copies.
+      world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                        kTimerMoveCheck, move_id);
+      return;
+    }
+    // Queries exhausted over an idle channel: a live peer always answers, a dead
+    // one fails the channel. Surface it instead of spinning.
+    RuntimeError("move handshake stalled for object " + std::to_string(pm.obj));
+    return;
+  }
+  pm.queries_left -= 1;
+  ChargeCycles(kMoveHandshakeCycles);
+  SendMessage(pm.dest, MakeControl(MsgType::kMoveQuery, pm.obj, move_id));
+  world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                    kTimerMoveCheck, move_id);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: unreachable peers, crash wipe, location rebuild
+// ---------------------------------------------------------------------------
+
+void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
+  for (Message& msg : undelivered) {
+    switch (msg.type) {
+      case MsgType::kMovePrepare:
+      case MsgType::kMoveObject:
+      case MsgType::kMoveQuery:
+        // Our handshake partner is dead; reclaim the limbo copy.
+        AbortMove(msg.move_id);
+        break;
+      case MsgType::kInvoke:
+      case MsgType::kMoveRequest: {
+        Oid oid = msg.route_oid;
+        auto hint = location_hint_.find(oid);
+        if (hint != location_hint_.end() && hint->second == peer) {
+          location_hint_.erase(hint);
+        }
+        msg.forward_hops = 0;
+        if (IsResident(oid) || moving_out_.count(oid) != 0 ||
+            incoming_moves_.count(oid) != 0) {
+          HandleMessage(msg);  // resolves locally or parks on the handshake
+          break;
+        }
+        int loc = ProbableLocation(oid);
+        if (loc == index_ || loc == peer) {
+          StartLocate(oid, msg);
+        } else {
+          SendMessage(loc, msg);
+        }
+        break;
+      }
+      case MsgType::kLocateQuery: {
+        // The queried peer is dead: that is a definitive "not here" for the round
+        // the query belonged to.
+        auto it = locating_.find(msg.route_oid);
+        if (it != locating_.end() && msg.route_seg.id.seg == it->second.round) {
+          it->second.outstanding -= 1;
+          if (it->second.outstanding <= 0) {
+            FinishLocateRound(msg.route_oid);
+          }
+        }
+        break;
+      }
+      case MsgType::kReply:
+      case MsgType::kMoveCommit:
+      case MsgType::kMoveVerdict:
+      case MsgType::kLocationUpdate:
+      case MsgType::kLocateReply:
+        break;  // the intended receiver died with the state these addressed
+    }
+  }
+}
+
+void Node::OnCrash() {
+  heap_.clear();
+  location_hint_.clear();
+  segments_.clear();
+  seg_hint_.clear();
+  run_queue_.clear();
+  loaded_classes_.clear();
+  escaped_.clear();
+  pending_moves_.clear();
+  moving_out_.clear();
+  limbo_seg_index_.clear();
+  incoming_moves_.clear();
+  move_log_.clear();
+  reserved_queues_.clear();
+  locating_.clear();
+}
+
+std::vector<Oid> Node::ResidentUserObjects() const {
+  std::vector<Oid> out;
+  for (const auto& [oid, obj] : heap_) {
+    if (!obj->is_string) {
+      out.push_back(oid);
+    }
+  }
+  // Limbo copies are still owned here until their handshake commits.
+  for (const auto& [oid, move_id] : moving_out_) {
+    out.push_back(oid);
+  }
+  return out;
+}
+
+void Node::StartLocate(Oid oid, const Message& original) {
+  auto [it, fresh] = locating_.try_emplace(oid);
+  it->second.queued.push_back(original);
+  if (!fresh) {
+    return;  // a broadcast for this object is already in flight
+  }
+  it->second.attempts_left = world_->net()->config().locate_attempts - 1;
+  BroadcastLocate(oid);
+}
+
+void Node::BroadcastLocate(Oid oid) {
+  PendingLocate& pl = locating_.at(oid);
+  pl.round += 1;
+  pl.outstanding = world_->num_nodes() - 1;
+  meter_.counters().locate_queries += 1;
+  ChargeCycles(kLocatePathCycles);
+  if (pl.outstanding == 0) {
+    FinishLocateRound(oid);
+    return;
+  }
+  for (int j = 0; j < world_->num_nodes(); ++j) {
+    if (j == index_) {
+      continue;
+    }
+    Message q = MakeControl(MsgType::kLocateQuery, oid, 0);
+    // The round number rides in the (otherwise unused) segment routing field so
+    // stragglers from an earlier round cannot be double-counted.
+    q.route_seg.id.seg = pl.round;
+    SendMessage(j, std::move(q));
+  }
+}
+
+void Node::FinishLocateRound(Oid oid) {
+  PendingLocate& pl = locating_.at(oid);
+  if (pl.attempts_left > 0) {
+    pl.attempts_left -= 1;
+    world_->PushTimer(now_us() + world_->net()->config().locate_retry_us, index_,
+                      kTimerLocateRetry, oid);
+    return;
+  }
+  locating_.erase(oid);
+  RuntimeError("object " + std::to_string(oid) + " lost: no live host answered locate");
+}
+
+void Node::OnLocateTimer(Oid oid) {
+  if (locating_.count(oid) != 0) {
+    BroadcastLocate(oid);
+  }
+}
+
+void Node::HandleLocateQuery(const Message& msg) {
+  ChargeCycles(kLocatePathCycles);
+  const EmObject* obj = FindLocal(msg.route_oid);
+  bool here = (obj != nullptr && !obj->is_string) || moving_out_.count(msg.route_oid) != 0;
+  Message reply = MakeControl(MsgType::kLocateReply, msg.route_oid, 0);
+  reply.route_seg = msg.route_seg;  // echo the round number
+  reply.dest_node_arg = here ? index_ : -1;
+  SendMessage(msg.src_node, std::move(reply));
+}
+
+void Node::HandleLocateReply(const Message& msg) {
+  auto it = locating_.find(msg.route_oid);
+  if (it == locating_.end() || msg.route_seg.id.seg != it->second.round) {
+    return;  // already resolved, or a straggler from an earlier round
+  }
+  ChargeCycles(kLocatePathCycles);
+  if (msg.dest_node_arg >= 0 && msg.dest_node_arg < world_->num_nodes() &&
+      msg.dest_node_arg != index_) {
+    int loc = msg.dest_node_arg;
+    location_hint_[msg.route_oid] = loc;
+    std::vector<Message> queued = std::move(it->second.queued);
+    locating_.erase(it);
+    for (Message& m : queued) {
+      m.forward_hops = 0;
+      SendMessage(loc, std::move(m));
+    }
+    return;
+  }
+  it->second.outstanding -= 1;
+  if (it->second.outstanding <= 0) {
+    FinishLocateRound(msg.route_oid);
   }
 }
 

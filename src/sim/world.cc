@@ -36,12 +36,91 @@ void World::Boot(int node) {
   nodes_[node]->StartMainThread(main_oid);
 }
 
+void World::EnableNet(const NetConfig& config) {
+  HETM_CHECK_MSG(num_nodes() > 0, "EnableNet requires nodes to exist");
+  net_ = std::make_unique<Network>(this, config);
+  net_->Start();
+}
+
 void World::Send(int from_node, int to_node, Message msg) {
   HETM_CHECK(to_node >= 0 && to_node < num_nodes());
+  if (net_ != nullptr && from_node != to_node) {
+    net_->Submit(from_node, to_node, std::move(msg));
+    return;
+  }
   double serialization_us =
       static_cast<double>(msg.WireSize()) * 8.0 / kEthernetMbps;  // bits / (bits/us)
   double delivery = nodes_[from_node]->now_us() + kMessageLatencyUs + serialization_us;
-  queue_.push(Event{delivery, next_event_seq_++, to_node, std::move(msg)});
+  Event ev;
+  ev.time = delivery;
+  ev.seq = next_event_seq_++;
+  ev.dst = to_node;
+  ev.msg = std::move(msg);
+  queue_.push(std::move(ev));
+}
+
+void World::PushPacket(double time_us, NetPacket pkt) {
+  Event ev;
+  ev.time = time_us;
+  ev.seq = next_event_seq_++;
+  ev.dst = pkt.to;
+  ev.kind = Event::Kind::kPacket;
+  ev.pkt = std::move(pkt);
+  queue_.push(std::move(ev));
+}
+
+void World::PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t timer_id) {
+  Event ev;
+  ev.time = time_us;
+  ev.seq = next_event_seq_++;
+  ev.dst = node;
+  ev.kind = Event::Kind::kTimer;
+  ev.timer_kind = timer_kind;
+  ev.timer_id = timer_id;
+  queue_.push(std::move(ev));
+}
+
+void World::PushAdmin(double time_us, int node, bool up) {
+  Event ev;
+  ev.time = time_us;
+  ev.seq = next_event_seq_++;
+  ev.dst = node;
+  ev.kind = Event::Kind::kAdmin;
+  ev.admin_up = up;
+  queue_.push(std::move(ev));
+}
+
+void World::Dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kMessage:
+      if (net_ != nullptr && !net_->NodeUp(ev.dst)) {
+        return;  // loopback message to a crashed node
+      }
+      nodes_[ev.dst]->AdvanceTo(ev.time);
+      nodes_[ev.dst]->HandleMessage(ev.msg);
+      return;
+    case Event::Kind::kPacket:
+      net_->OnPacketEvent(ev.time, ev.pkt);
+      return;
+    case Event::Kind::kTimer:
+      if (ev.timer_kind == kTimerNetRetx) {
+        net_->OnRetxTimer(ev.time, ev.dst, ev.timer_id);
+        return;
+      }
+      if (net_ != nullptr && !net_->NodeUp(ev.dst)) {
+        return;  // crash cleared the state this timer was guarding
+      }
+      nodes_[ev.dst]->AdvanceTo(ev.time);
+      if (ev.timer_kind == kTimerMoveCheck) {
+        nodes_[ev.dst]->OnMoveTimer(static_cast<uint32_t>(ev.timer_id));
+      } else {
+        nodes_[ev.dst]->OnLocateTimer(static_cast<Oid>(ev.timer_id));
+      }
+      return;
+    case Event::Kind::kAdmin:
+      net_->OnAdminEvent(ev.time, ev.dst, ev.admin_up);
+      return;
+  }
 }
 
 bool World::Run(uint64_t max_events) {
@@ -49,6 +128,9 @@ bool World::Run(uint64_t max_events) {
   while (events < max_events && ok()) {
     bool any = false;
     for (auto& node : nodes_) {
+      if (net_ != nullptr && !net_->NodeUp(node->index())) {
+        continue;  // crashed nodes execute nothing
+      }
       if (node->HasRunnable()) {
         node->Pump();
         any = true;
@@ -66,8 +148,7 @@ bool World::Run(uint64_t max_events) {
       Event ev = queue_.top();
       queue_.pop();
       ++events;
-      nodes_[ev.dst]->AdvanceTo(ev.time);
-      nodes_[ev.dst]->HandleMessage(ev.msg);
+      Dispatch(ev);
       continue;
     }
     if (!any) {

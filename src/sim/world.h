@@ -16,6 +16,7 @@
 #include "src/arch/machine.h"
 #include "src/compiler/compiled.h"
 #include "src/mobility/wire.h"
+#include "src/net/transport.h"
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
 
@@ -50,6 +51,17 @@ class World {
 
   void Send(int from_node, int to_node, Message msg);
 
+  // Installs the faulty-network + reliable-transport layer (src/net). Call after
+  // AddNode and before Boot/Run. Without it, messages take the original perfectly
+  // reliable direct path, byte-for-byte as before.
+  void EnableNet(const NetConfig& config);
+  Network* net() { return net_.get(); }
+
+  // Event injection used by the network layer and the handshake/locate timers.
+  void PushPacket(double time_us, NetPacket pkt);
+  void PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t timer_id);
+  void PushAdmin(double time_us, int node, bool up);
+
   Node& node(int index) { return *nodes_[index]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   CodeRegistry& code() { return code_; }
@@ -73,19 +85,28 @@ class World {
 
  private:
   struct Event {
+    enum class Kind : uint8_t { kMessage, kPacket, kTimer, kAdmin };
     double time;
     uint64_t seq;
     int dst;
-    Message msg;
+    Kind kind = Kind::kMessage;
+    Message msg;         // kMessage
+    NetPacket pkt;       // kPacket
+    uint64_t timer_id = 0;   // kTimer (meaning depends on timer_kind)
+    uint8_t timer_kind = 0;  // kTimerNetRetx / kTimerMoveCheck / kTimerLocateRetry
+    bool admin_up = false;   // kAdmin
     bool operator>(const Event& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
+  void Dispatch(const Event& ev);
+
   ConversionStrategy strategy_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   uint64_t next_event_seq_ = 0;
+  std::unique_ptr<Network> net_;
   CodeRegistry code_;
   const CompiledProgram* boot_program_ = nullptr;
   std::string output_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/emerald/system.h"
+#include "src/net/transport.h"
 
 namespace hetm {
 namespace {
@@ -298,6 +299,59 @@ TEST(MigrationStress, TwoConcurrentRoamingAgents) {
     return acc;
   };
   EXPECT_EQ(sys.output(), std::to_string(fold(1) + fold(2)) + "\n");
+}
+
+// The fifty-hop tour again, but over the fault-injecting network layer with a
+// seeded nonzero drop/duplicate rate: the reliable transport must make the lossy
+// wire invisible, so the checksummed output matches a fault-free run exactly.
+TEST(MigrationStress, FiftyHopTourSurvivesSeededLossyNetwork) {
+  const char* program = R"(
+    class Tourist
+      var hops: Int
+      op tour(rounds: Int): Int
+        var check: Int := 1
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat((i * 7 + 3) % 5)
+          check := (check * 31 + i) % 1000003
+          i := i + 1
+        end
+        hops := rounds
+        return check
+      end
+    end
+    main
+      var t: Ref := new Tourist
+      print t.tour(50)
+    end
+  )";
+  auto build = [&](EmeraldSystem& sys) {
+    sys.AddNode(SparcStationSlc());
+    sys.AddNode(Sun3_100());
+    sys.AddNode(Hp9000_433s());
+    sys.AddNode(Hp9000_385());
+    sys.AddNode(VaxStation4000());
+    ASSERT_TRUE(sys.Load(program));
+  };
+  EmeraldSystem ref;
+  build(ref);
+  ASSERT_TRUE(ref.Run()) << ref.error();
+
+  EmeraldSystem sys;
+  build(sys);
+  NetConfig cfg;
+  cfg.fault.seed = 515151;
+  cfg.fault.drop_rate = 0.08;
+  cfg.fault.duplicate_rate = 0.04;
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), ref.output());
+
+  uint64_t retransmits = 0;
+  for (int i = 0; i < 5; ++i) {
+    retransmits += sys.node(i).meter().counters().retransmits;
+  }
+  EXPECT_GT(retransmits, 0u);
 }
 
 }  // namespace
