@@ -7,9 +7,16 @@
 //                       [--opt O0,O1,...]      per-node optimization levels
 //                       [--stats] [--disasm CLASS.OP]
 //                       [--drop R] [--dup R] [--seed N] [--net-trace]
+//                       [--fixed-rto] [--rto-min US] [--rto-max US]
+//                       [--lease US] [--heartbeat US]
+//                       [--partition A+B+..:START_US:HEAL_US]
 //
 // --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
 // reliable transport (src/net) with the given frame loss / duplication rates.
+// --fixed-rto disables the adaptive (SRTT/RTTVAR) retransmit timer; --rto-min/max
+// bound the adaptive estimate. --lease/--heartbeat tune the failure detector.
+// --partition cuts nodes A,B,.. (indices into --nodes, '+'-separated) off from the
+// rest symmetrically at START_US, healing HEAL_US later (negative = never).
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
@@ -61,7 +68,10 @@ int Usage() {
                "usage: hetm_run PROGRAM.em [--nodes sparc,sun3,hp1,hp2,vax,vax2000]\n"
                "                [--variant original|enhanced|fast] [--opt O0,O1,...]\n"
                "                [--stats] [--disasm CLASS.OP]\n"
-               "                [--drop RATE] [--dup RATE] [--seed N] [--net-trace]\n");
+               "                [--drop RATE] [--dup RATE] [--seed N] [--net-trace]\n"
+               "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
+               "                [--lease US] [--heartbeat US]\n"
+               "                [--partition A+B+..:START_US:HEAL_US]\n");
   return 2;
 }
 
@@ -82,6 +92,12 @@ int main(int argc, char** argv) {
   uint64_t net_seed = 1;
   bool net_trace = false;
   bool use_net = false;
+  bool fixed_rto = false;
+  double rto_min_us = -1.0;
+  double rto_max_us = -1.0;
+  double lease_us = -1.0;
+  double heartbeat_us = -1.0;
+  std::string partition_arg;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -129,6 +145,34 @@ int main(int argc, char** argv) {
       use_net = true;
     } else if (arg == "--net-trace") {
       net_trace = true;
+      use_net = true;
+    } else if (arg == "--fixed-rto") {
+      fixed_rto = true;
+      use_net = true;
+    } else if (arg == "--rto-min") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      rto_min_us = std::atof(v);
+      use_net = true;
+    } else if (arg == "--rto-max") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      rto_max_us = std::atof(v);
+      use_net = true;
+    } else if (arg == "--lease") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      lease_us = std::atof(v);
+      use_net = true;
+    } else if (arg == "--heartbeat") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      heartbeat_us = std::atof(v);
+      use_net = true;
+    } else if (arg == "--partition") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      partition_arg = v;
       use_net = true;
     } else {
       return Usage();
@@ -205,6 +249,26 @@ int main(int argc, char** argv) {
     cfg.fault.drop_rate = drop_rate;
     cfg.fault.duplicate_rate = dup_rate;
     cfg.trace = net_trace;
+    cfg.adaptive_rto = !fixed_rto;
+    if (rto_min_us >= 0.0) cfg.rto_min_us = rto_min_us;
+    if (rto_max_us >= 0.0) cfg.rto_max_us = rto_max_us;
+    if (lease_us >= 0.0) cfg.lease_us = lease_us;
+    if (heartbeat_us >= 0.0) cfg.heartbeat_us = heartbeat_us;
+    if (!partition_arg.empty()) {
+      std::vector<std::string> fields = Split(partition_arg, ':');
+      if (fields.size() != 3) {
+        std::fprintf(stderr,
+                     "hetm_run: --partition wants A+B+..:START_US:HEAL_US\n");
+        return 1;
+      }
+      PartitionWindow w;
+      for (const std::string& n : Split(fields[0], '+')) {
+        w.side_a.push_back(std::atoi(n.c_str()));
+      }
+      w.start_us = std::atof(fields[1].c_str());
+      w.heal_after_us = std::atof(fields[2].c_str());
+      cfg.fault.partitions.push_back(w);
+    }
     sys.world().EnableNet(cfg);
   }
 
@@ -240,6 +304,14 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(c.dups_suppressed),
                      static_cast<unsigned long long>(c.moves_committed),
                      static_cast<unsigned long long>(c.moves_aborted));
+        std::fprintf(stderr,
+                     "        membership: %4llu heartbeats, %2llu leases expired,"
+                     " %2llu reconnects, %2llu reservations reclaimed, %2llu presumed\n",
+                     static_cast<unsigned long long>(c.heartbeats_sent),
+                     static_cast<unsigned long long>(c.leases_expired),
+                     static_cast<unsigned long long>(c.reconnects),
+                     static_cast<unsigned long long>(c.reservations_reclaimed),
+                     static_cast<unsigned long long>(c.moves_presumed_committed));
       }
     }
   }

@@ -35,6 +35,12 @@ struct CostCounters {
   uint64_t moves_committed = 0;  // at-most-once handshakes completed
   uint64_t moves_aborted = 0;    // handshakes abandoned (peer crashed); limbo restored
   uint64_t locate_queries = 0;   // location-rebuild broadcasts initiated
+  // --- membership / lease layer (src/net) ---
+  uint64_t heartbeats_sent = 0;   // lease-refresh probes (and echoes) emitted
+  uint64_t leases_expired = 0;    // peers declared dead after lease expiry
+  uint64_t reconnects = 0;        // suspected peers heard from again (channel revived)
+  uint64_t reservations_reclaimed = 0;  // dest-side move reservations timed out
+  uint64_t moves_presumed_committed = 0;  // limbo released: transfer provably landed
 };
 
 class CostMeter {

@@ -54,6 +54,39 @@ struct CrashTrigger {
   double restart_after_us = -1.0;
 };
 
+// Restart delay for the "destination crashes mid-move, then comes back" scenario
+// (net_fault_test and friends). It must sit well INSIDE the default NetConfig
+// lease (120 ms): the destination is back before the source's lease on it can
+// expire, so the retransmitted transfer reaches the fresh incarnation, the move
+// query draws a kUnknown verdict, and the abort is attributable to lost move
+// state — deterministically, instead of racing the verdict query against lease
+// expiry (which would abort with "unreachable" on some timings).
+inline constexpr double kMidMoveRestartAfterUs = 60000.0;
+
+// A network partition: frames crossing the cut are discarded at their delivery
+// instant while the window is open. `side_a` lists the nodes on one side; every
+// node not listed is implicitly on the other side. A symmetric partition cuts both
+// directions; an asymmetric one only kills frames leaving side A (side B can still
+// reach A — the classic one-way failure that breaks naive failure detectors).
+//
+// The window opens either at an absolute simulated time (`start_us` >= 0) or at
+// the delivery instant of the nth data frame of `start_on_type` arriving at
+// `start_trigger_node` (the frame itself is delivered first, then the cut drops) —
+// the same precise-protocol-window idiom as CrashTrigger. With `start_on_ack` the
+// trigger counts delivered ack frames instead of data frames, which is how a test
+// opens the cut in the narrow window between "transfer acknowledged" and "commit
+// received". It heals `heal_after_us` after opening; < 0 = never heals.
+struct PartitionWindow {
+  std::vector<int> side_a;
+  bool symmetric = true;
+  double start_us = -1.0;
+  int start_trigger_node = -1;
+  MsgType start_on_type = MsgType::kMoveObject;
+  bool start_on_ack = false;
+  int start_nth = 1;
+  double heal_after_us = -1.0;
+};
+
 struct FaultPlan {
   uint64_t seed = 1;
   // Per-frame probabilities, applied independently to every transmission attempt
@@ -70,6 +103,7 @@ struct FaultPlan {
   bool corrupt_evades_checksum = false;
   std::vector<CrashEvent> crashes;
   std::vector<CrashTrigger> crash_triggers;
+  std::vector<PartitionWindow> partitions;
 
   bool AnyRandomFaults() const {
     return drop_rate > 0 || duplicate_rate > 0 || corrupt_rate > 0 || reorder_rate > 0;

@@ -1,6 +1,7 @@
 #include "src/net/transport.h"
 
 #include <cstdio>
+#include <set>
 
 #include "src/arch/calibration.h"
 #include "src/runtime/node.h"
@@ -25,7 +26,13 @@ Network::Network(World* world, NetConfig config)
     : world_(world),
       config_(std::move(config)),
       rng_(config_.fault.seed),
-      trigger_hits_(config_.fault.crash_triggers.size(), 0) {}
+      trigger_hits_(config_.fault.crash_triggers.size(), 0),
+      partition_hits_(config_.fault.partitions.size(), 0) {
+  partition_open_us_.reserve(config_.fault.partitions.size());
+  for (const PartitionWindow& w : config_.fault.partitions) {
+    partition_open_us_.push_back(w.start_us >= 0 ? w.start_us : -1.0);
+  }
+}
 
 void Network::Start() {
   endpoints_.clear();
@@ -40,6 +47,13 @@ void Network::Start() {
   for (const CrashTrigger& t : config_.fault.crash_triggers) {
     HETM_CHECK(t.node >= 0 && t.node < world_->num_nodes());
   }
+  for (const PartitionWindow& w : config_.fault.partitions) {
+    HETM_CHECK(!w.side_a.empty());
+    for (int n : w.side_a) {
+      HETM_CHECK(n >= 0 && n < world_->num_nodes());
+    }
+    HETM_CHECK(w.start_us >= 0 || w.start_trigger_node >= 0);
+  }
 }
 
 bool Network::NodeUp(int node) const {
@@ -49,6 +63,14 @@ bool Network::NodeUp(int node) const {
 bool Network::HasUnacked(int node, int peer) const {
   auto it = endpoints_[node].send.find(peer);
   return it != endpoints_[node].send.end() && !it->second.unacked.empty();
+}
+
+const RttEstimator* Network::ChannelRtt(int node, int peer) const {
+  auto it = endpoints_[node].send.find(peer);
+  if (it == endpoints_[node].send.end()) {
+    return nullptr;
+  }
+  return &it->second.rtt;
 }
 
 uint64_t Network::Checksum(const NetPacket& pkt) {
@@ -92,19 +114,31 @@ void Network::Submit(int from, int to, Message msg) {
     return;  // a crashed node emits nothing
   }
   Node& sender = world_->node(from);
-  sender.meter().counters().packets_sent += 1;
-  sender.ChargeCycles(kTransportSendCycles +
-                      msg.payload.size() * kChecksumPerByteCycles);
-
   SendChannel& ch = ep.send[to];
   uint32_t seq = ch.next_seq++;
   Pending pending;
   pending.msg = std::move(msg);
-  pending.rto_us = config_.rto_us;
+  pending.sent_at_us = sender.now_us();
+  pending.rto_us = CurrentRto(ch);
+  if (ch.parked) {
+    // Peer is suspected: hold the frame instead of burning retries. NoteAlive
+    // retransmits the backlog on reconnect; ExpirePeer hands it back to the node
+    // if the lease runs out.
+    pending.retransmitted = true;
+    auto [it, inserted] = ch.unacked.emplace(seq, std::move(pending));
+    HETM_CHECK(inserted);
+    (void)it;
+    EnsureHeartbeat(from);
+    return;
+  }
+  sender.meter().counters().packets_sent += 1;
+  sender.ChargeCycles(kTransportSendCycles +
+                      pending.msg.payload.size() * kChecksumPerByteCycles);
   TransmitData(from, to, seq, pending.msg);
   auto [it, inserted] = ch.unacked.emplace(seq, std::move(pending));
   HETM_CHECK(inserted);
   ScheduleRetx(from, to, seq, it->second.rto_us);
+  EnsureHeartbeat(from);
 }
 
 void Network::TransmitData(int from, int to, uint32_t seq, const Message& msg) {
@@ -204,6 +238,9 @@ void Network::EmitFrame(NetPacket pkt, double base_us) {
 }
 
 void Network::ScheduleRetx(int self, int peer, uint32_t seq, double delay_us) {
+  if (delay_us < min_data_rto_scheduled_) {
+    min_data_rto_scheduled_ = delay_us;
+  }
   Endpoint& ep = endpoints_[self];
   uint64_t id = ep.next_timer_id++;
   ep.retx_timers.emplace(id, std::make_pair(peer, seq));
@@ -225,7 +262,7 @@ void Network::OnRetxTimer(double time_us, int node, uint64_t timer_id) {
     return;
   }
   auto cit = ep.send.find(peer);
-  if (cit == ep.send.end()) {
+  if (cit == ep.send.end() || cit->second.parked) {
     return;
   }
   auto pit = cit->second.unacked.find(seq);
@@ -243,7 +280,11 @@ void Network::OnRetxTimer(double time_us, int node, uint64_t timer_id) {
   sender.ChargeCycles(kTransportSendCycles +
                       pending.msg.payload.size() * kChecksumPerByteCycles);
   pending.attempts += 1;
+  pending.retransmitted = true;  // Karn's rule: its ack is ambiguous from here on
   pending.rto_us *= config_.rto_backoff;
+  if (config_.adaptive_rto && pending.rto_us > config_.rto_max_us) {
+    pending.rto_us = config_.rto_max_us;
+  }
   char buf[96];
   std::snprintf(buf, sizeof(buf), "retx %d->%d seq=%u attempt=%d", node, peer, seq,
                 pending.attempts);
@@ -252,7 +293,8 @@ void Network::OnRetxTimer(double time_us, int node, uint64_t timer_id) {
   ScheduleRetx(node, peer, seq, pending.rto_us);
 }
 
-void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream) {
+void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream,
+                         double time_us) {
   Endpoint& ep = endpoints_[self];
   auto cit = ep.send.find(peer);
   if (cit == ep.send.end()) {
@@ -263,9 +305,20 @@ void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream) {
     return;  // ack for a superseded numbering: its seqs mean nothing now
   }
   while (!ch.unacked.empty() && ch.unacked.begin()->first <= ack) {
-    ep.retx_timers.erase(ch.unacked.begin()->second.timer_id);
+    Pending& acked = ch.unacked.begin()->second;
+    if (config_.adaptive_rto && !acked.retransmitted) {
+      ch.rtt.Sample(time_us - acked.sent_at_us);
+    }
+    ep.retx_timers.erase(acked.timer_id);
     ch.unacked.erase(ch.unacked.begin());
   }
+}
+
+double Network::CurrentRto(const SendChannel& ch) const {
+  if (!config_.adaptive_rto) {
+    return config_.rto_us;
+  }
+  return ch.rtt.Rto(config_.rto_min_us, config_.rto_max_us, config_.rto_us);
 }
 
 void Network::ObservePeerEpoch(int self, int peer, uint32_t epoch) {
@@ -298,6 +351,7 @@ void Network::ResetSendChannel(int self, int peer) {
   ch.unacked.clear();
   ch.next_seq = 1;
   ch.stream += 1;  // new numbering generation: old-stream frames/acks become stale
+  ch.parked = false;  // the restarted peer is provably reachable again
   Node& sender = world_->node(self);
   for (Message& msg : backlog) {
     uint32_t seq = ch.next_seq++;
@@ -306,7 +360,9 @@ void Network::ResetSendChannel(int self, int peer) {
                         msg.payload.size() * kChecksumPerByteCycles);
     Pending pending;
     pending.msg = std::move(msg);
-    pending.rto_us = config_.rto_us;
+    pending.sent_at_us = sender.now_us();
+    pending.retransmitted = true;  // renumbered resend: Karn's rule applies
+    pending.rto_us = CurrentRto(ch);
     TransmitData(self, peer, seq, pending.msg);
     auto [it, inserted] = ch.unacked.emplace(seq, std::move(pending));
     HETM_CHECK(inserted);
@@ -318,6 +374,26 @@ void Network::ChannelFail(int self, int peer) {
   Endpoint& ep = endpoints_[self];
   auto cit = ep.send.find(peer);
   if (cit == ep.send.end()) {
+    return;
+  }
+  if (config_.membership) {
+    // Retry exhaustion only makes the peer *suspected*. Park the channel — stop
+    // retransmitting, keep the backlog — and let the lease machinery decide
+    // between "reconnect" (NoteAlive) and "dead" (ExpirePeer).
+    SendChannel& ch = cit->second;
+    if (ch.parked) {
+      return;
+    }
+    ch.parked = true;
+    for (auto& [seq, pending] : ch.unacked) {
+      ep.retx_timers.erase(pending.timer_id);
+      pending.timer_id = 0;
+      pending.retransmitted = true;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "chan-park %d->%d", self, peer);
+    Trace(world_->node(self).now_us(), buf);
+    EnsureHeartbeat(self);
     return;
   }
   char buf[64];
@@ -334,12 +410,224 @@ void Network::ChannelFail(int self, int peer) {
 }
 
 // ---------------------------------------------------------------------------
+// Membership: heartbeats, leases, partitions
+// ---------------------------------------------------------------------------
+
+void Network::EnsureHeartbeat(int node) {
+  if (!config_.membership || endpoints_.empty()) {
+    return;
+  }
+  Endpoint& ep = endpoints_[node];
+  if (!ep.up || ep.hb_active) {
+    return;
+  }
+  ep.hb_active = true;
+  ep.hb_generation += 1;
+  world_->PushTimer(world_->node(node).now_us() + config_.heartbeat_us, node,
+                    kTimerHeartbeat, ep.hb_generation);
+}
+
+void Network::OnHeartbeatTimer(double time_us, int node, uint64_t generation) {
+  Endpoint& ep = endpoints_[node];
+  if (!ep.up || !ep.hb_active || generation != ep.hb_generation) {
+    return;  // stale pop from a stopped or superseded timer
+  }
+  // Interest-driven: only peers this node has live business with are probed, and
+  // the timer stops when there is none — otherwise heartbeats would keep the event
+  // queue non-empty forever and World::Run could never quiesce.
+  std::set<int> interest;
+  for (const auto& [peer, ch] : ep.send) {
+    if (!ch.unacked.empty() || ch.parked) {
+      interest.insert(peer);
+    }
+  }
+  world_->node(node).AppendLeasePeers(interest);
+  interest.erase(node);
+  if (interest.empty()) {
+    ep.hb_active = false;
+    return;
+  }
+  for (int peer : interest) {
+    auto pit = ep.peers.find(peer);
+    if (pit == ep.peers.end()) {
+      // First probe of this peer: the lease clock starts now, not at time zero.
+      pit = ep.peers.emplace(peer, PeerView{time_us, 0}).first;
+    }
+    PeerView& pv = pit->second;
+    if (time_us - pv.last_heard_us >= config_.lease_us &&
+        pv.probes_unanswered >= config_.lease_probes) {
+      ExpirePeer(node, peer, time_us);
+      continue;  // pv dangles: ExpirePeer erased the view
+    }
+    pv.probes_unanswered += 1;
+    SendHeartbeat(node, peer, /*echo=*/false, time_us);
+  }
+  world_->PushTimer(time_us + config_.heartbeat_us, node, kTimerHeartbeat,
+                    ep.hb_generation);
+}
+
+void Network::SendHeartbeat(int from, int to, bool echo, double at_us) {
+  Endpoint& ep = endpoints_[from];
+  if (!ep.up) {
+    return;
+  }
+  Node& sender = world_->node(from);
+  sender.meter().counters().heartbeats_sent += 1;
+  sender.ChargeCycles(kAckPathCycles);
+  NetPacket pkt;
+  pkt.from = from;
+  pkt.to = to;
+  pkt.kind = 2;
+  pkt.ack = echo ? 1 : 0;
+  pkt.src_epoch = ep.epoch;
+  pkt.wire_bytes = kPacketHeaderBytes + kTransportHeaderBytes;
+  pkt.checksum = Checksum(pkt);
+  // Like acks, heartbeats are interrupt-level: stamped at the probe/delivery
+  // instant, never queued behind the language runtime.
+  EmitFrame(std::move(pkt), at_us);
+}
+
+void Network::NoteAlive(int self, int peer, double time_us) {
+  Endpoint& ep = endpoints_[self];
+  auto pit = ep.peers.find(peer);
+  if (pit != ep.peers.end()) {
+    pit->second.last_heard_us = time_us;
+    pit->second.probes_unanswered = 0;
+  } else {
+    ep.peers.emplace(peer, PeerView{time_us, 0});
+  }
+  auto cit = ep.send.find(peer);
+  if (cit == ep.send.end() || !cit->second.parked) {
+    return;
+  }
+  // The suspected peer spoke: revive the parked channel by retransmitting its
+  // backlog with a fresh retry budget. Karn's rule keeps these out of the RTT
+  // estimate.
+  SendChannel& ch = cit->second;
+  ch.parked = false;
+  Node& sender = world_->node(self);
+  sender.meter().counters().reconnects += 1;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "reconnect %d->%d frames=%zu", self, peer,
+                ch.unacked.size());
+  Trace(time_us, buf);
+  for (auto& [seq, pending] : ch.unacked) {
+    pending.attempts = 1;
+    pending.retransmitted = true;
+    pending.rto_us = CurrentRto(ch);
+    sender.meter().counters().retransmits += 1;
+    sender.ChargeCycles(kTransportSendCycles +
+                        pending.msg.payload.size() * kChecksumPerByteCycles);
+    TransmitData(self, peer, seq, pending.msg);
+    ScheduleRetx(self, peer, seq, pending.rto_us);
+  }
+}
+
+void Network::ExpirePeer(int self, int peer, double time_us) {
+  Endpoint& ep = endpoints_[self];
+  Node& node = world_->node(self);
+  node.AdvanceTo(time_us);
+  node.meter().counters().leases_expired += 1;
+  std::vector<Message> undelivered;
+  auto cit = ep.send.find(peer);
+  if (cit != ep.send.end()) {
+    SendChannel& ch = cit->second;
+    undelivered.reserve(ch.unacked.size());
+    for (auto& [seq, pending] : ch.unacked) {
+      ep.retx_timers.erase(pending.timer_id);
+      undelivered.push_back(std::move(pending.msg));
+    }
+    ch.unacked.clear();
+    ch.parked = false;
+    // Keep the channel but bump its stream: if the "dead" peer was merely
+    // partitioned and heals later, post-heal traffic must not reuse the old
+    // numbering (the peer's duplicate suppression would eat it). The stream bump
+    // rides the receiver's existing resynchronization path.
+    ch.next_seq = 1;
+    ch.stream += 1;
+  }
+  ep.peers.erase(peer);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "lease-expire %d->%d undelivered=%zu", self, peer,
+                undelivered.size());
+  Trace(time_us, buf);
+  int reclaimed = node.OnPeerExpired(peer);
+  if (reclaimed > 0) {
+    std::snprintf(buf, sizeof(buf), "reserve-reclaim node=%d src=%d count=%d", self,
+                  peer, reclaimed);
+    Trace(time_us, buf);
+  }
+  node.OnPeerUnreachable(peer, std::move(undelivered));
+}
+
+bool Network::PartitionBlocked(int from, int to, double time_us) const {
+  for (size_t i = 0; i < config_.fault.partitions.size(); ++i) {
+    const PartitionWindow& w = config_.fault.partitions[i];
+    double open = partition_open_us_[i];
+    if (open < 0 || time_us < open) {
+      continue;
+    }
+    if (w.heal_after_us >= 0 && time_us >= open + w.heal_after_us) {
+      continue;
+    }
+    bool from_a = false;
+    bool to_a = false;
+    for (int n : w.side_a) {
+      from_a |= (n == from);
+      to_a |= (n == to);
+    }
+    if (from_a == to_a) {
+      continue;  // both endpoints on the same side of the cut
+    }
+    if (from_a || w.symmetric) {
+      return true;  // asymmetric cut only kills frames leaving side A
+    }
+  }
+  return false;
+}
+
+void Network::ArmPartitionTriggers(const NetPacket& pkt, double time_us) {
+  for (size_t i = 0; i < config_.fault.partitions.size(); ++i) {
+    const PartitionWindow& w = config_.fault.partitions[i];
+    if (w.start_us >= 0 || partition_open_us_[i] >= 0) {
+      continue;  // absolute window, or already open
+    }
+    if (w.start_trigger_node != pkt.to) {
+      continue;
+    }
+    bool match = w.start_on_ack ? pkt.kind == 1
+                                : pkt.kind == 0 && w.start_on_type == pkt.msg.type;
+    if (!match) {
+      continue;
+    }
+    partition_hits_[i] += 1;
+    if (partition_hits_[i] == w.start_nth) {
+      partition_open_us_[i] = time_us;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "partition-open window=%zu at-node=%d", i,
+                    pkt.to);
+      Trace(time_us, buf);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Receive side
 // ---------------------------------------------------------------------------
 
 void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
   Endpoint& ep = endpoints_[pkt.to];
   char buf[160];
+
+  // An open partition discards the frame at its delivery instant — before it can
+  // reach the node or trip a crash trigger.
+  if (PartitionBlocked(pkt.from, pkt.to, time_us)) {
+    std::snprintf(buf, sizeof(buf), "partition-drop %d->%d kind=%u seq=%u type=%d",
+                  pkt.from, pkt.to, pkt.kind, pkt.seq,
+                  static_cast<int>(pkt.msg.type));
+    Trace(time_us, buf);
+    return;
+  }
 
   // Deterministic crash triggers fire at the delivery instant; the frame dies with
   // the node.
@@ -375,6 +663,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
     return;
   }
 
+  // Trigger-armed partition windows count valid delivered frames; the triggering
+  // frame itself is still processed (the cut opens behind it).
+  ArmPartitionTriggers(pkt, time_us);
+
   RecvChannel& rch = ep.recv[pkt.from];
   if (pkt.src_epoch < rch.peer_epoch) {
     std::snprintf(buf, sizeof(buf), "stale-epoch %d->%d seq=%u", pkt.from, pkt.to,
@@ -389,10 +681,23 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
     rch.ooo.clear();
   }
   ObservePeerEpoch(pkt.to, pkt.from, pkt.src_epoch);
+  // Any valid same-or-newer-epoch frame proves the peer alive: refresh its lease
+  // and revive a parked channel.
+  if (config_.membership) {
+    NoteAlive(pkt.to, pkt.from, time_us);
+  }
+
+  if (pkt.kind == 2) {
+    receiver.ChargeCycles(kAckPathCycles);
+    if (pkt.ack == 0) {
+      SendHeartbeat(pkt.to, pkt.from, /*echo=*/true, time_us);
+    }
+    return;
+  }
 
   if (pkt.kind == 1) {
     receiver.ChargeCycles(kAckPathCycles);
-    ProcessAck(pkt.to, pkt.from, pkt.ack, pkt.stream);
+    ProcessAck(pkt.to, pkt.from, pkt.ack, pkt.stream, time_us);
     return;
   }
 
@@ -468,6 +773,9 @@ void Network::CrashNode(int node, double time_us, double restart_after_us) {
   ep.send.clear();
   ep.recv.clear();
   ep.retx_timers.clear();
+  ep.peers.clear();
+  ep.hb_active = false;
+  ep.hb_generation += 1;  // outstanding heartbeat pops become no-ops
   char buf[64];
   std::snprintf(buf, sizeof(buf), "crash node=%d", node);
   Trace(time_us, buf);

@@ -42,15 +42,74 @@ namespace hetm {
 
 class World;
 
+// Jacobson/Karels round-trip estimator (SIGCOMM '88): smoothed RTT plus mean
+// deviation, RTO = SRTT + 4*RTTVAR clamped to configured bounds. The caller is
+// responsible for Karn's rule — never feed a sample measured from a retransmitted
+// frame, since the ack cannot be matched to a transmission.
+struct RttEstimator {
+  double srtt_us = 0.0;
+  double rttvar_us = 0.0;
+  bool has_sample = false;
+
+  void Sample(double rtt_us) {
+    if (rtt_us < 0.0) {
+      rtt_us = 0.0;
+    }
+    if (!has_sample) {
+      srtt_us = rtt_us;
+      rttvar_us = rtt_us / 2.0;
+      has_sample = true;
+      return;
+    }
+    // alpha = 1/8, beta = 1/4, per the original paper's fixed-point gains.
+    rttvar_us += 0.25 * ((srtt_us > rtt_us ? srtt_us - rtt_us : rtt_us - srtt_us) -
+                         rttvar_us);
+    srtt_us += 0.125 * (rtt_us - srtt_us);
+  }
+
+  double Rto(double min_us, double max_us, double initial_us) const {
+    if (!has_sample) {
+      return initial_us;
+    }
+    double rto = srtt_us + 4.0 * rttvar_us;
+    if (rto < min_us) {
+      rto = min_us;
+    }
+    if (rto > max_us) {
+      rto = max_us;
+    }
+    return rto;
+  }
+};
+
 // Tuning knobs of the reliable channel and the handshake/recovery machinery.
 struct NetConfig {
   FaultPlan fault;
-  // Retransmission: initial timeout, multiplicative backoff, attempt cap. The cap
-  // must be deep enough that P(all attempts lost) is negligible at the configured
-  // drop rate — "peer unreachable" must mean "peer crashed".
+  // Retransmission: initial timeout (also the fixed RTO when adaptive_rto is off),
+  // multiplicative backoff, attempt cap. Hitting the cap no longer declares the
+  // peer dead on its own (see lease_us); it parks the channel until the membership
+  // layer rules.
   double rto_us = 15000.0;
   double rto_backoff = 2.0;
   int max_attempts = 10;
+  // Adaptive retransmission (Jacobson/Karels SRTT/RTTVAR, Karn's rule on
+  // retransmitted frames). rto_us seeds the timer until the first sample; the
+  // estimate is clamped to [rto_min_us, rto_max_us].
+  bool adaptive_rto = true;
+  double rto_min_us = 2000.0;
+  double rto_max_us = 120000.0;
+  // Membership / failure detection: while a node has business with a peer (unacked
+  // frames, a parked channel, a pending move handshake or a held reservation) it
+  // probes the peer every heartbeat_us. A peer may only be declared dead — aborting
+  // its handshakes, dropping its hints, reclaiming its reservations — once nothing
+  // has been heard from it for lease_us AND at least lease_probes probes went
+  // unanswered; anything short of that merely parks traffic, which resumes on the
+  // next frame heard (the existing epoch/stream resynchronization covers a peer
+  // that actually restarted meanwhile).
+  bool membership = true;
+  double heartbeat_us = 25000.0;
+  double lease_us = 120000.0;
+  int lease_probes = 2;
   // Move handshake: how long the source waits for kMoveCommit before querying the
   // destination, and how many queries before it presumes the destination dead.
   double move_timeout_us = 80000.0;
@@ -64,7 +123,9 @@ struct NetConfig {
   bool trace = true;  // record the event trace (tests); benches switch it off
 };
 
-// One frame on the wire. kind 0 = data (carries a Message), kind 1 = pure ack.
+// One frame on the wire. kind 0 = data (carries a Message), kind 1 = pure ack,
+// kind 2 = membership heartbeat (ack field: 0 = probe, 1 = echo; unreliable,
+// fire-and-forget).
 struct NetPacket {
   int from = -1;
   int to = -1;
@@ -85,6 +146,7 @@ struct NetPacket {
 inline constexpr uint8_t kTimerNetRetx = 0;      // id = transport timer id
 inline constexpr uint8_t kTimerMoveCheck = 1;    // id = move id
 inline constexpr uint8_t kTimerLocateRetry = 2;  // id = object oid
+inline constexpr uint8_t kTimerHeartbeat = 3;    // id = heartbeat generation
 
 class Network {
  public:
@@ -103,6 +165,7 @@ class Network {
   // Event-loop callbacks (World::Run dispatch).
   void OnPacketEvent(double time_us, const NetPacket& pkt);
   void OnRetxTimer(double time_us, int node, uint64_t timer_id);
+  void OnHeartbeatTimer(double time_us, int node, uint64_t generation);
   void OnAdminEvent(double time_us, int node, bool up);
 
   bool NodeUp(int node) const;
@@ -110,6 +173,16 @@ class Network {
   // transport has not yet decided between "delivered" and "peer unreachable". The
   // move handshake waits on this instead of declaring a stall prematurely.
   bool HasUnacked(int node, int peer) const;
+  // Called by the node layer when it acquires lease interest in a peer outside the
+  // send path (a held reservation): makes sure the heartbeat timer is running so a
+  // dead source is eventually noticed.
+  void EnsureHeartbeat(int node);
+  // RTT estimate of the node->peer channel (null if no channel yet). Tests use
+  // this to assert estimator convergence inside a live world.
+  const RttEstimator* ChannelRtt(int node, int peer) const;
+  // Smallest retransmission delay ever scheduled for a data frame — the invariant
+  // probe for "RTO never underflows the configured floor".
+  double min_data_rto_scheduled() const { return min_data_rto_scheduled_; }
   const NetConfig& config() const { return config_; }
   const std::string& trace() const { return trace_; }
 
@@ -118,13 +191,23 @@ class Network {
     Message msg;
     int attempts = 1;  // transmissions so far
     double rto_us = 0.0;
+    double sent_at_us = 0.0;   // first transmission instant (RTT sampling)
+    bool retransmitted = false;  // Karn's rule: never sample a retransmitted frame
     uint64_t timer_id = 0;
   };
   struct SendChannel {
     uint32_t next_seq = 1;
     uint32_t stream = 1;
     uint32_t peer_epoch_seen = 0;  // 0 = nothing heard from the peer yet
+    bool parked = false;  // retries exhausted; waiting on the membership verdict
+    RttEstimator rtt;
     std::map<uint32_t, Pending> unacked;
+  };
+  // Per-peer membership view: when the peer was last provably alive (any valid
+  // frame from it) and how many probes have gone unanswered since.
+  struct PeerView {
+    double last_heard_us = 0.0;
+    int probes_unanswered = 0;
   };
   struct RecvChannel {
     uint32_t expected = 1;
@@ -137,8 +220,14 @@ class Network {
     uint32_t epoch = 1;
     std::map<int, SendChannel> send;  // by peer
     std::map<int, RecvChannel> recv;  // by peer
+    std::map<int, PeerView> peers;    // membership view, by peer
     uint64_t next_timer_id = 1;
     std::map<uint64_t, std::pair<int, uint32_t>> retx_timers;  // id -> (peer, seq)
+    // Heartbeat scheduling: one self-rescheduling timer per node, alive only while
+    // the node has lease interest in some peer. The generation stamps outstanding
+    // timer events so a stopped/restarted timer's stale pops are no-ops.
+    bool hb_active = false;
+    uint64_t hb_generation = 0;
   };
 
   static uint64_t Checksum(const NetPacket& pkt);
@@ -146,14 +235,27 @@ class Network {
   // `at_us` stamps the ack at the delivery instant (interrupt-level protocol
   // processing), independent of the receiver's runtime clock.
   void SendAck(int from, int to, uint32_t cumulative, uint32_t stream, double at_us);
+  void SendHeartbeat(int from, int to, bool echo, double at_us);
   // Applies the fault model (fixed PRNG draw count) and pushes surviving copies
   // into the world queue.
   void EmitFrame(NetPacket pkt, double base_us = -1.0);
-  void ProcessAck(int self, int peer, uint32_t ack, uint32_t stream);
+  void ProcessAck(int self, int peer, uint32_t ack, uint32_t stream, double time_us);
   void ObservePeerEpoch(int self, int peer, uint32_t epoch);
   void ResetSendChannel(int self, int peer);
   void ScheduleRetx(int self, int peer, uint32_t seq, double delay_us);
+  double CurrentRto(const SendChannel& ch) const;
+  // Retries exhausted on one frame: park the whole channel (suspected peer) and
+  // leave the verdict to the lease machinery. With membership off this still
+  // declares the peer dead immediately, as before.
   void ChannelFail(int self, int peer);
+  // Lease expired: clear the channel (bumping the stream so post-heal traffic is
+  // resynchronized), tell the node, and forget the membership view.
+  void ExpirePeer(int self, int peer, double time_us);
+  // Any valid frame from `peer` proves it alive: refresh the lease and revive a
+  // parked channel by retransmitting its backlog.
+  void NoteAlive(int self, int peer, double time_us);
+  bool PartitionBlocked(int from, int to, double time_us) const;
+  void ArmPartitionTriggers(const NetPacket& pkt, double time_us);
   void CrashNode(int node, double time_us, double restart_after_us);
   void Trace(double time_us, const std::string& line);
 
@@ -162,6 +264,11 @@ class Network {
   NetRng rng_;
   std::vector<Endpoint> endpoints_;
   std::vector<int> trigger_hits_;  // per FaultPlan::crash_triggers entry
+  std::vector<int> partition_hits_;  // per FaultPlan::partitions trigger entry
+  // Resolved partition-open instants (absolute us; <0 = not open yet). Parallel to
+  // FaultPlan::partitions.
+  std::vector<double> partition_open_us_;
+  double min_data_rto_scheduled_ = 1e18;
   std::string trace_;
 };
 

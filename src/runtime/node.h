@@ -12,6 +12,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -63,10 +64,27 @@ class Node {
   void HandleMessage(const Message& msg);
 
   // --- failure / recovery hooks (reliable transport, src/net) -----------------
-  // The channel to `peer` exhausted its retries: `undelivered` holds every message
-  // that never got through, in send order. Aborts affected move handshakes and
-  // re-routes object traffic.
+  // The peer is dead: its lease expired (membership on) or its channel exhausted
+  // retries (membership off). `undelivered` holds every message that never got
+  // through, in send order. In-flight moves to the peer whose transfer is among
+  // the undelivered frames are aborted (the limbo copy is reinstalled); a move
+  // whose transfer was already acknowledged is presumed committed — the transfer
+  // provably installed at the destination, so the limbo copy is released instead,
+  // keeping the thread on exactly one node either way. Object traffic is
+  // re-routed and the dead peer's hints are dropped.
   void OnPeerUnreachable(int peer, std::vector<Message> undelivered);
+  // Lease expiry, destination side: reclaims every move reservation held for the
+  // dead source (its transfer can never arrive) and replays the traffic queued on
+  // it. Returns the number of reservations reclaimed (the transport logs it).
+  int OnPeerExpired(int peer);
+  // Adds every peer this node has lease interest in beyond unacked frames: move
+  // handshake partners (source side) and reservation holders (destination side).
+  void AppendLeasePeers(std::set<int>& out) const;
+  // Why the most recent move handshake on this node was abandoned (tests).
+  const std::string& last_abort_reason() const { return last_abort_reason_; }
+  // Source-observed prepare-to-commit latency of every completed move handshake,
+  // in simulated microseconds (bench_faults tail-latency reporting).
+  const std::vector<double>& move_latencies_us() const { return move_latencies_us_; }
   // Crash-stop: every piece of volatile runtime state is lost. The meter (and thus
   // the clock) survives — simulated time is monotonic across the outage.
   void OnCrash();
@@ -172,6 +190,7 @@ class Node {
     uint32_t id = 0;
     Oid obj = kNilOid;
     int dest = -1;
+    double start_us = 0.0;  // handshake start (latency accounting)
     std::unique_ptr<EmObject> limbo_obj;
     std::vector<Segment> limbo_segs;
     std::vector<Message> queued;  // object/segment traffic held during the handshake
@@ -196,7 +215,10 @@ class Node {
   void HandleLocateQuery(const Message& msg);
   void HandleLocateReply(const Message& msg);
   void CommitMove(uint32_t move_id);
-  void AbortMove(uint32_t move_id);
+  void AbortMove(uint32_t move_id, const char* reason);
+  // Transfer acknowledged but the (now-dead) destination's commit never arrived:
+  // the install provably happened, so release the limbo copy without reinstalling.
+  void ReleaseMovePresumed(uint32_t move_id);
   void StartLocate(Oid oid, const Message& original);
   void BroadcastLocate(Oid oid);
   void FinishLocateRound(Oid oid);
@@ -242,6 +264,8 @@ class Node {
   std::unordered_map<Oid, std::vector<Message>> reserved_queues_;  // held at dest
   std::unordered_map<Oid, PendingLocate> locating_;
   uint32_t next_move_seq_ = 1;
+  std::vector<double> move_latencies_us_;
+  std::string last_abort_reason_;
 
   uint32_t next_oid_counter_ = 1;
   uint32_t next_thread_seq_ = 1;

@@ -506,6 +506,12 @@ Segment Node::UnmarshalSegment(WireReader& r) {
     seg.down.id.thread.home_node = r.I32();
     seg.down.id.thread.seq = r.U32();
     seg.down.id.seg = r.U32();
+    // The down reference is a future reply target: a corrupted node index here
+    // would otherwise ride along until the fragment returns and then be sent to.
+    if (seg.down.node < 0 || seg.down.node >= world_->num_nodes()) {
+      r.Fail();
+      return seg;
+    }
   }
   uint8_t state_byte = r.U8();
   seg.blocked_monitor = r.Oid32();
@@ -694,6 +700,7 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   pm.id = move_id;
   pm.obj = obj_oid;
   pm.dest = dest_node;
+  pm.start_us = now_us();
   auto heap_node = heap_.extract(obj_oid);
   pm.limbo_obj = std::move(heap_node.mapped());
   pm.limbo_segs = std::move(moving);
@@ -717,6 +724,9 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
                     kTimerMoveCheck, move_id);
   pending_moves_.emplace(move_id, std::move(pm));
+  // The pending handshake is lease interest in the destination: keep probing it so
+  // a partition or crash is detected even while the channel idles.
+  world_->net()->EnsureHeartbeat(index_);
   return thread_moved;
 }
 
@@ -877,6 +887,10 @@ void Node::HandleLocationUpdate(const Message& msg) {
 void Node::HandleMovePrepare(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
   incoming_moves_[msg.route_oid] = Reservation{msg.move_id, msg.src_node};
+  // The reservation is lease interest in the source: if the source dies before
+  // the transfer lands, the lease expiry reclaims the reservation instead of
+  // holding the object's traffic hostage forever.
+  world_->net()->EnsureHeartbeat(index_);
 }
 
 void Node::HandleMoveCommit(const Message& msg) {
@@ -906,7 +920,7 @@ void Node::HandleMoveVerdict(const Message& msg) {
     case MoveVerdict::kUnknown:
       // The destination has no record of the move: it crashed since the prepare
       // and its volatile install (if any) is gone. Reclaim ownership.
-      AbortMove(msg.move_id);
+      AbortMove(msg.move_id, "destination lost move state");
       return;
     case MoveVerdict::kPending:
       return;  // still in flight; the move timer keeps watching
@@ -925,6 +939,7 @@ void Node::CommitMove(uint32_t move_id) {
     limbo_seg_index_.erase(s.id);
   }
   meter_.counters().moves_committed += 1;
+  move_latencies_us_.push_back(now_us() - pm.start_us);
   ChargeCycles(kMoveHandshakeCycles);
   // Traffic parked during the handshake chases the object to its new home.
   for (Message& m : pm.queued) {
@@ -936,11 +951,37 @@ void Node::CommitMove(uint32_t move_id) {
   }
 }
 
-void Node::AbortMove(uint32_t move_id) {
+void Node::ReleaseMovePresumed(uint32_t move_id) {
   auto it = pending_moves_.find(move_id);
   if (it == pending_moves_.end()) {
     return;  // already resolved
   }
+  PendingMove pm = std::move(it->second);
+  pending_moves_.erase(it);
+  moving_out_.erase(pm.obj);
+  for (const Segment& s : pm.limbo_segs) {
+    limbo_seg_index_.erase(s.id);
+  }
+  meter_.counters().moves_presumed_committed += 1;
+  ChargeCycles(kMoveHandshakeCycles);
+  // The destination owns the object (its install is what acknowledged the
+  // transfer), so parked traffic chases it there — and if the destination really
+  // is gone for good, that traffic fails over to locate and reports the loss.
+  for (Message& m : pm.queued) {
+    if (m.type == MsgType::kReply) {
+      m.route_seg.node = pm.dest;
+    }
+    m.forward_hops = 0;
+    SendMessage(pm.dest, std::move(m));
+  }
+}
+
+void Node::AbortMove(uint32_t move_id, const char* reason) {
+  auto it = pending_moves_.find(move_id);
+  if (it == pending_moves_.end()) {
+    return;  // already resolved
+  }
+  last_abort_reason_ = reason;
   PendingMove pm = std::move(it->second);
   pending_moves_.erase(it);
   moving_out_.erase(pm.obj);
@@ -997,14 +1038,37 @@ void Node::OnMoveTimer(uint32_t move_id) {
 // ---------------------------------------------------------------------------
 
 void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
+  // Resolve in-flight handshakes to the dead peer first, by what provably reached
+  // it. A move whose prepare/transfer is among the undelivered frames never
+  // installed: abort and reinstall the limbo copy. A move whose transfer was
+  // acknowledged DID install (the install is what acks it), so the destination
+  // owns the object even though its commit never got back — release the limbo
+  // copy instead of reinstalling, or the thread would run on two nodes.
+  std::unordered_set<uint32_t> transfer_undelivered;
+  for (const Message& msg : undelivered) {
+    if (msg.type == MsgType::kMovePrepare || msg.type == MsgType::kMoveObject) {
+      transfer_undelivered.insert(msg.move_id);
+    }
+  }
+  std::vector<uint32_t> involved;
+  for (const auto& [id, pm] : pending_moves_) {
+    if (pm.dest == peer) {
+      involved.push_back(id);
+    }
+  }
+  for (uint32_t id : involved) {
+    if (transfer_undelivered.count(id) != 0) {
+      AbortMove(id, "peer unreachable before transfer delivery");
+    } else {
+      ReleaseMovePresumed(id);
+    }
+  }
   for (Message& msg : undelivered) {
     switch (msg.type) {
       case MsgType::kMovePrepare:
       case MsgType::kMoveObject:
       case MsgType::kMoveQuery:
-        // Our handshake partner is dead; reclaim the limbo copy.
-        AbortMove(msg.move_id);
-        break;
+        break;  // the handshake was resolved in the pre-pass above
       case MsgType::kInvoke:
       case MsgType::kMoveRequest: {
         Oid oid = msg.route_oid;
@@ -1045,6 +1109,40 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
       case MsgType::kLocateReply:
         break;  // the intended receiver died with the state these addressed
     }
+  }
+}
+
+int Node::OnPeerExpired(int peer) {
+  std::vector<Oid> gone;
+  for (const auto& [oid, res] : incoming_moves_) {
+    if (res.src == peer) {
+      gone.push_back(oid);
+    }
+  }
+  for (Oid oid : gone) {
+    incoming_moves_.erase(oid);
+    meter_.counters().reservations_reclaimed += 1;
+    auto q = reserved_queues_.find(oid);
+    if (q == reserved_queues_.end()) {
+      continue;
+    }
+    std::vector<Message> held = std::move(q->second);
+    reserved_queues_.erase(q);
+    // With the reservation gone the object is simply "not here": held traffic
+    // re-routes by hint or locate like any other misdelivered message.
+    for (const Message& m : held) {
+      HandleMessage(m);
+    }
+  }
+  return static_cast<int>(gone.size());
+}
+
+void Node::AppendLeasePeers(std::set<int>& out) const {
+  for (const auto& [id, pm] : pending_moves_) {
+    out.insert(pm.dest);
+  }
+  for (const auto& [oid, res] : incoming_moves_) {
+    out.insert(res.src);
   }
 }
 

@@ -107,6 +107,10 @@ void World::Dispatch(const Event& ev) {
         net_->OnRetxTimer(ev.time, ev.dst, ev.timer_id);
         return;
       }
+      if (ev.timer_kind == kTimerHeartbeat) {
+        net_->OnHeartbeatTimer(ev.time, ev.dst, ev.timer_id);
+        return;
+      }
       if (net_ != nullptr && !net_->NodeUp(ev.dst)) {
         return;  // crash cleared the state this timer was guarding
       }

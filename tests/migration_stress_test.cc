@@ -354,5 +354,63 @@ TEST(MigrationStress, FiftyHopTourSurvivesSeededLossyNetwork) {
   EXPECT_GT(retransmits, 0u);
 }
 
+// Destination-side reservation reclaim: a move handshake dies right after the
+// kMovePrepare lands, so the destination is left holding a reservation for a
+// transfer that will never arrive. From the destination's point of view this is
+// indistinguishable from the source being killed mid-prepare (a permanent
+// partition opening at the prepare delivery — an actual source crash would also
+// wipe the only copy of the object, which is exactly what must NOT happen here).
+// The reservation must time out via the lease, be logged, and the object must
+// remain runnable at exactly one node: the source, where the thread resumes from
+// limbo and keeps answering invocations.
+TEST(MigrationStress, DeadSourceReservationIsReclaimedAtDestination) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = true;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMovePrepare;
+  w.heal_after_us = -1.0;  // the "dead" source never comes back into view
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(R"(
+    class Worker
+      var jobs: Int
+      op run(): Int
+        jobs := jobs + 1
+        move self to nodeat(1)
+        jobs := jobs + 1
+        return jobs
+      end
+      op again(): Int
+        jobs := jobs + 1
+        return jobs
+      end
+    end
+    main
+      var w: Ref := new Worker
+      print w.run()
+      print w.again()
+      print locate(w) == nodeat(0)
+    end
+  )"));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  // The thread ran exactly once through run() (abort resumed it from limbo, it
+  // never re-executed), and the object still answers invocations at the source.
+  EXPECT_EQ(sys.output(), "2\n3\ntrue\n");
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  EXPECT_NE(sys.node(0).last_abort_reason().find("transfer"), std::string::npos)
+      << sys.node(0).last_abort_reason();
+  // The destination reclaimed (and logged) the orphaned reservation.
+  EXPECT_EQ(sys.node(1).meter().counters().reservations_reclaimed, 1u);
+  EXPECT_GE(sys.node(1).meter().counters().leases_expired, 1u);
+  EXPECT_NE(sys.world().net()->trace().find("reserve-reclaim"), std::string::npos);
+  EXPECT_TRUE(sys.node(1).ResidentUserObjects().empty());
+}
+
 }  // namespace
 }  // namespace hetm

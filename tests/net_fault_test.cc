@@ -148,10 +148,10 @@ TEST(NetFault, SameSeedReplaysIdenticalTrace) {
 }
 
 // The destination crash-stops at the instant the kMoveObject transfer frame would
-// arrive — the frame dies with the node. The source's retransmit chain exhausts,
-// the transport declares the peer unreachable, and the move handshake aborts: the
-// thread resumes from the limbo copy at the source, which remains the single
-// owner.
+// arrive — the frame dies with the node. The source's retransmit chain parks the
+// channel, the heartbeat probes go unanswered until the dead node's lease expires,
+// and the move handshake aborts with the transfer provably undelivered: the thread
+// resumes from the limbo copy at the source, which remains the single owner.
 TEST(NetFault, DestCrashMidMoveLeavesThreadAtSource) {
   const char* source = R"(
     class Roamer
@@ -185,14 +185,21 @@ TEST(NetFault, DestCrashMidMoveLeavesThreadAtSource) {
   EXPECT_EQ(sys.output(), "8\ntrue\n");
   EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
   EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 0u);
+  // Only the lease verdict may declare the peer dead, and the abort must name the
+  // provable cause: the transfer frames never got through.
+  EXPECT_GE(sys.node(0).meter().counters().leases_expired, 1u);
+  EXPECT_NE(sys.node(0).last_abort_reason().find("transfer"), std::string::npos)
+      << sys.node(0).last_abort_reason();
   ExpectExactlyOneCopyEach(sys, 2);
   EXPECT_TRUE(sys.node(1).ResidentUserObjects().empty());
 }
 
-// Same crash window, but the destination restarts. The retransmitted transfer
-// reaches the new incarnation, which has no reservation for the move and drops it;
-// the source's kMoveQuery gets a kUnknown verdict and the move aborts cleanly.
-// Exercises the epoch/stream resynchronisation path end to end.
+// Same crash window, but the destination restarts after kMidMoveRestartAfterUs —
+// inside the source's lease on it, so the failure detector never rules. The
+// retransmitted transfer reaches the new incarnation, which has no reservation for
+// the move and drops it; the source's kMoveQuery gets a kUnknown verdict and the
+// move aborts cleanly. Exercises the epoch/stream resynchronisation path end to
+// end.
 TEST(NetFault, DestCrashAndRestartMidMoveAbortsCleanly) {
   const char* source = R"(
     class Roamer
@@ -216,13 +223,19 @@ TEST(NetFault, DestCrashAndRestartMidMoveAbortsCleanly) {
   NetConfig cfg;
   cfg.fault.crash_triggers.push_back(
       CrashTrigger{/*node=*/1, /*on_type=*/MsgType::kMoveObject, /*nth=*/1,
-                   /*restart_after_us=*/200000.0});
+                   /*restart_after_us=*/kMidMoveRestartAfterUs});
   ASSERT_TRUE(sys.Load(source));
   sys.world().EnableNet(cfg);
   ASSERT_TRUE(sys.Run()) << sys.error();
 
   EXPECT_EQ(sys.output(), "8\ntrue\n");
   EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  // The abort must come from the verdict query, not a racing lease expiry: the
+  // destination was back before the lease could run out.
+  EXPECT_EQ(sys.node(0).meter().counters().leases_expired, 0u);
+  EXPECT_NE(sys.node(0).last_abort_reason().find("lost move state"),
+            std::string::npos)
+      << sys.node(0).last_abort_reason();
   // The restarted incarnation must never have installed the object.
   EXPECT_EQ(sys.node(1).meter().counters().moves_committed, 0u);
   ExpectExactlyOneCopyEach(sys, 2);

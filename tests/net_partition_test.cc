@@ -1,0 +1,211 @@
+// Partition tolerance of the mobility protocol (lease-based failure detection,
+// DESIGN.md section 9). Two regimes, each in both cut geometries:
+//
+//  * A partition that heals before any lease expires is invisible to the program:
+//    the in-flight move parks (channels stop retransmitting at the retry cap, the
+//    handshake stays pending) and completes after the heal with ZERO aborts.
+//  * A partition that outlasts the lease resolves deterministically by what
+//    provably crossed the cut before it opened: transfer undelivered -> the source
+//    aborts and the thread resumes at the source; transfer acknowledged -> the
+//    source presumes the install and releases its limbo copy, leaving the object
+//    at the destination. Either way the thread/object lives on exactly one node,
+//    and the destination's orphaned reservation is reclaimed and logged.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+
+namespace hetm {
+namespace {
+
+// One genuine cross-node migration with the migrating thread inside the object;
+// prints the rolling state and where the object ended up.
+std::string RoamerSource(int expect_node) {
+  return R"(
+    class Roamer
+      var state: Int
+      op go(): Int
+        state := 7
+        move self to nodeat(1)
+        state := state + 1
+        return state
+      end
+    end
+    main
+      var r: Ref := new Roamer
+      print r.go()
+      print locate(r) == nodeat()" +
+         std::to_string(expect_node) + R"()
+    end
+)";
+}
+
+void ExpectExactlyOneCopyEach(EmeraldSystem& sys, int nodes) {
+  std::map<Oid, int> copies;
+  for (int i = 0; i < nodes; ++i) {
+    for (Oid oid : sys.node(i).ResidentUserObjects()) {
+      copies[oid] += 1;
+    }
+  }
+  EXPECT_FALSE(copies.empty());
+  for (const auto& [oid, count] : copies) {
+    EXPECT_EQ(count, 1) << "object " << oid << " has " << count << " live copies";
+  }
+}
+
+// Symmetric cut opening at the kMovePrepare delivery — the reservation is in
+// place, everything after it (the transfer, every ack) dies at the cut. The heal
+// lands inside the lease, so neither side ever declares the other dead and the
+// parked handshake simply finishes late.
+TEST(NetPartition, SymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {0};
+  w.symmetric = true;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMovePrepare;
+  w.heal_after_us = 60000.0;  // < lease_us: the failure detector must hold fire
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(RoamerSource(/*expect_node=*/1)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "8\ntrue\n");
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(sys.node(i).meter().counters().moves_aborted, 0u) << "node " << i;
+    EXPECT_EQ(sys.node(i).meter().counters().leases_expired, 0u) << "node " << i;
+  }
+  EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
+  ExpectExactlyOneCopyEach(sys, 2);
+  // The cut must actually have bitten, and retransmissions carried the recovery.
+  EXPECT_NE(sys.world().net()->trace().find("partition-drop"), std::string::npos);
+  EXPECT_GT(sys.node(0).meter().counters().retransmits, 0u);
+}
+
+// Asymmetric cut (only frames LEAVING the destination die — the classic one-way
+// failure): the transfer installs and the thread runs on at the destination, but
+// the commit, the acks and the reply are all trapped behind the cut until the
+// heal. Still zero aborts, and the move commits once the cut heals.
+TEST(NetPartition, AsymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = false;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMoveObject;
+  w.heal_after_us = 60000.0;
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(RoamerSource(/*expect_node=*/1)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "8\ntrue\n");
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(sys.node(i).meter().counters().moves_aborted, 0u) << "node " << i;
+    EXPECT_EQ(sys.node(i).meter().counters().leases_expired, 0u) << "node " << i;
+  }
+  EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
+  ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_NE(sys.world().net()->trace().find("partition-drop"), std::string::npos);
+}
+
+// Ordering 1 of a partition outlasting the lease: the cut opens before the
+// transfer could be delivered. The source's lease on the destination expires with
+// the transfer provably undelivered, so it aborts and the thread resumes from the
+// limbo copy at the source; the destination's lease on the source expires
+// independently and reclaims the orphaned reservation.
+TEST(NetPartition, PartitionOutlastingLeaseAbortsWithThreadAtSource) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = true;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMovePrepare;
+  w.heal_after_us = -1.0;  // never heals: well past any lease
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(RoamerSource(/*expect_node=*/0)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  // The thread ran to completion at the source, exactly once.
+  EXPECT_EQ(sys.output(), "8\ntrue\n");
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 0u);
+  EXPECT_GE(sys.node(0).meter().counters().leases_expired, 1u);
+  EXPECT_NE(sys.node(0).last_abort_reason().find("transfer"), std::string::npos)
+      << sys.node(0).last_abort_reason();
+  // Destination side: nothing installed, reservation reclaimed and logged.
+  EXPECT_TRUE(sys.node(1).ResidentUserObjects().empty());
+  EXPECT_EQ(sys.node(1).meter().counters().reservations_reclaimed, 1u);
+  EXPECT_NE(sys.world().net()->trace().find("reserve-reclaim"), std::string::npos);
+  ExpectExactlyOneCopyEach(sys, 2);
+}
+
+// Ordering 2: the cut opens at the delivery of the ack that covers the transfer
+// (start_on_ack, nth=2: prepare's ack, then the transfer's). The install provably
+// happened, only the commit is trapped. The source's lease expiry finds no
+// undelivered transfer and PRESUMES the commit — releasing its limbo copy instead
+// of reinstalling it — so the object lives at the destination, not on two nodes.
+// The move is initiated without the thread inside it so the program itself never
+// has to speak across the permanent cut.
+TEST(NetPartition, PartitionOutlastingLeasePresumesCommitAtDestination) {
+  const char* source = R"(
+    class Keeper
+      var held: Int
+      op set(v: Int): Int
+        held := v
+        return held
+      end
+    end
+    main
+      var k: Ref := new Keeper
+      print k.set(4)
+      move k to nodeat(1)
+      print 5
+    end
+)";
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {0};
+  w.symmetric = true;
+  w.start_trigger_node = 0;
+  w.start_on_ack = true;
+  w.start_nth = 2;
+  w.heal_after_us = -1.0;
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "4\n5\n");
+  // Source: no abort, no commit — the limbo copy was released on presumption.
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 0u);
+  EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 0u);
+  EXPECT_EQ(sys.node(0).meter().counters().moves_presumed_committed, 1u);
+  // Destination: installed and sole owner; its own lease on the source expired
+  // while the commit sat undeliverable.
+  EXPECT_EQ(sys.node(1).ResidentUserObjects().size(), 1u);
+  // The source keeps only the program's root object; the Keeper's limbo copy is
+  // gone (ExpectExactlyOneCopyEach below proves it lives solely at node 1).
+  EXPECT_EQ(sys.node(0).ResidentUserObjects().size(), 1u);
+  EXPECT_GE(sys.node(1).meter().counters().leases_expired, 1u);
+  ExpectExactlyOneCopyEach(sys, 2);
+}
+
+}  // namespace
+}  // namespace hetm

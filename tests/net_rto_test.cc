@@ -1,0 +1,165 @@
+// Adaptive retransmission timers (Jacobson/Karels SRTT/RTTVAR with Karn's rule).
+// Unit tests pin down the estimator arithmetic; the in-world tests check that the
+// transport actually feeds it honest samples (no samples from retransmitted
+// frames) and that the scheduled data RTO never underflows the configured floor,
+// even under heavy loss where backoff and re-sampling interleave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+
+namespace hetm {
+namespace {
+
+constexpr double kMin = 2000.0;
+constexpr double kMax = 120000.0;
+constexpr double kInitial = 15000.0;
+
+TEST(NetRto, NoSampleFallsBackToInitial) {
+  RttEstimator est;
+  EXPECT_EQ(est.Rto(kMin, kMax, kInitial), kInitial);
+}
+
+TEST(NetRto, SteadyRttConvergesToTightTimeout) {
+  RttEstimator est;
+  for (int i = 0; i < 64; ++i) {
+    est.Sample(4000.0);
+  }
+  // RTTVAR decays toward zero on a constant stream, so RTO -> SRTT = 4 ms,
+  // clamped from below only by the floor.
+  EXPECT_NEAR(est.srtt_us, 4000.0, 1.0);
+  double rto = est.Rto(kMin, kMax, kInitial);
+  EXPECT_GE(rto, 4000.0);
+  EXPECT_LT(rto, 4400.0);
+  EXPECT_LT(rto, kInitial) << "adaptive RTO should beat the fixed 15 ms timer";
+}
+
+TEST(NetRto, JitterWidensTheTimeout) {
+  RttEstimator steady;
+  RttEstimator jittery;
+  for (int i = 0; i < 64; ++i) {
+    steady.Sample(4000.0);
+    jittery.Sample(i % 2 == 0 ? 3000.0 : 5000.0);
+  }
+  // Same mean RTT, but the variance term must keep the jittery channel's RTO
+  // strictly above the quiet channel's.
+  EXPECT_NEAR(jittery.srtt_us, 4000.0, 300.0);
+  EXPECT_GT(jittery.Rto(kMin, kMax, kInitial), steady.Rto(kMin, kMax, kInitial));
+}
+
+TEST(NetRto, ClampsToFloorAndCeiling) {
+  RttEstimator fast;
+  for (int i = 0; i < 64; ++i) {
+    fast.Sample(100.0);  // sub-floor RTT: RTO must not chase it below rto_min
+  }
+  EXPECT_EQ(fast.Rto(kMin, kMax, kInitial), kMin);
+
+  RttEstimator slow;
+  for (int i = 0; i < 8; ++i) {
+    slow.Sample(1.0e6);  // pathological RTT: RTO pinned at the ceiling
+  }
+  EXPECT_EQ(slow.Rto(kMin, kMax, kInitial), kMax);
+}
+
+TEST(NetRto, FirstSampleSeedsSrttAndVariance) {
+  RttEstimator est;
+  est.Sample(6000.0);
+  EXPECT_DOUBLE_EQ(est.srtt_us, 6000.0);
+  EXPECT_DOUBLE_EQ(est.rttvar_us, 3000.0);
+  EXPECT_DOUBLE_EQ(est.Rto(kMin, kMax, kInitial), 18000.0);  // srtt + 4*rttvar
+}
+
+// A cross-node program chatty enough to produce a stream of acked data frames on
+// the 0->1 channel (each move handshake contributes prepare/transfer/commit
+// round-trips in both directions).
+std::string PingPongSource(int rounds) {
+  return R"(
+    class Shuttle
+      var pad: Int
+      op run(rounds: Int): Int
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat(1)
+          move self to nodeat(0)
+          i := i + 1
+        end
+        return i
+      end
+    end
+    main
+      var s: Ref := new Shuttle
+      print s.run()" +
+         std::to_string(rounds) + R"()
+    end
+)";
+}
+
+TEST(NetRto, FaultFreeRunLearnsAPlausibleRtt) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  ASSERT_TRUE(sys.Load(PingPongSource(4)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "4\n");
+
+  const RttEstimator* rtt = sys.world().net()->ChannelRtt(0, 1);
+  ASSERT_NE(rtt, nullptr);
+  ASSERT_TRUE(rtt->has_sample) << "fault-free acked frames must feed the estimator";
+  // 2 ms propagation each way plus serialization: the learned SRTT has to sit in
+  // the low-millisecond band, nowhere near the 15 ms fixed default.
+  EXPECT_GT(rtt->srtt_us, 1000.0);
+  EXPECT_LT(rtt->srtt_us, 15000.0);
+  uint64_t retx = 0;
+  for (int i = 0; i < 2; ++i) {
+    retx += sys.node(i).meter().counters().retransmits;
+  }
+  EXPECT_EQ(retx, 0u) << "no loss -> every sample is a clean (Karn-eligible) one";
+}
+
+TEST(NetRto, ScheduledRtoNeverUnderflowsFloorUnderHeavyLoss) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  cfg.fault.seed = 0xF100Dull;
+  cfg.fault.drop_rate = 0.10;
+  ASSERT_TRUE(sys.Load(PingPongSource(6)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "6\n");
+
+  // The transport records the smallest RTO it ever armed for a data frame; the
+  // invariant is that adaptation plus Karn's rule can never push it below the
+  // configured floor, no matter how the loss pattern interleaves with sampling.
+  EXPECT_GE(sys.world().net()->min_data_rto_scheduled(), cfg.rto_min_us);
+  EXPECT_LT(sys.world().net()->min_data_rto_scheduled(), 1e17)
+      << "at least one data frame must actually have been scheduled";
+}
+
+TEST(NetRto, FixedModeKeepsLegacyTimerAndLearnsNothing) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  cfg.adaptive_rto = false;
+  ASSERT_TRUE(sys.Load(PingPongSource(3)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "3\n");
+
+  // Every data frame is armed with exactly the fixed timeout, and the estimator
+  // is never fed.
+  EXPECT_EQ(sys.world().net()->min_data_rto_scheduled(), cfg.rto_us);
+  const RttEstimator* rtt = sys.world().net()->ChannelRtt(0, 1);
+  if (rtt != nullptr) {
+    EXPECT_FALSE(rtt->has_sample);
+  }
+}
+
+}  // namespace
+}  // namespace hetm
