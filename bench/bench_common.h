@@ -5,9 +5,13 @@
 #ifndef HETM_BENCH_BENCH_COMMON_H_
 #define HETM_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/emerald/system.h"
+#include "src/obs/metrics.h"
 #include "src/support/check.h"
 
 namespace hetm::benchutil {
@@ -64,7 +68,8 @@ inline std::string MoverSource(int rounds, bool small_thread) {
 }
 
 inline double RunMoverMs(const MachineModel& a, const MachineModel& b,
-                         ConversionStrategy strategy, int rounds, bool small_thread) {
+                         ConversionStrategy strategy, int rounds, bool small_thread,
+                         MetricsRegistry* obs = nullptr) {
   EmeraldSystem sys(strategy);
   sys.AddNode(a);
   sys.AddNode(b);
@@ -72,19 +77,78 @@ inline double RunMoverMs(const MachineModel& a, const MachineModel& b,
   HETM_CHECK_MSG(loaded, "mover program failed to compile");
   bool ok = sys.Run();
   HETM_CHECK_MSG(ok, "mover program failed to run");
+  if (obs != nullptr) {
+    sys.world().ExportMetrics();
+    obs->Merge(sys.world().metrics());
+  }
   return sys.ElapsedMs();
 }
 
 // Marginal simulated milliseconds per round trip (two thread moves), measured as a
-// difference quotient so setup, code loading and teardown cancel out.
+// difference quotient so setup, code loading and teardown cancel out. When `obs`
+// is given, the larger run's metrics registry (phase histograms, counters) is
+// merged into it.
 inline double MigrationRoundTripMs(const MachineModel& a, const MachineModel& b,
                                    ConversionStrategy strategy,
-                                   bool small_thread = false) {
+                                   bool small_thread = false,
+                                   MetricsRegistry* obs = nullptr) {
   constexpr int kLo = 8;
   constexpr int kHi = 24;
   double lo = RunMoverMs(a, b, strategy, kLo, small_thread);
-  double hi = RunMoverMs(a, b, strategy, kHi, small_thread);
+  double hi = RunMoverMs(a, b, strategy, kHi, small_thread, obs);
   return (hi - lo) / (kHi - kLo);
+}
+
+// Writes/updates one bench's section of BENCH_obs.json (phase-attributed
+// percentiles and counters from the metrics registry). The file holds one
+// section per bench binary, one line each; a rerun replaces only its own line,
+// so the benches compose into a single report.
+inline void WriteObsSection(const std::string& bench, const std::string& json) {
+  const char* path = "BENCH_obs.json";
+  std::vector<std::string> sections;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line == "{" || line == "}") {
+        continue;
+      }
+      if (line.back() == ',') {
+        line.pop_back();
+      }
+      if (line.rfind("\"" + bench + "\":", 0) == 0) {
+        continue;  // replaced below
+      }
+      sections.push_back(line);
+    }
+  }
+  sections.push_back("\"" + bench + "\": " + json);
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << sections[i] << (i + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+// Phase-attributed latency table from the tracer's span histograms
+// ("phase.<name>_us" entries recorded when each span ends).
+inline void PrintPhaseTable(const MetricsRegistry& obs, const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-24s | %8s | %10s | %10s | %10s\n", "phase", "spans", "p50 (us)",
+              "p99 (us)", "max (us)");
+  std::printf("%.*s\n", 74,
+              "--------------------------------------------------------------------"
+              "----------");
+  for (const auto& [name, h] : obs.histograms()) {
+    if (name.rfind("phase.", 0) != 0) {
+      continue;
+    }
+    std::printf("%-24s | %8llu | %10.1f | %10.1f | %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(h.count()), h.Percentile(50.0),
+                h.Percentile(99.0), h.max());
+  }
+  std::printf("\n");
 }
 
 }  // namespace hetm::benchutil

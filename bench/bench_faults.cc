@@ -71,9 +71,11 @@ FaultRunResult MigrationUnderDrop(bool reliable, double drop_rate) {
 }
 
 // Per-move commit latencies (prepare sent -> commit received, simulated us) for
-// one seeded lossy run; both nodes contribute since the mover bounces both ways.
+// one seeded lossy run, pulled from the world's metrics registry; both nodes
+// contribute since the mover bounces both ways. The full registry (phase
+// histograms included) merges into `obs` for the BENCH_obs.json report.
 void CollectMoveLatencies(bool adaptive, double drop_rate, uint64_t seed,
-                          std::vector<double>* out) {
+                          LogHistogram* lat, MetricsRegistry* obs) {
   EmeraldSystem sys(ConversionStrategy::kNaive);
   sys.AddNode(SparcStationSlc());
   sys.AddNode(VaxStation4000());
@@ -83,23 +85,22 @@ void CollectMoveLatencies(bool adaptive, double drop_rate, uint64_t seed,
   cfg.fault.seed = seed;
   cfg.fault.drop_rate = drop_rate;
   cfg.adaptive_rto = adaptive;
-  cfg.trace = false;
+  cfg.trace = false;  // frame-level instants off; lifecycle spans still record
   sys.world().EnableNet(cfg);
   bool ok = sys.Run();
   HETM_CHECK_MSG(ok, "mover program failed to run");
-  for (int i = 0; i < 2; ++i) {
-    const std::vector<double>& lat = sys.node(i).move_latencies_us();
-    out->insert(out->end(), lat.begin(), lat.end());
+  sys.world().ExportMetrics();
+  const LogHistogram* h = sys.world().metrics().FindHistogram("move.commit_latency_us");
+  if (h != nullptr) {
+    lat->Merge(*h);
+  }
+  if (obs != nullptr && adaptive && drop_rate == 0.10) {
+    // The headline configuration: phase-attributed percentiles for the report.
+    obs->Merge(sys.world().metrics());
   }
 }
 
-double Percentile(std::vector<double>* samples, double p) {
-  std::sort(samples->begin(), samples->end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(samples->size() - 1) + 0.5);
-  return (*samples)[idx];
-}
-
-void PrintRtoTable() {
+void PrintRtoTable(MetricsRegistry* obs) {
   std::printf("\n=== Move latency: adaptive vs fixed RTO (SPARC <-> VAX) ===\n");
   std::printf("%-10s | %-8s | %7s | %9s | %9s\n", "drop rate", "timer", "samples",
               "p50 (ms)", "p99 (ms)");
@@ -108,20 +109,21 @@ void PrintRtoTable() {
   double p99_by_timer[2] = {0.0, 0.0};  // [adaptive] at 10% drop, [fixed] at 10%
   for (double drop : {0.01, 0.10}) {
     for (bool adaptive : {true, false}) {
-      std::vector<double> lat;
+      LogHistogram lat;
       // Three seeds x 48 moves per run: enough samples for a stable p99.
       for (uint64_t seed : {11ull, 22ull, 33ull}) {
-        CollectMoveLatencies(adaptive, drop, seed, &lat);
+        CollectMoveLatencies(adaptive, drop, seed, &lat, obs);
       }
-      double p50 = Percentile(&lat, 0.50) / 1000.0;
-      double p99 = Percentile(&lat, 0.99) / 1000.0;
+      double p50 = lat.Percentile(50.0) / 1000.0;
+      double p99 = lat.Percentile(99.0) / 1000.0;
       if (drop == 0.10) {
         p99_by_timer[adaptive ? 0 : 1] = p99;
       }
       char rate[16];
       std::snprintf(rate, sizeof(rate), "%.0f%%", drop * 100.0);
-      std::printf("%-10s | %-8s | %7zu | %9.2f | %9.2f\n", rate,
-                  adaptive ? "adaptive" : "fixed", lat.size(), p50, p99);
+      std::printf("%-10s | %-8s | %7llu | %9.2f | %9.2f\n", rate,
+                  adaptive ? "adaptive" : "fixed",
+                  static_cast<unsigned long long>(lat.count()), p50, p99);
     }
   }
   std::printf(
@@ -192,7 +194,11 @@ BENCHMARK(BM_MigrationReliableTenPctDrop)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   hetm::PrintFaultTable();
-  hetm::PrintRtoTable();
+  hetm::MetricsRegistry obs;
+  hetm::PrintRtoTable(&obs);
+  hetm::benchutil::PrintPhaseTable(
+      obs, "Phase-attributed move latency (adaptive RTO, 10% drop)");
+  hetm::benchutil::WriteObsSection("faults_adaptive_10pct_drop", obs.ToJson());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

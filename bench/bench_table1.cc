@@ -60,10 +60,11 @@ void PrintTable() {
   std::printf("%.*s\n", 96,
               "-----------------------------------------------------------------------"
               "-------------------------");
+  MetricsRegistry obs;  // phase histograms merged across every enhanced run
   for (const Row& row : Table1Rows()) {
     double enhanced =
         2.0 * benchutil::MigrationRoundTripMs(row.a, row.b, ConversionStrategy::kNaive,
-                                              row.small_thread) /
+                                              row.small_thread, &obs) /
         2.0;  // round trip already = two moves
     std::optional<double> original;
     if (Homogeneous(row)) {
@@ -98,6 +99,9 @@ void PrintTable() {
   std::printf(
       "\n(paper N/A cells: the authors' last VAX died and only one Sun-3 remained;\n"
       " our simulated testbed can measure every pair.)\n\n");
+  benchutil::PrintPhaseTable(obs,
+                             "Phase-attributed move latency (all Table 1 pairs)");
+  benchutil::WriteObsSection("table1_enhanced_all_pairs", obs.ToJson());
 }
 
 // Host-time benchmark: how fast the simulator itself executes the Table 1 workload.

@@ -7,16 +7,22 @@
 //                       [--opt O0,O1,...]      per-node optimization levels
 //                       [--stats] [--disasm CLASS.OP]
 //                       [--drop R] [--dup R] [--seed N] [--net-trace]
+//                       [--trace-out FILE] [--metrics]
 //                       [--fixed-rto] [--rto-min US] [--rto-max US]
 //                       [--lease US] [--heartbeat US]
 //                       [--partition A+B+..:START_US:HEAL_US]
 //
 // --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
 // reliable transport (src/net) with the given frame loss / duplication rates.
-// --fixed-rto disables the adaptive (SRTT/RTTVAR) retransmit timer; --rto-min/max
-// bound the adaptive estimate. --lease/--heartbeat tune the failure detector.
-// --partition cuts nodes A,B,.. (indices into --nodes, '+'-separated) off from the
-// rest symmetrically at START_US, healing HEAL_US later (negative = never).
+// --trace-out writes the run's event trace as Chrome trace-event JSON (load it at
+// ui.perfetto.dev or chrome://tracing: each move is one async track spanning the
+// nodes it touched). --metrics dumps the metrics registry (counters, gauges,
+// phase-latency histograms) to stderr. --net-trace prints the event stream as
+// text. --fixed-rto disables the adaptive (SRTT/RTTVAR) retransmit timer;
+// --rto-min/max bound the adaptive estimate. --lease/--heartbeat tune the
+// failure detector. --partition cuts nodes A,B,.. (indices into --nodes,
+// '+'-separated) off from the rest symmetrically at START_US, healing HEAL_US
+// later (negative = never).
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
@@ -69,6 +75,7 @@ int Usage() {
                "                [--variant original|enhanced|fast] [--opt O0,O1,...]\n"
                "                [--stats] [--disasm CLASS.OP]\n"
                "                [--drop RATE] [--dup RATE] [--seed N] [--net-trace]\n"
+               "                [--trace-out FILE] [--metrics]\n"
                "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
                "                [--lease US] [--heartbeat US]\n"
                "                [--partition A+B+..:START_US:HEAL_US]\n");
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
   uint64_t net_seed = 1;
   bool net_trace = false;
   bool use_net = false;
+  bool metrics = false;
+  std::string trace_out;
   bool fixed_rto = false;
   double rto_min_us = -1.0;
   double rto_max_us = -1.0;
@@ -146,6 +155,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--net-trace") {
       net_trace = true;
       use_net = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_out = v;
+      use_net = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      if (trace_out.empty()) return Usage();
+      use_net = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--fixed-rto") {
       fixed_rto = true;
       use_net = true;
@@ -248,7 +268,7 @@ int main(int argc, char** argv) {
     cfg.fault.seed = net_seed;
     cfg.fault.drop_rate = drop_rate;
     cfg.fault.duplicate_rate = dup_rate;
-    cfg.trace = net_trace;
+    cfg.trace = net_trace || !trace_out.empty();
     cfg.adaptive_rto = !fixed_rto;
     if (rto_min_us >= 0.0) cfg.rto_min_us = rto_min_us;
     if (rto_max_us >= 0.0) cfg.rto_max_us = rto_max_us;
@@ -274,8 +294,24 @@ int main(int argc, char** argv) {
 
   bool ok = sys.Run();
   std::fputs(sys.output().c_str(), stdout);
-  if (net_trace && sys.world().net() != nullptr) {
-    std::fputs(sys.world().net()->trace().c_str(), stderr);
+  if (net_trace) {
+    std::fputs(sys.world().tracer().ToText().c_str(), stderr);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream trace_file(trace_out, std::ios::trunc);
+    if (!trace_file) {
+      std::fprintf(stderr, "hetm_run: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    trace_file << sys.world().tracer().ToChromeJson();
+    std::fprintf(stderr, "hetm_run: wrote %llu trace events to %s\n",
+                 static_cast<unsigned long long>(sys.world().tracer().emitted()),
+                 trace_out.c_str());
+  }
+  if (metrics) {
+    sys.world().ExportMetrics();
+    std::fprintf(stderr, "\n--- metrics registry ---\n%s",
+                 sys.world().metrics().Render().c_str());
   }
   if (!ok) {
     std::fprintf(stderr, "hetm_run: %s\n", sys.error().c_str());

@@ -41,7 +41,13 @@ struct CostCounters {
   uint64_t reconnects = 0;        // suspected peers heard from again (channel revived)
   uint64_t reservations_reclaimed = 0;  // dest-side move reservations timed out
   uint64_t moves_presumed_committed = 0;  // limbo released: transfer provably landed
+  // --- dead-letter queue (kReply frames undelivered at lease expiry) ---
+  uint64_t replies_parked = 0;   // replies held for a suspected-dead waiter
+  uint64_t replies_flushed = 0;  // parked replies delivered after a reconnect
+  uint64_t replies_dropped = 0;  // parked replies abandoned (restart or hold expiry)
 };
+
+class Tracer;
 
 class CostMeter {
  public:
@@ -56,6 +62,27 @@ class CostMeter {
   CostCounters& counters() { return counters_; }
   const CostCounters& counters() const { return counters_; }
 
+  // Observability tap (src/obs): lets code that only sees the meter — the wire
+  // codecs, bus-stop translation, bridge synthesis — emit trace events on the
+  // owning node's clock without threading a Tracer through every signature.
+  // `clock_offset_us` points at the owning Node's clock offset (the node clock is
+  // offset + CyclesToMicros(cycles)); the binding survives Reset().
+  void BindObs(Tracer* tracer, int node, const double* clock_offset_us) {
+    obs_tracer_ = tracer;
+    obs_node_ = node;
+    obs_clock_offset_us_ = clock_offset_us;
+  }
+  Tracer* obs_tracer() const { return obs_tracer_; }
+  int obs_node() const { return obs_node_; }
+  double NowUs() const {
+    return (obs_clock_offset_us_ != nullptr ? *obs_clock_offset_us_ : 0.0) +
+           machine_.CyclesToMicros(cycles_);
+  }
+  // The move this meter's work is currently attributed to (0 = none). Set around
+  // pack/unpack so translation spans inherit the move's trace id.
+  void set_active_trace(uint64_t id) { active_trace_ = id; }
+  uint64_t active_trace() const { return active_trace_; }
+
   void Reset() {
     cycles_ = 0;
     counters_ = CostCounters{};
@@ -65,6 +92,10 @@ class CostMeter {
   MachineModel machine_;
   uint64_t cycles_ = 0;
   CostCounters counters_;
+  Tracer* obs_tracer_ = nullptr;
+  int obs_node_ = -1;
+  const double* obs_clock_offset_us_ = nullptr;
+  uint64_t active_trace_ = 0;
 };
 
 }  // namespace hetm

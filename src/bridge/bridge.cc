@@ -5,6 +5,7 @@
 
 #include "src/arch/calibration.h"
 #include "src/mobility/ar_codec.h"
+#include "src/obs/trace.h"
 #include "src/support/check.h"
 
 namespace hetm {
@@ -46,6 +47,12 @@ BridgePlan BuildBridge(const OpInfo& op, Arch dst_arch, OptLevel src_opt, OptLev
   const std::vector<int>& perm_dst = dst_opt == OptLevel::kO0 ? identity : op.perm;
   BridgePlan plan;
   plan.edits_replayed = static_cast<int>(op.transposes.size());
+  Tracer* tracer =
+      meter != nullptr && meter->active_trace() != 0 ? meter->obs_tracer() : nullptr;
+  if (tracer != nullptr) {
+    tracer->Begin(meter->NowUs(), meter->obs_node(), TracePoint::kBridge,
+                  meter->active_trace(), -1, plan.edits_replayed);
+  }
   if (meter != nullptr) {
     meter->Charge(static_cast<uint64_t>(plan.edits_replayed) * kBridgeEditCycles);
   }
@@ -108,6 +115,10 @@ BridgePlan BuildBridge(const OpInfo& op, Arch dst_arch, OptLevel src_opt, OptLev
   plan.entry_pc = entry < static_cast<int>(code.instr_pc.size())
                       ? code.instr_pc[entry]
                       : static_cast<uint32_t>(code.code.size());
+  if (tracer != nullptr) {
+    tracer->End(meter->NowUs(), meter->obs_node(), TracePoint::kBridge,
+                meter->active_trace(), -1, static_cast<int64_t>(plan.ops.size()));
+  }
   return plan;
 }
 

@@ -3,11 +3,39 @@
 #include <algorithm>
 
 #include "src/arch/calibration.h"
+#include "src/obs/trace.h"
 #include "src/support/check.h"
 
 namespace hetm {
 
+namespace {
+
+// Translation spans are emitted only inside a move (the meter's active trace id
+// is set around pack/unpack), so GC's bus-stop walks don't flood the rings.
+struct XlateSpan {
+  explicit XlateSpan(CostMeter* meter)
+      : tracer(meter != nullptr && meter->active_trace() != 0 ? meter->obs_tracer()
+                                                             : nullptr),
+        meter(meter) {
+    if (tracer != nullptr) {
+      tracer->Begin(meter->NowUs(), meter->obs_node(), TracePoint::kXlate,
+                    meter->active_trace());
+    }
+  }
+  ~XlateSpan() {
+    if (tracer != nullptr) {
+      tracer->End(meter->NowUs(), meter->obs_node(), TracePoint::kXlate,
+                  meter->active_trace());
+    }
+  }
+  Tracer* tracer;
+  CostMeter* meter;
+};
+
+}  // namespace
+
 int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter) {
+  XlateSpan span(meter);
   if (meter != nullptr) {
     meter->counters().busstop_lookups += 1;
     meter->Charge(kBusStopLookupCycles);
@@ -25,6 +53,7 @@ int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMete
 }
 
 uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter) {
+  XlateSpan span(meter);
   if (meter != nullptr) {
     meter->counters().busstop_lookups += 1;
     meter->Charge(kBusStopLookupCycles);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/arch/calibration.h"
+#include "src/obs/trace.h"
 #include "src/runtime/node.h"
 #include "src/sim/world.h"
 #include "src/support/check.h"
@@ -11,10 +12,6 @@
 namespace hetm {
 
 namespace {
-
-// The trace is bounded so pathological schedules cannot eat the heap; truncation is
-// deterministic, so trace equality across same-seed runs still holds.
-constexpr size_t kMaxTraceBytes = 2u << 20;
 
 double SerializationUs(size_t wire_bytes) {
   return static_cast<double>(wire_bytes) * 8.0 / kEthernetMbps;
@@ -73,6 +70,11 @@ const RttEstimator* Network::ChannelRtt(int node, int peer) const {
   return &it->second.rtt;
 }
 
+uint32_t Network::PeerEpochSeen(int node, int peer) const {
+  auto it = endpoints_[node].recv.find(peer);
+  return it == endpoints_[node].recv.end() ? 0 : it->second.peer_epoch;
+}
+
 uint64_t Network::Checksum(const NetPacket& pkt) {
   uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
   auto mix = [&h](uint64_t v) {
@@ -87,21 +89,11 @@ uint64_t Network::Checksum(const NetPacket& pkt) {
   mix(static_cast<uint64_t>(pkt.msg.type));
   mix(pkt.msg.route_oid);
   mix(pkt.msg.move_id);
+  mix(pkt.msg.trace_id);
   for (uint8_t b : pkt.msg.payload) {
     mix(b);
   }
   return h;
-}
-
-void Network::Trace(double time_us, const std::string& line) {
-  if (!config_.trace || trace_.size() >= kMaxTraceBytes) {
-    return;
-  }
-  char stamp[32];
-  std::snprintf(stamp, sizeof(stamp), "t=%.1f ", time_us);
-  trace_ += stamp;
-  trace_ += line;
-  trace_ += '\n';
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +108,12 @@ void Network::Submit(int from, int to, Message msg) {
   Node& sender = world_->node(from);
   SendChannel& ch = ep.send[to];
   uint32_t seq = ch.next_seq++;
+  if (msg.type == MsgType::kMoveObject && msg.trace_id != 0) {
+    // The transfer leg: from first submission to the ack that proves the install.
+    // Retransmissions land inside this span as kFrameRetx instants.
+    world_->tracer().Begin(sender.now_us(), from, TracePoint::kTransfer, msg.trace_id,
+                           to, seq);
+  }
   Pending pending;
   pending.msg = std::move(msg);
   pending.sent_at_us = sender.now_us();
@@ -195,7 +193,12 @@ void Network::EmitFrame(NetPacket pkt, double base_us) {
 
   const FaultPlan& f = config_.fault;
   double now = base_us >= 0 ? base_us : world_->node(pkt.from).now_us();
-  char buf[160];
+  Tracer& tracer = world_->tracer();
+  if (config_.trace) {
+    tracer.Instant(now, pkt.from, TracePoint::kFrameSend, pkt.msg.trace_id, pkt.to,
+                   pkt.seq,
+                   pkt.kind == 0 ? static_cast<int64_t>(pkt.msg.type) : 100 + pkt.kind);
+  }
   if (f.corrupt_rate > 0 && d_corrupt < f.corrupt_rate) {
     if (pkt.kind == 0 && !pkt.msg.payload.empty()) {
       // Damage one payload bit. The transport header (seq/ack/epoch) is never
@@ -210,9 +213,10 @@ void Network::EmitFrame(NetPacket pkt, double base_us) {
     } else {
       pkt.checksum ^= 1;  // payload-less frame: damage is always caught
     }
-    std::snprintf(buf, sizeof(buf), "corrupt %d->%d kind=%u seq=%u", pkt.from, pkt.to,
-                  pkt.kind, pkt.seq);
-    Trace(now, buf);
+    if (config_.trace) {
+      tracer.Instant(now, pkt.from, TracePoint::kFrameCorrupt, pkt.msg.trace_id,
+                     pkt.to, pkt.seq, pkt.kind);
+    }
   }
 
   double base = now + kMessageLatencyUs + SerializationUs(pkt.wire_bytes);
@@ -222,17 +226,18 @@ void Network::EmitFrame(NetPacket pkt, double base_us) {
   }
 
   if (f.drop_rate > 0 && d_drop < f.drop_rate) {
-    std::snprintf(buf, sizeof(buf), "drop %d->%d kind=%u seq=%u ack=%u type=%d",
-                  pkt.from, pkt.to, pkt.kind, pkt.seq, pkt.ack,
-                  static_cast<int>(pkt.msg.type));
-    Trace(now, buf);
+    if (config_.trace) {
+      tracer.Instant(now, pkt.from, TracePoint::kFrameDrop, pkt.msg.trace_id, pkt.to,
+                     pkt.seq, pkt.kind);
+    }
   } else {
     world_->PushPacket(arrival, pkt);
   }
   if (f.duplicate_rate > 0 && d_dup < f.duplicate_rate) {
-    std::snprintf(buf, sizeof(buf), "dup %d->%d kind=%u seq=%u", pkt.from, pkt.to,
-                  pkt.kind, pkt.seq);
-    Trace(now, buf);
+    if (config_.trace) {
+      tracer.Instant(now, pkt.from, TracePoint::kFrameDup, pkt.msg.trace_id, pkt.to,
+                     pkt.seq, pkt.kind);
+    }
     world_->PushPacket(base + dup_mag * f.max_extra_delay_us, pkt);
   }
 }
@@ -285,10 +290,10 @@ void Network::OnRetxTimer(double time_us, int node, uint64_t timer_id) {
   if (config_.adaptive_rto && pending.rto_us > config_.rto_max_us) {
     pending.rto_us = config_.rto_max_us;
   }
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "retx %d->%d seq=%u attempt=%d", node, peer, seq,
-                pending.attempts);
-  Trace(sender.now_us(), buf);
+  // Always emitted (unlike the frame-level instants): retransmits are the events
+  // the span-stitching tests hang off the transfer span.
+  world_->tracer().Instant(sender.now_us(), node, TracePoint::kFrameRetx,
+                           pending.msg.trace_id, peer, seq, pending.attempts);
   TransmitData(node, peer, seq, pending.msg);
   ScheduleRetx(node, peer, seq, pending.rto_us);
 }
@@ -308,6 +313,10 @@ void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream,
     Pending& acked = ch.unacked.begin()->second;
     if (config_.adaptive_rto && !acked.retransmitted) {
       ch.rtt.Sample(time_us - acked.sent_at_us);
+    }
+    if (acked.msg.type == MsgType::kMoveObject && acked.msg.trace_id != 0) {
+      world_->tracer().End(time_us, self, TracePoint::kTransfer, acked.msg.trace_id,
+                           peer);
     }
     ep.retx_timers.erase(acked.timer_id);
     ch.unacked.erase(ch.unacked.begin());
@@ -333,9 +342,8 @@ void Network::ObservePeerEpoch(int self, int peer, uint32_t epoch) {
   }
   // The peer lost its receive state: renumber everything still unacked from 1 so
   // the fresh incarnation's expected=1 matches, and retransmit immediately.
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "chan-reset %d->%d epoch=%u", self, peer, epoch);
-  Trace(world_->node(self).now_us(), buf);
+  world_->tracer().Instant(world_->node(self).now_us(), self, TracePoint::kChanReset,
+                           0, peer, epoch);
   ResetSendChannel(self, peer);
 }
 
@@ -390,15 +398,13 @@ void Network::ChannelFail(int self, int peer) {
       pending.timer_id = 0;
       pending.retransmitted = true;
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "chan-park %d->%d", self, peer);
-    Trace(world_->node(self).now_us(), buf);
+    world_->tracer().Instant(world_->node(self).now_us(), self, TracePoint::kChanPark,
+                             0, peer, static_cast<int64_t>(ch.unacked.size()));
     EnsureHeartbeat(self);
     return;
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "chan-fail %d->%d", self, peer);
-  Trace(world_->node(self).now_us(), buf);
+  world_->tracer().Instant(world_->node(self).now_us(), self, TracePoint::kChanFail,
+                           0, peer);
   std::vector<Message> undelivered;
   undelivered.reserve(cit->second.unacked.size());
   for (auto& [seq, pending] : cit->second.unacked) {
@@ -474,6 +480,10 @@ void Network::SendHeartbeat(int from, int to, bool echo, double at_us) {
   Node& sender = world_->node(from);
   sender.meter().counters().heartbeats_sent += 1;
   sender.ChargeCycles(kAckPathCycles);
+  if (config_.trace) {
+    world_->tracer().Instant(at_us, from, TracePoint::kHeartbeat, 0, to,
+                             echo ? 1 : 0);
+  }
   NetPacket pkt;
   pkt.from = from;
   pkt.to = to;
@@ -496,6 +506,9 @@ void Network::NoteAlive(int self, int peer, double time_us) {
   } else {
     ep.peers.emplace(peer, PeerView{time_us, 0});
   }
+  // A live peer may be owed replies parked when its lease expired (the dead-letter
+  // queue); flush them now that it has spoken. Cheap no-op when the queue is empty.
+  world_->node(self).FlushDeadLetters(peer, ep.recv[peer].peer_epoch, time_us);
   auto cit = ep.send.find(peer);
   if (cit == ep.send.end() || !cit->second.parked) {
     return;
@@ -507,10 +520,8 @@ void Network::NoteAlive(int self, int peer, double time_us) {
   ch.parked = false;
   Node& sender = world_->node(self);
   sender.meter().counters().reconnects += 1;
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "reconnect %d->%d frames=%zu", self, peer,
-                ch.unacked.size());
-  Trace(time_us, buf);
+  world_->tracer().Instant(time_us, self, TracePoint::kReconnect, 0, peer,
+                           static_cast<int64_t>(ch.unacked.size()));
   for (auto& [seq, pending] : ch.unacked) {
     pending.attempts = 1;
     pending.retransmitted = true;
@@ -547,16 +558,10 @@ void Network::ExpirePeer(int self, int peer, double time_us) {
     ch.stream += 1;
   }
   ep.peers.erase(peer);
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "lease-expire %d->%d undelivered=%zu", self, peer,
-                undelivered.size());
-  Trace(time_us, buf);
-  int reclaimed = node.OnPeerExpired(peer);
-  if (reclaimed > 0) {
-    std::snprintf(buf, sizeof(buf), "reserve-reclaim node=%d src=%d count=%d", self,
-                  peer, reclaimed);
-    Trace(time_us, buf);
-  }
+  world_->tracer().Instant(time_us, self, TracePoint::kLeaseExpire, 0, peer,
+                           static_cast<int64_t>(undelivered.size()));
+  // OnPeerExpired emits one kReserveReclaim instant per reclaimed reservation.
+  node.OnPeerExpired(peer);
   node.OnPeerUnreachable(peer, std::move(undelivered));
 }
 
@@ -603,10 +608,8 @@ void Network::ArmPartitionTriggers(const NetPacket& pkt, double time_us) {
     partition_hits_[i] += 1;
     if (partition_hits_[i] == w.start_nth) {
       partition_open_us_[i] = time_us;
-      char buf[96];
-      std::snprintf(buf, sizeof(buf), "partition-open window=%zu at-node=%d", i,
-                    pkt.to);
-      Trace(time_us, buf);
+      world_->tracer().Instant(time_us, pkt.to, TracePoint::kPartitionOpen, 0, -1,
+                               static_cast<int64_t>(i));
     }
   }
 }
@@ -617,15 +620,13 @@ void Network::ArmPartitionTriggers(const NetPacket& pkt, double time_us) {
 
 void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
   Endpoint& ep = endpoints_[pkt.to];
-  char buf[160];
+  Tracer& tracer = world_->tracer();
 
   // An open partition discards the frame at its delivery instant — before it can
   // reach the node or trip a crash trigger.
   if (PartitionBlocked(pkt.from, pkt.to, time_us)) {
-    std::snprintf(buf, sizeof(buf), "partition-drop %d->%d kind=%u seq=%u type=%d",
-                  pkt.from, pkt.to, pkt.kind, pkt.seq,
-                  static_cast<int>(pkt.msg.type));
-    Trace(time_us, buf);
+    tracer.Instant(time_us, pkt.to, TracePoint::kPartitionDrop, pkt.msg.trace_id,
+                   pkt.from, pkt.seq, pkt.kind);
     return;
   }
 
@@ -644,9 +645,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
     }
   }
   if (!ep.up) {
-    std::snprintf(buf, sizeof(buf), "lost-down %d->%d kind=%u seq=%u", pkt.from,
-                  pkt.to, pkt.kind, pkt.seq);
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kFrameLostDown, pkt.msg.trace_id,
+                     pkt.from, pkt.seq, pkt.kind);
+    }
     return;
   }
 
@@ -657,9 +659,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
     receiver.meter().counters().corrupt_dropped += 1;
     receiver.ChargeCycles(kTransportRecvCycles +
                           pkt.msg.payload.size() * kChecksumPerByteCycles);
-    std::snprintf(buf, sizeof(buf), "checksum-drop %d->%d kind=%u seq=%u", pkt.from,
-                  pkt.to, pkt.kind, pkt.seq);
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kChecksumDrop, pkt.msg.trace_id,
+                     pkt.from, pkt.seq, pkt.kind);
+    }
     return;
   }
 
@@ -669,9 +672,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
 
   RecvChannel& rch = ep.recv[pkt.from];
   if (pkt.src_epoch < rch.peer_epoch) {
-    std::snprintf(buf, sizeof(buf), "stale-epoch %d->%d seq=%u", pkt.from, pkt.to,
-                  pkt.seq);
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kStaleEpoch, pkt.msg.trace_id,
+                     pkt.from, pkt.seq);
+    }
     return;
   }
   if (pkt.src_epoch > rch.peer_epoch) {
@@ -705,9 +709,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
                         pkt.msg.payload.size() * kChecksumPerByteCycles);
 
   if (pkt.stream < rch.peer_stream) {
-    std::snprintf(buf, sizeof(buf), "stale-stream %d->%d seq=%u", pkt.from, pkt.to,
-                  pkt.seq);
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kStaleStream, pkt.msg.trace_id,
+                     pkt.from, pkt.seq);
+    }
     return;  // straggler from before a channel renumbering
   }
   if (pkt.stream > rch.peer_stream) {
@@ -720,9 +725,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
 
   if (pkt.seq < rch.expected) {
     receiver.meter().counters().dups_suppressed += 1;
-    std::snprintf(buf, sizeof(buf), "dup-suppress %d->%d seq=%u", pkt.from, pkt.to,
-                  pkt.seq);
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kDupSuppress, pkt.msg.trace_id,
+                     pkt.from, pkt.seq);
+    }
     SendAck(pkt.to, pkt.from, rch.expected - 1, rch.peer_stream, time_us);
     return;
   }
@@ -734,9 +740,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
     return;
   }
 
-  std::snprintf(buf, sizeof(buf), "deliver %d->%d seq=%u type=%d", pkt.from, pkt.to,
-                pkt.seq, static_cast<int>(pkt.msg.type));
-  Trace(time_us, buf);
+  if (config_.trace) {
+    tracer.Instant(time_us, pkt.to, TracePoint::kFrameDeliver, pkt.msg.trace_id,
+                   pkt.from, pkt.seq, static_cast<int64_t>(pkt.msg.type));
+  }
   // Drain the in-order run (this frame plus any buffered successors) and ack it
   // BEFORE upper-layer processing: the ack means "the transport holds the frame",
   // and handler work (class loading, code translation) can advance the receiver's
@@ -748,9 +755,10 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
   while (!rch.ooo.empty() && rch.ooo.begin()->first == rch.expected) {
     Message queued = std::move(rch.ooo.begin()->second);
     rch.ooo.erase(rch.ooo.begin());
-    std::snprintf(buf, sizeof(buf), "deliver %d->%d seq=%u type=%d (reordered)",
-                  pkt.from, pkt.to, rch.expected, static_cast<int>(queued.type));
-    Trace(time_us, buf);
+    if (config_.trace) {
+      tracer.Instant(time_us, pkt.to, TracePoint::kFrameDeliver, queued.trace_id,
+                     pkt.from, rch.expected, static_cast<int64_t>(queued.type));
+    }
     deliverable.push_back(std::move(queued));
     rch.expected += 1;
   }
@@ -776,9 +784,7 @@ void Network::CrashNode(int node, double time_us, double restart_after_us) {
   ep.peers.clear();
   ep.hb_active = false;
   ep.hb_generation += 1;  // outstanding heartbeat pops become no-ops
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "crash node=%d", node);
-  Trace(time_us, buf);
+  world_->tracer().Instant(time_us, node, TracePoint::kCrash);
   world_->node(node).OnCrash();
   if (restart_after_us >= 0) {
     world_->PushAdmin(time_us + restart_after_us, node, /*up=*/true);
@@ -797,9 +803,7 @@ void Network::OnAdminEvent(double time_us, int node, bool up) {
   ep.up = true;
   ep.epoch += 1;
   world_->node(node).AdvanceTo(time_us);
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "restart node=%d epoch=%u", node, ep.epoch);
-  Trace(time_us, buf);
+  world_->tracer().Instant(time_us, node, TracePoint::kRestart, 0, -1, ep.epoch);
 }
 
 }  // namespace hetm

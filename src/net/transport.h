@@ -24,8 +24,9 @@
 //
 // Determinism: all randomness comes from the FaultPlan's seeded PRNG, and every
 // frame transmission consumes a fixed number of draws regardless of which faults
-// hit, so the schedule never depends on float comparison shortcuts. The trace()
-// string records every fault and delivery decision for replay comparison.
+// hit, so the schedule never depends on float comparison shortcuts. Every fault
+// and delivery decision is emitted as a typed event into the World's Tracer
+// (src/obs/trace.h) for replay comparison — same seed, same event digest.
 #ifndef HETM_SRC_NET_TRANSPORT_H_
 #define HETM_SRC_NET_TRANSPORT_H_
 
@@ -120,7 +121,17 @@ struct NetConfig {
   // Stale-hint chases before an object-routed message falls back to a locate
   // broadcast instead of following hints further.
   int max_forward_hops = 8;
-  bool trace = true;  // record the event trace (tests); benches switch it off
+  // Emit per-frame tracer events (send/deliver/drop/dup/corrupt/stale/heartbeat).
+  // Lifecycle events — spans, channel state changes, lease verdicts — are always
+  // emitted; this knob only gates the high-volume frame-level instants, which
+  // benches switch off.
+  bool trace = true;
+  // Dead-letter queue: how long a node holds (and keeps probing for) kReply
+  // frames that were undelivered when the waiter's lease expired. If the "dead"
+  // peer reconnects within the window the replies are flushed to it; otherwise
+  // they are dropped and the hold's lease interest ends (so the world can
+  // quiesce). 0 disables parking.
+  double dlq_hold_us = 500000.0;
 };
 
 // One frame on the wire. kind 0 = data (carries a Message), kind 1 = pure ack,
@@ -184,7 +195,10 @@ class Network {
   // probe for "RTO never underflows the configured floor".
   double min_data_rto_scheduled() const { return min_data_rto_scheduled_; }
   const NetConfig& config() const { return config_; }
-  const std::string& trace() const { return trace_; }
+  // Incarnation epoch `node` last observed from `peer` (0 = never heard). The
+  // dead-letter queue stamps parked replies with it so a reply is only flushed to
+  // the same incarnation of the waiter that asked the question.
+  uint32_t PeerEpochSeen(int node, int peer) const;
 
  private:
   struct Pending {
@@ -257,7 +271,6 @@ class Network {
   bool PartitionBlocked(int from, int to, double time_us) const;
   void ArmPartitionTriggers(const NetPacket& pkt, double time_us);
   void CrashNode(int node, double time_us, double restart_after_us);
-  void Trace(double time_us, const std::string& line);
 
   World* world_;
   NetConfig config_;
@@ -269,7 +282,6 @@ class Network {
   // FaultPlan::partitions.
   std::vector<double> partition_open_us_;
   double min_data_rto_scheduled_ = 1e18;
-  std::string trace_;
 };
 
 }  // namespace hetm

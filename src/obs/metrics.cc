@@ -1,0 +1,196 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hetm {
+
+int LogHistogram::BucketIndex(double v) {
+  if (!(v >= 1.0)) {  // also catches NaN
+    return 0;
+  }
+  int octave;
+  double frac = std::frexp(v, &octave);  // v = frac * 2^octave, frac in [0.5, 1)
+  octave -= 1;                           // now v = (2*frac) * 2^octave, 2*frac in [1, 2)
+  if (octave >= kOctaves) {
+    return kNumBuckets - 1;
+  }
+  int slot = static_cast<int>((frac * 2.0 - 1.0) * kBucketsPerOctave);
+  if (slot >= kBucketsPerOctave) {
+    slot = kBucketsPerOctave - 1;
+  }
+  return 1 + octave * kBucketsPerOctave + slot;
+}
+
+double LogHistogram::BucketLow(int b) {
+  if (b <= 0) {
+    return 0.0;
+  }
+  int octave = (b - 1) / kBucketsPerOctave;
+  int slot = (b - 1) % kBucketsPerOctave;
+  return std::ldexp(1.0 + static_cast<double>(slot) / kBucketsPerOctave, octave);
+}
+
+double LogHistogram::BucketHigh(int b) {
+  if (b <= 0) {
+    return 1.0;
+  }
+  int octave = (b - 1) / kBucketsPerOctave;
+  int slot = (b - 1) % kBucketsPerOctave;
+  return std::ldexp(1.0 + static_cast<double>(slot + 1) / kBucketsPerOctave, octave);
+}
+
+void LogHistogram::Record(double value) {
+  if (value < 0.0) {
+    value = 0.0;
+  }
+  buckets_[BucketIndex(value)] += 1;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Nearest-rank with interpolation inside the winning bucket.
+  double rank = p / 100.0 * static_cast<double>(count_);
+  if (rank < 1.0) {
+    rank = 1.0;
+  }
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    if (static_cast<double>(cum + buckets_[b]) >= rank) {
+      double into = (rank - static_cast<double>(cum)) / static_cast<double>(buckets_[b]);
+      double lo = BucketLow(b);
+      double hi = BucketHigh(b);
+      // Clamp to observed extremes so a single-sample histogram reports the
+      // sample, not the bucket edge.
+      if (lo < min_) {
+        lo = min_;
+      }
+      if (hi > max_) {
+        hi = max_;
+      }
+      if (hi < lo) {
+        hi = lo;
+      }
+      return lo + (hi - lo) * into;
+    }
+    cum += buckets_[b];
+  }
+  return max_;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const LogHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) {
+    counters_[name] += v;
+  }
+  for (const auto& [name, v] : other.gauges_) {
+    gauges_[name] = v;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].Merge(h);
+  }
+}
+
+std::string MetricsRegistry::Render() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge   %-40s %.3f\n", name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "hist    %-40s n=%llu min=%.1f mean=%.1f p50=%.1f p90=%.1f p99=%.1f"
+                  " max=%.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()), h.min(),
+                  h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99),
+                  h.max());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[256];
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.3f", first ? "" : ",", name.c_str(), v);
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"min\":%.1f,\"mean\":%.1f,\"p50\":%.1f,"
+                  "\"p90\":%.1f,\"p99\":%.1f,\"max\":%.1f}",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(h.count()), h.min(), h.Mean(),
+                  h.Percentile(50), h.Percentile(90), h.Percentile(99), h.max());
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace hetm

@@ -1,0 +1,84 @@
+// Metrics registry: named counters, gauges, and log-bucketed latency histograms.
+//
+// The registry is the system's quantitative source of truth — bench tables and
+// `hetm_run --metrics` render from it instead of ad-hoc counter plumbing. All
+// state is deterministic (ordered maps, integer bucket counts), so two same-seed
+// runs produce byte-identical renderings, and registries from independent runs
+// merge losslessly (bench harnesses merge per-seed registries before reporting
+// percentiles).
+#ifndef HETM_SRC_OBS_METRICS_H_
+#define HETM_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hetm {
+
+// Log-bucketed histogram: kBucketsPerOctave geometrically spaced buckets per
+// power of two, plus one underflow bucket for values below 1. Recording is O(1),
+// memory is fixed, and percentiles are exact to within a bucket's width (~9% at
+// 8 buckets/octave) with linear interpolation inside the winning bucket.
+class LogHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kOctaves = 40;  // covers values up to ~10^12
+  static constexpr int kNumBuckets = 1 + kBucketsPerOctave * kOctaves;
+
+  void Record(double value);
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  static int BucketIndex(double v);
+  static double BucketLow(int b);
+  static double BucketHigh(int b);
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  void Inc(const std::string& name, uint64_t delta = 1) { counters_[name] += delta; }
+  // Overwrites: for counters mirrored from an external source of truth (the
+  // CostMeters), so re-exporting is idempotent.
+  void SetCounter(const std::string& name, uint64_t value) { counters_[name] = value; }
+  void SetGauge(const std::string& name, double value) { gauges_[name] = value; }
+  void Observe(const std::string& name, double value) { histograms_[name].Record(value); }
+
+  uint64_t counter(const std::string& name) const;
+  const LogHistogram* FindHistogram(const std::string& name) const;
+
+  // Folds `other` into this registry: counters add, gauges take the other's
+  // value, histograms merge bucket-wise.
+  void Merge(const MetricsRegistry& other);
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, LogHistogram>& histograms() const { return histograms_; }
+
+  // Human-readable dump (one metric per line, sorted by name).
+  std::string Render() const;
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,min,mean,p50,p90,p99,max}}}
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_OBS_METRICS_H_

@@ -1,0 +1,353 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+
+namespace hetm {
+
+namespace {
+
+Tracer* g_flight_recorder = nullptr;
+
+const char* const kPointNames[kNumTracePoints] = {
+    "move",          "pack",          "negotiate",     "transfer",
+    "reserve",       "unpack",        "xlate",         "bridge",
+    "resume",        "gc",            "move-commit",   "move-abort",
+    "move-presumed", "reserve-reclaim",
+    "reply-parked",  "reply-flushed", "reply-dropped",
+    "frame-send",    "frame-deliver", "frame-retx",    "frame-drop",
+    "frame-dup",     "frame-corrupt", "frame-lost-down",
+    "checksum-drop", "stale-epoch",   "stale-stream",  "dup-suppress",
+    "heartbeat",
+    "chan-park",     "chan-fail",     "chan-reset",    "reconnect",
+    "lease-expire",  "partition-open", "partition-drop",
+    "crash",         "restart",
+};
+
+uint64_t MixBits(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;  // FNV-1a prime
+  return h;
+}
+
+void AppendEventLine(std::string& out, const TraceEvent& ev) {
+  char buf[192];
+  const char* suffix =
+      ev.kind == TraceKind::kBegin ? ".begin" : ev.kind == TraceKind::kEnd ? ".end" : "";
+  std::snprintf(buf, sizeof(buf),
+                "t=%.1f n%d %s%s trace=%llx peer=%d a=%lld b=%lld\n", ev.t_us, ev.node,
+                TracePointName(ev.point), suffix,
+                static_cast<unsigned long long>(ev.trace_id), ev.peer,
+                static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+  out += buf;
+}
+
+}  // namespace
+
+const char* TracePointName(TracePoint p) {
+  int i = static_cast<int>(p);
+  return i >= 0 && i < kNumTracePoints ? kPointNames[i] : "?";
+}
+
+void Tracer::SetFlightRecorder(Tracer* tracer) { g_flight_recorder = tracer; }
+
+Tracer* Tracer::flight_recorder() { return g_flight_recorder; }
+
+Tracer::Ring& Tracer::RingFor(int node) {
+  size_t slot = node < 0 ? 0 : static_cast<size_t>(node) + 1;
+  if (slot >= rings_.size()) {
+    rings_.resize(slot + 1);
+  }
+  return rings_[slot];
+}
+
+void Tracer::Emit(const TraceEvent& ev) {
+  counts_[static_cast<int>(ev.point)] += 1;
+  uint64_t h = digest_;
+  h = MixBits(h, static_cast<uint64_t>(ev.point));
+  h = MixBits(h, static_cast<uint64_t>(ev.kind));
+  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.node)));
+  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.peer)));
+  h = MixBits(h, ev.trace_id);
+  h = MixBits(h, static_cast<uint64_t>(ev.a));
+  h = MixBits(h, static_cast<uint64_t>(ev.b));
+  uint64_t tbits = 0;
+  static_assert(sizeof(tbits) == sizeof(ev.t_us));
+  std::memcpy(&tbits, &ev.t_us, sizeof(tbits));
+  h = MixBits(h, tbits);
+  digest_ = h;
+
+  Ring& ring = RingFor(ev.node);
+  if (ring.buf.size() < ring_capacity_) {
+    ring.buf.push_back(ev);
+  } else {
+    ring.buf[ring.next] = ev;
+    ring.next = (ring.next + 1) % ring_capacity_;
+    ring.wrapped = true;
+  }
+}
+
+void Tracer::Instant(double t_us, int node, TracePoint p, uint64_t trace_id, int peer,
+                     int64_t a, int64_t b) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent ev;
+  ev.t_us = t_us;
+  ev.seq = next_seq_++;
+  ev.trace_id = trace_id;
+  ev.a = a;
+  ev.b = b;
+  ev.node = node;
+  ev.peer = peer;
+  ev.point = p;
+  ev.kind = TraceKind::kInstant;
+  Emit(ev);
+}
+
+void Tracer::Begin(double t_us, int node, TracePoint p, uint64_t trace_id, int peer,
+                   int64_t a) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent ev;
+  ev.t_us = t_us;
+  ev.seq = next_seq_++;
+  ev.trace_id = trace_id;
+  ev.a = a;
+  ev.node = node;
+  ev.peer = peer;
+  ev.point = p;
+  ev.kind = TraceKind::kBegin;
+  Emit(ev);
+  open_[std::make_tuple(node, trace_id, static_cast<uint8_t>(p))] = t_us;
+}
+
+void Tracer::End(double t_us, int node, TracePoint p, uint64_t trace_id, int peer,
+                 int64_t a) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent ev;
+  ev.t_us = t_us;
+  ev.seq = next_seq_++;
+  ev.trace_id = trace_id;
+  ev.a = a;
+  ev.node = node;
+  ev.peer = peer;
+  ev.point = p;
+  ev.kind = TraceKind::kEnd;
+  Emit(ev);
+  auto key = std::make_tuple(node, trace_id, static_cast<uint8_t>(p));
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    if (metrics_ != nullptr) {
+      metrics_->Observe(std::string("phase.") + TracePointName(p) + "_us",
+                        t_us - it->second);
+    }
+    open_.erase(it);
+  }
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const Ring& ring : rings_) {
+    out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string Tracer::ToText() const {
+  std::string out;
+  for (const TraceEvent& ev : Snapshot()) {
+    AppendEventLine(out, ev);
+  }
+  return out;
+}
+
+void Tracer::DumpTail(std::FILE* out, size_t max_events) const {
+  std::vector<TraceEvent> events = Snapshot();
+  size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  std::string text;
+  for (size_t i = start; i < events.size(); ++i) {
+    AppendEventLine(text, events[i]);
+  }
+  std::fputs(text.c_str(), out);
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const char* s) {
+    if (!first) {
+      out += ',';
+    }
+    out += s;
+    first = false;
+  };
+  std::vector<int> nodes_seen;
+  for (const TraceEvent& ev : events) {
+    if (ev.node >= 0 &&
+        std::find(nodes_seen.begin(), nodes_seen.end(), ev.node) == nodes_seen.end()) {
+      nodes_seen.push_back(ev.node);
+    }
+  }
+  std::sort(nodes_seen.begin(), nodes_seen.end());
+  for (int n : nodes_seen) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                  "\"args\":{\"name\":\"node %d\"}}",
+                  n, n);
+    emit(buf);
+  }
+  for (const TraceEvent& ev : events) {
+    int pid = ev.node < 0 ? 0 : ev.node;
+    if (ev.kind == TraceKind::kInstant) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"hetm\",\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\","
+                    "\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"args\":{\"trace\":\"%llx\","
+                    "\"peer\":%d,\"a\":%lld,\"b\":%lld}}",
+                    TracePointName(ev.point), ev.t_us, pid,
+                    static_cast<unsigned long long>(ev.trace_id), ev.peer,
+                    static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+      emit(buf);
+      continue;
+    }
+    const char* ph = ev.kind == TraceKind::kBegin ? "b" : "e";
+    if (ev.trace_id != 0) {
+      // Async-nestable events keyed by the trace id: Perfetto draws all phases of
+      // one move — across both pids — as one nested track.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"move\",\"name\":\"%s\",\"ph\":\"%s\",\"id\":\"%llx\","
+                    "\"ts\":%.3f,\"pid\":%d,\"tid\":0}",
+                    TracePointName(ev.point), ph,
+                    static_cast<unsigned long long>(ev.trace_id), ev.t_us, pid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"cat\":\"hetm\",\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+                    "\"pid\":%d,\"tid\":0}",
+                    TracePointName(ev.point), ev.kind == TraceKind::kBegin ? "B" : "E",
+                    ev.t_us, pid);
+      (void)ph;
+    }
+    emit(buf);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<SpanTree> Tracer::BuildTraceTrees(const std::vector<TraceEvent>& events,
+                                              uint64_t trace_id) {
+  struct Span {
+    TraceEvent begin;
+    double end_us = -1.0;
+    int parent = -1;
+    std::vector<int> children;
+    std::vector<TraceEvent> instants;
+  };
+  std::vector<Span> spans;
+  std::vector<TraceEvent> instants;
+  // Match Begin/End pairs: an End closes the most recent open Begin with the
+  // same (node, point).
+  std::map<std::pair<int, int>, std::vector<size_t>> open;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace_id != trace_id) {
+      continue;
+    }
+    if (ev.kind == TraceKind::kBegin) {
+      open[{ev.node, static_cast<int>(ev.point)}].push_back(spans.size());
+      spans.push_back(Span{ev});
+    } else if (ev.kind == TraceKind::kEnd) {
+      auto& stack = open[{ev.node, static_cast<int>(ev.point)}];
+      if (!stack.empty()) {
+        spans[stack.back()].end_us = ev.t_us;
+        stack.pop_back();
+      }
+    } else {
+      instants.push_back(ev);
+    }
+  }
+  // `outer` strictly precedes `t` (time, then emission order) and its interval
+  // still covers t — i.e. the outer span encloses the instant.
+  auto encloses = [](const Span& outer, double t, uint64_t seq) {
+    bool before = outer.begin.t_us < t ||
+                  (outer.begin.t_us == t && outer.begin.seq < seq);
+    return before && (outer.end_us < 0 || t < outer.end_us);
+  };
+  // Narrowest enclosing candidate wins: latest begin. Same-node candidates beat
+  // cross-node ones, so e.g. a source-side retransmit lands under the source's
+  // transfer span, not under a destination span that happens to overlap in time.
+  auto pick_parent = [&](double t, uint64_t seq, int node, int self) {
+    int best = -1;
+    bool best_same = false;
+    for (size_t j = 0; j < spans.size(); ++j) {
+      if (static_cast<int>(j) == self || !encloses(spans[j], t, seq)) {
+        continue;
+      }
+      bool same = spans[j].begin.node == node;
+      if (best < 0 || (same && !best_same) ||
+          (same == best_same &&
+           (spans[j].begin.t_us > spans[best].begin.t_us ||
+            (spans[j].begin.t_us == spans[best].begin.t_us &&
+             spans[j].begin.seq > spans[best].begin.seq)))) {
+        best = static_cast<int>(j);
+        best_same = same;
+      }
+    }
+    return best;
+  };
+  for (size_t i = 0; i < spans.size(); ++i) {
+    spans[i].parent = pick_parent(spans[i].begin.t_us, spans[i].begin.seq,
+                                  spans[i].begin.node, static_cast<int>(i));
+    if (spans[i].parent >= 0) {
+      spans[spans[i].parent].children.push_back(static_cast<int>(i));
+    }
+  }
+  for (const TraceEvent& ev : instants) {
+    int p = pick_parent(ev.t_us, ev.seq, ev.node, -1);
+    if (p >= 0) {
+      spans[p].instants.push_back(ev);
+    }
+  }
+  // Materialize the forest.
+  struct Builder {
+    const std::vector<Span>& spans;
+    SpanTree Build(int i) const {
+      SpanTree t;
+      t.begin = spans[i].begin;
+      t.end_us = spans[i].end_us;
+      t.instants = spans[i].instants;
+      for (int c : spans[i].children) {
+        t.children.push_back(Build(c));
+      }
+      return t;
+    }
+  };
+  Builder builder{spans};
+  std::vector<SpanTree> forest;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent < 0) {
+      forest.push_back(builder.Build(static_cast<int>(i)));
+    }
+  }
+  return forest;
+}
+
+// Referenced by HETM_CHECK (src/support/check.h): dump the flight-recorder tail
+// before aborting so the events leading up to the violated invariant are on
+// stderr next to the check message.
+void ObsOnCheckFailure() {
+  if (g_flight_recorder == nullptr || g_flight_recorder->emitted() == 0) {
+    return;
+  }
+  std::fputs("--- obs flight recorder (newest events last) ---\n", stderr);
+  g_flight_recorder->DumpTail(stderr, 48);
+}
+
+}  // namespace hetm

@@ -1,0 +1,182 @@
+// Typed per-node event tracer: the structured replacement for the transport's
+// retired string trace.
+//
+// Every emission is a fixed-size TraceEvent appended to the emitting node's
+// bounded ring buffer (oldest events are overwritten — the surviving tail is the
+// flight recorder dumped on CHECK failure). A running FNV-1a digest covers every
+// emission whether or not it survives the ring, so "same seed, same event
+// stream" is checkable as a single 64-bit compare even across multi-megabyte
+// traces.
+//
+// Spans (Begin/End with the same node, trace id and point) measure the move
+// lifecycle phases of the paper's latency breakdown: pack, transfer, unpack,
+// bus-stop translation, and the handshake phases around them. Ending a span
+// records its duration into the bound MetricsRegistry ("phase.<name>_us"), which
+// is where bench tables get their phase-attributed percentiles. The trace id is
+// carried in the wire frames (Message::trace_id), so source- and
+// destination-side spans stitch into one causal trace, exportable as Chrome
+// trace-event JSON (ToChromeJson) loadable in Perfetto.
+//
+// Determinism contract: emitting is passive — it charges no cycles, consumes no
+// PRNG draws, and never feeds back into control flow — so the simulated schedule
+// is identical with tracing enabled or disabled, and same seed implies
+// byte-identical event streams (equal digests).
+#ifndef HETM_SRC_OBS_TRACE_H_
+#define HETM_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace hetm {
+
+class MetricsRegistry;
+
+enum class TracePoint : uint8_t {
+  // Move lifecycle spans (Begin/End). kMove is the source-side root covering the
+  // whole handshake; the rest nest under it (kReserve/kUnpack/kXlate/kBridge/
+  // kResume run on the destination node).
+  kMove = 0,   // PerformMove entry -> commit/abort/presume resolution (source)
+  kPack,       // marshal object + segments + strings (source)
+  kNegotiate,  // kMovePrepare submitted -> commit/verdict processed (source)
+  kTransfer,   // kMoveObject frame submitted -> its ack received (source)
+  kReserve,    // kMovePrepare delivered -> install or reclaim (destination)
+  kUnpack,     // transfer payload decode (destination)
+  kXlate,      // one bus-stop translation (PcToStop/StopToPc) inside a move
+  kBridge,     // bridging-code synthesis for a differently-optimized source AR
+  kResume,     // segment installed -> first instruction executed (destination)
+  kGc,         // node-local mark-sweep collection
+  // Move lifecycle instants. a = move id.
+  kMoveCommit,
+  kMoveAbort,
+  kMovePresumed,
+  kReserveReclaim,
+  // Dead-letter queue instants (kReply parked at lease expiry). a = dest seg id.
+  kReplyParked,
+  kReplyFlushed,
+  kReplyDropped,
+  // Transport frame instants, gated by NetConfig::trace (high volume).
+  // a = seq, b = frame kind (0 data / 1 ack / 2 heartbeat) unless noted.
+  kFrameSend,     // b = MsgType for data frames
+  kFrameDeliver,  // in-order data delivery to the node layer; b = MsgType
+  kFrameRetx,     // RTO fired; b = attempt number
+  kFrameDrop,     // fault model dropped the frame
+  kFrameDup,      // fault model duplicated the frame
+  kFrameCorrupt,  // fault model damaged the frame
+  kFrameLostDown, // delivered to a crashed node
+  kChecksumDrop,
+  kStaleEpoch,
+  kStaleStream,
+  kDupSuppress,
+  kHeartbeat,  // a = 0 probe / 1 echo
+  // Membership / fault lifecycle instants (always emitted).
+  kChanPark,
+  kChanFail,
+  kChanReset,
+  kReconnect,    // a = parked frames retransmitted
+  kLeaseExpire,  // a = undelivered frames handed back
+  kPartitionOpen,
+  kPartitionDrop,
+  kCrash,
+  kRestart,
+  kCount,
+};
+
+inline constexpr int kNumTracePoints = static_cast<int>(TracePoint::kCount);
+
+const char* TracePointName(TracePoint p);
+
+enum class TraceKind : uint8_t { kInstant = 0, kBegin = 1, kEnd = 2 };
+
+struct TraceEvent {
+  double t_us = 0.0;
+  uint64_t seq = 0;       // global emission order (survives ring overwrite gaps)
+  uint64_t trace_id = 0;  // 0 = not tied to a move
+  int64_t a = 0;          // point-specific arguments (see TracePoint comments)
+  int64_t b = 0;
+  int32_t node = -1;  // emitting node (-1 = world-level)
+  int32_t peer = -1;
+  TracePoint point = TracePoint::kCount;
+  TraceKind kind = TraceKind::kInstant;
+};
+
+// A reconstructed span tree for one trace id (test assertions). Parent = the
+// narrowest span enclosing the child's begin instant, preferring spans on the
+// same node; instants attach to the narrowest enclosing span the same way.
+struct SpanTree {
+  TraceEvent begin;
+  double end_us = -1.0;  // -1 = never ended
+  std::vector<SpanTree> children;
+  std::vector<TraceEvent> instants;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t ring_capacity = 1u << 15) : ring_capacity_(ring_capacity) {}
+
+  // Disabling stops all emission (events, digest, histograms). The schedule is
+  // unaffected either way — that is the determinism contract above.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void BindMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  void Instant(double t_us, int node, TracePoint p, uint64_t trace_id = 0,
+               int peer = -1, int64_t a = 0, int64_t b = 0);
+  void Begin(double t_us, int node, TracePoint p, uint64_t trace_id, int peer = -1,
+             int64_t a = 0);
+  void End(double t_us, int node, TracePoint p, uint64_t trace_id, int peer = -1,
+           int64_t a = 0);
+
+  uint64_t emitted() const { return next_seq_; }
+  // FNV-1a over every emission since construction; 0ull stands in for "tracer
+  // disabled, nothing emitted" only if genuinely nothing was emitted.
+  uint64_t digest() const { return digest_; }
+  uint64_t count(TracePoint p) const { return counts_[static_cast<int>(p)]; }
+
+  // Every surviving event across all rings, in emission order.
+  std::vector<TraceEvent> Snapshot() const;
+  // Chrome trace-event JSON (Perfetto / chrome://tracing). Spans with a trace id
+  // become async-nestable b/e events keyed by the id, so one move renders as a
+  // single track spanning both nodes' pids.
+  std::string ToChromeJson() const;
+  // Deterministic text rendering (hetm_run --net-trace).
+  std::string ToText() const;
+  // Flight recorder: the newest `max_events` surviving events, oldest first.
+  void DumpTail(std::FILE* out, size_t max_events) const;
+
+  // Builds the span forest of one trace id. A correctly stitched move yields
+  // exactly one tree rooted at its kMove span.
+  static std::vector<SpanTree> BuildTraceTrees(const std::vector<TraceEvent>& events,
+                                               uint64_t trace_id);
+
+  // The tracer HETM_CHECK dumps on failure (normally the live World's).
+  static void SetFlightRecorder(Tracer* tracer);
+  static Tracer* flight_recorder();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    size_t next = 0;      // overwrite cursor
+    bool wrapped = false;
+  };
+
+  void Emit(const TraceEvent& ev);
+  Ring& RingFor(int node);
+
+  bool enabled_ = true;
+  size_t ring_capacity_;
+  std::vector<Ring> rings_;  // index = node + 1 (slot 0: world-level events)
+  uint64_t next_seq_ = 0;
+  uint64_t digest_ = 1469598103934665603ull;  // FNV-1a offset basis
+  uint64_t counts_[kNumTracePoints] = {};
+  // Open span begin times by (node, trace id, point), for phase histograms.
+  std::map<std::tuple<int, uint64_t, uint8_t>, double> open_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_OBS_TRACE_H_

@@ -62,6 +62,11 @@ struct Message {
   // Hops this object-routed message has chased stale location hints; bounded by
   // NetConfig::max_forward_hops before falling back to a locate broadcast.
   int forward_hops = 0;
+  // Observability correlation id (src/obs): stamped by the move source on every
+  // handshake message so source- and destination-side trace spans stitch into one
+  // causal trace. Part of the fixed packet header (kPacketHeaderBytes), so it
+  // changes no wire sizes or timings; 0 = not part of a traced move.
+  uint64_t trace_id = 0;
   // Payload encoding parameters (the receiver must decode with the same strategy
   // and, for kRaw, the same architecture).
   ConversionStrategy strategy = ConversionStrategy::kNaive;

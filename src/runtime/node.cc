@@ -38,7 +38,9 @@ constexpr uint64_t kStintQuantum = 20000;  // instructions between forced poll y
 
 Node::Node(World* world, int index, MachineModel machine, OptLevel opt)
     : world_(world), index_(index), machine_(std::move(machine)), opt_(opt),
-      meter_(machine_) {}
+      meter_(machine_) {
+  meter_.BindObs(&world->tracer(), index, &clock_offset_us_);
+}
 
 // ---------------------------------------------------------------------------
 // Object services
@@ -174,6 +176,13 @@ void Node::Pump() {
 
 void Node::RunSegment(SegId id) {
   Segment& seg = segments_.at(id);
+  auto rt = resume_trace_.find(id);
+  if (rt != resume_trace_.end()) {
+    // First post-move stint of a migrated segment: the trace's resume span ends
+    // the moment the thread is about to execute on its new node.
+    world_->tracer().End(now_us(), index_, TracePoint::kResume, rt->second);
+    resume_trace_.erase(rt);
+  }
   RunOutcome out = ExecuteTop(seg);
   if (out == RunOutcome::kYield) {
     EnqueueRunnable(id);

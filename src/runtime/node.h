@@ -78,13 +78,17 @@ class Node {
   // it. Returns the number of reservations reclaimed (the transport logs it).
   int OnPeerExpired(int peer);
   // Adds every peer this node has lease interest in beyond unacked frames: move
-  // handshake partners (source side) and reservation holders (destination side).
-  void AppendLeasePeers(std::set<int>& out) const;
+  // handshake partners (source side), reservation holders (destination side) and
+  // dead-letter holds (non-const: expired holds are lazily dropped here, ending
+  // their lease interest so the world can quiesce).
+  void AppendLeasePeers(std::set<int>& out);
+  // The "dead" peer spoke again: deliver every parked reply still within its
+  // dead-letter hold, provided the peer did not restart meanwhile (same epoch —
+  // a restarted waiter lost the continuation the reply would resume). Called by
+  // the transport from NoteAlive; cheap no-op when nothing is parked.
+  void FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us);
   // Why the most recent move handshake on this node was abandoned (tests).
   const std::string& last_abort_reason() const { return last_abort_reason_; }
-  // Source-observed prepare-to-commit latency of every completed move handshake,
-  // in simulated microseconds (bench_faults tail-latency reporting).
-  const std::vector<double>& move_latencies_us() const { return move_latencies_us_; }
   // Crash-stop: every piece of volatile runtime state is lost. The meter (and thus
   // the clock) survives — simulated time is monotonic across the outage.
   void OnCrash();
@@ -191,6 +195,7 @@ class Node {
     Oid obj = kNilOid;
     int dest = -1;
     double start_us = 0.0;  // handshake start (latency accounting)
+    uint64_t trace_id = 0;  // observability correlation id (src/obs)
     std::unique_ptr<EmObject> limbo_obj;
     std::vector<Segment> limbo_segs;
     std::vector<Message> queued;  // object/segment traffic held during the handshake
@@ -199,6 +204,15 @@ class Node {
   struct Reservation {
     uint32_t move_id = 0;
     int src = -1;
+    uint64_t trace_id = 0;  // from the kMovePrepare; stitches the dest-side span
+  };
+  // A kReply undelivered when the waiter's lease expired, held for
+  // NetConfig::dlq_hold_us in case the waiter was merely partitioned.
+  struct DeadLetter {
+    Message msg;
+    int peer = -1;
+    uint32_t peer_epoch = 0;  // epoch the waiter held when the reply was parked
+    double deadline_us = 0.0;
   };
   struct PendingLocate {
     std::vector<Message> queued;
@@ -263,8 +277,12 @@ class Node {
   std::unordered_map<uint32_t, uint8_t> move_log_;  // ownership record: installed ids
   std::unordered_map<Oid, std::vector<Message>> reserved_queues_;  // held at dest
   std::unordered_map<Oid, PendingLocate> locating_;
+  std::vector<DeadLetter> dead_letters_;  // parked replies, in park order
   uint32_t next_move_seq_ = 1;
-  std::vector<double> move_latencies_us_;
+  uint64_t next_trace_seq_ = 1;
+  // Segments installed by a traced move, awaiting their first post-move stint:
+  // RunSegment closes the trace's kResume span on the first instruction executed.
+  std::map<SegId, uint64_t> resume_trace_;
   std::string last_abort_reason_;
 
   uint32_t next_oid_counter_ = 1;

@@ -22,6 +22,9 @@
 namespace hetm {
 
 Node::GcStats Node::CollectGarbage() {
+  // GC spans are per-node, not per-move: trace id 0 renders them as plain
+  // duration events on the node's track rather than part of a move trace.
+  world_->tracer().Begin(now_us(), index_, TracePoint::kGc, 0);
   GcStats stats;
   std::vector<Oid> worklist;
   auto push_ref = [&](const Value& v) {
@@ -95,6 +98,8 @@ Node::GcStats Node::CollectGarbage() {
     ++stats.collected;
     it = heap_.erase(it);
   }
+  world_->tracer().End(now_us(), index_, TracePoint::kGc, 0, -1,
+                       static_cast<int64_t>(stats.collected));
   return stats;
 }
 

@@ -28,6 +28,7 @@
 #include "src/mobility/busstop_xlate.h"
 #include "src/mobility/object_codec.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/runtime/node.h"
 #include "src/sim/world.h"
 #include "src/support/check.h"
@@ -57,6 +58,18 @@ const IrInstr* TryFindStopInstr(const IrFunction& fn, int stop) {
 bool KindCompatible(ValueKind cell_kind, ValueKind value_kind) {
   return IsReference(cell_kind) ? IsReference(value_kind) : value_kind == cell_kind;
 }
+
+// Attributes the meter's work to a move for the scope's duration, so translation
+// and bridge spans emitted deep inside the wire codecs inherit the move's trace
+// id. Restores the previous attribution on every exit path (decode errors too).
+struct ActiveTraceGuard {
+  CostMeter* meter;
+  uint64_t prev;
+  ActiveTraceGuard(CostMeter* m, uint64_t id) : meter(m), prev(m->active_trace()) {
+    meter->set_active_trace(id);
+  }
+  ~ActiveTraceGuard() { meter->set_active_trace(prev); }
+};
 
 }  // namespace
 
@@ -567,6 +580,13 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   const CodeRegistry::Entry& entry = EntryFor(obj.code_oid);
   bool thread_moved = false;
 
+  // One trace id per move, minted at the source and carried on every handshake
+  // frame: both nodes' spans stitch into one causal trace (src/obs).
+  uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
+  Tracer& tracer = world_->tracer();
+  tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
+               static_cast<int64_t>(obj_oid));
+
   // --- 1. Cut every stack that has activation records inside the moving object ---
   std::vector<SegId> affected;
   for (const auto& [id, seg] : segments_) {
@@ -643,6 +663,8 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   }
 
   // --- 2. Marshal object + fragments + string closure ---
+  tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
+  ActiveTraceGuard pack_guard(&meter_, trace_id);
   WireWriter w(world_->strategy(), arch(), &meter_);
   std::vector<Oid> closure;
   w.Oid32(obj_oid);
@@ -676,6 +698,8 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
     ChargeCycles(kEnhancedMoveFixedCycles);
   }
   meter_.counters().moves += 1;
+  meter_.set_active_trace(pack_guard.prev);
+  tracer.End(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
 
   if (!TransportActive()) {
     // --- 3a. Direct path: ship and forget ---
@@ -685,10 +709,13 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
     msg.type = MsgType::kMoveObject;
     msg.src_node = index_;
     msg.route_oid = obj_oid;
+    msg.trace_id = trace_id;
     msg.strategy = world_->strategy();
     msg.payload_arch = arch();
     msg.payload = w.Take();
     SendMessage(dest_node, std::move(msg));
+    // No handshake to wait on: the move is done the moment the frame leaves.
+    tracer.End(now_us(), index_, TracePoint::kMove, trace_id, dest_node);
     return thread_moved;
   }
 
@@ -701,6 +728,7 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   pm.obj = obj_oid;
   pm.dest = dest_node;
   pm.start_us = now_us();
+  pm.trace_id = trace_id;
   auto heap_node = heap_.extract(obj_oid);
   pm.limbo_obj = std::move(heap_node.mapped());
   pm.limbo_segs = std::move(moving);
@@ -711,12 +739,18 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
     limbo_seg_index_[s.id] = move_id;
   }
   ChargeCycles(kMoveHandshakeCycles);
-  SendMessage(dest_node, MakeControl(MsgType::kMovePrepare, obj_oid, move_id));
+  // Negotiate: prepare sent -> handshake resolved (commit / abort / presumed).
+  tracer.Begin(now_us(), index_, TracePoint::kNegotiate, trace_id, dest_node,
+               move_id);
+  Message prepare = MakeControl(MsgType::kMovePrepare, obj_oid, move_id);
+  prepare.trace_id = trace_id;
+  SendMessage(dest_node, std::move(prepare));
   Message msg;
   msg.type = MsgType::kMoveObject;
   msg.src_node = index_;
   msg.route_oid = obj_oid;
   msg.move_id = move_id;
+  msg.trace_id = trace_id;
   msg.strategy = world_->strategy();
   msg.payload_arch = arch();
   msg.payload = w.Take();
@@ -732,6 +766,7 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
 
 void Node::HandleMoveObject(const Message& msg) {
   bool transport = TransportActive();
+  uint64_t reserve_trace = 0;
   if (transport) {
     auto res = incoming_moves_.find(msg.route_oid);
     if (res == incoming_moves_.end() || res->second.move_id != msg.move_id) {
@@ -739,8 +774,9 @@ void Node::HandleMoveObject(const Message& msg) {
         // Duplicate transfer after our commit was lost in a channel reset: the
         // ownership record says we installed it, so just re-commit.
         ChargeCycles(kMoveHandshakeCycles);
-        SendMessage(msg.src_node,
-                    MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id));
+        Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+        commit.trace_id = msg.trace_id;
+        SendMessage(msg.src_node, std::move(commit));
         return;
       }
       // A transfer without a live reservation: our prepared state is gone (we
@@ -748,8 +784,17 @@ void Node::HandleMoveObject(const Message& msg) {
       // queries, gets kUnknown, and reinstalls its limbo copy.
       return;
     }
+    reserve_trace = res->second.trace_id;
   }
 
+  Tracer& tracer = world_->tracer();
+  // Unpack span: ends only if the payload decodes clean and installs (a span left
+  // open marks the decode that rejected the payload). The guard attributes the
+  // codec's translation/bridge work to this move's trace.
+  if (msg.trace_id != 0) {
+    tracer.Begin(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+  }
+  ActiveTraceGuard unpack_guard(&meter_, msg.trace_id);
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
   Oid oid = r.Oid32();
   Oid code_oid = r.Oid32();
@@ -809,6 +854,11 @@ void Node::HandleMoveObject(const Message& msg) {
   // Commit point: everything validated, mutate node state.
   heap_.emplace(oid, std::move(obj));
   location_hint_.erase(oid);
+  SegId first_seg{};
+  bool any_segs = !segs.empty();
+  if (any_segs) {
+    first_seg = segs.front().id;
+  }
   for (Segment& seg : segs) {
     InstallSegment(std::move(seg));
   }
@@ -816,13 +866,29 @@ void Node::HandleMoveObject(const Message& msg) {
   if (r.strategy() != ConversionStrategy::kRaw) {
     ChargeCycles(kEnhancedMoveFixedCycles);
   }
+  meter_.set_active_trace(unpack_guard.prev);
+  if (msg.trace_id != 0) {
+    tracer.End(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+    if (any_segs) {
+      // Resume span: install -> first post-move instruction (closed by RunSegment).
+      tracer.Begin(now_us(), index_, TracePoint::kResume, msg.trace_id,
+                   msg.src_node);
+      resume_trace_[first_seg] = msg.trace_id;
+    }
+  }
 
   if (transport) {
+    if (reserve_trace != 0) {
+      tracer.End(now_us(), index_, TracePoint::kReserve, reserve_trace,
+                 msg.src_node);
+    }
     // Record the handoff and answer: this move id is ours now.
     move_log_[msg.move_id] = 1;
     incoming_moves_.erase(oid);
     ChargeCycles(kMoveHandshakeCycles);
-    SendMessage(msg.src_node, MakeControl(MsgType::kMoveCommit, oid, msg.move_id));
+    Message commit = MakeControl(MsgType::kMoveCommit, oid, msg.move_id);
+    commit.trace_id = msg.trace_id;
+    SendMessage(msg.src_node, std::move(commit));
     auto queued = reserved_queues_.find(oid);
     if (queued != reserved_queues_.end()) {
       std::vector<Message> held = std::move(queued->second);
@@ -886,7 +952,13 @@ void Node::HandleLocationUpdate(const Message& msg) {
 
 void Node::HandleMovePrepare(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
-  incoming_moves_[msg.route_oid] = Reservation{msg.move_id, msg.src_node};
+  incoming_moves_[msg.route_oid] = Reservation{msg.move_id, msg.src_node,
+                                               msg.trace_id};
+  if (msg.trace_id != 0) {
+    // Reserve span: prepare accepted -> transfer installed (or lease reclaim).
+    world_->tracer().Begin(now_us(), index_, TracePoint::kReserve, msg.trace_id,
+                           msg.src_node, msg.move_id);
+  }
   // The reservation is lease interest in the source: if the source dies before
   // the transfer lands, the lease expiry reclaims the reservation instead of
   // holding the object's traffic hostage forever.
@@ -901,6 +973,7 @@ void Node::HandleMoveCommit(const Message& msg) {
 void Node::HandleMoveQuery(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
   Message verdict = MakeControl(MsgType::kMoveVerdict, msg.route_oid, msg.move_id);
+  verdict.trace_id = msg.trace_id;
   if (move_log_.count(msg.move_id) != 0) {
     verdict.verdict = MoveVerdict::kCommitted;
   } else {
@@ -939,8 +1012,15 @@ void Node::CommitMove(uint32_t move_id) {
     limbo_seg_index_.erase(s.id);
   }
   meter_.counters().moves_committed += 1;
-  move_latencies_us_.push_back(now_us() - pm.start_us);
+  world_->metrics().Observe("move.commit_latency_us", now_us() - pm.start_us);
   ChargeCycles(kMoveHandshakeCycles);
+  if (pm.trace_id != 0) {
+    Tracer& tracer = world_->tracer();
+    tracer.Instant(now_us(), index_, TracePoint::kMoveCommit, pm.trace_id, pm.dest,
+                   pm.id);
+    tracer.End(now_us(), index_, TracePoint::kNegotiate, pm.trace_id, pm.dest);
+    tracer.End(now_us(), index_, TracePoint::kMove, pm.trace_id, pm.dest);
+  }
   // Traffic parked during the handshake chases the object to its new home.
   for (Message& m : pm.queued) {
     if (m.type == MsgType::kReply) {
@@ -964,6 +1044,13 @@ void Node::ReleaseMovePresumed(uint32_t move_id) {
   }
   meter_.counters().moves_presumed_committed += 1;
   ChargeCycles(kMoveHandshakeCycles);
+  if (pm.trace_id != 0) {
+    Tracer& tracer = world_->tracer();
+    tracer.Instant(now_us(), index_, TracePoint::kMovePresumed, pm.trace_id,
+                   pm.dest, pm.id);
+    tracer.End(now_us(), index_, TracePoint::kNegotiate, pm.trace_id, pm.dest);
+    tracer.End(now_us(), index_, TracePoint::kMove, pm.trace_id, pm.dest);
+  }
   // The destination owns the object (its install is what acknowledged the
   // transfer), so parked traffic chases it there — and if the destination really
   // is gone for good, that traffic fails over to locate and reports the loss.
@@ -1000,6 +1087,13 @@ void Node::AbortMove(uint32_t move_id, const char* reason) {
   }
   meter_.counters().moves_aborted += 1;
   ChargeCycles(kMoveFixedDestCycles + kMoveHandshakeCycles);
+  if (pm.trace_id != 0) {
+    Tracer& tracer = world_->tracer();
+    tracer.Instant(now_us(), index_, TracePoint::kMoveAbort, pm.trace_id, pm.dest,
+                   pm.id);
+    tracer.End(now_us(), index_, TracePoint::kNegotiate, pm.trace_id, pm.dest);
+    tracer.End(now_us(), index_, TracePoint::kMove, pm.trace_id, pm.dest);
+  }
   for (const Message& m : pm.queued) {
     HandleMessage(m);  // the object is resident again
   }
@@ -1028,7 +1122,9 @@ void Node::OnMoveTimer(uint32_t move_id) {
   }
   pm.queries_left -= 1;
   ChargeCycles(kMoveHandshakeCycles);
-  SendMessage(pm.dest, MakeControl(MsgType::kMoveQuery, pm.obj, move_id));
+  Message query = MakeControl(MsgType::kMoveQuery, pm.obj, move_id);
+  query.trace_id = pm.trace_id;
+  SendMessage(pm.dest, std::move(query));
   world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
                     kTimerMoveCheck, move_id);
 }
@@ -1102,7 +1198,30 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
         }
         break;
       }
-      case MsgType::kReply:
+      case MsgType::kReply: {
+        // The waiter may be merely partitioned, not dead: park the reply in the
+        // dead-letter queue for dlq_hold_us. If the same incarnation of the peer
+        // speaks again within the window the reply is flushed to it and its
+        // blocked segment resumes; a restarted peer lost the waiting continuation,
+        // so the reply is dropped instead.
+        double hold_us = world_->net()->config().dlq_hold_us;
+        if (hold_us <= 0.0) {
+          break;
+        }
+        DeadLetter dl;
+        dl.msg = std::move(msg);
+        dl.peer = peer;
+        dl.peer_epoch = world_->net()->PeerEpochSeen(index_, peer);
+        dl.deadline_us = now_us() + hold_us;
+        meter_.counters().replies_parked += 1;
+        world_->tracer().Instant(now_us(), index_, TracePoint::kReplyParked,
+                                 dl.msg.trace_id, peer, dl.peer_epoch);
+        dead_letters_.push_back(std::move(dl));
+        // The hold is lease interest: keep probing so a healed partition is
+        // noticed while the reply is still worth delivering.
+        world_->net()->EnsureHeartbeat(index_);
+        break;
+      }
       case MsgType::kMoveCommit:
       case MsgType::kMoveVerdict:
       case MsgType::kLocationUpdate:
@@ -1113,15 +1232,21 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
 }
 
 int Node::OnPeerExpired(int peer) {
-  std::vector<Oid> gone;
+  std::vector<std::pair<Oid, uint64_t>> gone;  // (oid, trace id)
   for (const auto& [oid, res] : incoming_moves_) {
     if (res.src == peer) {
-      gone.push_back(oid);
+      gone.emplace_back(oid, res.trace_id);
     }
   }
-  for (Oid oid : gone) {
+  for (auto& [oid, res_trace] : gone) {
     incoming_moves_.erase(oid);
     meter_.counters().reservations_reclaimed += 1;
+    Tracer& tracer = world_->tracer();
+    tracer.Instant(now_us(), index_, TracePoint::kReserveReclaim, res_trace, peer,
+                   static_cast<int64_t>(oid));
+    if (res_trace != 0) {
+      tracer.End(now_us(), index_, TracePoint::kReserve, res_trace, peer);
+    }
     auto q = reserved_queues_.find(oid);
     if (q == reserved_queues_.end()) {
       continue;
@@ -1137,12 +1262,62 @@ int Node::OnPeerExpired(int peer) {
   return static_cast<int>(gone.size());
 }
 
-void Node::AppendLeasePeers(std::set<int>& out) const {
+void Node::AppendLeasePeers(std::set<int>& out) {
   for (const auto& [id, pm] : pending_moves_) {
     out.insert(pm.dest);
   }
   for (const auto& [oid, res] : incoming_moves_) {
     out.insert(res.src);
+  }
+  // Dead-letter holds keep their peer under probe while fresh; an expired hold is
+  // dropped here, ending the lease interest so the world can quiesce.
+  size_t kept = 0;
+  for (size_t i = 0; i < dead_letters_.size(); ++i) {
+    DeadLetter& dl = dead_letters_[i];
+    if (dl.deadline_us <= now_us()) {
+      meter_.counters().replies_dropped += 1;
+      world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
+                               dl.msg.trace_id, dl.peer, /*a=*/0);
+      continue;
+    }
+    out.insert(dl.peer);
+    if (kept != i) {
+      dead_letters_[kept] = std::move(dl);
+    }
+    ++kept;
+  }
+  dead_letters_.resize(kept);
+}
+
+void Node::FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us) {
+  if (dead_letters_.empty()) {
+    return;
+  }
+  AdvanceTo(time_us);
+  std::vector<Message> flush;
+  size_t kept = 0;
+  for (DeadLetter& dl : dead_letters_) {
+    if (dl.peer != peer) {
+      dead_letters_[kept++] = std::move(dl);
+      continue;
+    }
+    if (dl.peer_epoch != peer_epoch_seen || dl.deadline_us <= now_us()) {
+      // The waiter restarted (its continuation is gone) or the hold lapsed.
+      meter_.counters().replies_dropped += 1;
+      world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
+                               dl.msg.trace_id, peer, dl.peer_epoch,
+                               peer_epoch_seen);
+      continue;
+    }
+    meter_.counters().replies_flushed += 1;
+    world_->tracer().Instant(now_us(), index_, TracePoint::kReplyFlushed,
+                             dl.msg.trace_id, peer);
+    flush.push_back(std::move(dl.msg));
+  }
+  dead_letters_.resize(kept);
+  for (Message& m : flush) {
+    m.forward_hops = 0;
+    SendMessage(peer, std::move(m));
   }
 }
 
@@ -1161,6 +1336,8 @@ void Node::OnCrash() {
   move_log_.clear();
   reserved_queues_.clear();
   locating_.clear();
+  dead_letters_.clear();
+  resume_trace_.clear();
 }
 
 std::vector<Oid> Node::ResidentUserObjects() const {

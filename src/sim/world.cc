@@ -7,9 +7,16 @@
 
 namespace hetm {
 
-World::World(ConversionStrategy strategy) : strategy_(strategy) {}
+World::World(ConversionStrategy strategy) : strategy_(strategy) {
+  tracer_.BindMetrics(&metrics_);
+  Tracer::SetFlightRecorder(&tracer_);
+}
 
-World::~World() = default;
+World::~World() {
+  if (Tracer::flight_recorder() == &tracer_) {
+    Tracer::SetFlightRecorder(nullptr);
+  }
+}
 
 int World::AddNode(const MachineModel& machine, OptLevel opt) {
   int index = static_cast<int>(nodes_.size());
@@ -169,6 +176,52 @@ void World::SetError(const std::string& message) {
     error_ = message;
   }
   AppendOutput("RUNTIME ERROR: " + message + "\n");
+}
+
+void World::ExportMetrics() {
+  struct Item {
+    const char* name;
+    uint64_t CostCounters::* field;
+  };
+  static const Item kItems[] = {
+      {"vm_instructions", &CostCounters::vm_instructions},
+      {"conv_calls", &CostCounters::conv_calls},
+      {"conv_bytes", &CostCounters::conv_bytes},
+      {"busstop_lookups", &CostCounters::busstop_lookups},
+      {"messages_sent", &CostCounters::messages_sent},
+      {"bytes_sent", &CostCounters::bytes_sent},
+      {"moves", &CostCounters::moves},
+      {"remote_invokes", &CostCounters::remote_invokes},
+      {"bridge_ops", &CostCounters::bridge_ops},
+      {"packets_sent", &CostCounters::packets_sent},
+      {"retransmits", &CostCounters::retransmits},
+      {"acks_sent", &CostCounters::acks_sent},
+      {"dups_suppressed", &CostCounters::dups_suppressed},
+      {"corrupt_dropped", &CostCounters::corrupt_dropped},
+      {"moves_committed", &CostCounters::moves_committed},
+      {"moves_aborted", &CostCounters::moves_aborted},
+      {"locate_queries", &CostCounters::locate_queries},
+      {"heartbeats_sent", &CostCounters::heartbeats_sent},
+      {"leases_expired", &CostCounters::leases_expired},
+      {"reconnects", &CostCounters::reconnects},
+      {"reservations_reclaimed", &CostCounters::reservations_reclaimed},
+      {"moves_presumed_committed", &CostCounters::moves_presumed_committed},
+      {"replies_parked", &CostCounters::replies_parked},
+      {"replies_flushed", &CostCounters::replies_flushed},
+      {"replies_dropped", &CostCounters::replies_dropped},
+  };
+  char prefix[32];
+  for (const Item& item : kItems) {
+    uint64_t total = 0;
+    for (const auto& node : nodes_) {
+      uint64_t v = node->meter().counters().*item.field;
+      std::snprintf(prefix, sizeof(prefix), "node%d.", node->index());
+      metrics_.SetCounter(prefix + std::string(item.name), v);
+      total += v;
+    }
+    metrics_.SetCounter(std::string("total.") + item.name, total);
+  }
+  metrics_.SetGauge("sim.now_max_us", NowMaxUs());
 }
 
 double World::NowMaxUs() const {

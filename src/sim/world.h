@@ -17,6 +17,8 @@
 #include "src/compiler/compiled.h"
 #include "src/mobility/wire.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
 
@@ -67,6 +69,17 @@ class World {
   CodeRegistry& code() { return code_; }
   ConversionStrategy strategy() const { return strategy_; }
 
+  // Structured observability (src/obs): the typed event tracer and the metrics
+  // registry every layer reports into. Always present; Tracer::set_enabled(false)
+  // stops emission without touching the simulated schedule.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // Folds every node's CostCounters (and the world gauges) into the registry as
+  // "nodeN.<counter>" counters plus "total.<counter>" sums. Call before rendering.
+  void ExportMetrics();
+
   void AppendOutput(const std::string& line);
   const std::string& output() const { return output_; }
   void SetError(const std::string& message);
@@ -103,6 +116,8 @@ class World {
   void Dispatch(const Event& ev);
 
   ConversionStrategy strategy_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   uint64_t next_event_seq_ = 0;

@@ -8,11 +8,19 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace hetm {
+// Defined in src/obs/trace.cc: dumps the registered tracer's flight-recorder
+// tail to stderr, so the events leading up to the violation land next to the
+// check message. No-op when no tracer is registered.
+void ObsOnCheckFailure();
+}  // namespace hetm
+
 #define HETM_CHECK(cond)                                                              \
   do {                                                                                \
     if (!(cond)) {                                                                    \
       std::fprintf(stderr, "HETM_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
                    #cond);                                                            \
+      ::hetm::ObsOnCheckFailure();                                                    \
       std::abort();                                                                   \
     }                                                                                 \
   } while (0)
@@ -24,6 +32,7 @@
                    #cond);                                                            \
       std::fprintf(stderr, __VA_ARGS__);                                              \
       std::fprintf(stderr, "\n");                                                     \
+      ::hetm::ObsOnCheckFailure();                                                    \
       std::abort();                                                                   \
     }                                                                                 \
   } while (0)
@@ -31,6 +40,7 @@
 #define HETM_UNREACHABLE(msg)                                                         \
   do {                                                                                \
     std::fprintf(stderr, "HETM_UNREACHABLE at %s:%d: %s\n", __FILE__, __LINE__, msg); \
+    ::hetm::ObsOnCheckFailure();                                                      \
     std::abort();                                                                     \
   } while (0)
 

@@ -408,7 +408,7 @@ TEST(MigrationStress, DeadSourceReservationIsReclaimedAtDestination) {
   // The destination reclaimed (and logged) the orphaned reservation.
   EXPECT_EQ(sys.node(1).meter().counters().reservations_reclaimed, 1u);
   EXPECT_GE(sys.node(1).meter().counters().leases_expired, 1u);
-  EXPECT_NE(sys.world().net()->trace().find("reserve-reclaim"), std::string::npos);
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kReserveReclaim), 0u);
   EXPECT_TRUE(sys.node(1).ResidentUserObjects().empty());
 }
 

@@ -84,7 +84,7 @@ TEST(NetPartition, SymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
   EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
   ExpectExactlyOneCopyEach(sys, 2);
   // The cut must actually have bitten, and retransmissions carried the recovery.
-  EXPECT_NE(sys.world().net()->trace().find("partition-drop"), std::string::npos);
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kPartitionDrop), 0u);
   EXPECT_GT(sys.node(0).meter().counters().retransmits, 0u);
 }
 
@@ -115,7 +115,7 @@ TEST(NetPartition, AsymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
   }
   EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
   ExpectExactlyOneCopyEach(sys, 2);
-  EXPECT_NE(sys.world().net()->trace().find("partition-drop"), std::string::npos);
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kPartitionDrop), 0u);
 }
 
 // Ordering 1 of a partition outlasting the lease: the cut opens before the
@@ -149,7 +149,7 @@ TEST(NetPartition, PartitionOutlastingLeaseAbortsWithThreadAtSource) {
   // Destination side: nothing installed, reservation reclaimed and logged.
   EXPECT_TRUE(sys.node(1).ResidentUserObjects().empty());
   EXPECT_EQ(sys.node(1).meter().counters().reservations_reclaimed, 1u);
-  EXPECT_NE(sys.world().net()->trace().find("reserve-reclaim"), std::string::npos);
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kReserveReclaim), 0u);
   ExpectExactlyOneCopyEach(sys, 2);
 }
 

@@ -1,0 +1,293 @@
+// The observability subsystem's end-to-end contracts (DESIGN.md section 10):
+//
+//  * Span stitching: every move's source- and destination-side spans share one
+//    trace id and reconstruct into exactly ONE causal tree rooted at the source's
+//    kMove span, even under 10% frame loss — with the retransmissions that
+//    repaired the loss attached inside the kTransfer span they delayed.
+//  * Determinism: tracing is passive. Disabling it changes neither the program
+//    output nor the simulated clock, and the same seed replays a byte-identical
+//    event stream (equal FNV digests).
+//  * Export: the Chrome trace-event JSON carries one async track per trace id
+//    spanning both nodes' pids, covering the full phase vocabulary.
+//  * Dead-letter queue: a kReply undeliverable at lease expiry parks (kReplyParked)
+//    and is flushed to the same incarnation on reconnect (kReplyFlushed),
+//    resuming the blocked caller.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace hetm {
+namespace {
+
+std::string TourSource(int rounds) {
+  return R"(
+    class Tourist
+      var pad: Int
+      op tour(rounds: Int): Int
+        var check: Int := 1
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat((i + 1) % 3)
+          check := (check * 31 + i) % 1000003
+          i := i + 1
+        end
+        return check
+      end
+    end
+    main
+      var t: Ref := new Tourist
+      print t.tour()" +
+         std::to_string(rounds) + R"()
+    end
+)";
+}
+
+void AddTourNodes(EmeraldSystem& sys) {
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+}
+
+// Depth-first over a span tree, visiting every node.
+void Visit(const SpanTree& tree, const std::function<void(const SpanTree&)>& fn) {
+  fn(tree);
+  for (const SpanTree& child : tree.children) {
+    Visit(child, fn);
+  }
+}
+
+uint64_t CountInstantsUnder(const SpanTree& tree, TracePoint span, TracePoint instant) {
+  uint64_t n = 0;
+  Visit(tree, [&](const SpanTree& s) {
+    if (s.begin.point != span) {
+      return;
+    }
+    for (const TraceEvent& ev : s.instants) {
+      n += (ev.point == instant) ? 1 : 0;
+    }
+  });
+  return n;
+}
+
+// Under 10% drop every move still reconstructs as exactly one tree per trace id,
+// rooted at the source's kMove span, and the retransmissions that repaired lost
+// transfer frames sit inside the kTransfer span they stalled.
+TEST(ObsTrace, LossyMigrationStitchesOneTreePerMoveWithRetxInsideTransfer) {
+  EmeraldSystem sys;
+  AddTourNodes(sys);
+  ASSERT_TRUE(sys.Load(TourSource(60)));
+  NetConfig cfg;
+  cfg.fault.seed = 20260806;
+  cfg.fault.drop_rate = 0.10;
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  std::vector<TraceEvent> events = sys.world().tracer().Snapshot();
+  std::set<uint64_t> move_ids;
+  for (const TraceEvent& ev : events) {
+    if (ev.point == TracePoint::kMove && ev.kind == TraceKind::kBegin) {
+      move_ids.insert(ev.trace_id);
+    }
+  }
+  ASSERT_GE(move_ids.size(), 60u);
+
+  uint64_t transfer_retx = 0;
+  for (uint64_t id : move_ids) {
+    std::vector<SpanTree> trees = Tracer::BuildTraceTrees(events, id);
+    ASSERT_EQ(trees.size(), 1u) << "trace " << std::hex << id
+                                << " split into " << std::dec << trees.size()
+                                << " trees";
+    EXPECT_EQ(trees[0].begin.point, TracePoint::kMove);
+    // Both sides of the wire contributed to the one tree.
+    std::set<int> nodes;
+    Visit(trees[0], [&](const SpanTree& s) { nodes.insert(s.begin.node); });
+    EXPECT_GE(nodes.size(), 2u) << "trace " << std::hex << id;
+    transfer_retx += CountInstantsUnder(trees[0], TracePoint::kTransfer,
+                                        TracePoint::kFrameRetx);
+  }
+  // 10% drop over 60 transfers: some transfer frame (or its ack) was lost, so at
+  // least one retransmit must have landed inside a transfer span — otherwise the
+  // parenting assertion above is vacuous.
+  EXPECT_GT(transfer_retx, 0u);
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kFrameRetx), 0u);
+}
+
+// Tracing is passive: turning it off changes neither the output nor the simulated
+// clock, and the same seed emits the identical event stream.
+TEST(ObsTrace, TracingOnOrOffSameScheduleSameSeedSameDigest) {
+  const std::string source = TourSource(12);
+  struct RunResult {
+    std::string output;
+    double elapsed_ms = 0.0;
+    uint64_t digest = 0;
+    uint64_t emitted = 0;
+  };
+  auto run = [&](bool tracing) {
+    EmeraldSystem sys;
+    AddTourNodes(sys);
+    EXPECT_TRUE(sys.Load(source));
+    NetConfig cfg;
+    cfg.fault.seed = 4242;
+    cfg.fault.drop_rate = 0.10;
+    cfg.trace = true;  // frame-level instants too: the hardest determinism case
+    sys.world().EnableNet(cfg);
+    sys.world().tracer().set_enabled(tracing);
+    EXPECT_TRUE(sys.Run()) << sys.error();
+    return RunResult{sys.output(), sys.ElapsedMs(), sys.world().tracer().digest(),
+                     sys.world().tracer().emitted()};
+  };
+
+  RunResult on1 = run(true);
+  RunResult on2 = run(true);
+  RunResult off = run(false);
+
+  EXPECT_GT(on1.emitted, 0u);
+  EXPECT_EQ(on1.emitted, on2.emitted);
+  EXPECT_EQ(on1.digest, on2.digest);
+  EXPECT_EQ(on1.output, on2.output);
+
+  // Disabled: nothing emitted, schedule untouched.
+  EXPECT_EQ(off.emitted, 0u);
+  EXPECT_EQ(off.output, on1.output);
+  EXPECT_DOUBLE_EQ(off.elapsed_ms, on1.elapsed_ms);
+}
+
+// One clean migration: its trace id appears on both nodes' pids in the Chrome
+// export, with the full lifecycle phase vocabulary, and ending the spans fed the
+// phase histograms the bench tables print.
+TEST(ObsTrace, ChromeExportStitchesOneMoveAcrossBothNodes) {
+  const char* source = R"(
+    class Roamer
+      var state: Int
+      op go(): Int
+        state := 7
+        move self to nodeat(1)
+        return state + 1
+      end
+    end
+    main
+      var r: Ref := new Roamer
+      print r.go()
+    end
+)";
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(NetConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "8\n");
+
+  std::vector<TraceEvent> events = sys.world().tracer().Snapshot();
+  uint64_t id = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.point == TracePoint::kMove && ev.kind == TraceKind::kBegin) {
+      id = ev.trace_id;
+      break;
+    }
+  }
+  ASSERT_NE(id, 0u);
+
+  std::set<int> nodes;
+  std::set<TracePoint> phases;
+  for (const TraceEvent& ev : events) {
+    if (ev.trace_id != id) {
+      continue;
+    }
+    nodes.insert(ev.node);
+    if (ev.kind == TraceKind::kBegin) {
+      phases.insert(ev.point);
+    }
+  }
+  EXPECT_GE(nodes.size(), 2u) << "trace never crossed the wire";
+  // move, pack, negotiate, transfer (source); reserve, unpack, resume (dest).
+  EXPECT_GE(phases.size(), 6u);
+  for (TracePoint p : {TracePoint::kMove, TracePoint::kPack, TracePoint::kTransfer,
+                       TracePoint::kReserve, TracePoint::kUnpack, TracePoint::kResume}) {
+    EXPECT_EQ(phases.count(p), 1u) << "missing phase " << TracePointName(p);
+  }
+
+  // The async-nestable export keys all of it by the trace id.
+  char idhex[32];
+  std::snprintf(idhex, sizeof(idhex), "\"id\":\"%llx\"",
+                static_cast<unsigned long long>(id));
+  std::string json = sys.world().tracer().ToChromeJson();
+  EXPECT_NE(json.find(idhex), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"transfer\""), std::string::npos);
+
+  // Ending the spans recorded phase latencies into the registry.
+  sys.world().ExportMetrics();
+  const LogHistogram* h = sys.world().metrics().FindHistogram("phase.transfer_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count(), 1u);
+}
+
+// A reply trapped behind a one-way cut until the replier's lease on the waiter
+// expires must not be lost: it parks in the dead-letter queue and flushes to the
+// same incarnation when the cut heals, resuming the blocked caller.
+TEST(ObsTrace, ReplyParkedAtLeaseExpiryFlushesOnReconnect) {
+  const char* source = R"(
+    class Keeper
+      var held: Int
+      op set(v: Int): Int
+        held := v
+        return held
+      end
+    end
+    main
+      var k: Ref := new Keeper
+      move k to nodeat(1)
+      var t: Int := 0
+      while t < 100 do
+        t := clockms()
+      end
+      print k.set(4)
+      print 9
+    end
+)";
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  // One-way cut killing frames LEAVING node 1, opening at the delivery of the ack
+  // that covers the kInvoke (3rd data frame node 0 sent: prepare, transfer,
+  // invoke). Node 0's channel is clean — it just waits for the reply — while node
+  // 1's reply, retransmits and probe echoes all die at the cut. Node 1 stops
+  // hearing node 0 entirely, so its lease on the waiter expires with the reply
+  // undelivered: the reply parks. The heal lands inside dlq_hold_us, the probes
+  // get through, and the flush resumes the caller.
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = false;
+  w.start_trigger_node = 0;
+  w.start_on_ack = true;
+  w.start_nth = 3;
+  w.heal_after_us = 250000.0;  // > lease_us (reply must park), < dlq_hold_us
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "4\n9\n");
+  EXPECT_EQ(sys.node(1).meter().counters().replies_parked, 1u);
+  EXPECT_EQ(sys.node(1).meter().counters().replies_flushed, 1u);
+  EXPECT_EQ(sys.node(1).meter().counters().replies_dropped, 0u);
+  EXPECT_GE(sys.node(1).meter().counters().leases_expired, 1u);
+  const Tracer& tracer = sys.world().tracer();
+  EXPECT_EQ(tracer.count(TracePoint::kReplyParked), 1u);
+  EXPECT_EQ(tracer.count(TracePoint::kReplyFlushed), 1u);
+  EXPECT_EQ(tracer.count(TracePoint::kReplyDropped), 0u);
+  EXPECT_GT(tracer.count(TracePoint::kPartitionDrop), 0u);
+}
+
+}  // namespace
+}  // namespace hetm
