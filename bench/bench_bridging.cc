@@ -94,6 +94,12 @@ void PrintBridgeCost() {
   std::printf("SPARC(O0) <-> Sun3(O1): %6.1f ms per round trip (+%.0f%% for bridge\n"
               "  construction: edit-log replay + machine-independent bridge execution)\n\n",
               cross, 100.0 * (cross - same) / same);
+
+  MetricsRegistry report;
+  report.SetGauge("bridge.same_opt_rt_ms", same);
+  report.SetGauge("bridge.cross_opt_rt_ms", cross);
+  benchutil::WriteJsonSection("BENCH_bridging.json", "cross_opt_migration",
+                              report.ToJson());
 }
 
 void BM_BuildBridge(benchmark::State& state) {

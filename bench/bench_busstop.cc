@@ -115,6 +115,11 @@ void PrintLookupVolume() {
               "table translations: one pc->stop on each source and one stop->pc on each\n"
               "destination per migrating activation record.\n\n",
               static_cast<unsigned long long>(lookups));
+
+  MetricsRegistry report;
+  report.SetCounter("busstop.lookups_table1_workload", lookups);
+  benchutil::WriteJsonSection("BENCH_busstop.json", "lookup_volume",
+                              report.ToJson());
 }
 
 }  // namespace

@@ -99,12 +99,12 @@ inline double MigrationRoundTripMs(const MachineModel& a, const MachineModel& b,
   return (hi - lo) / (kHi - kLo);
 }
 
-// Writes/updates one bench's section of BENCH_obs.json (phase-attributed
-// percentiles and counters from the metrics registry). The file holds one
-// section per bench binary, one line each; a rerun replaces only its own line,
-// so the benches compose into a single report.
-inline void WriteObsSection(const std::string& bench, const std::string& json) {
-  const char* path = "BENCH_obs.json";
+// Writes/updates one bench's section of a BENCH_*.json report file. The file
+// holds one section per bench, one line each; a rerun replaces only its own
+// line, so benches (and repeated runs) compose into a single report. Every
+// bench binary funnels its JSON output through here — one writer, one format.
+inline void WriteJsonSection(const std::string& path, const std::string& bench,
+                             const std::string& json) {
   std::vector<std::string> sections;
   {
     std::ifstream in(path);
@@ -129,6 +129,11 @@ inline void WriteObsSection(const std::string& bench, const std::string& json) {
     out << sections[i] << (i + 1 < sections.size() ? "," : "") << "\n";
   }
   out << "}\n";
+}
+
+// Back-compat shorthand for the observability benches' shared report.
+inline void WriteObsSection(const std::string& bench, const std::string& json) {
+  WriteJsonSection("BENCH_obs.json", bench, json);
 }
 
 // Phase-attributed latency table from the tracer's span histograms

@@ -96,6 +96,16 @@ void PrintConversionStudy() {
       "conversions and %llu bus-stop table translations over 16+48 moves.\n\n",
       static_cast<unsigned long long>(het.float_conversions),
       static_cast<unsigned long long>(het.busstop_lookups));
+
+  MetricsRegistry report;
+  report.SetGauge("conversion.raw_rt_ms", raw.roundtrip_ms);
+  report.SetGauge("conversion.naive_rt_ms", naive.roundtrip_ms);
+  report.SetGauge("conversion.fast_rt_ms", fast.roundtrip_ms);
+  report.SetGauge("conversion.naive_calls_per_byte", naive.calls_per_byte);
+  report.SetCounter("conversion.het_float_conversions", het.float_conversions);
+  report.SetCounter("conversion.het_busstop_lookups", het.busstop_lookups);
+  benchutil::WriteJsonSection("BENCH_conversion.json", "conversion_study",
+                              report.ToJson());
 }
 
 void BM_NaiveConversionRoundTrip(benchmark::State& state) {

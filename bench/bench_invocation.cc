@@ -72,16 +72,21 @@ void PrintInvocationTable() {
       {"SPARC<->VAX", SparcStationSlc(), VaxStation4000(), false},
       {"Sun3<->VAX", Sun3_100(), VaxStation4000(), false},
   };
+  MetricsRegistry report;
   for (const PairCase& c : cases) {
     double enhanced = InvokeRoundTripMs(c.a, c.b, ConversionStrategy::kNaive);
+    report.SetGauge(std::string("invoke.") + c.label + ".enhanced_rt_ms", enhanced);
     if (c.homogeneous) {
       double original = InvokeRoundTripMs(c.a, c.b, ConversionStrategy::kRaw);
+      report.SetGauge(std::string("invoke.") + c.label + ".original_rt_ms", original);
       std::printf("%-26s | %10.2f | %10.2f | %8.0f%%\n", c.label, original, enhanced,
                   100.0 * (enhanced - original) / original);
     } else {
       std::printf("%-26s | %10s | %10.2f |\n", c.label, "n/a", enhanced);
     }
   }
+  benchutil::WriteJsonSection("BENCH_invocation.json", "round_trips",
+                              report.ToJson());
   std::printf(
       "\nThe enhanced system's trans-architecture invocation overhead on homogeneous\n"
       "pairs corresponds to the paper's \"about 60%% longer\" observation for mobility\n"

@@ -65,13 +65,19 @@ void PrintScalingTable() {
   std::printf("%10s | %10s | %10s | %10s | %9s\n", "live vars", "orig (ms)", "naive (ms)",
               "fast (ms)", "overhead");
   std::printf("%.*s\n", 62, "--------------------------------------------------------------");
+  MetricsRegistry report;
   for (int vars : {2, 4, 8, 13, 20, 32}) {
     double orig = RoundTripMs(ConversionStrategy::kRaw, vars);
     double naive = RoundTripMs(ConversionStrategy::kNaive, vars);
     double fast = RoundTripMs(ConversionStrategy::kFast, vars);
     std::printf("%10d | %10.1f | %10.1f | %10.1f | %8.0f%%\n", vars, orig, naive, fast,
                 100.0 * (naive - orig) / orig);
+    std::string key = "threadsize." + std::to_string(vars) + "_vars.";
+    report.SetGauge(key + "orig_rt_ms", orig);
+    report.SetGauge(key + "naive_rt_ms", naive);
+    report.SetGauge(key + "fast_rt_ms", fast);
   }
+  benchutil::WriteJsonSection("BENCH_threadsize.json", "scaling", report.ToJson());
   std::printf(
       "\nThe enhanced/naive system's overhead grows with state size (per-value\n"
       "conversion calls), while the original system's per-byte blit is nearly flat —\n"

@@ -11,6 +11,7 @@
 //                       [--fixed-rto] [--rto-min US] [--rto-max US]
 //                       [--lease US] [--heartbeat US]
 //                       [--partition A+B+..:START_US:HEAL_US]
+//                       [--sched] [--sched-period US] [--sched-hysteresis F]
 //
 // --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
 // reliable transport (src/net) with the given frame loss / duplication rates.
@@ -22,7 +23,10 @@
 // --rto-min/max bound the adaptive estimate. --lease/--heartbeat tune the
 // failure detector. --partition cuts nodes A,B,.. (indices into --nodes,
 // '+'-separated) off from the rest symmetrically at START_US, healing HEAL_US
-// later (negative = never).
+// later (negative = never). --sched turns on the load-aware placement scheduler
+// (src/sched): heat/affinity metering, gossiped load digests, and cost-model
+// migration proposals; --sched-period sets the tick period, --sched-hysteresis
+// the benefit/cost acceptance margin (higher = more conservative).
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
@@ -34,6 +38,7 @@
 
 #include "src/emerald/system.h"
 #include "src/net/transport.h"
+#include "src/sched/sched.h"
 #include "src/isa/disasm.h"
 
 namespace {
@@ -78,7 +83,8 @@ int Usage() {
                "                [--trace-out FILE] [--metrics]\n"
                "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
                "                [--lease US] [--heartbeat US]\n"
-               "                [--partition A+B+..:START_US:HEAL_US]\n");
+               "                [--partition A+B+..:START_US:HEAL_US]\n"
+               "                [--sched] [--sched-period US] [--sched-hysteresis F]\n");
   return 2;
 }
 
@@ -107,6 +113,9 @@ int main(int argc, char** argv) {
   double lease_us = -1.0;
   double heartbeat_us = -1.0;
   std::string partition_arg;
+  bool use_sched = false;
+  double sched_period_us = -1.0;
+  double sched_hysteresis = -1.0;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -194,6 +203,18 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       partition_arg = v;
       use_net = true;
+    } else if (arg == "--sched") {
+      use_sched = true;
+    } else if (arg == "--sched-period") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sched_period_us = std::atof(v);
+      use_sched = true;
+    } else if (arg == "--sched-hysteresis") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sched_hysteresis = std::atof(v);
+      use_sched = true;
     } else {
       return Usage();
     }
@@ -292,6 +313,13 @@ int main(int argc, char** argv) {
     sys.world().EnableNet(cfg);
   }
 
+  if (use_sched) {
+    SchedConfig scfg;
+    if (sched_period_us > 0.0) scfg.period_us = sched_period_us;
+    if (sched_hysteresis > 0.0) scfg.hysteresis = sched_hysteresis;
+    sys.world().EnableSched(scfg);
+  }
+
   bool ok = sys.Run();
   std::fputs(sys.output().c_str(), stdout);
   if (net_trace) {
@@ -348,6 +376,18 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(c.reconnects),
                      static_cast<unsigned long long>(c.reservations_reclaimed),
                      static_cast<unsigned long long>(c.moves_presumed_committed));
+      }
+      if (use_sched) {
+        std::fprintf(stderr,
+                     "        scheduler: %5llu ticks, %3llu digests out, %3llu in,"
+                     " %2llu proposed, %2llu committed, %2llu vetoed, %2llu pingpong\n",
+                     static_cast<unsigned long long>(c.sched_ticks),
+                     static_cast<unsigned long long>(c.sched_digests_sent),
+                     static_cast<unsigned long long>(c.sched_digests_recv),
+                     static_cast<unsigned long long>(c.sched_proposed),
+                     static_cast<unsigned long long>(c.sched_committed),
+                     static_cast<unsigned long long>(c.sched_vetoed),
+                     static_cast<unsigned long long>(c.sched_pingpong));
       }
     }
   }

@@ -91,6 +91,14 @@ inline constexpr uint64_t kGcPerObjectCycles = 90;
 inline constexpr uint64_t kBridgeEditCycles = 900;      // per primitive edit replayed
 inline constexpr uint64_t kBridgeInterpOpCycles = 450;  // per bridging micro-op executed
 
+// --- Placement scheduler (src/sched) ---
+// Folding the load/heat meters and arming the next tick.
+inline constexpr uint64_t kSchedTickCycles = 1500;
+// Scoring one (candidate object, destination) pair in the policy engine.
+inline constexpr uint64_t kSchedScoreCycles = 120;
+// Decoding and installing a peer's load digest.
+inline constexpr uint64_t kSchedDigestApplyCycles = 500;
+
 }  // namespace hetm
 
 #endif  // HETM_SRC_ARCH_CALIBRATION_H_

@@ -45,6 +45,14 @@ struct CostCounters {
   uint64_t replies_parked = 0;   // replies held for a suspected-dead waiter
   uint64_t replies_flushed = 0;  // parked replies delivered after a reconnect
   uint64_t replies_dropped = 0;  // parked replies abandoned (restart or hold expiry)
+  // --- placement scheduler (src/sched) ---
+  uint64_t sched_ticks = 0;          // scheduler ticks fired on this node
+  uint64_t sched_digests_sent = 0;   // load digests emitted (explicit + piggyback)
+  uint64_t sched_digests_recv = 0;   // fresh peer digests installed
+  uint64_t sched_proposed = 0;       // migrations the policy engine proposed
+  uint64_t sched_committed = 0;      // proposed objects that finished moving
+  uint64_t sched_vetoed = 0;         // proposals killed by hysteresis / collision
+  uint64_t sched_pingpong = 0;       // proposals suppressed as A->B->A bounces
 };
 
 class Tracer;

@@ -78,6 +78,13 @@ void WireWriter::Str(const std::string& s) {
   writer_.Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }
 
+void WireWriter::OidList(const std::vector<Oid>& oids) {
+  U16(static_cast<uint16_t>(oids.size()));
+  for (Oid oid : oids) {
+    Oid32(oid);
+  }
+}
+
 void WireWriter::TaggedValue(const Value& v) {
   U8(static_cast<uint8_t>(v.kind));
   switch (v.kind) {
@@ -175,6 +182,23 @@ std::string WireReader::Str() {
   std::string s(n, '\0');
   reader_.RawBytes(reinterpret_cast<uint8_t*>(s.data()), n);
   return s;
+}
+
+std::vector<Oid> WireReader::OidList(size_t max_count) {
+  uint16_t n = U16();
+  if (!ok_ || n > max_count) {
+    Fail();
+    return {};
+  }
+  std::vector<Oid> oids;
+  oids.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    oids.push_back(Oid32());
+  }
+  if (!ok_) {
+    return {};
+  }
+  return oids;
 }
 
 Value WireReader::TaggedValue() {

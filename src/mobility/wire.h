@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/arch/arch.h"
 #include "src/arch/cost_meter.h"
@@ -46,6 +47,8 @@ class WireWriter {
   void F64(double v);
   void Str(const std::string& s);
   void Oid32(Oid oid) { U32(oid); }
+  // A bounded list of OIDs (count + members) — batch-move member lists.
+  void OidList(const std::vector<Oid>& oids);
   // A tagged canonical value (kind byte + payload).
   void TaggedValue(const Value& v);
   // Raw bytes (no per-value conversion, copy cost only) — used for kRaw frame blits.
@@ -85,6 +88,9 @@ class WireReader {
   double F64();
   std::string Str();
   Oid Oid32() { return U32(); }
+  // Counterpart of WireWriter::OidList. Fails (empty result) when the count
+  // exceeds `max_count` — corrupt or adversarial member lists never allocate.
+  std::vector<Oid> OidList(size_t max_count);
   Value TaggedValue();
   void Blit(uint8_t* dst, size_t n);
   void FinishMessage();

@@ -1,6 +1,7 @@
 #include "src/net/transport.h"
 
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "src/arch/calibration.h"
@@ -93,6 +94,23 @@ uint64_t Network::Checksum(const NetPacket& pkt) {
   for (uint8_t b : pkt.msg.payload) {
     mix(b);
   }
+  if (pkt.has_digest) {
+    auto mix_f64 = [&mix](double d) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      mix(bits);
+    };
+    mix(static_cast<uint64_t>(static_cast<int64_t>(pkt.digest.node)));
+    mix(pkt.digest.seq);
+    mix(pkt.digest.queue_depth);
+    mix_f64(pkt.digest.us_per_mcycle);
+    mix_f64(pkt.digest.exec_mcycles);
+    mix(pkt.digest.hot.size());
+    for (const auto& [oid, heat] : pkt.digest.hot) {
+      mix(oid);
+      mix_f64(heat);
+    }
+  }
   return h;
 }
 
@@ -108,7 +126,8 @@ void Network::Submit(int from, int to, Message msg) {
   Node& sender = world_->node(from);
   SendChannel& ch = ep.send[to];
   uint32_t seq = ch.next_seq++;
-  if (msg.type == MsgType::kMoveObject && msg.trace_id != 0) {
+  if ((msg.type == MsgType::kMoveObject || msg.type == MsgType::kMoveBatch) &&
+      msg.trace_id != 0) {
     // The transfer leg: from first submission to the ack that proves the install.
     // Retransmissions land inside this span as kFrameRetx instants.
     world_->tracer().Begin(sender.now_us(), from, TracePoint::kTransfer, msg.trace_id,
@@ -314,7 +333,9 @@ void Network::ProcessAck(int self, int peer, uint32_t ack, uint32_t stream,
     if (config_.adaptive_rto && !acked.retransmitted) {
       ch.rtt.Sample(time_us - acked.sent_at_us);
     }
-    if (acked.msg.type == MsgType::kMoveObject && acked.msg.trace_id != 0) {
+    if ((acked.msg.type == MsgType::kMoveObject ||
+         acked.msg.type == MsgType::kMoveBatch) &&
+        acked.msg.trace_id != 0) {
       world_->tracer().End(time_us, self, TracePoint::kTransfer, acked.msg.trace_id,
                            peer);
     }
@@ -491,6 +512,17 @@ void Network::SendHeartbeat(int from, int to, bool echo, double at_us) {
   pkt.ack = echo ? 1 : 0;
   pkt.src_epoch = ep.epoch;
   pkt.wire_bytes = kPacketHeaderBytes + kTransportHeaderBytes;
+  if (Scheduler* sched = world_->sched();
+      sched != nullptr && sched->WantDigest(from, to, at_us)) {
+    // Piggyback the load digest: the membership layer is probing this peer
+    // anyway, so the digest costs one frame's extra serialization, not a
+    // message of its own.
+    pkt.digest = sched->BuildDigest(from);
+    pkt.has_digest = true;
+    pkt.wire_bytes += pkt.digest.WireBytes();
+    sched->MarkDigestSent(from, to, at_us);
+    sender.meter().counters().sched_digests_sent += 1;
+  }
   pkt.checksum = Checksum(pkt);
   // Like acks, heartbeats are interrupt-level: stamped at the probe/delivery
   // instant, never queued behind the language runtime.
@@ -693,6 +725,9 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
 
   if (pkt.kind == 2) {
     receiver.ChargeCycles(kAckPathCycles);
+    if (pkt.has_digest && world_->sched() != nullptr) {
+      world_->sched()->AcceptDigest(pkt.to, pkt.digest, time_us);
+    }
     if (pkt.ack == 0) {
       SendHeartbeat(pkt.to, pkt.from, /*echo=*/true, time_us);
     }

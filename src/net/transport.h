@@ -38,6 +38,7 @@
 
 #include "src/net/fault_plan.h"
 #include "src/runtime/messages.h"
+#include "src/sched/digest.h"
 
 namespace hetm {
 
@@ -151,6 +152,11 @@ struct NetPacket {
   uint64_t checksum = 0;
   size_t wire_bytes = 0;
   Message msg;
+  // Piggybacked scheduler load digest (heartbeat frames only): the membership
+  // layer is already probing the peer, so the digest rides for one frame's worth
+  // of extra serialization instead of a separate message.
+  bool has_digest = false;
+  LoadDigest digest;
 };
 
 // Timer kinds multiplexed over World's timer events.

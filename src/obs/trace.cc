@@ -24,6 +24,8 @@ const char* const kPointNames[kNumTracePoints] = {
     "chan-park",     "chan-fail",     "chan-reset",    "reconnect",
     "lease-expire",  "partition-open", "partition-drop",
     "crash",         "restart",
+    "sched-tick",    "sched-digest",  "sched-propose", "sched-veto",
+    "sched-batch",
 };
 
 uint64_t MixBits(uint64_t h, uint64_t v) {

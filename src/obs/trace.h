@@ -82,6 +82,12 @@ enum class TracePoint : uint8_t {
   kPartitionDrop,
   kCrash,
   kRestart,
+  // Placement scheduler instants (src/sched).
+  kSchedTick,     // a = tick count, b = run-queue depth
+  kSchedDigest,   // peer digest installed; peer = sender, a = seq, b = queue depth
+  kSchedPropose,  // peer = destination, a = object oid
+  kSchedVeto,     // a = object oid, b = 0 hysteresis / 1 ping-pong / 2 collision
+  kSchedBatch,    // peer = destination, a = batch size
   kCount,
 };
 

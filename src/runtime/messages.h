@@ -38,6 +38,9 @@ enum class MsgType : uint8_t {
   // --- crash recovery: rebuilding location hints after a restart ---
   kLocateQuery,     // broadcast: does anyone host (or own-in-limbo) this object?
   kLocateReply,     // answer, location in dest_node_arg (-1 = not here)
+  // --- placement scheduler (src/sched) ---
+  kMoveBatch,       // several co-resident objects in one transfer (one handshake)
+  kLoadDigest,      // periodic load/heat summary gossiped between schedulers
 };
 
 // HandleMoveQuery answers one of these; carried in Message::verdict.
@@ -60,8 +63,13 @@ struct Message {
   uint32_t move_id = 0;
   MoveVerdict verdict = MoveVerdict::kUnknown;  // kMoveVerdict only
   // Hops this object-routed message has chased stale location hints; bounded by
-  // NetConfig::max_forward_hops before falling back to a locate broadcast.
+  // NetConfig::max_forward_hops before falling back to a locate broadcast. A
+  // batched post-move replay counts one hop per batch, not per member.
   int forward_hops = 0;
+  // Nodes that forwarded this object-routed message (chain-compaction): when the
+  // message finally lands, every forwarder is sent a kLocationUpdate so the next
+  // request skips the chain. Each entry stands for 4 header bytes on the wire.
+  std::vector<int32_t> fwd_path;
   // Observability correlation id (src/obs): stamped by the move source on every
   // handshake message so source- and destination-side trace spans stitch into one
   // causal trace. Part of the fixed packet header (kPacketHeaderBytes), so it
@@ -73,8 +81,11 @@ struct Message {
   Arch payload_arch = Arch::kVax32;
   std::vector<uint8_t> payload;
 
-  // Bytes on the Ethernet: payload plus the fixed header.
-  size_t WireSize() const { return payload.size() + kPacketHeaderBytes; }
+  // Bytes on the Ethernet: payload plus the fixed header (and the variable
+  // forwarding-path extension, when present).
+  size_t WireSize() const {
+    return payload.size() + kPacketHeaderBytes + fwd_path.size() * 4;
+  }
 };
 
 }  // namespace hetm

@@ -183,7 +183,14 @@ void Node::RunSegment(SegId id) {
     world_->tracer().End(now_us(), index_, TracePoint::kResume, rt->second);
     resume_trace_.erase(rt);
   }
+  // The stint may erase `seg` (return, death, move), so the heat attribution is
+  // captured before and reported from the captured values after.
+  Oid exec_self = seg.ars.empty() ? kNilOid : seg.Top().self;
+  uint64_t cycles_before = meter_.cycles();
   RunOutcome out = ExecuteTop(seg);
+  if (world_->sched() != nullptr && exec_self != kNilOid) {
+    world_->sched()->NoteExecution(index_, exec_self, meter_.cycles() - cycles_before);
+  }
   if (out == RunOutcome::kYield) {
     EnqueueRunnable(id);
   }
@@ -577,6 +584,9 @@ void Node::PushActivation(Segment& seg, EmObject& obj, const CodeRegistry::Entry
     WriteCellValue(arch(), op, ar, fn.self_cell, Value::Ref(obj.oid));
   }
   seg.ars.push_back(std::move(ar));
+  if (world_->sched() != nullptr) {
+    world_->sched()->NoteInvocation(index_, obj.oid);
+  }
 }
 
 Node::TrapOutcome Node::HandleCall(Segment& seg, const ExecCtx& ctx, int site_index,
@@ -698,6 +708,11 @@ Node::TrapOutcome Node::HandleCall(Segment& seg, const ExecCtx& ctx, int site_in
     ChargeCycles(kEnhancedInvokeFixedCycles);
   }
   meter_.counters().remote_invokes += 1;
+  if (world_->sched() != nullptr) {
+    world_->sched()->NoteRemoteOut(index_, ar.self, target.oid,
+                                   ProbableLocation(target.oid));
+  }
+  seg.await_since_us = now_us();
 
   Message msg;
   msg.type = MsgType::kInvoke;

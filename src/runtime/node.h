@@ -26,6 +26,7 @@
 #include "src/runtime/messages.h"
 #include "src/runtime/object.h"
 #include "src/runtime/thread.h"
+#include "src/sched/digest.h"
 
 namespace hetm {
 
@@ -98,6 +99,22 @@ class Node {
   // Non-string objects currently living here (the tests' exactly-one-copy probe).
   std::vector<Oid> ResidentUserObjects() const;
 
+  // --- placement scheduler services (src/sched) --------------------------------
+  size_t RunQueueDepth() const { return run_queue_.size(); }
+  // True iff the scheduler may propose moving `oid` right now: a resident
+  // non-string user object that is not already part of an outgoing or incoming
+  // move handshake.
+  bool SchedMovable(Oid oid) const;
+  // Cheap marshalled-size estimate for the policy's cost model (never marshals).
+  uint64_t EstimateMoveWireBytes(Oid oid) const;
+  // Encodes and sends a kLoadDigest control message (standalone digest path; the
+  // transport piggybacks digests on heartbeats where possible).
+  void SendLoadDigest(int dest, const LoadDigest& digest);
+  // Executes a scheduler proposal: one object goes through the ordinary
+  // PerformMove path, two or more co-located objects coalesce into a single
+  // kMoveBatch handshake (one prepare, one transfer, one commit).
+  void SchedMoveBatch(const std::vector<Oid>& oids, int dest_node);
+
   // --- object services (also used by tests and the facade) --------------------
   Oid CreateObject(Oid class_oid);
   Oid InternNewString(const std::string& content);
@@ -167,7 +184,20 @@ class Node {
   void RuntimeError(const std::string& message);
 
   // Mobility.
-  bool PerformMove(Oid obj_oid, int dest_node, Segment* current);
+  bool PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched = false);
+  bool PerformMoveBatch(const std::vector<Oid>& oids, int dest_node);
+  std::vector<Segment> CutSegments(Oid obj_oid, int dest_node, Segment* current,
+                                   bool* thread_moved);
+  void MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
+                         const std::vector<Segment>& moving,
+                         std::vector<Oid>& closure);
+  // One decoded kMoveBatch member, fully validated but not yet installed.
+  struct DecodedMember {
+    Oid oid = kNilOid;
+    std::unique_ptr<EmObject> obj;
+    std::vector<Segment> segs;
+  };
+  bool DecodeMoveMember(WireReader& r, DecodedMember* out);
   void MarshalSegment(const Segment& seg, WireWriter& w,
                       std::vector<Oid>& string_closure);
   void MarshalAr(const ActivationRecord& ar, bool blocked_monitor, WireWriter& w,
@@ -178,6 +208,8 @@ class Node {
   void HandleInvoke(const Message& msg);
   void HandleReply(const Message& msg);
   void HandleMoveObject(const Message& msg);
+  void HandleMoveBatch(const Message& msg);
+  void HandleLoadDigest(const Message& msg);
   void HandleMoveRequest(const Message& msg);
   void HandleLocationUpdate(const Message& msg);
   bool ForwardByObject(const Message& msg);
@@ -190,16 +222,23 @@ class Node {
   // failure model"). The source keeps the object and its moving segments in limbo
   // until the destination's kMoveCommit; the destination records completed move ids
   // (the ownership-handoff record) so a re-queried handshake answers consistently.
+  // One member of a (possibly batched) outgoing move: the object and its limbo
+  // copy. Single-object moves have exactly one member whose oid equals `obj`.
+  struct PendingMember {
+    Oid oid = kNilOid;
+    std::unique_ptr<EmObject> limbo_obj;
+  };
   struct PendingMove {
     uint32_t id = 0;
-    Oid obj = kNilOid;
+    Oid obj = kNilOid;  // primary member: routes the handshake control traffic
     int dest = -1;
     double start_us = 0.0;  // handshake start (latency accounting)
     uint64_t trace_id = 0;  // observability correlation id (src/obs)
-    std::unique_ptr<EmObject> limbo_obj;
-    std::vector<Segment> limbo_segs;
+    std::vector<PendingMember> members;  // front() is the primary
+    std::vector<Segment> limbo_segs;     // pooled across members
     std::vector<Message> queued;  // object/segment traffic held during the handshake
     int queries_left = 0;
+    bool sched = false;  // scheduler-proposed (counts sched_committed on commit)
   };
   struct Reservation {
     uint32_t move_id = 0;

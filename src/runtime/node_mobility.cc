@@ -42,6 +42,9 @@ namespace {
 // start failing on their own).
 constexpr uint16_t kMaxWireSegments = 1024;
 constexpr int32_t kMaxWireMonitorDepth = 1024;
+// Largest member list a kMoveBatch prepare/transfer may carry. The scheduler's
+// own cap (SchedConfig::max_batch) is far below this; anything above is corrupt.
+constexpr uint16_t kMaxWireBatch = 64;
 
 const IrInstr* TryFindStopInstr(const IrFunction& fn, int stop) {
   if (stop == 0) {
@@ -109,6 +112,9 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kMoveObject:
       HandleMoveObject(msg);
       return;
+    case MsgType::kMoveBatch:
+      HandleMoveBatch(msg);
+      return;
     case MsgType::kMoveRequest:
       HandleMoveRequest(msg);
       return;
@@ -132,6 +138,9 @@ void Node::HandleMessage(const Message& msg) {
       return;
     case MsgType::kLocateReply:
       HandleLocateReply(msg);
+      return;
+    case MsgType::kLoadDigest:
+      HandleLoadDigest(msg);
       return;
   }
   HETM_UNREACHABLE("bad MsgType");
@@ -161,6 +170,9 @@ bool Node::ForwardByObject(const Message& msg) {
     }
     Message fwd = msg;
     fwd.forward_hops += 1;
+    // Record this hop so the final receiver can compact the whole chain with one
+    // location update per relay instead of leaving stale hints behind.
+    fwd.fwd_path.push_back(index_);
     SendMessage(loc, std::move(fwd));
     return true;
   }
@@ -272,6 +284,33 @@ void Node::HandleInvoke(const Message& msg) {
   if (r.strategy() != ConversionStrategy::kRaw) {
     ChargeCycles(kEnhancedInvokeFixedCycles);
   }
+  if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
+    world_->sched()->NoteRemoteIn(index_, target, msg.src_node);
+  }
+  if (msg.forward_hops > 0) {
+    // Forwarding-chain compaction: the message reached us through stale hints.
+    // Tell the original sender and every relay where the object lives now, so the
+    // chain collapses to one hop instead of being re-walked per message.
+    std::set<int> stale(msg.fwd_path.begin(), msg.fwd_path.end());
+    stale.insert(msg.src_node);
+    stale.erase(index_);
+    for (int n : stale) {
+      if (n < 0 || n >= world_->num_nodes()) {
+        continue;
+      }
+      WireWriter uw(world_->strategy(), arch(), &meter_);
+      uw.I32(index_);
+      uw.FinishMessage();
+      Message update;
+      update.type = MsgType::kLocationUpdate;
+      update.src_node = index_;
+      update.route_oid = target;
+      update.strategy = world_->strategy();
+      update.payload_arch = arch();
+      update.payload = uw.Take();
+      SendMessage(n, std::move(update));
+    }
+  }
 
   Segment seg;
   seg.id = SegId{thread, static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
@@ -344,6 +383,11 @@ void Node::HandleReply(const Message& msg) {
     }
   }
   top.pending_call_site = -1;
+  if (seg.await_since_us >= 0.0) {
+    world_->metrics().Observe("invoke.remote_latency_us",
+                              now_us() - seg.await_since_us);
+    seg.await_since_us = -1.0;
+  }
   seg.state = SegState::kRunnable;
   EnqueueRunnable(seg.id);
 }
@@ -573,21 +617,11 @@ void Node::InstallSegment(Segment seg) {
   }
 }
 
-bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
-  EmObject* obj_ptr = FindLocal(obj_oid);
-  HETM_CHECK(obj_ptr != nullptr && !obj_ptr->is_string);
-  EmObject& obj = *obj_ptr;
-  const CodeRegistry::Entry& entry = EntryFor(obj.code_oid);
-  bool thread_moved = false;
-
-  // One trace id per move, minted at the source and carried on every handshake
-  // frame: both nodes' spans stitch into one causal trace (src/obs).
-  uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
-  Tracer& tracer = world_->tracer();
-  tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
-               static_cast<int64_t>(obj_oid));
-
-  // --- 1. Cut every stack that has activation records inside the moving object ---
+// Cuts every stack that has activation records inside the moving object: the
+// object's runs leave (returned), everything else stays, with fresh segment ids
+// and down references chaining the fragments (the paper's Example 1).
+std::vector<Segment> Node::CutSegments(Oid obj_oid, int dest_node, Segment* current,
+                                       bool* thread_moved) {
   std::vector<SegId> affected;
   for (const auto& [id, seg] : segments_) {
     for (const ActivationRecord& ar : seg.ars) {
@@ -655,18 +689,21 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
     }
     if (top_moves) {
       if (current != nullptr && current->id == id) {
-        thread_moved = true;
+        *thread_moved = true;
       }
       segments_.erase(id);
       seg_hint_[id] = dest_node;
     }
   }
+  return moving;
+}
 
-  // --- 2. Marshal object + fragments + string closure ---
-  tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
-  ActiveTraceGuard pack_guard(&meter_, trace_id);
-  WireWriter w(world_->strategy(), arch(), &meter_);
-  std::vector<Oid> closure;
+// Marshals one move member: object header + fields + its moving segments, adding
+// referenced strings to the shared `closure` (written once per message).
+void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
+                             const std::vector<Segment>& moving,
+                             std::vector<Oid>& closure) {
+  const CodeRegistry::Entry& entry = EntryFor(obj.code_oid);
   w.Oid32(obj_oid);
   w.Oid32(obj.code_oid);
   w.I32(obj.monitor.depth);
@@ -690,6 +727,30 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   for (const Segment& seg : moving) {
     MarshalSegment(seg, w, closure);
   }
+}
+
+bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched) {
+  EmObject* obj_ptr = FindLocal(obj_oid);
+  HETM_CHECK(obj_ptr != nullptr && !obj_ptr->is_string);
+  EmObject& obj = *obj_ptr;
+  bool thread_moved = false;
+
+  // One trace id per move, minted at the source and carried on every handshake
+  // frame: both nodes' spans stitch into one causal trace (src/obs).
+  uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
+  Tracer& tracer = world_->tracer();
+  tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
+               static_cast<int64_t>(obj_oid));
+
+  // --- 1. Cut every stack that has activation records inside the moving object ---
+  std::vector<Segment> moving = CutSegments(obj_oid, dest_node, current, &thread_moved);
+
+  // --- 2. Marshal object + fragments + string closure ---
+  tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
+  ActiveTraceGuard pack_guard(&meter_, trace_id);
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  std::vector<Oid> closure;
+  MarshalMoveMember(obj_oid, obj, w, moving, closure);
   WriteStringSection(w, closure);
   w.FinishMessage();
 
@@ -714,6 +775,9 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
     msg.payload_arch = arch();
     msg.payload = w.Take();
     SendMessage(dest_node, std::move(msg));
+    if (sched) {
+      meter_.counters().sched_committed += 1;
+    }
     // No handshake to wait on: the move is done the moment the frame leaves.
     tracer.End(now_us(), index_, TracePoint::kMove, trace_id, dest_node);
     return thread_moved;
@@ -729,8 +793,9 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   pm.dest = dest_node;
   pm.start_us = now_us();
   pm.trace_id = trace_id;
+  pm.sched = sched;
   auto heap_node = heap_.extract(obj_oid);
-  pm.limbo_obj = std::move(heap_node.mapped());
+  pm.members.push_back(PendingMember{obj_oid, std::move(heap_node.mapped())});
   pm.limbo_segs = std::move(moving);
   pm.queries_left = world_->net()->config().move_query_attempts;
   location_hint_[obj_oid] = dest_node;
@@ -760,6 +825,97 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current) {
   pending_moves_.emplace(move_id, std::move(pm));
   // The pending handshake is lease interest in the destination: keep probing it so
   // a partition or crash is detected even while the channel idles.
+  world_->net()->EnsureHeartbeat(index_);
+  return thread_moved;
+}
+
+// Batched co-location move (scheduler proposals): n >= 2 co-resident objects
+// travel under ONE at-most-once handshake — one kMovePrepare carrying the member
+// list, one kMoveBatch transfer (members back to back, one shared string
+// section), one kMoveCommit. Per-object fixed source/destination costs are still
+// charged per member; what the batch saves is the handshake round trips, the
+// per-message latency and the duplicated string closures.
+bool Node::PerformMoveBatch(const std::vector<Oid>& oids, int dest_node) {
+  HETM_CHECK(TransportActive() && oids.size() >= 2);
+  uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
+  Tracer& tracer = world_->tracer();
+  tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
+               static_cast<int64_t>(oids.front()));
+
+  bool thread_moved = false;
+  std::vector<std::vector<Segment>> moving(oids.size());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    moving[i] = CutSegments(oids[i], dest_node, nullptr, &thread_moved);
+  }
+
+  tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
+  ActiveTraceGuard pack_guard(&meter_, trace_id);
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  std::vector<Oid> closure;
+  w.U16(static_cast<uint16_t>(oids.size()));
+  for (size_t i = 0; i < oids.size(); ++i) {
+    EmObject* obj = FindLocal(oids[i]);
+    HETM_CHECK(obj != nullptr && !obj->is_string);
+    MarshalMoveMember(oids[i], *obj, w, moving[i], closure);
+    ChargeCycles(kMoveFixedSourceCycles);
+    if (w.strategy() != ConversionStrategy::kRaw) {
+      ChargeCycles(kEnhancedMoveFixedCycles);
+    }
+    meter_.counters().moves += 1;
+  }
+  WriteStringSection(w, closure);
+  w.FinishMessage();
+  meter_.set_active_trace(pack_guard.prev);
+  tracer.End(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
+
+  uint32_t move_id = (static_cast<uint32_t>(index_ + 1) << 20) + next_move_seq_++;
+  PendingMove pm;
+  pm.id = move_id;
+  pm.obj = oids.front();
+  pm.dest = dest_node;
+  pm.start_us = now_us();
+  pm.trace_id = trace_id;
+  pm.sched = true;
+  for (size_t i = 0; i < oids.size(); ++i) {
+    auto heap_node = heap_.extract(oids[i]);
+    pm.members.push_back(PendingMember{oids[i], std::move(heap_node.mapped())});
+    for (Segment& s : moving[i]) {
+      pm.limbo_segs.push_back(std::move(s));
+    }
+    location_hint_[oids[i]] = dest_node;
+    moving_out_[oids[i]] = move_id;
+  }
+  pm.queries_left = world_->net()->config().move_query_attempts;
+  for (const Segment& s : pm.limbo_segs) {
+    limbo_seg_index_[s.id] = move_id;
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  tracer.Begin(now_us(), index_, TracePoint::kNegotiate, trace_id, dest_node,
+               move_id);
+
+  Message prepare = MakeControl(MsgType::kMovePrepare, pm.obj, move_id);
+  prepare.trace_id = trace_id;
+  {
+    WireWriter pw(world_->strategy(), arch(), &meter_);
+    pw.OidList(oids);
+    pw.FinishMessage();
+    prepare.payload = pw.Take();
+  }
+  SendMessage(dest_node, std::move(prepare));
+
+  Message msg;
+  msg.type = MsgType::kMoveBatch;
+  msg.src_node = index_;
+  msg.route_oid = pm.obj;
+  msg.move_id = move_id;
+  msg.trace_id = trace_id;
+  msg.strategy = world_->strategy();
+  msg.payload_arch = arch();
+  msg.payload = w.Take();
+  SendMessage(dest_node, std::move(msg));
+  world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                    kTimerMoveCheck, move_id);
+  pending_moves_.emplace(move_id, std::move(pm));
   world_->net()->EnsureHeartbeat(index_);
   return thread_moved;
 }
@@ -876,6 +1032,9 @@ void Node::HandleMoveObject(const Message& msg) {
       resume_trace_[first_seg] = msg.trace_id;
     }
   }
+  if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
+    world_->sched()->NoteArrival(index_, oid, msg.src_node);
+  }
 
   if (transport) {
     if (reserve_trace != 0) {
@@ -918,6 +1077,212 @@ void Node::HandleMoveObject(const Message& msg) {
   }
 }
 
+// Decodes one kMoveBatch member body (mirrors HandleMoveObject's single-object
+// decode). Validates everything against this node's program view; returns false
+// (with the reader failed or the data rejected) without touching node state.
+bool Node::DecodeMoveMember(WireReader& r, DecodedMember* out) {
+  Oid oid = r.Oid32();
+  Oid code_oid = r.Oid32();
+  int32_t mon_depth = r.I32();
+  ThreadId mon_owner;
+  mon_owner.home_node = r.I32();
+  mon_owner.seq = r.U32();
+  const CodeRegistry::Entry* entry = r.ok() ? TryEntryFor(code_oid) : nullptr;
+  if (entry == nullptr || mon_depth < 0 || mon_depth > kMaxWireMonitorDepth) {
+    return false;
+  }
+  auto obj = std::make_unique<EmObject>();
+  obj->oid = oid;
+  obj->code_oid = code_oid;
+  obj->monitor.depth = mon_depth;
+  obj->monitor.owner = mon_owner;
+  if (r.strategy() == ConversionStrategy::kRaw) {
+    uint16_t size = r.U16();
+    if (size != MakeFieldImage(arch(), *entry->cls).size()) {
+      return false;
+    }
+    obj->fields.assign(size, 0);
+    r.Blit(obj->fields.data(), size);
+  } else {
+    obj->fields = MakeFieldImage(arch(), *entry->cls);
+    UnmarshalObjectFields(arch(), *entry->cls, *obj, r);
+  }
+  uint16_t seg_count = r.U16();
+  if (!r.ok() || seg_count > kMaxWireSegments) {
+    return false;
+  }
+  std::vector<Segment> segs;
+  segs.reserve(seg_count);
+  for (uint16_t i = 0; i < seg_count; ++i) {
+    segs.push_back(UnmarshalSegment(r));
+    if (!r.ok()) {
+      return false;
+    }
+  }
+  out->oid = oid;
+  out->obj = std::move(obj);
+  out->segs = std::move(segs);
+  return true;
+}
+
+void Node::HandleMoveBatch(const Message& msg) {
+  if (!TransportActive()) {
+    RuntimeError("batched move without a transport");
+    return;
+  }
+  // Same reservation discipline as the single-object transfer: the primary
+  // member routes the handshake.
+  auto res = incoming_moves_.find(msg.route_oid);
+  if (res == incoming_moves_.end() || res->second.move_id != msg.move_id) {
+    if (move_log_.count(msg.move_id) != 0) {
+      ChargeCycles(kMoveHandshakeCycles);
+      Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+      commit.trace_id = msg.trace_id;
+      SendMessage(msg.src_node, std::move(commit));
+      return;
+    }
+    return;  // reservation lost (we crashed): drop, the source reclaims
+  }
+  uint64_t reserve_trace = res->second.trace_id;
+
+  Tracer& tracer = world_->tracer();
+  if (msg.trace_id != 0) {
+    tracer.Begin(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+  }
+  ActiveTraceGuard unpack_guard(&meter_, msg.trace_id);
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  uint16_t count = r.U16();
+  if (!r.ok() || count == 0 || count > kMaxWireBatch) {
+    RuntimeError("malformed move batch payload");
+    return;
+  }
+  // Decode and validate EVERY member before installing ANY: a batch installs
+  // whole or not at all (the source's limbo copies are the fallback).
+  std::vector<DecodedMember> members;
+  members.reserve(count);
+  std::unordered_set<Oid> seen;
+  for (uint16_t i = 0; i < count; ++i) {
+    DecodedMember m;
+    if (!DecodeMoveMember(r, &m) || heap_.count(m.oid) != 0 ||
+        !seen.insert(m.oid).second) {
+      RuntimeError("malformed move batch payload");
+      return;
+    }
+    members.push_back(std::move(m));
+  }
+  ReadStringSection(r);
+  r.FinishMessage();
+  if (!r.ok() || members.front().oid != msg.route_oid) {
+    RuntimeError("malformed move batch payload");
+    return;
+  }
+
+  // Commit point: install every member.
+  SegId first_seg{};
+  bool any_segs = false;
+  for (DecodedMember& m : members) {
+    heap_.emplace(m.oid, std::move(m.obj));
+    location_hint_.erase(m.oid);
+    for (Segment& s : m.segs) {
+      if (!any_segs) {
+        first_seg = s.id;
+        any_segs = true;
+      }
+      InstallSegment(std::move(s));
+    }
+    ChargeCycles(kMoveFixedDestCycles);
+    if (r.strategy() != ConversionStrategy::kRaw) {
+      ChargeCycles(kEnhancedMoveFixedCycles);
+    }
+  }
+  meter_.set_active_trace(unpack_guard.prev);
+  if (msg.trace_id != 0) {
+    tracer.End(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+    if (any_segs) {
+      tracer.Begin(now_us(), index_, TracePoint::kResume, msg.trace_id,
+                   msg.src_node);
+      resume_trace_[first_seg] = msg.trace_id;
+    }
+  }
+  if (reserve_trace != 0) {
+    tracer.End(now_us(), index_, TracePoint::kReserve, reserve_trace, msg.src_node);
+  }
+
+  // One ownership record and one commit for the whole batch.
+  move_log_[msg.move_id] = 1;
+  for (const DecodedMember& m : members) {
+    auto rit = incoming_moves_.find(m.oid);
+    if (rit != incoming_moves_.end() && rit->second.move_id == msg.move_id) {
+      incoming_moves_.erase(rit);
+    }
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+  commit.trace_id = msg.trace_id;
+  SendMessage(msg.src_node, std::move(commit));
+  for (const DecodedMember& m : members) {
+    auto queued = reserved_queues_.find(m.oid);
+    if (queued != reserved_queues_.end()) {
+      std::vector<Message> held = std::move(queued->second);
+      reserved_queues_.erase(queued);
+      for (const Message& h : held) {
+        HandleMessage(h);
+      }
+    }
+  }
+  for (const DecodedMember& m : members) {
+    if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
+      world_->sched()->NoteArrival(index_, m.oid, msg.src_node);
+    }
+    if (IsDataOid(m.oid)) {
+      int birth = BirthNodeOfDataOid(m.oid);
+      if (birth != index_) {
+        WireWriter uw(world_->strategy(), arch(), &meter_);
+        uw.I32(index_);
+        uw.FinishMessage();
+        Message update;
+        update.type = MsgType::kLocationUpdate;
+        update.src_node = index_;
+        update.route_oid = m.oid;
+        update.strategy = world_->strategy();
+        update.payload_arch = arch();
+        update.payload = uw.Take();
+        SendMessage(birth, std::move(update));
+      }
+    }
+  }
+}
+
+// Standalone digest delivery (the piggybacked path rides heartbeat frames and
+// never reaches the node layer). Digest data is advisory: anything malformed is
+// silently dropped — stale or missing load information only delays the policy.
+void Node::HandleLoadDigest(const Message& msg) {
+  if (world_->sched() == nullptr) {
+    return;
+  }
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  LoadDigest d;
+  d.node = r.I32();
+  d.seq = r.U32();
+  d.queue_depth = r.U32();
+  d.us_per_mcycle = r.F64();
+  d.exec_mcycles = r.F64();
+  uint8_t hot_count = r.U8();
+  if (!r.ok() || hot_count > kMaxDigestHot) {
+    return;
+  }
+  for (uint8_t i = 0; i < hot_count; ++i) {
+    Oid oid = r.Oid32();
+    double heat = r.F64();
+    d.hot.emplace_back(oid, heat);
+  }
+  r.FinishMessage();
+  if (!r.ok() || d.node != msg.src_node) {
+    return;
+  }
+  world_->sched()->AcceptDigest(index_, d, now_us());
+}
+
 void Node::HandleMoveRequest(const Message& msg) {
   if (!IsResident(msg.route_oid)) {
     ForwardByObject(msg);
@@ -952,8 +1317,22 @@ void Node::HandleLocationUpdate(const Message& msg) {
 
 void Node::HandleMovePrepare(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
-  incoming_moves_[msg.route_oid] = Reservation{msg.move_id, msg.src_node,
-                                               msg.trace_id};
+  // A batched prepare carries its member list in the payload; a single-object
+  // prepare has an empty payload and reserves just the routing oid. A corrupt
+  // member list is dropped whole — the source times out, queries, gets kUnknown
+  // and reclaims its limbo copies.
+  std::vector<Oid> members{msg.route_oid};
+  if (!msg.payload.empty()) {
+    WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+    members = r.OidList(kMaxWireBatch);
+    r.FinishMessage();
+    if (!r.ok() || members.empty() || members.front() != msg.route_oid) {
+      return;
+    }
+  }
+  for (Oid oid : members) {
+    incoming_moves_[oid] = Reservation{msg.move_id, msg.src_node, msg.trace_id};
+  }
   if (msg.trace_id != 0) {
     // Reserve span: prepare accepted -> transfer installed (or lease reclaim).
     world_->tracer().Begin(now_us(), index_, TracePoint::kReserve, msg.trace_id,
@@ -1007,11 +1386,16 @@ void Node::CommitMove(uint32_t move_id) {
   }
   PendingMove pm = std::move(it->second);
   pending_moves_.erase(it);
-  moving_out_.erase(pm.obj);
+  for (const PendingMember& mem : pm.members) {
+    moving_out_.erase(mem.oid);
+  }
   for (const Segment& s : pm.limbo_segs) {
     limbo_seg_index_.erase(s.id);
   }
   meter_.counters().moves_committed += 1;
+  if (pm.sched) {
+    meter_.counters().sched_committed += pm.members.size();
+  }
   world_->metrics().Observe("move.commit_latency_us", now_us() - pm.start_us);
   ChargeCycles(kMoveHandshakeCycles);
   if (pm.trace_id != 0) {
@@ -1021,12 +1405,15 @@ void Node::CommitMove(uint32_t move_id) {
     tracer.End(now_us(), index_, TracePoint::kNegotiate, pm.trace_id, pm.dest);
     tracer.End(now_us(), index_, TracePoint::kMove, pm.trace_id, pm.dest);
   }
-  // Traffic parked during the handshake chases the object to its new home.
+  // Traffic parked during the handshake chases the object to its new home. The
+  // chase counts as ONE forwarding hop per handshake — batched or not — so a
+  // client whose target keeps moving eventually falls back to a locate broadcast
+  // instead of trailing the object forever.
   for (Message& m : pm.queued) {
     if (m.type == MsgType::kReply) {
       m.route_seg.node = pm.dest;
     }
-    m.forward_hops = 0;
+    m.forward_hops += 1;
     SendMessage(pm.dest, std::move(m));
   }
 }
@@ -1038,7 +1425,9 @@ void Node::ReleaseMovePresumed(uint32_t move_id) {
   }
   PendingMove pm = std::move(it->second);
   pending_moves_.erase(it);
-  moving_out_.erase(pm.obj);
+  for (const PendingMember& mem : pm.members) {
+    moving_out_.erase(mem.oid);
+  }
   for (const Segment& s : pm.limbo_segs) {
     limbo_seg_index_.erase(s.id);
   }
@@ -1058,7 +1447,7 @@ void Node::ReleaseMovePresumed(uint32_t move_id) {
     if (m.type == MsgType::kReply) {
       m.route_seg.node = pm.dest;
     }
-    m.forward_hops = 0;
+    m.forward_hops += 1;
     SendMessage(pm.dest, std::move(m));
   }
 }
@@ -1071,9 +1460,11 @@ void Node::AbortMove(uint32_t move_id, const char* reason) {
   last_abort_reason_ = reason;
   PendingMove pm = std::move(it->second);
   pending_moves_.erase(it);
-  moving_out_.erase(pm.obj);
-  location_hint_.erase(pm.obj);
-  heap_.emplace(pm.obj, std::move(pm.limbo_obj));
+  for (PendingMember& mem : pm.members) {
+    moving_out_.erase(mem.oid);
+    location_hint_.erase(mem.oid);
+    heap_.emplace(mem.oid, std::move(mem.limbo_obj));
+  }
   for (Segment& s : pm.limbo_segs) {
     limbo_seg_index_.erase(s.id);
     // Stay-behind fragments recorded the destination in their down references;
@@ -1142,7 +1533,8 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
   // copy instead of reinstalling, or the thread would run on two nodes.
   std::unordered_set<uint32_t> transfer_undelivered;
   for (const Message& msg : undelivered) {
-    if (msg.type == MsgType::kMovePrepare || msg.type == MsgType::kMoveObject) {
+    if (msg.type == MsgType::kMovePrepare || msg.type == MsgType::kMoveObject ||
+        msg.type == MsgType::kMoveBatch) {
       transfer_undelivered.insert(msg.move_id);
     }
   }
@@ -1163,8 +1555,11 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
     switch (msg.type) {
       case MsgType::kMovePrepare:
       case MsgType::kMoveObject:
+      case MsgType::kMoveBatch:
       case MsgType::kMoveQuery:
         break;  // the handshake was resolved in the pre-pass above
+      case MsgType::kLoadDigest:
+        break;  // advisory load data for a dead peer: worthless, drop
       case MsgType::kInvoke:
       case MsgType::kMoveRequest: {
         Oid oid = msg.route_oid;
@@ -1338,6 +1733,10 @@ void Node::OnCrash() {
   locating_.clear();
   dead_letters_.clear();
   resume_trace_.clear();
+  if (world_->sched() != nullptr) {
+    // Heat, affinity and peer digests were volatile state too.
+    world_->sched()->OnNodeCrash(index_);
+  }
 }
 
 std::vector<Oid> Node::ResidentUserObjects() const {
@@ -1352,6 +1751,75 @@ std::vector<Oid> Node::ResidentUserObjects() const {
     out.push_back(oid);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Placement scheduler services (src/sched)
+// ---------------------------------------------------------------------------
+
+bool Node::SchedMovable(Oid oid) const {
+  const EmObject* obj = FindLocal(oid);
+  return obj != nullptr && !obj->is_string && moving_out_.count(oid) == 0 &&
+         incoming_moves_.count(oid) == 0;
+}
+
+uint64_t Node::EstimateMoveWireBytes(Oid oid) const {
+  const EmObject* obj = FindLocal(oid);
+  if (obj == nullptr) {
+    return 0;
+  }
+  // Object header + fields, plus header + frame for every activation record that
+  // would travel. A coarse estimate is fine: the policy compares it against
+  // benefit margins far larger than the per-frame wire overhead.
+  uint64_t bytes = 96 + obj->fields.size();
+  for (const auto& [id, seg] : segments_) {
+    for (const ActivationRecord& ar : seg.ars) {
+      if (ar.self == oid) {
+        bytes += 64 + ar.frame.size();
+      }
+    }
+  }
+  return bytes;
+}
+
+void Node::SendLoadDigest(int dest, const LoadDigest& digest) {
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.I32(digest.node);
+  w.U32(digest.seq);
+  w.U32(digest.queue_depth);
+  w.F64(digest.us_per_mcycle);
+  w.F64(digest.exec_mcycles);
+  w.U8(static_cast<uint8_t>(digest.hot.size()));
+  for (const auto& [oid, heat] : digest.hot) {
+    w.Oid32(oid);
+    w.F64(heat);
+  }
+  w.FinishMessage();
+  Message m = MakeControl(MsgType::kLoadDigest, kNilOid, 0);
+  m.payload = w.Take();
+  meter_.counters().sched_digests_sent += 1;
+  SendMessage(dest, std::move(m));
+}
+
+void Node::SchedMoveBatch(const std::vector<Oid>& oids, int dest_node) {
+  // Re-validate at execution time: the policy decided on tick-time state, and
+  // traffic handled since may have started a handshake of its own.
+  std::vector<Oid> movable;
+  for (Oid oid : oids) {
+    if (SchedMovable(oid)) {
+      movable.push_back(oid);
+    }
+  }
+  if (movable.empty()) {
+    return;
+  }
+  if (movable.size() == 1 || !TransportActive()) {
+    for (Oid oid : movable) {
+      PerformMove(oid, dest_node, nullptr, /*sched=*/true);
+    }
+    return;
+  }
+  PerformMoveBatch(movable, dest_node);
 }
 
 void Node::StartLocate(Oid oid, const Message& original) {

@@ -78,6 +78,9 @@ struct Segment {
   SegRef down;                        // where the bottom AR's return goes (invalid = root)
   SegState state = SegState::kRunnable;
   Oid blocked_monitor = kNilOid;
+  // When kAwaitingReply: node-local clock at which the remote call left, for the
+  // invoke.remote_latency_us histogram. Not part of the wire format.
+  double await_since_us = -1.0;
 
   ActivationRecord& Top() { return ars.back(); }
   const ActivationRecord& Top() const { return ars.back(); }

@@ -1,0 +1,45 @@
+// Load digest: the per-node summary the placement scheduler (src/sched) gossips
+// between nodes. Built on every scheduler tick and shipped either as an explicit
+// kLoadDigest message or piggybacked on a membership heartbeat frame (kind 2) so
+// an otherwise idle pair still refreshes each other's view.
+//
+// The digest is deliberately small and fixed-shape: per-peer freshness is tracked
+// by (seq, received time) on the receiving side, and `hot` carries only the top-K
+// hottest resident objects — enough for the policy engine's collision deferral
+// (two nodes wanting the same chatty pair) without shipping whole heat maps.
+#ifndef HETM_SRC_SCHED_DIGEST_H_
+#define HETM_SRC_SCHED_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+// Decode-side cap on the advertised hot list (top-K is far smaller; anything
+// above this on the wire is corrupt).
+inline constexpr size_t kMaxDigestHot = 32;
+
+struct LoadDigest {
+  int32_t node = -1;          // sender
+  uint32_t seq = 0;           // per-sender monotone; receivers ignore regressions
+  uint32_t queue_depth = 0;   // run-queue length at build time
+  double us_per_mcycle = 0.0; // effective cost of a megacycle here (speed x load)
+  double exec_mcycles = 0.0;  // EWMA megacycles executed per tick period
+  std::vector<std::pair<Oid, double>> hot;  // top-K (object, heat), heat descending
+
+  bool valid() const { return node >= 0; }
+
+  // Serialized size when piggybacked on a heartbeat frame: the wire cost is
+  // charged to that frame's transmission time, not re-modeled per field.
+  size_t WireBytes() const {
+    return 4 + 4 + 4 + 8 + 8 + 1 + hot.size() * 12;
+  }
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SCHED_DIGEST_H_

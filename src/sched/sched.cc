@@ -1,0 +1,448 @@
+#include "src/sched/sched.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/arch/calibration.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+
+namespace hetm {
+
+namespace {
+
+double MapGet(const std::map<Oid, double>& m, Oid k) {
+  auto it = m.find(k);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(World* world, SchedConfig config)
+    : world_(world), config_(config) {}
+
+Scheduler::NodeState& Scheduler::StateFor(int node) {
+  if (static_cast<size_t>(node) >= states_.size()) {
+    states_.resize(node + 1);
+  }
+  return states_[node];
+}
+
+bool Scheduler::PeerUp(int node) const {
+  return world_->net() == nullptr || world_->net()->NodeUp(node);
+}
+
+// ---------------------------------------------------------------------------
+// Metering hooks
+// ---------------------------------------------------------------------------
+
+void Scheduler::NoteExecution(int node, Oid self, uint64_t cycles) {
+  if (self == kNilOid || cycles == 0) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  st.exec_raw[self] += static_cast<double>(cycles);
+  st.active_since_tick = true;
+}
+
+void Scheduler::NoteInvocation(int node, Oid target) {
+  if (target == kNilOid) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  st.heat_raw[target] += 1.0;
+  st.active_since_tick = true;
+}
+
+void Scheduler::NoteRemoteOut(int node, Oid caller, Oid target, int dest) {
+  if (caller == kNilOid || dest < 0 || dest == node) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  st.aff_raw[caller][dest] += 1.0;
+  if (target != kNilOid) {
+    st.out_raw[caller][target] += 1.0;
+  }
+  st.active_since_tick = true;
+}
+
+void Scheduler::NoteRemoteIn(int node, Oid target, int src) {
+  if (target == kNilOid || src < 0 || src == node) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  st.aff_raw[target][src] += 1.0;
+  st.active_since_tick = true;
+}
+
+void Scheduler::NoteArrival(int node, Oid oid, int from) {
+  if (oid == kNilOid) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  st.cooldown[oid] = config_.cooldown_ticks;
+  st.recent[oid] = RecentMove{from, world_->node(node).now_us()};
+}
+
+// ---------------------------------------------------------------------------
+// Digest exchange
+// ---------------------------------------------------------------------------
+
+LoadDigest Scheduler::BuildDigest(int node) {
+  NodeState& st = StateFor(node);
+  const Node& n = world_->node(node);
+  LoadDigest d;
+  d.node = node;
+  d.seq = ++st.digest_seq;
+  d.queue_depth = static_cast<uint32_t>(n.RunQueueDepth());
+  d.us_per_mcycle = EffUsPerMcycle(node, d.queue_depth);
+  double total_cycles = 0.0;
+  for (const auto& [oid, cycles] : st.exec) {
+    total_cycles += cycles;
+  }
+  d.exec_mcycles = total_cycles / 1e6;
+  std::vector<std::pair<Oid, double>> hot(st.heat.begin(), st.heat.end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  for (const auto& [oid, heat] : hot) {
+    if (static_cast<int>(d.hot.size()) >= config_.digest_top_k || heat < config_.min_heat) {
+      break;
+    }
+    d.hot.emplace_back(oid, heat);
+  }
+  return d;
+}
+
+bool Scheduler::WantDigest(int from, int to, double now_us) const {
+  if (from < 0 || static_cast<size_t>(from) >= states_.size()) {
+    return false;  // never metered anything: nothing worth advertising yet
+  }
+  const NodeState& st = states_[from];
+  auto it = st.digest_sent_us.find(to);
+  return it == st.digest_sent_us.end() || now_us - it->second >= config_.period_us;
+}
+
+void Scheduler::MarkDigestSent(int from, int to, double now_us) {
+  NodeState& st = StateFor(from);
+  st.digest_sent_us[to] = now_us;
+  auto it = st.reply_owed.find(to);
+  if (it != st.reply_owed.end()) {
+    it->second = false;
+  }
+}
+
+void Scheduler::AcceptDigest(int node, const LoadDigest& digest, double now_us) {
+  if (!digest.valid() || digest.node == node) {
+    return;
+  }
+  NodeState& st = StateFor(node);
+  uint32_t& seen = st.peer_seq_seen[digest.node];
+  if (seen != 0 && digest.seq <= seen) {
+    return;  // stale or duplicated digest (reordered frame)
+  }
+  seen = digest.seq;
+  st.peer_digest[digest.node] = {digest, now_us};
+  Node& n = world_->node(node);
+  n.ChargeCycles(kSchedDigestApplyCycles);
+  n.meter().counters().sched_digests_recv += 1;
+  world_->tracer().Instant(n.now_us(), node, TracePoint::kSchedDigest, 0, digest.node,
+                           static_cast<int64_t>(digest.seq),
+                           static_cast<int64_t>(digest.queue_depth));
+  // An active peer deserves one digest in return even if this node is idle —
+  // that is how an underloaded node advertises its spare capacity. Idle<->idle
+  // pairs owe each other nothing, so gossip quiesces with the workload.
+  if (digest.queue_depth > 0 || digest.exec_mcycles > 0.0) {
+    st.reply_owed[digest.node] = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tick driving
+// ---------------------------------------------------------------------------
+
+bool Scheduler::MaybeTick(int node) {
+  NodeState& st = StateFor(node);
+  Node& n = world_->node(node);
+  double now = n.now_us();
+  if (st.next_tick_us < 0.0) {
+    st.next_tick_us = now + config_.period_us;
+    return false;
+  }
+  if (now < st.next_tick_us) {
+    return false;
+  }
+  st.next_tick_us = now + config_.period_us;
+  st.ticks += 1;
+  n.ChargeCycles(kSchedTickCycles);
+  n.meter().counters().sched_ticks += 1;
+
+  bool active = st.active_since_tick || n.HasRunnable();
+  st.active_since_tick = false;
+  FoldEwma(st);
+  for (auto it = st.cooldown.begin(); it != st.cooldown.end();) {
+    if (--it->second <= 0) {
+      it = st.cooldown.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  now = n.now_us();
+  world_->tracer().Instant(now, node, TracePoint::kSchedTick, 0, -1,
+                           static_cast<int64_t>(st.ticks),
+                           static_cast<int64_t>(n.RunQueueDepth()));
+  bool owes_reply = false;
+  for (const auto& [peer, owed] : st.reply_owed) {
+    owes_reply = owes_reply || owed;
+  }
+  if (active || owes_reply) {
+    SendDigests(node, st, now);
+  }
+  if (active) {
+    RunPolicy(node, st, n.now_us());
+  }
+  return true;
+}
+
+void Scheduler::FoldEwma(NodeState& st) {
+  auto fold = [&](std::map<Oid, double>& ew, std::map<Oid, double>& raw, double floor) {
+    for (auto& [oid, v] : ew) {
+      v *= config_.decay;
+    }
+    for (const auto& [oid, v] : raw) {
+      ew[oid] += (1.0 - config_.decay) * v;
+    }
+    raw.clear();
+    for (auto it = ew.begin(); it != ew.end();) {
+      it = it->second < floor ? ew.erase(it) : std::next(it);
+    }
+  };
+  fold(st.heat, st.heat_raw, 1e-3);
+  fold(st.exec, st.exec_raw, 1.0);
+
+  auto fold_edges = [&](auto& ew, auto& raw) {
+    for (auto& [oid, edges] : ew) {
+      for (auto& [k, v] : edges) {
+        v *= config_.decay;
+      }
+    }
+    for (const auto& [oid, edges] : raw) {
+      for (const auto& [k, v] : edges) {
+        ew[oid][k] += (1.0 - config_.decay) * v;
+      }
+    }
+    raw.clear();
+    for (auto it = ew.begin(); it != ew.end();) {
+      auto& edges = it->second;
+      for (auto jt = edges.begin(); jt != edges.end();) {
+        jt = jt->second < 1e-3 ? edges.erase(jt) : std::next(jt);
+      }
+      it = edges.empty() ? ew.erase(it) : std::next(it);
+    }
+  };
+  fold_edges(st.aff, st.aff_raw);
+  fold_edges(st.out, st.out_raw);
+}
+
+void Scheduler::SendDigests(int node, NodeState& st, double now) {
+  LoadDigest d = BuildDigest(node);
+  bool self_active = d.queue_depth > 0 || d.exec_mcycles > 0.0;
+  for (int peer = 0; peer < world_->num_nodes(); ++peer) {
+    if (peer == node || !PeerUp(peer)) {
+      continue;
+    }
+    auto owed = st.reply_owed.find(peer);
+    bool owes = owed != st.reply_owed.end() && owed->second;
+    if (!self_active && !owes) {
+      continue;
+    }
+    world_->node(node).SendLoadDigest(peer, d);
+    st.digest_sent_us[peer] = now;
+    if (owed != st.reply_owed.end()) {
+      owed->second = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Policy engine
+// ---------------------------------------------------------------------------
+
+void Scheduler::RunPolicy(int node, NodeState& st, double now) {
+  Node& n = world_->node(node);
+  Tracer& tracer = world_->tracer();
+  double my_eff = EffUsPerMcycle(node, static_cast<uint32_t>(n.RunQueueDepth()));
+
+  std::set<Oid> candidates;
+  for (const auto& [oid, heat] : st.heat) {
+    candidates.insert(oid);
+  }
+  for (const auto& [oid, cycles] : st.exec) {
+    candidates.insert(oid);
+  }
+
+  std::vector<Proposal> accepted;
+  for (Oid oid : candidates) {
+    if (!n.SchedMovable(oid) || st.cooldown.count(oid) != 0) {
+      continue;
+    }
+    double heat = MapGet(st.heat, oid);
+    double exec_mc = MapGet(st.exec, oid) / 1e6;
+    if (heat < config_.min_heat && exec_mc < config_.min_exec_mcycles) {
+      continue;
+    }
+    const auto* out_edges = [&]() -> const std::map<Oid, double>* {
+      auto it = st.out.find(oid);
+      return it == st.out.end() ? nullptr : &it->second;
+    }();
+
+    int best = -1;
+    double best_margin = 0.0;
+    bool hysteresis_zone = false;
+    for (const auto& [peer, entry] : st.peer_digest) {
+      const auto& [digest, recv_us] = entry;
+      if (!PeerUp(peer) || now - recv_us > config_.digest_fresh_us) {
+        continue;
+      }
+      n.ChargeCycles(kSchedScoreCycles);
+      double colo = 0.0;
+      if (auto a = st.aff.find(oid); a != st.aff.end()) {
+        auto e = a->second.find(peer);
+        colo = e == a->second.end() ? 0.0 : e->second;
+      }
+      double benefit = colo * RemoteRttUs(node, peer) +
+                       exec_mc * (my_eff - digest.us_per_mcycle);
+      if (benefit <= 0.0) {
+        continue;
+      }
+      // Collision deferral: if the peer advertises a hotter partner this object
+      // invokes, the peer is about to pull the pair together from its side —
+      // moving from here too would make the objects swap nodes and stay remote.
+      // The colder member of the pair moves; ties break toward the lower index.
+      bool defer = false;
+      if (out_edges != nullptr) {
+        for (const auto& [hot_oid, hot_heat] : digest.hot) {
+          if (out_edges->count(hot_oid) == 0) {
+            continue;
+          }
+          if (hot_heat > heat || (hot_heat == heat && peer < node)) {
+            defer = true;
+            break;
+          }
+        }
+      }
+      if (defer) {
+        n.meter().counters().sched_vetoed += 1;
+        tracer.Instant(n.now_us(), node, TracePoint::kSchedVeto, 0, peer,
+                       static_cast<int64_t>(oid), 2);
+        continue;
+      }
+      double gain = benefit * config_.horizon_periods;
+      double cost = MoveCostUs(node, peer, n.EstimateMoveWireBytes(oid));
+      if (gain > config_.hysteresis * cost) {
+        double margin = gain - config_.hysteresis * cost;
+        if (best < 0 || margin > best_margin) {
+          best = peer;
+          best_margin = margin;
+        }
+      } else if (gain > cost) {
+        hysteresis_zone = true;
+      }
+    }
+
+    if (best >= 0) {
+      auto r = st.recent.find(oid);
+      if (r != st.recent.end() && r->second.from == best &&
+          now - r->second.at_us < config_.pingpong_window_us) {
+        n.meter().counters().sched_pingpong += 1;
+        tracer.Instant(n.now_us(), node, TracePoint::kSchedVeto, 0, best,
+                       static_cast<int64_t>(oid), 1);
+        continue;
+      }
+      accepted.push_back(Proposal{oid, best, heat});
+    } else if (hysteresis_zone) {
+      n.meter().counters().sched_vetoed += 1;
+      tracer.Instant(n.now_us(), node, TracePoint::kSchedVeto, 0, -1,
+                     static_cast<int64_t>(oid), 0);
+    }
+  }
+
+  std::map<int, std::vector<Proposal>> by_dest;
+  for (const Proposal& p : accepted) {
+    by_dest[p.dest].push_back(p);
+  }
+  for (auto& [dest, props] : by_dest) {
+    std::sort(props.begin(), props.end(), [](const Proposal& a, const Proposal& b) {
+      if (a.heat != b.heat) {
+        return a.heat > b.heat;
+      }
+      return a.oid < b.oid;
+    });
+    if (static_cast<int>(props.size()) > config_.max_batch) {
+      props.resize(config_.max_batch);  // the rest re-qualify next tick
+    }
+    std::vector<Oid> oids;
+    oids.reserve(props.size());
+    for (const Proposal& p : props) {
+      oids.push_back(p.oid);
+      n.meter().counters().sched_proposed += 1;
+      tracer.Instant(n.now_us(), node, TracePoint::kSchedPropose, 0, dest,
+                     static_cast<int64_t>(p.oid), 0);
+    }
+    world_->metrics().Observe("sched.batch_size", static_cast<double>(oids.size()));
+    tracer.Instant(n.now_us(), node, TracePoint::kSchedBatch, 0, dest,
+                   static_cast<int64_t>(oids.size()), 0);
+    n.SchedMoveBatch(oids, dest);
+  }
+}
+
+void Scheduler::OnNodeCrash(int node) {
+  if (static_cast<size_t>(node) >= states_.size()) {
+    return;
+  }
+  NodeState& st = states_[node];
+  uint32_t seq = st.digest_seq;  // incarnation-monotone, like the transport epoch
+  st = NodeState{};
+  st.digest_seq = seq;
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (priced via src/arch/calibration.h)
+// ---------------------------------------------------------------------------
+
+double Scheduler::EffUsPerMcycle(int node, uint32_t depth) const {
+  const MachineModel& m = world_->node(node).machine();
+  return m.CyclesToMicros(1'000'000) * (1.0 + config_.load_factor * depth);
+}
+
+double Scheduler::RemoteRttUs(int src, int dest) const {
+  const MachineModel& ms = world_->node(src).machine();
+  const MachineModel& md = world_->node(dest).machine();
+  // Two frames of ~160 bytes (invoke + reply) plus the CPU path both ways.
+  double wire = 2.0 * kMessageLatencyUs + 2.0 * 160.0 * 8.0 / kEthernetMbps;
+  double src_cpu = ms.CyclesToMicros(kInvokeFixedSourceCycles + kEnhancedInvokeFixedCycles +
+                                     2 * kMsgPathCycles + kTransportSendCycles);
+  double dst_cpu = md.CyclesToMicros(kInvokeFixedDestCycles + kEnhancedInvokeFixedCycles +
+                                     kMsgPathCycles + kTransportRecvCycles);
+  return wire + src_cpu + dst_cpu;
+}
+
+double Scheduler::MoveCostUs(int src, int dest, uint64_t wire_bytes) const {
+  const MachineModel& ms = world_->node(src).machine();
+  const MachineModel& md = world_->node(dest).machine();
+  double conv = static_cast<double>(wire_bytes) * (kConvCallCycles / 2.0 + kConvPerByteCycles);
+  double src_cpu = ms.CyclesToMicros(static_cast<uint64_t>(
+      kMoveFixedSourceCycles + kMoveHandshakeCycles + kEnhancedMoveFixedCycles + conv));
+  double dst_cpu = md.CyclesToMicros(
+      static_cast<uint64_t>(kMoveFixedDestCycles + kEnhancedMoveFixedCycles + conv));
+  double wire = 2.0 * kMessageLatencyUs + static_cast<double>(wire_bytes) * 8.0 / kEthernetMbps;
+  return wire + src_cpu + dst_cpu;
+}
+
+}  // namespace hetm

@@ -1,0 +1,140 @@
+// Load-aware placement scheduler (DESIGN.md section 11).
+//
+// Each node meters its own load (run-queue depth, executed cycles per object,
+// per-object invocation "heat" with EWMA decay) and its affinity edges (remote
+// invocations between local objects and peer nodes). On a fixed per-node tick the
+// scheduler folds the meters, gossips a LoadDigest to its peers (explicit
+// kLoadDigest messages, plus heartbeat piggybacks where the membership layer is
+// already probing), and runs a policy engine: an object is proposed for migration
+// only when the modeled benefit — remote invocations eliminated by co-location
+// plus cycles re-priced on a faster architecture — exceeds the modeled move cost
+// by a hysteresis factor. Accepted proposals sharing a destination are coalesced
+// into one batched transfer (Node::SchedMoveBatch -> kMoveBatch: one handshake,
+// one reservation set, one wire stream).
+//
+// Everything is deterministic: meters and digests live in ordered maps, ticks
+// fire off the node's own deterministic clock, and the policy consumes no
+// randomness — same seed, same migration decisions (asserted by test).
+#ifndef HETM_SRC_SCHED_SCHED_H_
+#define HETM_SRC_SCHED_SCHED_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/runtime/oid.h"
+#include "src/sched/digest.h"
+
+namespace hetm {
+
+class World;
+
+struct SchedConfig {
+  double period_us = 20000.0;       // tick spacing on each node's own clock
+  double decay = 0.5;               // EWMA: folded = decay*old + (1-decay)*new
+  double hysteresis = 1.5;          // benefit must exceed cost by this factor
+  double horizon_periods = 8.0;     // periods over which a move must pay off
+  int cooldown_ticks = 3;           // settle time before a new arrival may move
+  double pingpong_window_us = 500000.0;  // suppress A->B->A bounces inside this
+  int max_batch = 8;                // co-location proposals coalesced per transfer
+  double min_heat = 0.5;            // ignore objects cooler than this...
+  double min_exec_mcycles = 0.02;   // ...unless they burn at least this much CPU
+  int digest_top_k = 4;             // hot objects advertised per digest
+  double digest_fresh_us = 100000.0;  // peer digests older than this are ignored
+  double load_factor = 0.35;        // queue-depth penalty on effective speed
+};
+
+class Scheduler {
+ public:
+  Scheduler(World* world, SchedConfig config);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const SchedConfig& config() const { return config_; }
+
+  // --- metering hooks (called from the runtime; charge nothing) --------------
+  // A stint of `cycles` executed on `node` under an activation of `self`.
+  void NoteExecution(int node, Oid self, uint64_t cycles);
+  // An activation was pushed on `target` (local or incoming remote invocation).
+  void NoteInvocation(int node, Oid target);
+  // A local activation of `caller` invoked remote object `target` living (per
+  // routing hint) on node `dest`.
+  void NoteRemoteOut(int node, Oid caller, Oid target, int dest);
+  // A remote invocation of local `target` arrived from node `src`.
+  void NoteRemoteIn(int node, Oid target, int src);
+  // A scheduler-relevant object landed on `node`, shipped from `from`: start its
+  // settle cooldown and remember the origin for ping-pong suppression.
+  void NoteArrival(int node, Oid oid, int from);
+
+  // --- digest exchange -------------------------------------------------------
+  LoadDigest BuildDigest(int node);
+  // Should `from` piggyback a digest to `to` on a heartbeat right now?
+  bool WantDigest(int from, int to, double now_us) const;
+  void MarkDigestSent(int from, int to, double now_us);
+  // Install a peer digest on `node` (stale seq regressions are dropped).
+  void AcceptDigest(int node, const LoadDigest& digest, double now_us);
+
+  // --- driving ---------------------------------------------------------------
+  // Called from the world loop; fires at most one tick when the node's clock
+  // passes its deadline. Returns true if a tick ran.
+  bool MaybeTick(int node);
+  // Crash-stop: all volatile scheduler state dies with the node (digest seq
+  // survives — it is incarnation-monotone like the transport epoch).
+  void OnNodeCrash(int node);
+
+ private:
+  struct RecentMove {
+    int from = -1;
+    double at_us = 0.0;
+  };
+  struct NodeState {
+    double next_tick_us = -1.0;
+    uint64_t ticks = 0;
+    uint32_t digest_seq = 0;  // survives OnNodeCrash
+    bool active_since_tick = false;
+    // Raw accumulators since the last fold.
+    std::map<Oid, double> heat_raw;
+    std::map<Oid, double> exec_raw;                 // cycles
+    std::map<Oid, std::map<int, double>> aff_raw;   // object -> peer node -> count
+    std::map<Oid, std::map<Oid, double>> out_raw;   // object -> remote target -> count
+    // EWMA-folded views (per tick period).
+    std::map<Oid, double> heat;
+    std::map<Oid, double> exec;
+    std::map<Oid, std::map<int, double>> aff;
+    std::map<Oid, std::map<Oid, double>> out;
+    std::map<Oid, int> cooldown;          // ticks left before eligible
+    std::map<Oid, RecentMove> recent;     // arrivals, for ping-pong suppression
+    std::map<int, std::pair<LoadDigest, double>> peer_digest;  // peer -> (d, recv_us)
+    std::map<int, uint32_t> peer_seq_seen;
+    std::map<int, double> digest_sent_us;
+    std::map<int, bool> reply_owed;  // answer an active peer's digest once
+  };
+
+  struct Proposal {
+    Oid oid = kNilOid;
+    int dest = -1;
+    double heat = 0.0;
+  };
+
+  NodeState& StateFor(int node);
+  void FoldEwma(NodeState& st);
+  void SendDigests(int node, NodeState& st, double now);
+  void RunPolicy(int node, NodeState& st, double now);
+  // Effective microseconds per executed megacycle on `node` at run-queue depth
+  // `depth` — raw machine speed inflated by queueing pressure.
+  double EffUsPerMcycle(int node, uint32_t depth) const;
+  // Modeled round-trip of one remote invocation between the two nodes.
+  double RemoteRttUs(int src, int dest) const;
+  // Modeled wall-clock cost of moving `wire_bytes` worth of object+segments.
+  double MoveCostUs(int src, int dest, uint64_t wire_bytes) const;
+  bool PeerUp(int node) const;
+
+  World* world_;
+  SchedConfig config_;
+  std::vector<NodeState> states_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SCHED_SCHED_H_

@@ -49,6 +49,11 @@ void World::EnableNet(const NetConfig& config) {
   net_->Start();
 }
 
+void World::EnableSched(const SchedConfig& config) {
+  HETM_CHECK_MSG(num_nodes() > 0, "EnableSched requires nodes to exist");
+  sched_ = std::make_unique<Scheduler>(this, config);
+}
+
 void World::Send(int from_node, int to_node, Message msg) {
   HETM_CHECK(to_node >= 0 && to_node < num_nodes());
   if (net_ != nullptr && from_node != to_node) {
@@ -147,6 +152,21 @@ bool World::Run(uint64_t max_events) {
         any = true;
       }
     }
+    if (sched_ != nullptr) {
+      // Scheduler ticks fire off each node's own clock, between pump passes —
+      // never mid-stint, so every segment is parked at a bus stop when a
+      // proposal cuts it. An idle node whose deadline passed still ticks (its
+      // clock advanced by message handling), but an idle tick sends no digests
+      // and proposes nothing, so a quiesced world stays quiesced.
+      for (auto& node : nodes_) {
+        if (net_ != nullptr && !net_->NodeUp(node->index())) {
+          continue;
+        }
+        if (sched_->MaybeTick(node->index())) {
+          any = true;
+        }
+      }
+    }
     uint64_t executed = 0;
     for (const auto& node : nodes_) {
       executed += node->meter().counters().vm_instructions;
@@ -209,6 +229,13 @@ void World::ExportMetrics() {
       {"replies_parked", &CostCounters::replies_parked},
       {"replies_flushed", &CostCounters::replies_flushed},
       {"replies_dropped", &CostCounters::replies_dropped},
+      {"sched_ticks", &CostCounters::sched_ticks},
+      {"sched_digests_sent", &CostCounters::sched_digests_sent},
+      {"sched_digests_recv", &CostCounters::sched_digests_recv},
+      {"sched_proposed", &CostCounters::sched_proposed},
+      {"sched_committed", &CostCounters::sched_committed},
+      {"sched_vetoed", &CostCounters::sched_vetoed},
+      {"sched_pingpong", &CostCounters::sched_pingpong},
   };
   char prefix[32];
   for (const Item& item : kItems) {

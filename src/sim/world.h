@@ -21,6 +21,7 @@
 #include "src/obs/trace.h"
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
+#include "src/sched/sched.h"
 
 namespace hetm {
 
@@ -58,6 +59,12 @@ class World {
   // reliable direct path, byte-for-byte as before.
   void EnableNet(const NetConfig& config);
   Network* net() { return net_.get(); }
+
+  // Installs the load-aware placement scheduler (src/sched). Call after AddNode
+  // and before Run. Without it every scheduler hook is a null check and the
+  // simulated schedule is byte-identical to the pre-scheduler system.
+  void EnableSched(const SchedConfig& config);
+  Scheduler* sched() { return sched_.get(); }
 
   // Event injection used by the network layer and the handshake/locate timers.
   void PushPacket(double time_us, NetPacket pkt);
@@ -122,6 +129,7 @@ class World {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   uint64_t next_event_seq_ = 0;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<Scheduler> sched_;
   CodeRegistry code_;
   const CompiledProgram* boot_program_ = nullptr;
   std::string output_;

@@ -1,0 +1,185 @@
+// The batched co-location move path (kMoveBatch) and the forwarding-chain
+// contracts that ride on it:
+//
+//  * Coalescing: N co-resident objects travel under ONE handshake — one
+//    prepare/transfer/commit, one wire stream, one shared string section — yet
+//    every member is installed and individually owned at the destination.
+//  * Atomicity: a batch transfer that dies with a crashed destination aborts as
+//    a unit; every member's limbo copy is reinstalled at the source and the
+//    at-most-once property holds for all of them.
+//  * Hop accounting: traffic chasing a moved object pays ONE forwarding hop per
+//    handshake (batched or not), and forwarding-chain compaction keeps stale
+//    clients within the hop bound — no locate broadcast — across many moves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+#include "src/obs/trace.h"
+
+namespace hetm {
+namespace {
+
+// Three idle servers born (and resident) on node 0; main exercises each once so
+// they are genuine, initialized user objects, then finishes.
+const char* kThreeServers = R"(
+    class Server
+      var n: Int
+      op bump(v: Int): Int
+        n := n + v
+        return n
+      end
+    end
+    main
+      var s1: Ref := new Server
+      var s2: Ref := new Server
+      var s3: Ref := new Server
+      print s1.bump(1) + s2.bump(2) + s3.bump(3)
+    end
+)";
+
+// The three server oids: everything resident on node 0 except the $Main
+// instance, which was created first and therefore has the smallest oid.
+std::vector<Oid> ServerOids(EmeraldSystem& sys) {
+  std::vector<Oid> oids = sys.node(0).ResidentUserObjects();
+  std::sort(oids.begin(), oids.end());
+  oids.erase(oids.begin());
+  return oids;
+}
+
+uint64_t CountBegins(const std::vector<TraceEvent>& events, TracePoint p) {
+  uint64_t n = 0;
+  for (const TraceEvent& ev : events) {
+    n += (ev.point == p && ev.kind == TraceKind::kBegin) ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(MoveBatch, CoalescesCoLocatedObjectsUnderOneHandshake) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(kThreeServers));
+  sys.world().EnableNet(NetConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  ASSERT_EQ(sys.output(), "6\n");
+
+  std::vector<Oid> oids = ServerOids(sys);
+  ASSERT_EQ(oids.size(), 3u);
+  sys.node(0).SchedMoveBatch(oids, /*dest_node=*/1);
+  ASSERT_TRUE(sys.world().Run()) << sys.error();
+
+  const CostCounters& src = sys.node(0).meter().counters();
+  EXPECT_EQ(src.moves_committed, 1u) << "three objects, ONE handshake";
+  EXPECT_EQ(src.sched_committed, 3u) << "all three members committed";
+  EXPECT_EQ(src.moves, 3u);  // per-member marshalling cost is still per object
+  EXPECT_EQ(src.moves_aborted, 0u);
+  for (Oid oid : oids) {
+    EXPECT_FALSE(sys.node(0).IsResident(oid));
+    EXPECT_TRUE(sys.node(1).IsResident(oid));
+  }
+
+  // One batch = one move span, one pack, one transfer leg, one unpack — not
+  // three of each.
+  std::vector<TraceEvent> events = sys.world().tracer().Snapshot();
+  EXPECT_EQ(CountBegins(events, TracePoint::kMove), 1u);
+  EXPECT_EQ(CountBegins(events, TracePoint::kPack), 1u);
+  EXPECT_EQ(CountBegins(events, TracePoint::kTransfer), 1u);
+  EXPECT_EQ(CountBegins(events, TracePoint::kUnpack), 1u);
+}
+
+// The destination crash-stops at the instant the kMoveBatch transfer frame would
+// arrive, then restarts with its reservation gone. The source times out, the
+// move query draws a kUnknown verdict, and the whole batch aborts as one unit:
+// every member's limbo copy is reinstalled at the source.
+TEST(MoveBatch, AbortOnDestCrashRestoresEveryMemberAtSource) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  ASSERT_TRUE(sys.Load(kThreeServers));
+  NetConfig cfg;
+  cfg.fault.crash_triggers.push_back(
+      CrashTrigger{/*node=*/1, MsgType::kMoveBatch, /*nth=*/1,
+                   /*restart_after_us=*/kMidMoveRestartAfterUs});
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  std::vector<Oid> oids = ServerOids(sys);
+  ASSERT_EQ(oids.size(), 3u);
+  sys.node(0).SchedMoveBatch(oids, /*dest_node=*/1);
+  ASSERT_TRUE(sys.world().Run()) << sys.error();
+
+  const CostCounters& src = sys.node(0).meter().counters();
+  EXPECT_EQ(src.moves_aborted, 1u);
+  EXPECT_EQ(src.moves_committed, 0u);
+  EXPECT_EQ(src.sched_committed, 0u);
+  for (Oid oid : oids) {
+    EXPECT_TRUE(sys.node(0).IsResident(oid)) << "limbo copy not reinstalled";
+    EXPECT_FALSE(sys.node(1).IsResident(oid));
+  }
+}
+
+// Forwarding-chain compaction: an object tours ten nodes (more migrations than
+// max_forward_hops) while a prober on a far node keeps invoking it through its
+// stale hints. Every delivered invoke that crossed relays sends location updates
+// back down the chain, so the prober's next access is short again: across the
+// whole tour nothing ever exhausts the hop bound and the locate broadcast stays
+// silent.
+TEST(MoveBatch, ForwardChainCompactionKeepsStaleClientsWithinHopBound) {
+  const char* source = R"(
+    class Wanderer
+      var n: Int
+      op touch(): Int
+        n := n + 1
+        return n
+      end
+    end
+    class Prober
+      var junk: Int
+      op probe(w: Ref): Int
+        return w.touch()
+      end
+    end
+    main
+      var w: Ref := new Wanderer
+      var p: Ref := new Prober
+      move p to nodeat(11)
+      move w to nodeat(1)
+      move w to nodeat(2)
+      move w to nodeat(3)
+      print p.probe(w)
+      move w to nodeat(4)
+      move w to nodeat(5)
+      move w to nodeat(6)
+      print p.probe(w)
+      move w to nodeat(7)
+      move w to nodeat(8)
+      move w to nodeat(9)
+      print p.probe(w)
+      move w to nodeat(10)
+      print p.probe(w)
+      print locate(w) == nodeat(10)
+    end
+)";
+  EmeraldSystem sys;
+  for (int i = 0; i < 12; ++i) {
+    sys.AddNode(i % 2 == 0 ? SparcStationSlc() : VaxStation4000());
+  }
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(NetConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "1\n2\n3\n4\ntrue\n");
+  uint64_t locates = 0;
+  for (int i = 0; i < sys.world().num_nodes(); ++i) {
+    locates += sys.node(i).meter().counters().locate_queries;
+  }
+  EXPECT_EQ(locates, 0u) << "a stale client fell back to the locate broadcast";
+}
+
+}  // namespace
+}  // namespace hetm

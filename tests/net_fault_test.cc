@@ -10,6 +10,7 @@
 
 #include "src/emerald/system.h"
 #include "src/net/transport.h"
+#include "src/sched/sched.h"
 
 namespace hetm {
 namespace {
@@ -148,6 +149,32 @@ TEST(NetFault, SameSeedReplaysIdenticalTrace) {
   other.world().EnableNet(LossyConfig(977));
   ASSERT_TRUE(other.Run()) << other.error();
   EXPECT_NE(other.world().tracer().digest(), digests[0]);
+}
+
+// The replay guarantee must survive the placement scheduler: with heat metering,
+// digest gossip (explicit and heartbeat-piggybacked) and the migration policy all
+// enabled on a lossy network, the same seed still replays a bit-identical event
+// stream and simulated clock — the scheduler consumes no randomness and its
+// decisions are part of the deterministic schedule.
+TEST(NetFault, SameSeedReplaysIdenticalTraceWithSchedulerEnabled) {
+  const std::string source = TourSource(24);
+  uint64_t digests[2];
+  std::string outputs[2];
+  double elapsed[2];
+  for (int run = 0; run < 2; ++run) {
+    EmeraldSystem sys;
+    AddTourNodes(sys);
+    ASSERT_TRUE(sys.Load(source));
+    sys.world().EnableNet(LossyConfig(20260806));
+    sys.world().EnableSched(SchedConfig{});
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    digests[run] = sys.world().tracer().digest();
+    outputs[run] = sys.output();
+    elapsed[run] = sys.ElapsedMs();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_DOUBLE_EQ(elapsed[0], elapsed[1]);
 }
 
 // The destination crash-stops at the instant the kMoveObject transfer frame would

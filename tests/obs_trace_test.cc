@@ -289,5 +289,65 @@ TEST(ObsTrace, ReplyParkedAtLeaseExpiryFlushesOnReconnect) {
   EXPECT_GT(tracer.count(TracePoint::kPartitionDrop), 0u);
 }
 
+// The dual of the flush test: the same one-way cut parks the reply, but this
+// time the WAITER crash-stops and restarts while partitioned. When the cut heals
+// the replier hears a NEW incarnation of its peer — the continuation the parked
+// reply was addressed to is gone, so delivering it would hand a stale answer to
+// a reborn node. The dead-letter queue must drop it, counted, never delivered.
+TEST(ObsTrace, ParkedReplyToRestartedIncarnationIsDroppedNotDelivered) {
+  const char* source = R"(
+    class Keeper
+      var held: Int
+      op set(v: Int): Int
+        held := v
+        return held
+      end
+    end
+    main
+      var k: Ref := new Keeper
+      move k to nodeat(1)
+      var t: Int := 0
+      while t < 100 do
+        t := clockms()
+      end
+      print k.set(4)
+      print 9
+    end
+)";
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  // Same cut as the flush test: frames leaving node 1 die once node 0's kInvoke
+  // is acked, so node 1's reply parks when its lease on node 0 expires (~cut +
+  // 120 ms). Node 0 — blocked waiting on that reply — crash-stops at 150 ms and
+  // restarts at 200 ms: a fresh incarnation with no continuation. The heal lands
+  // inside dlq_hold_us; node 1's probes then draw echoes carrying the NEW epoch,
+  // and the flush path must drop the parked reply instead of delivering it.
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = false;
+  w.start_trigger_node = 0;
+  w.start_on_ack = true;
+  w.start_nth = 3;
+  w.heal_after_us = 250000.0;
+  cfg.fault.partitions.push_back(w);
+  cfg.fault.crashes.push_back(
+      CrashEvent{/*node=*/0, /*at_us=*/150000.0, /*restart_at_us=*/200000.0});
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  // The waiter died before the reply could land: the program's tail never ran.
+  EXPECT_EQ(sys.output().find("4"), std::string::npos);
+  EXPECT_EQ(sys.node(1).meter().counters().replies_parked, 1u);
+  EXPECT_EQ(sys.node(1).meter().counters().replies_dropped, 1u);
+  EXPECT_EQ(sys.node(1).meter().counters().replies_flushed, 0u);
+  const Tracer& tracer = sys.world().tracer();
+  EXPECT_EQ(tracer.count(TracePoint::kReplyParked), 1u);
+  EXPECT_EQ(tracer.count(TracePoint::kReplyDropped), 1u);
+  EXPECT_EQ(tracer.count(TracePoint::kReplyFlushed), 0u);
+}
+
 }  // namespace
 }  // namespace hetm
