@@ -69,8 +69,9 @@ inline std::string MoverSource(int rounds, bool small_thread) {
 
 inline double RunMoverMs(const MachineModel& a, const MachineModel& b,
                          ConversionStrategy strategy, int rounds, bool small_thread,
-                         MetricsRegistry* obs = nullptr) {
+                         MetricsRegistry* obs = nullptr, bool rep_bypass = true) {
   EmeraldSystem sys(strategy);
+  sys.world().set_rep_bypass(rep_bypass);
   sys.AddNode(a);
   sys.AddNode(b);
   bool loaded = sys.Load(MoverSource(rounds, small_thread));
@@ -91,11 +92,12 @@ inline double RunMoverMs(const MachineModel& a, const MachineModel& b,
 inline double MigrationRoundTripMs(const MachineModel& a, const MachineModel& b,
                                    ConversionStrategy strategy,
                                    bool small_thread = false,
-                                   MetricsRegistry* obs = nullptr) {
+                                   MetricsRegistry* obs = nullptr,
+                                   bool rep_bypass = true) {
   constexpr int kLo = 8;
   constexpr int kHi = 24;
-  double lo = RunMoverMs(a, b, strategy, kLo, small_thread);
-  double hi = RunMoverMs(a, b, strategy, kHi, small_thread, obs);
+  double lo = RunMoverMs(a, b, strategy, kLo, small_thread, nullptr, rep_bypass);
+  double hi = RunMoverMs(a, b, strategy, kHi, small_thread, obs, rep_bypass);
   return (hi - lo) / (kHi - kLo);
 }
 

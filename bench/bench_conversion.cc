@@ -8,11 +8,13 @@
 // routines."
 //
 // This bench measures (a) the dynamic conversion calls per byte of the naive
-// recursive-descent converters, (b) the Table 1 SPARC<->SPARC row under all three
-// system variants, quantifying how much of the enhanced system's penalty the
-// optimized (kFast) converters recover — testing the paper's 50% guess, and (c) the
-// Figure 2 transformation chain: a machine-dependent thread state converted to the
-// machine-independent form and specialized to a different machine-dependent form.
+// recursive-descent converters, (b) the Table 1 SPARC<->SPARC row under all
+// system variants — the original raw blit, the naive and optimized (kFast)
+// converters, and the compiled conversion-plan engine (kPlan, src/conv) with
+// and without its same-representation bypass, (c) the heterogeneous
+// SPARC<->VAX and SPARC<->M68K rows, where the plan engine's target is a round
+// trip within ~10% of the (derived) raw baseline, and (d) the Figure 2
+// transformation chain plus plan-cache behavior (hit rate, compile time).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -29,13 +31,21 @@ struct MoveStats {
   uint64_t conv_bytes = 0;
   uint64_t float_conversions = 0;
   uint64_t busstop_lookups = 0;
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_execs = 0;
+  uint64_t plan_bypasses = 0;
+  double plan_compile_p50_us = 0;
 };
 
 MoveStats Measure(const MachineModel& a, const MachineModel& b,
-                  ConversionStrategy strategy) {
+                  ConversionStrategy strategy, bool rep_bypass = true) {
   MoveStats stats;
-  stats.roundtrip_ms = benchutil::MigrationRoundTripMs(a, b, strategy);
+  MetricsRegistry obs;
+  stats.roundtrip_ms = benchutil::MigrationRoundTripMs(a, b, strategy, false, &obs,
+                                                       rep_bypass);
   EmeraldSystem sys(strategy);
+  sys.world().set_rep_bypass(rep_bypass);
   sys.AddNode(a);
   sys.AddNode(b);
   HETM_CHECK(sys.Load(benchutil::MoverSource(8, false)));
@@ -46,12 +56,84 @@ MoveStats Measure(const MachineModel& a, const MachineModel& b,
     stats.conv_bytes += c.conv_bytes;
     stats.float_conversions += c.float_conversions;
     stats.busstop_lookups += c.busstop_lookups;
+    stats.plan_hits += c.plan_hits;
+    stats.plan_misses += c.plan_misses;
+    stats.plan_execs += c.plan_execs;
+    stats.plan_bypasses += c.plan_bypasses;
   }
   stats.calls_per_byte =
       stats.conv_bytes == 0
           ? 0.0
           : static_cast<double>(stats.conv_calls) / static_cast<double>(stats.conv_bytes);
+  for (const auto& [name, h] : obs.histograms()) {
+    if (name == "phase.plan-compile_us") {
+      stats.plan_compile_p50_us = h.Percentile(50.0);
+    }
+  }
   return stats;
+}
+
+void PrintRow(const char* label, const MoveStats& s) {
+  if (s.conv_calls == 0) {
+    std::printf("%-28s | %10.1f | %12llu | %10s\n", label, s.roundtrip_ms,
+                static_cast<unsigned long long>(s.conv_calls), "-");
+  } else {
+    std::printf("%-28s | %10.1f | %12llu | %10.2f\n", label, s.roundtrip_ms,
+                static_cast<unsigned long long>(s.conv_calls), s.calls_per_byte);
+  }
+}
+
+// The original system cannot run heterogeneous (machine blits presume one
+// representation; World::AddNode enforces it), so the heterogeneous "raw
+// baseline" is derived: a round trip does pack@A + unpack@B + pack@B + unpack@A
+// plus two network legs, which is exactly the average of the two homogeneous
+// round trips.
+double DerivedRawBaseline(const MachineModel& a, const MachineModel& b) {
+  double aa = benchutil::MigrationRoundTripMs(a, a, ConversionStrategy::kRaw);
+  double bb = benchutil::MigrationRoundTripMs(b, b, ConversionStrategy::kRaw);
+  return (aa + bb) / 2.0;
+}
+
+// One heterogeneous pair section: naive/fast/plan rows against the derived raw
+// baseline. Returns the plan-vs-raw gap in percent and fills the report gauges
+// under `prefix`.
+double HetSection(const char* title, const char* prefix, const MachineModel& a,
+                  const MachineModel& b, MetricsRegistry& report) {
+  std::printf("\n=== %s ===\n", title);
+  double raw = DerivedRawBaseline(a, b);
+  MoveStats naive = Measure(a, b, ConversionStrategy::kNaive);
+  MoveStats fast = Measure(a, b, ConversionStrategy::kFast);
+  MoveStats plan = Measure(a, b, ConversionStrategy::kPlan);
+
+  std::printf("%-28s | %10s | %12s | %10s\n", "system variant", "RT (ms)", "conv calls",
+              "calls/byte");
+  std::printf("%.*s\n", 72,
+              "------------------------------------------------------------------------");
+  std::printf("%-28s | %10.1f | %12s | %10s\n", "raw baseline (derived)", raw, "-", "-");
+  PrintRow("enhanced, naive converters", naive);
+  PrintRow("enhanced, fast converters", fast);
+  PrintRow("compiled plans", plan);
+
+  double gap_pct = 100.0 * (plan.roundtrip_ms - raw) / raw;
+  std::printf(
+      "\nPlan round trip is %.1f%% over the derived raw baseline (target: <= ~10%%);\n"
+      "plan cache: %llu misses then %llu hits (%.0f%% hit rate), p50 compile %.0f us.\n",
+      gap_pct, static_cast<unsigned long long>(plan.plan_misses),
+      static_cast<unsigned long long>(plan.plan_hits),
+      100.0 * static_cast<double>(plan.plan_hits) /
+          static_cast<double>(plan.plan_hits + plan.plan_misses),
+      plan.plan_compile_p50_us);
+
+  report.SetGauge(std::string(prefix) + "_raw_rt_ms", raw);
+  report.SetGauge(std::string(prefix) + "_naive_rt_ms", naive.roundtrip_ms);
+  report.SetGauge(std::string(prefix) + "_fast_rt_ms", fast.roundtrip_ms);
+  report.SetGauge(std::string(prefix) + "_plan_rt_ms", plan.roundtrip_ms);
+  report.SetGauge(std::string(prefix) + "_plan_vs_raw_pct", gap_pct);
+  report.SetCounter(std::string(prefix) + "_plan_hits", plan.plan_hits);
+  report.SetCounter(std::string(prefix) + "_plan_misses", plan.plan_misses);
+  report.SetGauge(std::string(prefix) + "_plan_compile_p50_us",
+                  plan.plan_compile_p50_us);
+  return gap_pct;
 }
 
 void PrintConversionStudy() {
@@ -61,19 +143,20 @@ void PrintConversionStudy() {
       Measure(SparcStationSlc(), SparcStationSlc(), ConversionStrategy::kNaive);
   MoveStats fast =
       Measure(SparcStationSlc(), SparcStationSlc(), ConversionStrategy::kFast);
+  MoveStats plan = Measure(SparcStationSlc(), SparcStationSlc(),
+                           ConversionStrategy::kPlan, /*rep_bypass=*/false);
+  MoveStats bypass = Measure(SparcStationSlc(), SparcStationSlc(),
+                             ConversionStrategy::kPlan, /*rep_bypass=*/true);
 
   std::printf("%-28s | %10s | %12s | %10s\n", "system variant", "RT (ms)", "conv calls",
               "calls/byte");
   std::printf("%.*s\n", 72,
               "------------------------------------------------------------------------");
-  std::printf("%-28s | %10.1f | %12llu | %10s\n", "original (raw blit)", raw.roundtrip_ms,
-              static_cast<unsigned long long>(raw.conv_calls), "-");
-  std::printf("%-28s | %10.1f | %12llu | %10.2f\n", "enhanced, naive converters",
-              naive.roundtrip_ms, static_cast<unsigned long long>(naive.conv_calls),
-              naive.calls_per_byte);
-  std::printf("%-28s | %10.1f | %12llu | %10.2f\n", "enhanced, fast converters",
-              fast.roundtrip_ms, static_cast<unsigned long long>(fast.conv_calls),
-              fast.calls_per_byte);
+  PrintRow("original (raw blit)", raw);
+  PrintRow("enhanced, naive converters", naive);
+  PrintRow("enhanced, fast converters", fast);
+  PrintRow("compiled plans (no bypass)", plan);
+  PrintRow("compiled plans (auto)", bypass);
 
   double naive_penalty = naive.roundtrip_ms - raw.roundtrip_ms;
   double fast_penalty = fast.roundtrip_ms - raw.roundtrip_ms;
@@ -85,6 +168,12 @@ void PrintConversionStudy() {
       "(paper's guess: ~50%%): %.1f ms -> %.1f ms over the original's %.1f ms.\n",
       100.0 * (naive_penalty - fast_penalty) / naive_penalty, naive.roundtrip_ms,
       fast.roundtrip_ms, raw.roundtrip_ms);
+  std::printf(
+      "Same-representation bypass: %llu of %llu moves negotiated the raw path;\n"
+      "round trip %.1f ms vs the original's %.1f ms (delta %.2f ms).\n",
+      static_cast<unsigned long long>(bypass.plan_bypasses),
+      static_cast<unsigned long long>(bypass.plan_bypasses + bypass.plan_execs / 2),
+      bypass.roundtrip_ms, raw.roundtrip_ms, bypass.roundtrip_ms - raw.roundtrip_ms);
 
   // Figure 2: the dynamic MD -> MI -> MD' chain on a heterogeneous pair. Every
   // heterogeneous move makes exactly two bus-stop translations (pc->stop at the
@@ -93,7 +182,7 @@ void PrintConversionStudy() {
   MoveStats het = Measure(SparcStationSlc(), VaxStation4000(), ConversionStrategy::kNaive);
   std::printf(
       "\nFigure 2 chain on SPARC<->VAX (IEEE<->D-float): %llu float format\n"
-      "conversions and %llu bus-stop table translations over 16+48 moves.\n\n",
+      "conversions and %llu bus-stop table translations over 16+48 moves.\n",
       static_cast<unsigned long long>(het.float_conversions),
       static_cast<unsigned long long>(het.busstop_lookups));
 
@@ -101,9 +190,24 @@ void PrintConversionStudy() {
   report.SetGauge("conversion.raw_rt_ms", raw.roundtrip_ms);
   report.SetGauge("conversion.naive_rt_ms", naive.roundtrip_ms);
   report.SetGauge("conversion.fast_rt_ms", fast.roundtrip_ms);
+  report.SetGauge("conversion.plan_rt_ms", plan.roundtrip_ms);
+  report.SetGauge("conversion.plan_bypass_rt_ms", bypass.roundtrip_ms);
+  report.SetGauge("conversion.plan_bypass_minus_raw_ms",
+                  bypass.roundtrip_ms - raw.roundtrip_ms);
   report.SetGauge("conversion.naive_calls_per_byte", naive.calls_per_byte);
+  report.SetCounter("conversion.plan_cache_hits", plan.plan_hits);
+  report.SetCounter("conversion.plan_cache_misses", plan.plan_misses);
+  report.SetCounter("conversion.plan_bypasses", bypass.plan_bypasses);
+  report.SetGauge("conversion.plan_compile_p50_us", plan.plan_compile_p50_us);
   report.SetCounter("conversion.het_float_conversions", het.float_conversions);
   report.SetCounter("conversion.het_busstop_lookups", het.busstop_lookups);
+
+  HetSection("Heterogeneous pair: SPARC<->VAX (byte order + float format)",
+             "conversion.sparc_vax", SparcStationSlc(), VaxStation4000(), report);
+  HetSection("Heterogeneous pair: SPARC<->M68K (same representation class)",
+             "conversion.sparc_m68k", SparcStationSlc(), Sun3_100(), report);
+  std::printf("\n");
+
   benchutil::WriteJsonSection("BENCH_conversion.json", "conversion_study",
                               report.ToJson());
 }
@@ -117,6 +221,17 @@ void BM_NaiveConversionRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NaiveConversionRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_PlanConversionRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    MoveStats s = Measure(SparcStationSlc(), VaxStation4000(), ConversionStrategy::kPlan);
+    benchmark::DoNotOptimize(s);
+    state.counters["sim_rt_ms"] = s.roundtrip_ms;
+    state.counters["plan_hits"] = static_cast<double>(s.plan_hits);
+    state.counters["plan_misses"] = static_cast<double>(s.plan_misses);
+  }
+}
+BENCHMARK(BM_PlanConversionRoundTrip)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace hetm

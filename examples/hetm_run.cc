@@ -78,7 +78,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hetm_run PROGRAM.em [--nodes sparc,sun3,hp1,hp2,vax,vax2000]\n"
                "                [--variant original|enhanced|fast] [--opt O0,O1,...]\n"
-               "                [--stats] [--disasm CLASS.OP]\n"
+               "                [--conv naive|fast|plan|auto] [--stats] [--disasm CLASS.OP]\n"
                "                [--drop RATE] [--dup RATE] [--seed N] [--net-trace]\n"
                "                [--trace-out FILE] [--metrics]\n"
                "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   std::string opt_arg;
   std::string disasm_arg;
   ConversionStrategy strategy = ConversionStrategy::kNaive;
+  bool rep_bypass = true;
   bool stats = false;
   double drop_rate = 0.0;
   double dup_rate = 0.0;
@@ -133,6 +134,31 @@ int main(int argc, char** argv) {
         strategy = ConversionStrategy::kNaive;
       } else if (std::strcmp(v, "fast") == 0) {
         strategy = ConversionStrategy::kFast;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--conv" || arg.rfind("--conv=", 0) == 0) {
+      // Conversion engine selection: `plan` runs every move through compiled
+      // conversion plans, `auto` additionally lets same-representation pairs
+      // negotiate the raw-blit bypass.
+      std::string v;
+      if (arg.rfind("--conv=", 0) == 0) {
+        v = arg.substr(std::strlen("--conv="));
+      } else {
+        const char* n = next();
+        if (n == nullptr) return Usage();
+        v = n;
+      }
+      if (v == "naive") {
+        strategy = ConversionStrategy::kNaive;
+      } else if (v == "fast") {
+        strategy = ConversionStrategy::kFast;
+      } else if (v == "plan") {
+        strategy = ConversionStrategy::kPlan;
+        rep_bypass = false;
+      } else if (v == "auto") {
+        strategy = ConversionStrategy::kPlan;
+        rep_bypass = true;
       } else {
         return Usage();
       }
@@ -229,6 +255,7 @@ int main(int argc, char** argv) {
   source << in.rdbuf();
 
   EmeraldSystem sys(strategy);
+  sys.world().set_rep_bypass(rep_bypass);
   std::vector<std::string> node_names = Split(nodes_arg, ',');
   std::vector<std::string> opts = opt_arg.empty() ? std::vector<std::string>{}
                                                   : Split(opt_arg, ',');
@@ -376,6 +403,18 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(c.reconnects),
                      static_cast<unsigned long long>(c.reservations_reclaimed),
                      static_cast<unsigned long long>(c.moves_presumed_committed));
+      }
+      if (strategy == ConversionStrategy::kPlan) {
+        const PlanCache& plans = node.plans();
+        std::fprintf(stderr,
+                     "        plan cache: %4llu hits, %3llu misses, %2llu evictions,"
+                     " %4llu execs, %3llu bypasses (%zu/%zu resident)\n",
+                     static_cast<unsigned long long>(c.plan_hits),
+                     static_cast<unsigned long long>(c.plan_misses),
+                     static_cast<unsigned long long>(c.plan_evictions),
+                     static_cast<unsigned long long>(c.plan_execs),
+                     static_cast<unsigned long long>(c.plan_bypasses), plans.size(),
+                     plans.capacity());
       }
       if (use_sched) {
         std::fprintf(stderr,

@@ -84,6 +84,31 @@ inline constexpr uint64_t kRelocPerByteCycles = 3;
 inline constexpr uint64_t kFastConvSetupCycles = 400;
 inline constexpr uint64_t kFastConvPerByteCycles = 70;
 
+// --- Compiled conversion plans (src/conv) ---
+// The plan interpreter dispatches a handful of coalesced ops per image instead
+// of a procedure call per field: per-op dispatch, then per-byte work that is a
+// copy (2 cycles, same as the raw blit) or a swap-and-store.
+inline constexpr uint64_t kPlanOpCycles = 12;
+inline constexpr uint64_t kPlanSwapPerByteCycles = 3;
+// Cache lookup + loop setup, per plan execution.
+inline constexpr uint64_t kPlanExecSetupCycles = 250;
+// Compiling a plan: template walk, op emission and coalescing. Charged once per
+// cache miss; amortized to noise by the LRU.
+inline constexpr uint64_t kPlanCompileFixedCycles = 6000;
+inline constexpr uint64_t kPlanCompilePerEntryCycles = 2200;
+// Message headers and control values are converted by compiled stubs rather than
+// the recursive-descent routines: a few cycles per byte, one setup per message.
+inline constexpr uint64_t kPlanHeaderPerByteCycles = 4;
+inline constexpr uint64_t kPlanMsgSetupCycles = 300;
+// Residual fixed kernel work of the plan-based marshalling layer per move/invoke
+// message and side — what remains of kEnhancedMoveFixedCycles /
+// kEnhancedInvokeFixedCycles once the per-field conversion layer is compiled out.
+inline constexpr uint64_t kPlanMoveFixedCycles = 4000;
+inline constexpr uint64_t kPlanInvokeFixedCycles = 2500;
+// Bus-stop translation under plans: the per-(op, arch) stop table is cached
+// direct-indexed next to the plan, replacing the binary search + call.
+inline constexpr uint64_t kPlanStopLookupCycles = 60;
+
 // --- Garbage collection (bus stops give the collector well-defined states) ---
 inline constexpr uint64_t kGcPerObjectCycles = 90;
 

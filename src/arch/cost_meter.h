@@ -45,6 +45,13 @@ struct CostCounters {
   uint64_t replies_parked = 0;   // replies held for a suspected-dead waiter
   uint64_t replies_flushed = 0;  // parked replies delivered after a reconnect
   uint64_t replies_dropped = 0;  // parked replies abandoned (restart or hold expiry)
+  // --- compiled conversion plans (src/conv) ---
+  uint64_t plan_hits = 0;        // plan-cache hits
+  uint64_t plan_misses = 0;      // plan-cache misses (each paid a compile)
+  uint64_t plan_evictions = 0;   // LRU evictions + stale-template drops
+  uint64_t plan_execs = 0;       // plan interpreter runs (encode or decode)
+  uint64_t plan_ops = 0;         // coalesced ops dispatched across all runs
+  uint64_t plan_bypasses = 0;    // moves negotiated onto the raw-blit bypass
   // --- placement scheduler (src/sched) ---
   uint64_t sched_ticks = 0;          // scheduler ticks fired on this node
   uint64_t sched_digests_sent = 0;   // load digests emitted (explicit + piggyback)

@@ -1,0 +1,347 @@
+#include "src/conv/plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/arch/calibration.h"
+#include "src/arch/float_codec.h"
+#include "src/obs/trace.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+uint32_t UnitBytes(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kCopy:
+    case PlanOpKind::kSkip:
+      return 1;
+    case PlanOpKind::kSwap16:
+      return 2;
+    case PlanOpKind::kSwap32:
+    case PlanOpKind::kReg32:
+      return 4;
+    case PlanOpKind::kSwap64:
+    case PlanOpKind::kF64:
+      return 8;
+  }
+  HETM_UNREACHABLE("bad PlanOpKind");
+}
+
+bool Coalescible(PlanOpKind kind) {
+  return kind == PlanOpKind::kCopy || kind == PlanOpKind::kSwap16 ||
+         kind == PlanOpKind::kSwap32 || kind == PlanOpKind::kSwap64;
+}
+
+// Appends an op, merging it into the previous one when same-kind and contiguous
+// in the machine image (canonical contiguity is implied by emission order).
+void Append(std::vector<PlanOp>& ops, PlanOp op) {
+  if (!ops.empty() && Coalescible(op.kind)) {
+    PlanOp& b = ops.back();
+    if (b.kind == op.kind && b.mach_off + b.n * UnitBytes(b.kind) == op.mach_off) {
+      b.n += op.n;
+      return;
+    }
+  }
+  ops.push_back(op);
+}
+
+// The word op for a 4-byte value on `arch`, and the 8-byte op for a Real.
+PlanOp WordOp(const ArchInfo& info, uint32_t mach_off) {
+  PlanOpKind kind =
+      info.byte_order == ByteOrder::kBig ? PlanOpKind::kCopy : PlanOpKind::kSwap32;
+  return PlanOp{kind, kind == PlanOpKind::kCopy ? 4u : 1u, mach_off, 0};
+}
+
+PlanOp RealOp(const ArchInfo& info, uint32_t mach_off) {
+  if (info.float_format != FloatFormat::kIeee754) {
+    return PlanOp{PlanOpKind::kF64, 1, mach_off, 0};
+  }
+  // IEEE machines need no format conversion: the canonical image is the IEEE bit
+  // pattern big-endian, so the value is a copy (big-endian) or a byte reversal.
+  PlanOpKind kind =
+      info.byte_order == ByteOrder::kBig ? PlanOpKind::kCopy : PlanOpKind::kSwap64;
+  return PlanOp{kind, kind == PlanOpKind::kCopy ? 8u : 1u, mach_off, 0};
+}
+
+// Appends SKIP pads for every machine byte not covered by any emitted op, so the
+// plan is a complete walk of the image. `covered` holds (offset, bytes) pairs.
+void AppendSkips(std::vector<PlanOp>& ops, std::vector<std::pair<uint32_t, uint32_t>> covered,
+                 uint32_t machine_bytes) {
+  std::sort(covered.begin(), covered.end());
+  uint32_t pos = 0;
+  for (const auto& [off, len] : covered) {
+    HETM_CHECK_MSG(off >= pos, "overlapping plan ops in one machine image");
+    if (off > pos) {
+      Append(ops, PlanOp{PlanOpKind::kSkip, off - pos, pos, 0});
+    }
+    pos = off + len;
+  }
+  HETM_CHECK(pos <= machine_bytes);
+  if (pos < machine_bytes) {
+    Append(ops, PlanOp{PlanOpKind::kSkip, machine_bytes - pos, pos, 0});
+  }
+}
+
+void FinishPlan(ConversionPlan& plan, size_t template_entries) {
+  HETM_CHECK_MSG(plan.canonical_bytes <= 0xFFFF, "canonical image exceeds wire u16");
+  plan.compile_cycles = kPlanCompileFixedCycles +
+                        static_cast<uint64_t>(template_entries) * kPlanCompilePerEntryCycles;
+}
+
+// Mirrors XlateSpan in busstop_xlate: plan-execution spans are emitted only when
+// the meter's work is attributed to a move, so they stitch under its pack/unpack
+// span instead of flooding the rings.
+struct PlanExecSpan {
+  PlanExecSpan(CostMeter* meter, int64_t canonical_bytes)
+      : tracer(meter != nullptr && meter->active_trace() != 0 ? meter->obs_tracer()
+                                                             : nullptr),
+        meter(meter),
+        bytes(canonical_bytes) {
+    if (tracer != nullptr) {
+      tracer->Begin(meter->NowUs(), meter->obs_node(), TracePoint::kPlanExec,
+                    meter->active_trace(), -1, bytes);
+    }
+  }
+  ~PlanExecSpan() {
+    if (tracer != nullptr) {
+      tracer->End(meter->NowUs(), meter->obs_node(), TracePoint::kPlanExec,
+                  meter->active_trace(), -1, bytes);
+    }
+  }
+  Tracer* tracer;
+  CostMeter* meter;
+  int64_t bytes;
+};
+
+void ReverseUnits(const uint8_t* src, uint8_t* dst, uint32_t count, uint32_t unit) {
+  for (uint32_t i = 0; i < count; ++i) {
+    for (uint32_t b = 0; b < unit; ++b) {
+      dst[i * unit + b] = src[i * unit + unit - 1 - b];
+    }
+  }
+}
+
+}  // namespace
+
+ConversionPlan CompileObjectPlan(const CompiledClass& cls, Arch arch) {
+  const ArchInfo& info = GetArchInfo(arch);
+  const std::vector<int>& offsets = cls.field_offsets[static_cast<int>(arch)];
+  ConversionPlan plan;
+  plan.arch = arch;
+  plan.machine_bytes = static_cast<uint32_t>(cls.object_bytes[static_cast<int>(arch)]);
+  plan.template_hash = ObjectTemplateHash(cls, arch);
+  std::vector<std::pair<uint32_t, uint32_t>> covered;
+  for (size_t f = 0; f < cls.fields.size(); ++f) {
+    uint32_t off = static_cast<uint32_t>(offsets[f]);
+    if (cls.fields[f].kind == ValueKind::kReal) {
+      Append(plan.ops, RealOp(info, off));
+      covered.emplace_back(off, 8);
+      plan.canonical_bytes += 8;
+    } else {
+      Append(plan.ops, WordOp(info, off));
+      covered.emplace_back(off, 4);
+      plan.canonical_bytes += 4;
+    }
+  }
+  AppendSkips(plan.ops, std::move(covered), plan.machine_bytes);
+  FinishPlan(plan, cls.fields.size());
+  return plan;
+}
+
+ConversionPlan CompileArPlan(const OpInfo& op, OptLevel sem, int stop, Arch arch) {
+  const ArchInfo& info = GetArchInfo(arch);
+  const IrFunction& fn = op.Ir(sem);
+  const std::vector<Home>& homes = op.homes[static_cast<int>(arch)];
+  ConversionPlan plan;
+  plan.arch = arch;
+  plan.machine_bytes = static_cast<uint32_t>(op.frame_bytes[static_cast<int>(arch)]);
+  plan.template_hash = ArTemplateHash(op, sem, stop, arch);
+  std::vector<std::pair<uint32_t, uint32_t>> covered;
+  for (size_t c = 0; c < fn.cells.size(); ++c) {
+    if (!fn.CellLiveAtStop(stop, static_cast<int>(c))) {
+      continue;
+    }
+    // Cell kinds are schedule-invariant: ir[O0] is the canonical declaration.
+    ValueKind kind = op.ir[0].cells[c].kind;
+    const Home& home = homes[c];
+    if (kind == ValueKind::kReal) {
+      HETM_CHECK(home.kind == HomeKind::kSlot);
+      Append(plan.ops, RealOp(info, static_cast<uint32_t>(home.index)));
+      covered.emplace_back(static_cast<uint32_t>(home.index), 8);
+      plan.canonical_bytes += 8;
+    } else if (home.kind == HomeKind::kReg) {
+      plan.ops.push_back(PlanOp{PlanOpKind::kReg32, 1, 0,
+                                static_cast<uint16_t>(home.index)});
+      plan.num_regs = std::max(plan.num_regs, static_cast<uint32_t>(home.index) + 1);
+      plan.canonical_bytes += 4;
+    } else {
+      Append(plan.ops, WordOp(info, static_cast<uint32_t>(home.index)));
+      covered.emplace_back(static_cast<uint32_t>(home.index), 4);
+      plan.canonical_bytes += 4;
+    }
+  }
+  AppendSkips(plan.ops, std::move(covered), plan.machine_bytes);
+  FinishPlan(plan, fn.cells.size());
+  return plan;
+}
+
+uint64_t ObjectTemplateHash(const CompiledClass& cls, Arch arch) {
+  int a = static_cast<int>(arch);
+  uint64_t h = Fnv(kFnvBasis, static_cast<uint64_t>(a));
+  h = Fnv(h, cls.fields.size());
+  h = Fnv(h, static_cast<uint64_t>(cls.object_bytes[a]));
+  for (size_t f = 0; f < cls.fields.size(); ++f) {
+    h = Fnv(h, static_cast<uint64_t>(cls.fields[f].kind));
+    h = Fnv(h, static_cast<uint64_t>(cls.field_offsets[a][f]));
+  }
+  return h;
+}
+
+uint64_t ArTemplateHash(const OpInfo& op, OptLevel sem, int stop, Arch arch) {
+  int a = static_cast<int>(arch);
+  const IrFunction& fn = op.Ir(sem);
+  uint64_t h = Fnv(kFnvBasis, static_cast<uint64_t>(a));
+  h = Fnv(h, static_cast<uint64_t>(sem));
+  h = Fnv(h, static_cast<uint64_t>(stop));
+  h = Fnv(h, static_cast<uint64_t>(op.frame_bytes[a]));
+  h = Fnv(h, fn.cells.size());
+  for (size_t c = 0; c < fn.cells.size(); ++c) {
+    const Home& home = op.homes[a][c];
+    h = Fnv(h, static_cast<uint64_t>(op.ir[0].cells[c].kind));
+    h = Fnv(h, static_cast<uint64_t>(home.kind));
+    h = Fnv(h, static_cast<uint64_t>(home.index));
+    h = Fnv(h, fn.CellLiveAtStop(stop, static_cast<int>(c)) ? 1u : 0u);
+  }
+  return h;
+}
+
+void ExecutePlanEncode(const ConversionPlan& plan, ConstMachineImage src,
+                       WireWriter& w, CostMeter* meter) {
+  HETM_CHECK(src.size == plan.machine_bytes && plan.num_regs <= src.num_regs);
+  PlanExecSpan span(meter, plan.canonical_bytes);
+  const ArchInfo& info = GetArchInfo(plan.arch);
+  std::vector<uint8_t> canon(plan.canonical_bytes);
+  size_t cur = 0;
+  uint64_t cycles = kPlanExecSetupCycles;
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case PlanOpKind::kCopy:
+        std::memcpy(&canon[cur], src.bytes + op.mach_off, op.n);
+        cur += op.n;
+        cycles += kPlanOpCycles + op.n * kCopyPerByteCycles;
+        break;
+      case PlanOpKind::kSwap16:
+      case PlanOpKind::kSwap32:
+      case PlanOpKind::kSwap64: {
+        uint32_t unit = UnitBytes(op.kind);
+        ReverseUnits(src.bytes + op.mach_off, &canon[cur], op.n, unit);
+        cur += op.n * unit;
+        cycles += kPlanOpCycles + op.n * unit * kPlanSwapPerByteCycles;
+        break;
+      }
+      case PlanOpKind::kF64: {
+        double v = DecodeFloat64(src.bytes + op.mach_off, info.float_format,
+                                 info.byte_order);
+        EncodeFloat64(v, FloatFormat::kIeee754, ByteOrder::kBig, &canon[cur]);
+        cur += 8;
+        cycles += kPlanOpCycles + kFloatConvCycles;
+        if (meter != nullptr) {
+          meter->counters().float_conversions += 1;
+        }
+        break;
+      }
+      case PlanOpKind::kReg32:
+        Store32(&canon[cur], src.regs[op.reg], ByteOrder::kBig);
+        cur += 4;
+        cycles += kPlanOpCycles + 4 * kCopyPerByteCycles;
+        break;
+      case PlanOpKind::kSkip:
+        break;  // pad marker: no bytes move, no cycles
+    }
+  }
+  HETM_CHECK(cur == plan.canonical_bytes);
+  if (meter != nullptr) {
+    meter->Charge(cycles);
+    meter->counters().conv_calls += 1;  // one tight-loop run, not one call per byte
+    meter->counters().conv_bytes += plan.canonical_bytes;
+    meter->counters().plan_execs += 1;
+    meter->counters().plan_ops += plan.ops.size();
+  }
+  w.U16(static_cast<uint16_t>(plan.canonical_bytes));
+  w.Converted(canon.data(), canon.size());
+}
+
+bool ExecutePlanDecode(const ConversionPlan& plan, WireReader& r, MachineImage dst,
+                       CostMeter* meter) {
+  HETM_CHECK(dst.size == plan.machine_bytes && plan.num_regs <= dst.num_regs);
+  uint16_t count = r.U16();
+  if (!r.ok() || count != plan.canonical_bytes) {
+    r.Fail();
+    return false;
+  }
+  PlanExecSpan span(meter, plan.canonical_bytes);
+  std::vector<uint8_t> canon(count);
+  if (!r.Converted(canon.data(), count)) {
+    return false;
+  }
+  const ArchInfo& info = GetArchInfo(plan.arch);
+  size_t cur = 0;
+  uint64_t cycles = kPlanExecSetupCycles;
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case PlanOpKind::kCopy:
+        std::memcpy(dst.bytes + op.mach_off, &canon[cur], op.n);
+        cur += op.n;
+        cycles += kPlanOpCycles + op.n * kCopyPerByteCycles;
+        break;
+      case PlanOpKind::kSwap16:
+      case PlanOpKind::kSwap32:
+      case PlanOpKind::kSwap64: {
+        uint32_t unit = UnitBytes(op.kind);
+        ReverseUnits(&canon[cur], dst.bytes + op.mach_off, op.n, unit);
+        cur += op.n * unit;
+        cycles += kPlanOpCycles + op.n * unit * kPlanSwapPerByteCycles;
+        break;
+      }
+      case PlanOpKind::kF64: {
+        double v = DecodeFloat64(&canon[cur], FloatFormat::kIeee754, ByteOrder::kBig);
+        EncodeFloat64(v, info.float_format, info.byte_order, dst.bytes + op.mach_off);
+        cur += 8;
+        cycles += kPlanOpCycles + kFloatConvCycles;
+        if (meter != nullptr) {
+          meter->counters().float_conversions += 1;
+        }
+        break;
+      }
+      case PlanOpKind::kReg32:
+        dst.regs[op.reg] = Load32(&canon[cur], ByteOrder::kBig);
+        cur += 4;
+        cycles += kPlanOpCycles + 4 * kCopyPerByteCycles;
+        break;
+      case PlanOpKind::kSkip:
+        break;  // dst image arrives zeroed; pads stay zero
+    }
+  }
+  HETM_CHECK(cur == plan.canonical_bytes);
+  if (meter != nullptr) {
+    meter->Charge(cycles);
+    meter->counters().conv_calls += 1;
+    meter->counters().conv_bytes += plan.canonical_bytes;
+    meter->counters().plan_execs += 1;
+    meter->counters().plan_ops += plan.ops.size();
+  }
+  return true;
+}
+
+}  // namespace hetm

@@ -1,0 +1,117 @@
+// Compiled conversion plans (the paper's "more efficient conversion routines",
+// section 3.6, taken to their natural end point).
+//
+// The naive converters in src/mobility walk the template per field and make 1-2
+// procedure calls per byte. This subsystem instead compiles each (template,
+// architecture) pair ONCE into a flat plan: a coalesced run of primitive ops
+// (COPY n, BSWAP16/32/64 xN, F64 format conversion, REG32 register traffic,
+// SKIP/pad) that a tight interpreter loop executes against the machine image.
+// The plan maps the machine-dependent image to a *canonical* packed image —
+// big-endian, IEEE-754, values in template order (declaration order for object
+// fields, cell order for live activation-record cells; 4 bytes per cell, 8 for
+// Real). A source-to-destination conversion is therefore encode-with-src-plan +
+// decode-with-dst-plan, and the wire carries the canonical image as one block.
+//
+// Ops are emitted in canonical-image order: the canonical cursor advances
+// implicitly while each op carries its explicit machine-image byte offset, so
+// per-arch layout permutations cost nothing at run time. SKIP ops mark machine
+// bytes with no canonical counterpart (dead cells, scratch slots); they move no
+// data and charge nothing, but make every plan a complete walk of its machine
+// image (sum of covered + skipped bytes == machine_bytes), which the tests use
+// as a structural invariant.
+//
+// Cost model: the executor charges the CostMeter per-op (dispatch) plus per-byte
+// copy/swap work — not per-field — which is what closes most of the gap to the
+// raw blit (bench_conversion measures it).
+#ifndef HETM_SRC_CONV_PLAN_H_
+#define HETM_SRC_CONV_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/arch.h"
+#include "src/arch/cost_meter.h"
+#include "src/compiler/compiled.h"
+#include "src/mobility/wire.h"
+
+namespace hetm {
+
+enum class PlanOpKind : uint8_t {
+  kCopy,    // n machine bytes verbatim (representation already canonical)
+  kSwap16,  // n contiguous 16-bit units, byte-swapped
+  kSwap32,  // n contiguous 32-bit words, byte-swapped
+  kSwap64,  // n contiguous 64-bit units, byte-swapped
+  kF64,     // one 8-byte float: machine format <-> canonical IEEE big-endian
+  kReg32,   // one 32-bit value between regs[reg] and the canonical image
+  kSkip,    // n machine bytes with no canonical counterpart (padding, dead cells)
+};
+
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kCopy;
+  uint32_t n = 1;         // units: bytes for kCopy/kSkip, elements for kSwap*
+  uint32_t mach_off = 0;  // byte offset into the machine image (kReg32: unused)
+  uint16_t reg = 0;       // register index (kReg32 only)
+
+  bool operator==(const PlanOp&) const = default;
+};
+
+struct ConversionPlan {
+  Arch arch = Arch::kVax32;  // the machine side this plan converts for
+  std::vector<PlanOp> ops;   // canonical-image order
+  uint32_t machine_bytes = 0;    // frame / field-image size on `arch`
+  uint32_t canonical_bytes = 0;  // packed canonical image size
+  uint32_t num_regs = 0;         // 1 + highest register index touched (0 if none)
+  uint64_t template_hash = 0;    // content hash of the source template
+  uint64_t compile_cycles = 0;   // charged once, on the cache miss that built it
+
+  bool SameOps(const ConversionPlan& o) const {
+    return arch == o.arch && ops == o.ops && machine_bytes == o.machine_bytes &&
+           canonical_bytes == o.canonical_bytes;
+  }
+};
+
+// Compiles the field layout of `cls` on `arch` (canonical side: fields in
+// declaration order).
+ConversionPlan CompileObjectPlan(const CompiledClass& cls, Arch arch);
+
+// Compiles the activation-record state live at `stop` under the `sem`-level
+// schedule on `arch` (canonical side: live cells in cell order). Dead cells and
+// scratch frame bytes become SKIP pads.
+ConversionPlan CompileArPlan(const OpInfo& op, OptLevel sem, int stop, Arch arch);
+
+// Template content hashes — the stale-plan guard in the cache key. A class
+// redefined in the program database under the same code OID hashes differently
+// and therefore never matches a stale cached plan.
+uint64_t ObjectTemplateHash(const CompiledClass& cls, Arch arch);
+uint64_t ArTemplateHash(const OpInfo& op, OptLevel sem, int stop, Arch arch);
+
+// The machine-dependent side of a plan execution: a byte image (object fields
+// or AR frame) plus, for activation records, the register file.
+struct ConstMachineImage {
+  const uint8_t* bytes = nullptr;
+  size_t size = 0;
+  const uint32_t* regs = nullptr;
+  size_t num_regs = 0;
+};
+struct MachineImage {
+  uint8_t* bytes = nullptr;
+  size_t size = 0;
+  uint32_t* regs = nullptr;
+  size_t num_regs = 0;
+};
+
+// Runs the plan's encode direction: machine image -> canonical image, written to
+// the wire as {u16 canonical byte count, bytes}. Charges the meter per-op and
+// emits a kPlanExec span when the meter's work is attributed to a move.
+void ExecutePlanEncode(const ConversionPlan& plan, ConstMachineImage src,
+                       WireWriter& w, CostMeter* meter);
+
+// Decode direction: reads the canonical block, validates its size against the
+// plan, and scatters it into `dst` (SKIP regions are left untouched). Returns
+// false — with the reader failed — on any malformed input.
+bool ExecutePlanDecode(const ConversionPlan& plan, WireReader& r, MachineImage dst,
+                       CostMeter* meter);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_CONV_PLAN_H_

@@ -1,0 +1,144 @@
+#include "src/conv/plan_cache.h"
+
+#include "src/obs/trace.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+// Compile spans stitch under the enclosing pack/unpack span of the move that
+// took the miss; compiles outside a move (warm-up, tests) emit nothing.
+struct PlanCompileSpan {
+  explicit PlanCompileSpan(CostMeter* meter)
+      : tracer(meter != nullptr && meter->active_trace() != 0 ? meter->obs_tracer()
+                                                             : nullptr),
+        meter(meter) {
+    if (tracer != nullptr) {
+      tracer->Begin(meter->NowUs(), meter->obs_node(), TracePoint::kPlanCompile,
+                    meter->active_trace());
+    }
+  }
+  void Close(int64_t op_count) {
+    if (tracer != nullptr) {
+      tracer->End(meter->NowUs(), meter->obs_node(), TracePoint::kPlanCompile,
+                  meter->active_trace(), -1, op_count);
+      tracer = nullptr;
+    }
+  }
+  ~PlanCompileSpan() { Close(0); }
+  Tracer* tracer;
+  CostMeter* meter;
+};
+
+}  // namespace
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  uint64_t h = Mix(1469598103934665603ull, static_cast<uint64_t>(k.scope));
+  h = Mix(h, static_cast<uint64_t>(k.arch));
+  h = Mix(h, k.code_oid);
+  h = Mix(h, (static_cast<uint64_t>(k.op_index) << 24) |
+                 (static_cast<uint64_t>(k.sem) << 16) | k.stop);
+  h = Mix(h, k.template_hash);
+  return static_cast<size_t>(h);
+}
+
+PlanKey ObjectPlanKey(const CompiledClass& cls, Arch arch) {
+  PlanKey key;
+  key.scope = PlanScope::kObject;
+  key.arch = arch;
+  key.code_oid = cls.code_oid;
+  key.template_hash = ObjectTemplateHash(cls, arch);
+  return key;
+}
+
+PlanKey ArPlanKey(Oid code_oid, int op_index, const OpInfo& op, OptLevel sem, int stop,
+                  Arch arch) {
+  PlanKey key;
+  key.scope = PlanScope::kAr;
+  key.arch = arch;
+  key.code_oid = code_oid;
+  key.op_index = static_cast<uint16_t>(op_index);
+  key.sem = static_cast<uint8_t>(sem);
+  key.stop = static_cast<uint16_t>(stop);
+  key.template_hash = ArTemplateHash(op, sem, stop, arch);
+  return key;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  HETM_CHECK(capacity_ > 0);
+}
+
+void PlanCache::SetCapacity(size_t capacity) {
+  HETM_CHECK(capacity > 0);
+  capacity_ = capacity;
+  while (map_.size() > capacity_) {
+    EvictOldest(nullptr);
+  }
+}
+
+void PlanCache::EvictOldest(CostMeter* meter) {
+  HETM_CHECK(!lru_.empty());
+  map_.erase(lru_.back().first);
+  lru_.pop_back();
+  evictions_ += 1;
+  if (meter != nullptr) {
+    meter->counters().plan_evictions += 1;
+  }
+}
+
+std::shared_ptr<const ConversionPlan> PlanCache::GetOrCompile(const PlanKey& key,
+                                                              CostMeter* meter,
+                                                              const CompileFn& compile) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_ += 1;
+    if (meter != nullptr) {
+      meter->counters().plan_hits += 1;
+    }
+    return it->second->second;
+  }
+
+  // Stale-plan guard: a template recompiled under the same code OID hashes
+  // differently; its superseded plan can never hit again, so drop it now.
+  for (auto stale = map_.begin(); stale != map_.end(); ++stale) {
+    if (stale->first.SameIdentity(key)) {
+      lru_.erase(stale->second);
+      map_.erase(stale);
+      evictions_ += 1;
+      if (meter != nullptr) {
+        meter->counters().plan_evictions += 1;
+      }
+      break;
+    }
+  }
+
+  misses_ += 1;
+  if (meter != nullptr) {
+    meter->counters().plan_misses += 1;
+  }
+  PlanCompileSpan span(meter);
+  auto plan = std::make_shared<const ConversionPlan>(compile());
+  HETM_CHECK_MSG(plan->template_hash == key.template_hash,
+                 "plan cache key does not match the compiled template");
+  if (meter != nullptr) {
+    meter->Charge(plan->compile_cycles);
+  }
+  span.Close(static_cast<int64_t>(plan->ops.size()));
+
+  while (map_.size() >= capacity_) {
+    EvictOldest(meter);
+  }
+  lru_.emplace_front(key, plan);
+  map_.emplace(key, lru_.begin());
+  return plan;
+}
+
+}  // namespace hetm

@@ -1,0 +1,97 @@
+// Per-node LRU cache of compiled conversion plans.
+//
+// Keyed by (plan scope, template identity, architecture, template hash): the
+// identity names WHICH template (code OID + op/stop coordinates) and the hash
+// names WHAT it contained when the plan was compiled. The program database
+// reuses a code OID when a same-named class is recompiled (section 3.4's shared
+// repository), so the hash is the stale-plan guard — a redefined template
+// misses, its plan is recompiled, and the superseded entry is dropped.
+//
+// Compilation cost is charged to the owning node's meter on the miss that pays
+// it (kPlanCompile span when attributed to a move); hits charge nothing beyond
+// the executor's own per-op work. Hit/miss/eviction counts land both here and
+// in the node's CostCounters, which World::ExportMetrics folds into the obs
+// registry.
+#ifndef HETM_SRC_CONV_PLAN_CACHE_H_
+#define HETM_SRC_CONV_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/conv/plan.h"
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+inline constexpr size_t kDefaultPlanCacheCapacity = 128;
+
+enum class PlanScope : uint8_t { kObject = 0, kAr = 1 };
+
+struct PlanKey {
+  PlanScope scope = PlanScope::kObject;
+  Arch arch = Arch::kVax32;
+  Oid code_oid = kNilOid;
+  uint16_t op_index = 0;  // AR plans only
+  uint8_t sem = 0;        // AR plans only: semantic OptLevel
+  uint16_t stop = 0;      // AR plans only
+  uint64_t template_hash = 0;
+
+  bool operator==(const PlanKey&) const = default;
+  // Same template coordinates, any content hash (stale-entry replacement).
+  bool SameIdentity(const PlanKey& o) const {
+    return scope == o.scope && arch == o.arch && code_oid == o.code_oid &&
+           op_index == o.op_index && sem == o.sem && stop == o.stop;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const;
+};
+
+PlanKey ObjectPlanKey(const CompiledClass& cls, Arch arch);
+PlanKey ArPlanKey(Oid code_oid, int op_index, const OpInfo& op, OptLevel sem, int stop,
+                  Arch arch);
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = kDefaultPlanCacheCapacity);
+
+  using CompileFn = std::function<ConversionPlan()>;
+
+  // Returns the cached plan for `key`, or runs `compile`, charges the plan's
+  // compile cycles to `meter` (nullable), and inserts it — evicting the least
+  // recently used entry when full and dropping any stale entry with the same
+  // identity but a different template hash.
+  std::shared_ptr<const ConversionPlan> GetOrCompile(const PlanKey& key,
+                                                     CostMeter* meter,
+                                                     const CompileFn& compile);
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  // Shrinks (evicting LRU entries immediately) or grows the cache — churn tests.
+  void SetCapacity(size_t capacity);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const ConversionPlan>>;
+
+  void EvictOldest(CostMeter* meter);
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_CONV_PLAN_CACHE_H_

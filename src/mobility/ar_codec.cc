@@ -1,6 +1,7 @@
 #include "src/mobility/ar_codec.h"
 
 #include "src/arch/float_codec.h"
+#include "src/conv/plan.h"
 #include "src/support/check.h"
 #include "src/support/endian.h"
 
@@ -112,6 +113,28 @@ void MarshalArCells(Arch arch, const OpInfo& op, OptLevel opt, const ActivationR
     w.U16(static_cast<uint16_t>(cell));
     w.TaggedValue(value);
   }
+}
+
+void MarshalArCellsPlan(Arch arch, const OpInfo& op, OptLevel sem,
+                        const ActivationRecord& ar, int stop, PlanCache& plans,
+                        CostMeter* meter, WireWriter& w) {
+  auto plan =
+      plans.GetOrCompile(ArPlanKey(ar.code_oid, ar.op_index, op, sem, stop, arch), meter,
+                         [&] { return CompileArPlan(op, sem, stop, arch); });
+  ExecutePlanEncode(
+      *plan, {ar.frame.data(), ar.frame.size(), ar.regs.data(), ar.regs.size()}, w,
+      meter);
+}
+
+bool UnmarshalArCellsPlan(Arch arch, const OpInfo& op, OptLevel sem, int stop,
+                          ActivationRecord& ar, PlanCache& plans, CostMeter* meter,
+                          WireReader& r) {
+  auto plan =
+      plans.GetOrCompile(ArPlanKey(ar.code_oid, ar.op_index, op, sem, stop, arch), meter,
+                         [&] { return CompileArPlan(op, sem, stop, arch); });
+  return ExecutePlanDecode(
+      *plan, r, {ar.frame.data(), ar.frame.size(), ar.regs.data(), ar.regs.size()},
+      meter);
 }
 
 void UnmarshalArCells(Arch arch, const OpInfo& op, ActivationRecord& ar, WireReader& r) {

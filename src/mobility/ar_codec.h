@@ -12,6 +12,7 @@
 
 #include "src/arch/arch.h"
 #include "src/compiler/compiled.h"
+#include "src/conv/plan_cache.h"
 #include "src/mobility/wire.h"
 #include "src/runtime/thread.h"
 #include "src/runtime/value.h"
@@ -39,6 +40,20 @@ void MarshalArCells(Arch arch, const OpInfo& op, OptLevel opt, const ActivationR
 // Rebuilds cells from the wire into a fresh machine-dependent record (dead cells
 // stay zero).
 void UnmarshalArCells(Arch arch, const OpInfo& op, ActivationRecord& ar, WireReader& r);
+
+// Plan-based (kPlan) cell marshalling: the live cells at `stop` as one packed
+// canonical block, produced/consumed by the record's compiled conversion plan.
+// The AR header already carries (code oid, op index, sem, stop), so the receiver
+// rebuilds the identical plan from its own template — the stream needs no
+// per-cell indices. Cell order and live sets are schedule-determined, hence
+// identical on both sides.
+void MarshalArCellsPlan(Arch arch, const OpInfo& op, OptLevel sem,
+                        const ActivationRecord& ar, int stop, PlanCache& plans,
+                        CostMeter* meter, WireWriter& w);
+// Returns false (reader failed) on any malformed input.
+bool UnmarshalArCellsPlan(Arch arch, const OpInfo& op, OptLevel sem, int stop,
+                          ActivationRecord& ar, PlanCache& plans, CostMeter* meter,
+                          WireReader& r);
 
 }  // namespace hetm
 

@@ -32,13 +32,19 @@ struct XlateSpan {
   CostMeter* meter;
 };
 
+uint64_t LookupCycles(ConversionStrategy strategy) {
+  return strategy == ConversionStrategy::kPlan ? kPlanStopLookupCycles
+                                               : kBusStopLookupCycles;
+}
+
 }  // namespace
 
-int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter) {
+int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter,
+             ConversionStrategy strategy) {
   XlateSpan span(meter);
   if (meter != nullptr) {
     meter->counters().busstop_lookups += 1;
-    meter->Charge(kBusStopLookupCycles);
+    meter->Charge(LookupCycles(strategy));
   }
   auto lo = std::lower_bound(code.stops.begin(), code.stops.end(), pc,
                              [](const BusStopEntry& e, uint32_t p) { return e.pc < p; });
@@ -52,11 +58,12 @@ int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMete
   return static_cast<int>(it - code.stops.begin());
 }
 
-uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter) {
+uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter,
+                  ConversionStrategy strategy) {
   XlateSpan span(meter);
   if (meter != nullptr) {
     meter->counters().busstop_lookups += 1;
-    meter->Charge(kBusStopLookupCycles);
+    meter->Charge(LookupCycles(strategy));
   }
   HETM_CHECK(stop >= 0 && stop < static_cast<int>(code.stops.size()));
   return code.stops[stop].pc;

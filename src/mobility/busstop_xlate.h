@@ -16,15 +16,24 @@
 
 #include "src/arch/cost_meter.h"
 #include "src/compiler/compiled.h"
+#include "src/mobility/wire.h"
 
 namespace hetm {
 
+// Both translations are strategy-aware in cost only: under kPlan the compiled
+// conversion layer caches the stop table direct-indexed next to the plan, so a
+// lookup charges kPlanStopLookupCycles instead of the binary-search-and-call
+// kBusStopLookupCycles. The stop NUMBERING is the cross-architecture isomorphism
+// and is identical under every strategy.
+
 // Converts an observed pc to its bus stop number. Aborts if the pc is not a visible
 // bus stop (a runtime bug: the kernel only ever sees pcs at stops).
-int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter);
+int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter,
+             ConversionStrategy strategy = ConversionStrategy::kNaive);
 
 // Converts a bus stop number back to a native pc on the destination architecture.
-uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter);
+uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter,
+                  ConversionStrategy strategy = ConversionStrategy::kNaive);
 
 }  // namespace hetm
 

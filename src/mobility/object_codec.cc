@@ -1,6 +1,7 @@
 #include "src/mobility/object_codec.h"
 
 #include "src/arch/float_codec.h"
+#include "src/conv/plan.h"
 #include "src/support/check.h"
 #include "src/support/endian.h"
 
@@ -80,6 +81,21 @@ void UnmarshalObjectFields(Arch arch, const CompiledClass& cls, EmObject& obj,
     }
     WriteFieldValue(arch, cls, obj, f, v);
   }
+}
+
+void MarshalObjectFieldsPlan(Arch arch, const CompiledClass& cls, const EmObject& obj,
+                             PlanCache& plans, CostMeter* meter, WireWriter& w) {
+  auto plan = plans.GetOrCompile(ObjectPlanKey(cls, arch), meter,
+                                 [&] { return CompileObjectPlan(cls, arch); });
+  ExecutePlanEncode(*plan, {obj.fields.data(), obj.fields.size(), nullptr, 0}, w, meter);
+}
+
+bool UnmarshalObjectFieldsPlan(Arch arch, const CompiledClass& cls, EmObject& obj,
+                               PlanCache& plans, CostMeter* meter, WireReader& r) {
+  auto plan = plans.GetOrCompile(ObjectPlanKey(cls, arch), meter,
+                                 [&] { return CompileObjectPlan(cls, arch); });
+  return ExecutePlanDecode(*plan, r, {obj.fields.data(), obj.fields.size(), nullptr, 0},
+                           meter);
 }
 
 std::vector<uint8_t> MakeFieldImage(Arch arch, const CompiledClass& cls) {

@@ -9,6 +9,7 @@
 
 #include "src/arch/arch.h"
 #include "src/compiler/compiled.h"
+#include "src/conv/plan_cache.h"
 #include "src/mobility/wire.h"
 #include "src/runtime/object.h"
 #include "src/runtime/value.h"
@@ -26,6 +27,16 @@ void MarshalObjectFields(Arch arch, const CompiledClass& cls, const EmObject& ob
                          WireWriter& w);
 void UnmarshalObjectFields(Arch arch, const CompiledClass& cls, EmObject& obj,
                            WireReader& r);
+
+// Plan-based (kPlan) field marshalling: the packed canonical image produced by
+// the class's compiled conversion plan, written as {u16 byte count, bytes}. The
+// receiver recompiles (or cache-hits) its own plan from the same template, so
+// the stream stays self-describing and size-validated like the tagged encoding.
+void MarshalObjectFieldsPlan(Arch arch, const CompiledClass& cls, const EmObject& obj,
+                             PlanCache& plans, CostMeter* meter, WireWriter& w);
+// Returns false (reader failed) on any malformed input.
+bool UnmarshalObjectFieldsPlan(Arch arch, const CompiledClass& cls, EmObject& obj,
+                               PlanCache& plans, CostMeter* meter, WireReader& r);
 
 // Allocates a zeroed field image for `cls` on `arch`.
 std::vector<uint8_t> MakeFieldImage(Arch arch, const CompiledClass& cls);

@@ -36,6 +36,11 @@ void WireWriter::ChargeValue(size_t bytes) {
       meter_->counters().conv_bytes += bytes;
       meter_->Charge(bytes * kFastConvPerByteCycles);
       break;
+    case ConversionStrategy::kPlan:
+      // Header/control values go through compiled stubs, not recursive descent.
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(bytes * kPlanHeaderPerByteCycles);
+      break;
   }
 }
 
@@ -109,10 +114,14 @@ void WireWriter::Blit(const uint8_t* data, size_t n) {
   writer_.Bytes(data, n);
 }
 
+void WireWriter::Converted(const uint8_t* data, size_t n) { writer_.Bytes(data, n); }
+
 void WireWriter::FinishMessage() {
   if (strategy_ == ConversionStrategy::kFast) {
     meter_->counters().conv_calls += 1;
     meter_->Charge(kFastConvSetupCycles);
+  } else if (strategy_ == ConversionStrategy::kPlan) {
+    meter_->Charge(kPlanMsgSetupCycles);
   }
 }
 
@@ -138,6 +147,10 @@ void WireReader::ChargeValue(size_t bytes) {
     case ConversionStrategy::kFast:
       meter_->counters().conv_bytes += bytes;
       meter_->Charge(bytes * kFastConvPerByteCycles);
+      break;
+    case ConversionStrategy::kPlan:
+      meter_->counters().conv_bytes += bytes;
+      meter_->Charge(bytes * kPlanHeaderPerByteCycles);
       break;
   }
 }
@@ -235,10 +248,21 @@ void WireReader::Blit(uint8_t* dst, size_t n) {
   reader_.RawBytes(dst, n);
 }
 
+bool WireReader::Converted(uint8_t* dst, size_t n) {
+  if (!ok_ || reader_.remaining() < n) {
+    ok_ = false;
+    return false;
+  }
+  reader_.RawBytes(dst, n);
+  return true;
+}
+
 void WireReader::FinishMessage() {
   if (strategy_ == ConversionStrategy::kFast) {
     meter_->counters().conv_calls += 1;
     meter_->Charge(kFastConvSetupCycles);
+  } else if (strategy_ == ConversionStrategy::kPlan) {
+    meter_->Charge(kPlanMsgSetupCycles);
   }
 }
 

@@ -15,9 +15,14 @@
 //            performance penalty by 50% by using more efficient routines"): bulk
 //            table-driven conversion charging a per-message setup plus cheap
 //            per-byte work. The wire format is identical; only the cost differs.
+//   kPlan  — compiled conversion plans (src/conv): object/AR images travel as one
+//            packed canonical block produced by a per-template compiled op run;
+//            headers still use tagged big-endian encoding but are charged at
+//            compiled-stub rates. Moves between representation-identical nodes
+//            negotiate down to the kRaw blit (same-representation bypass).
 //
-// The wire byte order for kNaive/kFast is network (big-endian) order; floats are
-// IEEE-754. kRaw uses the sender's machine order and float format.
+// The wire byte order for kNaive/kFast/kPlan is network (big-endian) order; floats
+// are IEEE-754. kRaw uses the sender's machine order and float format.
 #ifndef HETM_SRC_MOBILITY_WIRE_H_
 #define HETM_SRC_MOBILITY_WIRE_H_
 
@@ -26,13 +31,38 @@
 #include <vector>
 
 #include "src/arch/arch.h"
+#include "src/arch/calibration.h"
 #include "src/arch/cost_meter.h"
 #include "src/runtime/value.h"
 #include "src/support/byte_buffer.h"
 
 namespace hetm {
 
-enum class ConversionStrategy : uint8_t { kRaw, kNaive, kFast };
+enum class ConversionStrategy : uint8_t { kRaw, kNaive, kFast, kPlan };
+
+// Fixed per-message-and-side kernel cost of the enhanced marshalling layer, by
+// strategy: the original raw system has no such layer, the per-field systems pay
+// the section-3.5 costs, and the compiled-plan layer retains a small residual.
+inline uint64_t EnhancedMoveFixedCyclesFor(ConversionStrategy s) {
+  switch (s) {
+    case ConversionStrategy::kRaw:
+      return 0;
+    case ConversionStrategy::kPlan:
+      return kPlanMoveFixedCycles;
+    default:
+      return kEnhancedMoveFixedCycles;
+  }
+}
+inline uint64_t EnhancedInvokeFixedCyclesFor(ConversionStrategy s) {
+  switch (s) {
+    case ConversionStrategy::kRaw:
+      return 0;
+    case ConversionStrategy::kPlan:
+      return kPlanInvokeFixedCycles;
+    default:
+      return kEnhancedInvokeFixedCycles;
+  }
+}
 
 class WireWriter {
  public:
@@ -53,6 +83,9 @@ class WireWriter {
   void TaggedValue(const Value& v);
   // Raw bytes (no per-value conversion, copy cost only) — used for kRaw frame blits.
   void Blit(const uint8_t* data, size_t n);
+  // Bytes already converted by a compiled plan (src/conv): the plan executor
+  // charged the conversion, so the append itself is free.
+  void Converted(const uint8_t* data, size_t n);
 
   // Per-message bookkeeping: call once when the message is complete. Charges the
   // kFast setup cost (idempotent accounting is the caller's concern).
@@ -93,11 +126,18 @@ class WireReader {
   std::vector<Oid> OidList(size_t max_count);
   Value TaggedValue();
   void Blit(uint8_t* dst, size_t n);
+  // Counterpart of WireWriter::Converted: reads `n` plan-converted bytes without
+  // per-value charges. Returns false (failing the reader) on truncation.
+  bool Converted(uint8_t* dst, size_t n);
   void FinishMessage();
 
   bool AtEnd() const { return reader_.AtEnd(); }
   size_t remaining() const { return reader_.remaining(); }
   ConversionStrategy strategy() const { return strategy_; }
+  // The architecture the payload was written on. Raw (machine-blit) decoders
+  // reject payloads from another architecture: with the same-representation
+  // bypass, kRaw frames can appear in heterogeneous worlds.
+  Arch arch() const { return arch_; }
 
   // Sticky malformed-input flag. Decoders may also Fail() on semantic violations
   // (bad indices, kind mismatches) discovered while consuming the stream.

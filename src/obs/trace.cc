@@ -26,6 +26,7 @@ const char* const kPointNames[kNumTracePoints] = {
     "crash",         "restart",
     "sched-tick",    "sched-digest",  "sched-propose", "sched-veto",
     "sched-batch",
+    "plan-compile",  "plan-exec",     "rep-bypass",
 };
 
 uint64_t MixBits(uint64_t h, uint64_t v) {

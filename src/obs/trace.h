@@ -88,6 +88,11 @@ enum class TracePoint : uint8_t {
   kSchedPropose,  // peer = destination, a = object oid
   kSchedVeto,     // a = object oid, b = 0 hysteresis / 1 ping-pong / 2 collision
   kSchedBatch,    // peer = destination, a = batch size
+  // Compiled conversion plans (src/conv). The spans are emitted with the move's
+  // trace id and nest under its kPack/kUnpack span.
+  kPlanCompile,   // span: one plan compiled on a cache miss; a = op count
+  kPlanExec,      // span: one plan interpreter run; a = canonical bytes
+  kRepBypass,     // instant: negotiation chose the raw-blit path; peer = dest
   kCount,
 };
 

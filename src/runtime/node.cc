@@ -704,9 +704,7 @@ Node::TrapOutcome Node::HandleCall(Segment& seg, const ExecCtx& ctx, int site_in
   WriteStringSection(w, closure);
   w.FinishMessage();
   ChargeCycles(kInvokeFixedSourceCycles);
-  if (w.strategy() != ConversionStrategy::kRaw) {
-    ChargeCycles(kEnhancedInvokeFixedCycles);
-  }
+  ChargeCycles(EnhancedInvokeFixedCyclesFor(w.strategy()));
   meter_.counters().remote_invokes += 1;
   if (world_->sched() != nullptr) {
     world_->sched()->NoteRemoteOut(index_, ar.self, target.oid,
@@ -786,9 +784,7 @@ Node::TrapOutcome Node::HandleReturn(Segment& seg, const ExecCtx& ctx,
     msg.strategy = world_->strategy();
     msg.payload_arch = arch();
     msg.payload = w.Take();
-    if (w.strategy() != ConversionStrategy::kRaw) {
-      ChargeCycles(kEnhancedInvokeFixedCycles);
-    }
+    ChargeCycles(EnhancedInvokeFixedCyclesFor(w.strategy()));
     SendMessage(down.node, std::move(msg));
   } else if (has_main_thread_ && thread == main_thread_) {
     world_->SetFinished();

@@ -21,6 +21,7 @@
 #include "src/arch/cost_meter.h"
 #include "src/arch/machine.h"
 #include "src/compiler/compiled.h"
+#include "src/conv/plan_cache.h"
 #include "src/isa/microop.h"
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
@@ -46,6 +47,9 @@ class Node {
   OptLevel opt_level() const { return opt_; }
   CostMeter& meter() { return meter_; }
   const CostMeter& meter() const { return meter_; }
+  // Compiled conversion plans for this node's architecture (src/conv).
+  PlanCache& plans() { return plan_cache_; }
+  const PlanCache& plans() const { return plan_cache_; }
   // The node clock is *derived* from the cost meter, so every charged cycle —
   // including conversion work charged deep inside the wire codecs — advances
   // simulated time. Message delivery can only push the clock forward.
@@ -184,6 +188,10 @@ class Node {
   void RuntimeError(const std::string& message);
 
   // Mobility.
+  // The wire strategy a move to `dest_node` should use: the world strategy,
+  // except that under kPlan a representation-identical destination negotiates
+  // the raw-blit bypass (see MoveWireStrategy in node_mobility.cc).
+  ConversionStrategy MoveWireStrategy(int dest_node) const;
   bool PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched = false);
   bool PerformMoveBatch(const std::vector<Oid>& oids, int dest_node);
   std::vector<Segment> CutSegments(Oid obj_oid, int dest_node, Segment* current,
@@ -291,6 +299,7 @@ class Node {
   MachineModel machine_;
   OptLevel opt_;
   CostMeter meter_;
+  PlanCache plan_cache_;
   double clock_offset_us_ = 0.0;
 
   std::unordered_map<Oid, std::unique_ptr<EmObject>> heap_;

@@ -281,9 +281,7 @@ void Node::HandleInvoke(const Message& msg) {
     return;
   }
   ChargeCycles(kInvokeFixedDestCycles);
-  if (r.strategy() != ConversionStrategy::kRaw) {
-    ChargeCycles(kEnhancedInvokeFixedCycles);
-  }
+  ChargeCycles(EnhancedInvokeFixedCyclesFor(r.strategy()));
   if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
     world_->sched()->NoteRemoteIn(index_, target, msg.src_node);
   }
@@ -365,9 +363,7 @@ void Node::HandleReply(const Message& msg) {
     RuntimeError("malformed reply payload");
     return;
   }
-  if (r.strategy() != ConversionStrategy::kRaw) {
-    ChargeCycles(kEnhancedInvokeFixedCycles);
-  }
+  ChargeCycles(EnhancedInvokeFixedCyclesFor(r.strategy()));
 
   ActivationRecord& top = seg.Top();
   if (top.pending_call_site >= 0 && has_value) {
@@ -410,7 +406,8 @@ void Node::MarshalAr(const ActivationRecord& ar, bool blocked_monitor, WireWrite
   OptLevel sem = ar.pending_stop >= 0 ? ar.sem_opt : opt_;
   int stop = ar.pending_stop >= 0
                  ? ar.pending_stop
-                 : PcToStop(op.Code(arch(), opt_), ar.pc, blocked_monitor, &meter_);
+                 : PcToStop(op.Code(arch(), opt_), ar.pc, blocked_monitor, &meter_,
+                            w.strategy());
   w.U8(static_cast<uint8_t>(sem));
   w.U16(static_cast<uint16_t>(stop));
 
@@ -427,6 +424,8 @@ void Node::MarshalAr(const ActivationRecord& ar, bool blocked_monitor, WireWrite
     for (uint32_t reg : ar.regs) {
       w.U32(reg);
     }
+  } else if (w.strategy() == ConversionStrategy::kPlan) {
+    MarshalArCellsPlan(arch(), op, sem, ar, stop, plan_cache_, &meter_, w);
   } else {
     MarshalArCells(arch(), op, sem, ar, stop, w);
   }
@@ -506,7 +505,7 @@ ActivationRecord Node::UnmarshalAr(WireReader& r) {
   if (r.strategy() == ConversionStrategy::kRaw) {
     uint32_t pc = r.U32();
     uint16_t frame_size = r.U16();
-    if (!r.ok() || frame_size != ar.frame.size()) {
+    if (!r.ok() || r.arch() != arch() || frame_size != ar.frame.size()) {
       r.Fail();
       return ar;
     }
@@ -529,12 +528,18 @@ ActivationRecord Node::UnmarshalAr(WireReader& r) {
     }
     ar.sem_opt = opt_;
   } else {
-    UnmarshalArCells(arch(), op, ar, r);
+    if (r.strategy() == ConversionStrategy::kPlan) {
+      if (!UnmarshalArCellsPlan(arch(), op, sem, stop, ar, plan_cache_, &meter_, r)) {
+        return ar;
+      }
+    } else {
+      UnmarshalArCells(arch(), op, ar, r);
+    }
     if (!r.ok()) {
       return ar;
     }
     if (sem == opt_) {
-      ar.pc = StopToPc(op.Code(arch(), opt_), stop, &meter_);
+      ar.pc = StopToPc(op.Code(arch(), opt_), stop, &meter_, r.strategy());
       ar.sem_opt = opt_;
     } else {
       // Differently optimized source: synthesize bridging code (section 2.2.2).
@@ -712,6 +717,8 @@ void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
   if (w.strategy() == ConversionStrategy::kRaw) {
     w.U16(static_cast<uint16_t>(obj.fields.size()));
     w.Blit(obj.fields.data(), obj.fields.size());
+  } else if (w.strategy() == ConversionStrategy::kPlan) {
+    MarshalObjectFieldsPlan(arch(), *entry.cls, obj, plan_cache_, &meter_, w);
   } else {
     MarshalObjectFields(arch(), *entry.cls, obj, w);
   }
@@ -727,6 +734,28 @@ void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
   for (const Segment& seg : moving) {
     MarshalSegment(seg, w, closure);
   }
+}
+
+// Representation negotiation, piggybacked on the move handshake: node metadata
+// (architecture, optimization level) is world-visible, so the source resolves the
+// negotiation locally before packing — no extra round trip, mirroring how the
+// kNegotiate phase already carries the prepare/commit exchange. When both ends
+// share a representation under kPlan, the sender takes the receiver-makes-right
+// degenerate case: the "conversion" is the identity, so the wire carries the
+// kRaw machine blit and the receiver installs it without canonicalization.
+ConversionStrategy Node::MoveWireStrategy(int dest_node) const {
+  ConversionStrategy s = world_->strategy();
+  if (s != ConversionStrategy::kPlan || !world_->rep_bypass()) {
+    return s;
+  }
+  if (dest_node < 0 || dest_node >= world_->num_nodes()) {
+    return s;
+  }
+  const Node& peer = world_->node(dest_node);
+  if (peer.arch() == arch() && peer.opt_level() == opt_) {
+    return ConversionStrategy::kRaw;
+  }
+  return s;
 }
 
 bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched) {
@@ -746,18 +775,21 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched)
   std::vector<Segment> moving = CutSegments(obj_oid, dest_node, current, &thread_moved);
 
   // --- 2. Marshal object + fragments + string closure ---
+  ConversionStrategy ws = MoveWireStrategy(dest_node);
+  if (ws != world_->strategy()) {
+    meter_.counters().plan_bypasses += 1;
+    tracer.Instant(now_us(), index_, TracePoint::kRepBypass, trace_id, dest_node);
+  }
   tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
   ActiveTraceGuard pack_guard(&meter_, trace_id);
-  WireWriter w(world_->strategy(), arch(), &meter_);
+  WireWriter w(ws, arch(), &meter_);
   std::vector<Oid> closure;
   MarshalMoveMember(obj_oid, obj, w, moving, closure);
   WriteStringSection(w, closure);
   w.FinishMessage();
 
   ChargeCycles(kMoveFixedSourceCycles);
-  if (w.strategy() != ConversionStrategy::kRaw) {
-    ChargeCycles(kEnhancedMoveFixedCycles);
-  }
+  ChargeCycles(EnhancedMoveFixedCyclesFor(w.strategy()));
   meter_.counters().moves += 1;
   meter_.set_active_trace(pack_guard.prev);
   tracer.End(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
@@ -771,7 +803,7 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched)
     msg.src_node = index_;
     msg.route_oid = obj_oid;
     msg.trace_id = trace_id;
-    msg.strategy = world_->strategy();
+    msg.strategy = ws;
     msg.payload_arch = arch();
     msg.payload = w.Take();
     SendMessage(dest_node, std::move(msg));
@@ -816,7 +848,7 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched)
   msg.route_oid = obj_oid;
   msg.move_id = move_id;
   msg.trace_id = trace_id;
-  msg.strategy = world_->strategy();
+  msg.strategy = ws;
   msg.payload_arch = arch();
   msg.payload = w.Take();
   SendMessage(dest_node, std::move(msg));
@@ -848,9 +880,14 @@ bool Node::PerformMoveBatch(const std::vector<Oid>& oids, int dest_node) {
     moving[i] = CutSegments(oids[i], dest_node, nullptr, &thread_moved);
   }
 
+  ConversionStrategy ws = MoveWireStrategy(dest_node);
+  if (ws != world_->strategy()) {
+    meter_.counters().plan_bypasses += 1;
+    tracer.Instant(now_us(), index_, TracePoint::kRepBypass, trace_id, dest_node);
+  }
   tracer.Begin(now_us(), index_, TracePoint::kPack, trace_id, dest_node);
   ActiveTraceGuard pack_guard(&meter_, trace_id);
-  WireWriter w(world_->strategy(), arch(), &meter_);
+  WireWriter w(ws, arch(), &meter_);
   std::vector<Oid> closure;
   w.U16(static_cast<uint16_t>(oids.size()));
   for (size_t i = 0; i < oids.size(); ++i) {
@@ -858,9 +895,7 @@ bool Node::PerformMoveBatch(const std::vector<Oid>& oids, int dest_node) {
     HETM_CHECK(obj != nullptr && !obj->is_string);
     MarshalMoveMember(oids[i], *obj, w, moving[i], closure);
     ChargeCycles(kMoveFixedSourceCycles);
-    if (w.strategy() != ConversionStrategy::kRaw) {
-      ChargeCycles(kEnhancedMoveFixedCycles);
-    }
+    ChargeCycles(EnhancedMoveFixedCyclesFor(w.strategy()));
     meter_.counters().moves += 1;
   }
   WriteStringSection(w, closure);
@@ -909,7 +944,7 @@ bool Node::PerformMoveBatch(const std::vector<Oid>& oids, int dest_node) {
   msg.route_oid = pm.obj;
   msg.move_id = move_id;
   msg.trace_id = trace_id;
-  msg.strategy = world_->strategy();
+  msg.strategy = ws;
   msg.payload_arch = arch();
   msg.payload = w.Take();
   SendMessage(dest_node, std::move(msg));
@@ -975,13 +1010,22 @@ void Node::HandleMoveObject(const Message& msg) {
   obj->monitor.depth = mon_depth;
   obj->monitor.owner = mon_owner;
   if (r.strategy() == ConversionStrategy::kRaw) {
+    // Machine blit: only meaningful when the payload was written on this very
+    // representation (homogeneous world, or the negotiated bypass).
     uint16_t size = r.U16();
-    if (size != MakeFieldImage(arch(), *entry->cls).size()) {
+    if (r.arch() != arch() || size != MakeFieldImage(arch(), *entry->cls).size()) {
       RuntimeError("malformed move payload");
       return;
     }
     obj->fields.assign(size, 0);
     r.Blit(obj->fields.data(), size);
+  } else if (r.strategy() == ConversionStrategy::kPlan) {
+    obj->fields = MakeFieldImage(arch(), *entry->cls);
+    if (!UnmarshalObjectFieldsPlan(arch(), *entry->cls, *obj, plan_cache_, &meter_,
+                                   r)) {
+      RuntimeError("malformed move payload");
+      return;
+    }
   } else {
     obj->fields = MakeFieldImage(arch(), *entry->cls);
     UnmarshalObjectFields(arch(), *entry->cls, *obj, r);
@@ -1019,9 +1063,7 @@ void Node::HandleMoveObject(const Message& msg) {
     InstallSegment(std::move(seg));
   }
   ChargeCycles(kMoveFixedDestCycles);
-  if (r.strategy() != ConversionStrategy::kRaw) {
-    ChargeCycles(kEnhancedMoveFixedCycles);
-  }
+  ChargeCycles(EnhancedMoveFixedCyclesFor(r.strategy()));
   meter_.set_active_trace(unpack_guard.prev);
   if (msg.trace_id != 0) {
     tracer.End(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
@@ -1098,11 +1140,17 @@ bool Node::DecodeMoveMember(WireReader& r, DecodedMember* out) {
   obj->monitor.owner = mon_owner;
   if (r.strategy() == ConversionStrategy::kRaw) {
     uint16_t size = r.U16();
-    if (size != MakeFieldImage(arch(), *entry->cls).size()) {
+    if (r.arch() != arch() || size != MakeFieldImage(arch(), *entry->cls).size()) {
       return false;
     }
     obj->fields.assign(size, 0);
     r.Blit(obj->fields.data(), size);
+  } else if (r.strategy() == ConversionStrategy::kPlan) {
+    obj->fields = MakeFieldImage(arch(), *entry->cls);
+    if (!UnmarshalObjectFieldsPlan(arch(), *entry->cls, *obj, plan_cache_, &meter_,
+                                   r)) {
+      return false;
+    }
   } else {
     obj->fields = MakeFieldImage(arch(), *entry->cls);
     UnmarshalObjectFields(arch(), *entry->cls, *obj, r);
@@ -1191,9 +1239,7 @@ void Node::HandleMoveBatch(const Message& msg) {
       InstallSegment(std::move(s));
     }
     ChargeCycles(kMoveFixedDestCycles);
-    if (r.strategy() != ConversionStrategy::kRaw) {
-      ChargeCycles(kEnhancedMoveFixedCycles);
-    }
+    ChargeCycles(EnhancedMoveFixedCyclesFor(r.strategy()));
   }
   meter_.set_active_trace(unpack_guard.prev);
   if (msg.trace_id != 0) {

@@ -208,6 +208,12 @@ void World::ExportMetrics() {
       {"conv_calls", &CostCounters::conv_calls},
       {"conv_bytes", &CostCounters::conv_bytes},
       {"busstop_lookups", &CostCounters::busstop_lookups},
+      {"plan_hits", &CostCounters::plan_hits},
+      {"plan_misses", &CostCounters::plan_misses},
+      {"plan_evictions", &CostCounters::plan_evictions},
+      {"plan_execs", &CostCounters::plan_execs},
+      {"plan_ops", &CostCounters::plan_ops},
+      {"plan_bypasses", &CostCounters::plan_bypasses},
       {"messages_sent", &CostCounters::messages_sent},
       {"bytes_sent", &CostCounters::bytes_sent},
       {"moves", &CostCounters::moves},

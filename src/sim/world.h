@@ -32,7 +32,9 @@ class World {
   // `strategy` selects the system variant: kRaw is the original homogeneous Emerald
   // (machine-dependent blits; all nodes must share one architecture and optimization
   // level), kNaive the enhanced heterogeneous system as the paper built it, kFast
-  // the enhanced system with the optimized conversion routines the paper projects.
+  // the enhanced system with the optimized conversion routines the paper projects,
+  // kPlan the compiled conversion-plan engine (src/conv) with the
+  // same-representation bypass (see set_rep_bypass).
   explicit World(ConversionStrategy strategy = ConversionStrategy::kNaive);
   ~World();
 
@@ -75,6 +77,14 @@ class World {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   CodeRegistry& code() { return code_; }
   ConversionStrategy strategy() const { return strategy_; }
+
+  // Same-representation bypass (kPlan only): when a move's source and
+  // destination agree on architecture and schedule, the handshake negotiates
+  // the raw-blit path and skips canonicalization entirely. On by default;
+  // turning it off forces every kPlan move through plan conversion
+  // (bench_conversion's plan-vs-bypass comparison).
+  void set_rep_bypass(bool on) { rep_bypass_ = on; }
+  bool rep_bypass() const { return rep_bypass_; }
 
   // Structured observability (src/obs): the typed event tracer and the metrics
   // registry every layer reports into. Always present; Tracer::set_enabled(false)
@@ -123,6 +133,7 @@ class World {
   void Dispatch(const Event& ev);
 
   ConversionStrategy strategy_;
+  bool rep_bypass_ = true;
   Tracer tracer_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -1,0 +1,197 @@
+// Plan-cache churn: LRU eviction/refill determinism, hit/miss/eviction
+// accounting, and stale-plan invalidation when the program database redefines a
+// template under a reused code OID.
+#include "src/conv/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiler.h"
+#include "src/compiler/program_db.h"
+#include "src/mobility/object_codec.h"
+
+namespace hetm {
+namespace {
+
+// Compiles `n` distinct single-class programs in one shared database (distinct
+// program names => distinct code OIDs), each with a different field mix, and
+// returns their classes (keeping the programs alive via `keep`).
+std::vector<const CompiledClass*> DistinctClasses(
+    int n, std::vector<std::shared_ptr<const CompiledProgram>>* keep) {
+  static ProgramDatabase db;
+  std::vector<const CompiledClass*> out;
+  for (int i = 0; i < n; ++i) {
+    std::ostringstream src;
+    src << "class C\n";
+    for (int f = 0; f <= i; ++f) {
+      src << "  var f" << f << (f % 2 == 0 ? ": Int\n" : ": Real\n");
+    }
+    src << "end\nmain\nend\n";
+    CompileResult r = CompileSource(src.str(), "prog" + std::to_string(i), db);
+    EXPECT_TRUE(r.ok());
+    keep->push_back(r.program);
+    for (const auto& cls : r.program->classes) {
+      if (cls->name == "C") {
+        out.push_back(cls.get());
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvPlanCache, HitsServeTheSamePlanObject) {
+  std::vector<std::shared_ptr<const CompiledProgram>> keep;
+  auto classes = DistinctClasses(1, &keep);
+  PlanCache cache;
+  CostMeter meter{SparcStationSlc()};
+  auto compile = [&] { return CompileObjectPlan(*classes[0], Arch::kSparc32); };
+  auto a = cache.GetOrCompile(ObjectPlanKey(*classes[0], Arch::kSparc32), &meter,
+                              compile);
+  auto b = cache.GetOrCompile(ObjectPlanKey(*classes[0], Arch::kSparc32), &meter,
+                              compile);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ConvPlanCache, CompileCostIsChargedOnlyOnMiss) {
+  std::vector<std::shared_ptr<const CompiledProgram>> keep;
+  auto classes = DistinctClasses(1, &keep);
+  PlanCache cache;
+  CostMeter meter{SparcStationSlc()};
+  auto compile = [&] { return CompileObjectPlan(*classes[0], Arch::kVax32); };
+  PlanKey key = ObjectPlanKey(*classes[0], Arch::kVax32);
+  uint64_t before = meter.cycles();
+  auto plan = cache.GetOrCompile(key, &meter, compile);
+  uint64_t miss_cost = meter.cycles() - before;
+  EXPECT_EQ(miss_cost, plan->compile_cycles);
+  before = meter.cycles();
+  cache.GetOrCompile(key, &meter, compile);
+  EXPECT_EQ(meter.cycles() - before, 0u);
+}
+
+TEST(ConvPlanCache, EvictionAndRefillReturnIdenticalPlans) {
+  std::vector<std::shared_ptr<const CompiledProgram>> keep;
+  auto classes = DistinctClasses(4, &keep);
+  PlanCache cache(/*capacity=*/2);
+  CostMeter meter{SparcStationSlc()};
+
+  std::vector<ConversionPlan> first;
+  for (const CompiledClass* cls : classes) {
+    first.push_back(*cache.GetOrCompile(
+        ObjectPlanKey(*cls, Arch::kM68k), &meter,
+        [&] { return CompileObjectPlan(*cls, Arch::kM68k); }));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // Refill the evicted entries: recompilation is deterministic, the plans are
+  // structurally identical to the first generation.
+  for (size_t i = 0; i < classes.size(); ++i) {
+    auto again = cache.GetOrCompile(
+        ObjectPlanKey(*classes[i], Arch::kM68k), &meter,
+        [&] { return CompileObjectPlan(*classes[i], Arch::kM68k); });
+    EXPECT_TRUE(again->SameOps(first[i])) << "class " << i;
+    EXPECT_EQ(again->template_hash, first[i].template_hash);
+  }
+}
+
+TEST(ConvPlanCache, LruOrderPrefersRecentlyUsedEntries) {
+  std::vector<std::shared_ptr<const CompiledProgram>> keep;
+  auto classes = DistinctClasses(3, &keep);
+  PlanCache cache(/*capacity=*/2);
+  CostMeter meter{SparcStationSlc()};
+  auto get = [&](int i) {
+    return cache.GetOrCompile(ObjectPlanKey(*classes[i], Arch::kSparc32), &meter, [&] {
+      return CompileObjectPlan(*classes[i], Arch::kSparc32);
+    });
+  };
+  get(0);
+  get(1);
+  get(0);        // 0 is now MRU
+  get(2);        // evicts 1, not 0
+  uint64_t h = cache.hits();
+  get(0);        // still resident
+  EXPECT_EQ(cache.hits(), h + 1);
+  get(1);        // was evicted: a miss
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(ConvPlanCache, SetCapacityShrinksImmediately) {
+  std::vector<std::shared_ptr<const CompiledProgram>> keep;
+  auto classes = DistinctClasses(4, &keep);
+  PlanCache cache;
+  CostMeter meter{SparcStationSlc()};
+  for (const CompiledClass* cls : classes) {
+    cache.GetOrCompile(ObjectPlanKey(*cls, Arch::kVax32), &meter,
+                       [&] { return CompileObjectPlan(*cls, Arch::kVax32); });
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  cache.SetCapacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(ConvPlanCache, RedefinedTemplateInvalidatesTheCachedPlan) {
+  // The program database reuses a code OID when a same-named program is
+  // recompiled — the repository model of section 3.4. The plan cache must not
+  // serve the old layout's plan for the new class.
+  ProgramDatabase db;
+  CompileResult v1 = CompileSource(R"(
+    class C
+      var a: Int
+    end
+    main
+    end
+  )", "prog", db);
+  ASSERT_TRUE(v1.ok());
+  const CompiledClass* cls1 = nullptr;
+  for (const auto& cls : v1.program->classes) {
+    if (cls->name == "C") cls1 = cls.get();
+  }
+  ASSERT_NE(cls1, nullptr);
+
+  PlanCache cache;
+  CostMeter meter{SparcStationSlc()};
+  auto plan1 = cache.GetOrCompile(ObjectPlanKey(*cls1, Arch::kVax32), &meter, [&] {
+    return CompileObjectPlan(*cls1, Arch::kVax32);
+  });
+  EXPECT_EQ(cache.size(), 1u);
+
+  CompileResult v2 = CompileSource(R"(
+    class C
+      var a: Real
+      var b: Int
+    end
+    main
+    end
+  )", "prog", db);
+  ASSERT_TRUE(v2.ok());
+  const CompiledClass* cls2 = nullptr;
+  for (const auto& cls : v2.program->classes) {
+    if (cls->name == "C") cls2 = cls.get();
+  }
+  ASSERT_NE(cls2, nullptr);
+  ASSERT_EQ(cls2->code_oid, cls1->code_oid);  // the OID really was reused
+
+  // Different content, same identity: the lookup misses, recompiles, and drops
+  // the stale entry instead of letting it linger until LRU pressure.
+  PlanKey key2 = ObjectPlanKey(*cls2, Arch::kVax32);
+  EXPECT_NE(key2.template_hash, ObjectPlanKey(*cls1, Arch::kVax32).template_hash);
+  auto plan2 = cache.GetOrCompile(key2, &meter, [&] {
+    return CompileObjectPlan(*cls2, Arch::kVax32);
+  });
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(plan2->SameOps(*plan1));
+  EXPECT_EQ(plan2->machine_bytes, MakeFieldImage(Arch::kVax32, *cls2).size());
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,507 @@
+// Compiled conversion plans (src/conv): differential equivalence against the
+// naive per-field converters, structural plan invariants, the
+// same-representation bypass, and malformed-input robustness.
+#include "src/conv/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiler.h"
+#include "src/conv/plan_cache.h"
+#include "src/emerald/system.h"
+#include "src/mobility/ar_codec.h"
+#include "src/mobility/object_codec.h"
+
+namespace hetm {
+namespace {
+
+constexpr Arch kAllArchs[] = {Arch::kVax32, Arch::kM68k, Arch::kSparc32};
+
+// ---------------------------------------------------------------------------
+// Randomized object templates: plan path == naive path, all 9 arch pairs
+// ---------------------------------------------------------------------------
+
+const char* const kKindNames[] = {"Int", "Real", "Bool", "String", "Ref", "Node"};
+const ValueKind kKinds[] = {ValueKind::kInt, ValueKind::kBool, ValueKind::kReal,
+                            ValueKind::kStr, ValueKind::kRef,  ValueKind::kNode};
+
+std::string RandomClassSource(std::mt19937& rng, int num_fields,
+                              std::vector<ValueKind>* kinds) {
+  std::ostringstream src;
+  src << "class R\n";
+  std::uniform_int_distribution<int> pick(0, 5);
+  for (int f = 0; f < num_fields; ++f) {
+    ValueKind k = kKinds[pick(rng)];
+    kinds->push_back(k);
+    src << "  var f" << f << ": " << kKindNames[static_cast<int>(k)] << "\n";
+  }
+  src << "end\nmain\nend\n";
+  return src.str();
+}
+
+Value RandomValue(std::mt19937& rng, ValueKind kind) {
+  std::uniform_int_distribution<uint32_t> word;
+  switch (kind) {
+    case ValueKind::kInt:
+      return Value::Int(static_cast<int32_t>(word(rng)));
+    case ValueKind::kBool:
+      return Value::Bool(word(rng) % 2 == 1);
+    case ValueKind::kReal: {
+      // Values exactly representable in both VAX-D and IEEE double.
+      double mant = static_cast<double>(word(rng) % 100000) / 64.0;
+      return Value::Real(word(rng) % 2 == 0 ? mant : -mant);
+    }
+    case ValueKind::kStr:
+      return Value::Str(0x30000000u + word(rng) % 0x1000);
+    case ValueKind::kRef:
+      return Value::Ref(0x40000000u + word(rng) % 0x1000);
+    case ValueKind::kNode:
+      return Value::NodeRef(NodeOid(static_cast<int>(word(rng) % 8)));
+  }
+  return Value();
+}
+
+const CompiledClass& FindClass(const CompiledProgram& program, const std::string& name) {
+  for (const auto& cls : program.classes) {
+    if (cls->name == name) {
+      return *cls;
+    }
+  }
+  HETM_UNREACHABLE("class not found");
+}
+
+TEST(ConvPlanDifferential, RandomObjectTemplatesMatchNaiveOnEveryArchPair) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int round = 0; round < 12; ++round) {
+    std::vector<ValueKind> kinds;
+    int num_fields = 1 + static_cast<int>(rng() % 10);
+    std::string source = RandomClassSource(rng, num_fields, &kinds);
+    CompileResult cr = CompileSource(source);
+    ASSERT_TRUE(cr.ok()) << source;
+    const CompiledClass& cls = FindClass(*cr.program, "R");
+
+    std::vector<Value> vals;
+    vals.reserve(kinds.size());
+    for (ValueKind k : kinds) {
+      vals.push_back(RandomValue(rng, k));
+    }
+
+    for (Arch src : kAllArchs) {
+      EmObject obj;
+      obj.fields = MakeFieldImage(src, cls);
+      for (size_t f = 0; f < vals.size(); ++f) {
+        WriteFieldValue(src, cls, obj, static_cast<int>(f), vals[f]);
+      }
+      CostMeter meter{SparcStationSlc()};
+      PlanCache src_plans;
+
+      WireWriter pw(ConversionStrategy::kPlan, src, &meter);
+      MarshalObjectFieldsPlan(src, cls, obj, src_plans, &meter, pw);
+      std::vector<uint8_t> plan_bytes = pw.Take();
+
+      WireWriter nw(ConversionStrategy::kNaive, src, &meter);
+      MarshalObjectFields(src, cls, obj, nw);
+      std::vector<uint8_t> naive_bytes = nw.Take();
+
+      for (Arch dst : kAllArchs) {
+        PlanCache dst_plans;
+        EmObject via_plan;
+        via_plan.fields = MakeFieldImage(dst, cls);
+        WireReader pr(ConversionStrategy::kPlan, src, &meter, plan_bytes);
+        ASSERT_TRUE(UnmarshalObjectFieldsPlan(dst, cls, via_plan, dst_plans, &meter, pr))
+            << ArchName(src) << "->" << ArchName(dst) << "\n" << source;
+        EXPECT_TRUE(pr.AtEnd());
+
+        EmObject via_naive;
+        via_naive.fields = MakeFieldImage(dst, cls);
+        WireReader nr(ConversionStrategy::kNaive, src, &meter, naive_bytes);
+        UnmarshalObjectFields(dst, cls, via_naive, nr);
+        ASSERT_TRUE(nr.ok());
+
+        // The destination images must be byte-identical, not just value-equal.
+        EXPECT_EQ(via_plan.fields, via_naive.fields)
+            << ArchName(src) << "->" << ArchName(dst) << "\n" << source;
+      }
+    }
+  }
+}
+
+// Same representation on both sides: the plan round trip reproduces the machine
+// image bit-for-bit, i.e. plan conversion composes to the identity the bypass
+// exploits by blitting.
+TEST(ConvPlanDifferential, SameArchPlanRoundTripEqualsRawBlit) {
+  std::mt19937 rng(0xBEEF);
+  std::vector<ValueKind> kinds;
+  std::string source = RandomClassSource(rng, 8, &kinds);
+  CompileResult cr = CompileSource(source);
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "R");
+
+  for (Arch arch : kAllArchs) {
+    EmObject obj;
+    obj.fields = MakeFieldImage(arch, cls);
+    for (size_t f = 0; f < kinds.size(); ++f) {
+      WriteFieldValue(arch, cls, obj, static_cast<int>(f), RandomValue(rng, kinds[f]));
+    }
+    CostMeter meter{SparcStationSlc()};
+    PlanCache plans;
+    WireWriter w(ConversionStrategy::kPlan, arch, &meter);
+    MarshalObjectFieldsPlan(arch, cls, obj, plans, &meter, w);
+    std::vector<uint8_t> bytes = w.Take();
+
+    EmObject back;
+    back.fields = MakeFieldImage(arch, cls);
+    WireReader r(ConversionStrategy::kPlan, arch, &meter, bytes);
+    ASSERT_TRUE(UnmarshalObjectFieldsPlan(arch, cls, back, plans, &meter, r));
+    EXPECT_EQ(back.fields, obj.fields) << ArchName(arch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural invariants
+// ---------------------------------------------------------------------------
+
+// Bytes of the machine image a plan op accounts for.
+uint32_t MachineBytesOf(const PlanOp& op) {
+  switch (op.kind) {
+    case PlanOpKind::kCopy:
+    case PlanOpKind::kSkip:
+      return op.n;
+    case PlanOpKind::kSwap16:
+      return op.n * 2;
+    case PlanOpKind::kSwap32:
+      return op.n * 4;
+    case PlanOpKind::kSwap64:
+      return op.n * 8;
+    case PlanOpKind::kF64:
+      return 8;
+    case PlanOpKind::kReg32:
+      return 0;  // register traffic, no frame bytes
+  }
+  return 0;
+}
+
+TEST(ConvPlanInvariants, ObjectPlansWalkTheWholeMachineImage) {
+  std::mt19937 rng(0x5EED);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<ValueKind> kinds;
+    std::string source = RandomClassSource(rng, 1 + static_cast<int>(rng() % 12), &kinds);
+    CompileResult cr = CompileSource(source);
+    ASSERT_TRUE(cr.ok());
+    const CompiledClass& cls = FindClass(*cr.program, "R");
+    for (Arch arch : kAllArchs) {
+      ConversionPlan plan = CompileObjectPlan(cls, arch);
+      uint32_t walked = 0;
+      for (const PlanOp& op : plan.ops) {
+        walked += MachineBytesOf(op);
+      }
+      EXPECT_EQ(walked, plan.machine_bytes) << ArchName(arch) << "\n" << source;
+      EXPECT_EQ(plan.machine_bytes, MakeFieldImage(arch, cls).size());
+      EXPECT_EQ(plan.template_hash, ObjectTemplateHash(cls, arch));
+      EXPECT_GT(plan.compile_cycles, 0u);
+    }
+  }
+}
+
+TEST(ConvPlanInvariants, CoalescingMergesAdjacentSameRepresentationFields) {
+  // Ten Ints on a big-endian arch are one 40-byte COPY; on VAX one 10-word swap.
+  CompileResult cr = CompileSource(R"(
+    class Flat
+      var a: Int
+      var b: Int
+      var c: Int
+      var d: Int
+      var e: Int
+      var f: Int
+      var g: Int
+      var h: Int
+      var i: Int
+      var j: Int
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "Flat");
+  ConversionPlan big = CompileObjectPlan(cls, Arch::kSparc32);
+  ASSERT_EQ(big.ops.size(), 1u);
+  EXPECT_EQ(big.ops[0].kind, PlanOpKind::kCopy);
+  EXPECT_EQ(big.ops[0].n, 40u);
+  ConversionPlan little = CompileObjectPlan(cls, Arch::kVax32);
+  ASSERT_EQ(little.ops.size(), 1u);
+  EXPECT_EQ(little.ops[0].kind, PlanOpKind::kSwap32);
+  EXPECT_EQ(little.ops[0].n, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Activation records: plan path == naive path with a real compiled program
+// ---------------------------------------------------------------------------
+
+const char* kArProgram = R"(
+  class T
+    var f: Int
+    op op1(p1: Int, p2: Real, p3: Bool, p4: Ref): Int
+      var l1: Int := p1 * 2
+      var l2: Real := p2 + 1.0
+      var l3: String := "state"
+      print l3
+      return l1
+    end
+  end
+  main
+  end
+)";
+
+TEST(ConvPlanDifferential, ArPlanMatchesNaivePathOnEveryArchPair) {
+  CompileResult cr = CompileSource(kArProgram);
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "T");
+  const OpInfo& op = cls.ops[0];
+  const IrFunction& fn = op.ir[0];
+
+  for (Arch src : kAllArchs) {
+    ActivationRecord sar = MakeActivation(src, cls.code_oid, 0, op, 0x40000001);
+    WriteCellValue(src, op, sar, 0, Value::Int(-777));
+    WriteCellValue(src, op, sar, 1, Value::Real(1.0 / 1024.0));
+    WriteCellValue(src, op, sar, 2, Value::Bool(true));
+    WriteCellValue(src, op, sar, 3, Value::Ref(0x40ABCDEF));
+
+    CostMeter meter{SparcStationSlc()};
+    PlanCache src_plans;
+    WireWriter pw(ConversionStrategy::kPlan, src, &meter);
+    MarshalArCellsPlan(src, op, OptLevel::kO0, sar, /*stop=*/0, src_plans, &meter, pw);
+    std::vector<uint8_t> plan_bytes = pw.Take();
+
+    WireWriter nw(ConversionStrategy::kNaive, src, &meter);
+    MarshalArCells(src, op, OptLevel::kO0, sar, /*stop=*/0, nw);
+    std::vector<uint8_t> naive_bytes = nw.Take();
+
+    for (Arch dst : kAllArchs) {
+      PlanCache dst_plans;
+      ActivationRecord via_plan = MakeActivation(dst, cls.code_oid, 0, op, 0x40000001);
+      WireReader pr(ConversionStrategy::kPlan, src, &meter, plan_bytes);
+      ASSERT_TRUE(UnmarshalArCellsPlan(dst, op, OptLevel::kO0, /*stop=*/0, via_plan,
+                                       dst_plans, &meter, pr))
+          << ArchName(src) << "->" << ArchName(dst);
+      EXPECT_TRUE(pr.AtEnd());
+
+      ActivationRecord via_naive = MakeActivation(dst, cls.code_oid, 0, op, 0x40000001);
+      WireReader nr(ConversionStrategy::kNaive, src, &meter, naive_bytes);
+      UnmarshalArCells(dst, op, via_naive, nr);
+      ASSERT_TRUE(nr.ok());
+
+      for (size_t c = 0; c < fn.cells.size(); ++c) {
+        if (!fn.CellLiveAtStop(0, static_cast<int>(c))) {
+          continue;
+        }
+        Value a = ReadCellValue(dst, op, via_plan, static_cast<int>(c));
+        Value b = ReadCellValue(dst, op, via_naive, static_cast<int>(c));
+        EXPECT_EQ(a.kind, b.kind) << "cell " << c;
+        EXPECT_EQ(a.i, b.i) << "cell " << c;
+        EXPECT_EQ(a.r, b.r) << "cell " << c;
+        EXPECT_EQ(a.oid, b.oid) << "cell " << c;
+      }
+    }
+  }
+}
+
+TEST(ConvPlanInvariants, ArPlansWalkTheWholeFrame) {
+  CompileResult cr = CompileSource(kArProgram);
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "T");
+  const OpInfo& op = cls.ops[0];
+  for (Arch arch : kAllArchs) {
+    int num_stops = static_cast<int>(op.Code(arch, OptLevel::kO0).stops.size());
+    for (int stop = 0; stop < num_stops; ++stop) {
+      ConversionPlan plan = CompileArPlan(op, OptLevel::kO0, stop, arch);
+      uint32_t walked = 0;
+      for (const PlanOp& p : plan.ops) {
+        walked += MachineBytesOf(p);
+      }
+      EXPECT_EQ(walked, plan.machine_bytes)
+          << ArchName(arch) << " stop " << stop;
+      EXPECT_EQ(plan.machine_bytes,
+                static_cast<uint32_t>(op.frame_bytes[static_cast<int>(arch)]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System level: kPlan worlds behave like kNaive worlds; the bypass engages
+// ---------------------------------------------------------------------------
+
+const char* kTourProgram = R"(
+  class Kilroy
+    var hops: Int
+    op visit(): Int
+      var tag: String := "kilroy"
+      var pi: Real := 3.140625
+      move self to nodeat(1)
+      hops := hops + 1
+      move self to nodeat(0)
+      hops := hops + 1
+      print tag
+      print pi
+      return hops
+    end
+  end
+  main
+    var k: Ref := new Kilroy
+    print k.visit()
+  end
+)";
+
+TEST(ConvPlanSystem, HeterogeneousPlanWorldMatchesNaiveOutput) {
+  EmeraldSystem naive(ConversionStrategy::kNaive);
+  naive.AddNode(SparcStationSlc());
+  naive.AddNode(VaxStation4000());
+  ASSERT_TRUE(naive.Load(kTourProgram));
+  ASSERT_TRUE(naive.Run()) << naive.error();
+
+  EmeraldSystem plan(ConversionStrategy::kPlan);
+  plan.AddNode(SparcStationSlc());
+  plan.AddNode(VaxStation4000());
+  ASSERT_TRUE(plan.Load(kTourProgram));
+  ASSERT_TRUE(plan.Run()) << plan.error();
+
+  EXPECT_EQ(plan.output(), naive.output());
+  // Heterogeneous endpoints: every move really executed plans, never the bypass.
+  uint64_t execs = 0, bypasses = 0, misses = 0, hits = 0;
+  for (int n = 0; n < plan.world().num_nodes(); ++n) {
+    const CostCounters& c = plan.node(n).meter().counters();
+    execs += c.plan_execs;
+    bypasses += c.plan_bypasses;
+    misses += c.plan_misses;
+    hits += c.plan_hits;
+  }
+  EXPECT_GT(execs, 0u);
+  EXPECT_GT(misses, 0u);
+  EXPECT_GT(hits, 0u);  // the return hop reuses the outbound hop's plans
+  EXPECT_EQ(bypasses, 0u);
+}
+
+TEST(ConvPlanSystem, SameRepresentationMovesTakeTheRawBypass) {
+  EmeraldSystem raw(ConversionStrategy::kRaw);
+  raw.AddNode(SparcStationSlc());
+  raw.AddNode(SparcStationSlc());
+  ASSERT_TRUE(raw.Load(kTourProgram));
+  ASSERT_TRUE(raw.Run()) << raw.error();
+
+  EmeraldSystem plan(ConversionStrategy::kPlan);
+  plan.AddNode(SparcStationSlc());
+  plan.AddNode(SparcStationSlc());
+  ASSERT_TRUE(plan.Load(kTourProgram));
+  ASSERT_TRUE(plan.Run()) << plan.error();
+
+  EXPECT_EQ(plan.output(), raw.output());
+  uint64_t execs = 0, bypasses = 0;
+  for (int n = 0; n < plan.world().num_nodes(); ++n) {
+    const CostCounters& c = plan.node(n).meter().counters();
+    execs += c.plan_execs;
+    bypasses += c.plan_bypasses;
+  }
+  // Both moves (out and back) negotiated the identity representation.
+  EXPECT_EQ(bypasses, 2u);
+  EXPECT_EQ(execs, 0u);
+}
+
+TEST(ConvPlanSystem, BypassDisabledForcesPlanConversion) {
+  EmeraldSystem plan(ConversionStrategy::kPlan);
+  plan.world().set_rep_bypass(false);
+  plan.AddNode(SparcStationSlc());
+  plan.AddNode(SparcStationSlc());
+  ASSERT_TRUE(plan.Load(kTourProgram));
+  ASSERT_TRUE(plan.Run()) << plan.error();
+
+  uint64_t execs = 0, bypasses = 0;
+  for (int n = 0; n < plan.world().num_nodes(); ++n) {
+    const CostCounters& c = plan.node(n).meter().counters();
+    execs += c.plan_execs;
+    bypasses += c.plan_bypasses;
+  }
+  EXPECT_EQ(bypasses, 0u);
+  EXPECT_GT(execs, 0u);
+}
+
+TEST(ConvPlanSystem, MixedOptLevelsDoNotBypass) {
+  // Same architecture but different schedules is NOT the same representation:
+  // frame layouts and live sets differ, so the bypass must stay off.
+  EmeraldSystem plan(ConversionStrategy::kPlan);
+  plan.AddNode(SparcStationSlc(), OptLevel::kO0);
+  plan.AddNode(SparcStationSlc(), OptLevel::kO1);
+  ASSERT_TRUE(plan.Load(kTourProgram));
+  ASSERT_TRUE(plan.Run()) << plan.error();
+
+  uint64_t bypasses = 0;
+  for (int n = 0; n < plan.world().num_nodes(); ++n) {
+    bypasses += plan.node(n).meter().counters().plan_bypasses;
+  }
+  EXPECT_EQ(bypasses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: truncated / corrupt plan payloads fail cleanly
+// ---------------------------------------------------------------------------
+
+TEST(ConvPlanRobustness, TruncatedPayloadFailsTheReader) {
+  CompileResult cr = CompileSource(R"(
+    class P
+      var a: Int
+      var b: Real
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "P");
+  CostMeter meter{SparcStationSlc()};
+  PlanCache plans;
+  EmObject obj;
+  obj.fields = MakeFieldImage(Arch::kSparc32, cls);
+  WriteFieldValue(Arch::kSparc32, cls, obj, 0, Value::Int(42));
+  WriteFieldValue(Arch::kSparc32, cls, obj, 1, Value::Real(2.5));
+  WireWriter w(ConversionStrategy::kPlan, Arch::kSparc32, &meter);
+  MarshalObjectFieldsPlan(Arch::kSparc32, cls, obj, plans, &meter, w);
+  std::vector<uint8_t> bytes = w.Take();
+
+  // Every strict prefix must be rejected without crashing or installing state.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EmObject dst;
+    dst.fields = MakeFieldImage(Arch::kVax32, cls);
+    WireReader r(ConversionStrategy::kPlan, Arch::kSparc32, &meter, trunc);
+    EXPECT_FALSE(UnmarshalObjectFieldsPlan(Arch::kVax32, cls, dst, plans, &meter, r))
+        << "cut " << cut;
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(ConvPlanRobustness, WrongCanonicalSizeIsRejected) {
+  CompileResult cr = CompileSource(R"(
+    class P
+      var a: Int
+    end
+    main
+    end
+  )");
+  ASSERT_TRUE(cr.ok());
+  const CompiledClass& cls = FindClass(*cr.program, "P");
+  CostMeter meter{SparcStationSlc()};
+  PlanCache plans;
+  // A block claiming more canonical bytes than the plan expects.
+  std::vector<uint8_t> bogus(2 + 0x40, 0xAB);
+  bogus[0] = 0x00;
+  bogus[1] = 0x40;
+  EmObject dst;
+  dst.fields = MakeFieldImage(Arch::kSparc32, cls);
+  WireReader r(ConversionStrategy::kPlan, Arch::kSparc32, &meter, bogus);
+  EXPECT_FALSE(UnmarshalObjectFieldsPlan(Arch::kSparc32, cls, dst, plans, &meter, r));
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace hetm
