@@ -66,7 +66,8 @@ void BM_PcToStopBinary(benchmark::State& state) {
   }
   size_t i = 0;
   for (auto _ : state) {
-    int stop = PcToStop(code, pcs[i++ % pcs.size()], false, nullptr);
+    int stop = PcToStop(code, pcs[i++ % pcs.size()], false, nullptr,
+                         ConversionStrategy::kNaive);
     benchmark::DoNotOptimize(stop);
   }
   state.counters["table_entries"] = static_cast<double>(code.stops.size());
@@ -95,7 +96,8 @@ void BM_StopToPc(benchmark::State& state) {
   const ArchOpCode& code = NoisyCode(*r.program, Arch::kVax32);
   int i = 0;
   for (auto _ : state) {
-    uint32_t pc = StopToPc(code, i++ % static_cast<int>(code.stops.size()), nullptr);
+    uint32_t pc = StopToPc(code, i++ % static_cast<int>(code.stops.size()), nullptr,
+                           ConversionStrategy::kNaive);
     benchmark::DoNotOptimize(pc);
   }
 }

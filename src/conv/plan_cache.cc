@@ -40,12 +40,12 @@ struct PlanCompileSpan {
 }  // namespace
 
 size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  // Identity fields only — must stay consistent with PlanKeyIdentityEq.
   uint64_t h = Mix(1469598103934665603ull, static_cast<uint64_t>(k.scope));
   h = Mix(h, static_cast<uint64_t>(k.arch));
   h = Mix(h, k.code_oid);
   h = Mix(h, (static_cast<uint64_t>(k.op_index) << 24) |
                  (static_cast<uint64_t>(k.sem) << 16) | k.stop);
-  h = Mix(h, k.template_hash);
   return static_cast<size_t>(h);
 }
 
@@ -98,25 +98,22 @@ std::shared_ptr<const ConversionPlan> PlanCache::GetOrCompile(const PlanKey& key
                                                               const CompileFn& compile) {
   auto it = map_.find(key);
   if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    hits_ += 1;
-    if (meter != nullptr) {
-      meter->counters().plan_hits += 1;
-    }
-    return it->second->second;
-  }
-
-  // Stale-plan guard: a template recompiled under the same code OID hashes
-  // differently; its superseded plan can never hit again, so drop it now.
-  for (auto stale = map_.begin(); stale != map_.end(); ++stale) {
-    if (stale->first.SameIdentity(key)) {
-      lru_.erase(stale->second);
-      map_.erase(stale);
-      evictions_ += 1;
+    if (it->first.template_hash == key.template_hash) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_ += 1;
       if (meter != nullptr) {
-        meter->counters().plan_evictions += 1;
+        meter->counters().plan_hits += 1;
       }
-      break;
+      return it->second->second;
+    }
+    // Stale-plan guard: the map is keyed by identity, so a template recompiled
+    // under the same code OID lands right here with a different hash. Its
+    // superseded plan can never hit again; drop it and fall through to compile.
+    lru_.erase(it->second);
+    map_.erase(it);
+    evictions_ += 1;
+    if (meter != nullptr) {
+      meter->counters().plan_evictions += 1;
     }
   }
 

@@ -1,11 +1,11 @@
 // Per-node LRU cache of compiled conversion plans.
 //
-// Keyed by (plan scope, template identity, architecture, template hash): the
-// identity names WHICH template (code OID + op/stop coordinates) and the hash
-// names WHAT it contained when the plan was compiled. The program database
-// reuses a code OID when a same-named class is recompiled (section 3.4's shared
-// repository), so the hash is the stale-plan guard — a redefined template
-// misses, its plan is recompiled, and the superseded entry is dropped.
+// Keyed by template identity (plan scope, architecture, code OID + op/stop
+// coordinates); each entry also records the template hash — WHAT the template
+// contained when the plan was compiled. The program database reuses a code OID
+// when a same-named class is recompiled (section 3.4's shared repository), so
+// the hash is the stale-plan guard: a lookup that lands on an entry with a
+// different hash evicts it, recompiles, and the superseded plan is dropped.
 //
 // Compilation cost is charged to the owning node's meter on the miss that pays
 // it (kPlanCompile span when attributed to a move); hits charge nothing beyond
@@ -48,8 +48,18 @@ struct PlanKey {
   }
 };
 
+// Hashes the identity fields only, pairing with SameIdentity equality: the cache
+// map is keyed by WHICH template, and the content hash is compared at lookup so
+// a redefined template (same identity, new hash) lands on its stale entry in
+// O(1) instead of scanning the map for it.
 struct PlanKeyHash {
   size_t operator()(const PlanKey& k) const;
+};
+
+struct PlanKeyIdentityEq {
+  bool operator()(const PlanKey& a, const PlanKey& b) const {
+    return a.SameIdentity(b);
+  }
 };
 
 PlanKey ObjectPlanKey(const CompiledClass& cls, Arch arch);
@@ -86,7 +96,10 @@ class PlanCache {
 
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  // Identity-keyed (one live entry per identity; stale hashes evict on lookup).
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash,
+                     PlanKeyIdentityEq>
+      map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

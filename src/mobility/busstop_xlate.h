@@ -29,11 +29,11 @@ namespace hetm {
 // Converts an observed pc to its bus stop number. Aborts if the pc is not a visible
 // bus stop (a runtime bug: the kernel only ever sees pcs at stops).
 int PcToStop(const ArchOpCode& code, uint32_t pc, bool blocked_monitor, CostMeter* meter,
-             ConversionStrategy strategy = ConversionStrategy::kNaive);
+             ConversionStrategy strategy);
 
 // Converts a bus stop number back to a native pc on the destination architecture.
 uint32_t StopToPc(const ArchOpCode& code, int stop, CostMeter* meter,
-                  ConversionStrategy strategy = ConversionStrategy::kNaive);
+                  ConversionStrategy strategy);
 
 }  // namespace hetm
 

@@ -49,7 +49,8 @@ Node::GcStats Node::CollectGarbage() {
       OptLevel sem = ar.pending_stop >= 0 ? ar.sem_opt : opt_;
       int stop = ar.pending_stop >= 0
                      ? ar.pending_stop
-                     : PcToStop(op.Code(arch(), opt_), ar.pc, blocked, &meter_);
+                     : PcToStop(op.Code(arch(), opt_), ar.pc, blocked, &meter_,
+                                world_->strategy());
       const IrFunction& fn = op.Ir(sem);
       worklist.push_back(ar.self);
       ++stats.roots;

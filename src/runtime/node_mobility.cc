@@ -509,14 +509,33 @@ ActivationRecord Node::UnmarshalAr(WireReader& r) {
       r.Fail();
       return ar;
     }
-    // A blitted pc must name an instruction boundary in this code image.
-    const ArchOpCode& code = op.Code(arch(), opt_);
-    if (std::find(code.instr_pc.begin(), code.instr_pc.end(), pc) ==
-        code.instr_pc.end()) {
-      r.Fail();
-      return ar;
+    if (sem == opt_) {
+      // A blitted pc must name an instruction boundary in this code image.
+      const ArchOpCode& code = op.Code(arch(), opt_);
+      if (std::find(code.instr_pc.begin(), code.instr_pc.end(), pc) ==
+          code.instr_pc.end()) {
+        r.Fail();
+        return ar;
+      }
+      ar.pc = pc;
+      ar.sem_opt = opt_;
+    } else {
+      // The record was blitted mid-bridge: it arrived at the source from a
+      // differently scheduled node and moved again before the bridge ran, so its
+      // semantic state is still (sem, stop) — thread.h's re-marshal case. The
+      // source's pending bridge is not wire data; rebuild it here. The blitted pc
+      // is the source's bridge entry pc, which on this identical representation
+      // must equal ours — anything else is a corrupt payload.
+      BridgePlan plan = BuildBridge(op, arch(), sem, opt_, stop, &meter_);
+      if (pc != plan.entry_pc) {
+        r.Fail();
+        return ar;
+      }
+      ar.pc = plan.entry_pc;
+      ar.pending_bridge = std::move(plan.ops);
+      ar.pending_stop = stop;
+      ar.sem_opt = sem;
     }
-    ar.pc = pc;
     r.Blit(ar.frame.data(), frame_size);
     uint16_t regs = r.U16();
     if (!r.ok() || regs != ar.regs.size()) {
@@ -526,7 +545,6 @@ ActivationRecord Node::UnmarshalAr(WireReader& r) {
     for (uint16_t i = 0; i < regs; ++i) {
       ar.regs[i] = r.U32();
     }
-    ar.sem_opt = opt_;
   } else {
     if (r.strategy() == ConversionStrategy::kPlan) {
       if (!UnmarshalArCellsPlan(arch(), op, sem, stop, ar, plan_cache_, &meter_, r)) {
@@ -743,6 +761,9 @@ void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
 // share a representation under kPlan, the sender takes the receiver-makes-right
 // degenerate case: the "conversion" is the identity, so the wire carries the
 // kRaw machine blit and the receiver installs it without canonicalization.
+// Records still mid-bridge from an earlier cross-schedule hop survive the blit:
+// (sem, stop) precede the raw image on the wire, and UnmarshalAr rebuilds the
+// pending bridge whenever the wire's sem differs from this node's level.
 ConversionStrategy Node::MoveWireStrategy(int dest_node) const {
   ConversionStrategy s = world_->strategy();
   if (s != ConversionStrategy::kPlan || !world_->rep_bypass()) {

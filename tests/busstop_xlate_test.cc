@@ -50,8 +50,9 @@ TEST_P(XlatePerArch, RoundTripEveryVisibleStop) {
     if (code.stops[stop].exit_only) {
       continue;
     }
-    uint32_t pc = StopToPc(code, stop, nullptr);
-    EXPECT_EQ(PcToStop(code, pc, /*blocked_monitor=*/false, nullptr), stop)
+    uint32_t pc = StopToPc(code, stop, nullptr, ConversionStrategy::kNaive);
+    EXPECT_EQ(PcToStop(code, pc, /*blocked_monitor=*/false, nullptr,
+                       ConversionStrategy::kNaive), stop)
         << ArchName(arch);
   }
 }
@@ -67,8 +68,8 @@ TEST(Xlate, ChargesLookupCycles) {
   const OpInfo& op = CompileOp(kProgram, "C", &keep);
   const ArchOpCode& code = op.Code(Arch::kSparc32, OptLevel::kO0);
   CostMeter meter{SparcStationSlc()};
-  StopToPc(code, 1, &meter);
-  PcToStop(code, code.stops[1].pc, false, &meter);
+  StopToPc(code, 1, &meter, ConversionStrategy::kNaive);
+  PcToStop(code, code.stops[1].pc, false, &meter, ConversionStrategy::kNaive);
   EXPECT_EQ(meter.counters().busstop_lookups, 2u);
   EXPECT_EQ(meter.cycles(), 2 * kBusStopLookupCycles);
 }
@@ -78,7 +79,7 @@ TEST(XlateDeath, NonStopPcAborts) {
   const OpInfo& op = CompileOp(kProgram, "C", &keep);
   const ArchOpCode& code = op.Code(Arch::kSparc32, OptLevel::kO0);
   // pc 2 is mid-instruction (SPARC instructions are 4-byte aligned): never a stop.
-  EXPECT_DEATH(PcToStop(code, 2, false, nullptr), "not a bus stop");
+  EXPECT_DEATH(PcToStop(code, 2, false, nullptr, ConversionStrategy::kNaive), "not a bus stop");
 }
 
 TEST(Xlate, MonitorRetryStopDisambiguation) {
@@ -100,8 +101,10 @@ TEST(Xlate, MonitorRetryStopDisambiguation) {
     const ArchOpCode& code = op.Code(arch, OptLevel::kO0);
     ASSERT_GE(code.stops.size(), 2u);
     EXPECT_EQ(code.stops[0].pc, code.stops[1].pc) << "monenter retry pc == entry pc";
-    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/false, nullptr), 0);
-    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/true, nullptr), 1);
+    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/false, nullptr,
+                        ConversionStrategy::kNaive), 0);
+    EXPECT_EQ(PcToStop(code, 0, /*blocked_monitor=*/true, nullptr,
+                        ConversionStrategy::kNaive), 1);
   }
 }
 
@@ -128,7 +131,7 @@ TEST(XlateDeath, VaxExitOnlyStopCannotBeObserved) {
   ASSERT_GE(monexit_stop, 1);
   ASSERT_TRUE(vax.stops[monexit_stop].exit_only);
   // Stop -> pc conversion works (inbound threads resume there)...
-  uint32_t pc = StopToPc(vax, monexit_stop, nullptr);
+  uint32_t pc = StopToPc(vax, monexit_stop, nullptr, ConversionStrategy::kNaive);
   // ...but observing that pc is a runtime bug (the REMQUE is atomic), unless the pc
   // happens to coincide with a neighbouring legitimate stop.
   bool shares_pc = false;
@@ -138,7 +141,7 @@ TEST(XlateDeath, VaxExitOnlyStopCannotBeObserved) {
     }
   }
   if (!shares_pc) {
-    EXPECT_DEATH(PcToStop(vax, pc, false, nullptr), "exit-only");
+    EXPECT_DEATH(PcToStop(vax, pc, false, nullptr, ConversionStrategy::kNaive), "exit-only");
   }
 }
 

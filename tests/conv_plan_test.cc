@@ -443,6 +443,78 @@ TEST(ConvPlanSystem, MixedOptLevelsDoNotBypass) {
   EXPECT_EQ(bypasses, 0u);
 }
 
+// A record can take the bypass while its bridge from an EARLIER cross-schedule
+// hop is still pending (thread.h's re-marshal case): outer() suspends at the
+// call into inner(), inner() moves the object O0 -> O1 (outer's record now
+// carries a bridge holding the O1-hoisted ops) and then O1 -> O1, which
+// negotiates the raw blit. The receiver must rebuild the pending bridge from
+// the wire's (sem, stop) — blitting the record as if it were already on the O1
+// schedule would silently skip the bridge's ops.
+const char* kPendingBridgeTour = R"(
+  class K
+    var sum: Int
+    op outer(): Int
+      var a: Int := 5
+      print a
+      var b: Int := a * 2
+      var c: Int := b + a
+      var r: Int := self.inner()
+      var d: Int := c * 3
+      var e: Int := d - b
+      return e + r + sum
+    end
+    op inner(): Int
+      move self to nodeat(1)
+      move self to nodeat(2)
+      sum := 4
+      return 9
+    end
+  end
+  main
+    var k: Ref := new K
+    print k.outer()
+  end
+)";
+
+TEST(ConvPlanSystem, BypassPreservesPendingBridges) {
+  // The scenario needs the O1 scheduler to hoist outer()'s post-call arithmetic
+  // above the call stop; otherwise the pending bridge is empty and the test
+  // degenerates.
+  CompileResult cr = CompileSource(kPendingBridgeTour);
+  ASSERT_TRUE(cr.ok());
+  bool any_motion = false;
+  for (const auto& cls : cr.program->classes) {
+    for (const OpInfo& op : cls->ops) {
+      any_motion = any_motion || !op.transposes.empty();
+    }
+  }
+  ASSERT_TRUE(any_motion);
+
+  EmeraldSystem naive(ConversionStrategy::kNaive);
+  naive.AddNode(SparcStationSlc(), OptLevel::kO0);
+  naive.AddNode(SparcStationSlc(), OptLevel::kO1);
+  naive.AddNode(SparcStationSlc(), OptLevel::kO1);
+  ASSERT_TRUE(naive.Load(kPendingBridgeTour));
+  ASSERT_TRUE(naive.Run()) << naive.error();
+
+  EmeraldSystem plan(ConversionStrategy::kPlan);
+  plan.AddNode(SparcStationSlc(), OptLevel::kO0);
+  plan.AddNode(SparcStationSlc(), OptLevel::kO1);
+  plan.AddNode(SparcStationSlc(), OptLevel::kO1);
+  ASSERT_TRUE(plan.Load(kPendingBridgeTour));
+  ASSERT_TRUE(plan.Run()) << plan.error();
+
+  EXPECT_EQ(plan.output(), naive.output());
+  // The second hop really negotiated the raw blit...
+  uint64_t bypasses = 0;
+  for (int n = 0; n < plan.world().num_nodes(); ++n) {
+    bypasses += plan.node(n).meter().counters().plan_bypasses;
+  }
+  EXPECT_GE(bypasses, 1u);
+  // ...and outer()'s bridge still executed at the final destination.
+  EXPECT_GT(plan.node(2).meter().counters().bridge_ops, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Robustness: truncated / corrupt plan payloads fail cleanly
 // ---------------------------------------------------------------------------
