@@ -12,6 +12,8 @@
 //                       [--lease US] [--heartbeat US]
 //                       [--partition A+B+..:START_US:HEAL_US]
 //                       [--sched] [--sched-period US] [--sched-hysteresis F]
+//                       [--dir] [--arrival PER_S] [--zipf S] [--objects K]
+//                       [--traffic N] [--move-frac F] [--svc CLASS.OP]
 //
 // --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
 // reliable transport (src/net) with the given frame loss / duplication rates.
@@ -26,7 +28,15 @@
 // later (negative = never). --sched turns on the load-aware placement scheduler
 // (src/sched): heat/affinity metering, gossiped load digests, and cost-model
 // migration proposals; --sched-period sets the tick period, --sched-hysteresis
-// the benefit/cost acceptance margin (higher = more conservative).
+// the benefit/cost acceptance margin (higher = more conservative). --dir turns on
+// the sharded home-directory object location service (src/dir): every object
+// hashes to a home node that tracks its current owner, so a cold lookup costs
+// O(1) messages instead of the birth-node guess + broadcast fallback. --traffic N
+// injects N open-loop synthetic arrivals (src/sim/traffic) against class.op --svc
+// (default Svc.poke, which the program must define): --arrival sets the Poisson
+// rate in arrivals/s, --zipf the popularity skew, --objects the fleet size,
+// --move-frac the fraction of arrivals that are migration requests. --nodes also
+// accepts a plain count N, cycling the six machine models (big-cluster runs).
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
@@ -84,7 +94,9 @@ int Usage() {
                "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
                "                [--lease US] [--heartbeat US]\n"
                "                [--partition A+B+..:START_US:HEAL_US]\n"
-               "                [--sched] [--sched-period US] [--sched-hysteresis F]\n");
+               "                [--sched] [--sched-period US] [--sched-hysteresis F]\n"
+               "                [--dir] [--arrival PER_S] [--zipf S] [--objects K]\n"
+               "                [--traffic N] [--move-frac F] [--svc CLASS.OP]\n");
   return 2;
 }
 
@@ -117,6 +129,14 @@ int main(int argc, char** argv) {
   bool use_sched = false;
   double sched_period_us = -1.0;
   double sched_hysteresis = -1.0;
+  bool use_dir = false;
+  bool use_traffic = false;
+  double arrival_per_s = -1.0;
+  double zipf_s = -1.0;
+  int traffic_objects = -1;
+  long long traffic_n = -1;
+  double move_frac = -1.0;
+  std::string svc_arg;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -241,6 +261,38 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       sched_hysteresis = std::atof(v);
       use_sched = true;
+    } else if (arg == "--dir") {
+      use_dir = true;
+    } else if (arg == "--arrival") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      arrival_per_s = std::atof(v);
+      use_traffic = true;
+    } else if (arg == "--zipf") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      zipf_s = std::atof(v);
+      use_traffic = true;
+    } else if (arg == "--objects") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      traffic_objects = std::atoi(v);
+      use_traffic = true;
+    } else if (arg == "--traffic") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      traffic_n = std::atoll(v);
+      use_traffic = true;
+    } else if (arg == "--move-frac") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      move_frac = std::atof(v);
+      use_traffic = true;
+    } else if (arg == "--svc") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      svc_arg = v;
+      use_traffic = true;
     } else {
       return Usage();
     }
@@ -257,6 +309,21 @@ int main(int argc, char** argv) {
   EmeraldSystem sys(strategy);
   sys.world().set_rep_bypass(rep_bypass);
   std::vector<std::string> node_names = Split(nodes_arg, ',');
+  if (node_names.size() == 1 &&
+      node_names[0].find_first_not_of("0123456789") == std::string::npos) {
+    // A plain count: cycle the six machine models. This is the big-cluster form
+    // (--nodes 256) where naming every machine by hand is impractical.
+    int count = std::atoi(node_names[0].c_str());
+    if (count <= 0) {
+      std::fprintf(stderr, "hetm_run: --nodes count must be positive\n");
+      return 1;
+    }
+    static const char* kCycle[] = {"sparc", "sun3", "hp1", "hp2", "vax", "vax2000"};
+    node_names.clear();
+    for (int i = 0; i < count; ++i) {
+      node_names.push_back(kCycle[i % 6]);
+    }
+  }
   std::vector<std::string> opts = opt_arg.empty() ? std::vector<std::string>{}
                                                   : Split(opt_arg, ',');
   for (size_t i = 0; i < node_names.size(); ++i) {
@@ -347,7 +414,33 @@ int main(int argc, char** argv) {
     sys.world().EnableSched(scfg);
   }
 
-  bool ok = sys.Run();
+  if (use_dir) {
+    sys.world().EnableDir(DirConfig{});
+  }
+
+  uint64_t max_events = 1'000'000;
+  if (use_traffic) {
+    TrafficConfig tcfg;
+    tcfg.seed = net_seed;
+    if (arrival_per_s > 0.0) tcfg.arrival_per_s = arrival_per_s;
+    if (zipf_s >= 0.0) tcfg.zipf_s = zipf_s;
+    if (traffic_objects > 0) tcfg.objects = traffic_objects;
+    if (traffic_n > 0) tcfg.max_arrivals = static_cast<uint64_t>(traffic_n);
+    if (move_frac >= 0.0) tcfg.move_fraction = move_frac;
+    if (!svc_arg.empty()) {
+      std::vector<std::string> parts = Split(svc_arg, '.');
+      if (parts.size() != 2) return Usage();
+      tcfg.service_class = parts[0];
+      tcfg.service_op = parts[1];
+    }
+    sys.world().EnableTraffic(tcfg);
+    // Each arrival fans out into invoke/move/directory message chains (plus
+    // transport frames); the default 1M-event cap would truncate a big run.
+    max_events += tcfg.max_arrivals * 1000;
+  }
+
+  sys.world().Boot(0);
+  bool ok = sys.world().Run(max_events);
   std::fputs(sys.output().c_str(), stdout);
   if (net_trace) {
     std::fputs(sys.world().tracer().ToText().c_str(), stderr);
@@ -428,6 +521,21 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(c.sched_vetoed),
                      static_cast<unsigned long long>(c.sched_pingpong));
       }
+      if (use_dir) {
+        std::fprintf(stderr,
+                     "        directory: %5llu lookups, %4llu updates, %3llu stale,"
+                     " %2llu broadcasts, shard %zu entries\n",
+                     static_cast<unsigned long long>(c.dir_lookups),
+                     static_cast<unsigned long long>(c.dir_updates),
+                     static_cast<unsigned long long>(c.dir_stale_hits),
+                     static_cast<unsigned long long>(c.locate_broadcasts),
+                     sys.world().dir()->ShardSize(n));
+      }
+    }
+    if (use_traffic) {
+      std::fprintf(stderr, "traffic: %llu arrivals injected across %d objects\n",
+                   static_cast<unsigned long long>(sys.world().traffic()->injected()),
+                   static_cast<int>(sys.world().traffic()->config().objects));
     }
   }
   return 0;

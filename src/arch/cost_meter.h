@@ -60,6 +60,11 @@ struct CostCounters {
   uint64_t sched_committed = 0;      // proposed objects that finished moving
   uint64_t sched_vetoed = 0;         // proposals killed by hysteresis / collision
   uint64_t sched_pingpong = 0;       // proposals suppressed as A->B->A bounces
+  // --- sharded home directory (src/dir) ---
+  uint64_t dir_lookups = 0;      // object-routed messages this home shard relayed
+  uint64_t dir_updates = 0;      // fresh ownership records applied to the shard
+  uint64_t dir_stale_hits = 0;   // out-of-date records dropped / stale answers chased
+  uint64_t locate_broadcasts = 0;  // broadcast fallbacks (last resort with a dir on)
 };
 
 class Tracer;

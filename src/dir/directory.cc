@@ -1,0 +1,76 @@
+#include "src/dir/directory.h"
+
+#include <algorithm>
+
+#include "src/sim/world.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+namespace {
+
+// splitmix64 finalizer (same construction as NetRng): bit-stable across
+// platforms, so a ring is a pure function of (num_nodes, config) everywhere.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DirRing::DirRing(int num_nodes, const DirConfig& config)
+    : num_nodes_(num_nodes), seed_(config.ring_seed) {
+  HETM_CHECK_MSG(num_nodes > 0, "directory ring requires nodes to exist");
+  HETM_CHECK_MSG(config.vnodes > 0, "directory ring requires vnodes >= 1");
+  ring_.reserve(static_cast<size_t>(num_nodes) * config.vnodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    for (int replica = 0; replica < config.vnodes; ++replica) {
+      uint64_t point = Mix64(seed_ ^ (static_cast<uint64_t>(node) << 32 ^
+                                      static_cast<uint64_t>(replica)));
+      ring_.emplace_back(point, node);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int DirRing::HomeOf(Oid oid) const {
+  uint64_t key = Mix64(seed_ ^ static_cast<uint64_t>(oid));
+  // First ring point at or after the key, wrapping at the top.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(key, -1));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+Directory::Directory(World* world, const DirConfig& config)
+    : world_(world),
+      config_(config),
+      ring_(world->num_nodes(), config),
+      shards_(world->num_nodes()),
+      down_(world->num_nodes()) {}
+
+const Directory::Entry* Directory::Lookup(int home, Oid oid) const {
+  const auto& shard = shards_[home];
+  auto it = shard.find(oid);
+  return it == shard.end() ? nullptr : &it->second;
+}
+
+bool Directory::Apply(int home, Oid oid, int owner, uint32_t gen) {
+  Entry& e = shards_[home][oid];
+  if (e.owner >= 0 && gen <= e.gen) {
+    return false;  // a newer install already overwrote this record
+  }
+  e.owner = owner;
+  e.gen = gen;
+  return true;
+}
+
+void Directory::OnNodeCrash(int node) {
+  shards_[node].clear();
+  down_[node].clear();
+}
+
+}  // namespace hetm

@@ -1,0 +1,109 @@
+// Sharded home-directory object location (ROADMAP: scale-out refactor).
+//
+// Emerald's birth-node strategy (the seed system) finds a moved object by chasing
+// per-object forwarding chains and, when the chain is cold, broadcasting a locate
+// query — O(N) messages per miss, quadratic at fleet scale. The directory shards
+// ownership tracking across the cluster instead: every OID hashes onto a
+// consistent-hash ring of virtual nodes, and the ring position names the object's
+// *home* — the node whose shard records who currently hosts it. Steady-state
+// lookup is then O(1) messages at any cluster size: client -> home -> owner.
+//
+// The home learns about ownership asynchronously: each install (HandleMoveObject /
+// HandleMoveBatch) mails the home a kDirUpdate carrying the object's move
+// generation, and chain-compaction kLocationUpdate mail-backs refresh it too.
+// Records are generation-versioned (EmObject::move_gen, bumped per install), so a
+// kDirUpdate delayed in flight while a later move commits can never roll the home
+// entry backwards — the stale record is dropped and counted (dir_stale_hits).
+// Between the install and the update's arrival the home answer may trail the
+// object by at most the in-flight moves; the existing forwarding chains cover
+// exactly that gap, so staleness is bounded by chain length, not lease time.
+//
+// The directory is soft state. A home crash wipes its shard; lookups fall back to
+// the birth node / hints while installs lazily repopulate it. Liveness is the
+// transport's lease view (heartbeats and their LoadDigest piggybacks both refresh
+// it): when an observer's lease on a home expires, the observer stops routing
+// lookups there and falls back to the locate broadcast — the broadcast becomes a
+// last resort reserved for home lease expiry.
+#ifndef HETM_SRC_DIR_DIRECTORY_H_
+#define HETM_SRC_DIR_DIRECTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+class World;
+
+struct DirConfig {
+  // Virtual nodes per physical node on the hash ring. More vnodes = smoother
+  // shard balance; 8 keeps the worst/best shard ratio under ~3x at 256 nodes.
+  int vnodes = 8;
+  // Salt mixed into every ring/key hash, so tests can build disjoint rings.
+  uint64_t ring_seed = 0x9E3779B97F4A7C15ull;
+};
+
+// The consistent-hash ring alone: a pure function of (num_nodes, config), usable
+// without a World (tests precompute an object's home before building a cluster).
+class DirRing {
+ public:
+  DirRing(int num_nodes, const DirConfig& config);
+
+  int HomeOf(Oid oid) const;
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  int num_nodes_;
+  uint64_t seed_;
+  // Ring points sorted by hash; each names the owning physical node.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+class Directory {
+ public:
+  Directory(World* world, const DirConfig& config);
+
+  const DirConfig& config() const { return config_; }
+  const DirRing& ring() const { return ring_; }
+  int HomeOf(Oid oid) const { return ring_.HomeOf(oid); }
+
+  // One ownership record in a home shard.
+  struct Entry {
+    int owner = -1;
+    uint32_t gen = 0;
+  };
+
+  // Shard of node `home`. Lookup returns null when the shard has no record.
+  const Entry* Lookup(int home, Oid oid) const;
+  // Generation-guarded apply: installs (owner, gen) into `home`'s shard iff gen
+  // exceeds the recorded generation. Returns false (stale) otherwise.
+  bool Apply(int home, Oid oid, int owner, uint32_t gen);
+  size_t ShardSize(int home) const { return shards_[home].size(); }
+
+  // Per-observer liveness view, fed by the transport's lease layer (NoteAlive /
+  // ExpirePeer). IsDown(observer, home) means: observer's lease on home expired
+  // and nothing has been heard since — route around it, broadcast if cold.
+  void NoteUp(int observer, int peer) { down_[observer].erase(peer); }
+  void NoteDown(int observer, int peer) { down_[observer].insert(peer); }
+  bool IsDown(int observer, int peer) const { return down_[observer].count(peer) > 0; }
+
+  // Crash-stop wipes the node's shard (soft state dies with the node) and resets
+  // its liveness view; installs repopulate the shard lazily after restart.
+  void OnNodeCrash(int node);
+
+ private:
+  World* world_;
+  DirConfig config_;
+  DirRing ring_;
+  // Ordered maps: iteration order (metrics, debugging) is deterministic.
+  std::vector<std::map<Oid, Entry>> shards_;
+  std::vector<std::set<int>> down_;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_DIR_DIRECTORY_H_

@@ -538,6 +538,11 @@ void Network::NoteAlive(int self, int peer, double time_us) {
   } else {
     ep.peers.emplace(peer, PeerView{time_us, 0});
   }
+  if (Directory* dir = world_->dir(); dir != nullptr) {
+    // Any frame (heartbeat or data) re-certifies the peer as a usable home:
+    // directory lookups from `self` may route through it again.
+    dir->NoteUp(self, peer);
+  }
   // A live peer may be owed replies parked when its lease expired (the dead-letter
   // queue); flush them now that it has spoken. Cheap no-op when the queue is empty.
   world_->node(self).FlushDeadLetters(peer, ep.recv[peer].peer_epoch, time_us);

@@ -27,6 +27,7 @@ const char* const kPointNames[kNumTracePoints] = {
     "sched-tick",    "sched-digest",  "sched-propose", "sched-veto",
     "sched-batch",
     "plan-compile",  "plan-exec",     "rep-bypass",
+    "dir-lookup",    "dir-update",    "dir-stale",
 };
 
 uint64_t MixBits(uint64_t h, uint64_t v) {

@@ -93,6 +93,9 @@ enum class TracePoint : uint8_t {
   kPlanCompile,   // span: one plan compiled on a cache miss; a = op count
   kPlanExec,      // span: one plan interpreter run; a = canonical bytes
   kRepBypass,     // instant: negotiation chose the raw-blit path; peer = dest
+  kDirLookup,     // instant: home shard relayed a lookup; peer = answer, a = oid
+  kDirUpdate,     // instant: ownership record applied; peer = owner, a = oid, b = gen
+  kDirStale,      // instant: stale record dropped / stale answer chased; a = oid
   kCount,
 };
 

@@ -41,6 +41,8 @@ enum class MsgType : uint8_t {
   // --- placement scheduler (src/sched) ---
   kMoveBatch,       // several co-resident objects in one transfer (one handshake)
   kLoadDigest,      // periodic load/heat summary gossiped between schedulers
+  // --- sharded home directory (src/dir) ---
+  kDirUpdate,       // install -> home node: ownership record (owner, generation)
 };
 
 // HandleMoveQuery answers one of these; carried in Message::verdict.
@@ -75,6 +77,15 @@ struct Message {
   // causal trace. Part of the fixed packet header (kPacketHeaderBytes), so it
   // changes no wire sizes or timings; 0 = not part of a traced move.
   uint64_t trace_id = 0;
+  // Set by a home node (src/dir) when it relays an object-routed message to the
+  // owner its shard records. A receiver that can't serve such a message knows the
+  // directory answer was stale and must not ask the same home again; it falls
+  // back to hints / the locate broadcast instead. One header bit, no wire cost.
+  bool dir_hop = false;
+  // Simulated injection timestamp stamped by the traffic generator (src/sim) on
+  // synthetic invokes so the landing node can observe end-to-end routing latency.
+  // Part of the fixed packet header; negative = not generator traffic.
+  double inject_us = -1.0;
   // Payload encoding parameters (the receiver must decode with the same strategy
   // and, for kRaw, the same architecture).
   ConversionStrategy strategy = ConversionStrategy::kNaive;

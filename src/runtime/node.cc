@@ -123,9 +123,65 @@ int Node::ProbableLocation(Oid oid) const {
     return it->second;
   }
   if (IsDataOid(oid)) {
+    // With a home directory on, a cold lookup asks the object's home shard —
+    // client -> home -> owner, O(1) messages at any cluster size. The birth
+    // node is the original Emerald strategy (and the directory's own fallback
+    // when a crashed home lost its shard).
+    Directory* dir = world_->dir();
+    if (dir != nullptr) {
+      return dir->HomeOf(oid);
+    }
     return BirthNodeOfDataOid(oid);
   }
   return index_;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic traffic injection (src/sim/traffic)
+// ---------------------------------------------------------------------------
+
+void Node::InjectInvoke(Oid target, const std::string& op_name) {
+  // Byte-identical to the guest no-reply spawn path: same wire layout, same
+  // cycle charges, same routing. The only extra is the inject_us header stamp.
+  ThreadId tid{index_, next_thread_seq_++};
+  WireWriter sw(world_->strategy(), arch(), &meter_);
+  sw.U8(0);  // flags: no reply expected
+  sw.I32(tid.home_node);
+  sw.U32(tid.seq);
+  sw.U32(0);  // no caller segment
+  sw.Oid32(target);
+  sw.Str(op_name);
+  sw.U8(0);  // no arguments
+  WriteStringSection(sw, {});
+  sw.FinishMessage();
+  ChargeCycles(kInvokeFixedSourceCycles);
+  meter_.counters().remote_invokes += 1;
+  Message msg;
+  msg.type = MsgType::kInvoke;
+  msg.src_node = index_;
+  msg.route_oid = target;
+  msg.inject_us = now_us();
+  msg.strategy = world_->strategy();
+  msg.payload_arch = arch();
+  msg.payload = sw.Take();
+  SendMessage(ProbableLocation(target), std::move(msg));
+}
+
+void Node::InjectMoveRequest(Oid target, int dest_node) {
+  HETM_CHECK(dest_node >= 0 && dest_node < world_->num_nodes());
+  // Mirror of the remote `move` statement: a kMoveRequest routed to the
+  // object's probable host (which is this node when it is resident here —
+  // HandleMoveRequest then runs the ordinary PerformMove).
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.FinishMessage();
+  Message msg;
+  msg.type = MsgType::kMoveRequest;
+  msg.src_node = index_;
+  msg.route_oid = target;
+  msg.dest_node_arg = dest_node;
+  msg.strategy = world_->strategy();
+  msg.payload_arch = arch();
+  SendMessage(ProbableLocation(target), std::move(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -156,7 +212,10 @@ void Node::StartMainThread(Oid main_class_oid) {
   EnqueueRunnable(id);
 }
 
-void Node::EnqueueRunnable(const SegId& id) { run_queue_.push_back(id); }
+void Node::EnqueueRunnable(const SegId& id) {
+  run_queue_.push_back(id);
+  world_->NoteRunnable(index_);
+}
 
 void Node::Pump() {
   // A small stint budget keeps the world loop responsive: a busy-waiting thread must

@@ -131,6 +131,15 @@ class Node {
 
   const std::map<SegId, Segment>& segments() const { return segments_; }
 
+  // --- synthetic traffic injection (src/sim/traffic, also used by tests) -------
+  // Fire-and-forget invocation of `op_name` on `target`, byte-identical on the
+  // wire to a guest no-reply spawn: the message routes by OID through hints /
+  // directory / birth node exactly like real traffic, and carries inject_us so
+  // the landing node can observe end-to-end routing latency.
+  void InjectInvoke(Oid target, const std::string& op_name);
+  // Ask the object's host to move it to `dest_node` (the remote `move` path).
+  void InjectMoveRequest(Oid target, int dest_node);
+
   // --- garbage collection -----------------------------------------------------
   // Node-local safe-point mark-sweep. Every thread on the node is suspended at a
   // bus stop, so the per-stop templates (live sets + homes) identify every pointer
@@ -221,6 +230,18 @@ class Node {
   void HandleMoveRequest(const Message& msg);
   void HandleLocationUpdate(const Message& msg);
   bool ForwardByObject(const Message& msg);
+  // Home-directory routing (src/dir; only reached when the world has one).
+  // ForwardViaDirectory replaces the birth-node default: chase a hint if one
+  // exists, else ask the object's home; ServeDirLookup is the home side.
+  bool ForwardViaDirectory(const Message& msg);
+  void ServeDirLookup(const Message& msg);
+  void HandleDirUpdate(const Message& msg);
+  // Mails (owner, gen) for `oid` to its home shard; applies locally when this
+  // node is the home. Called from every install path.
+  void SendDirUpdate(Oid oid, int owner, uint32_t gen);
+  // Chain-compaction mail-back: the kLocationUpdate payload is (loc, gen), the
+  // gen taken from the resident object so the home can apply it safely.
+  void SendLocationUpdate(int dest, Oid oid, int loc, uint32_t gen);
   void SendMessage(int to_node, Message msg);
   void CollectStringsFromValue(const Value& v, std::vector<Oid>& closure) const;
   void WriteStringSection(WireWriter& w, const std::vector<Oid>& closure) const;
@@ -266,6 +287,9 @@ class Node {
     int outstanding = 0;
     int attempts_left = 0;
     uint32_t round = 0;
+    // A queried peer died during some round: the object may have died with it,
+    // so exhausting the retry budget is allowed to conclude "lost".
+    bool peer_died = false;
   };
   bool TransportActive() const;
   Message MakeControl(MsgType type, Oid route_oid, uint32_t move_id);

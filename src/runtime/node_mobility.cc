@@ -142,6 +142,9 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kLoadDigest:
       HandleLoadDigest(msg);
       return;
+    case MsgType::kDirUpdate:
+      HandleDirUpdate(msg);
+      return;
   }
   HETM_UNREACHABLE("bad MsgType");
 }
@@ -160,6 +163,9 @@ bool Node::ForwardByObject(const Message& msg) {
       reserved_queues_[msg.route_oid].push_back(msg);
       return true;
     }
+  }
+  if (world_->dir() != nullptr) {
+    return ForwardViaDirectory(msg);
   }
   int loc = ProbableLocation(msg.route_oid);
   if (TransportActive()) {
@@ -183,6 +189,184 @@ bool Node::ForwardByObject(const Message& msg) {
   }
   SendMessage(loc, msg);
   return true;
+}
+
+bool Node::ForwardViaDirectory(const Message& msg) {
+  Directory& dir = *world_->dir();
+  const Oid oid = msg.route_oid;
+  const bool transport = TransportActive();
+  // The message passed through its home already (dir_hop) but the object is not
+  // where the home said: the shard record trails the object. The chain below
+  // usually recovers; either way the answer was stale — count it.
+  if (msg.dir_hop) {
+    meter_.counters().dir_stale_hits += 1;
+    world_->tracer().Instant(now_us(), index_, TracePoint::kDirStale, 0, msg.src_node,
+                             static_cast<int64_t>(oid));
+  }
+  const int home = dir.HomeOf(oid);
+  // 1. A hint is a live forwarding chain: chase it. Chains always lead forward
+  // in move-time order, so this terminates; they are exactly what bounds the
+  // staleness window between an install and its kDirUpdate reaching the home.
+  auto hint = location_hint_.find(oid);
+  if (hint != location_hint_.end() && hint->second != index_) {
+    if (transport && msg.forward_hops >= world_->net()->config().max_forward_hops) {
+      // The chain outran the hop budget: the object is moving about as fast as
+      // the message chases it. A broadcast would sample every peer at a
+      // different instant and can miss a hot object on every round, so go back
+      // to the home instead — its entry is generation-ordered and every install
+      // advances it, so each home consult starts the next leg strictly later in
+      // the move chain. Fresh hop budget for the new leg; the path survives so
+      // the landing compaction still repairs every relay.
+      if (home == index_) {
+        Message fresh = msg;
+        fresh.forward_hops = 0;
+        ServeDirLookup(fresh);
+        return true;
+      }
+      if (!dir.IsDown(index_, home)) {
+        Message fwd = msg;
+        fwd.forward_hops = 0;
+        fwd.fwd_path.push_back(index_);
+        fwd.dir_hop = false;
+        SendMessage(home, std::move(fwd));
+        return true;
+      }
+      StartLocate(oid, msg);
+      return true;
+    }
+    Message fwd = msg;
+    fwd.forward_hops += 1;
+    fwd.fwd_path.push_back(index_);
+    fwd.dir_hop = false;
+    SendMessage(hint->second, std::move(fwd));
+    return true;
+  }
+  // 2. Cold lookup: ask the object's home shard — unless this message already
+  // went through the home, or the observer's lease on the home has expired.
+  if (home == index_) {
+    ServeDirLookup(msg);
+    return true;
+  }
+  if (!msg.dir_hop && !(transport && dir.IsDown(index_, home))) {
+    Message fwd = msg;
+    fwd.forward_hops += 1;
+    fwd.fwd_path.push_back(index_);
+    SendMessage(home, std::move(fwd));
+    return true;
+  }
+  // 3. Last resort, reserved for home failure (lease expired, or the home's
+  // post-crash shard pointed nowhere useful): rebuild the location by broadcast.
+  if (transport) {
+    StartLocate(oid, msg);
+    return true;
+  }
+  world_->SetError("object " + std::to_string(oid) +
+                   " lost: no forwarding information");
+  return false;
+}
+
+void Node::ServeDirLookup(const Message& msg) {
+  Directory& dir = *world_->dir();
+  const Oid oid = msg.route_oid;
+  meter_.counters().dir_lookups += 1;
+  int target = -1;
+  const Directory::Entry* e = dir.Lookup(index_, oid);
+  if (e != nullptr && e->owner != index_) {
+    target = e->owner;
+  } else {
+    // No record (cold shard, or wiped by a crash): fall back to the chain /
+    // birth-node machinery. The forward still carries dir_hop so the receiver
+    // never bounces the message back here.
+    auto hint = location_hint_.find(oid);
+    if (hint != location_hint_.end() && hint->second != index_) {
+      target = hint->second;
+    } else if (IsDataOid(oid) && BirthNodeOfDataOid(oid) != index_) {
+      target = BirthNodeOfDataOid(oid);
+    }
+  }
+  world_->tracer().Instant(now_us(), index_, TracePoint::kDirLookup, 0, target,
+                           static_cast<int64_t>(oid));
+  if (target < 0) {
+    if (TransportActive()) {
+      StartLocate(oid, msg);
+      return;
+    }
+    world_->SetError("object " + std::to_string(oid) +
+                     " lost: no forwarding information");
+    return;
+  }
+  Message fwd = msg;
+  fwd.forward_hops += 1;
+  // The home records itself on the path: when the message lands, the chain
+  // compaction mails the home a fresh (owner, gen) along with the other relays.
+  fwd.fwd_path.push_back(index_);
+  fwd.dir_hop = true;
+  SendMessage(target, std::move(fwd));
+}
+
+void Node::HandleDirUpdate(const Message& msg) {
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  int owner = r.I32();
+  uint32_t gen = r.U32();
+  r.FinishMessage();
+  if (!r.ok() || owner < 0 || owner >= world_->num_nodes()) {
+    RuntimeError("malformed directory update");
+    return;
+  }
+  Directory* dir = world_->dir();
+  if (dir == nullptr || dir->HomeOf(msg.route_oid) != index_) {
+    return;  // directory off, or not this node's shard: stray record, drop
+  }
+  if (dir->Apply(index_, msg.route_oid, owner, gen)) {
+    meter_.counters().dir_updates += 1;
+    world_->tracer().Instant(now_us(), index_, TracePoint::kDirUpdate, 0, owner,
+                             static_cast<int64_t>(msg.route_oid),
+                             static_cast<int64_t>(gen));
+  } else {
+    meter_.counters().dir_stale_hits += 1;
+    world_->tracer().Instant(now_us(), index_, TracePoint::kDirStale, 0, owner,
+                             static_cast<int64_t>(msg.route_oid));
+  }
+}
+
+void Node::SendDirUpdate(Oid oid, int owner, uint32_t gen) {
+  Directory* dir = world_->dir();
+  if (dir == nullptr) {
+    return;
+  }
+  int home = dir->HomeOf(oid);
+  if (home == index_) {
+    if (dir->Apply(index_, oid, owner, gen)) {
+      meter_.counters().dir_updates += 1;
+      world_->tracer().Instant(now_us(), index_, TracePoint::kDirUpdate, 0, owner,
+                               static_cast<int64_t>(oid), static_cast<int64_t>(gen));
+    } else {
+      meter_.counters().dir_stale_hits += 1;
+    }
+    return;
+  }
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.I32(owner);
+  w.U32(gen);
+  w.FinishMessage();
+  Message msg = MakeControl(MsgType::kDirUpdate, oid, 0);
+  msg.payload = w.Take();
+  SendMessage(home, std::move(msg));
+}
+
+void Node::SendLocationUpdate(int dest, Oid oid, int loc, uint32_t gen) {
+  WireWriter uw(world_->strategy(), arch(), &meter_);
+  uw.I32(loc);
+  uw.U32(gen);
+  uw.FinishMessage();
+  Message update;
+  update.type = MsgType::kLocationUpdate;
+  update.src_node = index_;
+  update.route_oid = oid;
+  update.strategy = world_->strategy();
+  update.payload_arch = arch();
+  update.payload = uw.Take();
+  SendMessage(dest, std::move(update));
 }
 
 void Node::CollectStringsFromValue(const Value& v, std::vector<Oid>& closure) const {
@@ -285,10 +469,19 @@ void Node::HandleInvoke(const Message& msg) {
   if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
     world_->sched()->NoteRemoteIn(index_, target, msg.src_node);
   }
+  if (msg.inject_us >= 0.0) {
+    // Generator traffic: end-to-end routing latency and hop count, the
+    // steady-state lookup cost the directory is meant to flatten (bench_dir).
+    world_->metrics().Observe("traffic.route_latency_us", now_us() - msg.inject_us);
+    world_->metrics().Observe("traffic.route_hops", msg.forward_hops);
+  }
   if (msg.forward_hops > 0) {
     // Forwarding-chain compaction: the message reached us through stale hints.
     // Tell the original sender and every relay where the object lives now, so the
-    // chain collapses to one hop instead of being re-walked per message.
+    // chain collapses to one hop instead of being re-walked per message. The
+    // update carries the resident object's move generation: a relay that is the
+    // object's home applies it to its shard (generation-guarded), so compaction
+    // refreshes the home directory along with the clients.
     std::set<int> stale(msg.fwd_path.begin(), msg.fwd_path.end());
     stale.insert(msg.src_node);
     stale.erase(index_);
@@ -296,17 +489,7 @@ void Node::HandleInvoke(const Message& msg) {
       if (n < 0 || n >= world_->num_nodes()) {
         continue;
       }
-      WireWriter uw(world_->strategy(), arch(), &meter_);
-      uw.I32(index_);
-      uw.FinishMessage();
-      Message update;
-      update.type = MsgType::kLocationUpdate;
-      update.src_node = index_;
-      update.route_oid = target;
-      update.strategy = world_->strategy();
-      update.payload_arch = arch();
-      update.payload = uw.Take();
-      SendMessage(n, std::move(update));
+      SendLocationUpdate(n, target, index_, obj->move_gen);
     }
   }
 
@@ -732,6 +915,9 @@ void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
   w.I32(obj.monitor.depth);
   w.I32(obj.monitor.owner.home_node);
   w.U32(obj.monitor.owner.seq);
+  // The generation this install will be: orders the home directory's ownership
+  // records (src/dir). Written even with the directory off — one wire format.
+  w.U32(obj.move_gen + 1);
   if (w.strategy() == ConversionStrategy::kRaw) {
     w.U16(static_cast<uint16_t>(obj.fields.size()));
     w.Blit(obj.fields.data(), obj.fields.size());
@@ -1014,6 +1200,7 @@ void Node::HandleMoveObject(const Message& msg) {
   ThreadId mon_owner;
   mon_owner.home_node = r.I32();
   mon_owner.seq = r.U32();
+  uint32_t move_gen = r.U32();
   const CodeRegistry::Entry* entry = r.ok() ? TryEntryFor(code_oid) : nullptr;
   if (entry == nullptr || oid != msg.route_oid || mon_depth < 0 ||
       mon_depth > kMaxWireMonitorDepth) {
@@ -1030,6 +1217,7 @@ void Node::HandleMoveObject(const Message& msg) {
   obj->code_oid = code_oid;
   obj->monitor.depth = mon_depth;
   obj->monitor.owner = mon_owner;
+  obj->move_gen = move_gen;
   if (r.strategy() == ConversionStrategy::kRaw) {
     // Machine blit: only meaningful when the payload was written on this very
     // representation (homogeneous world, or the negotiated bypass).
@@ -1121,23 +1309,16 @@ void Node::HandleMoveObject(const Message& msg) {
     }
   }
 
-  // Keep the distributed location structures current: tell the birth node.
+  // Keep the distributed location structures current: tell the birth node, and
+  // — with the directory on — mail the object's home shard the fresh ownership
+  // record (the commit path's asynchronous kDirUpdate).
   if (IsDataOid(oid)) {
     int birth = BirthNodeOfDataOid(oid);
     if (birth != index_) {
-      WireWriter w(world_->strategy(), arch(), &meter_);
-      w.I32(index_);
-      w.FinishMessage();
-      Message update;
-      update.type = MsgType::kLocationUpdate;
-      update.src_node = index_;
-      update.route_oid = oid;
-      update.strategy = world_->strategy();
-      update.payload_arch = arch();
-      update.payload = w.Take();
-      SendMessage(birth, std::move(update));
+      SendLocationUpdate(birth, oid, index_, move_gen);
     }
   }
+  SendDirUpdate(oid, index_, move_gen);
 }
 
 // Decodes one kMoveBatch member body (mirrors HandleMoveObject's single-object
@@ -1150,6 +1331,7 @@ bool Node::DecodeMoveMember(WireReader& r, DecodedMember* out) {
   ThreadId mon_owner;
   mon_owner.home_node = r.I32();
   mon_owner.seq = r.U32();
+  uint32_t move_gen = r.U32();
   const CodeRegistry::Entry* entry = r.ok() ? TryEntryFor(code_oid) : nullptr;
   if (entry == nullptr || mon_depth < 0 || mon_depth > kMaxWireMonitorDepth) {
     return false;
@@ -1159,6 +1341,7 @@ bool Node::DecodeMoveMember(WireReader& r, DecodedMember* out) {
   obj->code_oid = code_oid;
   obj->monitor.depth = mon_depth;
   obj->monitor.owner = mon_owner;
+  obj->move_gen = move_gen;
   if (r.strategy() == ConversionStrategy::kRaw) {
     uint16_t size = r.U16();
     if (r.arch() != arch() || size != MakeFieldImage(arch(), *entry->cls).size()) {
@@ -1301,22 +1484,15 @@ void Node::HandleMoveBatch(const Message& msg) {
     if (world_->sched() != nullptr && msg.src_node >= 0 && msg.src_node != index_) {
       world_->sched()->NoteArrival(index_, m.oid, msg.src_node);
     }
+    const EmObject* installed = FindLocal(m.oid);
+    uint32_t gen = installed != nullptr ? installed->move_gen : 0;
     if (IsDataOid(m.oid)) {
       int birth = BirthNodeOfDataOid(m.oid);
       if (birth != index_) {
-        WireWriter uw(world_->strategy(), arch(), &meter_);
-        uw.I32(index_);
-        uw.FinishMessage();
-        Message update;
-        update.type = MsgType::kLocationUpdate;
-        update.src_node = index_;
-        update.route_oid = m.oid;
-        update.strategy = world_->strategy();
-        update.payload_arch = arch();
-        update.payload = uw.Take();
-        SendMessage(birth, std::move(update));
+        SendLocationUpdate(birth, m.oid, index_, gen);
       }
     }
+    SendDirUpdate(m.oid, index_, gen);
   }
 }
 
@@ -1368,6 +1544,7 @@ void Node::HandleMoveRequest(const Message& msg) {
 void Node::HandleLocationUpdate(const Message& msg) {
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
   int loc = r.I32();
+  uint32_t gen = r.U32();
   r.FinishMessage();
   if (!r.ok() || loc < 0 || loc >= world_->num_nodes()) {
     RuntimeError("malformed location update");
@@ -1375,6 +1552,20 @@ void Node::HandleLocationUpdate(const Message& msg) {
   }
   if (!IsResident(msg.route_oid)) {
     location_hint_[msg.route_oid] = loc;
+  }
+  // Chain-compaction mail-backs refresh the home directory entry too (the home
+  // records itself on fwd_path when it relays), so a compacted chain never
+  // leaves the home pointing further behind than the clients it just corrected.
+  Directory* dir = world_->dir();
+  if (dir != nullptr && dir->HomeOf(msg.route_oid) == index_) {
+    if (dir->Apply(index_, msg.route_oid, loc, gen)) {
+      meter_.counters().dir_updates += 1;
+      world_->tracer().Instant(now_us(), index_, TracePoint::kDirUpdate, 0, loc,
+                               static_cast<int64_t>(msg.route_oid),
+                               static_cast<int64_t>(gen));
+    } else {
+      meter_.counters().dir_stale_hits += 1;
+    }
   }
 }
 
@@ -1573,8 +1764,20 @@ void Node::OnMoveTimer(uint32_t move_id) {
                         kTimerMoveCheck, move_id);
       return;
     }
-    // Queries exhausted over an idle channel: a live peer always answers, a dead
-    // one fails the channel. Surface it instead of spinning.
+    if (world_->net()->config().membership) {
+      // Queries exhausted, channel idle, but the membership layer still holds a
+      // lease on the peer — it is alive, just slow. Under open-loop overload
+      // (src/sim/traffic) a destination's runtime clock can trail its transport
+      // by whole seconds: acks and heartbeats are interrupt-level, while the
+      // kPending verdicts queue behind its backlog. Keep watching — the commit
+      // arrives when the peer catches up, and a genuinely dead peer still ends
+      // here via lease expiry (OnPeerUnreachable aborts the move).
+      world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                        kTimerMoveCheck, move_id);
+      return;
+    }
+    // No failure detector to rule: a live peer always answers, a dead one fails
+    // the channel. Surface it instead of spinning.
     RuntimeError("move handshake stalled for object " + std::to_string(pm.obj));
     return;
   }
@@ -1592,6 +1795,12 @@ void Node::OnMoveTimer(uint32_t move_id) {
 // ---------------------------------------------------------------------------
 
 void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
+  // Stop routing directory lookups through the dead peer: any object homed there
+  // now resolves via hints or the locate broadcast until the peer speaks again
+  // (the transport's NoteAlive clears the mark on any frame, heartbeat or not).
+  if (world_->dir() != nullptr) {
+    world_->dir()->NoteDown(index_, peer);
+  }
   // Resolve in-flight handshakes to the dead peer first, by what provably reached
   // it. A move whose prepare/transfer is among the undelivered frames never
   // installed: abort and reinstall the limbo copy. A move whose transfer was
@@ -1627,6 +1836,8 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
         break;  // the handshake was resolved in the pre-pass above
       case MsgType::kLoadDigest:
         break;  // advisory load data for a dead peer: worthless, drop
+      case MsgType::kDirUpdate:
+        break;  // soft state: the next install/compaction refreshes the shard
       case MsgType::kInvoke:
       case MsgType::kMoveRequest: {
         Oid oid = msg.route_oid;
@@ -1635,9 +1846,17 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
           location_hint_.erase(hint);
         }
         msg.forward_hops = 0;
+        msg.dir_hop = false;
         if (IsResident(oid) || moving_out_.count(oid) != 0 ||
             incoming_moves_.count(oid) != 0) {
           HandleMessage(msg);  // resolves locally or parks on the handshake
+          break;
+        }
+        if (world_->dir() != nullptr) {
+          // The down-mark above keeps ForwardViaDirectory off the dead home;
+          // with no hint left it goes straight to the broadcast fallback — the
+          // one case (home lease expiry) the broadcast is still for.
+          ForwardViaDirectory(msg);
           break;
         }
         int loc = ProbableLocation(oid);
@@ -1653,6 +1872,7 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
         // the query belonged to.
         auto it = locating_.find(msg.route_oid);
         if (it != locating_.end() && msg.route_seg.id.seg == it->second.round) {
+          it->second.peer_died = true;
           it->second.outstanding -= 1;
           if (it->second.outstanding <= 0) {
             FinishLocateRound(msg.route_oid);
@@ -1804,6 +2024,11 @@ void Node::OnCrash() {
     // Heat, affinity and peer digests were volatile state too.
     world_->sched()->OnNodeCrash(index_);
   }
+  if (world_->dir() != nullptr) {
+    // The directory shard hosted here is soft state: wipe it (and this node's
+    // liveness view) and let installs repopulate it after reboot.
+    world_->dir()->OnNodeCrash(index_);
+  }
 }
 
 std::vector<Oid> Node::ResidentUserObjects() const {
@@ -1904,6 +2129,7 @@ void Node::BroadcastLocate(Oid oid) {
   pl.round += 1;
   pl.outstanding = world_->num_nodes() - 1;
   meter_.counters().locate_queries += 1;
+  meter_.counters().locate_broadcasts += 1;
   ChargeCycles(kLocatePathCycles);
   if (pl.outstanding == 0) {
     FinishLocateRound(oid);
@@ -1925,6 +2151,19 @@ void Node::FinishLocateRound(Oid oid) {
   PendingLocate& pl = locating_.at(oid);
   if (pl.attempts_left > 0) {
     pl.attempts_left -= 1;
+    world_->PushTimer(now_us() + world_->net()->config().locate_retry_us, index_,
+                      kTimerLocateRetry, oid);
+    return;
+  }
+  if (world_->net()->config().membership && !pl.peer_died) {
+    // Every round was answered by a live peer, yet all said "not here". With no
+    // death anywhere the move handshake guarantees exactly one live copy — the
+    // object is simply in flight, and a hot object under open-loop load can
+    // dodge every round (each peer answers from a different instant, and by the
+    // time a loaded node processes its query the object has moved on). Keep
+    // asking: the object settles once the burst drains, and a real loss always
+    // shows up as a peer death first.
+    pl.attempts_left = 0;
     world_->PushTimer(now_us() + world_->net()->config().locate_retry_us, index_,
                       kTimerLocateRetry, oid);
     return;

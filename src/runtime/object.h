@@ -34,6 +34,10 @@ struct EmObject {
   std::vector<uint8_t> fields;  // machine-dependent image (node arch layout)
   std::string str;              // string content (is_string)
   MonitorState monitor;
+  // Install count: bumped on the wire each time the object lands on a new host.
+  // Orders kDirUpdate ownership records at the home directory (src/dir), so an
+  // update delayed in flight can never roll the home entry backwards.
+  uint32_t move_gen = 0;
 };
 
 }  // namespace hetm

@@ -1,0 +1,100 @@
+#include "src/sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+#include "src/support/check.h"
+
+namespace hetm {
+
+TrafficGen::TrafficGen(World* world, const TrafficConfig& config)
+    : world_(world), config_(config), rng_(config.seed) {
+  HETM_CHECK_MSG(world->num_nodes() > 0, "traffic requires nodes to exist");
+  HETM_CHECK_MSG(config.objects > 0, "traffic requires a non-empty object fleet");
+  HETM_CHECK_MSG(config.arrival_per_s > 0.0, "traffic requires a positive rate");
+  zipf_cdf_.reserve(config.objects);
+  double total = 0.0;
+  for (int i = 0; i < config.objects; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+    zipf_cdf_.push_back(total);
+  }
+  for (double& c : zipf_cdf_) {
+    c /= total;
+  }
+}
+
+void TrafficGen::Populate() {
+  const CompiledProgram* program = world_->boot_program();
+  HETM_CHECK_MSG(program != nullptr, "traffic requires a registered program");
+  Oid class_oid = kNilOid;
+  for (size_t i = 0; i < program->classes.size(); ++i) {
+    if (program->classes[i]->name == config_.service_class) {
+      class_oid = program->class_oids[i];
+      break;
+    }
+  }
+  HETM_CHECK_MSG(class_oid != kNilOid,
+                 "traffic service class not found in the registered program");
+  objects_.reserve(config_.objects);
+  for (int i = 0; i < config_.objects; ++i) {
+    Node& birth = world_->node(i % world_->num_nodes());
+    objects_.push_back(birth.CreateObject(class_oid));
+  }
+}
+
+void TrafficGen::Start() { world_->PushTraffic(config_.start_us); }
+
+double TrafficGen::RatePerUsAt(double time_us) const {
+  double rate = config_.arrival_per_s / 1e6;
+  if (config_.diurnal_amplitude != 0.0 && config_.diurnal_period_us > 0.0) {
+    rate *= 1.0 + config_.diurnal_amplitude *
+                      std::sin(2.0 * 3.14159265358979323846 * time_us /
+                               config_.diurnal_period_us);
+  }
+  // An amplitude >= 1 can push the modulated rate through zero; floor it so the
+  // process stalls (long gaps) instead of dividing by zero.
+  return std::max(rate, config_.arrival_per_s / 1e6 * 0.01);
+}
+
+Oid TrafficGen::SampleObject(double u) const {
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  size_t idx = static_cast<size_t>(it - zipf_cdf_.begin());
+  return objects_[std::min(idx, objects_.size() - 1)];
+}
+
+void TrafficGen::OnArrival(double time_us) {
+  if (!world_->ok() || injected_ >= config_.max_arrivals) {
+    return;  // no reschedule: the generator drains and the world can quiesce
+  }
+  // Fixed draw discipline: five variates per arrival no matter which branch
+  // runs, so a skipped injection (crashed client) cannot shift the stream.
+  double u_client = rng_.NextDouble();
+  double u_obj = rng_.NextDouble();
+  double u_kind = rng_.NextDouble();
+  double u_dest = rng_.NextDouble();
+  double u_gap = rng_.NextDouble();
+
+  int n = world_->num_nodes();
+  int client = std::min(static_cast<int>(u_client * n), n - 1);
+  Oid target = SampleObject(u_obj);
+  int dest = std::min(static_cast<int>(u_dest * n), n - 1);
+
+  ++injected_;
+  Network* net = world_->net();
+  if (net == nullptr || net->NodeUp(client)) {
+    Node& node = world_->node(client);
+    node.AdvanceTo(time_us);
+    if (u_kind < config_.move_fraction) {
+      node.InjectMoveRequest(target, dest);
+    } else {
+      node.InjectInvoke(target, config_.service_op);
+    }
+  }
+
+  double gap = -std::log(1.0 - u_gap) / RatePerUsAt(time_us);
+  world_->PushTraffic(time_us + gap);
+}
+
+}  // namespace hetm

@@ -1,0 +1,85 @@
+// Open-loop big-cluster traffic generator (ROADMAP: millions-of-users traffic).
+//
+// Emulates a user population hammering the object fleet: arrivals follow a
+// Poisson process whose rate can swing diurnally, each arrival picks a client
+// node uniformly and a target object by Zipf popularity (the classic
+// skewed-access shape of user-facing workloads), and a configurable fraction of
+// arrivals are explicit move requests so ownership actually churns. Open loop
+// means the next arrival is scheduled independently of how the system is coping —
+// load does not back off when the cluster falls behind, which is what stresses
+// the directory and the event merge at hundreds of nodes / 1e5 objects.
+//
+// Determinism: the generator owns one seeded NetRng and draws a fixed number of
+// variates per arrival regardless of which branch the arrival takes, so the
+// random stream — and with it the whole simulated schedule — is a pure function
+// of the seed. Same seed, same cluster: bit-identical replay.
+#ifndef HETM_SRC_SIM_TRAFFIC_H_
+#define HETM_SRC_SIM_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/fault_plan.h"
+#include "src/runtime/oid.h"
+
+namespace hetm {
+
+class World;
+
+struct TrafficConfig {
+  uint64_t seed = 1;
+  // Base arrival rate in arrivals per simulated second (λ of the Poisson
+  // process before diurnal modulation).
+  double arrival_per_s = 2000.0;
+  // Stop after this many arrivals; the world then quiesces normally.
+  uint64_t max_arrivals = 1000;
+  // Zipf popularity exponent over the object fleet (0 = uniform). Object i
+  // (creation order) has weight 1/(i+1)^s.
+  double zipf_s = 1.0;
+  // Fleet size: objects created round-robin across the nodes before the run.
+  int objects = 1000;
+  // Fraction of arrivals that are `move` requests to a uniform destination;
+  // the rest are fire-and-forget invocations.
+  double move_fraction = 0.05;
+  // Diurnal load shift: λ(t) = arrival_per_s * (1 + A * sin(2πt / P)).
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_us = 1'000'000.0;
+  // Service class/op the fleet instantiates and arrivals invoke. The registered
+  // program must define `class <service_class>` with a 0-argument op.
+  std::string service_class = "Svc";
+  std::string service_op = "poke";
+  // Simulated time of the first arrival.
+  double start_us = 1000.0;
+};
+
+class TrafficGen {
+ public:
+  TrafficGen(World* world, const TrafficConfig& config);
+
+  // Creates the object fleet round-robin across the nodes (before Run).
+  void Populate();
+  // Schedules the first arrival event.
+  void Start();
+  // One arrival: draw (client, object, kind, dest, gap), inject, reschedule.
+  void OnArrival(double time_us);
+
+  const TrafficConfig& config() const { return config_; }
+  uint64_t injected() const { return injected_; }
+  const std::vector<Oid>& objects() const { return objects_; }
+
+ private:
+  double RatePerUsAt(double time_us) const;
+  Oid SampleObject(double u) const;
+
+  World* world_;
+  TrafficConfig config_;
+  NetRng rng_;
+  std::vector<Oid> objects_;
+  std::vector<double> zipf_cdf_;  // cumulative popularity, normalized to 1
+  uint64_t injected_ = 0;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SIM_TRAFFIC_H_

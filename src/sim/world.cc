@@ -21,6 +21,7 @@ World::~World() {
 int World::AddNode(const MachineModel& machine, OptLevel opt) {
   int index = static_cast<int>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(this, index, machine, opt));
+  queues_.emplace_back();
   if (strategy_ == ConversionStrategy::kRaw && index > 0) {
     // The original homogeneous Emerald only runs between identical machine
     // representations: one architecture, one schedule.
@@ -54,6 +55,46 @@ void World::EnableSched(const SchedConfig& config) {
   sched_ = std::make_unique<Scheduler>(this, config);
 }
 
+void World::EnableDir(const DirConfig& config) {
+  HETM_CHECK_MSG(num_nodes() > 0, "EnableDir requires nodes to exist");
+  dir_ = std::make_unique<Directory>(this, config);
+}
+
+void World::EnableTraffic(const TrafficConfig& config) {
+  HETM_CHECK_MSG(num_nodes() > 0, "EnableTraffic requires nodes to exist");
+  traffic_ = std::make_unique<TrafficGen>(this, config);
+  traffic_->Populate();
+  traffic_->Start();
+}
+
+void World::PushEvent(Event ev) {
+  auto& q = queues_[ev.dst];
+  bool new_head = q.empty() || q.top() > ev;
+  q.push(std::move(ev));
+  if (new_head) {
+    heads_.push(QueueHead{q.top().time, q.top().seq, q.top().dst});
+  }
+}
+
+bool World::PopNextEvent(Event* out) {
+  while (!heads_.empty()) {
+    QueueHead h = heads_.top();
+    auto& q = queues_[h.slot];
+    if (q.empty() || q.top().seq != h.seq) {
+      heads_.pop();  // superseded by a later push; the live head has its own entry
+      continue;
+    }
+    *out = q.top();
+    q.pop();
+    heads_.pop();
+    if (!q.empty()) {
+      heads_.push(QueueHead{q.top().time, q.top().seq, h.slot});
+    }
+    return true;
+  }
+  return false;
+}
+
 void World::Send(int from_node, int to_node, Message msg) {
   HETM_CHECK(to_node >= 0 && to_node < num_nodes());
   if (net_ != nullptr && from_node != to_node) {
@@ -68,7 +109,7 @@ void World::Send(int from_node, int to_node, Message msg) {
   ev.seq = next_event_seq_++;
   ev.dst = to_node;
   ev.msg = std::move(msg);
-  queue_.push(std::move(ev));
+  PushEvent(std::move(ev));
 }
 
 void World::PushPacket(double time_us, NetPacket pkt) {
@@ -78,7 +119,7 @@ void World::PushPacket(double time_us, NetPacket pkt) {
   ev.dst = pkt.to;
   ev.kind = Event::Kind::kPacket;
   ev.pkt = std::move(pkt);
-  queue_.push(std::move(ev));
+  PushEvent(std::move(ev));
 }
 
 void World::PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t timer_id) {
@@ -89,7 +130,7 @@ void World::PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t tim
   ev.kind = Event::Kind::kTimer;
   ev.timer_kind = timer_kind;
   ev.timer_id = timer_id;
-  queue_.push(std::move(ev));
+  PushEvent(std::move(ev));
 }
 
 void World::PushAdmin(double time_us, int node, bool up) {
@@ -99,7 +140,18 @@ void World::PushAdmin(double time_us, int node, bool up) {
   ev.dst = node;
   ev.kind = Event::Kind::kAdmin;
   ev.admin_up = up;
-  queue_.push(std::move(ev));
+  PushEvent(std::move(ev));
+}
+
+void World::PushTraffic(double time_us) {
+  // Arrival events ride node 0's queue slot; the generator draws the actual
+  // client at fire time, so the slot only orders the event in the merge.
+  Event ev;
+  ev.time = time_us;
+  ev.seq = next_event_seq_++;
+  ev.dst = 0;
+  ev.kind = Event::Kind::kTraffic;
+  PushEvent(std::move(ev));
 }
 
 void World::Dispatch(const Event& ev) {
@@ -136,20 +188,48 @@ void World::Dispatch(const Event& ev) {
     case Event::Kind::kAdmin:
       net_->OnAdminEvent(ev.time, ev.dst, ev.admin_up);
       return;
+    case Event::Kind::kTraffic:
+      // Generator arrivals fire regardless of any node's crash state (users keep
+      // arriving); the generator itself skips injecting into a crashed client.
+      traffic_->OnArrival(ev.time);
+      return;
   }
 }
 
 bool World::Run(uint64_t max_events) {
   uint64_t events = 0;
+  uint64_t iterations = 0;
+  auto fuel_exceeded = [&]() {
+    uint64_t executed = 0;
+    for (const auto& node : nodes_) {
+      executed += node->meter().counters().vm_instructions;
+    }
+    if (executed > fuel_limit_) {
+      SetError("fuel limit exceeded (" + std::to_string(executed) + " instructions)");
+      return true;
+    }
+    return false;
+  };
   while (events < max_events && ok()) {
     bool any = false;
-    for (auto& node : nodes_) {
-      if (net_ != nullptr && !net_->NodeUp(node->index())) {
-        continue;  // crashed nodes execute nothing
-      }
-      if (node->HasRunnable()) {
+    if (!runnable_.empty()) {
+      // Snapshot: a pump can enqueue more work (only on the pumping node, which
+      // is already in the set), and drained nodes drop out of the set here.
+      pump_scratch_.assign(runnable_.begin(), runnable_.end());
+      for (int idx : pump_scratch_) {
+        Node* node = nodes_[idx].get();
+        if (!node->HasRunnable()) {
+          runnable_.erase(idx);
+          continue;
+        }
+        if (net_ != nullptr && !net_->NodeUp(idx)) {
+          continue;  // crashed nodes execute nothing
+        }
         node->Pump();
         any = true;
+        if (!node->HasRunnable()) {
+          runnable_.erase(idx);
+        }
       }
     }
     if (sched_ != nullptr) {
@@ -167,17 +247,15 @@ bool World::Run(uint64_t max_events) {
         }
       }
     }
-    uint64_t executed = 0;
-    for (const auto& node : nodes_) {
-      executed += node->meter().counters().vm_instructions;
-    }
-    if (executed > fuel_limit_) {
-      SetError("fuel limit exceeded (" + std::to_string(executed) + " instructions)");
+    // The fuel sum walks every node; amortize it so the guard costs O(1) per
+    // iteration at fleet scale. The check is passive (it changes nothing for a
+    // run that stays under the limit), so the amortization only defers *when* a
+    // runaway is detected, never what a healthy run does.
+    if ((++iterations & 31u) == 0 && fuel_exceeded()) {
       return false;
     }
-    if (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
+    Event ev;
+    if (PopNextEvent(&ev)) {
       ++events;
       Dispatch(ev);
       continue;
@@ -185,6 +263,9 @@ bool World::Run(uint64_t max_events) {
     if (!any) {
       break;
     }
+  }
+  if (ok() && fuel_exceeded()) {
+    return false;
   }
   return ok();
 }
@@ -242,6 +323,10 @@ void World::ExportMetrics() {
       {"sched_committed", &CostCounters::sched_committed},
       {"sched_vetoed", &CostCounters::sched_vetoed},
       {"sched_pingpong", &CostCounters::sched_pingpong},
+      {"dir_lookups", &CostCounters::dir_lookups},
+      {"dir_updates", &CostCounters::dir_updates},
+      {"dir_stale_hits", &CostCounters::dir_stale_hits},
+      {"locate_broadcasts", &CostCounters::locate_broadcasts},
   };
   char prefix[32];
   for (const Item& item : kItems) {

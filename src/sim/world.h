@@ -10,11 +10,13 @@
 
 #include <memory>
 #include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/arch/machine.h"
 #include "src/compiler/compiled.h"
+#include "src/dir/directory.h"
 #include "src/mobility/wire.h"
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
@@ -22,6 +24,7 @@
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
 #include "src/sched/sched.h"
+#include "src/sim/traffic.h"
 
 namespace hetm {
 
@@ -68,14 +71,32 @@ class World {
   void EnableSched(const SchedConfig& config);
   Scheduler* sched() { return sched_.get(); }
 
+  // Installs the sharded home directory (src/dir). Call after AddNode and before
+  // Boot/Run. Without it object routing uses the original birth-node strategy.
+  void EnableDir(const DirConfig& config);
+  Directory* dir() { return dir_.get(); }
+
+  // Installs the open-loop traffic generator (src/sim/traffic). Call after
+  // RegisterProgram (it resolves the service class by name) and before Run; it
+  // populates the object fleet immediately and schedules the first arrival.
+  void EnableTraffic(const TrafficConfig& config);
+  TrafficGen* traffic() { return traffic_.get(); }
+
   // Event injection used by the network layer and the handshake/locate timers.
   void PushPacket(double time_us, NetPacket pkt);
   void PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t timer_id);
   void PushAdmin(double time_us, int node, bool up);
+  void PushTraffic(double time_us);
+
+  // Run-queue bookkeeping: Node::EnqueueRunnable reports here so Run's pump pass
+  // visits only nodes that actually have runnable segments (O(runnable), not
+  // O(cluster) — the difference is decisive at hundreds of nodes).
+  void NoteRunnable(int node) { runnable_.insert(node); }
 
   Node& node(int index) { return *nodes_[index]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   CodeRegistry& code() { return code_; }
+  const CompiledProgram* boot_program() const { return boot_program_; }
   ConversionStrategy strategy() const { return strategy_; }
 
   // Same-representation bypass (kPlan only): when a move's source and
@@ -115,7 +136,7 @@ class World {
 
  private:
   struct Event {
-    enum class Kind : uint8_t { kMessage, kPacket, kTimer, kAdmin };
+    enum class Kind : uint8_t { kMessage, kPacket, kTimer, kAdmin, kTraffic };
     double time;
     uint64_t seq;
     int dst;
@@ -129,7 +150,25 @@ class World {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
+  // Index entry of the cross-node event merge: the head of one node's event
+  // queue. Stale entries (the head changed after a push) are discarded lazily —
+  // the seq either matches the queue's current head or names a superseded one.
+  struct QueueHead {
+    double time;
+    uint64_t seq;
+    int slot;
+    bool operator>(const QueueHead& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
 
+  // Every event enters through here: appended to its destination node's own
+  // queue, and the merge index is told when the queue's head changed. Dispatch
+  // order over all queues is globally (time, seq) — bit-identical to the single
+  // priority queue this replaces, but each operation costs O(log queue-of-one-
+  // node) instead of O(log all-pending-events), and the merge index stays tiny.
+  void PushEvent(Event ev);
+  bool PopNextEvent(Event* out);
   void Dispatch(const Event& ev);
 
   ConversionStrategy strategy_;
@@ -137,10 +176,20 @@ class World {
   Tracer tracer_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Per-node event queues plus the lazy merge index over their heads.
+  std::vector<std::priority_queue<Event, std::vector<Event>, std::greater<Event>>>
+      queues_;
+  std::priority_queue<QueueHead, std::vector<QueueHead>, std::greater<QueueHead>>
+      heads_;
   uint64_t next_event_seq_ = 0;
+  // Nodes with runnable segments (ordered: the pump pass visits ascending index,
+  // exactly as the old full scan did).
+  std::set<int> runnable_;
+  std::vector<int> pump_scratch_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<Directory> dir_;
+  std::unique_ptr<TrafficGen> traffic_;
   CodeRegistry code_;
   const CompiledProgram* boot_program_ = nullptr;
   std::string output_;

@@ -1,0 +1,449 @@
+// Sharded home-directory object location (src/dir) and the open-loop traffic
+// generator (src/sim/traffic).
+//
+//  * The consistent-hash ring is deterministic and reasonably balanced.
+//  * Home shards are generation-guarded: a kDirUpdate that raced a later move
+//    (committed while the update was in flight) can never roll an entry back.
+//  * Steady-state location lookups never broadcast: client -> home -> owner.
+//  * A multi-hop tour leaves the home entry naming the final owner, at the
+//    install count's generation, even when updates arrive out of order.
+//  * Home crash: the locate broadcast fires exactly once per lease expiry, and
+//    the answer re-primes the hints so the next lookup is direct again.
+//  * Same-seed replays of a traffic + scheduler + directory world are
+//    bit-identical (output, trace digest, simulated time).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dir/directory.h"
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+#include "src/sched/sched.h"
+#include "src/sim/traffic.h"
+
+namespace hetm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring / shard unit level
+// ---------------------------------------------------------------------------
+
+TEST(DirRing, SameConfigSameHomesAcrossInstances) {
+  DirConfig cfg;
+  DirRing a(256, cfg);
+  DirRing b(256, cfg);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    Oid oid = MakeDataOid(i % 256, i);
+    int home = a.HomeOf(oid);
+    EXPECT_EQ(home, b.HomeOf(oid));
+    EXPECT_GE(home, 0);
+    EXPECT_LT(home, 256);
+  }
+}
+
+TEST(DirRing, ShardsAreReasonablyBalancedAt256Nodes) {
+  DirConfig cfg;
+  DirRing ring(256, cfg);
+  std::vector<int> load(256, 0);
+  constexpr int kKeys = 100000;
+  for (uint32_t i = 0; i < kKeys; ++i) {
+    load[ring.HomeOf(MakeDataOid(i % 256, i / 256))] += 1;
+  }
+  int min_load = kKeys, max_load = 0;
+  for (int l : load) {
+    min_load = std::min(min_load, l);
+    max_load = std::max(max_load, l);
+  }
+  double mean = static_cast<double>(kKeys) / 256.0;
+  EXPECT_GT(min_load, 0) << "some node owns no keys";
+  // 8 vnodes per node keeps the spread modest; the exact bound is generous so
+  // the test pins "balanced", not one hash function's constants.
+  EXPECT_LT(max_load, mean * 4.0);
+  EXPECT_GT(min_load, mean / 8.0);
+}
+
+TEST(DirRing, DifferentSeedsGiveDifferentRings) {
+  DirConfig a_cfg;
+  DirConfig b_cfg;
+  b_cfg.ring_seed = 12345;
+  DirRing a(64, a_cfg);
+  DirRing b(64, b_cfg);
+  int differing = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    Oid oid = MakeDataOid(i % 64, i);
+    differing += a.HomeOf(oid) != b.HomeOf(oid) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 500);
+}
+
+// A move that commits while the previous install's kDirUpdate is still in
+// flight delivers the updates out of order; the generation guard must keep the
+// newest ownership record regardless of arrival order.
+TEST(DirShard, GenerationGuardDropsStaleUpdates) {
+  World world;
+  world.AddNode(SparcStationSlc());
+  world.AddNode(VaxStation4000());
+  world.EnableDir(DirConfig{});
+  Directory* dir = world.dir();
+  Oid oid = MakeDataOid(0, 7);
+  int home = dir->HomeOf(oid);
+
+  EXPECT_EQ(dir->Lookup(home, oid), nullptr);
+  EXPECT_TRUE(dir->Apply(home, oid, /*owner=*/1, /*gen=*/2));   // second install
+  EXPECT_FALSE(dir->Apply(home, oid, /*owner=*/0, /*gen=*/1));  // late first install
+  EXPECT_FALSE(dir->Apply(home, oid, /*owner=*/0, /*gen=*/2));  // duplicate
+  const Directory::Entry* e = dir->Lookup(home, oid);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, 1);
+  EXPECT_EQ(e->gen, 2u);
+
+  EXPECT_TRUE(dir->Apply(home, oid, /*owner=*/0, /*gen=*/3));  // a real later move
+  e = dir->Lookup(home, oid);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, 0);
+  EXPECT_EQ(e->gen, 3u);
+  EXPECT_EQ(dir->ShardSize(home), 1u);
+
+  dir->OnNodeCrash(home);
+  EXPECT_EQ(dir->Lookup(home, oid), nullptr);
+  EXPECT_EQ(dir->ShardSize(home), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// System level
+// ---------------------------------------------------------------------------
+
+uint64_t SumCounter(EmeraldSystem& sys, uint64_t CostCounters::*field) {
+  uint64_t total = 0;
+  for (int n = 0; n < sys.world().num_nodes(); ++n) {
+    total += sys.node(n).meter().counters().*field;
+  }
+  return total;
+}
+
+Oid ClassOidOf(const EmeraldSystem& sys, const std::string& name) {
+  const CompiledProgram& prog = *sys.program();
+  for (size_t i = 0; i < prog.classes.size(); ++i) {
+    if (prog.classes[i]->name == name) {
+      return prog.class_oids[i];
+    }
+  }
+  return kNilOid;
+}
+
+// A third-party node locating an object it has never seen costs a directory
+// lookup, never a broadcast: client -> home -> owner.
+TEST(DirSystem, ThirdPartyLookupNeverBroadcasts) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_385());
+  ASSERT_TRUE(sys.Load(R"(
+    class Target
+      var n: Int
+      op hit(): Int
+        n := n + 1
+        return n
+      end
+    end
+    class Prober
+      var junk: Int
+      op probe(t: Ref): Int
+        return t.hit()
+      end
+    end
+    main
+      var t: Ref := new Target
+      move t to nodeat(1)
+      var p: Ref := new Prober
+      move p to nodeat(2)
+      print p.probe(t)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  sys.world().EnableNet(NetConfig{});
+  sys.world().EnableDir(DirConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1\n");
+  EXPECT_EQ(SumCounter(sys, &CostCounters::locate_queries), 0u);
+  EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 0u);
+  // Both moves mailed their home an ownership record.
+  EXPECT_GE(SumCounter(sys, &CostCounters::dir_updates), 2u);
+}
+
+// After a multi-hop tour the home entry names the final owner at the install
+// count's generation — the compaction mail-backs and install updates may race,
+// but the generation guard makes their arrival order irrelevant.
+TEST(DirSystem, ThreeHopTourLeavesHomeEntryAtFinalOwner) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_433s());
+  ASSERT_TRUE(sys.Load(R"(
+    class Wanderer
+      var n: Int
+      op tag(v: Int): Int
+        n := n + v
+        return n
+      end
+    end
+    main
+      var w: Ref := new Wanderer
+      move w to nodeat(1)
+      move w to nodeat(2)
+      move w to nodeat(3)
+      move w to nodeat(1)
+      print w.tag(5)
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  sys.world().EnableDir(DirConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "5\n");
+
+  Oid wanderer_class = ClassOidOf(sys, "Wanderer");
+  ASSERT_NE(wanderer_class, kNilOid);
+  Oid wanderer = kNilOid;
+  for (Oid oid : sys.node(1).ResidentUserObjects()) {
+    const EmObject* obj = sys.node(1).FindLocal(oid);
+    if (obj != nullptr && obj->code_oid == wanderer_class) {
+      wanderer = oid;
+    }
+  }
+  ASSERT_NE(wanderer, kNilOid) << "wanderer did not end up on node 1";
+
+  Directory* dir = sys.world().dir();
+  int home = dir->HomeOf(wanderer);
+  const Directory::Entry* e = dir->Lookup(home, wanderer);
+  ASSERT_NE(e, nullptr) << "home shard has no record of the wanderer";
+  EXPECT_EQ(e->owner, 1);
+  EXPECT_EQ(e->gen, 4u) << "four installs must leave generation 4";
+}
+
+// Rapid ping-pong: twelve installs' worth of kDirUpdate / compaction mail may
+// arrive at the home in any interleaving; the entry must still converge on the
+// final placement and generation.
+TEST(DirSystem, PingPongUpdatesConvergeAtHome) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  ASSERT_TRUE(sys.Load(R"(
+    class Ball
+      var n: Int
+      op touch(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var b: Ref := new Ball
+      var i: Int := 0
+      while i < 6 do
+        move b to nodeat(1)
+        b.touch()
+        move b to nodeat(0)
+        b.touch()
+        i := i + 1
+      end
+      print b.touch()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  sys.world().EnableNet(NetConfig{});
+  sys.world().EnableDir(DirConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "13\n");
+
+  Oid ball_class = ClassOidOf(sys, "Ball");
+  ASSERT_NE(ball_class, kNilOid);
+  Oid ball = kNilOid;
+  for (Oid oid : sys.node(0).ResidentUserObjects()) {
+    const EmObject* obj = sys.node(0).FindLocal(oid);
+    if (obj != nullptr && obj->code_oid == ball_class) {
+      ball = oid;
+    }
+  }
+  ASSERT_NE(ball, kNilOid);
+  Directory* dir = sys.world().dir();
+  const Directory::Entry* e = dir->Lookup(dir->HomeOf(ball), ball);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, 0);
+  EXPECT_EQ(e->gen, 12u);
+  EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 0u);
+}
+
+// The broadcast is a last resort reserved for home failure: crash an object's
+// home, then look the object up from a node with no hints. The lease on the
+// dead home expires once, one broadcast rebuilds the hint, and the next lookup
+// is direct again — at most one broadcast per expiry.
+TEST(DirSystem, HomeCrashFallsBackToBroadcastAtMostOncePerExpiry) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_385());
+  ASSERT_TRUE(sys.Load(R"(
+    class Svc
+      var n: Int
+      op poke(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var x: Int := 0
+      print x
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  Oid svc_class = ClassOidOf(sys, "Svc");
+  ASSERT_NE(svc_class, kNilOid);
+  // Host-side object on node 0, created before boot so its OID is known now.
+  Oid target = sys.node(0).CreateObject(svc_class);
+
+  // Pick a ring salt that homes the target on node 2 — the node we crash —
+  // with the owner on 0 and the client on 3.
+  DirConfig dcfg;
+  for (uint64_t seed = 1;; ++seed) {
+    dcfg.ring_seed = seed;
+    if (DirRing(4, dcfg).HomeOf(target) == 2) {
+      break;
+    }
+  }
+
+  NetConfig ncfg;
+  ncfg.fault.crashes.push_back(
+      CrashEvent{/*node=*/2, /*at_us=*/400000.0, /*restart_at_us=*/-1.0});
+  sys.world().EnableNet(ncfg);
+  sys.world().EnableDir(dcfg);
+  ASSERT_EQ(sys.world().dir()->HomeOf(target), 2);
+
+  sys.world().Boot(0);
+  ASSERT_TRUE(sys.world().Run()) << sys.error();
+  ASSERT_EQ(sys.output(), "0\n");
+
+  // The home is dead. A hintless client's lookup routes there, the lease
+  // expires, and exactly one broadcast rebuilds the location.
+  sys.node(3).InjectInvoke(target, "poke");
+  ASSERT_TRUE(sys.world().Run()) << sys.error();
+  EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 1u);
+
+  // The broadcast's answer primed node 3's hint: the second lookup is direct.
+  sys.node(3).InjectInvoke(target, "poke");
+  ASSERT_TRUE(sys.world().Run()) << sys.error();
+  EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 1u);
+
+  // Both pokes landed on the (still live) owner.
+  const EmObject* obj = sys.node(0).FindLocal(target);
+  ASSERT_NE(obj, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Traffic generator + replay determinism
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSvcSource = R"(
+    class Svc
+      var n: Int
+      op poke(): Int
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var x: Int := 0
+      print x
+    end
+)";
+
+struct TrafficRun {
+  std::string output;
+  uint64_t trace_digest = 0;
+  double now_us = 0.0;
+  uint64_t locate_queries = 0;
+  uint64_t dir_lookups = 0;
+  uint64_t dir_updates = 0;
+  uint64_t injected = 0;
+};
+
+TrafficRun RunTrafficWorld(int nodes, uint64_t arrivals, uint64_t seed,
+                           bool sched) {
+  static const MachineModel kCycle[6] = {SparcStationSlc(), Sun3_100(),
+                                         Hp9000_433s(),     Hp9000_385(),
+                                         VaxStation4000(),  VaxStation2000()};
+  EmeraldSystem sys;
+  for (int i = 0; i < nodes; ++i) {
+    sys.AddNode(kCycle[i % 6]);
+  }
+  EXPECT_TRUE(sys.Load(kSvcSource));
+  NetConfig ncfg;
+  ncfg.fault.seed = seed;
+  sys.world().EnableNet(ncfg);
+  if (sched) {
+    sys.world().EnableSched(SchedConfig{});
+  }
+  sys.world().EnableDir(DirConfig{});
+  TrafficConfig tcfg;
+  tcfg.seed = seed;
+  tcfg.arrival_per_s = 4000.0;
+  tcfg.max_arrivals = arrivals;
+  tcfg.zipf_s = 1.0;
+  tcfg.objects = 100;
+  tcfg.move_fraction = 0.05;
+  tcfg.diurnal_amplitude = 0.5;
+  tcfg.diurnal_period_us = 500000.0;
+  sys.world().EnableTraffic(tcfg);
+
+  sys.world().Boot(0);
+  EXPECT_TRUE(sys.world().Run(20'000'000)) << sys.error();
+
+  TrafficRun r;
+  r.output = sys.output();
+  r.trace_digest = sys.world().tracer().digest();
+  r.now_us = sys.world().NowMaxUs();
+  r.locate_queries = SumCounter(sys, &CostCounters::locate_queries);
+  r.dir_lookups = SumCounter(sys, &CostCounters::dir_lookups);
+  r.dir_updates = SumCounter(sys, &CostCounters::dir_updates);
+  r.injected = sys.world().traffic()->injected();
+  return r;
+}
+
+// Open-loop Zipf traffic against a healthy mid-size cluster: every arrival is
+// injected, lookups flow client -> home -> owner, and no locate broadcast ever
+// fires — the acceptance criterion's steady-state O(1) location cost.
+TEST(DirTraffic, SteadyStateZipfTrafficNeverBroadcasts) {
+  TrafficRun r = RunTrafficWorld(/*nodes=*/16, /*arrivals=*/500, /*seed=*/7,
+                                 /*sched=*/false);
+  EXPECT_EQ(r.injected, 500u);
+  EXPECT_EQ(r.locate_queries, 0u);
+  EXPECT_GT(r.dir_lookups, 0u);
+  EXPECT_GT(r.dir_updates, 0u);
+}
+
+// Same seed, scheduler and directory both enabled: the replay must be
+// bit-identical — same output, same trace digest, same simulated end time.
+TEST(DirTraffic, SameSeedReplayIsBitIdentical) {
+  TrafficRun a = RunTrafficWorld(/*nodes=*/8, /*arrivals=*/300, /*seed=*/42,
+                                 /*sched=*/true);
+  TrafficRun b = RunTrafficWorld(/*nodes=*/8, /*arrivals=*/300, /*seed=*/42,
+                                 /*sched=*/true);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.now_us, b.now_us);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.dir_lookups, b.dir_lookups);
+  EXPECT_EQ(a.dir_updates, b.dir_updates);
+}
+
+// Different seeds must actually change the schedule (the generator is not
+// ignoring its seed).
+TEST(DirTraffic, DifferentSeedsDiverge) {
+  TrafficRun a = RunTrafficWorld(/*nodes=*/8, /*arrivals=*/300, /*seed=*/1,
+                                 /*sched=*/false);
+  TrafficRun b = RunTrafficWorld(/*nodes=*/8, /*arrivals=*/300, /*seed=*/2,
+                                 /*sched=*/false);
+  EXPECT_NE(a.trace_digest, b.trace_digest);
+}
+
+}  // namespace
+}  // namespace hetm
