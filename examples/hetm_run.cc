@@ -94,6 +94,7 @@ int Usage() {
                "                [--fixed-rto] [--rto-min US] [--rto-max US]\n"
                "                [--lease US] [--heartbeat US]\n"
                "                [--partition A+B+..:START_US:HEAL_US]\n"
+               "                [--commit-lease] [--heal-reconcile]\n"
                "                [--sched] [--sched-period US] [--sched-hysteresis F]\n"
                "                [--dir] [--arrival PER_S] [--zipf S] [--objects K]\n"
                "                [--traffic N] [--move-frac F] [--svc CLASS.OP]\n");
@@ -126,6 +127,8 @@ int main(int argc, char** argv) {
   double lease_us = -1.0;
   double heartbeat_us = -1.0;
   std::string partition_arg;
+  bool commit_lease = false;
+  bool heal_reconcile = false;
   bool use_sched = false;
   double sched_period_us = -1.0;
   double sched_hysteresis = -1.0;
@@ -248,6 +251,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       partition_arg = v;
+      use_net = true;
+    } else if (arg == "--commit-lease") {
+      commit_lease = true;
+      use_net = true;
+    } else if (arg == "--heal-reconcile") {
+      heal_reconcile = true;
       use_net = true;
     } else if (arg == "--sched") {
       use_sched = true;
@@ -404,6 +413,13 @@ int main(int argc, char** argv) {
       w.heal_after_us = std::atof(fields[2].c_str());
       cfg.fault.partitions.push_back(w);
     }
+    cfg.commit_lease = commit_lease || heal_reconcile;
+    cfg.heal_reconcile = heal_reconcile;
+    if (cfg.commit_lease && !use_dir) {
+      // Lease arbitration and the reconcile sweep both ask the object's home
+      // shard; without a directory the guards would silently never engage.
+      use_dir = true;
+    }
     sys.world().EnableNet(cfg);
   }
 
@@ -496,6 +512,16 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(c.reconnects),
                      static_cast<unsigned long long>(c.reservations_reclaimed),
                      static_cast<unsigned long long>(c.moves_presumed_committed));
+        if (commit_lease || heal_reconcile) {
+          std::fprintf(stderr,
+                       "        leases:    %4llu leased installs, %2llu claims,"
+                       " %2llu denied, %2llu reconciles, %2llu copies retired\n",
+                       static_cast<unsigned long long>(c.leased_installs),
+                       static_cast<unsigned long long>(c.move_claims),
+                       static_cast<unsigned long long>(c.claims_denied),
+                       static_cast<unsigned long long>(c.reconciles_run),
+                       static_cast<unsigned long long>(c.copies_retired));
+        }
       }
       if (strategy == ConversionStrategy::kPlan) {
         const PlanCache& plans = node.plans();

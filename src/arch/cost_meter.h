@@ -65,6 +65,12 @@ struct CostCounters {
   uint64_t dir_updates = 0;      // fresh ownership records applied to the shard
   uint64_t dir_stale_hits = 0;   // out-of-date records dropped / stale answers chased
   uint64_t locate_broadcasts = 0;  // broadcast fallbacks (last resort with a dir on)
+  // --- commit leases / heal reconciliation (src/net + src/dir) ---
+  uint64_t leased_installs = 0;  // transfers held under a destination commit lease
+  uint64_t move_claims = 0;      // generation claims sent to home-shard arbitration
+  uint64_t claims_denied = 0;    // claims the home denied (the other side won)
+  uint64_t reconciles_run = 0;   // heal-time reconciliation sweeps started
+  uint64_t copies_retired = 0;   // losing copies retired (leased or live)
 };
 
 class Tracer;

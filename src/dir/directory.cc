@@ -68,6 +68,19 @@ bool Directory::Apply(int home, Oid oid, int owner, uint32_t gen) {
   return true;
 }
 
+Directory::Grant Directory::Arbitrate(int home, Oid oid, int claimant,
+                                      uint32_t gen) {
+  Entry& e = shards_[home][oid];
+  if (e.owner >= 0 && e.gen >= gen) {
+    // Generation already decided: re-grant the recorded winner, deny anyone else.
+    bool granted = (e.gen == gen && e.owner == claimant);
+    return Grant{granted, e.owner, e.gen};
+  }
+  e.owner = claimant;
+  e.gen = gen;
+  return Grant{true, claimant, gen};
+}
+
 void Directory::OnNodeCrash(int node) {
   shards_[node].clear();
   down_[node].clear();

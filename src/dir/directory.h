@@ -84,6 +84,20 @@ class Directory {
   bool Apply(int home, Oid oid, int owner, uint32_t gen);
   size_t ShardSize(int home) const { return shards_[home].size(); }
 
+  // Home-side arbitration verdict for a commit-lease generation claim.
+  struct Grant {
+    bool granted = false;
+    int owner = -1;     // who the shard records after the claim
+    uint32_t gen = 0;   // the generation it records
+  };
+  // Arbitrates move generation `gen` of `oid`: the first claimant of a generation
+  // wins and is recorded in the shard, so the record doubles as the fence — the
+  // loser's own later kDirUpdate at the same generation dies on Apply's guard.
+  // Re-claims by the recorded winner are re-granted (grants can be lost in
+  // flight), and a claim for a generation the shard has already moved past is
+  // denied outright.
+  Grant Arbitrate(int home, Oid oid, int claimant, uint32_t gen);
+
   // Per-observer liveness view, fed by the transport's lease layer (NoteAlive /
   // ExpirePeer). IsDown(observer, home) means: observer's lease on home expired
   // and nothing has been heard since — route around it, broadcast if cold.

@@ -414,6 +414,7 @@ void Network::ChannelFail(int self, int peer) {
       return;
     }
     ch.parked = true;
+    ep.suspected.insert(peer);
     for (auto& [seq, pending] : ch.unacked) {
       ep.retx_timers.erase(pending.timer_id);
       pending.timer_id = 0;
@@ -546,28 +547,34 @@ void Network::NoteAlive(int self, int peer, double time_us) {
   // A live peer may be owed replies parked when its lease expired (the dead-letter
   // queue); flush them now that it has spoken. Cheap no-op when the queue is empty.
   world_->node(self).FlushDeadLetters(peer, ep.recv[peer].peer_epoch, time_us);
+  // One-shot heal edge: the mark is set at park AND at lease expiry, so a healed
+  // cut is observed even when expiry already tore the channel and PeerView down.
+  bool was_suspected = ep.suspected.erase(peer) != 0;
   auto cit = ep.send.find(peer);
-  if (cit == ep.send.end() || !cit->second.parked) {
-    return;
+  if (cit != ep.send.end() && cit->second.parked) {
+    // The suspected peer spoke: revive the parked channel by retransmitting its
+    // backlog with a fresh retry budget. Karn's rule keeps these out of the RTT
+    // estimate.
+    SendChannel& ch = cit->second;
+    ch.parked = false;
+    Node& sender = world_->node(self);
+    sender.meter().counters().reconnects += 1;
+    world_->tracer().Instant(time_us, self, TracePoint::kReconnect, 0, peer,
+                             static_cast<int64_t>(ch.unacked.size()));
+    for (auto& [seq, pending] : ch.unacked) {
+      pending.attempts = 1;
+      pending.retransmitted = true;
+      pending.rto_us = CurrentRto(ch);
+      sender.meter().counters().retransmits += 1;
+      sender.ChargeCycles(kTransportSendCycles +
+                          pending.msg.payload.size() * kChecksumPerByteCycles);
+      TransmitData(self, peer, seq, pending.msg);
+      ScheduleRetx(self, peer, seq, pending.rto_us);
+    }
   }
-  // The suspected peer spoke: revive the parked channel by retransmitting its
-  // backlog with a fresh retry budget. Karn's rule keeps these out of the RTT
-  // estimate.
-  SendChannel& ch = cit->second;
-  ch.parked = false;
-  Node& sender = world_->node(self);
-  sender.meter().counters().reconnects += 1;
-  world_->tracer().Instant(time_us, self, TracePoint::kReconnect, 0, peer,
-                           static_cast<int64_t>(ch.unacked.size()));
-  for (auto& [seq, pending] : ch.unacked) {
-    pending.attempts = 1;
-    pending.retransmitted = true;
-    pending.rto_us = CurrentRto(ch);
-    sender.meter().counters().retransmits += 1;
-    sender.ChargeCycles(kTransportSendCycles +
-                        pending.msg.payload.size() * kChecksumPerByteCycles);
-    TransmitData(self, peer, seq, pending.msg);
-    ScheduleRetx(self, peer, seq, pending.rto_us);
+  if (was_suspected) {
+    // After the revive, so anything the heal hook sends rides the live channel.
+    world_->node(self).OnPeerHealed(peer, time_us);
   }
 }
 
@@ -594,6 +601,10 @@ void Network::ExpirePeer(int self, int peer, double time_us) {
     ch.next_seq = 1;
     ch.stream += 1;
   }
+  // The expiry IS a suspicion verdict: record it at the endpoint, because the
+  // PeerView (and possibly the channel) is gone after this point and a one-way
+  // cut may never have parked anything — the heal must still be observable.
+  ep.suspected.insert(peer);
   ep.peers.erase(peer);
   world_->tracer().Instant(time_us, self, TracePoint::kLeaseExpire, 0, peer,
                            static_cast<int64_t>(undelivered.size()));
@@ -718,7 +729,15 @@ void Network::OnPacketEvent(double time_us, const NetPacket& pkt) {
   if (pkt.src_epoch > rch.peer_epoch) {
     rch.peer_epoch = pkt.src_epoch;
     rch.expected = 1;
-    rch.peer_stream = pkt.stream;
+    // Only data frames carry the sender's data-stream numbering: an ack's stream
+    // field covers the opposite direction's channel, and a heartbeat carries
+    // none. Adopting an ack's stream here poisons the expectation when the two
+    // directions' numberings diverge (one side expired the other across an
+    // asymmetric cut and bumped only its own send stream) — every later data
+    // frame then reads as a pre-renumbering straggler and the channel livelocks.
+    // Reset to zero instead and let the first data frame of the new epoch
+    // re-establish the numbering.
+    rch.peer_stream = pkt.kind == 0 ? pkt.stream : 0;
     rch.ooo.clear();
   }
   ObservePeerEpoch(pkt.to, pkt.from, pkt.src_epoch);
@@ -822,6 +841,7 @@ void Network::CrashNode(int node, double time_us, double restart_after_us) {
   ep.recv.clear();
   ep.retx_timers.clear();
   ep.peers.clear();
+  ep.suspected.clear();  // suspicion state is volatile too
   ep.hb_active = false;
   ep.hb_generation += 1;  // outstanding heartbeat pops become no-ops
   world_->tracer().Instant(time_us, node, TracePoint::kCrash);

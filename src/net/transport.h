@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -133,6 +134,18 @@ struct NetConfig {
   // they are dropped and the hold's lease interest ends (so the world can
   // quiesce). 0 disables parking.
   double dlq_hold_us = 500000.0;
+  // Commit leases (needs membership and an enabled home directory): a destination
+  // holds a decoded transfer without activating it until the source's commit (or
+  // its kMoveRelease third leg) arrives, or the object's home shard grants the
+  // move generation to the destination — and a source whose transfer went
+  // un-ACKED asks the home before reinstalling. Closes the asymmetric-partition
+  // double-copy hazard: source and destination can never both win one generation.
+  bool commit_lease = false;
+  // Heal-time reconciliation: after a suspected peer is heard from again, sweep
+  // the ever-moved residents, asking each object's home (which relays to its
+  // recorded owner) whether a higher-or-equal-generation copy survives elsewhere;
+  // the losing copy is retired. The safety net for records lost to home crashes.
+  bool heal_reconcile = false;
 };
 
 // One frame on the wire. kind 0 = data (carries a Message), kind 1 = pure ack,
@@ -248,6 +261,13 @@ class Network {
     // timer events so a stopped/restarted timer's stale pops are no-ops.
     bool hb_active = false;
     uint64_t hb_generation = 0;
+    // Peers this node currently suspects (a channel parked, or the peer's lease
+    // expired). Endpoint-level rather than per-channel on purpose: expiry erases
+    // the PeerView and can happen with no parked channel at all (a one-way cut
+    // that only swallows heartbeat echoes), yet the heal must still be observed.
+    // NoteAlive clears the mark and fires Node::OnPeerHealed exactly once per
+    // suspicion window.
+    std::set<int> suspected;
   };
 
   static uint64_t Checksum(const NetPacket& pkt);

@@ -28,6 +28,8 @@ const char* const kPointNames[kNumTracePoints] = {
     "sched-batch",
     "plan-compile",  "plan-exec",     "rep-bypass",
     "dir-lookup",    "dir-update",    "dir-stale",
+    "commit-lease",  "move-claim",    "move-grant",    "reconcile",
+    "copy-retire",
 };
 
 uint64_t MixBits(uint64_t h, uint64_t v) {

@@ -96,6 +96,12 @@ enum class TracePoint : uint8_t {
   kDirLookup,     // instant: home shard relayed a lookup; peer = answer, a = oid
   kDirUpdate,     // instant: ownership record applied; peer = owner, a = oid, b = gen
   kDirStale,      // instant: stale record dropped / stale answer chased; a = oid
+  // Commit leases / heal reconciliation (src/dir arbitration + src/net heal hook).
+  kCommitLease,   // instant: install held under lease; peer = src, a = move id, b = gen
+  kMoveClaim,     // instant: generation claim sent to the home; a = oid, b = gen
+  kMoveGrant,     // instant: home verdict; peer = claimant, a = oid, b = 1 granted
+  kReconcile,     // span: heal-time (owner, gen) sweep; peer = healed peer
+  kCopyRetire,    // instant: losing copy retired; peer = winner, a = oid, b = gen
   kCount,
 };
 

@@ -43,6 +43,12 @@ enum class MsgType : uint8_t {
   kLoadDigest,      // periodic load/heat summary gossiped between schedulers
   // --- sharded home directory (src/dir) ---
   kDirUpdate,       // install -> home node: ownership record (owner, generation)
+  // --- commit leases / heal reconciliation (NetConfig::commit_lease) ---
+  kMoveClaim,       // claimant -> home: arbitrate move generation (payload: gen)
+  kMoveGrant,       // home -> claimant: claim granted/denied (payload: verdict, gen)
+  kMoveRelease,     // source -> dest: commit observed; activate the leased install
+  kReconcileQuery,  // healed node -> home (relayed to recorded owner): who owns this?
+  kReconcileReply,  // owner/home -> querier: has-copy attestation (payload: has, gen)
 };
 
 // HandleMoveQuery answers one of these; carried in Message::verdict.
@@ -82,6 +88,12 @@ struct Message {
   // directory answer was stale and must not ask the same home again; it falls
   // back to hints / the locate broadcast instead. One header bit, no wire cost.
   bool dir_hop = false;
+  // Set on a reply re-sent from the dead-letter queue after a heal. The original
+  // delivery outcome was unknown when the sender's lease expired, so this copy
+  // may be a duplicate of one already consumed: a receiver that cannot match it
+  // to a waiting continuation drops it instead of treating it as a protocol
+  // error. One header bit, no wire cost.
+  bool redelivered = false;
   // Simulated injection timestamp stamped by the traffic generator (src/sim) on
   // synthetic invokes so the landing node can observe end-to-end routing latency.
   // Part of the fixed packet header; negative = not generator traffic.

@@ -775,6 +775,12 @@ Node::TrapOutcome Node::HandleCall(Segment& seg, const ExecCtx& ctx, int site_in
   msg.type = MsgType::kInvoke;
   msg.src_node = index_;
   msg.route_oid = target.oid;
+  // Node index in the high byte (as with segment ids): tokens from different
+  // callers must never collide, or a stale duplicate stamped by one node could
+  // match an await stamped by another.
+  seg.await_token = (static_cast<uint32_t>(index_ + 1) << 24) |
+                    (++next_reply_token_ & 0xFFFFFFu);
+  msg.move_id = seg.await_token;
   msg.strategy = world_->strategy();
   msg.payload_arch = arch();
   msg.payload = w.Take();
@@ -823,6 +829,7 @@ Node::TrapOutcome Node::HandleReturn(Segment& seg, const ExecCtx& ctx,
 
   // Segment exhausted: return crosses to the segment below, or the thread ends.
   SegRef down = seg.down;
+  uint32_t reply_token = seg.reply_token;
   ThreadId thread = seg.id.thread;
   segments_.erase(seg.id);
   if (down.valid()) {
@@ -840,6 +847,13 @@ Node::TrapOutcome Node::HandleReturn(Segment& seg, const ExecCtx& ctx,
     msg.type = MsgType::kReply;
     msg.src_node = index_;
     msg.route_seg = down;
+    msg.move_id = reply_token;
+    // A token-less return under the reliable transport has unknown provenance:
+    // the callee segment moved since the call (tokens reset on a move), so this
+    // may answer an invoke the at-least-once channel delivered twice. Mark it a
+    // possible duplicate — the receiver applies it if the caller is waiting and
+    // drops it (instead of flagging a protocol error) if not.
+    msg.redelivered = reply_token == 0 && TransportActive();
     msg.strategy = world_->strategy();
     msg.payload_arch = arch();
     msg.payload = w.Take();

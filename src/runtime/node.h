@@ -92,6 +92,12 @@ class Node {
   // a restarted waiter lost the continuation the reply would resume). Called by
   // the transport from NoteAlive; cheap no-op when nothing is parked.
   void FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us);
+  // A peer this node suspected (parked channel or expired lease) was heard from
+  // again. Called by the transport from NoteAlive, once per suspicion window.
+  // With commit leases on, re-drives any arbitration whose claim or grant may
+  // have died in the cut; with heal_reconcile on, additionally sweeps the
+  // ever-moved residents against their home shards and retires losing copies.
+  void OnPeerHealed(int peer, double time_us);
   // Why the most recent move handshake on this node was abandoned (tests).
   const std::string& last_abort_reason() const { return last_abort_reason_; }
   // Crash-stop: every piece of volatile runtime state is lost. The meter (and thus
@@ -268,11 +274,39 @@ class Node {
     std::vector<Message> queued;  // object/segment traffic held during the handshake
     int queries_left = 0;
     bool sched = false;  // scheduler-proposed (counts sched_committed on commit)
+    // Commit leases: the transfer went un-ACKED when the peer was declared
+    // unreachable, so "undelivered" is ambiguous — the home shard is arbitrating
+    // the move generation before this source may reinstall. While set, commits,
+    // verdicts and the query timer all defer to the grant.
+    bool arbitrating = false;
+    uint32_t claim_gen = 0;             // generation claimed (primary wire gen)
+    const char* abort_reason = nullptr; // reason to record if the claim is granted
   };
   struct Reservation {
     uint32_t move_id = 0;
     int src = -1;
     uint64_t trace_id = 0;  // from the kMovePrepare; stitches the dest-side span
+  };
+  // A fully decoded transfer the destination holds without activating (commit
+  // leases): the members live here — off the heap, invisible to routing — until
+  // the source's commit/kMoveRelease arrives or the home shard grants the
+  // generation to this destination, whichever happens first.
+  struct LeasedInstall {
+    uint32_t move_id = 0;
+    int src = -1;
+    uint64_t trace_id = 0;       // from the transfer; stitches the dest-side span
+    uint64_t reserve_trace = 0;  // open kReserve span to close on resolution
+    uint32_t gen = 0;            // primary member's wire generation (the claim)
+    ConversionStrategy strategy = ConversionStrategy::kNaive;
+    double start_us = 0.0;
+    bool claimed = false;  // escalated to home arbitration (source suspected dead)
+    std::vector<DecodedMember> members;
+    // Segment-routed messages (replies) addressed to a held member's segment.
+    // The source forwards queued replies the moment it commits, which can beat
+    // the kMoveRelease here; object traffic parks in reserved_queues_, but those
+    // are keyed by oid, so segment traffic parks on the install itself. Replayed
+    // locally on activation, forwarded to the surviving copy on retirement.
+    std::vector<Message> queued;
   };
   // A kReply undelivered when the waiter's lease expired, held for
   // NetConfig::dlq_hold_us in case the waiter was merely partitioned.
@@ -300,13 +334,50 @@ class Node {
   void HandleLocateQuery(const Message& msg);
   void HandleLocateReply(const Message& msg);
   void CommitMove(uint32_t move_id);
-  void AbortMove(uint32_t move_id, const char* reason);
+  // `arbitrated` marks a reinstall ordered by a home-shard grant: the reinstalled
+  // members take the generation that was on the wire (the one the grant fenced),
+  // so the home record and the surviving copy agree.
+  void AbortMove(uint32_t move_id, const char* reason, bool arbitrated = false);
   // Transfer acknowledged but the (now-dead) destination's commit never arrived:
   // the install provably happened, so release the limbo copy without reinstalling.
   void ReleaseMovePresumed(uint32_t move_id);
   void StartLocate(Oid oid, const Message& original);
   void BroadcastLocate(Oid oid);
   void FinishLocateRound(Oid oid);
+
+  // Commit leases / heal reconciliation (NetConfig::commit_lease). Active only
+  // with the transport, the membership layer AND a home directory all enabled;
+  // everything below is unreachable otherwise and the legacy handshake holds.
+  bool CommitLeaseActive() const;
+  // Source side: stop presuming abort, ask the home who owns the generation.
+  void StartMoveArbitration(uint32_t move_id, const char* reason);
+  // Both sides: send (or locally serve) a kMoveClaim for `gen` of `primary`.
+  void SendMoveClaim(Oid primary, uint32_t move_id, uint32_t gen);
+  // Both sides: a grant verdict arrived (or was served locally) for `move_id`.
+  void ApplyMoveGrant(uint32_t move_id, bool granted);
+  void HandleMoveClaim(const Message& msg);    // home side
+  void HandleMoveGrant(const Message& msg);    // claimant side
+  void HandleMoveRelease(const Message& msg);  // dest side: activate the lease
+  // Source side: tell `dest` its leased install for `move_id` lost arbitration.
+  void SendLeaseDenial(int dest, Oid primary, uint32_t move_id);
+  // Dest side: a leased install resolved. Activate = the full install path the
+  // direct handshake runs at its commit point; Retire = drop the members and
+  // release their reservations (the source won the generation).
+  void ActivateLeased(uint32_t move_id);
+  void RetireLeased(uint32_t move_id);
+  // Heal-time reconciliation: sweep ever-moved residents against their homes.
+  void StartReconcileSweep(int peer);
+  void SendReconcileQuery(Oid oid, uint32_t gen);
+  // Home side: answer or relay a reconcile query from `querier`.
+  void ServeReconcileQuery(Oid oid, int querier, uint32_t gen);
+  void SendReconcileVerdict(int querier, Oid oid, bool owner_has, uint32_t gen);
+  void HandleReconcileQuery(const Message& msg);
+  void HandleReconcileReply(const Message& msg);
+  void ApplyReconcileVerdict(Oid oid, int from, bool owner_has, uint32_t gen);
+  // Retires this node's live copy of `oid`: the object, every segment executing
+  // inside it, and their run-queue entries — they are duplicates of state that
+  // moved with the winning copy on `winner`.
+  void RetireLocalCopy(Oid oid, int winner);
 
   // Class/code management.
   const CodeRegistry::Entry& EntryFor(Oid code_oid);
@@ -348,6 +419,15 @@ class Node {
   std::unordered_map<Oid, Reservation> incoming_moves_;      // prepared (dest side)
   std::unordered_map<uint32_t, uint8_t> move_log_;  // ownership record: installed ids
   std::unordered_map<Oid, std::vector<Message>> reserved_queues_;  // held at dest
+  // Commit leases (dest side): decoded-but-unactivated transfers by move id, and
+  // the member-oid index into them (collision detection + reservation shielding).
+  std::map<uint32_t, LeasedInstall> leased_installs_;
+  std::unordered_map<Oid, uint32_t> leased_oids_;
+  // Commit leases (source side): move ids this source reinstalled under a home
+  // grant. A commit arriving for one of these (the destination's ack crossed the
+  // cut after arbitration resolved) is answered with a denial, not a release —
+  // releasing would activate the losing lease and recreate the double copy.
+  std::set<uint32_t> arbitrated_aborts_;
   std::unordered_map<Oid, PendingLocate> locating_;
   std::vector<DeadLetter> dead_letters_;  // parked replies, in park order
   uint32_t next_move_seq_ = 1;
@@ -360,6 +440,9 @@ class Node {
   uint32_t next_oid_counter_ = 1;
   uint32_t next_thread_seq_ = 1;
   uint32_t next_seg_seq_ = 1;
+  // Reply-matching token generator (Segment::await_token). Node-wide so a token
+  // is never reused across this node's concurrent or successive remote calls.
+  uint32_t next_reply_token_ = 0;
   ThreadId main_thread_{};
   bool has_main_thread_ = false;
 };

@@ -145,6 +145,21 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kDirUpdate:
       HandleDirUpdate(msg);
       return;
+    case MsgType::kMoveClaim:
+      HandleMoveClaim(msg);
+      return;
+    case MsgType::kMoveGrant:
+      HandleMoveGrant(msg);
+      return;
+    case MsgType::kMoveRelease:
+      HandleMoveRelease(msg);
+      return;
+    case MsgType::kReconcileQuery:
+      HandleReconcileQuery(msg);
+      return;
+    case MsgType::kReconcileReply:
+      HandleReconcileReply(msg);
+      return;
   }
   HETM_UNREACHABLE("bad MsgType");
 }
@@ -497,6 +512,7 @@ void Node::HandleInvoke(const Message& msg) {
   seg.id = SegId{thread, static_cast<uint32_t>((index_ + 1) << 20) + next_seg_seq_++};
   if (reply_expected) {
     seg.down = SegRef{msg.src_node, SegId{thread, caller_seg}};
+    seg.reply_token = msg.move_id;
   }
   seg.state = SegState::kRunnable;
   PushActivation(seg, *obj, entry, op_index, args);
@@ -516,10 +532,35 @@ void Node::HandleReply(const Message& msg) {
         pending_moves_.at(limbo->second).queued.push_back(msg);
         return;
       }
+      // The addressed segment sits inside a leased install (decoded but not
+      // activated): the source forwards queued replies at commit, racing its own
+      // kMoveRelease. Park on the lease; activation replays, retirement
+      // forwards to the surviving copy.
+      for (auto& [id, li] : leased_installs_) {
+        for (const DecodedMember& m : li.members) {
+          for (const Segment& s : m.segs) {
+            if (s.id == msg.route_seg.id) {
+              li.queued.push_back(msg);
+              return;
+            }
+          }
+        }
+      }
     }
     // The segment moved on: follow the forwarding hint.
     auto hint = seg_hint_.find(msg.route_seg.id);
     if (hint == seg_hint_.end()) {
+      if (msg.redelivered || msg.move_id != 0) {
+        // A duplicate whose original already landed: the waiter consumed it and
+        // finished. Either the copy is marked as a possible redelivery, or it
+        // carries a call token — and a tokened reply that cannot find its
+        // awaiting caller is definitionally stale (the token was consumed).
+        // Benign, not a protocol error.
+        meter_.counters().replies_dropped += 1;
+        world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
+                                 msg.trace_id, msg.src_node, /*a=*/1);
+        return;
+      }
       RuntimeError("reply for an unknown segment");
       return;
     }
@@ -530,7 +571,28 @@ void Node::HandleReply(const Message& msg) {
   }
   Segment& seg = it->second;
   if (seg.state != SegState::kAwaitingReply) {
+    if (msg.redelivered || msg.move_id != 0) {
+      // Same duplicate cases as above: a reply marked as a possible redelivery,
+      // or a tokened reply whose caller has already consumed the original and
+      // moved on. Only an untokened, first-delivery reply that finds its target
+      // not waiting still indicts the protocol.
+      meter_.counters().replies_dropped += 1;
+      world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
+                               msg.trace_id, msg.src_node, /*a=*/1);
+      return;
+    }
     RuntimeError("reply for a segment that is not awaiting one");
+    return;
+  }
+  if (seg.await_token != 0 && msg.move_id != 0 &&
+      msg.move_id != seg.await_token) {
+    // Token mismatch: this is an earlier call's reply coming around again (the
+    // dead-letter queue redelivers when the original's fate was unknown). The
+    // segment has moved on to a different call; applying this value would
+    // corrupt it.
+    meter_.counters().replies_dropped += 1;
+    world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
+                             msg.trace_id, msg.src_node, /*a=*/1);
     return;
   }
 
@@ -562,6 +624,7 @@ void Node::HandleReply(const Message& msg) {
     }
   }
   top.pending_call_site = -1;
+  seg.await_token = 0;  // consumed: a later copy of this reply must not match
   if (seg.await_since_us >= 0.0) {
     world_->metrics().Observe("invoke.remote_latency_us",
                               now_us() - seg.await_since_us);
@@ -1166,6 +1229,15 @@ void Node::HandleMoveObject(const Message& msg) {
   bool transport = TransportActive();
   uint64_t reserve_trace = 0;
   if (transport) {
+    if (leased_installs_.count(msg.move_id) != 0) {
+      // Duplicate transfer while the install is held under lease: our earlier
+      // commit was lost on the wire, so just commit again.
+      ChargeCycles(kMoveHandshakeCycles);
+      Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+      commit.trace_id = msg.trace_id;
+      SendMessage(msg.src_node, std::move(commit));
+      return;
+    }
     auto res = incoming_moves_.find(msg.route_oid);
     if (res == incoming_moves_.end() || res->second.move_id != msg.move_id) {
       if (move_log_.count(msg.move_id) != 0) {
@@ -1257,6 +1329,53 @@ void Node::HandleMoveObject(const Message& msg) {
   r.FinishMessage();
   if (!r.ok()) {
     RuntimeError("malformed move payload");
+    return;
+  }
+
+  if (transport && CommitLeaseActive()) {
+    auto stale = leased_oids_.find(oid);
+    if (stale != leased_oids_.end()) {
+      // The object moved here again while an older transfer of it is still held
+      // under lease: a fresher wire generation proves the old lease lost its
+      // arbitration at the source, so retire it before leasing the new install.
+      if (move_gen > leased_installs_.at(stale->second).gen) {
+        RetireLeased(stale->second);
+      } else {
+        return;  // stale straggler: the held lease is the newer state
+      }
+    }
+    // Commit lease: hold the validated install without activating it. The
+    // reservation stays (traffic keeps parking), the commit goes back as usual,
+    // and activation waits for the source's kMoveRelease or a home-shard grant —
+    // so a source presuming abort can never race this install into a second
+    // live copy of the same generation.
+    LeasedInstall li;
+    li.move_id = msg.move_id;
+    li.src = msg.src_node;
+    li.trace_id = msg.trace_id;
+    li.reserve_trace = reserve_trace;
+    li.gen = move_gen;
+    li.strategy = r.strategy();
+    li.start_us = now_us();
+    DecodedMember member;
+    member.oid = oid;
+    member.obj = std::move(obj);
+    member.segs = std::move(segs);
+    li.members.push_back(std::move(member));
+    leased_oids_[oid] = msg.move_id;
+    leased_installs_.emplace(msg.move_id, std::move(li));
+    meter_.counters().leased_installs += 1;
+    meter_.set_active_trace(unpack_guard.prev);
+    if (msg.trace_id != 0) {
+      tracer.End(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+    }
+    tracer.Instant(now_us(), index_, TracePoint::kCommitLease, msg.trace_id,
+                   msg.src_node, static_cast<int64_t>(msg.move_id), move_gen);
+    ChargeCycles(kMoveHandshakeCycles);
+    Message commit = MakeControl(MsgType::kMoveCommit, oid, msg.move_id);
+    commit.trace_id = msg.trace_id;
+    SendMessage(msg.src_node, std::move(commit));
+    world_->net()->EnsureHeartbeat(index_);
     return;
   }
 
@@ -1382,6 +1501,14 @@ void Node::HandleMoveBatch(const Message& msg) {
     RuntimeError("batched move without a transport");
     return;
   }
+  if (leased_installs_.count(msg.move_id) != 0) {
+    // Duplicate transfer while the batch is held under lease: re-commit.
+    ChargeCycles(kMoveHandshakeCycles);
+    Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+    commit.trace_id = msg.trace_id;
+    SendMessage(msg.src_node, std::move(commit));
+    return;
+  }
   // Same reservation discipline as the single-object transfer: the primary
   // member routes the handshake.
   auto res = incoming_moves_.find(msg.route_oid);
@@ -1426,6 +1553,48 @@ void Node::HandleMoveBatch(const Message& msg) {
   r.FinishMessage();
   if (!r.ok() || members.front().oid != msg.route_oid) {
     RuntimeError("malformed move batch payload");
+    return;
+  }
+
+  if (CommitLeaseActive()) {
+    // Same stale-lease discipline as the single-object path, per member.
+    uint32_t primary_gen = members.front().obj->move_gen;
+    for (const DecodedMember& m : members) {
+      auto stale = leased_oids_.find(m.oid);
+      if (stale == leased_oids_.end()) {
+        continue;
+      }
+      if (m.obj->move_gen > leased_installs_.at(stale->second).gen) {
+        RetireLeased(stale->second);
+      } else {
+        return;  // stale straggler: the held lease is the newer state
+      }
+    }
+    LeasedInstall li;
+    li.move_id = msg.move_id;
+    li.src = msg.src_node;
+    li.trace_id = msg.trace_id;
+    li.reserve_trace = reserve_trace;
+    li.gen = primary_gen;
+    li.strategy = r.strategy();
+    li.start_us = now_us();
+    li.members = std::move(members);
+    for (const DecodedMember& m : li.members) {
+      leased_oids_[m.oid] = msg.move_id;
+    }
+    meter_.counters().leased_installs += 1;
+    meter_.set_active_trace(unpack_guard.prev);
+    if (msg.trace_id != 0) {
+      tracer.End(now_us(), index_, TracePoint::kUnpack, msg.trace_id, msg.src_node);
+    }
+    tracer.Instant(now_us(), index_, TracePoint::kCommitLease, msg.trace_id,
+                   msg.src_node, static_cast<int64_t>(msg.move_id), primary_gen);
+    leased_installs_.emplace(msg.move_id, std::move(li));
+    ChargeCycles(kMoveHandshakeCycles);
+    Message commit = MakeControl(MsgType::kMoveCommit, msg.route_oid, msg.move_id);
+    commit.trace_id = msg.trace_id;
+    SendMessage(msg.src_node, std::move(commit));
+    world_->net()->EnsureHeartbeat(index_);
     return;
   }
 
@@ -1604,6 +1773,27 @@ void Node::HandleMovePrepare(const Message& msg) {
 
 void Node::HandleMoveCommit(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
+  if (CommitLeaseActive()) {
+    auto it = pending_moves_.find(msg.move_id);
+    if (it != pending_moves_.end() && it->second.arbitrating) {
+      return;  // a late commit raced the arbitration; the home's grant decides
+    }
+    if (arbitrated_aborts_.count(msg.move_id) != 0) {
+      // This source won the generation back and reinstalled; the destination's
+      // copy — whose trapped ack produced this commit — must retire.
+      SendLeaseDenial(msg.src_node, msg.route_oid, msg.move_id);
+      return;
+    }
+    CommitMove(msg.move_id);
+    // Third leg of the leased handshake: the destination holds its install until
+    // this release. Sent even when the move id is already resolved here — a
+    // source that presumed release during a cut must still un-wedge the healed
+    // destination's lease when the commit finally gets through.
+    Message release = MakeControl(MsgType::kMoveRelease, msg.route_oid, msg.move_id);
+    release.trace_id = msg.trace_id;
+    SendMessage(msg.src_node, std::move(release));
+    return;
+  }
   CommitMove(msg.move_id);
 }
 
@@ -1615,7 +1805,9 @@ void Node::HandleMoveQuery(const Message& msg) {
     verdict.verdict = MoveVerdict::kCommitted;
   } else {
     auto res = incoming_moves_.find(msg.route_oid);
-    bool pending = res != incoming_moves_.end() && res->second.move_id == msg.move_id;
+    bool pending =
+        (res != incoming_moves_.end() && res->second.move_id == msg.move_id) ||
+        leased_installs_.count(msg.move_id) != 0;
     verdict.verdict = pending ? MoveVerdict::kPending : MoveVerdict::kUnknown;
   }
   SendMessage(msg.src_node, std::move(verdict));
@@ -1623,6 +1815,12 @@ void Node::HandleMoveQuery(const Message& msg) {
 
 void Node::HandleMoveVerdict(const Message& msg) {
   ChargeCycles(kMoveHandshakeCycles);
+  {
+    auto it = pending_moves_.find(msg.move_id);
+    if (it != pending_moves_.end() && it->second.arbitrating) {
+      return;  // the home's grant owns this outcome now
+    }
+  }
   switch (msg.verdict) {
     case MoveVerdict::kCommitted:
       CommitMove(msg.move_id);
@@ -1710,7 +1908,7 @@ void Node::ReleaseMovePresumed(uint32_t move_id) {
   }
 }
 
-void Node::AbortMove(uint32_t move_id, const char* reason) {
+void Node::AbortMove(uint32_t move_id, const char* reason, bool arbitrated) {
   auto it = pending_moves_.find(move_id);
   if (it == pending_moves_.end()) {
     return;  // already resolved
@@ -1718,9 +1916,30 @@ void Node::AbortMove(uint32_t move_id, const char* reason) {
   last_abort_reason_ = reason;
   PendingMove pm = std::move(it->second);
   pending_moves_.erase(it);
+  if (arbitrated) {
+    // Remember the verdict and push it to the destination: its leased install
+    // (if the transfer did land) must retire, never activate. A commit already
+    // in flight — or delivered and ignored while the arbitration ran — is
+    // re-answered with the same denial in HandleMoveCommit.
+    arbitrated_aborts_.insert(move_id);
+    SendLeaseDenial(pm.dest, pm.obj, move_id);
+  }
   for (PendingMember& mem : pm.members) {
     moving_out_.erase(mem.oid);
     location_hint_.erase(mem.oid);
+    if (arbitrated) {
+      // The home granted this source the wire generation: the reinstalled copy
+      // takes it, so copy and home record agree and the fence holds against any
+      // straggling destination-side update of the same generation.
+      mem.limbo_obj->move_gen += 1;
+      uint32_t gen = mem.limbo_obj->move_gen;
+      heap_.emplace(mem.oid, std::move(mem.limbo_obj));
+      if (mem.oid != pm.obj) {
+        // The grant recorded only the primary; fence the other members too.
+        SendDirUpdate(mem.oid, index_, gen);
+      }
+      continue;
+    }
     heap_.emplace(mem.oid, std::move(mem.limbo_obj));
   }
   for (Segment& s : pm.limbo_segs) {
@@ -1749,11 +1968,39 @@ void Node::AbortMove(uint32_t move_id, const char* reason) {
 }
 
 void Node::OnMoveTimer(uint32_t move_id) {
+  auto lit = leased_installs_.find(move_id);
+  if (lit != leased_installs_.end()) {
+    // Destination side: a leased install escalated to home arbitration. Re-drive
+    // the claim unless the previous one is still in flight, and keep watching.
+    if (lit->second.claimed) {
+      Oid primary = lit->second.members.front().oid;
+      uint32_t gen = lit->second.gen;
+      int home = world_->dir()->HomeOf(primary);
+      world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                        kTimerMoveCheck, move_id);
+      if (home == index_ || !world_->net()->HasUnacked(index_, home)) {
+        SendMoveClaim(primary, move_id, gen);
+      }
+    }
+    return;
+  }
   auto it = pending_moves_.find(move_id);
   if (it == pending_moves_.end()) {
     return;  // committed or aborted; stale timer pops as a no-op
   }
   PendingMove& pm = it->second;
+  if (pm.arbitrating) {
+    // Source side: same re-drive discipline while the home arbitrates.
+    Oid primary = pm.obj;
+    uint32_t gen = pm.claim_gen;
+    int home = world_->dir()->HomeOf(primary);
+    world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                      kTimerMoveCheck, move_id);
+    if (home == index_ || !world_->net()->HasUnacked(index_, home)) {
+      SendMoveClaim(primary, move_id, gen);
+    }
+    return;
+  }
   if (pm.queries_left <= 0) {
     if (world_->net()->HasUnacked(index_, pm.dest)) {
       // The retransmit chain to the destination is still running: the transport
@@ -1791,6 +2038,548 @@ void Node::OnMoveTimer(uint32_t move_id) {
 }
 
 // ---------------------------------------------------------------------------
+// Commit leases and home arbitration (NetConfig::commit_lease)
+//
+// Under an asymmetric cut, "the transfer went un-ACKED" does not imply "the
+// transfer never arrived" — the destination may hold a live install whose ack
+// was trapped. The generation on the wire (the source copy's move_gen + 1)
+// becomes the arbitrated resource: the object's home shard grants it to exactly
+// one side, the record it keeps doubles as the fence (Directory::Arbitrate),
+// and the loser gives its copy up — the source by releasing its limbo copy, the
+// destination by retiring its leased install. Neither side activates a disputed
+// copy without a grant, so no cut schedule yields two live copies of one
+// generation.
+// ---------------------------------------------------------------------------
+
+bool Node::CommitLeaseActive() const {
+  return TransportActive() && world_->dir() != nullptr &&
+         world_->net()->config().commit_lease && world_->net()->config().membership;
+}
+
+void Node::StartMoveArbitration(uint32_t move_id, const char* reason) {
+  auto it = pending_moves_.find(move_id);
+  if (it == pending_moves_.end() || it->second.arbitrating) {
+    return;
+  }
+  PendingMove& pm = it->second;
+  pm.arbitrating = true;
+  pm.abort_reason = reason;
+  pm.claim_gen = pm.members.front().limbo_obj->move_gen + 1;  // the wire gen
+  Oid primary = pm.obj;
+  uint32_t gen = pm.claim_gen;
+  // Timer first: SendMoveClaim resolves synchronously when this node is the
+  // home, and the resolution erases the pending move.
+  world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                    kTimerMoveCheck, move_id);
+  SendMoveClaim(primary, move_id, gen);
+}
+
+void Node::SendMoveClaim(Oid primary, uint32_t move_id, uint32_t gen) {
+  Directory* dir = world_->dir();
+  int home = dir->HomeOf(primary);
+  meter_.counters().move_claims += 1;
+  world_->tracer().Instant(now_us(), index_, TracePoint::kMoveClaim, 0, home,
+                           static_cast<int64_t>(primary),
+                           static_cast<int64_t>(gen));
+  ChargeCycles(kMoveHandshakeCycles);
+  if (home == index_) {
+    Directory::Grant g = dir->Arbitrate(index_, primary, index_, gen);
+    world_->tracer().Instant(now_us(), index_, TracePoint::kMoveGrant, 0, index_,
+                             static_cast<int64_t>(primary), g.granted ? 1 : 0);
+    ApplyMoveGrant(move_id, g.granted);
+    return;
+  }
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U32(gen);
+  w.FinishMessage();
+  Message claim = MakeControl(MsgType::kMoveClaim, primary, move_id);
+  claim.payload = w.Take();
+  SendMessage(home, std::move(claim));
+  world_->net()->EnsureHeartbeat(index_);
+}
+
+void Node::HandleMoveClaim(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  Directory* dir = world_->dir();
+  if (dir == nullptr || dir->HomeOf(msg.route_oid) != index_) {
+    return;  // stray claim: drop, the claimant's timer re-drives it
+  }
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  uint32_t gen = r.U32();
+  r.FinishMessage();
+  if (!r.ok() || msg.src_node < 0 || msg.src_node >= world_->num_nodes()) {
+    RuntimeError("malformed move claim");
+    return;
+  }
+  Directory::Grant g = dir->Arbitrate(index_, msg.route_oid, msg.src_node, gen);
+  world_->tracer().Instant(now_us(), index_, TracePoint::kMoveGrant, msg.trace_id,
+                           msg.src_node, static_cast<int64_t>(msg.route_oid),
+                           g.granted ? 1 : 0);
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U8(g.granted ? 1 : 0);
+  w.U32(g.gen);
+  w.FinishMessage();
+  Message grant = MakeControl(MsgType::kMoveGrant, msg.route_oid, msg.move_id);
+  grant.trace_id = msg.trace_id;
+  grant.payload = w.Take();
+  SendMessage(msg.src_node, std::move(grant));
+}
+
+void Node::HandleMoveGrant(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  bool granted = r.U8() != 0;
+  r.U32();  // the generation the home records (diagnostic)
+  r.FinishMessage();
+  if (!r.ok()) {
+    RuntimeError("malformed move grant");
+    return;
+  }
+  ApplyMoveGrant(msg.move_id, granted);
+}
+
+void Node::SendLeaseDenial(int dest, Oid primary, uint32_t move_id) {
+  if (dest < 0 || dest == index_) {
+    return;
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U8(0);  // denied
+  w.U32(0);
+  w.FinishMessage();
+  Message denial = MakeControl(MsgType::kMoveGrant, primary, move_id);
+  denial.payload = w.Take();
+  SendMessage(dest, std::move(denial));
+}
+
+void Node::ApplyMoveGrant(uint32_t move_id, bool granted) {
+  auto it = pending_moves_.find(move_id);
+  if (it != pending_moves_.end() && it->second.arbitrating) {
+    if (!granted) {
+      meter_.counters().claims_denied += 1;
+    }
+    if (granted) {
+      // This source won the generation: reinstalling is safe — the home's
+      // record fences out the destination's copy of the same generation.
+      AbortMove(move_id,
+                it->second.abort_reason != nullptr ? it->second.abort_reason
+                                                   : "arbitration won by source",
+                /*arbitrated=*/true);
+    } else {
+      // The destination claimed the generation first: its install is the copy.
+      ReleaseMovePresumed(move_id);
+    }
+    return;
+  }
+  auto lit = leased_installs_.find(move_id);
+  if (lit == leased_installs_.end()) {
+    return;  // duplicate grant for an already-resolved claim
+  }
+  if (granted) {
+    ActivateLeased(move_id);
+  } else {
+    meter_.counters().claims_denied += 1;
+    RetireLeased(move_id);
+  }
+}
+
+void Node::HandleMoveRelease(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  ActivateLeased(msg.move_id);  // idempotent: no-op if already resolved
+}
+
+void Node::ActivateLeased(uint32_t move_id) {
+  auto it = leased_installs_.find(move_id);
+  if (it == leased_installs_.end()) {
+    return;  // already activated or retired
+  }
+  LeasedInstall li = std::move(it->second);
+  leased_installs_.erase(it);
+  Tracer& tracer = world_->tracer();
+  // Exactly the direct handshake's commit point, replayed from the held members.
+  SegId first_seg{};
+  bool any_segs = false;
+  std::vector<std::pair<Oid, uint32_t>> installed;  // (oid, generation)
+  installed.reserve(li.members.size());
+  for (DecodedMember& m : li.members) {
+    leased_oids_.erase(m.oid);
+    installed.emplace_back(m.oid, m.obj->move_gen);
+    heap_.emplace(m.oid, std::move(m.obj));
+    location_hint_.erase(m.oid);
+    for (Segment& s : m.segs) {
+      if (!any_segs) {
+        first_seg = s.id;
+        any_segs = true;
+      }
+      InstallSegment(std::move(s));
+    }
+    ChargeCycles(kMoveFixedDestCycles);
+    ChargeCycles(EnhancedMoveFixedCyclesFor(li.strategy));
+  }
+  if (li.trace_id != 0 && any_segs) {
+    tracer.Begin(now_us(), index_, TracePoint::kResume, li.trace_id, li.src);
+    resume_trace_[first_seg] = li.trace_id;
+  }
+  if (li.reserve_trace != 0) {
+    tracer.End(now_us(), index_, TracePoint::kReserve, li.reserve_trace, li.src);
+  }
+  move_log_[move_id] = 1;
+  for (const auto& [oid, gen] : installed) {
+    auto rit = incoming_moves_.find(oid);
+    if (rit != incoming_moves_.end() && rit->second.move_id == move_id) {
+      incoming_moves_.erase(rit);
+    }
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  for (const auto& [oid, gen] : installed) {
+    auto queued = reserved_queues_.find(oid);
+    if (queued != reserved_queues_.end()) {
+      std::vector<Message> held = std::move(queued->second);
+      reserved_queues_.erase(queued);
+      for (const Message& h : held) {
+        HandleMessage(h);
+      }
+    }
+  }
+  // Segment-routed traffic parked on the lease: the segments are installed now.
+  for (const Message& h : li.queued) {
+    HandleMessage(h);
+  }
+  for (const auto& [oid, gen] : installed) {
+    if (world_->sched() != nullptr && li.src >= 0 && li.src != index_) {
+      world_->sched()->NoteArrival(index_, oid, li.src);
+    }
+    if (IsDataOid(oid)) {
+      int birth = BirthNodeOfDataOid(oid);
+      if (birth != index_) {
+        SendLocationUpdate(birth, oid, index_, gen);
+      }
+    }
+    SendDirUpdate(oid, index_, gen);
+  }
+}
+
+void Node::RetireLeased(uint32_t move_id) {
+  auto it = leased_installs_.find(move_id);
+  if (it == leased_installs_.end()) {
+    return;  // already activated or retired
+  }
+  LeasedInstall li = std::move(it->second);
+  leased_installs_.erase(it);
+  Tracer& tracer = world_->tracer();
+  for (const DecodedMember& m : li.members) {
+    leased_oids_.erase(m.oid);
+    auto rit = incoming_moves_.find(m.oid);
+    if (rit != incoming_moves_.end() && rit->second.move_id == move_id) {
+      incoming_moves_.erase(rit);
+    }
+    meter_.counters().copies_retired += 1;
+    tracer.Instant(now_us(), index_, TracePoint::kCopyRetire, li.trace_id, li.src,
+                   static_cast<int64_t>(m.oid),
+                   m.obj != nullptr ? m.obj->move_gen : 0);
+    // The winning copy is the source's reinstall: point chasers there.
+    location_hint_[m.oid] = li.src;
+  }
+  if (li.reserve_trace != 0) {
+    tracer.End(now_us(), index_, TracePoint::kReserve, li.reserve_trace, li.src);
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  // With the lease gone the members are simply "not here": replay held traffic
+  // through normal routing (it chases the hint to the surviving copy) — unless
+  // a newer move of the same object already re-reserved it.
+  for (const DecodedMember& m : li.members) {
+    if (incoming_moves_.count(m.oid) != 0) {
+      continue;
+    }
+    auto q = reserved_queues_.find(m.oid);
+    if (q == reserved_queues_.end()) {
+      continue;
+    }
+    std::vector<Message> held = std::move(q->second);
+    reserved_queues_.erase(q);
+    for (const Message& h : held) {
+      HandleMessage(h);
+    }
+  }
+  // Segment traffic parked on the lease chases the surviving copy at the source
+  // (the segments retired with the members; the source's reinstall has them).
+  for (Message& m : li.queued) {
+    m.route_seg.node = li.src;
+    m.forward_hops += 1;
+    SendMessage(li.src, std::move(m));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heal-time reconciliation (NetConfig::heal_reconcile)
+//
+// Arbitration covers every cut the home survives; a home crash can still wipe a
+// granted claim and strand a residual copy. The sweep is the safety net: after
+// a suspected peer heals, every ever-moved resident asks its home who owns the
+// generation. The home relays the question to the owner it records, and only a
+// LIVE copy attesting a >=-generation can retire the querier's — so a stale or
+// repopulating home entry can never retire the last copy of an object.
+// ---------------------------------------------------------------------------
+
+void Node::OnPeerHealed(int peer, double time_us) {
+  AdvanceTo(time_us);
+  if (!CommitLeaseActive()) {
+    return;
+  }
+  // Re-drive any arbitration whose claim or grant may have died in the cut.
+  std::vector<uint32_t> redrive;
+  for (const auto& [id, pm] : pending_moves_) {
+    if (pm.arbitrating) {
+      redrive.push_back(id);
+    }
+  }
+  for (const auto& [id, li] : leased_installs_) {
+    if (li.claimed) {
+      redrive.push_back(id);
+    }
+  }
+  for (uint32_t id : redrive) {
+    auto pit = pending_moves_.find(id);
+    if (pit != pending_moves_.end()) {
+      int home = world_->dir()->HomeOf(pit->second.obj);
+      if (home == index_ || !world_->net()->HasUnacked(index_, home)) {
+        SendMoveClaim(pit->second.obj, id, pit->second.claim_gen);
+      }
+      continue;
+    }
+    auto lit = leased_installs_.find(id);
+    if (lit != leased_installs_.end()) {
+      Oid primary = lit->second.members.front().oid;
+      int home = world_->dir()->HomeOf(primary);
+      if (home == index_ || !world_->net()->HasUnacked(index_, home)) {
+        SendMoveClaim(primary, id, lit->second.gen);
+      }
+    }
+  }
+  if (world_->net()->config().heal_reconcile) {
+    StartReconcileSweep(peer);
+  }
+}
+
+void Node::StartReconcileSweep(int peer) {
+  meter_.counters().reconciles_run += 1;
+  Tracer& tracer = world_->tracer();
+  tracer.Begin(now_us(), index_, TracePoint::kReconcile, 0, peer);
+  int queries = 0;
+  for (const auto& [oid, obj] : heap_) {
+    if (obj->is_string || obj->move_gen == 0) {
+      continue;  // only ever-moved objects can have a copy stranded by a cut
+    }
+    SendReconcileQuery(oid, obj->move_gen);
+    ++queries;
+  }
+  tracer.End(now_us(), index_, TracePoint::kReconcile, 0, peer, queries);
+}
+
+void Node::SendReconcileQuery(Oid oid, uint32_t gen) {
+  Directory* dir = world_->dir();
+  int home = dir->HomeOf(oid);
+  ChargeCycles(kMoveHandshakeCycles);
+  if (home == index_) {
+    ServeReconcileQuery(oid, index_, gen);
+    return;
+  }
+  if (dir->IsDown(index_, home)) {
+    return;  // the home itself is dark: the next heal retries the sweep
+  }
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U32(gen);
+  w.FinishMessage();
+  Message q = MakeControl(MsgType::kReconcileQuery, oid, 0);
+  q.payload = w.Take();
+  SendMessage(home, std::move(q));
+}
+
+void Node::ServeReconcileQuery(Oid oid, int querier, uint32_t gen) {
+  Directory* dir = world_->dir();
+  if (dir == nullptr || dir->HomeOf(oid) != index_) {
+    return;  // stray query: drop, a later sweep retries
+  }
+  ChargeCycles(kMoveHandshakeCycles);
+  const Directory::Entry* e = dir->Lookup(index_, oid);
+  if (e == nullptr || e->owner < 0 || e->owner == querier) {
+    // No conflicting record: adopt the querier's copy (generation-guarded) so
+    // later queriers of the same object have a winner to check against.
+    dir->Apply(index_, oid, querier, gen);
+    SendReconcileVerdict(querier, oid, /*owner_has=*/false, 0);
+    return;
+  }
+  if (e->owner == index_) {
+    // The home itself is the recorded owner: attest directly.
+    bool has = false;
+    uint32_t my_gen = 0;
+    const EmObject* obj = FindLocal(oid);
+    if (obj != nullptr && !obj->is_string) {
+      has = true;
+      my_gen = obj->move_gen;
+    }
+    SendReconcileVerdict(querier, oid, has, my_gen);
+    return;
+  }
+  // Relay to the recorded owner: only a live copy with a >= generation may
+  // retire the querier's, and only its holder can attest to that.
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U32(gen);
+  w.FinishMessage();
+  Message fwd = MakeControl(MsgType::kReconcileQuery, oid, 0);
+  fwd.dest_node_arg = querier;  // the reply target rides along
+  fwd.payload = w.Take();
+  SendMessage(e->owner, std::move(fwd));
+}
+
+void Node::SendReconcileVerdict(int querier, Oid oid, bool owner_has,
+                                uint32_t gen) {
+  ChargeCycles(kMoveHandshakeCycles);
+  if (querier == index_) {
+    ApplyReconcileVerdict(oid, index_, owner_has, gen);
+    return;
+  }
+  WireWriter w(world_->strategy(), arch(), &meter_);
+  w.U8(owner_has ? 1 : 0);
+  w.U32(gen);
+  w.FinishMessage();
+  Message reply = MakeControl(MsgType::kReconcileReply, oid, 0);
+  reply.payload = w.Take();
+  SendMessage(querier, std::move(reply));
+}
+
+void Node::HandleReconcileQuery(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  uint32_t gen = r.U32();
+  r.FinishMessage();
+  if (!r.ok()) {
+    RuntimeError("malformed reconcile query");
+    return;
+  }
+  if (msg.dest_node_arg >= 0) {
+    // Relayed by the home: attest whether this node still holds a live copy.
+    int querier = msg.dest_node_arg;
+    if (querier >= world_->num_nodes() || querier == index_) {
+      return;  // malformed relay: drop, a later sweep retries
+    }
+    bool has = false;
+    uint32_t my_gen = 0;
+    const EmObject* obj = FindLocal(msg.route_oid);
+    if (obj != nullptr && !obj->is_string) {
+      has = true;
+      my_gen = obj->move_gen;
+    } else {
+      auto out = moving_out_.find(msg.route_oid);
+      if (out != moving_out_.end()) {
+        // A limbo copy still owns the object until its handshake resolves.
+        for (const PendingMember& mem : pending_moves_.at(out->second).members) {
+          if (mem.oid == msg.route_oid) {
+            has = true;
+            my_gen = mem.limbo_obj->move_gen;
+            break;
+          }
+        }
+      }
+    }
+    SendReconcileVerdict(querier, msg.route_oid, has, my_gen);
+    return;
+  }
+  if (msg.src_node < 0 || msg.src_node >= world_->num_nodes()) {
+    RuntimeError("malformed reconcile query");
+    return;
+  }
+  ServeReconcileQuery(msg.route_oid, msg.src_node, gen);
+}
+
+void Node::HandleReconcileReply(const Message& msg) {
+  ChargeCycles(kMoveHandshakeCycles);
+  WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
+  bool owner_has = r.U8() != 0;
+  uint32_t gen = r.U32();
+  r.FinishMessage();
+  if (!r.ok()) {
+    RuntimeError("malformed reconcile reply");
+    return;
+  }
+  ApplyReconcileVerdict(msg.route_oid, msg.src_node, owner_has, gen);
+}
+
+void Node::ApplyReconcileVerdict(Oid oid, int from, bool owner_has, uint32_t gen) {
+  EmObject* obj = FindLocal(oid);
+  if (obj == nullptr || obj->is_string) {
+    return;  // moved on or already retired since the query went out
+  }
+  if (owner_has && from != index_ && gen >= obj->move_gen) {
+    // A live copy with at least our generation exists elsewhere: ours lost the
+    // split. (Ties go to the recorded owner — deterministic, and never wrong
+    // about existence: the owner just attested its copy.)
+    RetireLocalCopy(oid, from);
+    return;
+  }
+  // Our copy stands; repair the home record in case it named a ghost.
+  SendDirUpdate(oid, index_, obj->move_gen);
+}
+
+void Node::RetireLocalCopy(Oid oid, int winner) {
+  auto hit = heap_.find(oid);
+  if (hit == heap_.end()) {
+    return;
+  }
+  uint32_t gen = hit->second->move_gen;
+  heap_.erase(hit);
+  location_hint_[oid] = winner;
+  // Threads still executing inside the retired copy duplicate threads that
+  // moved with the winning copy: their segments retire with it.
+  std::vector<SegId> doomed;
+  for (const auto& [id, seg] : segments_) {
+    for (const ActivationRecord& ar : seg.ars) {
+      if (ar.self == oid) {
+        doomed.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const SegId& id : doomed) {
+    resume_trace_.erase(id);
+    segments_.erase(id);
+    seg_hint_[id] = winner;
+  }
+  if (!doomed.empty()) {
+    std::deque<SegId> keep;
+    for (const SegId& id : run_queue_) {
+      if (segments_.count(id) != 0) {
+        keep.push_back(id);
+      }
+    }
+    run_queue_.swap(keep);
+    // Scrub surviving monitor wait queues too: waking a retired segment would
+    // trip the resident-segment invariant.
+    for (auto& [other_oid, other_obj] : heap_) {
+      std::vector<SegId>& wq = other_obj->monitor.wait_queue;
+      size_t kept = 0;
+      for (size_t i = 0; i < wq.size(); ++i) {
+        bool dead = false;
+        for (const SegId& d : doomed) {
+          if (wq[i] == d) {
+            dead = true;
+            break;
+          }
+        }
+        if (!dead) {
+          wq[kept++] = wq[i];
+        }
+      }
+      wq.resize(kept);
+    }
+  }
+  meter_.counters().copies_retired += 1;
+  ChargeCycles(kMoveFixedDestCycles);
+  world_->tracer().Instant(now_us(), index_, TracePoint::kCopyRetire, 0, winner,
+                           static_cast<int64_t>(oid), gen);
+}
+
+// ---------------------------------------------------------------------------
 // Crash recovery: unreachable peers, crash wipe, location rebuild
 // ---------------------------------------------------------------------------
 
@@ -1816,13 +2605,22 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
   }
   std::vector<uint32_t> involved;
   for (const auto& [id, pm] : pending_moves_) {
-    if (pm.dest == peer) {
+    if (pm.dest == peer && !pm.arbitrating) {
       involved.push_back(id);
     }
   }
   for (uint32_t id : involved) {
     if (transfer_undelivered.count(id) != 0) {
-      AbortMove(id, "peer unreachable before transfer delivery");
+      if (CommitLeaseActive()) {
+        // "Undelivered" only means un-ACKED: under a one-way cut the transfer
+        // may have landed and installed while its ack was trapped. Ask the
+        // object's home to arbitrate the generation before reinstalling — the
+        // presumed-abort here is exactly the double-copy hazard commit leases
+        // close.
+        StartMoveArbitration(id, "peer unreachable before transfer delivery");
+      } else {
+        AbortMove(id, "peer unreachable before transfer delivery");
+      }
     } else {
       ReleaseMovePresumed(id);
     }
@@ -1904,8 +2702,14 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
         world_->net()->EnsureHeartbeat(index_);
         break;
       }
+      case MsgType::kMoveClaim:
+        break;  // re-driven by the arbitration timer and the heal hook
       case MsgType::kMoveCommit:
       case MsgType::kMoveVerdict:
+      case MsgType::kMoveGrant:
+      case MsgType::kMoveRelease:
+      case MsgType::kReconcileQuery:
+      case MsgType::kReconcileReply:
       case MsgType::kLocationUpdate:
       case MsgType::kLocateReply:
         break;  // the intended receiver died with the state these addressed
@@ -1916,7 +2720,9 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
 int Node::OnPeerExpired(int peer) {
   std::vector<std::pair<Oid, uint64_t>> gone;  // (oid, trace id)
   for (const auto& [oid, res] : incoming_moves_) {
-    if (res.src == peer) {
+    // Reservations shielded by a leased install are NOT reclaimed: the transfer
+    // did arrive, so the lease escalates to home arbitration below instead.
+    if (res.src == peer && leased_oids_.count(oid) == 0) {
       gone.emplace_back(oid, res.trace_id);
     }
   }
@@ -1941,15 +2747,42 @@ int Node::OnPeerExpired(int peer) {
       HandleMessage(m);
     }
   }
+  // Leased installs from the dead source escalate to home arbitration: the
+  // transfer provably landed here, so if the source's abort lost the generation
+  // race this copy activates; if the source won, the denial retires it.
+  std::vector<uint32_t> escalate;
+  for (const auto& [id, li] : leased_installs_) {
+    if (li.src == peer && !li.claimed) {
+      escalate.push_back(id);
+    }
+  }
+  for (uint32_t id : escalate) {
+    LeasedInstall& li = leased_installs_.at(id);
+    li.claimed = true;
+    Oid primary = li.members.front().oid;
+    uint32_t gen = li.gen;
+    world_->PushTimer(now_us() + world_->net()->config().move_timeout_us, index_,
+                      kTimerMoveCheck, id);
+    SendMoveClaim(primary, id, gen);
+  }
   return static_cast<int>(gone.size());
 }
 
 void Node::AppendLeasePeers(std::set<int>& out) {
   for (const auto& [id, pm] : pending_moves_) {
     out.insert(pm.dest);
+    if (pm.arbitrating && world_->dir() != nullptr) {
+      out.insert(world_->dir()->HomeOf(pm.obj));  // the grant must get through
+    }
   }
   for (const auto& [oid, res] : incoming_moves_) {
     out.insert(res.src);
+  }
+  for (const auto& [id, li] : leased_installs_) {
+    out.insert(li.src);  // the release (or the source's expiry) resolves us
+    if (li.claimed && world_->dir() != nullptr) {
+      out.insert(world_->dir()->HomeOf(li.members.front().oid));
+    }
   }
   // Dead-letter holds keep their peer under probe while fresh; an expired hold is
   // dropped here, ending the lease interest so the world can quiesce.
@@ -1978,9 +2811,13 @@ void Node::FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us) 
   AdvanceTo(time_us);
   std::vector<Message> flush;
   size_t kept = 0;
-  for (DeadLetter& dl : dead_letters_) {
+  for (size_t i = 0; i < dead_letters_.size(); ++i) {
+    DeadLetter& dl = dead_letters_[i];
     if (dl.peer != peer) {
-      dead_letters_[kept++] = std::move(dl);
+      if (kept != i) {  // guard the self-move: it would empty the held reply
+        dead_letters_[kept] = std::move(dl);
+      }
+      ++kept;
       continue;
     }
     if (dl.peer_epoch != peer_epoch_seen || dl.deadline_us <= now_us()) {
@@ -1999,6 +2836,7 @@ void Node::FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us) 
   dead_letters_.resize(kept);
   for (Message& m : flush) {
     m.forward_hops = 0;
+    m.redelivered = true;
     SendMessage(peer, std::move(m));
   }
 }
@@ -2017,6 +2855,9 @@ void Node::OnCrash() {
   incoming_moves_.clear();
   move_log_.clear();
   reserved_queues_.clear();
+  leased_installs_.clear();
+  leased_oids_.clear();
+  arbitrated_aborts_.clear();
   locating_.clear();
   dead_letters_.clear();
   resume_trace_.clear();

@@ -81,6 +81,14 @@ struct Segment {
   // When kAwaitingReply: node-local clock at which the remote call left, for the
   // invoke.remote_latency_us histogram. Not part of the wire format.
   double await_since_us = -1.0;
+  // At-most-once reply matching. The caller stamps every reply-expecting invoke
+  // with a fresh token (Message::move_id) and the callee echoes it in the reply;
+  // a reply redelivered from the dead-letter queue after the original already
+  // landed then fails the match instead of being misapplied to whatever call the
+  // segment is awaiting NOW. Not part of the wire format: both reset to 0 when a
+  // segment moves, and 0 on either side means accept-any (pre-token behavior).
+  uint32_t await_token = 0;  // token the next reply must echo
+  uint32_t reply_token = 0;  // token to echo when this segment returns
 
   ActivationRecord& Top() { return ars.back(); }
   const ActivationRecord& Top() const { return ars.back(); }

@@ -327,6 +327,11 @@ void World::ExportMetrics() {
       {"dir_updates", &CostCounters::dir_updates},
       {"dir_stale_hits", &CostCounters::dir_stale_hits},
       {"locate_broadcasts", &CostCounters::locate_broadcasts},
+      {"leased_installs", &CostCounters::leased_installs},
+      {"move_claims", &CostCounters::move_claims},
+      {"claims_denied", &CostCounters::claims_denied},
+      {"reconciles_run", &CostCounters::reconciles_run},
+      {"copies_retired", &CostCounters::copies_retired},
   };
   char prefix[32];
   for (const Item& item : kItems) {
@@ -340,6 +345,61 @@ void World::ExportMetrics() {
     metrics_.SetCounter(std::string("total.") + item.name, total);
   }
   metrics_.SetGauge("sim.now_max_us", NowMaxUs());
+}
+
+std::string World::CheckInvariants() const {
+  std::string report;
+  // Pass 1: who holds each data object? ResidentUserObjects is heap residents
+  // plus handshake limbo, so a node appears at most twice per oid — dedup.
+  std::map<Oid, std::vector<int>> holders;
+  for (const auto& node : nodes_) {
+    for (Oid oid : node->ResidentUserObjects()) {
+      if (!IsDataOid(oid)) {
+        continue;
+      }
+      auto& v = holders[oid];
+      if (v.empty() || v.back() != node->index()) {
+        v.push_back(node->index());
+      }
+    }
+  }
+  for (const auto& [oid, nodes] : holders) {
+    if (nodes.size() > 1) {
+      report += "double copy: oid " + std::to_string(oid) + " live on nodes";
+      for (int n : nodes) {
+        report += " " + std::to_string(n);
+      }
+      report += "\n";
+      continue;
+    }
+    if (dir_ == nullptr) {
+      continue;
+    }
+    // Pass 2: directory cross-check. Only sound claims are flagged: the home
+    // record may legitimately trail (update in flight when a node crashed) or
+    // name a dead copy's last host, but it must never name an impossible node,
+    // and when it names the sole holder its generation cannot exceed the copy's
+    // (Arbitrate/Apply both record the generation the copy itself carries).
+    const Directory::Entry* e = dir_->Lookup(dir_->HomeOf(oid), oid);
+    if (e == nullptr) {
+      continue;
+    }
+    if (e->owner < 0 || e->owner >= num_nodes()) {
+      report += "dir corrupt: oid " + std::to_string(oid) + " owner " +
+                std::to_string(e->owner) + "\n";
+      continue;
+    }
+    if (e->owner == nodes.front()) {
+      const EmObject* obj = nodes_[e->owner]->FindLocal(oid);
+      if (obj != nullptr && e->gen > obj->move_gen) {
+        report += "dir gen ahead: oid " + std::to_string(oid) + " dir gen " +
+                  std::to_string(e->gen) + " > copy gen " +
+                  std::to_string(obj->move_gen) + " on node " +
+                  std::to_string(e->owner) + "\n";
+      }
+    }
+  }
+  return report;
 }
 
 double World::NowMaxUs() const {

@@ -118,6 +118,14 @@ class World {
   // "nodeN.<counter>" counters plus "total.<counter>" sums. Call before rendering.
   void ExportMetrics();
 
+  // Single-copy audit: counts the live copies (resident heap objects plus
+  // handshake limbo) of every data object across the cluster, and cross-checks
+  // the home directory's ownership records when the directory is enabled.
+  // Returns an empty string when every invariant holds, else a newline-
+  // separated violation report. Only meaningful at quiescence (after Run
+  // returns): mid-handshake a transfer legitimately exists at both ends.
+  std::string CheckInvariants() const;
+
   void AppendOutput(const std::string& line);
   const std::string& output() const { return output_; }
   void SetError(const std::string& message);

@@ -171,6 +171,7 @@ TEST(DirSystem, ThirdPartyLookupNeverBroadcasts) {
   EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 0u);
   // Both moves mailed their home an ownership record.
   EXPECT_GE(SumCounter(sys, &CostCounters::dir_updates), 2u);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // After a multi-hop tour the home entry names the final owner at the install
@@ -220,6 +221,7 @@ TEST(DirSystem, ThreeHopTourLeavesHomeEntryAtFinalOwner) {
   ASSERT_NE(e, nullptr) << "home shard has no record of the wanderer";
   EXPECT_EQ(e->owner, 1);
   EXPECT_EQ(e->gen, 4u) << "four installs must leave generation 4";
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Rapid ping-pong: twelve installs' worth of kDirUpdate / compaction mail may
@@ -271,6 +273,7 @@ TEST(DirSystem, PingPongUpdatesConvergeAtHome) {
   EXPECT_EQ(e->owner, 0);
   EXPECT_EQ(e->gen, 12u);
   EXPECT_EQ(SumCounter(sys, &CostCounters::locate_broadcasts), 0u);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // The broadcast is a last resort reserved for home failure: crash an object's
@@ -336,6 +339,7 @@ TEST(DirSystem, HomeCrashFallsBackToBroadcastAtMostOncePerExpiry) {
   // Both pokes landed on the (still live) owner.
   const EmObject* obj = sys.node(0).FindLocal(target);
   ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // ---------------------------------------------------------------------------

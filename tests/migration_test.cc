@@ -62,6 +62,7 @@ TEST(Migration, KilroyTourAcrossAllArchitectures) {
   // and each intermediate node holds a forwarding hint, not the object.
   EXPECT_EQ(sys.node(1).segments().size(), 0u);
   EXPECT_EQ(sys.node(2).segments().size(), 0u);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // The paper's Example 1: object X on node A invokes an operation in Y on node B;
@@ -103,6 +104,7 @@ TEST(Migration, Example1ReturnResumesWhereObjectMoved) {
   )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
   ASSERT_TRUE(sys.Run()) << sys.error();
   EXPECT_EQ(sys.output(), "77\n1\ntrue\n78\n");
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Fields of every kind survive relayout across all three architectures.
@@ -144,6 +146,7 @@ TEST(Migration, ObjectFieldsSurviveRelayout) {
   )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
   ASSERT_TRUE(sys.Run()) << sys.error();
   EXPECT_EQ(sys.output(), "true\ntrue\ntrue\n");
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Moving an object moves the monitor state with it; a monitored object keeps
@@ -173,6 +176,7 @@ TEST(Migration, MonitoredObjectMoves) {
   )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
   ASSERT_TRUE(sys.Run()) << sys.error();
   EXPECT_EQ(sys.output(), "1\n2\n3\n4\n");
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // A thread suspended deep in a call chain migrates in the middle: the moving
@@ -213,6 +217,7 @@ TEST(Migration, MidStackCutAndCrossNodeReturn) {
   )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
   ASSERT_TRUE(sys.Run()) << sys.error();
   EXPECT_EQ(sys.output(), "true\n15\n");
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Moving between identical machines under the original (raw, homogeneous) system
@@ -247,6 +252,7 @@ TEST(Migration, OriginalHomogeneousSystemVariant) {
     )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
     ASSERT_TRUE(sys.Run()) << sys.error();
     EXPECT_EQ(sys.output(), "1.25\n3\n");
+    EXPECT_EQ(sys.world().CheckInvariants(), "");
   }
 }
 

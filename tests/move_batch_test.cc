@@ -90,6 +90,7 @@ TEST(MoveBatch, CoalescesCoLocatedObjectsUnderOneHandshake) {
   EXPECT_EQ(CountBegins(events, TracePoint::kPack), 1u);
   EXPECT_EQ(CountBegins(events, TracePoint::kTransfer), 1u);
   EXPECT_EQ(CountBegins(events, TracePoint::kUnpack), 1u);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // The destination crash-stops at the instant the kMoveBatch transfer frame would
@@ -121,6 +122,7 @@ TEST(MoveBatch, AbortOnDestCrashRestoresEveryMemberAtSource) {
     EXPECT_TRUE(sys.node(0).IsResident(oid)) << "limbo copy not reinstalled";
     EXPECT_FALSE(sys.node(1).IsResident(oid));
   }
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Forwarding-chain compaction: an object tours ten nodes (more migrations than
@@ -179,6 +181,7 @@ TEST(MoveBatch, ForwardChainCompactionKeepsStaleClientsWithinHopBound) {
     locates += sys.node(i).meter().counters().locate_queries;
   }
   EXPECT_EQ(locates, 0u) << "a stale client fell back to the locate broadcast";
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 }  // namespace

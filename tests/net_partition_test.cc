@@ -83,6 +83,7 @@ TEST(NetPartition, SymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
   }
   EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
   ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
   // The cut must actually have bitten, and retransmissions carried the recovery.
   EXPECT_GT(sys.world().tracer().count(TracePoint::kPartitionDrop), 0u);
   EXPECT_GT(sys.node(0).meter().counters().retransmits, 0u);
@@ -115,6 +116,7 @@ TEST(NetPartition, AsymmetricHealBeforeLeaseCompletesMoveWithZeroAborts) {
   }
   EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
   ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
   EXPECT_GT(sys.world().tracer().count(TracePoint::kPartitionDrop), 0u);
 }
 
@@ -151,6 +153,7 @@ TEST(NetPartition, PartitionOutlastingLeaseAbortsWithThreadAtSource) {
   EXPECT_EQ(sys.node(1).meter().counters().reservations_reclaimed, 1u);
   EXPECT_GT(sys.world().tracer().count(TracePoint::kReserveReclaim), 0u);
   ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 // Ordering 2: the cut opens at the delivery of the ack that covers the transfer
@@ -205,6 +208,145 @@ TEST(NetPartition, PartitionOutlastingLeasePresumesCommitAtDestination) {
   EXPECT_EQ(sys.node(0).ResidentUserObjects().size(), 1u);
   EXPECT_GE(sys.node(1).meter().counters().leases_expired, 1u);
   ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
+}
+
+// Time-triggered asymmetric window (satellite of the commit-lease work): the cut
+// is armed by the clock, not by a protocol frame, so it covers whatever happens
+// to be in flight. Opening before the move starts and healing inside the lease
+// must still complete the move with zero aborts — the park/resume machinery may
+// not depend on the frame-triggered arming path.
+TEST(NetPartition, TimeTriggeredAsymmetricWindowCompletesMove) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = false;
+  w.start_us = 1000.0;  // before the program reaches its move
+  w.heal_after_us = 60000.0;
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(RoamerSource(/*expect_node=*/1)));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "8\ntrue\n");
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(sys.node(i).meter().counters().moves_aborted, 0u) << "node " << i;
+    EXPECT_EQ(sys.node(i).meter().counters().leases_expired, 0u) << "node " << i;
+  }
+  EXPECT_EQ(sys.node(0).meter().counters().moves_committed, 1u);
+  ExpectExactlyOneCopyEach(sys, 2);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
+  EXPECT_GT(sys.world().tracer().count(TracePoint::kPartitionDrop), 0u);
+}
+
+// A thread-free move whose transfer is delivered at the destination an instant
+// before every frame LEAVING the destination starts dying. The install lands;
+// its ack, the commit and the dir update are all trapped. When the source's
+// lease on the destination expires, "the transfer went un-ACKED" is NOT
+// evidence it never arrived — this is the asymmetric-partition double-copy
+// hazard of the presumed-abort rule.
+const char* kTrappedAckSource = R"(
+    class Keeper
+      var held: Int
+      op set(v: Int): Int
+        held := v
+        return held
+      end
+    end
+    main
+      var k: Ref := new Keeper
+      print k.set(4)
+      move k to nodeat(1)
+      print 5
+    end
+)";
+
+PartitionWindow TrappedAckWindow(double heal_after_us) {
+  PartitionWindow w;
+  w.side_a = {1};
+  w.symmetric = false;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMoveObject;
+  w.heal_after_us = heal_after_us;
+  return w;
+}
+
+// The hazard itself, with the guard flag OFF: the legacy presumed-abort rule
+// reinstalls at the source while the destination keeps its install — the single
+// protocol defect the commit lease exists to close. This test pins the broken
+// behaviour so the regression below demonstrably has teeth.
+TEST(NetPartition, TrappedAckWithoutCommitLeaseSplitsOwnership) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  cfg.fault.partitions.push_back(TrappedAckWindow(/*heal_after_us=*/-1.0));
+  ASSERT_TRUE(sys.Load(kTrappedAckSource));
+  sys.world().EnableNet(cfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "4\n5\n");
+  // The source aborted on lease expiry ("undelivered") and reinstalled...
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  // ...while the destination had already installed the transfer: two live copies.
+  EXPECT_EQ(sys.node(1).ResidentUserObjects().size(), 1u);
+  std::map<Oid, int> copies;
+  for (int i = 0; i < 2; ++i) {
+    for (Oid oid : sys.node(i).ResidentUserObjects()) {
+      copies[oid] += 1;
+    }
+  }
+  int split = 0;
+  for (const auto& [oid, count] : copies) {
+    if (count > 1) {
+      split += 1;
+    }
+  }
+  EXPECT_EQ(split, 1);
+  EXPECT_NE(sys.world().CheckInvariants(), "");
+}
+
+// Regression for the split above: with commit leases on, the destination holds
+// the decoded transfer without activating it, the source asks the object's home
+// before reinstalling, and the home grants the wire generation to exactly one
+// side. The source wins (the destination never even suspects it — heartbeats
+// keep arriving through the one-way cut), the destination's lease is denied and
+// retired, and after the heal the reconciliation sweep confirms the survivor.
+TEST(NetPartition, TrappedAckWithCommitLeaseKeepsSingleCopy) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Sun3_100());  // third node: the home shard can sit off to the side
+  NetConfig cfg;
+  cfg.commit_lease = true;
+  cfg.heal_reconcile = true;
+  cfg.fault.partitions.push_back(TrappedAckWindow(/*heal_after_us=*/250000.0));
+  ASSERT_TRUE(sys.Load(kTrappedAckSource));
+  sys.world().EnableNet(cfg);
+  sys.world().EnableDir(DirConfig{});
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.output(), "4\n5\n");
+  // The destination held the install on lease instead of activating it.
+  EXPECT_EQ(sys.node(1).meter().counters().leased_installs, 1u);
+  EXPECT_EQ(sys.node(1).meter().counters().moves_committed, 0u);
+  // The source arbitrated with the home instead of presuming, won, reinstalled.
+  EXPECT_GE(sys.node(0).meter().counters().move_claims, 1u);
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  // The losing lease was retired, never activated: exactly one copy survives.
+  uint64_t retired = 0;
+  uint64_t reconciles = 0;
+  for (int i = 0; i < 3; ++i) {
+    retired += sys.node(i).meter().counters().copies_retired;
+    reconciles += sys.node(i).meter().counters().reconciles_run;
+  }
+  EXPECT_EQ(retired, 1u);
+  EXPECT_GE(reconciles, 1u);  // the heal ran the sweep
+  ExpectExactlyOneCopyEach(sys, 3);
+  EXPECT_EQ(sys.world().CheckInvariants(), "");
 }
 
 }  // namespace
