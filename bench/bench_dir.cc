@@ -18,6 +18,7 @@
 #include "bench/bench_common.h"
 #include "src/dir/directory.h"
 #include "src/net/transport.h"
+#include "src/obs/plane.h"
 #include "src/sim/traffic.h"
 
 namespace hetm {
@@ -54,6 +55,7 @@ struct DirRun {
   uint64_t dir_lookups = 0;
   uint64_t dir_updates = 0;
   uint64_t dir_stale = 0;
+  double ttss_ms = 0.0;  // end of the last slice that served a remote invoke
   MetricsRegistry metrics;
 };
 
@@ -81,6 +83,9 @@ DirRun RunZipfCluster(int nodes, bool dir) {
   tcfg.objects = nodes * 64;  // fleet grows with the cluster
   tcfg.move_fraction = 0.05;
   sys.world().EnableTraffic(tcfg);
+  // Time-sliced aggregation: the drain point of the open-loop workload is the
+  // end of the last slice whose remote-invoke delta is nonzero.
+  sys.world().EnableObs(ObsConfig{});
 
   sys.world().Boot(0);
   bool ok = sys.world().Run(100'000'000);
@@ -112,7 +117,9 @@ DirRun RunZipfCluster(int nodes, bool dir) {
       h != nullptr && h->count() > 0) {
     r.mean_hops = h->Mean();
   }
+  r.ttss_ms = sys.world().obs()->SteadyStateUs("remote_invokes") / 1000.0;
   r.metrics.Merge(sys.world().metrics());
+  r.metrics.SetGauge("bench.ttss_ms", r.ttss_ms);
   r.metrics.SetGauge("bench.nodes", nodes);
   r.metrics.SetGauge("bench.dir_enabled", dir ? 1.0 : 0.0);
   r.metrics.SetGauge("bench.mean_route_hops", r.mean_hops);
@@ -124,7 +131,7 @@ DirRun RunZipfCluster(int nodes, bool dir) {
 }
 
 void PrintRow(const DirRun& r) {
-  std::printf("%5d | %-9s | %9.1f | %7llu | %9.2f | %8.2f | %8.2f | %6llu | %8llu | %7llu | %7llu | %5llu\n",
+  std::printf("%5d | %-9s | %9.1f | %7llu | %9.2f | %8.2f | %8.2f | %6llu | %8llu | %7llu | %7llu | %5llu | %9.1f\n",
               r.nodes, r.dir ? "directory" : "birth", r.sim_ms,
               static_cast<unsigned long long>(r.injected), r.mean_hops,
               r.p50_us / 1000.0, r.p99_us / 1000.0,
@@ -132,7 +139,7 @@ void PrintRow(const DirRun& r) {
               static_cast<unsigned long long>(r.broadcast_msgs),
               static_cast<unsigned long long>(r.dir_lookups),
               static_cast<unsigned long long>(r.dir_updates),
-              static_cast<unsigned long long>(r.dir_stale));
+              static_cast<unsigned long long>(r.dir_stale), r.ttss_ms);
 }
 
 void BM_ZipfDirOn64(benchmark::State& state) {
@@ -153,13 +160,14 @@ int main(int argc, char** argv) {
   std::printf(
       "\n=== Zipf traffic, birth-node + broadcast location vs sharded home "
       "directory ===\n");
-  std::printf("%5s | %-9s | %9s | %7s | %9s | %8s | %8s | %6s | %8s | %7s | %7s | %5s\n",
+  std::printf("%5s | %-9s | %9s | %7s | %9s | %8s | %8s | %6s | %8s | %7s | %7s | %5s | %9s\n",
               "nodes", "location", "sim (ms)", "arrived", "mean hops",
               "p50 (ms)", "p99 (ms)", "bcasts", "bc msgs", "lookups", "updates",
-              "stale");
-  std::printf("%.*s\n", 124,
+              "stale", "ttss (ms)");
+  std::printf("%.*s\n", 136,
               "--------------------------------------------------------------"
-              "--------------------------------------------------------------");
+              "--------------------------------------------------------------"
+              "------------");
   for (int nodes : {8, 64, 256}) {
     hetm::DirRun off = hetm::RunZipfCluster(nodes, /*dir=*/false);
     hetm::DirRun on = hetm::RunZipfCluster(nodes, /*dir=*/true);

@@ -19,6 +19,7 @@
 
 #include "bench/bench_common.h"
 #include "src/obs/metrics.h"
+#include "src/obs/plane.h"
 #include "src/sched/sched.h"
 
 namespace hetm {
@@ -70,6 +71,7 @@ struct SkewRun {
   uint64_t samples = 0;         // remote-latency histogram population
   double p50_us = 0.0;
   double p99_us = 0.0;
+  double ttss_ms = 0.0;  // time to steady state: last slice with a commit
   MetricsRegistry metrics;  // full registry for the JSON report
 };
 
@@ -83,6 +85,11 @@ SkewRun RunSkewed(bool sched) {
   if (sched) {
     sys.world().EnableSched(SchedConfig{});
   }
+  // Per-slice aggregation so the run yields a time series, not just totals:
+  // steady state is the end of the last slice in which a placement committed.
+  ObsConfig ocfg;
+  ocfg.slice_us = 5'000.0;
+  sys.world().EnableObs(ocfg);
   bool ok = sys.Run();
   HETM_CHECK_MSG(ok, "skewed program failed to run");
 
@@ -104,39 +111,43 @@ SkewRun RunSkewed(bool sched) {
     r.p50_us = h->Percentile(50.0);
     r.p99_us = h->Percentile(99.0);
   }
+  r.ttss_ms = sys.world().obs()->SteadyStateUs("sched_committed") / 1000.0;
   r.metrics.Merge(sys.world().metrics());
   r.metrics.SetGauge("bench.elapsed_ms", r.elapsed_ms);
   r.metrics.SetGauge("bench.throughput_inv_per_s", r.throughput_inv_s);
+  r.metrics.SetGauge("bench.ttss_ms", r.ttss_ms);
   return r;
 }
 
 void PrintSchedTable(const SkewRun& off, const SkewRun& on) {
   std::printf(
       "\n=== Skewed workload, placement scheduler off vs on (3 nodes) ===\n");
-  std::printf("%-14s | %10s | %11s | %10s | %8s | %8s | %5s | %8s\n", "scheduler",
-              "sim (ms)", "inv/sim-s", "remote inv", "p50 (ms)", "p99 (ms)",
-              "moves", "pingpong");
-  std::printf("%.*s\n", 94,
+  std::printf("%-14s | %10s | %11s | %10s | %8s | %8s | %5s | %8s | %9s\n",
+              "scheduler", "sim (ms)", "inv/sim-s", "remote inv", "p50 (ms)",
+              "p99 (ms)", "moves", "pingpong", "ttss (ms)");
+  std::printf("%.*s\n", 106,
               "--------------------------------------------------------------"
-              "----------------------------------------");
+              "--------------------------------------------------------------");
   for (const auto* r : {&off, &on}) {
-    std::printf("%-14s | %10.2f | %11.0f | %10llu | %8.2f | %8.2f | %5llu | %8llu\n",
-                r == &off ? "off" : "on", r->elapsed_ms, r->throughput_inv_s,
-                static_cast<unsigned long long>(r->remote_invokes),
-                r->p50_us / 1000.0, r->p99_us / 1000.0,
-                static_cast<unsigned long long>(r->sched_committed),
-                static_cast<unsigned long long>(r->sched_pingpong));
+    std::printf(
+        "%-14s | %10.2f | %11.0f | %10llu | %8.2f | %8.2f | %5llu | %8llu | %9.1f\n",
+        r == &off ? "off" : "on", r->elapsed_ms, r->throughput_inv_s,
+        static_cast<unsigned long long>(r->remote_invokes),
+        r->p50_us / 1000.0, r->p99_us / 1000.0,
+        static_cast<unsigned long long>(r->sched_committed),
+        static_cast<unsigned long long>(r->sched_pingpong), r->ttss_ms);
   }
   std::printf(
       "\nThe scheduler's digests expose the 4:2:1:1 affinity skew; the policy\n"
       "pulls each server to its caller exactly once (%llu moves, zero ping-pong\n"
       "commits; %llu bounce proposals were suppressed), after which the steady\n"
-      "state runs local: %.1fx throughput, %llu vs %llu remote invocations.\n\n",
+      "state runs local: %.1fx throughput, %llu vs %llu remote invocations.\n"
+      "The last placement commits %.1f ms into the run (per-slice aggregates).\n\n",
       static_cast<unsigned long long>(on.sched_committed),
       static_cast<unsigned long long>(on.sched_pingpong),
       on.throughput_inv_s / off.throughput_inv_s,
       static_cast<unsigned long long>(on.remote_invokes),
-      static_cast<unsigned long long>(off.remote_invokes));
+      static_cast<unsigned long long>(off.remote_invokes), on.ttss_ms);
 }
 
 void BM_SkewedSchedOff(benchmark::State& state) {

@@ -14,6 +14,9 @@
 //                       [--sched] [--sched-period US] [--sched-hysteresis F]
 //                       [--dir] [--arrival PER_S] [--zipf S] [--objects K]
 //                       [--traffic N] [--move-frac F] [--svc CLASS.OP]
+//                       [--obs] [--obs-dashboard] [--obs-out FILE]
+//                       [--obs-slice US] [--sample RATE]
+//                       [--digest-out FILE] [--diff-replay A.json B.json]
 //
 // --drop/--dup/--seed/--net-trace route all messages through the fault-injecting
 // reliable transport (src/net) with the given frame loss / duplication rates.
@@ -37,6 +40,17 @@
 // rate in arrivals/s, --zipf the popularity skew, --objects the fleet size,
 // --move-frac the fraction of arrivals that are migration requests. --nodes also
 // accepts a plain count N, cycling the six machine models (big-cluster runs).
+// --obs turns on the observability plane (src/obs/plane): per-node metric deltas
+// aggregated into fixed simulated-time slices and mailed to a collector node;
+// --obs-dashboard renders the per-slice cluster table, --obs-out writes the
+// slice time-series as JSON, --obs-slice sets the slice width. --sample RATE
+// turns on adaptive per-move trace sampling at that initial rate (the
+// target-rate controller adapts it per slice; aborted moves are always
+// force-sampled). --digest-out writes the run's per-node slice digest chains as
+// JSON; --diff-replay compares two such files, and when they diverge re-runs
+// the workload under both seeds with full tracing to print the first differing
+// trace-event pair at the divergent (node, slice) — when they agree it prints
+// "no divergence".
 //
 // Example:
 //   ./build/examples/hetm_run prog.em --nodes sparc,vax --stats
@@ -44,10 +58,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "src/emerald/system.h"
 #include "src/net/transport.h"
+#include "src/obs/divergence.h"
 #include "src/sched/sched.h"
 #include "src/isa/disasm.h"
 
@@ -97,7 +113,10 @@ int Usage() {
                "                [--commit-lease] [--heal-reconcile]\n"
                "                [--sched] [--sched-period US] [--sched-hysteresis F]\n"
                "                [--dir] [--arrival PER_S] [--zipf S] [--objects K]\n"
-               "                [--traffic N] [--move-frac F] [--svc CLASS.OP]\n");
+               "                [--traffic N] [--move-frac F] [--svc CLASS.OP]\n"
+               "                [--obs] [--obs-dashboard] [--obs-out FILE]\n"
+               "                [--obs-slice US] [--sample RATE]\n"
+               "                [--digest-out FILE] [--diff-replay A.json B.json]\n");
   return 2;
 }
 
@@ -140,6 +159,14 @@ int main(int argc, char** argv) {
   long long traffic_n = -1;
   double move_frac = -1.0;
   std::string svc_arg;
+  bool use_obs = false;
+  bool obs_dashboard = false;
+  std::string obs_out;
+  double obs_slice_us = -1.0;
+  double sample_rate = -1.0;
+  std::string digest_out;
+  std::string diff_a;
+  std::string diff_b;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -302,6 +329,36 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       svc_arg = v;
       use_traffic = true;
+    } else if (arg == "--obs") {
+      use_obs = true;
+    } else if (arg == "--obs-dashboard") {
+      obs_dashboard = true;
+      use_obs = true;
+    } else if (arg == "--obs-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      obs_out = v;
+      use_obs = true;
+    } else if (arg == "--obs-slice") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      obs_slice_us = std::atof(v);
+      use_obs = true;
+    } else if (arg == "--sample") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      sample_rate = std::atof(v);
+      use_obs = true;
+    } else if (arg == "--digest-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      digest_out = v;
+    } else if (arg == "--diff-replay") {
+      const char* a = next();
+      const char* b = next();
+      if (a == nullptr || b == nullptr) return Usage();
+      diff_a = a;
+      diff_b = b;
     } else {
       return Usage();
     }
@@ -315,8 +372,6 @@ int main(int argc, char** argv) {
   std::stringstream source;
   source << in.rdbuf();
 
-  EmeraldSystem sys(strategy);
-  sys.world().set_rep_bypass(rep_bypass);
   std::vector<std::string> node_names = Split(nodes_arg, ',');
   if (node_names.size() == 1 &&
       node_names[0].find_first_not_of("0123456789") == std::string::npos) {
@@ -335,32 +390,138 @@ int main(int argc, char** argv) {
   }
   std::vector<std::string> opts = opt_arg.empty() ? std::vector<std::string>{}
                                                   : Split(opt_arg, ',');
+  std::vector<MachineModel> machines(node_names.size());
+  std::vector<OptLevel> opt_levels(node_names.size(), OptLevel::kO0);
   for (size_t i = 0; i < node_names.size(); ++i) {
-    MachineModel machine;
-    if (!ParseMachine(node_names[i], &machine)) {
+    if (!ParseMachine(node_names[i], &machines[i])) {
       std::fprintf(stderr, "hetm_run: unknown machine '%s'\n", node_names[i].c_str());
       return 1;
     }
-    OptLevel opt = OptLevel::kO0;
     if (i < opts.size() && opts[i] == "O1") {
-      opt = OptLevel::kO1;
+      opt_levels[i] = OptLevel::kO1;
     }
-    sys.AddNode(machine, opt);
   }
-
-  if (!sys.Load(source.str(), program_path)) {
-    for (const std::string& e : sys.errors()) {
-      std::fprintf(stderr, "%s: %s\n", program_path.c_str(), e.c_str());
-    }
+  if (use_net &&
+      (drop_rate < 0.0 || drop_rate >= 1.0 || dup_rate < 0.0 || dup_rate >= 1.0)) {
+    std::fprintf(stderr, "hetm_run: --drop/--dup rates must be in [0, 1)\n");
     return 1;
   }
+  if (commit_lease || heal_reconcile) {
+    // Lease arbitration and the reconcile sweep both ask the object's home
+    // shard; without a directory the guards would silently never engage.
+    use_dir = true;
+  }
+  double slice_us = obs_slice_us > 0.0 ? obs_slice_us : 20'000.0;
+
+  // One fully configured run of the workload. --diff-replay re-invokes this per
+  // recorded seed with sampling off (full tracing) and slice digests on, so the
+  // replay reproduces the original schedule byte for byte — tracing and the
+  // plane are passive, only the seed changes the world.
+  auto build_and_run = [&](uint64_t seed, bool sampling_on,
+                           bool slice_digests) -> std::unique_ptr<EmeraldSystem> {
+    auto sys = std::make_unique<EmeraldSystem>(strategy);
+    sys->world().set_rep_bypass(rep_bypass);
+    for (size_t i = 0; i < machines.size(); ++i) {
+      sys->AddNode(machines[i], opt_levels[i]);
+    }
+    if (!sys->Load(source.str(), program_path)) {
+      for (const std::string& e : sys->errors()) {
+        std::fprintf(stderr, "%s: %s\n", program_path.c_str(), e.c_str());
+      }
+      return nullptr;
+    }
+    if (use_net) {
+      NetConfig cfg;
+      cfg.fault.seed = seed;
+      cfg.fault.drop_rate = drop_rate;
+      cfg.fault.duplicate_rate = dup_rate;
+      cfg.trace = net_trace || !trace_out.empty();
+      cfg.adaptive_rto = !fixed_rto;
+      if (rto_min_us >= 0.0) cfg.rto_min_us = rto_min_us;
+      if (rto_max_us >= 0.0) cfg.rto_max_us = rto_max_us;
+      if (lease_us >= 0.0) cfg.lease_us = lease_us;
+      if (heartbeat_us >= 0.0) cfg.heartbeat_us = heartbeat_us;
+      if (!partition_arg.empty()) {
+        std::vector<std::string> fields = Split(partition_arg, ':');
+        if (fields.size() != 3) {
+          std::fprintf(stderr, "hetm_run: --partition wants A+B+..:START_US:HEAL_US\n");
+          return nullptr;
+        }
+        PartitionWindow w;
+        for (const std::string& n : Split(fields[0], '+')) {
+          w.side_a.push_back(std::atoi(n.c_str()));
+        }
+        w.start_us = std::atof(fields[1].c_str());
+        w.heal_after_us = std::atof(fields[2].c_str());
+        cfg.fault.partitions.push_back(w);
+      }
+      cfg.commit_lease = commit_lease || heal_reconcile;
+      cfg.heal_reconcile = heal_reconcile;
+      sys->world().EnableNet(cfg);
+    }
+    if (use_sched) {
+      SchedConfig scfg;
+      if (sched_period_us > 0.0) scfg.period_us = sched_period_us;
+      if (sched_hysteresis > 0.0) scfg.hysteresis = sched_hysteresis;
+      sys->world().EnableSched(scfg);
+    }
+    if (use_dir) {
+      sys->world().EnableDir(DirConfig{});
+    }
+    if (use_obs) {
+      ObsConfig ocfg;
+      ocfg.slice_us = slice_us;
+      if (sample_rate >= 0.0 && sampling_on) {
+        ocfg.sample = true;
+        if (sample_rate > 0.0) ocfg.sample_rate = sample_rate;
+      }
+      ocfg.sample_seed = seed;
+      sys->world().EnableObs(ocfg);
+    }
+    if (slice_digests) {
+      sys->world().tracer().EnableSliceDigests(slice_us);
+    }
+    uint64_t max_events = 1'000'000;
+    if (use_traffic) {
+      TrafficConfig tcfg;
+      tcfg.seed = seed;
+      if (arrival_per_s > 0.0) tcfg.arrival_per_s = arrival_per_s;
+      if (zipf_s >= 0.0) tcfg.zipf_s = zipf_s;
+      if (traffic_objects > 0) tcfg.objects = traffic_objects;
+      if (traffic_n > 0) tcfg.max_arrivals = static_cast<uint64_t>(traffic_n);
+      if (move_frac >= 0.0) tcfg.move_fraction = move_frac;
+      if (!svc_arg.empty()) {
+        std::vector<std::string> parts = Split(svc_arg, '.');
+        if (parts.size() != 2) {
+          std::fprintf(stderr, "hetm_run: --svc wants CLASS.OP\n");
+          return nullptr;
+        }
+        tcfg.service_class = parts[0];
+        tcfg.service_op = parts[1];
+      }
+      sys->world().EnableTraffic(tcfg);
+      // Each arrival fans out into invoke/move/directory message chains (plus
+      // transport frames); the default 1M-event cap would truncate a big run.
+      max_events += tcfg.max_arrivals * 1000;
+    }
+    sys->world().Boot(0);
+    sys->world().Run(max_events);
+    return sys;
+  };
 
   if (!disasm_arg.empty()) {
     std::vector<std::string> parts = Split(disasm_arg, '.');
     if (parts.size() != 2) {
       return Usage();
     }
-    for (const auto& cls : sys.program()->classes) {
+    EmeraldSystem dsys(strategy);
+    if (!dsys.Load(source.str(), program_path)) {
+      for (const std::string& e : dsys.errors()) {
+        std::fprintf(stderr, "%s: %s\n", program_path.c_str(), e.c_str());
+      }
+      return 1;
+    }
+    for (const auto& cls : dsys.program()->classes) {
       if (cls->name != parts[0]) {
         continue;
       }
@@ -383,80 +544,89 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (use_net) {
-    if (drop_rate < 0.0 || drop_rate >= 1.0 || dup_rate < 0.0 || dup_rate >= 1.0) {
-      std::fprintf(stderr, "hetm_run: --drop/--dup rates must be in [0, 1)\n");
+  if (!diff_a.empty()) {
+    // Bisect mode: compare two persisted digest-chain files; on divergence,
+    // replay both seeds with full tracing and diff the divergent window.
+    auto read_chains = [](const std::string& path, DigestChainFile* out) {
+      std::ifstream f(path);
+      if (!f) {
+        std::fprintf(stderr, "hetm_run: cannot open %s\n", path.c_str());
+        return false;
+      }
+      std::stringstream ss;
+      ss << f.rdbuf();
+      if (!ParseDigestChains(ss.str(), out)) {
+        std::fprintf(stderr, "hetm_run: %s is not a digest-chain file\n", path.c_str());
+        return false;
+      }
+      return true;
+    };
+    DigestChainFile fa, fb;
+    if (!read_chains(diff_a, &fa) || !read_chains(diff_b, &fb)) {
       return 1;
     }
-    NetConfig cfg;
-    cfg.fault.seed = net_seed;
-    cfg.fault.drop_rate = drop_rate;
-    cfg.fault.duplicate_rate = dup_rate;
-    cfg.trace = net_trace || !trace_out.empty();
-    cfg.adaptive_rto = !fixed_rto;
-    if (rto_min_us >= 0.0) cfg.rto_min_us = rto_min_us;
-    if (rto_max_us >= 0.0) cfg.rto_max_us = rto_max_us;
-    if (lease_us >= 0.0) cfg.lease_us = lease_us;
-    if (heartbeat_us >= 0.0) cfg.heartbeat_us = heartbeat_us;
-    if (!partition_arg.empty()) {
-      std::vector<std::string> fields = Split(partition_arg, ':');
-      if (fields.size() != 3) {
-        std::fprintf(stderr,
-                     "hetm_run: --partition wants A+B+..:START_US:HEAL_US\n");
-        return 1;
-      }
-      PartitionWindow w;
-      for (const std::string& n : Split(fields[0], '+')) {
-        w.side_a.push_back(std::atoi(n.c_str()));
-      }
-      w.start_us = std::atof(fields[1].c_str());
-      w.heal_after_us = std::atof(fields[2].c_str());
-      cfg.fault.partitions.push_back(w);
+    if (fa.slice_us != fb.slice_us) {
+      std::fprintf(stderr, "hetm_run: slice widths differ (%.1f vs %.1f us)\n",
+                   fa.slice_us, fb.slice_us);
+      return 1;
     }
-    cfg.commit_lease = commit_lease || heal_reconcile;
-    cfg.heal_reconcile = heal_reconcile;
-    if (cfg.commit_lease && !use_dir) {
-      // Lease arbitration and the reconcile sweep both ask the object's home
-      // shard; without a directory the guards would silently never engage.
-      use_dir = true;
+    DivergencePoint p = FindFirstDivergence(fa, fb);
+    if (!p.found) {
+      std::printf("no divergence: %s and %s agree on every (node, slice) digest\n",
+                  diff_a.c_str(), diff_b.c_str());
+      return 0;
     }
-    sys.world().EnableNet(cfg);
-  }
-
-  if (use_sched) {
-    SchedConfig scfg;
-    if (sched_period_us > 0.0) scfg.period_us = sched_period_us;
-    if (sched_hysteresis > 0.0) scfg.hysteresis = sched_hysteresis;
-    sys.world().EnableSched(scfg);
-  }
-
-  if (use_dir) {
-    sys.world().EnableDir(DirConfig{});
-  }
-
-  uint64_t max_events = 1'000'000;
-  if (use_traffic) {
-    TrafficConfig tcfg;
-    tcfg.seed = net_seed;
-    if (arrival_per_s > 0.0) tcfg.arrival_per_s = arrival_per_s;
-    if (zipf_s >= 0.0) tcfg.zipf_s = zipf_s;
-    if (traffic_objects > 0) tcfg.objects = traffic_objects;
-    if (traffic_n > 0) tcfg.max_arrivals = static_cast<uint64_t>(traffic_n);
-    if (move_frac >= 0.0) tcfg.move_fraction = move_frac;
-    if (!svc_arg.empty()) {
-      std::vector<std::string> parts = Split(svc_arg, '.');
-      if (parts.size() != 2) return Usage();
-      tcfg.service_class = parts[0];
-      tcfg.service_op = parts[1];
+    int node = p.ring - 1;
+    double t0 = static_cast<double>(p.slice) * fa.slice_us;
+    double t1 = t0 + fa.slice_us;
+    std::printf("first divergence: node %d, slice %lld, window [%.1f, %.1f) us\n", node,
+                static_cast<long long>(p.slice), t0, t1);
+    std::printf("replaying seeds %llu and %llu with full tracing...\n",
+                static_cast<unsigned long long>(fa.seed),
+                static_cast<unsigned long long>(fb.seed));
+    slice_us = fa.slice_us;
+    auto ra = build_and_run(fa.seed, /*sampling_on=*/false, /*slice_digests=*/true);
+    auto rb = build_and_run(fb.seed, /*sampling_on=*/false, /*slice_digests=*/true);
+    if (ra == nullptr || rb == nullptr) {
+      return 1;
     }
-    sys.world().EnableTraffic(tcfg);
-    // Each arrival fans out into invoke/move/directory message chains (plus
-    // transport frames); the default 1M-event cap would truncate a big run.
-    max_events += tcfg.max_arrivals * 1000;
+    // The chain files carry only the seeds; the rest of the workload (program,
+    // --nodes, --drop, --traffic, ...) must be repeated on this command line.
+    // Catch the mismatch instead of diffing two unrelated replays.
+    auto reproduces = [&](EmeraldSystem& sys, const DigestChainFile& rec) {
+      DigestChainFile replayed;
+      replayed.slice_us = rec.slice_us;
+      replayed.seed = rec.seed;
+      replayed.chains = sys.world().tracer().DigestChains(sys.world().NowMaxUs());
+      return !FindFirstDivergence(replayed, rec).found;
+    };
+    if (!reproduces(*ra, fa) || !reproduces(*rb, fb)) {
+      std::fprintf(stderr,
+                   "hetm_run: replay does not reproduce the recorded chains — "
+                   "rerun --diff-replay with the same program and workload flags "
+                   "the recordings used (only the seed is read from the files)\n");
+      return 1;
+    }
+    std::string diff = DiffEventWindow(ra->world().tracer().Snapshot(),
+                                       rb->world().tracer().Snapshot(), node, t0, t1);
+    if (diff.empty()) {
+      std::printf(
+          "replay: surviving ring events agree inside the window (the differing"
+          " emission was overwritten or lies on another ring)\n");
+    } else {
+      std::fputs(diff.c_str(), stdout);
+    }
+    return 0;
   }
 
-  sys.world().Boot(0);
-  bool ok = sys.world().Run(max_events);
+  std::unique_ptr<EmeraldSystem> sys_owner =
+      build_and_run(net_seed, /*sampling_on=*/true,
+                    /*slice_digests=*/!digest_out.empty());
+  if (sys_owner == nullptr) {
+    return 1;
+  }
+  EmeraldSystem& sys = *sys_owner;
+  bool ok = sys.error().empty();
   std::fputs(sys.output().c_str(), stdout);
   if (net_trace) {
     std::fputs(sys.world().tracer().ToText().c_str(), stderr);
@@ -563,6 +733,49 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(sys.world().traffic()->injected()),
                    static_cast<int>(sys.world().traffic()->config().objects));
     }
+    // Cluster totals in stable sorted order (the registry is an ordered map), so
+    // two runs' stats diff line by line.
+    sys.world().ExportMetrics();
+    std::fprintf(stderr, "cluster totals:\n");
+    for (const auto& [name, v] : sys.world().metrics().counters()) {
+      if (name.rfind("total.", 0) != 0 && name.rfind("obs.", 0) != 0) {
+        continue;
+      }
+      if (v == 0) {
+        continue;
+      }
+      std::fprintf(stderr, "  %-36s %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(v));
+    }
+  }
+  if (obs_dashboard && sys.world().obs() != nullptr) {
+    std::printf("\n--- obs dashboard (slice %.1f ms, collector n%d) ---\n%s",
+                slice_us / 1000.0, sys.world().obs()->config().collector,
+                sys.world().obs()->RenderDashboard().c_str());
+  }
+  if (!obs_out.empty() && sys.world().obs() != nullptr) {
+    std::ofstream obs_file(obs_out, std::ios::trunc);
+    if (!obs_file) {
+      std::fprintf(stderr, "hetm_run: cannot write %s\n", obs_out.c_str());
+      return 1;
+    }
+    obs_file << sys.world().obs()->ToJson() << "\n";
+    std::fprintf(stderr, "hetm_run: wrote %zu slices to %s\n",
+                 sys.world().obs()->slices().size(), obs_out.c_str());
+  }
+  if (!digest_out.empty()) {
+    DigestChainFile file;
+    file.slice_us = slice_us;
+    file.seed = net_seed;
+    file.chains = sys.world().tracer().DigestChains(sys.world().NowMaxUs());
+    std::ofstream digest_file(digest_out, std::ios::trunc);
+    if (!digest_file) {
+      std::fprintf(stderr, "hetm_run: cannot write %s\n", digest_out.c_str());
+      return 1;
+    }
+    digest_file << DigestChainsToJson(file);
+    std::fprintf(stderr, "hetm_run: wrote digest chains (%zu rings) to %s\n",
+                 file.chains.size(), digest_out.c_str());
   }
   return 0;
 }

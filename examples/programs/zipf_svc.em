@@ -1,0 +1,14 @@
+// Service fleet for the open-loop traffic generator (hetm_run --traffic):
+// every injected arrival invokes Svc.poke on a Zipf-popular object, so this
+// program just defines the service and exits — the workload is the traffic.
+class Svc
+  var n: Int
+  op poke(): Int
+    n := n + 1
+    return n
+  end
+end
+main
+  var x: Int := 0
+  print x
+end

@@ -1,0 +1,244 @@
+#include "src/obs/divergence.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetm {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+
+uint64_t ChainValue(const std::vector<uint64_t>& chain, size_t slice) {
+  if (chain.empty()) {
+    return kFnvBasis;
+  }
+  return slice < chain.size() ? chain[slice] : chain.back();
+}
+
+void AppendEventLine(std::string& out, const TraceEvent& ev) {
+  char buf[192];
+  const char* suffix =
+      ev.kind == TraceKind::kBegin ? ".begin" : ev.kind == TraceKind::kEnd ? ".end" : "";
+  std::snprintf(buf, sizeof(buf),
+                "t=%.1f n%d %s%s trace=%llx peer=%d a=%lld b=%lld\n", ev.t_us, ev.node,
+                TracePointName(ev.point), suffix,
+                static_cast<unsigned long long>(ev.trace_id), ev.peer,
+                static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+  out += buf;
+}
+
+bool SameSemantics(const TraceEvent& x, const TraceEvent& y) {
+  return x.point == y.point && x.kind == y.kind && x.node == y.node &&
+         x.peer == y.peer && x.trace_id == y.trace_id && x.a == y.a && x.b == y.b &&
+         x.t_us == y.t_us;
+}
+
+// --- minimal scanner for the JSON shape DigestChainsToJson writes ---
+
+struct Scanner {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool Key(const char* name) {
+    SkipWs();
+    std::string want = std::string("\"") + name + "\"";
+    if (text.compare(pos, want.size(), want) != 0) {
+      return false;
+    }
+    pos += want.size();
+    return Eat(':');
+  }
+  bool Number(double* v) {
+    SkipWs();
+    size_t start = pos;
+    while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) !=
+                                     0 ||
+                                 text[pos] == '-' || text[pos] == '+' ||
+                                 text[pos] == '.' || text[pos] == 'e' ||
+                                 text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return false;
+    }
+    *v = std::strtod(text.c_str() + start, nullptr);
+    return true;
+  }
+  // Decimal u64, digit by digit: a double round-trip would shave the low bits
+  // off large seeds.
+  bool U64(uint64_t* v) {
+    SkipWs();
+    size_t start = pos;
+    *v = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      *v = *v * 10 + static_cast<uint64_t>(text[pos] - '0');
+      ++pos;
+    }
+    return pos != start;
+  }
+  bool HexString(uint64_t* v) {
+    if (!Eat('"')) {
+      return false;
+    }
+    if (text.compare(pos, 2, "0x") != 0) {
+      return false;
+    }
+    pos += 2;
+    size_t start = pos;
+    *v = 0;
+    while (pos < text.size() &&
+           std::isxdigit(static_cast<unsigned char>(text[pos])) != 0) {
+      int c = text[pos];
+      int digit = c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10;
+      *v = (*v << 4) | static_cast<uint64_t>(digit);
+      ++pos;
+    }
+    if (pos == start || pos - start > 16) {
+      return false;
+    }
+    return Eat('"');
+  }
+};
+
+}  // namespace
+
+std::string DigestChainsToJson(const DigestChainFile& file) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"slice_us\":%.1f,\"seed\":%llu,\"chains\":[",
+                file.slice_us, static_cast<unsigned long long>(file.seed));
+  std::string out = buf;
+  for (size_t r = 0; r < file.chains.size(); ++r) {
+    out += r == 0 ? "[" : ",[";
+    for (size_t s = 0; s < file.chains[r].size(); ++s) {
+      std::snprintf(buf, sizeof(buf), "%s\"0x%llx\"", s == 0 ? "" : ",",
+                    static_cast<unsigned long long>(file.chains[r][s]));
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool ParseDigestChains(const std::string& text, DigestChainFile* out) {
+  *out = DigestChainFile{};
+  Scanner sc{text};
+  if (!sc.Eat('{') || !sc.Key("slice_us") || !sc.Number(&out->slice_us) ||
+      !sc.Eat(',') || !sc.Key("seed") || !sc.U64(&out->seed) || !sc.Eat(',') ||
+      !sc.Key("chains") || !sc.Eat('[')) {
+    return false;
+  }
+  if (sc.Eat(']')) {
+    return sc.Eat('}');
+  }
+  do {
+    if (!sc.Eat('[')) {
+      return false;
+    }
+    std::vector<uint64_t> chain;
+    if (!sc.Peek(']')) {
+      do {
+        uint64_t v = 0;
+        if (!sc.HexString(&v)) {
+          return false;
+        }
+        chain.push_back(v);
+      } while (sc.Eat(','));
+    }
+    if (!sc.Eat(']')) {
+      return false;
+    }
+    out->chains.push_back(std::move(chain));
+  } while (sc.Eat(','));
+  return sc.Eat(']') && sc.Eat('}');
+}
+
+DivergencePoint FindFirstDivergence(const DigestChainFile& a,
+                                    const DigestChainFile& b) {
+  DivergencePoint p;
+  size_t rings = std::max(a.chains.size(), b.chains.size());
+  size_t slices = 0;
+  for (const auto& c : a.chains) {
+    slices = std::max(slices, c.size());
+  }
+  for (const auto& c : b.chains) {
+    slices = std::max(slices, c.size());
+  }
+  // Earliest slice wins, then lowest ring: scan slice-major. A ring missing
+  // from one file compares its side as the empty chain (pure FNV basis), so it
+  // surfaces at its first active slice like any other mismatch.
+  for (size_t s = 0; s < slices; ++s) {
+    for (size_t r = 0; r < rings; ++r) {
+      uint64_t va = r < a.chains.size() ? ChainValue(a.chains[r], s) : kFnvBasis;
+      uint64_t vb = r < b.chains.size() ? ChainValue(b.chains[r], s) : kFnvBasis;
+      if (va != vb) {
+        p.found = true;
+        p.ring = static_cast<int>(r);
+        p.slice = static_cast<int64_t>(s);
+        return p;
+      }
+    }
+  }
+  return p;
+}
+
+std::string DiffEventWindow(const std::vector<TraceEvent>& a,
+                            const std::vector<TraceEvent>& b, int node,
+                            double t0_us, double t1_us) {
+  auto filter = [&](const std::vector<TraceEvent>& in) {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& ev : in) {
+      if (ev.node == node && ev.t_us >= t0_us && ev.t_us < t1_us) {
+        out.push_back(ev);
+      }
+    }
+    return out;
+  };
+  std::vector<TraceEvent> wa = filter(a);
+  std::vector<TraceEvent> wb = filter(b);
+  size_t n = std::min(wa.size(), wb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!SameSemantics(wa[i], wb[i])) {
+      std::string out = "first differing event pair (index " + std::to_string(i) +
+                        " in window):\n  A: ";
+      AppendEventLine(out, wa[i]);
+      out += "  B: ";
+      AppendEventLine(out, wb[i]);
+      return out;
+    }
+  }
+  if (wa.size() != wb.size()) {
+    const bool a_longer = wa.size() > wb.size();
+    const TraceEvent& extra = a_longer ? wa[n] : wb[n];
+    std::string out = "event present only in run ";
+    out += a_longer ? "A" : "B";
+    out += " (index " + std::to_string(n) + " in window):\n  ";
+    AppendEventLine(out, extra);
+    return out;
+  }
+  return "";
+}
+
+}  // namespace hetm

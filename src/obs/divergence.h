@@ -1,0 +1,70 @@
+// Replay-divergence bisector.
+//
+// Two runs of the same workload are supposed to produce identical event streams
+// — that is the determinism contract the whole simulator stands on, and the one
+// the global FNV trace digest checks as a single 64-bit compare. But when the
+// digests DO differ, a single mismatched number says nothing about where the
+// runs forked. The bisector closes that gap: the tracer splits each ring's
+// running digest into fixed simulated-time slices (Tracer::EnableSliceDigests),
+// giving every (ring, slice) cell its own chained digest. Two runs' chains are
+// persisted as JSON (`hetm_run --digest-out`), compared cell by cell
+// (`hetm_run --diff-replay A.json B.json`), and the earliest divergent cell
+// names the node and ~slice-width time window containing the first differing
+// emission — so the follow-up replay can run with FULL tracing focused there
+// and print the first TracePoint pair that actually differs.
+//
+// The chain property that makes bisection sound: chain[s] folds chain[s-1] in,
+// so once two runs diverge every later cell of that ring differs too, and an
+// idle slice repeats its predecessor's value instead of resetting — equal cells
+// therefore certify equal prefixes, not just equal slices.
+#ifndef HETM_SRC_OBS_DIVERGENCE_H_
+#define HETM_SRC_OBS_DIVERGENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace hetm {
+
+// One run's persisted digest chains: chains[ring][slice], ring 0 = world-level,
+// ring n+1 = node n (the tracer's ring layout).
+struct DigestChainFile {
+  double slice_us = 0.0;
+  uint64_t seed = 0;
+  std::vector<std::vector<uint64_t>> chains;
+};
+
+// {"slice_us":...,"seed":...,"chains":[["0x...",...],...]} — digests as hex
+// strings (JSON numbers lose 64-bit integers).
+std::string DigestChainsToJson(const DigestChainFile& file);
+// Tolerant scanner for the exact shape DigestChainsToJson writes. Returns false
+// on malformed input, leaving *out unspecified.
+bool ParseDigestChains(const std::string& text, DigestChainFile* out);
+
+struct DivergencePoint {
+  bool found = false;
+  int ring = -1;     // tracer ring index; node = ring - 1 (-1 = world-level)
+  int64_t slice = -1;
+};
+
+// The earliest divergent cell: minimal slice index, ties broken by lowest ring.
+// Chains of unequal length compare against the shorter side's tail value (the
+// tracer pads idle tails the same way); a ring present in only one file is a
+// divergence at its first slice.
+DivergencePoint FindFirstDivergence(const DigestChainFile& a,
+                                    const DigestChainFile& b);
+
+// Focused diff for the replay step: compares the two runs' surviving events on
+// `node` inside [t0_us, t1_us), semantic fields only (seq numbers may differ
+// once sampling or ring overwrite shifted them), and formats the first
+// differing pair — or the first event present in only one run — like the
+// tracer's text rendering. Empty string = the windows agree.
+std::string DiffEventWindow(const std::vector<TraceEvent>& a,
+                            const std::vector<TraceEvent>& b, int node,
+                            double t0_us, double t1_us);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_OBS_DIVERGENCE_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace hetm {
 
@@ -72,6 +73,107 @@ void LogHistogram::Merge(const LogHistogram& other) {
   sum_ += other.sum_;
 }
 
+LogHistogram LogHistogram::DeltaSince(const LogHistogram& baseline) const {
+  LogHistogram d;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    d.buckets_[i] = buckets_[i] - baseline.buckets_[i];
+  }
+  d.count_ = count_ - baseline.count_;
+  d.sum_ = sum_ - baseline.sum_;
+  d.min_ = min_;
+  d.max_ = max_;
+  return d;
+}
+
+namespace {
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool GetU64(const uint8_t* data, size_t len, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > len) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(data[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+bool GetF64(const uint8_t* data, size_t len, size_t* pos, double* v) {
+  uint64_t bits;
+  if (!GetU64(data, len, pos, &bits)) {
+    return false;
+  }
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+}  // namespace
+
+void LogHistogram::EncodeTo(std::vector<uint8_t>* out) const {
+  PutU64(out, count_);
+  PutF64(out, sum_);
+  PutF64(out, min_);
+  PutF64(out, max_);
+  uint16_t nonzero = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) {
+      ++nonzero;
+    }
+  }
+  out->push_back(static_cast<uint8_t>(nonzero & 0xff));
+  out->push_back(static_cast<uint8_t>(nonzero >> 8));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    out->push_back(static_cast<uint8_t>(i & 0xff));
+    out->push_back(static_cast<uint8_t>(i >> 8));
+    PutU64(out, buckets_[i]);
+  }
+}
+
+bool LogHistogram::DecodeFrom(const uint8_t* data, size_t len, size_t* consumed) {
+  size_t pos = *consumed;
+  *this = LogHistogram{};
+  if (!GetU64(data, len, &pos, &count_) || !GetF64(data, len, &pos, &sum_) ||
+      !GetF64(data, len, &pos, &min_) || !GetF64(data, len, &pos, &max_)) {
+    return false;
+  }
+  if (pos + 2 > len) {
+    return false;
+  }
+  uint16_t nonzero = static_cast<uint16_t>(data[pos] | (data[pos + 1] << 8));
+  pos += 2;
+  for (uint16_t i = 0; i < nonzero; ++i) {
+    if (pos + 2 > len) {
+      return false;
+    }
+    uint16_t idx = static_cast<uint16_t>(data[pos] | (data[pos + 1] << 8));
+    pos += 2;
+    uint64_t c;
+    if (idx >= kNumBuckets || !GetU64(data, len, &pos, &c)) {
+      return false;
+    }
+    buckets_[idx] = c;
+  }
+  *consumed = pos;
+  return true;
+}
+
 double LogHistogram::Percentile(double p) const {
   if (count_ == 0) {
     return 0.0;
@@ -134,6 +236,26 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     histograms_[name].Merge(h);
   }
+}
+
+MetricsRegistry MetricsRegistry::SnapshotDelta(MetricsRegistry* baseline) const {
+  MetricsRegistry delta;
+  for (const auto& [name, v] : counters_) {
+    uint64_t base = baseline->counter(name);
+    if (v != base) {
+      delta.counters_[name] = v - base;
+    }
+  }
+  delta.gauges_ = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    auto it = baseline->histograms_.find(name);
+    LogHistogram d = it == baseline->histograms_.end() ? h : h.DeltaSince(it->second);
+    if (d.count() != 0) {
+      delta.histograms_[name] = d;
+    }
+  }
+  *baseline = *this;
+  return delta;
 }
 
 std::string MetricsRegistry::Render() const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace hetm {
 
@@ -27,6 +28,17 @@ class LogHistogram {
 
   void Record(double value);
   void Merge(const LogHistogram& other);
+  // Bucket-wise difference against `baseline`, an EARLIER snapshot of this same
+  // histogram (per-slice deltas in src/obs/plane). Bucket counts, count and sum
+  // subtract exactly; min/max stay the cumulative extremes (a histogram cannot
+  // un-observe them), which only widens the Percentile clamp of a delta slice.
+  LogHistogram DeltaSince(const LogHistogram& baseline) const;
+  // Compact wire encoding for kObsReport frames: moments plus the nonzero
+  // buckets as (index, count) pairs, little-endian fixed width.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+  // Decodes one histogram starting at `data`; advances *consumed past it.
+  // Returns false (leaving *this unspecified) on truncated or corrupt input.
+  bool DecodeFrom(const uint8_t* data, size_t len, size_t* consumed);
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -63,6 +75,12 @@ class MetricsRegistry {
   // Folds `other` into this registry: counters add, gauges take the other's
   // value, histograms merge bucket-wise.
   void Merge(const MetricsRegistry& other);
+
+  // Returns the delta since `*baseline` (an earlier snapshot of this registry)
+  // and replaces *baseline with the current state, so repeated snapshots never
+  // double-count — the reset-semantics fix the per-slice reports depend on.
+  // Counters and histogram buckets subtract; gauges carry the current value.
+  MetricsRegistry SnapshotDelta(MetricsRegistry* baseline) const;
 
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   const std::map<std::string, double>& gauges() const { return gauges_; }

@@ -1,0 +1,530 @@
+#include "src/obs/plane.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/net/fault_plan.h"
+#include "src/runtime/node.h"
+#include "src/sim/world.h"
+
+namespace hetm {
+
+const ObsCounterSpec* ObsCounterSpecs(size_t* count) {
+  static const ObsCounterSpec kSpecs[] = {
+      {"vm_instructions", &CostCounters::vm_instructions},
+      {"conv_calls", &CostCounters::conv_calls},
+      {"conv_bytes", &CostCounters::conv_bytes},
+      {"busstop_lookups", &CostCounters::busstop_lookups},
+      {"plan_hits", &CostCounters::plan_hits},
+      {"plan_misses", &CostCounters::plan_misses},
+      {"plan_evictions", &CostCounters::plan_evictions},
+      {"plan_execs", &CostCounters::plan_execs},
+      {"plan_ops", &CostCounters::plan_ops},
+      {"plan_bypasses", &CostCounters::plan_bypasses},
+      {"messages_sent", &CostCounters::messages_sent},
+      {"bytes_sent", &CostCounters::bytes_sent},
+      {"moves", &CostCounters::moves},
+      {"remote_invokes", &CostCounters::remote_invokes},
+      {"bridge_ops", &CostCounters::bridge_ops},
+      {"packets_sent", &CostCounters::packets_sent},
+      {"retransmits", &CostCounters::retransmits},
+      {"acks_sent", &CostCounters::acks_sent},
+      {"dups_suppressed", &CostCounters::dups_suppressed},
+      {"corrupt_dropped", &CostCounters::corrupt_dropped},
+      {"moves_committed", &CostCounters::moves_committed},
+      {"moves_aborted", &CostCounters::moves_aborted},
+      {"locate_queries", &CostCounters::locate_queries},
+      {"heartbeats_sent", &CostCounters::heartbeats_sent},
+      {"leases_expired", &CostCounters::leases_expired},
+      {"reconnects", &CostCounters::reconnects},
+      {"reservations_reclaimed", &CostCounters::reservations_reclaimed},
+      {"moves_presumed_committed", &CostCounters::moves_presumed_committed},
+      {"replies_parked", &CostCounters::replies_parked},
+      {"replies_flushed", &CostCounters::replies_flushed},
+      {"replies_dropped", &CostCounters::replies_dropped},
+      {"sched_ticks", &CostCounters::sched_ticks},
+      {"sched_digests_sent", &CostCounters::sched_digests_sent},
+      {"sched_digests_recv", &CostCounters::sched_digests_recv},
+      {"sched_proposed", &CostCounters::sched_proposed},
+      {"sched_committed", &CostCounters::sched_committed},
+      {"sched_vetoed", &CostCounters::sched_vetoed},
+      {"sched_pingpong", &CostCounters::sched_pingpong},
+      {"dir_lookups", &CostCounters::dir_lookups},
+      {"dir_updates", &CostCounters::dir_updates},
+      {"dir_stale_hits", &CostCounters::dir_stale_hits},
+      {"locate_broadcasts", &CostCounters::locate_broadcasts},
+      {"leased_installs", &CostCounters::leased_installs},
+      {"move_claims", &CostCounters::move_claims},
+      {"claims_denied", &CostCounters::claims_denied},
+      {"reconciles_run", &CostCounters::reconciles_run},
+      {"copies_retired", &CostCounters::copies_retired},
+  };
+  *count = sizeof(kSpecs) / sizeof(kSpecs[0]);
+  return kSpecs;
+}
+
+int ObsCounterIndex(const char* name) {
+  size_t n;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::string(specs[i].name) == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(const uint8_t* data, size_t len, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > len) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(data[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const uint8_t* data, size_t len, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > len) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(data[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+bool GetU8(const uint8_t* data, size_t len, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > len) {
+    return false;
+  }
+  *v = data[*pos];
+  *pos += 1;
+  return true;
+}
+
+}  // namespace
+
+ObsPlane::ObsPlane(World* world, const ObsConfig& config)
+    : world_(world), config_(config) {
+  if (config_.slice_us <= 0.0) {
+    config_.slice_us = 20'000.0;
+  }
+  if (config_.collector < 0 || config_.collector >= world_->num_nodes()) {
+    config_.collector = 0;
+  }
+  rate_ = std::clamp(config_.sample_rate, config_.min_sample_rate, 1.0);
+  baseline_.resize(world_->num_nodes());
+  pending_phase_.resize(world_->num_nodes() + 1);  // slot 0 = world-level spans
+}
+
+uint64_t ObsPlane::DecorateTraceId(uint64_t trace_id) {
+  if (!config_.sample || trace_id == 0) {
+    return trace_id;
+  }
+  // One private splitmix64 stream per move id: no draw from any schedule-visible
+  // RNG, and the verdict is a pure function of (seed, id, current rate) — so two
+  // same-seed runs (whose rate trajectories are identical, tracing being
+  // passive) sample exactly the same move set.
+  NetRng rng(config_.sample_seed ^ (trace_id * 0x9E3779B97F4A7C15ull));
+  if (rng.NextDouble() < rate_) {
+    ++sampled_;
+    return trace_id | kSampledTraceIdBit;
+  }
+  ++unsampled_;
+  return trace_id;
+}
+
+ObsSlice& ObsPlane::SliceAt(uint32_t index) {
+  if (slices_.size() <= index) {
+    slices_.resize(index + 1);
+  }
+  ObsSlice& s = slices_[index];
+  if (s.counters.empty()) {
+    size_t n;
+    ObsCounterSpecs(&n);
+    s.counters.assign(n, 0);
+  }
+  return s;
+}
+
+void ObsPlane::MergeReport(uint32_t slice, int node, const uint64_t* deltas,
+                           const std::map<uint8_t, LogHistogram>& phase) {
+  static const int kVm = ObsCounterIndex("vm_instructions");
+  static const int kMoves = ObsCounterIndex("moves");
+  static const int kInvokes = ObsCounterIndex("remote_invokes");
+  ObsSlice& s = SliceAt(slice);
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    s.counters[i] += deltas[i];
+  }
+  for (const auto& [point, h] : phase) {
+    s.phase[point].Merge(h);
+  }
+  if (node >= 0) {
+    ObsNodeHeat& heat = s.nodes[node];
+    heat.vm_instructions += deltas[kVm];
+    heat.moves += deltas[kMoves];
+    heat.remote_invokes += deltas[kInvokes];
+  }
+  s.reports += 1;
+}
+
+void ObsPlane::EncodeReport(int node, uint32_t slice, const uint64_t* deltas,
+                            const std::map<uint8_t, LogHistogram>& phase,
+                            std::vector<uint8_t>* out) const {
+  size_t n;
+  ObsCounterSpecs(&n);
+  PutU32(out, slice);
+  PutU32(out, static_cast<uint32_t>(node));
+  uint8_t nonzero = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (deltas[i] != 0) {
+      ++nonzero;
+    }
+  }
+  out->push_back(nonzero);
+  for (size_t i = 0; i < n; ++i) {
+    if (deltas[i] == 0) {
+      continue;
+    }
+    out->push_back(static_cast<uint8_t>(i));
+    PutU64(out, deltas[i]);
+  }
+  out->push_back(static_cast<uint8_t>(phase.size()));
+  for (const auto& [point, h] : phase) {
+    out->push_back(point);
+    h.EncodeTo(out);
+  }
+}
+
+void ObsPlane::HandleReport(const Message& msg) {
+  size_t n;
+  ObsCounterSpecs(&n);
+  const uint8_t* data = msg.payload.data();
+  size_t len = msg.payload.size();
+  size_t pos = 0;
+  uint32_t slice = 0;
+  uint32_t node = 0;
+  uint8_t n_counters = 0;
+  std::vector<uint64_t> deltas(n, 0);
+  if (!GetU32(data, len, &pos, &slice) || !GetU32(data, len, &pos, &node) ||
+      !GetU8(data, len, &pos, &n_counters)) {
+    ++reports_dropped_;
+    return;
+  }
+  for (uint8_t i = 0; i < n_counters; ++i) {
+    uint8_t idx = 0;
+    uint64_t v = 0;
+    if (!GetU8(data, len, &pos, &idx) || idx >= n || !GetU64(data, len, &pos, &v)) {
+      ++reports_dropped_;
+      return;
+    }
+    deltas[idx] = v;
+  }
+  uint8_t n_phase = 0;
+  if (!GetU8(data, len, &pos, &n_phase)) {
+    ++reports_dropped_;
+    return;
+  }
+  std::map<uint8_t, LogHistogram> phase;
+  for (uint8_t i = 0; i < n_phase; ++i) {
+    uint8_t point = 0;
+    if (!GetU8(data, len, &pos, &point)) {
+      ++reports_dropped_;
+      return;
+    }
+    LogHistogram h;
+    if (!h.DecodeFrom(data, len, &pos)) {
+      ++reports_dropped_;
+      return;
+    }
+    phase[point] = h;
+  }
+  MergeReport(slice, static_cast<int>(node), deltas.data(), phase);
+}
+
+void ObsPlane::FlushSlice(double boundary_us, bool mail) {
+  size_t n;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n);
+  uint32_t slice = static_cast<uint32_t>(flushed_slices_);
+  if (static_cast<size_t>(world_->num_nodes()) > baseline_.size()) {
+    baseline_.resize(world_->num_nodes());
+    pending_phase_.resize(world_->num_nodes() + 1);
+  }
+  std::vector<uint64_t> deltas(n);
+  for (int i = 0; i < world_->num_nodes(); ++i) {
+    const CostCounters& cur = world_->node(i).meter().counters();
+    bool any = false;
+    for (size_t k = 0; k < n; ++k) {
+      deltas[k] = cur.*(specs[k].field) - baseline_[i].*(specs[k].field);
+      any = any || deltas[k] != 0;
+    }
+    std::map<uint8_t, LogHistogram>& phase = pending_phase_[i + 1];
+    if (i == config_.collector && !pending_phase_[0].empty()) {
+      // World-level spans (node -1 in the tracer) have no mailbox of their own;
+      // they fold into the collector's report.
+      for (const auto& [point, h] : pending_phase_[0]) {
+        phase[point].Merge(h);
+      }
+      pending_phase_[0].clear();
+    }
+    if (!any && phase.empty()) {
+      continue;  // an idle node mails nothing — a quiesced cluster stays silent
+    }
+    if (mail && config_.mail_reports && i != config_.collector) {
+      Message msg;
+      msg.type = MsgType::kObsReport;
+      msg.src_node = i;
+      EncodeReport(i, slice, deltas.data(), phase, &msg.payload);
+      ++report_frames_;
+      report_bytes_ += msg.WireSize();
+      world_->PushObsReport(boundary_us + config_.report_latency_us, std::move(msg));
+    } else {
+      MergeReport(slice, i, deltas.data(), phase);
+    }
+    baseline_[i] = cur;
+    phase.clear();
+  }
+  ControllerStep();
+  flushed_slices_ += 1;
+}
+
+void ObsPlane::ControllerStep() {
+  if (!config_.sample) {
+    return;
+  }
+  uint64_t emitted = world_->tracer().emitted();
+  uint64_t delta = emitted - last_emitted_;
+  last_emitted_ = emitted;
+  int nodes = std::max(1, world_->num_nodes());
+  double per_node = static_cast<double>(delta) / static_cast<double>(nodes);
+  double budget = static_cast<double>(config_.ring_budget_per_slice);
+  if (per_node > budget) {
+    rate_ *= budget / per_node;
+  } else if (per_node < budget / 4.0) {
+    rate_ *= 2.0;  // recover when traffic subsides; growth is slice-paced
+  }
+  rate_ = std::clamp(rate_, config_.min_sample_rate, 1.0);
+}
+
+void ObsPlane::MaybeFlush(double now_us) {
+  while ((static_cast<double>(flushed_slices_) + 1.0) * config_.slice_us <= now_us) {
+    FlushSlice((static_cast<double>(flushed_slices_) + 1.0) * config_.slice_us,
+               /*mail=*/true);
+  }
+}
+
+void ObsPlane::FinalFlush(double horizon_us) {
+  // The event loop that would carry report frames has drained: every remaining
+  // slice — complete or the partial tail — merges locally. Baselines still
+  // advance, so a later Run continues mailing deltas with nothing double-counted.
+  while ((static_cast<double>(flushed_slices_) + 1.0) * config_.slice_us <=
+         horizon_us) {
+    FlushSlice((static_cast<double>(flushed_slices_) + 1.0) * config_.slice_us,
+               /*mail=*/false);
+  }
+  // Partial tail: merge without advancing the boundary, so activity later in
+  // this same slice (another Run) still lands in the same chain entry.
+  size_t n;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n);
+  if (static_cast<size_t>(world_->num_nodes()) > baseline_.size()) {
+    baseline_.resize(world_->num_nodes());
+    pending_phase_.resize(world_->num_nodes() + 1);
+  }
+  std::vector<uint64_t> deltas(n);
+  for (int i = 0; i < world_->num_nodes(); ++i) {
+    const CostCounters& cur = world_->node(i).meter().counters();
+    bool any = false;
+    for (size_t k = 0; k < n; ++k) {
+      deltas[k] = cur.*(specs[k].field) - baseline_[i].*(specs[k].field);
+      any = any || deltas[k] != 0;
+    }
+    std::map<uint8_t, LogHistogram>& phase = pending_phase_[i + 1];
+    if (i == config_.collector && !pending_phase_[0].empty()) {
+      for (const auto& [point, h] : pending_phase_[0]) {
+        phase[point].Merge(h);
+      }
+      pending_phase_[0].clear();
+    }
+    if (!any && phase.empty()) {
+      continue;
+    }
+    MergeReport(static_cast<uint32_t>(flushed_slices_), i, deltas.data(), phase);
+    baseline_[i] = cur;
+    phase.clear();
+  }
+}
+
+void ObsPlane::OnPhase(int node, TracePoint p, double duration_us) {
+  size_t slot = static_cast<size_t>(node + 1);
+  if (node < -1 || slot >= pending_phase_.size()) {
+    return;
+  }
+  pending_phase_[slot][static_cast<uint8_t>(p)].Record(duration_us);
+}
+
+uint64_t ObsPlane::SliceCounter(size_t slice, int counter_index) const {
+  if (slice >= slices_.size() || counter_index < 0) {
+    return 0;
+  }
+  const std::vector<uint64_t>& c = slices_[slice].counters;
+  return static_cast<size_t>(counter_index) < c.size()
+             ? c[static_cast<size_t>(counter_index)]
+             : 0;
+}
+
+double ObsPlane::SteadyStateUs(const char* name) const {
+  int idx = ObsCounterIndex(name);
+  if (idx < 0) {
+    return 0.0;
+  }
+  for (size_t s = slices_.size(); s > 0; --s) {
+    if (SliceCounter(s - 1, idx) != 0) {
+      return static_cast<double>(s) * config_.slice_us;
+    }
+  }
+  return 0.0;
+}
+
+std::string ObsPlane::RenderDashboard() const {
+  static const int kMoves = ObsCounterIndex("moves");
+  static const int kCommits = ObsCounterIndex("moves_committed");
+  static const int kAborts = ObsCounterIndex("moves_aborted");
+  static const int kPresumed = ObsCounterIndex("moves_presumed_committed");
+  static const int kDirHops = ObsCounterIndex("dir_lookups");
+  static const int kLeases = ObsCounterIndex("leases_expired");
+  static const int kReconnects = ObsCounterIndex("reconnects");
+  static const int kReconciles = ObsCounterIndex("reconciles_run");
+  static const int kRetired = ObsCounterIndex("copies_retired");
+  std::string out =
+      "  slice    t0_ms   moves commit  abort inflt  move_p50  move_p99"
+      "  dirhops  lease  recon  hot\n";
+  char buf[256];
+  // In-flight = cumulative moves minus cumulative resolutions. Two resolution
+  // estimates, both undercounts, complementary: handshake counters (commit/
+  // abort/presume — zero on the direct path) and ended kMove spans (zero for
+  // unsampled moves). The max of the cumulatives is the tighter bound.
+  uint64_t cum_moves = 0;
+  uint64_t cum_handshake = 0;
+  uint64_t cum_span_ends = 0;
+  for (size_t s = 0; s < slices_.size(); ++s) {
+    const ObsSlice& sl = slices_[s];
+    if (sl.counters.empty()) {
+      continue;
+    }
+    uint64_t moves = sl.counters[kMoves];
+    cum_moves += moves;
+    cum_handshake +=
+        sl.counters[kCommits] + sl.counters[kAborts] + sl.counters[kPresumed];
+    double p50 = 0.0;
+    double p99 = 0.0;
+    auto it = sl.phase.find(static_cast<uint8_t>(TracePoint::kMove));
+    if (it != sl.phase.end()) {
+      p50 = it->second.Percentile(50);
+      p99 = it->second.Percentile(99);
+      cum_span_ends += it->second.count();
+    }
+    uint64_t resolved = std::max(cum_handshake, cum_span_ends);
+    int64_t inflight = static_cast<int64_t>(cum_moves) - static_cast<int64_t>(resolved);
+    if (inflight < 0) {
+      inflight = 0;
+    }
+    int hot = -1;
+    uint64_t hot_vm = 0;
+    for (const auto& [node, heat] : sl.nodes) {
+      if (heat.vm_instructions >= hot_vm) {
+        hot = node;
+        hot_vm = heat.vm_instructions;
+      }
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%7zu %8.1f %7llu %6llu %6llu %5lld %9.1f %9.1f %8llu %6llu"
+                  " %6llu  n%d\n",
+                  s, static_cast<double>(s) * config_.slice_us / 1000.0,
+                  static_cast<unsigned long long>(moves),
+                  static_cast<unsigned long long>(sl.counters[kCommits]),
+                  static_cast<unsigned long long>(sl.counters[kAborts]),
+                  static_cast<long long>(inflight), p50, p99,
+                  static_cast<unsigned long long>(sl.counters[kDirHops]),
+                  static_cast<unsigned long long>(sl.counters[kLeases] +
+                                                  sl.counters[kReconnects]),
+                  static_cast<unsigned long long>(sl.counters[kReconciles] +
+                                                  sl.counters[kRetired]),
+                  hot);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ObsPlane::ToJson() const {
+  size_t n;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "{\"slice_us\":%.1f,\"collector\":%d,\"slices\":[",
+                config_.slice_us, config_.collector);
+  std::string out = buf;
+  for (size_t s = 0; s < slices_.size(); ++s) {
+    const ObsSlice& sl = slices_[s];
+    std::snprintf(buf, sizeof(buf), "%s{\"t0_us\":%.1f,\"reports\":%d,\"counters\":{",
+                  s == 0 ? "" : ",", static_cast<double>(s) * config_.slice_us,
+                  sl.reports);
+    out += buf;
+    bool first = true;
+    for (size_t k = 0; k < sl.counters.size(); ++k) {
+      if (sl.counters[k] == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                    specs[k].name, static_cast<unsigned long long>(sl.counters[k]));
+      out += buf;
+      first = false;
+    }
+    out += "},\"phase\":{";
+    first = true;
+    for (const auto& [point, h] : sl.phase) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%s\":{\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,\"p99\":%.1f}",
+                    first ? "" : ",",
+                    TracePointName(static_cast<TracePoint>(point)),
+                    static_cast<unsigned long long>(h.count()), h.Mean(),
+                    h.Percentile(50), h.Percentile(99));
+      out += buf;
+      first = false;
+    }
+    out += "},\"nodes\":{";
+    first = true;
+    for (const auto& [node, heat] : sl.nodes) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%d\":{\"vm\":%llu,\"moves\":%llu,\"invokes\":%llu}",
+                    first ? "" : ",", node,
+                    static_cast<unsigned long long>(heat.vm_instructions),
+                    static_cast<unsigned long long>(heat.moves),
+                    static_cast<unsigned long long>(heat.remote_invokes));
+      out += buf;
+      first = false;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hetm

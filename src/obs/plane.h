@@ -1,0 +1,175 @@
+// Cluster observability plane: time-sliced metric aggregation, the adaptive
+// trace-sampling controller, and the collector role the dashboards read from.
+//
+// Every node's CostCounters (and the phase histograms the tracer feeds back per
+// node) are snapshotted into fixed simulated-time slices as DELTAS — what
+// happened during the slice, not totals-so-far — and mailed to a collector node
+// as compact kObsReport frames. The collector merges them into one cluster
+// time-series (histograms merge bucket-wise), which `hetm_run --obs-dashboard`
+// renders as a periodic table and `--obs-out` exports as JSON for the benches.
+//
+// The management plane is out-of-band: report frames ride dedicated kObs events
+// (World::PushObsReport) that bypass the simulated Ethernet and the reliable
+// transport, touch no node clock and charge no CostMeter — so enabling the
+// plane never perturbs the schedule under observation. Frame volume is
+// accounted by the plane's own counters (obs.report_frames / obs.report_bytes)
+// instead.
+//
+// The slice clock is the global event clock: World::Dispatch calls MaybeFlush
+// before each event, so a slice closes the moment the first event at or past
+// its boundary dispatches — deterministic, and requiring no self-rescheduling
+// timer that would keep a quiesced world spinning. The final partial slice is
+// flushed by World::Run at quiescence.
+//
+// Sampling: a move's verdict is decided ONCE, at the source, when the trace id
+// is minted (head-based, from a splitmix64 hash of the id under the plane's
+// seed — no draw from any schedule-visible RNG), and carried in bit 63 of the
+// wire trace id (kSampledTraceIdBit) so both ends trace the same move set
+// end-to-end. The target-rate controller walks the rate toward a per-node
+// events-per-slice budget so tracer rings stop overflowing at 256 nodes;
+// verdicts already minted are never revoked, and errors/aborts are
+// force-sampled by the tracer regardless of the verdict (src/obs/trace).
+#ifndef HETM_SRC_OBS_PLANE_H_
+#define HETM_SRC_OBS_PLANE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/cost_meter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/runtime/messages.h"
+
+namespace hetm {
+
+class World;
+
+struct ObsConfig {
+  // Width of one aggregation slice in simulated microseconds.
+  double slice_us = 20'000.0;
+  // Node holding the collector role. Reports from other nodes are mailed as
+  // kObsReport frames; the collector's own slices merge locally.
+  int collector = 0;
+  // When false, every node's slices merge locally with no frames mailed
+  // (in-process harnesses that only want the time-series).
+  bool mail_reports = true;
+  // Management-plane delivery latency for one report frame (out-of-band, so it
+  // is not the simulated Ethernet's latency model).
+  double report_latency_us = 100.0;
+  // --- adaptive per-move trace sampling ---
+  bool sample = false;
+  double sample_rate = 1.0;  // initial probability, adapted per slice
+  double min_sample_rate = 1.0 / 1024.0;
+  uint64_t sample_seed = 1;
+  // Target-rate controller budget: emitted trace events per node per slice.
+  // The default keeps a full 32768-event ring holding >= 8 slices of history.
+  uint64_t ring_budget_per_slice = 4096;
+};
+
+// One CostCounters field the plane reports per slice. The table (ObsCounterSpecs)
+// is the shared schema: report frames name counters by index into it, and
+// World::ExportMetrics renders the same list, so the two can never disagree.
+struct ObsCounterSpec {
+  const char* name;
+  uint64_t CostCounters::* field;
+};
+const ObsCounterSpec* ObsCounterSpecs(size_t* count);
+// Index into ObsCounterSpecs for `name`, or -1.
+int ObsCounterIndex(const char* name);
+
+// Per-node heat within one slice (the dashboard's hottest-node column).
+struct ObsNodeHeat {
+  uint64_t vm_instructions = 0;
+  uint64_t moves = 0;
+  uint64_t remote_invokes = 0;
+};
+
+// One merged cluster slice: summed counter deltas (ObsCounterSpecs order),
+// bucket-wise-merged phase histograms, and per-node heat.
+struct ObsSlice {
+  std::vector<uint64_t> counters;
+  std::map<uint8_t, LogHistogram> phase;  // key: TracePoint of the span
+  std::map<int, ObsNodeHeat> nodes;
+  int reports = 0;  // frames merged into this slice
+};
+
+class ObsPlane {
+ public:
+  ObsPlane(World* world, const ObsConfig& config);
+
+  const ObsConfig& config() const { return config_; }
+  double slice_us() const { return config_.slice_us; }
+
+  // Source-side sampling verdict, made once when a move's trace id is minted:
+  // returns the id with kSampledTraceIdBit set when the move is sampled.
+  uint64_t DecorateTraceId(uint64_t trace_id);
+  double sample_rate() const { return rate_; }
+  uint64_t sampled_moves() const { return sampled_; }
+  uint64_t unsampled_moves() const { return unsampled_; }
+
+  // Slice clock (called by World::Dispatch before each event): closes every
+  // slice whose boundary `now_us` has crossed, snapshotting all nodes' deltas
+  // and mailing/merging their reports. Deterministic — `now_us` is the global
+  // (time, seq)-ordered dispatch clock.
+  void MaybeFlush(double now_us);
+  // Quiescence flush: folds the outstanding partial slice directly into the
+  // collector (no frames — the event loop that would carry them has drained).
+  // Safe to call repeatedly; later activity in the same slice merges onto it.
+  void FinalFlush(double horizon_us);
+
+  // Collector side: decode one kObsReport payload and merge it. Malformed
+  // frames are counted and dropped (the plane must never kill the run).
+  void HandleReport(const Message& msg);
+
+  const std::vector<ObsSlice>& slices() const { return slices_; }
+  uint64_t report_frames() const { return report_frames_; }
+  uint64_t report_bytes() const { return report_bytes_; }
+  uint64_t reports_dropped() const { return reports_dropped_; }
+
+  // Per-slice value of one ObsCounterSpecs counter (0 when out of range).
+  uint64_t SliceCounter(size_t slice, int counter_index) const;
+  // End of the last slice in which `name`'s delta was nonzero: the cluster's
+  // time-to-steady-state for that activity. 0 when it never fired.
+  double SteadyStateUs(const char* name) const;
+
+  // Tracer hook: a span of `p` completed on `node` (per-slice histograms).
+  void OnPhase(int node, TracePoint p, double duration_us);
+
+  // The periodic dashboard table (--obs-dashboard).
+  std::string RenderDashboard() const;
+  // {"slice_us":...,"slices":[...]} export (--obs-out), consumed by benches.
+  std::string ToJson() const;
+
+ private:
+  void FlushSlice(double boundary_us, bool mail);
+  void EncodeReport(int node, uint32_t slice, const uint64_t* deltas,
+                    const std::map<uint8_t, LogHistogram>& phase,
+                    std::vector<uint8_t>* out) const;
+  void MergeReport(uint32_t slice, int node, const uint64_t* deltas,
+                   const std::map<uint8_t, LogHistogram>& phase);
+  void ControllerStep();
+  ObsSlice& SliceAt(uint32_t index);
+
+  World* world_;
+  ObsConfig config_;
+  // Per-node snapshot baselines: counter values at the last flush, so each
+  // flush reports exactly the delta (never double-counts).
+  std::vector<CostCounters> baseline_;
+  // Per-node phase observations accumulated since the last flush.
+  std::vector<std::map<uint8_t, LogHistogram>> pending_phase_;
+  int64_t flushed_slices_ = 0;  // next boundary = (flushed_slices_+1) * slice_us
+  std::vector<ObsSlice> slices_;
+  double rate_;
+  uint64_t sampled_ = 0;
+  uint64_t unsampled_ = 0;
+  uint64_t last_emitted_ = 0;
+  uint64_t report_frames_ = 0;
+  uint64_t report_bytes_ = 0;
+  uint64_t reports_dropped_ = 0;
+};
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_OBS_PLANE_H_

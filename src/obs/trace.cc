@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/obs/metrics.h"
+#include "src/obs/plane.h"
 
 namespace hetm {
 
@@ -36,6 +37,34 @@ uint64_t MixBits(uint64_t h, uint64_t v) {
   h ^= v;
   h *= 1099511628211ull;  // FNV-1a prime
   return h;
+}
+
+uint64_t MixEvent(uint64_t h, const TraceEvent& ev) {
+  h = MixBits(h, static_cast<uint64_t>(ev.point));
+  h = MixBits(h, static_cast<uint64_t>(ev.kind));
+  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.node)));
+  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.peer)));
+  h = MixBits(h, ev.trace_id);
+  h = MixBits(h, static_cast<uint64_t>(ev.a));
+  h = MixBits(h, static_cast<uint64_t>(ev.b));
+  uint64_t tbits = 0;
+  static_assert(sizeof(tbits) == sizeof(ev.t_us));
+  std::memcpy(&tbits, &ev.t_us, sizeof(tbits));
+  return MixBits(h, tbits);
+}
+
+// Points that force-sample a move: any resolution that is not a clean commit
+// promotes the move's shadow buffer so the failure carries its causal trace.
+bool IsForcePoint(TracePoint p) {
+  switch (p) {
+    case TracePoint::kMoveAbort:
+    case TracePoint::kReserveReclaim:
+    case TracePoint::kCopyRetire:
+    case TracePoint::kReconcile:
+      return true;
+    default:
+      return false;
+  }
 }
 
 void AppendEventLine(std::string& out, const TraceEvent& ev) {
@@ -71,28 +100,78 @@ Tracer::Ring& Tracer::RingFor(int node) {
 
 void Tracer::Emit(const TraceEvent& ev) {
   counts_[static_cast<int>(ev.point)] += 1;
-  uint64_t h = digest_;
-  h = MixBits(h, static_cast<uint64_t>(ev.point));
-  h = MixBits(h, static_cast<uint64_t>(ev.kind));
-  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.node)));
-  h = MixBits(h, static_cast<uint64_t>(static_cast<int64_t>(ev.peer)));
-  h = MixBits(h, ev.trace_id);
-  h = MixBits(h, static_cast<uint64_t>(ev.a));
-  h = MixBits(h, static_cast<uint64_t>(ev.b));
-  uint64_t tbits = 0;
-  static_assert(sizeof(tbits) == sizeof(ev.t_us));
-  std::memcpy(&tbits, &ev.t_us, sizeof(tbits));
-  h = MixBits(h, tbits);
-  digest_ = h;
+  emitted_ += 1;
+  digest_ = MixEvent(digest_, ev);
 
   Ring& ring = RingFor(ev.node);
+  if (slice_us_ > 0.0) {
+    // Per-ring slice digest chain: a ring's event times are monotone (each
+    // node's clock only advances), so crossing a boundary finalizes the slice.
+    int64_t idx = static_cast<int64_t>(ev.t_us / slice_us_);
+    while (ring.cur_slice < idx) {
+      ring.chain.push_back(ring.slice_digest);
+      ring.cur_slice += 1;
+    }
+    ring.slice_digest = MixEvent(ring.slice_digest, ev);
+  }
   if (ring.buf.size() < ring_capacity_) {
     ring.buf.push_back(ev);
   } else {
+    overwritten_ += 1;
+    if (ring.buf[ring.next].trace_id & kSampledTraceIdBit) {
+      overwritten_sampled_ += 1;
+    }
     ring.buf[ring.next] = ev;
     ring.next = (ring.next + 1) % ring_capacity_;
     ring.wrapped = true;
   }
+}
+
+void Tracer::PromoteShadow(uint64_t trace_id) {
+  late_sampled_.insert(trace_id);
+  auto it = shadow_.find(trace_id);
+  if (it == shadow_.end()) {
+    return;
+  }
+  std::vector<TraceEvent> events = std::move(it->second);
+  shadow_.erase(it);
+  for (const TraceEvent& ev : events) {
+    Emit(ev);  // original seqs: Snapshot interleaves them back in causal order
+    shadow_promoted_ += 1;
+  }
+}
+
+bool Tracer::Submit(TraceEvent ev) {
+  ev.seq = next_seq_++;
+  if (!sampling_ || ev.trace_id == 0 || (ev.trace_id & kSampledTraceIdBit) != 0 ||
+      late_sampled_.count(ev.trace_id) != 0) {
+    Emit(ev);
+    return true;
+  }
+  if (IsForcePoint(ev.point)) {
+    PromoteShadow(ev.trace_id);
+    Emit(ev);
+    return true;
+  }
+  // Unsampled move event: park it in the move's shadow buffer. A clean commit
+  // (End of the root kMove span) discards the buffer; anything else keeps the
+  // tail around (bounded) in case a force point late-samples the move.
+  if (ev.point == TracePoint::kMove && ev.kind == TraceKind::kEnd) {
+    shadow_.erase(ev.trace_id);
+    return false;
+  }
+  auto [it, fresh] = shadow_.try_emplace(ev.trace_id);
+  if (fresh) {
+    shadow_order_.push_back(ev.trace_id);
+    while (shadow_.size() > kShadowMoves && !shadow_order_.empty()) {
+      shadow_.erase(shadow_order_.front());
+      shadow_order_.pop_front();
+    }
+  }
+  if (it->second.size() < kShadowEventsPerMove) {
+    it->second.push_back(ev);
+  }
+  return false;
 }
 
 void Tracer::Instant(double t_us, int node, TracePoint p, uint64_t trace_id, int peer,
@@ -102,7 +181,6 @@ void Tracer::Instant(double t_us, int node, TracePoint p, uint64_t trace_id, int
   }
   TraceEvent ev;
   ev.t_us = t_us;
-  ev.seq = next_seq_++;
   ev.trace_id = trace_id;
   ev.a = a;
   ev.b = b;
@@ -110,7 +188,7 @@ void Tracer::Instant(double t_us, int node, TracePoint p, uint64_t trace_id, int
   ev.peer = peer;
   ev.point = p;
   ev.kind = TraceKind::kInstant;
-  Emit(ev);
+  Submit(ev);
 }
 
 void Tracer::Begin(double t_us, int node, TracePoint p, uint64_t trace_id, int peer,
@@ -120,14 +198,13 @@ void Tracer::Begin(double t_us, int node, TracePoint p, uint64_t trace_id, int p
   }
   TraceEvent ev;
   ev.t_us = t_us;
-  ev.seq = next_seq_++;
   ev.trace_id = trace_id;
   ev.a = a;
   ev.node = node;
   ev.peer = peer;
   ev.point = p;
   ev.kind = TraceKind::kBegin;
-  Emit(ev);
+  Submit(ev);
   open_[std::make_tuple(node, trace_id, static_cast<uint8_t>(p))] = t_us;
 }
 
@@ -138,23 +215,60 @@ void Tracer::End(double t_us, int node, TracePoint p, uint64_t trace_id, int pee
   }
   TraceEvent ev;
   ev.t_us = t_us;
-  ev.seq = next_seq_++;
   ev.trace_id = trace_id;
   ev.a = a;
   ev.node = node;
   ev.peer = peer;
   ev.point = p;
   ev.kind = TraceKind::kEnd;
-  Emit(ev);
+  bool recorded = Submit(ev);
   auto key = std::make_tuple(node, trace_id, static_cast<uint8_t>(p));
   auto it = open_.find(key);
   if (it != open_.end()) {
-    if (metrics_ != nullptr) {
+    // Phase histograms follow the sampling verdict: a shadowed (unsampled)
+    // span contributes no observation, so the sampled percentiles stand on the
+    // same move population as the sampled event stream.
+    if (recorded && metrics_ != nullptr) {
       metrics_->Observe(std::string("phase.") + TracePointName(p) + "_us",
                         t_us - it->second);
     }
+    if (recorded && plane_ != nullptr) {
+      plane_->OnPhase(node, p, t_us - it->second);
+    }
     open_.erase(it);
   }
+}
+
+void Tracer::EnableSliceDigests(double slice_us) {
+  slice_us_ = slice_us > 0.0 ? slice_us : 0.0;
+}
+
+std::vector<std::vector<uint64_t>> Tracer::DigestChains(double horizon_us) const {
+  std::vector<std::vector<uint64_t>> chains;
+  if (slice_us_ <= 0.0) {
+    return chains;
+  }
+  // Finalize every ring up to the horizon's slice (inclusive: the partial final
+  // slice gets a chain entry too), then pad to a common length — an empty slice
+  // chains its predecessor's value, so padding repeats the last entry.
+  int64_t last = static_cast<int64_t>(horizon_us / slice_us_);
+  size_t len = 0;
+  for (const Ring& ring : rings_) {
+    std::vector<uint64_t> c = ring.chain;
+    uint64_t running = ring.slice_digest;
+    for (int64_t s = ring.cur_slice; s <= last; ++s) {
+      c.push_back(running);
+    }
+    len = std::max(len, c.size());
+    chains.push_back(std::move(c));
+  }
+  for (auto& c : chains) {
+    uint64_t tail = c.empty() ? 1469598103934665603ull : c.back();
+    while (c.size() < len) {
+      c.push_back(tail);
+    }
+  }
+  return chains;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {

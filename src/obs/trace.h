@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -34,6 +36,13 @@
 namespace hetm {
 
 class MetricsRegistry;
+class ObsPlane;
+
+// Bit 63 of a move trace id carries the source's head-based sampling verdict
+// (src/obs/plane). It rides the wire in Message::trace_id, so every node a move
+// touches traces — or skips — exactly the same move set without re-deciding.
+// Move sources mint ids as (node+1) << 40 | seq, so the bit is always free.
+inline constexpr uint64_t kSampledTraceIdBit = 1ull << 63;
 
 enum class TracePoint : uint8_t {
   // Move lifecycle spans (Begin/End). kMove is the source-side root covering the
@@ -142,6 +151,42 @@ class Tracer {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
   void BindMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // When bound, every completed span is also reported to the observability
+  // plane for per-node per-slice phase histograms (src/obs/plane).
+  void BindPlane(ObsPlane* plane) { plane_ = plane; }
+
+  // --- adaptive trace sampling (src/obs/plane) ---
+  // With sampling on, move-tied events (trace_id != 0) are emitted only when
+  // the id carries kSampledTraceIdBit. Events of unsampled moves are parked in
+  // a bounded per-move shadow buffer instead of being discarded: a force point
+  // (abort, reservation reclaim, copy retire, reconcile) promotes the whole
+  // buffer into the ring, so every move that ends badly carries its complete
+  // causal trace even at the minimum sampling rate. Like all tracing this is
+  // passive — the simulated schedule does not depend on the sampling verdicts.
+  void set_sampling(bool on) { sampling_ = on; }
+  bool sampling() const { return sampling_; }
+  // Events replayed out of shadow buffers by force points, and the distinct
+  // moves that were late-sampled that way.
+  uint64_t shadow_promoted() const { return shadow_promoted_; }
+  uint64_t force_sampled_moves() const { return late_sampled_.size(); }
+
+  // Ring-pressure accounting for the plane's target-rate controller: events
+  // overwritten by ring wrap-around, total and (the acceptance-critical count)
+  // those belonging to sampled moves.
+  uint64_t overwritten() const { return overwritten_; }
+  uint64_t overwritten_sampled() const { return overwritten_sampled_; }
+
+  // --- per-slice digest chains (src/obs/divergence) ---
+  // Splits each ring's running digest into fixed simulated-time slices:
+  // chain[s] = FNV(chain[s-1], every event the ring emitted during slice s).
+  // A slice with no events chains its predecessor's value unchanged, so two
+  // runs' chains are comparable entry by entry and the first divergent
+  // (ring, slice) brackets the first differing emission. Call before Run.
+  void EnableSliceDigests(double slice_us);
+  double slice_us() const { return slice_us_; }
+  // Chains finalized up to `horizon_us`, padded to equal length; index 0 is
+  // the world-level ring, index n+1 is node n's.
+  std::vector<std::vector<uint64_t>> DigestChains(double horizon_us) const;
 
   void Instant(double t_us, int node, TracePoint p, uint64_t trace_id = 0,
                int peer = -1, int64_t a = 0, int64_t b = 0);
@@ -150,7 +195,7 @@ class Tracer {
   void End(double t_us, int node, TracePoint p, uint64_t trace_id, int peer = -1,
            int64_t a = 0);
 
-  uint64_t emitted() const { return next_seq_; }
+  uint64_t emitted() const { return emitted_; }
   // FNV-1a over every emission since construction; 0ull stands in for "tracer
   // disabled, nothing emitted" only if genuinely nothing was emitted.
   uint64_t digest() const { return digest_; }
@@ -181,20 +226,43 @@ class Tracer {
     std::vector<TraceEvent> buf;
     size_t next = 0;      // overwrite cursor
     bool wrapped = false;
+    // Slice-digest state (EnableSliceDigests): the running digest of the
+    // current slice (seeded from the previous chain entry) and the finalized
+    // chain. cur_slice is the slice index the running digest belongs to.
+    uint64_t slice_digest = 1469598103934665603ull;
+    int64_t cur_slice = 0;
+    std::vector<uint64_t> chain;
   };
 
+  // Sampling gate + shadow buffering; returns true when the event was emitted.
+  bool Submit(TraceEvent ev);
   void Emit(const TraceEvent& ev);
+  void PromoteShadow(uint64_t trace_id);
   Ring& RingFor(int node);
 
   bool enabled_ = true;
   size_t ring_capacity_;
   std::vector<Ring> rings_;  // index = node + 1 (slot 0: world-level events)
   uint64_t next_seq_ = 0;
+  uint64_t emitted_ = 0;
   uint64_t digest_ = 1469598103934665603ull;  // FNV-1a offset basis
   uint64_t counts_[kNumTracePoints] = {};
   // Open span begin times by (node, trace id, point), for phase histograms.
   std::map<std::tuple<int, uint64_t, uint8_t>, double> open_;
   MetricsRegistry* metrics_ = nullptr;
+  ObsPlane* plane_ = nullptr;
+  // Sampling state: shadow buffers for unsampled moves (bounded per move and in
+  // move count, oldest move evicted first), plus the late-sampled id set.
+  bool sampling_ = false;
+  static constexpr size_t kShadowEventsPerMove = 64;
+  static constexpr size_t kShadowMoves = 1024;
+  std::map<uint64_t, std::vector<TraceEvent>> shadow_;
+  std::deque<uint64_t> shadow_order_;
+  std::set<uint64_t> late_sampled_;
+  uint64_t shadow_promoted_ = 0;
+  uint64_t overwritten_ = 0;
+  uint64_t overwritten_sampled_ = 0;
+  double slice_us_ = 0.0;  // 0 = slice digests off
 };
 
 }  // namespace hetm

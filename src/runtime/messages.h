@@ -49,6 +49,10 @@ enum class MsgType : uint8_t {
   kMoveRelease,     // source -> dest: commit observed; activate the leased install
   kReconcileQuery,  // healed node -> home (relayed to recorded owner): who owns this?
   kReconcileReply,  // owner/home -> querier: has-copy attestation (payload: has, gen)
+  // --- observability plane (src/obs/plane) ---
+  kObsReport,       // node -> collector: one slice's metric deltas. Rides the
+                    // out-of-band management plane (World::PushObsReport), never
+                    // the simulated Ethernet or the reliable transport.
 };
 
 // HandleMoveQuery answers one of these; carried in Message::verdict.

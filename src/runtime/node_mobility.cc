@@ -160,6 +160,11 @@ void Node::HandleMessage(const Message& msg) {
     case MsgType::kReconcileReply:
       HandleReconcileReply(msg);
       return;
+    case MsgType::kObsReport:
+      // Collector-bound slice reports never enter a node's message path — they
+      // ride the out-of-band management plane (World::PushObsReport) straight
+      // to the ObsPlane. Reaching here means a routing bug.
+      break;
   }
   HETM_UNREACHABLE("bad MsgType");
 }
@@ -1037,6 +1042,11 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched)
   // One trace id per move, minted at the source and carried on every handshake
   // frame: both nodes' spans stitch into one causal trace (src/obs).
   uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
+  if (world_->obs() != nullptr) {
+    // Head-based sampling verdict, decided once here and carried in bit 63 of
+    // the wire id so the destination traces exactly the same move set.
+    trace_id = world_->obs()->DecorateTraceId(trace_id);
+  }
   Tracer& tracer = world_->tracer();
   tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
                static_cast<int64_t>(obj_oid));
@@ -1140,6 +1150,9 @@ bool Node::PerformMove(Oid obj_oid, int dest_node, Segment* current, bool sched)
 bool Node::PerformMoveBatch(const std::vector<Oid>& oids, int dest_node) {
   HETM_CHECK(TransportActive() && oids.size() >= 2);
   uint64_t trace_id = (static_cast<uint64_t>(index_ + 1) << 40) | next_trace_seq_++;
+  if (world_->obs() != nullptr) {
+    trace_id = world_->obs()->DecorateTraceId(trace_id);
+  }
   Tracer& tracer = world_->tracer();
   tracer.Begin(now_us(), index_, TracePoint::kMove, trace_id, dest_node,
                static_cast<int64_t>(oids.front()));
@@ -2712,6 +2725,7 @@ void Node::OnPeerUnreachable(int peer, std::vector<Message> undelivered) {
       case MsgType::kReconcileReply:
       case MsgType::kLocationUpdate:
       case MsgType::kLocateReply:
+      case MsgType::kObsReport:  // never transported; here for switch coverage
         break;  // the intended receiver died with the state these addressed
     }
   }

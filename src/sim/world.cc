@@ -67,6 +67,13 @@ void World::EnableTraffic(const TrafficConfig& config) {
   traffic_->Start();
 }
 
+void World::EnableObs(const ObsConfig& config) {
+  HETM_CHECK_MSG(num_nodes() > 0, "EnableObs requires nodes to exist");
+  obs_ = std::make_unique<ObsPlane>(this, config);
+  tracer_.BindPlane(obs_.get());
+  tracer_.set_sampling(config.sample);
+}
+
 void World::PushEvent(Event ev) {
   auto& q = queues_[ev.dst];
   bool new_head = q.empty() || q.top() > ev;
@@ -143,6 +150,18 @@ void World::PushAdmin(double time_us, int node, bool up) {
   PushEvent(std::move(ev));
 }
 
+void World::PushObsReport(double time_us, Message msg) {
+  // Collector-bound slice reports ride their source node's queue slot purely for
+  // ordering; Dispatch hands them straight to the plane, touching no node state.
+  Event ev;
+  ev.time = time_us;
+  ev.seq = next_event_seq_++;
+  ev.dst = msg.src_node >= 0 ? msg.src_node : 0;
+  ev.kind = Event::Kind::kObs;
+  ev.msg = std::move(msg);
+  PushEvent(std::move(ev));
+}
+
 void World::PushTraffic(double time_us) {
   // Arrival events ride node 0's queue slot; the generator draws the actual
   // client at fire time, so the slot only orders the event in the merge.
@@ -155,6 +174,12 @@ void World::PushTraffic(double time_us) {
 }
 
 void World::Dispatch(const Event& ev) {
+  // Slice clock: the globally ordered dispatch time drives the plane's
+  // aggregation boundaries, so no self-rescheduling timer is needed and a
+  // quiesced world stays quiesced (zero-delta slices mail nothing).
+  if (obs_ != nullptr) {
+    obs_->MaybeFlush(ev.time);
+  }
   switch (ev.kind) {
     case Event::Kind::kMessage:
       if (net_ != nullptr && !net_->NodeUp(ev.dst)) {
@@ -192,6 +217,10 @@ void World::Dispatch(const Event& ev) {
       // Generator arrivals fire regardless of any node's crash state (users keep
       // arriving); the generator itself skips injecting into a crashed client.
       traffic_->OnArrival(ev.time);
+      return;
+    case Event::Kind::kObs:
+      // Management plane: straight to the collector, no node clock, no meter.
+      obs_->HandleReport(ev.msg);
       return;
   }
 }
@@ -264,6 +293,11 @@ bool World::Run(uint64_t max_events) {
       break;
     }
   }
+  if (obs_ != nullptr) {
+    // Fold the partial tail slice into the collector directly: the event loop
+    // that would carry its report frames has drained.
+    obs_->FinalFlush(NowMaxUs());
+  }
   if (ok() && fuel_exceeded()) {
     return false;
   }
@@ -280,71 +314,35 @@ void World::SetError(const std::string& message) {
 }
 
 void World::ExportMetrics() {
-  struct Item {
-    const char* name;
-    uint64_t CostCounters::* field;
-  };
-  static const Item kItems[] = {
-      {"vm_instructions", &CostCounters::vm_instructions},
-      {"conv_calls", &CostCounters::conv_calls},
-      {"conv_bytes", &CostCounters::conv_bytes},
-      {"busstop_lookups", &CostCounters::busstop_lookups},
-      {"plan_hits", &CostCounters::plan_hits},
-      {"plan_misses", &CostCounters::plan_misses},
-      {"plan_evictions", &CostCounters::plan_evictions},
-      {"plan_execs", &CostCounters::plan_execs},
-      {"plan_ops", &CostCounters::plan_ops},
-      {"plan_bypasses", &CostCounters::plan_bypasses},
-      {"messages_sent", &CostCounters::messages_sent},
-      {"bytes_sent", &CostCounters::bytes_sent},
-      {"moves", &CostCounters::moves},
-      {"remote_invokes", &CostCounters::remote_invokes},
-      {"bridge_ops", &CostCounters::bridge_ops},
-      {"packets_sent", &CostCounters::packets_sent},
-      {"retransmits", &CostCounters::retransmits},
-      {"acks_sent", &CostCounters::acks_sent},
-      {"dups_suppressed", &CostCounters::dups_suppressed},
-      {"corrupt_dropped", &CostCounters::corrupt_dropped},
-      {"moves_committed", &CostCounters::moves_committed},
-      {"moves_aborted", &CostCounters::moves_aborted},
-      {"locate_queries", &CostCounters::locate_queries},
-      {"heartbeats_sent", &CostCounters::heartbeats_sent},
-      {"leases_expired", &CostCounters::leases_expired},
-      {"reconnects", &CostCounters::reconnects},
-      {"reservations_reclaimed", &CostCounters::reservations_reclaimed},
-      {"moves_presumed_committed", &CostCounters::moves_presumed_committed},
-      {"replies_parked", &CostCounters::replies_parked},
-      {"replies_flushed", &CostCounters::replies_flushed},
-      {"replies_dropped", &CostCounters::replies_dropped},
-      {"sched_ticks", &CostCounters::sched_ticks},
-      {"sched_digests_sent", &CostCounters::sched_digests_sent},
-      {"sched_digests_recv", &CostCounters::sched_digests_recv},
-      {"sched_proposed", &CostCounters::sched_proposed},
-      {"sched_committed", &CostCounters::sched_committed},
-      {"sched_vetoed", &CostCounters::sched_vetoed},
-      {"sched_pingpong", &CostCounters::sched_pingpong},
-      {"dir_lookups", &CostCounters::dir_lookups},
-      {"dir_updates", &CostCounters::dir_updates},
-      {"dir_stale_hits", &CostCounters::dir_stale_hits},
-      {"locate_broadcasts", &CostCounters::locate_broadcasts},
-      {"leased_installs", &CostCounters::leased_installs},
-      {"move_claims", &CostCounters::move_claims},
-      {"claims_denied", &CostCounters::claims_denied},
-      {"reconciles_run", &CostCounters::reconciles_run},
-      {"copies_retired", &CostCounters::copies_retired},
-  };
+  // The counter schema lives in one place — the plane's spec table — so the
+  // registry export and the per-slice kObsReport frames can never disagree on
+  // names or coverage.
+  size_t n;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n);
   char prefix[32];
-  for (const Item& item : kItems) {
+  for (size_t i = 0; i < n; ++i) {
     uint64_t total = 0;
     for (const auto& node : nodes_) {
-      uint64_t v = node->meter().counters().*item.field;
+      uint64_t v = node->meter().counters().*(specs[i].field);
       std::snprintf(prefix, sizeof(prefix), "node%d.", node->index());
-      metrics_.SetCounter(prefix + std::string(item.name), v);
+      metrics_.SetCounter(prefix + std::string(specs[i].name), v);
       total += v;
     }
-    metrics_.SetCounter(std::string("total.") + item.name, total);
+    metrics_.SetCounter(std::string("total.") + specs[i].name, total);
   }
   metrics_.SetGauge("sim.now_max_us", NowMaxUs());
+  if (obs_ != nullptr) {
+    metrics_.SetCounter("obs.report_frames", obs_->report_frames());
+    metrics_.SetCounter("obs.report_bytes", obs_->report_bytes());
+    metrics_.SetCounter("obs.reports_dropped", obs_->reports_dropped());
+    metrics_.SetCounter("obs.sampled_moves", obs_->sampled_moves());
+    metrics_.SetCounter("obs.unsampled_moves", obs_->unsampled_moves());
+    metrics_.SetCounter("obs.shadow_promoted", tracer_.shadow_promoted());
+    metrics_.SetCounter("obs.force_sampled_moves", tracer_.force_sampled_moves());
+    metrics_.SetCounter("obs.ring_overwritten", tracer_.overwritten());
+    metrics_.SetCounter("obs.ring_overwritten_sampled", tracer_.overwritten_sampled());
+    metrics_.SetGauge("obs.sample_rate", obs_->sample_rate());
+  }
 }
 
 std::string World::CheckInvariants() const {

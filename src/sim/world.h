@@ -20,6 +20,7 @@
 #include "src/mobility/wire.h"
 #include "src/net/transport.h"
 #include "src/obs/metrics.h"
+#include "src/obs/plane.h"
 #include "src/obs/trace.h"
 #include "src/runtime/code_registry.h"
 #include "src/runtime/messages.h"
@@ -82,11 +83,24 @@ class World {
   void EnableTraffic(const TrafficConfig& config);
   TrafficGen* traffic() { return traffic_.get(); }
 
+  // Installs the observability plane (src/obs/plane): time-sliced cluster
+  // aggregation mailed to a collector node, and (when config.sample is set)
+  // adaptive per-move trace sampling. Call after AddNode and before Run.
+  // Without it nothing changes; with it the simulated schedule is STILL
+  // byte-identical — the plane is passive by construction (out-of-band report
+  // events, no cycles charged, no schedule-visible PRNG draws).
+  void EnableObs(const ObsConfig& config);
+  ObsPlane* obs() { return obs_.get(); }
+  const ObsPlane* obs() const { return obs_.get(); }
+
   // Event injection used by the network layer and the handshake/locate timers.
   void PushPacket(double time_us, NetPacket pkt);
   void PushTimer(double time_us, int node, uint8_t timer_kind, uint64_t timer_id);
   void PushAdmin(double time_us, int node, bool up);
   void PushTraffic(double time_us);
+  // Management-plane injection (src/obs/plane): delivers `msg` straight to the
+  // plane's collector at `time_us`, bypassing node clocks and the network.
+  void PushObsReport(double time_us, Message msg);
 
   // Run-queue bookkeeping: Node::EnqueueRunnable reports here so Run's pump pass
   // visits only nodes that actually have runnable segments (O(runnable), not
@@ -144,7 +158,7 @@ class World {
 
  private:
   struct Event {
-    enum class Kind : uint8_t { kMessage, kPacket, kTimer, kAdmin, kTraffic };
+    enum class Kind : uint8_t { kMessage, kPacket, kTimer, kAdmin, kTraffic, kObs };
     double time;
     uint64_t seq;
     int dst;
@@ -198,6 +212,7 @@ class World {
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<Directory> dir_;
   std::unique_ptr<TrafficGen> traffic_;
+  std::unique_ptr<ObsPlane> obs_;
   CodeRegistry code_;
   const CompiledProgram* boot_program_ = nullptr;
   std::string output_;

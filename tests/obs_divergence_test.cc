@@ -1,0 +1,183 @@
+// The replay-divergence bisector (DESIGN.md section 15):
+//
+//  * The chain property: chain[s] folds chain[s-1] in and idle slices repeat
+//    their predecessor, so equal cells certify equal PREFIXES — and the
+//    earliest divergent (ring, slice) cell brackets the first differing
+//    emission.
+//  * Two same-seed runs produce identical chains (no divergence found); two
+//    different-seed runs under loss diverge, and the focused event-window diff
+//    names the first differing TracePoint pair inside the bracketed window.
+//  * The persisted JSON round-trips exactly and rejects malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+#include "src/obs/divergence.h"
+#include "src/obs/trace.h"
+
+namespace hetm {
+namespace {
+
+std::string TourSource(int rounds) {
+  return R"(
+    class Tourist
+      var pad: Int
+      op tour(rounds: Int): Int
+        var check: Int := 1
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat((i + 1) % 3)
+          check := (check * 31 + i) % 1000003
+          i := i + 1
+        end
+        return check
+      end
+    end
+    main
+      var t: Ref := new Tourist
+      print t.tour()" +
+         std::to_string(rounds) + R"()
+    end
+)";
+}
+
+struct TourRun {
+  DigestChainFile chains;
+  std::vector<TraceEvent> events;
+};
+
+TourRun RunTour(uint64_t seed, double drop, double slice_us) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+  EXPECT_TRUE(sys.Load(TourSource(40)));
+  NetConfig cfg;
+  cfg.fault.seed = seed;
+  cfg.fault.drop_rate = drop;
+  sys.world().EnableNet(cfg);
+  sys.world().tracer().EnableSliceDigests(slice_us);
+  EXPECT_TRUE(sys.Run()) << sys.error();
+  TourRun r;
+  r.chains.slice_us = slice_us;
+  r.chains.seed = seed;
+  r.chains.chains = sys.world().tracer().DigestChains(sys.world().NowMaxUs());
+  r.events = sys.world().tracer().Snapshot();
+  return r;
+}
+
+// Same seed, same chains: the bisector certifies full agreement.
+TEST(ObsDivergence, SameSeedNoDivergence) {
+  TourRun a = RunTour(21, 0.10, 5'000.0);
+  TourRun b = RunTour(21, 0.10, 5'000.0);
+  ASSERT_FALSE(a.chains.chains.empty());
+  DivergencePoint p = FindFirstDivergence(a.chains, b.chains);
+  EXPECT_FALSE(p.found);
+  // And the persisted form agrees too.
+  EXPECT_EQ(DigestChainsToJson(a.chains), DigestChainsToJson(b.chains));
+}
+
+// Different fault seeds under heavy loss: the runs fork, the bisector names a
+// (node, slice) cell, and the focused diff inside that window produces the
+// first differing TracePoint pair.
+TEST(ObsDivergence, DifferentSeedPinpoints) {
+  const double slice_us = 5'000.0;
+  TourRun a = RunTour(7, 0.25, slice_us);
+  TourRun b = RunTour(9, 0.25, slice_us);
+  DivergencePoint p = FindFirstDivergence(a.chains, b.chains);
+  ASSERT_TRUE(p.found);
+  ASSERT_GE(p.ring, 0);
+  ASSERT_GE(p.slice, 0);
+  // Every later cell of the divergent ring differs too (the chain property).
+  const std::vector<uint64_t>& ca = a.chains.chains[p.ring];
+  const std::vector<uint64_t>& cb = b.chains.chains[p.ring];
+  for (size_t s = p.slice; s < ca.size() && s < cb.size(); ++s) {
+    EXPECT_NE(ca[s], cb[s]) << "chain re-converged at slice " << s;
+  }
+  int node = p.ring - 1;
+  std::string diff = DiffEventWindow(a.events, b.events, node,
+                                     p.slice * slice_us, (p.slice + 1) * slice_us);
+  EXPECT_FALSE(diff.empty()) << "bracketed window contains no differing event";
+}
+
+// The persisted JSON round-trips bit-exactly, including zero and all-ones
+// digests, and malformed input is rejected.
+TEST(ObsDivergence, JsonRoundTrip) {
+  DigestChainFile f;
+  f.slice_us = 2500.0;
+  f.seed = 0xDEADBEEFCAFEF00Dull;
+  f.chains = {{0ull, 1ull, 0xFFFFFFFFFFFFFFFFull},
+              {},
+              {1469598103934665603ull, 42ull}};
+  std::string json = DigestChainsToJson(f);
+  DigestChainFile back;
+  ASSERT_TRUE(ParseDigestChains(json, &back));
+  EXPECT_DOUBLE_EQ(back.slice_us, f.slice_us);
+  EXPECT_EQ(back.seed, f.seed);
+  EXPECT_EQ(back.chains, f.chains);
+  EXPECT_EQ(DigestChainsToJson(back), json);
+
+  DigestChainFile junk;
+  EXPECT_FALSE(ParseDigestChains("", &junk));
+  EXPECT_FALSE(ParseDigestChains("{\"slice_us\":", &junk));
+  EXPECT_FALSE(ParseDigestChains("[1,2,3]", &junk));
+  EXPECT_FALSE(ParseDigestChains(json.substr(0, json.size() / 2), &junk));
+}
+
+// FindFirstDivergence picks the earliest slice, breaks ties by lowest ring,
+// pads short chains with their tail value, and treats a ring present in only
+// one file as divergent at its first slice.
+TEST(ObsDivergence, ChainPrefixProperty) {
+  DigestChainFile a;
+  a.slice_us = 1000.0;
+  a.chains = {{10, 11, 12, 13}, {20, 21, 22, 23}, {30, 31, 32, 33}};
+  DigestChainFile b = a;
+
+  // Identical: nothing found.
+  EXPECT_FALSE(FindFirstDivergence(a, b).found);
+
+  // Earliest slice wins across rings.
+  b.chains[2][1] = 99;  // ring 2 diverges at slice 1
+  b.chains[1][3] = 98;  // ring 1 diverges later, at slice 3
+  DivergencePoint p = FindFirstDivergence(a, b);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.ring, 2);
+  EXPECT_EQ(p.slice, 1);
+
+  // Same slice in two rings: lowest ring wins.
+  b = a;
+  b.chains[1][2] = 97;
+  b.chains[2][2] = 96;
+  p = FindFirstDivergence(a, b);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.ring, 1);
+  EXPECT_EQ(p.slice, 2);
+
+  // A short chain whose tail value matches the longer side's idle tail is NOT
+  // a divergence (idle slices repeat their predecessor).
+  b = a;
+  b.chains[0] = {10, 11, 12, 13, 13, 13};
+  EXPECT_FALSE(FindFirstDivergence(a, b).found);
+
+  // ...but a tail that moved on is.
+  b.chains[0] = {10, 11, 12, 13, 14};
+  p = FindFirstDivergence(a, b);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.ring, 0);
+  EXPECT_EQ(p.slice, 4);
+
+  // A ring present in only one file diverges at its first slice.
+  b = a;
+  b.chains.push_back({40, 41});
+  p = FindFirstDivergence(a, b);
+  ASSERT_TRUE(p.found);
+  EXPECT_EQ(p.ring, 3);
+  EXPECT_EQ(p.slice, 0);
+}
+
+}  // namespace
+}  // namespace hetm

@@ -1,0 +1,359 @@
+// The observability plane's contracts (DESIGN.md section 15):
+//
+//  * Histograms: bucket-wise merge is associative (collector order cannot
+//    matter), the kObsReport wire encoding round-trips exactly, and
+//    SnapshotDelta never double-counts an observation across slices.
+//  * Slices: the per-slice counter deltas the collector merges sum back to the
+//    cluster's cumulative CostCounters — nothing lost, nothing counted twice —
+//    and the mailed-report path is deterministic (same seed, same JSON).
+//  * Sampling: the head-based verdict in trace-id bit 63 is a pure function of
+//    (plane seed, trace id), so same-seed runs sample the identical move set
+//    and both ends of the wire agree without re-deciding; a move that ends in
+//    an abort is force-sampled out of its shadow buffer even at rate zero; and
+//    the whole plane is passive — enabling it changes neither the program
+//    output nor the simulated clock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/emerald/system.h"
+#include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/plane.h"
+#include "src/obs/trace.h"
+
+namespace hetm {
+namespace {
+
+std::string TourSource(int rounds) {
+  return R"(
+    class Tourist
+      var pad: Int
+      op tour(rounds: Int): Int
+        var check: Int := 1
+        var i: Int := 0
+        while i < rounds do
+          move self to nodeat((i + 1) % 3)
+          check := (check * 31 + i) % 1000003
+          i := i + 1
+        end
+        return check
+      end
+    end
+    main
+      var t: Ref := new Tourist
+      print t.tour()" +
+         std::to_string(rounds) + R"()
+    end
+)";
+}
+
+void AddTourNodes(EmeraldSystem& sys) {
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(Sun3_100());
+  sys.AddNode(VaxStation4000());
+}
+
+std::vector<uint8_t> Encode(const LogHistogram& h) {
+  std::vector<uint8_t> out;
+  h.EncodeTo(&out);
+  return out;
+}
+
+// Merging is associative and commutative bucket-wise: (a+b)+c == a+(b+c) down
+// to the exact wire bytes, so the order reports arrive at the collector can
+// never change the merged slice.
+TEST(ObsPlaneHistogram, MergeAssociative) {
+  LogHistogram a, b, c;
+  for (int i = 1; i <= 200; ++i) {
+    a.Record(i * 3.7);
+    b.Record(i * i * 0.9);
+    if (i % 3 == 0) {
+      c.Record(1e6 / i);
+    }
+  }
+  LogHistogram ab_c = a;
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  LogHistogram bc = b;
+  bc.Merge(c);
+  LogHistogram a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_EQ(Encode(ab_c), Encode(a_bc));
+  LogHistogram ba = b;
+  ba.Merge(a);
+  LogHistogram ab = a;
+  ab.Merge(b);
+  EXPECT_EQ(Encode(ab), Encode(ba));
+  EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+}
+
+// The kObsReport encoding round-trips exactly, and truncated input is rejected
+// rather than misread.
+TEST(ObsPlaneHistogram, EncodeDecodeRoundTrip) {
+  LogHistogram h;
+  for (int i = 0; i < 500; ++i) {
+    h.Record(0.25 * (i + 1) * (i % 7 + 1));
+  }
+  std::vector<uint8_t> wire = Encode(h);
+  LogHistogram back;
+  size_t consumed = 0;
+  ASSERT_TRUE(back.DecodeFrom(wire.data(), wire.size(), &consumed));
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(Encode(back), wire);
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_DOUBLE_EQ(back.Percentile(99.0), h.Percentile(99.0));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    LogHistogram t;
+    size_t n = 0;
+    EXPECT_FALSE(t.DecodeFrom(wire.data(), cut, &n)) << "accepted " << cut
+                                                     << " of " << wire.size();
+  }
+}
+
+// SnapshotDelta has reset semantics: consecutive deltas partition the stream of
+// observations, so summing them reproduces the totals with no double counting.
+TEST(ObsPlaneHistogram, SnapshotDeltaNoDoubleCount) {
+  MetricsRegistry reg;
+  MetricsRegistry baseline;
+  MetricsRegistry sum;
+  for (int slice = 0; slice < 5; ++slice) {
+    for (int i = 0; i < 10 * (slice + 1); ++i) {
+      reg.Inc("c");
+      reg.Observe("h", slice * 100.0 + i);
+    }
+    sum.Merge(reg.SnapshotDelta(&baseline));
+  }
+  EXPECT_EQ(sum.counter("c"), reg.counter("c"));
+  ASSERT_NE(sum.FindHistogram("h"), nullptr);
+  EXPECT_EQ(Encode(*sum.FindHistogram("h")), Encode(*reg.FindHistogram("h")));
+  // An empty delta really is empty.
+  MetricsRegistry empty = reg.SnapshotDelta(&baseline);
+  EXPECT_EQ(empty.counter("c"), 0u);
+}
+
+// Every counter the plane reports: the per-slice deltas (mailed frames plus the
+// final partial slice) sum back to the cluster's cumulative CostCounters.
+TEST(ObsPlaneSlices, DeltasSumToTotals) {
+  EmeraldSystem sys;
+  AddTourNodes(sys);
+  ASSERT_TRUE(sys.Load(TourSource(40)));
+  NetConfig cfg;
+  cfg.fault.seed = 31;
+  cfg.fault.drop_rate = 0.05;
+  sys.world().EnableNet(cfg);
+  ObsConfig ocfg;
+  ocfg.slice_us = 10'000.0;
+  sys.world().EnableObs(ocfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  const ObsPlane* obs = sys.world().obs();
+  ASSERT_NE(obs, nullptr);
+  ASSERT_GT(obs->slices().size(), 1u) << "run too short to slice";
+  EXPECT_GT(obs->report_frames(), 0u);
+  EXPECT_EQ(obs->reports_dropped(), 0u);
+
+  size_t n_specs = 0;
+  const ObsCounterSpec* specs = ObsCounterSpecs(&n_specs);
+  for (size_t k = 0; k < n_specs; ++k) {
+    uint64_t total = 0;
+    for (int n = 0; n < sys.world().num_nodes(); ++n) {
+      total += sys.node(n).meter().counters().*(specs[k].field);
+    }
+    uint64_t sliced = 0;
+    for (size_t s = 0; s < obs->slices().size(); ++s) {
+      sliced += obs->SliceCounter(s, static_cast<int>(k));
+    }
+    EXPECT_EQ(sliced, total) << "counter " << specs[k].name;
+  }
+  // The workload actually exercised the interesting rows.
+  EXPECT_GT(obs->SteadyStateUs("moves"), 0.0);
+}
+
+// The mailed-report path is deterministic: same seed, same merged time-series,
+// byte for byte.
+TEST(ObsPlaneSlices, CollectorMailDeterministic) {
+  auto run = [](uint64_t seed) {
+    EmeraldSystem sys;
+    AddTourNodes(sys);
+    EXPECT_TRUE(sys.Load(TourSource(30)));
+    NetConfig cfg;
+    cfg.fault.seed = seed;
+    cfg.fault.drop_rate = 0.10;
+    sys.world().EnableNet(cfg);
+    sys.world().EnableObs(ObsConfig{});
+    EXPECT_TRUE(sys.Run()) << sys.error();
+    return std::pair<std::string, uint64_t>(sys.world().obs()->ToJson(),
+                                            sys.world().obs()->report_frames());
+  };
+  auto [json1, frames1] = run(77);
+  auto [json2, frames2] = run(77);
+  EXPECT_GT(frames1, 0u);
+  EXPECT_EQ(frames1, frames2);
+  EXPECT_EQ(json1, json2);
+}
+
+// The verdict is minted from (plane seed, trace id) alone: two same-seed runs
+// sample the identical move set and emit the identical event stream.
+TEST(ObsPlaneSampling, SameSeedSameSampledSet) {
+  auto run = [] {
+    EmeraldSystem sys;
+    AddTourNodes(sys);
+    EXPECT_TRUE(sys.Load(TourSource(40)));
+    NetConfig cfg;
+    cfg.fault.seed = 5;
+    sys.world().EnableNet(cfg);
+    ObsConfig ocfg;
+    ocfg.sample = true;
+    ocfg.sample_rate = 0.5;
+    ocfg.sample_seed = 99;
+    // One giant slice: the target-rate controller never steps, so the rate is
+    // pinned at 0.5 and the 40 draws split into both classes.
+    ocfg.slice_us = 1e9;
+    sys.world().EnableObs(ocfg);
+    EXPECT_TRUE(sys.Run()) << sys.error();
+    return std::tuple<uint64_t, uint64_t, uint64_t>(
+        sys.world().obs()->sampled_moves(), sys.world().obs()->unsampled_moves(),
+        sys.world().tracer().digest());
+  };
+  auto [s1, u1, d1] = run();
+  auto [s2, u2, d2] = run();
+  // Rate 0.5 over 40 moves: both classes must be populated.
+  EXPECT_GT(s1, 0u);
+  EXPECT_GT(u1, 0u);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(u1, u2);
+  EXPECT_EQ(d1, d2);
+}
+
+// The verdict travels in the wire trace id: on a clean run (no force points)
+// every surviving move-tied event — source side and destination side — carries
+// the sampled bit, and each sampled move still stitches across both nodes.
+TEST(ObsPlaneSampling, SourceDestConsistent) {
+  EmeraldSystem sys;
+  AddTourNodes(sys);
+  ASSERT_TRUE(sys.Load(TourSource(40)));
+  sys.world().EnableNet(NetConfig{});
+  ObsConfig ocfg;
+  ocfg.sample = true;
+  ocfg.sample_rate = 0.5;
+  sys.world().EnableObs(ocfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.world().tracer().force_sampled_moves(), 0u);
+  std::set<uint64_t> ids;
+  for (const TraceEvent& ev : sys.world().tracer().Snapshot()) {
+    if (ev.trace_id == 0) {
+      continue;
+    }
+    EXPECT_NE(ev.trace_id & kSampledTraceIdBit, 0u)
+        << "unsampled move leaked an event on node " << ev.node;
+    ids.insert(ev.trace_id);
+  }
+  ASSERT_FALSE(ids.empty());
+  for (uint64_t id : ids) {
+    std::set<int> nodes;
+    for (const TraceEvent& ev : sys.world().tracer().Snapshot()) {
+      if (ev.trace_id == id) {
+        nodes.insert(ev.node);
+      }
+    }
+    EXPECT_GE(nodes.size(), 2u) << "sampled move traced on one side only";
+  }
+}
+
+// A move that ends in an abort is force-sampled even at rate zero: the shadow
+// buffer replays its full causal history into the ring.
+TEST(ObsPlaneSampling, AbortForceSampled) {
+  const char* source = R"(
+    class Roamer
+      var state: Int
+      op go(): Int
+        state := 7
+        move self to nodeat(1)
+        state := state + 1
+        return state
+      end
+    end
+    main
+      var r: Ref := new Roamer
+      print r.go()
+    end
+)";
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  NetConfig cfg;
+  PartitionWindow w;  // outlasts the lease: the move must abort
+  w.side_a = {1};
+  w.symmetric = true;
+  w.start_trigger_node = 1;
+  w.start_on_type = MsgType::kMovePrepare;
+  w.heal_after_us = -1.0;
+  cfg.fault.partitions.push_back(w);
+  ASSERT_TRUE(sys.Load(source));
+  sys.world().EnableNet(cfg);
+  ObsConfig ocfg;
+  ocfg.sample = true;
+  ocfg.sample_rate = 0.0;  // no move can win the head-based draw
+  ocfg.min_sample_rate = 0.0;
+  sys.world().EnableObs(ocfg);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+
+  EXPECT_EQ(sys.node(0).meter().counters().moves_aborted, 1u);
+  const Tracer& tracer = sys.world().tracer();
+  EXPECT_EQ(sys.world().obs()->sampled_moves(), 0u);
+  EXPECT_GE(tracer.force_sampled_moves(), 1u);
+  EXPECT_GT(tracer.shadow_promoted(), 0u);
+  ASSERT_GT(tracer.count(TracePoint::kMoveAbort), 0u);
+  // The promoted shadow contains the move's history from the beginning, not
+  // just the abort instant.
+  uint64_t abort_id = 0;
+  for (const TraceEvent& ev : tracer.Snapshot()) {
+    if (ev.point == TracePoint::kMoveAbort) {
+      abort_id = ev.trace_id;
+    }
+  }
+  ASSERT_NE(abort_id, 0u);
+  bool saw_move_begin = false;
+  for (const TraceEvent& ev : tracer.Snapshot()) {
+    if (ev.trace_id == abort_id && ev.point == TracePoint::kMove &&
+        ev.kind == TraceKind::kBegin) {
+      saw_move_begin = true;
+    }
+  }
+  EXPECT_TRUE(saw_move_begin);
+}
+
+// The plane is passive: enabling it (slicing, mailing, sampling) changes
+// neither the program output nor the simulated clock.
+TEST(ObsPlaneSampling, ScheduleUnchanged) {
+  const std::string source = TourSource(20);
+  auto run = [&](bool obs) {
+    EmeraldSystem sys;
+    AddTourNodes(sys);
+    EXPECT_TRUE(sys.Load(source));
+    NetConfig cfg;
+    cfg.fault.seed = 13;
+    cfg.fault.drop_rate = 0.10;
+    sys.world().EnableNet(cfg);
+    if (obs) {
+      ObsConfig ocfg;
+      ocfg.sample = true;
+      ocfg.sample_rate = 0.25;
+      sys.world().EnableObs(ocfg);
+    }
+    EXPECT_TRUE(sys.Run()) << sys.error();
+    return std::pair<std::string, double>(sys.output(), sys.ElapsedMs());
+  };
+  auto [out_with, ms_with] = run(true);
+  auto [out_without, ms_without] = run(false);
+  EXPECT_EQ(out_with, out_without);
+  EXPECT_DOUBLE_EQ(ms_with, ms_without);
+}
+
+}  // namespace
+}  // namespace hetm
