@@ -150,6 +150,217 @@ void PrintSchedTable(const SkewRun& off, const SkewRun& on) {
       static_cast<unsigned long long>(off.remote_invokes), on.ttss_ms);
 }
 
+// ---------------------------------------------------------------------------
+// Contended-monitor workloads (DESIGN.md §16): what a sync-group move buys
+// when the scheduler migrates a *contended* monitor mid-run. Both programs
+// drive all their callers from node 0 against a monitor placed on node 1, so
+// every acquisition is remote until the scheduler pulls the monitor — together
+// with whatever cond-queue / entry-queue waiters are parked in it at that
+// instant — to its callers.
+// ---------------------------------------------------------------------------
+
+// Producer/consumer through a one-slot buffer: cond-queue contention. Each
+// handoff is a put+get pair with wait/signal traffic on both conditions.
+std::string ProdConsSource(int items) {
+  return R"(
+    monitor class Buffer
+      var slot: Int
+      var full: Int
+      cond notfull
+      cond notempty
+      op put(v: Int)
+        while full == 1 do
+          wait notfull
+        end
+        slot := v
+        full := 1
+        signal notempty
+      end
+      op get(): Int
+        while full == 0 do
+          wait notempty
+        end
+        full := 0
+        signal notfull
+        return slot
+      end
+    end
+    monitor class Sink
+      var sum: Int
+      var count: Int
+      cond donec
+      op add(v: Int)
+        sum := sum + v
+        count := count + 1
+        signal donec
+      end
+      op waitdone(n: Int)
+        while count < n do
+          wait donec
+        end
+      end
+      op total(): Int
+        return sum
+      end
+    end
+    class Producer
+      var junk: Int
+      op produce(b: Ref, n: Int)
+        var i: Int := 1
+        while i <= n do
+          b.put(i)
+          i := i + 1
+        end
+      end
+    end
+    class Consumer
+      var junk: Int
+      op consume(b: Ref, s: Ref, n: Int)
+        var i: Int := 0
+        while i < n do
+          var v: Int := b.get()
+          s.add(v)
+          i := i + 1
+        end
+      end
+    end
+    main
+      var b: Ref := new Buffer
+      move b to nodeat(1)
+      var s: Ref := new Sink
+      var p: Ref := new Producer
+      var c: Ref := new Consumer
+      spawn p.produce(b, )" + std::to_string(items) + R"()
+      spawn c.consume(b, s, )" + std::to_string(items) + R"()
+      s.waitdone()" + std::to_string(items) + R"()
+      print s.total()
+    end
+)";
+}
+
+// Lock convoy: four workers on node 0 repeatedly grinding inside one remote
+// monitor, so an entry queue is parked in it almost continuously.
+std::string ConvoySource(int rounds, int grind) {
+  std::string r = std::to_string(rounds);
+  std::string k = std::to_string(grind);
+  return R"(
+    monitor class Lock
+      var n: Int
+      var done: Int
+      cond alldone
+      op grind(k: Int)
+        var i: Int := 0
+        while i < k do
+          n := n + 1
+          i := i + 1
+        end
+        done := done + 1
+        signal alldone
+      end
+      op waitall(t: Int)
+        while done < t do
+          wait alldone
+        end
+      end
+      op value(): Int
+        return n
+      end
+    end
+    class Worker
+      var junk: Int
+      op grindloop(l: Ref, rounds: Int, k: Int)
+        var i: Int := 0
+        while i < rounds do
+          l.grind(k)
+          i := i + 1
+        end
+      end
+    end
+    main
+      var l: Ref := new Lock
+      move l to nodeat(1)
+      var w1: Ref := new Worker
+      var w2: Ref := new Worker
+      var w3: Ref := new Worker
+      var w4: Ref := new Worker
+      spawn w1.grindloop(l, )" + r + ", " + k + R"()
+      spawn w2.grindloop(l, )" + r + ", " + k + R"()
+      spawn w3.grindloop(l, )" + r + ", " + k + R"()
+      spawn w4.grindloop(l, )" + r + ", " + k + R"()
+      l.waitall()" + std::to_string(4 * rounds) + R"()
+      print l.value()
+    end
+)";
+}
+
+struct ContendedRun {
+  double elapsed_ms = 0.0;
+  uint64_t remote_invokes = 0;
+  uint64_t sync_contended = 0;
+  uint64_t sync_waits = 0;
+  uint64_t waiters_moved = 0;
+  uint64_t sched_committed = 0;
+  std::string output;
+  MetricsRegistry metrics;
+};
+
+ContendedRun RunContended(const std::string& source, bool sched) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  sys.AddNode(VaxStation4000());
+  sys.AddNode(Hp9000_385());
+  bool loaded = sys.Load(source);
+  HETM_CHECK_MSG(loaded, "contended program failed to compile");
+  if (sched) {
+    sys.world().EnableSched(SchedConfig{});
+  }
+  bool ok = sys.Run();
+  HETM_CHECK_MSG(ok, "contended program failed to run");
+  ContendedRun r;
+  r.elapsed_ms = sys.ElapsedMs();
+  r.output = sys.output();
+  for (int n = 0; n < sys.world().num_nodes(); ++n) {
+    const CostCounters& c = sys.node(n).meter().counters();
+    r.remote_invokes += c.remote_invokes;
+    r.sync_contended += c.sync_contended;
+    r.sync_waits += c.sync_waits;
+    r.waiters_moved += c.sync_waiters_moved;
+    r.sched_committed += c.sched_committed;
+  }
+  sys.world().ExportMetrics();
+  r.metrics.Merge(sys.world().metrics());
+  r.metrics.SetGauge("bench.elapsed_ms", r.elapsed_ms);
+  return r;
+}
+
+void PrintContendedTable(const char* title, const ContendedRun& off,
+                         const ContendedRun& on) {
+  std::printf("\n=== %s, placement scheduler off vs on (3 nodes) ===\n", title);
+  std::printf("%-10s | %9s | %10s | %9s | %6s | %13s | %5s\n", "scheduler",
+              "sim (ms)", "remote inv", "contended", "waits", "waiters moved",
+              "moves");
+  std::printf("%.*s\n", 82,
+              "--------------------------------------------------------------"
+              "--------------------");
+  for (const auto* r : {&off, &on}) {
+    std::printf("%-10s | %9.2f | %10llu | %9llu | %6llu | %13llu | %5llu\n",
+                r == &off ? "off" : "on", r->elapsed_ms,
+                static_cast<unsigned long long>(r->remote_invokes),
+                static_cast<unsigned long long>(r->sync_contended),
+                static_cast<unsigned long long>(r->sync_waits),
+                static_cast<unsigned long long>(r->waiters_moved),
+                static_cast<unsigned long long>(r->sched_committed));
+  }
+  HETM_CHECK_MSG(off.output == on.output,
+                 "contended workload output changed under migration");
+  std::printf(
+      "\nOutput identical off vs on (%s). With the scheduler on, the monitor\n"
+      "migrates to its callers mid-contention — a sync-group move carrying its\n"
+      "parked waiters (%llu re-queued in place) — and the tail runs local.\n",
+      off.output.substr(0, off.output.size() - 1).c_str(),
+      static_cast<unsigned long long>(on.waiters_moved));
+}
+
 void BM_SkewedSchedOff(benchmark::State& state) {
   for (auto _ : state) {
     SkewRun r = RunSkewed(/*sched=*/false);
@@ -183,6 +394,23 @@ int main(int argc, char** argv) {
                                     off.metrics.ToJson());
   hetm::benchutil::WriteJsonSection("BENCH_sched.json", "skewed_sched_on",
                                     on.metrics.ToJson());
+  std::string prodcons = hetm::ProdConsSource(/*items=*/60);
+  hetm::ContendedRun pc_off = hetm::RunContended(prodcons, /*sched=*/false);
+  hetm::ContendedRun pc_on = hetm::RunContended(prodcons, /*sched=*/true);
+  hetm::PrintContendedTable("Producer/consumer (cond-queue contention)", pc_off,
+                            pc_on);
+  hetm::benchutil::WriteJsonSection("BENCH_sched.json", "prodcons_sched_off",
+                                    pc_off.metrics.ToJson());
+  hetm::benchutil::WriteJsonSection("BENCH_sched.json", "prodcons_sched_on",
+                                    pc_on.metrics.ToJson());
+  std::string convoy = hetm::ConvoySource(/*rounds=*/12, /*grind=*/25);
+  hetm::ContendedRun cv_off = hetm::RunContended(convoy, /*sched=*/false);
+  hetm::ContendedRun cv_on = hetm::RunContended(convoy, /*sched=*/true);
+  hetm::PrintContendedTable("Lock convoy (entry-queue contention)", cv_off, cv_on);
+  hetm::benchutil::WriteJsonSection("BENCH_sched.json", "convoy_sched_off",
+                                    cv_off.metrics.ToJson());
+  hetm::benchutil::WriteJsonSection("BENCH_sched.json", "convoy_sched_on",
+                                    cv_on.metrics.ToJson());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -114,6 +114,7 @@ int Usage() {
                "                [--sched] [--sched-period US] [--sched-hysteresis F]\n"
                "                [--dir] [--arrival PER_S] [--zipf S] [--objects K]\n"
                "                [--traffic N] [--move-frac F] [--svc CLASS.OP]\n"
+               "                [--contended F] [--hot K]\n"
                "                [--obs] [--obs-dashboard] [--obs-out FILE]\n"
                "                [--obs-slice US] [--sample RATE]\n"
                "                [--digest-out FILE] [--diff-replay A.json B.json]\n");
@@ -158,6 +159,8 @@ int main(int argc, char** argv) {
   int traffic_objects = -1;
   long long traffic_n = -1;
   double move_frac = -1.0;
+  double contended_frac = -1.0;
+  int contended_hot = -1;
   std::string svc_arg;
   bool use_obs = false;
   bool obs_dashboard = false;
@@ -323,6 +326,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       move_frac = std::atof(v);
+      use_traffic = true;
+    } else if (arg == "--contended") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      contended_frac = std::atof(v);
+      use_traffic = true;
+    } else if (arg == "--hot") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      contended_hot = std::atoi(v);
       use_traffic = true;
     } else if (arg == "--svc") {
       const char* v = next();
@@ -490,6 +503,8 @@ int main(int argc, char** argv) {
       if (traffic_objects > 0) tcfg.objects = traffic_objects;
       if (traffic_n > 0) tcfg.max_arrivals = static_cast<uint64_t>(traffic_n);
       if (move_frac >= 0.0) tcfg.move_fraction = move_frac;
+      if (contended_frac >= 0.0) tcfg.contended_fraction = contended_frac;
+      if (contended_hot > 0) tcfg.contended_objects = contended_hot;
       if (!svc_arg.empty()) {
         std::vector<std::string> parts = Split(svc_arg, '.');
         if (parts.size() != 2) {
@@ -692,6 +707,16 @@ int main(int argc, char** argv) {
                        static_cast<unsigned long long>(c.reconciles_run),
                        static_cast<unsigned long long>(c.copies_retired));
         }
+      }
+      if (c.sync_acquires != 0 || c.sync_waits != 0 || c.sync_waiters_moved != 0) {
+        std::fprintf(stderr,
+                     "        monitors:  %6llu acquires, %4llu contended, %4llu waits,"
+                     " %4llu signals, %3llu waiters re-queued by moves\n",
+                     static_cast<unsigned long long>(c.sync_acquires),
+                     static_cast<unsigned long long>(c.sync_contended),
+                     static_cast<unsigned long long>(c.sync_waits),
+                     static_cast<unsigned long long>(c.sync_signals),
+                     static_cast<unsigned long long>(c.sync_waiters_moved));
       }
       if (strategy == ConversionStrategy::kPlan) {
         const PlanCache& plans = node.plans();

@@ -1,0 +1,79 @@
+// Producer/consumer over a one-slot monitor buffer (DESIGN.md §16): `wait`
+// parks the caller at a condition-wait bus stop, `signal` promotes the head
+// waiter to the entry queue. The buffer migrates mid-stream, so its cond-queue
+// and entry-queue waiters travel with it in one sync-group move; the printed
+// sum is the same whether or not the move happens.
+//
+//   ./build/examples/hetm_run examples/programs/prodcons.em --stats
+monitor class Buffer
+  var slot: Int
+  var full: Int
+  cond notfull
+  cond notempty
+  op put(v: Int)
+    while full == 1 do
+      wait notfull
+    end
+    slot := v
+    full := 1
+    signal notempty
+  end
+  op get(): Int
+    while full == 0 do
+      wait notempty
+    end
+    full := 0
+    signal notfull
+    return slot
+  end
+end
+monitor class Sink
+  var sum: Int
+  var count: Int
+  cond donec
+  op add(v: Int)
+    sum := sum + v
+    count := count + 1
+    signal donec
+  end
+  op waitdone(n: Int)
+    while count < n do
+      wait donec
+    end
+  end
+  op total(): Int
+    return sum
+  end
+end
+class Producer
+  var junk: Int
+  op produce(b: Ref, n: Int)
+    var i: Int := 1
+    while i <= n do
+      b.put(i)
+      i := i + 1
+    end
+  end
+end
+class Consumer
+  var junk: Int
+  op consume(b: Ref, s: Ref, n: Int)
+    var i: Int := 0
+    while i < n do
+      var v: Int := b.get()
+      s.add(v)
+      i := i + 1
+    end
+  end
+end
+main
+  var b: Ref := new Buffer
+  var s: Ref := new Sink
+  var p: Ref := new Producer
+  var c: Ref := new Consumer
+  spawn p.produce(b, 20)
+  spawn c.consume(b, s, 20)
+  move b to nodeat(1)   // mid-contention: waiters migrate with the buffer
+  s.waitdone(20)        // blocks on the sink's condition, no polling
+  print s.total()
+end

@@ -1,7 +1,9 @@
 // Service fleet for the open-loop traffic generator (hetm_run --traffic):
 // every injected arrival invokes Svc.poke on a Zipf-popular object, so this
 // program just defines the service and exits — the workload is the traffic.
-class Svc
+// A monitor, so `--contended F --hot K` focuses arrivals into real monitor
+// contention (sync.* counters in --stats) instead of plain invoke load.
+monitor class Svc
   var n: Int
   op poke(): Int
     n := n + 1

@@ -71,6 +71,13 @@ struct CostCounters {
   uint64_t claims_denied = 0;    // claims the home denied (the other side won)
   uint64_t reconciles_run = 0;   // heal-time reconciliation sweeps started
   uint64_t copies_retired = 0;   // losing copies retired (leased or live)
+  // --- synchronization-state mobility (src/sync) ---
+  uint64_t sync_acquires = 0;        // monitor entries that acquired immediately
+  uint64_t sync_contended = 0;       // monitor entries that blocked on the entry queue
+  uint64_t sync_waits = 0;           // condition waits (segment parked, monitor released)
+  uint64_t sync_signals = 0;         // signal statements executed (empty queue included)
+  uint64_t sync_broadcasts = 0;      // broadcast statements executed
+  uint64_t sync_waiters_moved = 0;   // blocked waiters re-queued by a group move
 };
 
 class Tracer;

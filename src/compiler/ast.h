@@ -52,6 +52,7 @@ using StmtPtr = std::unique_ptr<Stmt>;
 
 enum class StmtKind : uint8_t {
   kVarDecl, kAssign, kIf, kWhile, kReturn, kMove, kPrint, kExpr, kSpawn,
+  kWait, kSignal, kBroadcast,  // condition-variable statements (`name` = cond)
 };
 
 struct IfArm {
@@ -97,6 +98,7 @@ struct ClassAst {
   bool monitored = false;
   int line = 0;
   std::vector<FieldAst> fields;
+  std::vector<std::string> conds;  // condition variables (monitor classes only)
   std::vector<OpAst> ops;
 };
 

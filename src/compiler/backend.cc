@@ -203,9 +203,14 @@ class Lowerer {
                                  exit_only});
   }
 
-  bool IsMonEnterTrap(const IrInstr& in) const {
-    return in.kind == IrKind::kTrap &&
-           fn_.trap_sites[in.site].kind == TrapKind::kMonEnter;
+  // Traps whose bus stop resolves to the trap pc itself: the segment re-executes
+  // the instruction on wakeup (monitor-entry retry, condition-wait re-acquire).
+  bool IsRetryTrap(const IrInstr& in) const {
+    if (in.kind != IrKind::kTrap) {
+      return false;
+    }
+    TrapKind k = fn_.trap_sites[in.site].kind;
+    return k == TrapKind::kMonEnter || k == TrapKind::kCondWait;
   }
 
   // Shared lowering of the kinds whose form is identical on all architectures.
@@ -229,7 +234,7 @@ class Lowerer {
         MicroOp& m = Emit(MKind::kTrap);
         m.site = in.site;
         m.stop = in.stop;
-        RecordStop(in.stop, /*retry=*/IsMonEnterTrap(in), /*exit_only=*/false);
+        RecordStop(in.stop, /*retry=*/IsRetryTrap(in), /*exit_only=*/false);
         return true;
       }
       case IrKind::kPoll: {

@@ -180,6 +180,9 @@ const char* TrapKindName(TrapKind kind) {
     case TrapKind::kNewObj: return "new";
     case TrapKind::kNodeAt: return "nodeat";
     case TrapKind::kHalt: return "halt";
+    case TrapKind::kCondWait: return "condwait";
+    case TrapKind::kCondSignal: return "condsignal";
+    case TrapKind::kCondBroadcast: return "condbroadcast";
   }
   return "?";
 }

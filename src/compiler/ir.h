@@ -79,6 +79,9 @@ enum class TrapKind : uint8_t {
   kNewObj,    // result <- new instance of class[imm = program class index]
   kNodeAt,    // result <- the node object with index arg0
   kHalt,      // terminate the program (end of main)
+  kCondWait,      // wait on cond[imm] of self: release monitor, park (retry stop)
+  kCondSignal,    // signal cond[imm] of self: promote one waiter to the entry queue
+  kCondBroadcast, // broadcast cond[imm] of self: promote every waiter in order
 };
 
 const char* TrapKindName(TrapKind kind);
@@ -163,6 +166,10 @@ struct ClassIr {
   std::string name;
   bool monitored = false;
   std::vector<FieldDefIr> fields;
+  // Condition variables of a monitor class, in declaration order. The index in
+  // this vector is the runtime cond-queue index (TrapSiteInfo::imm of the
+  // kCondWait/kCondSignal/kCondBroadcast traps).
+  std::vector<std::string> conds;
   std::vector<IrFunction> ops;
   std::vector<std::string> string_literals;  // shared literal pool, OIDs assigned later
 

@@ -1,5 +1,6 @@
 #include "src/compiler/irgen.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -60,6 +61,12 @@ class IrGen {
           Error(f.line, "duplicate field '" + f.name + "' in class " + cls.name);
         }
         ir.fields.push_back(FieldDefIr{f.name, f.kind});
+      }
+      for (const std::string& c : cls.conds) {
+        if (std::find(ir.conds.begin(), ir.conds.end(), c) != ir.conds.end()) {
+          Error(cls.line, "duplicate condition '" + c + "' in class " + cls.name);
+        }
+        ir.conds.push_back(c);
       }
       program_.classes.push_back(std::move(ir));
     }
@@ -421,6 +428,32 @@ class IrGen {
       }
       case StmtKind::kSpawn: {
         GenInvoke(*stmt.expr, /*want_result=*/false, -1, /*is_spawn=*/true);
+        return;
+      }
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kBroadcast: {
+        const char* kw = stmt.kind == StmtKind::kWait      ? "wait"
+                         : stmt.kind == StmtKind::kSignal  ? "signal"
+                                                           : "broadcast";
+        const ClassIr& cls = program_.classes[class_index_];
+        if (!fn_->monitored) {
+          Error(stmt.line, std::string("'") + kw +
+                               "' is only allowed inside a monitor class operation");
+          return;
+        }
+        auto it = std::find(cls.conds.begin(), cls.conds.end(), stmt.name);
+        if (it == cls.conds.end()) {
+          Error(stmt.line, "unknown condition '" + stmt.name + "' in class " + cls.name);
+          return;
+        }
+        TrapSiteInfo site;
+        site.kind = stmt.kind == StmtKind::kWait      ? TrapKind::kCondWait
+                    : stmt.kind == StmtKind::kSignal  ? TrapKind::kCondSignal
+                                                      : TrapKind::kCondBroadcast;
+        site.arg_cells = {SelfCell()};
+        site.imm = static_cast<int>(it - cls.conds.begin());
+        EmitTrap(std::move(site));
         return;
       }
     }

@@ -19,6 +19,8 @@ const std::unordered_map<std::string, Tok>& Keywords() {
       {"spawn", Tok::kSpawn},
       {"true", Tok::kTrue},     {"false", Tok::kFalse},     {"nil", Tok::kNil},
       {"and", Tok::kAnd},       {"or", Tok::kOr},           {"not", Tok::kNot},
+      {"cond", Tok::kCond},     {"wait", Tok::kWait},       {"signal", Tok::kSignal},
+      {"broadcast", Tok::kBroadcast},
   };
   return *kMap;
 }
@@ -57,6 +59,10 @@ const char* TokName(Tok kind) {
     case Tok::kAnd: return "'and'";
     case Tok::kOr: return "'or'";
     case Tok::kNot: return "'not'";
+    case Tok::kCond: return "'cond'";
+    case Tok::kWait: return "'wait'";
+    case Tok::kSignal: return "'signal'";
+    case Tok::kBroadcast: return "'broadcast'";
     case Tok::kLParen: return "'('";
     case Tok::kRParen: return "')'";
     case Tok::kComma: return "','";

@@ -56,8 +56,9 @@ class Parser {
       Error(std::string("expected ") + TokName(kind) + " but found " + TokName(Cur().kind));
     }
   }
-  void Error(const std::string& msg) {
-    errors_.push_back("line " + std::to_string(Cur().line) + ": " + msg);
+  void Error(const std::string& msg) { ErrorAt(Cur().line, msg); }
+  void ErrorAt(int line, const std::string& msg) {
+    errors_.push_back("line " + std::to_string(line) + ": " + msg);
     if (errors_.size() > 25) {
       fatal_ = true;
     }
@@ -120,10 +121,22 @@ class Parser {
           field.kind = *t;
         }
         cls.fields.push_back(std::move(field));
+      } else if (At(Tok::kCond)) {
+        int cond_line = Cur().line;
+        Advance();
+        if (At(Tok::kIdent)) {
+          cls.conds.push_back(Cur().text);
+          Advance();
+        } else {
+          Error("expected condition-variable name");
+        }
+        if (!cls.monitored) {
+          ErrorAt(cond_line, "'cond' is only allowed in a monitor class");
+        }
       } else if (At(Tok::kOp)) {
         cls.ops.push_back(ParseOp());
       } else {
-        Error("expected 'var', 'op' or 'end' in class body");
+        Error("expected 'var', 'cond', 'op' or 'end' in class body");
         Advance();
       }
       if (fatal_) {
@@ -252,7 +265,8 @@ class Parser {
         // statement or ends the block.
         if (!At(Tok::kEnd) && !At(Tok::kElseif) && !At(Tok::kElse) && !At(Tok::kVar) &&
             !At(Tok::kIf) && !At(Tok::kWhile) && !At(Tok::kReturn) && !At(Tok::kMove) &&
-            !At(Tok::kPrint) && !At(Tok::kEof)) {
+            !At(Tok::kPrint) && !At(Tok::kWait) && !At(Tok::kSignal) &&
+            !At(Tok::kBroadcast) && !At(Tok::kEof)) {
           stmt->expr = ParseExpr();
         }
         return stmt;
@@ -269,6 +283,22 @@ class Parser {
         Advance();
         stmt->kind = StmtKind::kPrint;
         stmt->expr = ParseExpr();
+        return stmt;
+      }
+      case Tok::kWait:
+      case Tok::kSignal:
+      case Tok::kBroadcast: {
+        Tok kw = Cur().kind;
+        Advance();
+        stmt->kind = kw == Tok::kWait      ? StmtKind::kWait
+                     : kw == Tok::kSignal  ? StmtKind::kSignal
+                                           : StmtKind::kBroadcast;
+        if (At(Tok::kIdent)) {
+          stmt->name = Cur().text;
+          Advance();
+        } else {
+          Error("expected condition-variable name");
+        }
         return stmt;
       }
       case Tok::kSpawn: {

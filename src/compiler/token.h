@@ -18,6 +18,7 @@ enum class Tok : uint8_t {
   kIf, kThen, kElseif, kElse, kWhile, kDo, kReturn,
   kMove, kTo, kPrint, kNew, kSelf, kTrue, kFalse, kNil, kSpawn,
   kAnd, kOr, kNot,
+  kCond, kWait, kSignal, kBroadcast,
   // Punctuation / operators.
   kLParen, kRParen, kComma, kColon, kDot,
   kAssign,   // :=

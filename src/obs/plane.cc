@@ -58,6 +58,12 @@ const ObsCounterSpec* ObsCounterSpecs(size_t* count) {
       {"claims_denied", &CostCounters::claims_denied},
       {"reconciles_run", &CostCounters::reconciles_run},
       {"copies_retired", &CostCounters::copies_retired},
+      {"sync.acquires", &CostCounters::sync_acquires},
+      {"sync.contended", &CostCounters::sync_contended},
+      {"sync.waits", &CostCounters::sync_waits},
+      {"sync.signals", &CostCounters::sync_signals},
+      {"sync.broadcasts", &CostCounters::sync_broadcasts},
+      {"sync.waiters_moved", &CostCounters::sync_waiters_moved},
   };
   *count = sizeof(kSpecs) / sizeof(kSpecs[0]);
   return kSpecs;

@@ -598,6 +598,26 @@ Node::RunOutcome Node::ExecuteTop(Segment& seg) {
           // Blocked: pc stays at the trap (the retry bus stop).
           return RunOutcome::kBlocked;
         }
+        if (site.kind == TrapKind::kCondWait) {
+          Value obj = ReadCellValue(arch(), *op, ar, site.arg_cells[0]);
+          EmObject* mobj = FindLocal(obj.oid);
+          if (mobj == nullptr || mobj->is_string) {
+            RuntimeError("condition wait on a non-resident object");
+            segments_.erase(seg.id);
+            return RunOutcome::kDead;
+          }
+          if (seg.wait_depth == 0 &&
+              (mobj->monitor.depth == 0 || mobj->monitor.owner != seg.id.thread)) {
+            RuntimeError("condition wait without holding the monitor");
+            segments_.erase(seg.id);
+            return RunOutcome::kDead;
+          }
+          if (CondWait(seg, obj.oid, site.imm)) {
+            break;  // re-acquired the monitor: fall through to pc = next
+          }
+          // Parked (or barged on wakeup): pc stays at the trap (the retry stop).
+          return RunOutcome::kBlocked;
+        }
         ar.pc = next;  // all other traps resume after the instruction
         TrapOutcome t = HandleTrap(seg, {&seg, entry, op, code, stint}, site, next);
         switch (t) {
@@ -936,6 +956,25 @@ Node::TrapOutcome Node::HandleTrap(Segment& seg, const ExecCtx& ctx,
     }
     case TrapKind::kMonEnter:
       HETM_UNREACHABLE("monitor entry is handled in the interpreter loop");
+    case TrapKind::kCondWait:
+      HETM_UNREACHABLE("condition wait is handled in the interpreter loop");
+    case TrapKind::kCondSignal:
+    case TrapKind::kCondBroadcast: {
+      ChargeCycles(kSyscallBodyCycles);
+      Value obj = arg(0);
+      EmObject* mobj = FindLocal(obj.oid);
+      if (mobj == nullptr || mobj->is_string) {
+        RuntimeError("signal on a non-resident object");
+        segments_.erase(seg.id);
+        return TrapOutcome::kError;
+      }
+      if (site.kind == TrapKind::kCondSignal) {
+        CondSignal(obj.oid, site.imm);
+      } else {
+        CondBroadcast(obj.oid, site.imm);
+      }
+      return TrapOutcome::kContinue;
+    }
     case TrapKind::kConcat: {
       const EmObject* a = FindLocal(arg(0).oid);
       const EmObject* b = FindLocal(arg(1).oid);
@@ -1008,11 +1047,13 @@ bool Node::MonitorEnter(Segment& seg, Oid obj_oid) {
   if (m.depth == 0 || m.owner == seg.id.thread) {
     m.depth += 1;
     m.owner = seg.id.thread;
+    meter_.counters().sync_acquires += 1;
     return true;
   }
   m.wait_queue.push_back(seg.id);
   seg.state = SegState::kBlockedMonitor;
   seg.blocked_monitor = obj_oid;
+  meter_.counters().sync_contended += 1;
   return false;
 }
 
@@ -1027,6 +1068,92 @@ void Node::MonitorExitInline(Oid obj_oid) {
     m.wait_queue.erase(m.wait_queue.begin());
     WakeSegment(next);
   }
+}
+
+bool Node::CondWait(Segment& seg, Oid obj_oid, int cond_index) {
+  EmObject* obj = FindLocal(obj_oid);
+  HETM_CHECK_MSG(obj != nullptr, "condition wait on a non-resident object");
+  MonitorState& m = obj->monitor;
+  if (seg.wait_depth == 0) {
+    // First execution: release the monitor completely (saving the reentrant
+    // depth), park on the cond queue, and hand the lock to the next entrant.
+    seg.wait_depth = m.depth;
+    m.depth = 0;
+    if (static_cast<int>(m.cond_queues.size()) <= cond_index) {
+      m.cond_queues.resize(cond_index + 1);
+    }
+    m.cond_queues[cond_index].push_back(seg.id);
+    seg.state = SegState::kBlockedCond;
+    seg.blocked_cond = cond_index;
+    seg.blocked_monitor = obj_oid;
+    meter_.counters().sync_waits += 1;
+    if (!m.wait_queue.empty()) {
+      SegId next = m.wait_queue.front();
+      m.wait_queue.erase(m.wait_queue.begin());
+      WakeSegment(next);
+    }
+    return false;
+  }
+  // Re-acquire phase: a signal promoted this segment to the entry queue and a
+  // monitor exit woke it; the saved depth is restored once the lock is free.
+  if (m.depth == 0) {
+    m.depth = seg.wait_depth;
+    m.owner = seg.id.thread;
+    seg.wait_depth = 0;
+    seg.blocked_cond = -1;
+    seg.blocked_monitor = kNilOid;
+    meter_.counters().sync_acquires += 1;
+    return true;
+  }
+  // Barged: another entrant grabbed the monitor first; rejoin the entry queue
+  // (wait_depth stays set so the next wakeup retries the re-acquire).
+  m.wait_queue.push_back(seg.id);
+  seg.state = SegState::kBlockedMonitor;
+  seg.blocked_monitor = obj_oid;
+  meter_.counters().sync_contended += 1;
+  return false;
+}
+
+void Node::CondSignal(Oid obj_oid, int cond_index) {
+  EmObject* obj = FindLocal(obj_oid);
+  HETM_CHECK_MSG(obj != nullptr, "signal on a non-resident object");
+  MonitorState& m = obj->monitor;
+  meter_.counters().sync_signals += 1;
+  if (static_cast<int>(m.cond_queues.size()) <= cond_index ||
+      m.cond_queues[cond_index].empty()) {
+    return;  // signal on an empty queue is a no-op
+  }
+  std::vector<SegId>& q = m.cond_queues[cond_index];
+  SegId head = q.front();
+  q.erase(q.begin());
+  // Mesa-style signal-and-continue: the waiter re-acquires through the entry
+  // queue (FIFO with regular entrants); the signaler keeps the monitor.
+  auto it = segments_.find(head);
+  HETM_CHECK_MSG(it != segments_.end(), "cond queue names a non-resident segment");
+  HETM_CHECK(it->second.state == SegState::kBlockedCond);
+  it->second.state = SegState::kBlockedMonitor;
+  it->second.blocked_cond = -1;
+  m.wait_queue.push_back(head);
+}
+
+void Node::CondBroadcast(Oid obj_oid, int cond_index) {
+  EmObject* obj = FindLocal(obj_oid);
+  HETM_CHECK_MSG(obj != nullptr, "broadcast on a non-resident object");
+  MonitorState& m = obj->monitor;
+  meter_.counters().sync_broadcasts += 1;
+  if (static_cast<int>(m.cond_queues.size()) <= cond_index) {
+    return;
+  }
+  std::vector<SegId>& q = m.cond_queues[cond_index];
+  for (const SegId& id : q) {
+    auto it = segments_.find(id);
+    HETM_CHECK_MSG(it != segments_.end(), "cond queue names a non-resident segment");
+    HETM_CHECK(it->second.state == SegState::kBlockedCond);
+    it->second.state = SegState::kBlockedMonitor;
+    it->second.blocked_cond = -1;
+    m.wait_queue.push_back(id);
+  }
+  q.clear();
 }
 
 // ---------------------------------------------------------------------------

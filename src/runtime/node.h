@@ -108,6 +108,9 @@ class Node {
   void OnLocateTimer(Oid oid);
   // Non-string objects currently living here (the tests' exactly-one-copy probe).
   std::vector<Oid> ResidentUserObjects() const;
+  // Waiter accounting (src/sync): every monitor queue entry names a resident
+  // blocked segment and vice versa. "" when sound; used by World::CheckInvariants.
+  std::string CheckSyncState() const;
 
   // --- placement scheduler services (src/sched) --------------------------------
   size_t RunQueueDepth() const { return run_queue_.size(); }
@@ -198,6 +201,12 @@ class Node {
                       int op_index, const std::vector<Value>& args);
   bool MonitorEnter(Segment& seg, Oid obj_oid);
   void MonitorExitInline(Oid obj_oid);
+  // Condition variables (src/sync). CondWait returns false when the segment
+  // parked (pc stays at the kCondWait retry stop) and true when a woken waiter
+  // finished re-acquiring the monitor and may step past the trap.
+  bool CondWait(Segment& seg, Oid obj_oid, int cond_index);
+  void CondSignal(Oid obj_oid, int cond_index);
+  void CondBroadcast(Oid obj_oid, int cond_index);
   void WakeSegment(const SegId& id);
   void EnqueueRunnable(const SegId& id);
   void RuntimeError(const std::string& message);
@@ -227,7 +236,10 @@ class Node {
                  std::vector<Oid>& string_closure);
   Segment UnmarshalSegment(WireReader& r);
   ActivationRecord UnmarshalAr(WireReader& r);
-  void InstallSegment(Segment seg);
+  // preserve_blocked: the caller installed the segment's monitor with a
+  // validated queue section naming it, so a blocked segment keeps its state
+  // (group move / abort / lease activation); a solo arrival resets to runnable.
+  void InstallSegment(Segment seg, bool preserve_blocked = false);
   void HandleInvoke(const Message& msg);
   void HandleReply(const Message& msg);
   void HandleMoveObject(const Message& msg);

@@ -32,6 +32,7 @@
 #include "src/runtime/node.h"
 #include "src/sim/world.h"
 #include "src/support/check.h"
+#include "src/sync/group.h"
 
 namespace hetm {
 
@@ -711,11 +712,17 @@ void Node::MarshalSegment(const Segment& seg, WireWriter& w,
   }
   w.U8(static_cast<uint8_t>(seg.state));
   w.Oid32(seg.blocked_monitor);
+  w.I32(seg.blocked_cond);
+  w.I32(seg.wait_depth);
   w.U16(static_cast<uint16_t>(seg.ars.size()));
   // Youngest (top) activation record first, as in the paper's implementation; the
   // receiver pays a relocation pass to place them (section 3.5).
   for (auto it = seg.ars.rbegin(); it != seg.ars.rend(); ++it) {
-    bool blocked = seg.state == SegState::kBlockedMonitor && it == seg.ars.rbegin();
+    // A segment parked at a retry stop (entry queue, cond queue, or woken from a
+    // cond wait but not yet re-run) must resume *at* the trap, not after it.
+    bool blocked = it == seg.ars.rbegin() &&
+                   (seg.state == SegState::kBlockedMonitor ||
+                    seg.state == SegState::kBlockedCond || seg.wait_depth > 0);
     MarshalAr(*it, blocked, w, string_closure);
   }
 }
@@ -846,13 +853,25 @@ Segment Node::UnmarshalSegment(WireReader& r) {
   }
   uint8_t state_byte = r.U8();
   seg.blocked_monitor = r.Oid32();
+  seg.blocked_cond = r.I32();
+  seg.wait_depth = r.I32();
   uint16_t count = r.U16();
-  if (!r.ok() || state_byte > static_cast<uint8_t>(SegState::kBlockedMonitor) ||
+  if (!r.ok() || state_byte > static_cast<uint8_t>(SegState::kBlockedCond) ||
       count == 0 || count > kMaxWireSegments) {
     r.Fail();
     return seg;
   }
   seg.state = static_cast<SegState>(state_byte);
+  // Cond-wait state must be internally consistent: a cond-blocked segment names
+  // its queue and carries the depth it will restore; anything else names none.
+  if (seg.blocked_cond < -1 || seg.blocked_cond >= static_cast<int32_t>(kMaxWireCondQueues) ||
+      seg.wait_depth < 0 || seg.wait_depth > kMaxWireMonitorDepth ||
+      (seg.state == SegState::kBlockedCond &&
+       (seg.blocked_cond < 0 || seg.wait_depth <= 0)) ||
+      (seg.state != SegState::kBlockedCond && seg.blocked_cond != -1)) {
+    r.Fail();
+    return seg;
+  }
   size_t frame_bytes = 0;
   std::vector<ActivationRecord> youngest_first;
   youngest_first.reserve(count);
@@ -871,14 +890,22 @@ Segment Node::UnmarshalSegment(WireReader& r) {
   return seg;
 }
 
-void Node::InstallSegment(Segment seg) {
+void Node::InstallSegment(Segment seg, bool preserve_blocked) {
   SegId id = seg.id;
   seg_hint_.erase(id);
-  if (seg.state == SegState::kBlockedMonitor) {
-    // Monitor entry is a retry bus stop: the arriving segment simply re-attempts the
-    // acquisition when scheduled (the wait queue is rebuilt at the destination).
+  bool blocked = seg.state == SegState::kBlockedMonitor ||
+                 seg.state == SegState::kBlockedCond;
+  if (blocked && preserve_blocked) {
+    // Group move: the member's queue section (validated against these segments)
+    // carries this waiter's exact position, so it stays parked — re-queueing at
+    // the destination would scramble the wakeup order between runs.
+    meter_.counters().sync_waiters_moved += 1;
+  } else if (blocked) {
+    // Solo arrival (no queue section applies): monitor entry and condition wait
+    // are retry bus stops, so the segment simply re-attempts when scheduled.
     seg.state = SegState::kRunnable;
     seg.blocked_monitor = kNilOid;
+    seg.blocked_cond = -1;
   }
   bool runnable = seg.state == SegState::kRunnable;
   auto [it, inserted] = segments_.emplace(id, std::move(seg));
@@ -948,6 +975,8 @@ std::vector<Segment> Node::CutSegments(Oid obj_oid, int dest_node, Segment* curr
       if (i == n - 1) {
         frag.state = seg.state;
         frag.blocked_monitor = seg.blocked_monitor;
+        frag.blocked_cond = seg.blocked_cond;
+        frag.wait_depth = seg.wait_depth;
       } else {
         // Every non-top fragment's top record is suspended at a call whose callee is
         // the fragment above it.
@@ -1006,6 +1035,9 @@ void Node::MarshalMoveMember(Oid obj_oid, EmObject& obj, WireWriter& w,
   for (const Segment& seg : moving) {
     MarshalSegment(seg, w, closure);
   }
+  // Waiter queues last: the decoder validates them against the segments above
+  // (src/sync), which is what lets the install keep waiters parked in order.
+  MarshalMonitorQueues(obj.monitor, w);
 }
 
 // Representation negotiation, piggybacked on the move handshake: node metadata
@@ -1279,64 +1311,16 @@ void Node::HandleMoveObject(const Message& msg) {
   }
   ActiveTraceGuard unpack_guard(&meter_, msg.trace_id);
   WireReader r(msg.strategy, msg.payload_arch, &meter_, msg.payload);
-  Oid oid = r.Oid32();
-  Oid code_oid = r.Oid32();
-  int32_t mon_depth = r.I32();
-  ThreadId mon_owner;
-  mon_owner.home_node = r.I32();
-  mon_owner.seq = r.U32();
-  uint32_t move_gen = r.U32();
-  const CodeRegistry::Entry* entry = r.ok() ? TryEntryFor(code_oid) : nullptr;
-  if (entry == nullptr || oid != msg.route_oid || mon_depth < 0 ||
-      mon_depth > kMaxWireMonitorDepth) {
+  // One member body, one decoder: the single-object transfer shares the batch
+  // member format (object header, fields, segments, waiter queues).
+  DecodedMember member;
+  if (!DecodeMoveMember(r, &member) || member.oid != msg.route_oid) {
     RuntimeError("malformed move payload");
     return;
   }
-  if (heap_.count(oid) != 0) {
+  if (heap_.count(member.oid) != 0) {
     RuntimeError("object arrived where it already resides");
     return;
-  }
-
-  auto obj = std::make_unique<EmObject>();
-  obj->oid = oid;
-  obj->code_oid = code_oid;
-  obj->monitor.depth = mon_depth;
-  obj->monitor.owner = mon_owner;
-  obj->move_gen = move_gen;
-  if (r.strategy() == ConversionStrategy::kRaw) {
-    // Machine blit: only meaningful when the payload was written on this very
-    // representation (homogeneous world, or the negotiated bypass).
-    uint16_t size = r.U16();
-    if (r.arch() != arch() || size != MakeFieldImage(arch(), *entry->cls).size()) {
-      RuntimeError("malformed move payload");
-      return;
-    }
-    obj->fields.assign(size, 0);
-    r.Blit(obj->fields.data(), size);
-  } else if (r.strategy() == ConversionStrategy::kPlan) {
-    obj->fields = MakeFieldImage(arch(), *entry->cls);
-    if (!UnmarshalObjectFieldsPlan(arch(), *entry->cls, *obj, plan_cache_, &meter_,
-                                   r)) {
-      RuntimeError("malformed move payload");
-      return;
-    }
-  } else {
-    obj->fields = MakeFieldImage(arch(), *entry->cls);
-    UnmarshalObjectFields(arch(), *entry->cls, *obj, r);
-  }
-  uint16_t seg_count = r.U16();
-  if (!r.ok() || seg_count > kMaxWireSegments) {
-    RuntimeError("malformed move payload");
-    return;
-  }
-  std::vector<Segment> segs;
-  segs.reserve(seg_count);
-  for (uint16_t i = 0; i < seg_count; ++i) {
-    segs.push_back(UnmarshalSegment(r));
-    if (!r.ok()) {
-      RuntimeError("malformed move payload");
-      return;
-    }
   }
   ReadStringSection(r);
   r.FinishMessage();
@@ -1344,6 +1328,10 @@ void Node::HandleMoveObject(const Message& msg) {
     RuntimeError("malformed move payload");
     return;
   }
+  Oid oid = member.oid;
+  std::unique_ptr<EmObject> obj = std::move(member.obj);
+  std::vector<Segment> segs = std::move(member.segs);
+  uint32_t move_gen = obj->move_gen;
 
   if (transport && CommitLeaseActive()) {
     auto stale = leased_oids_.find(oid);
@@ -1401,7 +1389,7 @@ void Node::HandleMoveObject(const Message& msg) {
     first_seg = segs.front().id;
   }
   for (Segment& seg : segs) {
-    InstallSegment(std::move(seg));
+    InstallSegment(std::move(seg), /*preserve_blocked=*/true);
   }
   ChargeCycles(kMoveFixedDestCycles);
   ChargeCycles(EnhancedMoveFixedCyclesFor(r.strategy()));
@@ -1502,6 +1490,14 @@ bool Node::DecodeMoveMember(WireReader& r, DecodedMember* out) {
     if (!r.ok()) {
       return false;
     }
+  }
+  // Waiter queues (src/sync): must form a bijection with the blocked segments
+  // above, or the whole member is rejected — an unchecked queue section could
+  // park a waiter forever or wake it twice.
+  if (!UnmarshalMonitorQueues(r, &obj->monitor) ||
+      !ValidateMonitorQueues(oid, obj->monitor, segs)) {
+    r.Fail();
+    return false;
   }
   out->oid = oid;
   out->obj = std::move(obj);
@@ -1622,7 +1618,7 @@ void Node::HandleMoveBatch(const Message& msg) {
         first_seg = s.id;
         any_segs = true;
       }
-      InstallSegment(std::move(s));
+      InstallSegment(std::move(s), /*preserve_blocked=*/true);
     }
     ChargeCycles(kMoveFixedDestCycles);
     ChargeCycles(EnhancedMoveFixedCyclesFor(r.strategy()));
@@ -1964,7 +1960,7 @@ void Node::AbortMove(uint32_t move_id, const char* reason, bool arbitrated) {
         seg.down.node = index_;
       }
     }
-    InstallSegment(std::move(s));
+    InstallSegment(std::move(s), /*preserve_blocked=*/true);
   }
   meter_.counters().moves_aborted += 1;
   ChargeCycles(kMoveFixedDestCycles + kMoveHandshakeCycles);
@@ -2224,7 +2220,7 @@ void Node::ActivateLeased(uint32_t move_id) {
         first_seg = s.id;
         any_segs = true;
       }
-      InstallSegment(std::move(s));
+      InstallSegment(std::move(s), /*preserve_blocked=*/true);
     }
     ChargeCycles(kMoveFixedDestCycles);
     ChargeCycles(EnhancedMoveFixedCyclesFor(li.strategy));
@@ -2834,7 +2830,13 @@ void Node::FlushDeadLetters(int peer, uint32_t peer_epoch_seen, double time_us) 
       ++kept;
       continue;
     }
-    if (dl.peer_epoch != peer_epoch_seen || dl.deadline_us <= now_us()) {
+    // A hold parked before the peer ever spoke to this node directly records
+    // epoch 0 (its invokes may all have arrived via forwarders); the peer's
+    // first direct frame is then first contact, not a restart — same
+    // convention as ObservePeerEpoch. Only a *changed* nonzero epoch proves
+    // the waiting continuation died with its incarnation.
+    if ((dl.peer_epoch != 0 && dl.peer_epoch != peer_epoch_seen) ||
+        dl.deadline_us <= now_us()) {
       // The waiter restarted (its continuation is gone) or the hold lapsed.
       meter_.counters().replies_dropped += 1;
       world_->tracer().Instant(now_us(), index_, TracePoint::kReplyDropped,
@@ -2898,6 +2900,10 @@ std::vector<Oid> Node::ResidentUserObjects() const {
     out.push_back(oid);
   }
   return out;
+}
+
+std::string Node::CheckSyncState() const {
+  return CheckWaiterAccounting(index_, heap_, segments_);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,13 +16,17 @@
 
 namespace hetm {
 
-// Monitor state moves with its object. The wait queue is node-local (waiting
-// segments always reside with the object and are re-queued on arrival after a move,
-// since monitor entry is a retry bus stop).
+// Monitor state moves with its object. Waiting segments always reside with the
+// object (their top activation records execute one of its operations, so a move
+// ships them in the same group transfer); the queues travel on the wire in
+// canonical order — entry queue first, then each cond queue in declaration
+// order, each in original enqueue sequence — so replay after a group move stays
+// bit-identical (DESIGN.md §16).
 struct MonitorState {
   int depth = 0;       // 0 = unlocked; reentrant for same-thread nested entry
   ThreadId owner;
-  std::vector<SegId> wait_queue;
+  std::vector<SegId> wait_queue;               // monitor-entry waiters, FIFO
+  std::vector<std::vector<SegId>> cond_queues; // per-cond waiters, FIFO
 
   bool Locked() const { return depth > 0; }
 };

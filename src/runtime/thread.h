@@ -70,6 +70,7 @@ enum class SegState : uint8_t {
   kRunnable,        // ready to execute (top AR's pc is a resume point)
   kAwaitingReply,   // top AR suspended at a call whose callee is on another node
   kBlockedMonitor,  // top AR suspended at a monitor-entry retry point
+  kBlockedCond,     // top AR parked in `wait` at a condition-wait retry point
 };
 
 struct Segment {
@@ -78,6 +79,13 @@ struct Segment {
   SegRef down;                        // where the bottom AR's return goes (invalid = root)
   SegState state = SegState::kRunnable;
   Oid blocked_monitor = kNilOid;
+  // Condition-wait state (travels on the wire with the segment). `blocked_cond`
+  // names the cond queue while kBlockedCond. `wait_depth` is the monitor depth
+  // saved by `wait`; it stays nonzero through the signal-to-re-acquire window
+  // (state kBlockedMonitor or kRunnable with the pc still at the kCondWait retry
+  // stop) and is restored into the monitor when re-entry succeeds.
+  int32_t blocked_cond = -1;
+  int32_t wait_depth = 0;
   // When kAwaitingReply: node-local clock at which the remote call left, for the
   // invoke.remote_latency_us histogram. Not part of the wire format.
   double await_since_us = -1.0;

@@ -78,7 +78,23 @@ void TrafficGen::OnArrival(double time_us) {
 
   int n = world_->num_nodes();
   int client = std::min(static_cast<int>(u_client * n), n - 1);
-  Oid target = SampleObject(u_obj);
+  Oid target;
+  if (u_obj < config_.contended_fraction) {
+    // Contended-service mode: rescale the hot slice of the object variate to
+    // pick among the K hot monitors (fleet head = most Zipf-popular anyway).
+    int k = std::max(1, std::min(config_.contended_objects, config_.objects));
+    double u_hot = u_obj / config_.contended_fraction;
+    size_t idx = std::min(static_cast<size_t>(u_hot * k), static_cast<size_t>(k - 1));
+    target = objects_[idx];
+  } else {
+    // Rescale the cold slice back to [0, 1) so the Zipf shape is preserved;
+    // with the mode off this is exactly the pre-mode stream.
+    double u = config_.contended_fraction > 0.0
+                   ? (u_obj - config_.contended_fraction) /
+                         (1.0 - config_.contended_fraction)
+                   : u_obj;
+    target = SampleObject(u);
+  }
   int dest = std::min(static_cast<int>(u_dest * n), n - 1);
 
   ++injected_;

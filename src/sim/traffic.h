@@ -45,6 +45,16 @@ struct TrafficConfig {
   // Diurnal load shift: λ(t) = arrival_per_s * (1 + A * sin(2πt / P)).
   double diurnal_amplitude = 0.0;
   double diurnal_period_us = 1'000'000.0;
+  // Contended-service mode: this fraction of invoke arrivals concentrate on the
+  // first `contended_objects` members of the fleet instead of the Zipf draw.
+  // With a `monitor class` service this manufactures genuine monitor contention
+  // (entry queues, cond waits) on a few hot objects, which the scheduler then
+  // migrates mid-contention — the sync-group move workload (DESIGN.md §16).
+  // The hot pick reuses the same variate as the Zipf pick (rescaled), so the
+  // per-arrival draw count is unchanged and fraction 0 is bit-identical to a
+  // run built before the mode existed.
+  double contended_fraction = 0.0;
+  int contended_objects = 4;
   // Service class/op the fleet instantiates and arrivals invoke. The registered
   // program must define `class <service_class>` with a 0-argument op.
   std::string service_class = "Svc";

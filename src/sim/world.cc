@@ -347,6 +347,11 @@ void World::ExportMetrics() {
 
 std::string World::CheckInvariants() const {
   std::string report;
+  // Pass 0: per-node waiter accounting (src/sync) — every monitor queue entry
+  // names a resident blocked segment, exactly once, and vice versa.
+  for (const auto& node : nodes_) {
+    report += node->CheckSyncState();
+  }
   // Pass 1: who holds each data object? ResidentUserObjects is heap residents
   // plus handshake limbo, so a node appears at most twice per oid — dedup.
   std::map<Oid, std::vector<int>> holders;

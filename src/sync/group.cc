@@ -1,0 +1,182 @@
+#include "src/sync/group.h"
+
+namespace hetm {
+
+namespace {
+
+void WriteSegId(WireWriter& w, const SegId& id) {
+  w.I32(id.thread.home_node);
+  w.U32(id.thread.seq);
+  w.U32(id.seg);
+}
+
+SegId ReadSegId(WireReader& r) {
+  SegId id;
+  id.thread.home_node = r.I32();
+  id.thread.seq = r.U32();
+  id.seg = r.U32();
+  return id;
+}
+
+std::string SegIdStr(const SegId& id) {
+  return std::to_string(id.thread.home_node) + "." + std::to_string(id.thread.seq) +
+         "/" + std::to_string(id.seg);
+}
+
+}  // namespace
+
+void MarshalMonitorQueues(const MonitorState& m, WireWriter& w) {
+  w.U16(static_cast<uint16_t>(m.wait_queue.size()));
+  for (const SegId& id : m.wait_queue) {
+    WriteSegId(w, id);
+  }
+  w.U16(static_cast<uint16_t>(m.cond_queues.size()));
+  for (const std::vector<SegId>& q : m.cond_queues) {
+    w.U16(static_cast<uint16_t>(q.size()));
+    for (const SegId& id : q) {
+      WriteSegId(w, id);
+    }
+  }
+}
+
+bool UnmarshalMonitorQueues(WireReader& r, MonitorState* m) {
+  m->wait_queue.clear();
+  m->cond_queues.clear();
+  uint16_t entry_count = r.U16();
+  if (!r.ok() || entry_count > kMaxWireQueuedSegs) {
+    r.Fail();
+    return false;
+  }
+  m->wait_queue.reserve(entry_count);
+  for (uint16_t i = 0; i < entry_count; ++i) {
+    m->wait_queue.push_back(ReadSegId(r));
+  }
+  uint16_t num_conds = r.U16();
+  if (!r.ok() || num_conds > kMaxWireCondQueues) {
+    r.Fail();
+    return false;
+  }
+  m->cond_queues.resize(num_conds);
+  for (uint16_t c = 0; c < num_conds; ++c) {
+    uint16_t count = r.U16();
+    if (!r.ok() || count > kMaxWireQueuedSegs) {
+      r.Fail();
+      return false;
+    }
+    m->cond_queues[c].reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      m->cond_queues[c].push_back(ReadSegId(r));
+    }
+  }
+  return r.ok();
+}
+
+bool ValidateMonitorQueues(Oid member_oid, const MonitorState& m,
+                           const std::vector<Segment>& segs) {
+  std::map<SegId, const Segment*> by_id;
+  for (const Segment& s : segs) {
+    by_id.emplace(s.id, &s);
+  }
+  std::set<SegId> claimed;
+  auto check = [&](const SegId& id, SegState want_state, int want_cond) {
+    auto it = by_id.find(id);
+    if (it == by_id.end() || !claimed.insert(id).second) {
+      return false;  // not shipped with this member, or queued twice
+    }
+    const Segment& s = *it->second;
+    return s.state == want_state && s.blocked_monitor == member_oid &&
+           (want_cond < 0 || s.blocked_cond == want_cond);
+  };
+  for (const SegId& id : m.wait_queue) {
+    if (!check(id, SegState::kBlockedMonitor, -1)) {
+      return false;
+    }
+  }
+  for (size_t c = 0; c < m.cond_queues.size(); ++c) {
+    for (const SegId& id : m.cond_queues[c]) {
+      if (!check(id, SegState::kBlockedCond, static_cast<int>(c))) {
+        return false;
+      }
+    }
+  }
+  // Converse: a blocked segment with no queue position would sleep forever.
+  for (const Segment& s : segs) {
+    if ((s.state == SegState::kBlockedMonitor || s.state == SegState::kBlockedCond) &&
+        claimed.count(s.id) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<SegId> QueuedWaiters(const MonitorState& m) {
+  std::set<SegId> ids;
+  ids.insert(m.wait_queue.begin(), m.wait_queue.end());
+  for (const std::vector<SegId>& q : m.cond_queues) {
+    ids.insert(q.begin(), q.end());
+  }
+  return ids;
+}
+
+std::string CheckWaiterAccounting(
+    int node_index, const std::unordered_map<Oid, std::unique_ptr<EmObject>>& heap,
+    const std::map<SegId, Segment>& segments) {
+  std::string report;
+  auto where = [&]() { return " on node " + std::to_string(node_index) + "\n"; };
+  // Pass 1: every queue position names a resident segment in the matching
+  // blocked state, and no segment holds two positions.
+  std::map<SegId, Oid> claimed;
+  for (const auto& [oid, obj] : heap) {
+    if (obj->is_string) {
+      continue;
+    }
+    const MonitorState& m = obj->monitor;
+    auto check = [&](const SegId& id, SegState want_state, int want_cond) {
+      if (!claimed.emplace(id, oid).second) {
+        report += "waiter double-queued: seg " + SegIdStr(id) + where();
+        return;
+      }
+      auto it = segments.find(id);
+      if (it == segments.end()) {
+        report += "queued waiter missing: seg " + SegIdStr(id) + " of oid " +
+                  std::to_string(oid) + where();
+        return;
+      }
+      const Segment& s = it->second;
+      if (s.state != want_state || s.blocked_monitor != oid ||
+          (want_cond >= 0 && s.blocked_cond != want_cond)) {
+        report += "queued waiter state mismatch: seg " + SegIdStr(id) + " of oid " +
+                  std::to_string(oid) + where();
+      }
+    };
+    for (const SegId& id : m.wait_queue) {
+      check(id, SegState::kBlockedMonitor, -1);
+    }
+    for (size_t c = 0; c < m.cond_queues.size(); ++c) {
+      for (const SegId& id : m.cond_queues[c]) {
+        check(id, SegState::kBlockedCond, static_cast<int>(c));
+      }
+    }
+  }
+  // Pass 2: every blocked resident segment holds a position in the monitor it
+  // names, and that monitor is resident here.
+  for (const auto& [id, seg] : segments) {
+    if (seg.state != SegState::kBlockedMonitor && seg.state != SegState::kBlockedCond) {
+      continue;
+    }
+    auto it = claimed.find(id);
+    if (it == claimed.end()) {
+      report += "blocked segment not queued: seg " + SegIdStr(id) + where();
+      continue;
+    }
+    if (it->second != seg.blocked_monitor) {
+      report += "blocked segment queued on wrong monitor: seg " + SegIdStr(id) + where();
+    }
+    if (heap.count(seg.blocked_monitor) == 0) {
+      report += "blocked segment's monitor not resident: seg " + SegIdStr(id) + where();
+    }
+  }
+  return report;
+}
+
+}  // namespace hetm

@@ -1,0 +1,79 @@
+// Synchronization-state mobility (DESIGN.md §16).
+//
+// A monitor object moves *together with* every segment blocked inside it: the
+// lock holder suspended in a remote call, the entry-queue waiters parked at the
+// kMonEnter retry stop, and the condition-queue waiters parked at a kCondWait
+// retry stop. The segments themselves already travel with the object (their top
+// activation records execute one of its operations, so the cut picks them up);
+// what this module adds is the *queue state* — which segment waits where, and
+// in what order — encoded in one canonical form so a replayed run re-queues the
+// waiters bit-identically on the destination:
+//
+//   entry queue first, then each condition queue in declaration order,
+//   each queue in its original enqueue sequence.
+//
+// The decode side is strict (decode-then-validate): a queue section that names
+// a segment not shipped in the same member, names it twice, disagrees with the
+// segment's blocked state, or omits a blocked segment, rejects the whole
+// payload. That strictness is what lets the install path keep blocked segments
+// blocked — a waiter can never arrive with no queue position (it would sleep
+// forever) or with two (it would run twice).
+#ifndef HETM_SRC_SYNC_GROUP_H_
+#define HETM_SRC_SYNC_GROUP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mobility/wire.h"
+#include "src/runtime/object.h"
+#include "src/runtime/thread.h"
+
+namespace hetm {
+
+// Wire caps for the queue section (decoder-robustness bounds, mirroring
+// kMaxWireSegments / kMaxWireMonitorDepth in node_mobility.cc).
+inline constexpr uint16_t kMaxWireCondQueues = 64;
+inline constexpr uint16_t kMaxWireQueuedSegs = 1024;
+
+// Appends the monitor's waiter queues to a move-member payload, in canonical
+// order. Written for every member (an uncontended monitor costs four bytes).
+void MarshalMonitorQueues(const MonitorState& m, WireWriter& w);
+
+// Reads the queue section written by MarshalMonitorQueues into `m` (replacing
+// its queues). Returns false — failing the reader — on truncation or a
+// cap-violating count. Semantic validation against the member's segments is a
+// separate step (ValidateMonitorQueues), because the segments decode first.
+bool UnmarshalMonitorQueues(WireReader& r, MonitorState* m);
+
+// True iff the decoded queues and the decoded segments of one move member tell
+// the same story: every queued id names exactly one shipped segment whose
+// blocked state matches its queue (entry queue -> kBlockedMonitor, cond queue i
+// -> kBlockedCond on cond i) and whose blocked_monitor is this member; no id is
+// queued twice; and conversely every shipped blocked segment holds a queue
+// position. Re-acquiring waiters (wait_depth > 0) ride the entry queue like any
+// other entrant.
+bool ValidateMonitorQueues(Oid member_oid, const MonitorState& m,
+                           const std::vector<Segment>& segs);
+
+// The set of segment ids holding a queue position in `m` — the segments an
+// install must keep blocked instead of re-running.
+std::set<SegId> QueuedWaiters(const MonitorState& m);
+
+// Waiter accounting for World::CheckInvariants(): on one node, every queued
+// segment id must name a resident segment in the matching blocked state, every
+// blocked resident segment must hold exactly one matching queue position, and a
+// blocked segment's monitor object must be resident on the same node. Limbo
+// state (a move in flight) is invisible to both maps, so the check holds at
+// every quiescent point of the handshake. Returns "" when sound.
+std::string CheckWaiterAccounting(
+    int node_index, const std::unordered_map<Oid, std::unique_ptr<EmObject>>& heap,
+    const std::map<SegId, Segment>& segments);
+
+}  // namespace hetm
+
+#endif  // HETM_SRC_SYNC_GROUP_H_

@@ -1,0 +1,399 @@
+// Single-node condition-variable semantics (DESIGN.md §16): `cond` declarations
+// in a monitor class with `wait` / `signal` / `broadcast` statements. Wait is a
+// retry bus stop — the caller releases the monitor completely (saving its
+// reentrant depth), parks FIFO on the named queue, and re-acquires through the
+// entry queue after a signal (Mesa signal-and-continue). These tests pin the
+// semantics before any migration gets involved; sync_group_test.cc moves the
+// monitors mid-contention.
+#include <gtest/gtest.h>
+
+#include "src/emerald/system.h"
+
+namespace hetm {
+namespace {
+
+// `wait` must release the monitor: the probe op can only run — and the program
+// can only terminate — while the spawned thread is parked inside `await`. The
+// spin on isarmed() also proves re-acquisition: `armed` is written under the
+// monitor immediately before the wait.
+TEST(SyncCond, WaitReleasesAndReacquiresMonitor) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class Gate
+      var ready: Int
+      var armed: Int
+      var result: Int
+      cond go
+      op await()
+        armed := 1
+        while ready == 0 do
+          wait go
+        end
+        result := result + 1
+      end
+      op isarmed(): Int
+        return armed
+      end
+      op open()
+        ready := 1
+        signal go
+      end
+      op done(): Int
+        return result
+      end
+    end
+    main
+      var g: Ref := new Gate
+      spawn g.await()
+      var a: Int := 0
+      while a == 0 do
+        a := g.isarmed()
+      end
+      g.open()
+      var d: Int := 0
+      while d == 0 do
+        d := g.done()
+      end
+      print d
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1\n");
+  const CostCounters& c = sys.node(0).meter().counters();
+  EXPECT_GE(c.sync_waits, 1u);
+  EXPECT_GE(c.sync_signals, 1u);
+}
+
+// Three waiters park in a known order (each spawn is gated on the previous
+// one being queued); three signals must release them first-in-first-out, so
+// the digit accumulator reads 123 and nothing else.
+const char* kFifoSource = R"(
+    monitor class Q
+      var order: Int
+      var waiting: Int
+      var released: Int
+      cond c
+      op park(id: Int)
+        waiting := waiting + 1
+        wait c
+        order := order * 10 + id
+        released := released + 1
+      end
+      op nwaiting(): Int
+        return waiting
+      end
+      op nreleased(): Int
+        return released
+      end
+      op pulse()
+        signal c
+      end
+      op blast()
+        broadcast c
+      end
+      op value(): Int
+        return order
+      end
+    end
+    main
+      var q: Ref := new Q
+      spawn q.park(1)
+      var w: Int := 0
+      while w < 1 do
+        w := q.nwaiting()
+      end
+      spawn q.park(2)
+      while w < 2 do
+        w := q.nwaiting()
+      end
+      spawn q.park(3)
+      while w < 3 do
+        w := q.nwaiting()
+      end
+)";
+
+TEST(SyncCond, SignalReleasesWaitersInFifoOrder) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(std::string(kFifoSource) + R"(
+      q.pulse()
+      var r: Int := 0
+      while r < 1 do
+        r := q.nreleased()
+      end
+      q.pulse()
+      while r < 2 do
+        r := q.nreleased()
+      end
+      q.pulse()
+      while r < 3 do
+        r := q.nreleased()
+      end
+      print q.value()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "123\n");
+}
+
+// One broadcast wakes every waiter; they re-acquire through the entry queue in
+// their original cond-queue order, so the accumulator still reads 123.
+TEST(SyncCond, BroadcastWakesAllInOrder) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(std::string(kFifoSource) + R"(
+      q.blast()
+      var r: Int := 0
+      while r < 3 do
+        r := q.nreleased()
+      end
+      print q.value()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "123\n");
+  const CostCounters& c = sys.node(0).meter().counters();
+  EXPECT_EQ(c.sync_broadcasts, 1u);
+  EXPECT_EQ(c.sync_waits, 3u);
+}
+
+// Signal and broadcast on an empty queue are counted no-ops: nothing wakes,
+// nothing deadlocks, the signaling op runs to completion.
+TEST(SyncCond, SignalOnEmptyQueueIsNoop) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class E
+      var n: Int
+      cond c
+      op pulse(): Int
+        signal c
+        broadcast c
+        n := n + 1
+        return n
+      end
+    end
+    main
+      var e: Ref := new E
+      print e.pulse()
+      print e.pulse()
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "1\n2\n");
+  const CostCounters& c = sys.node(0).meter().counters();
+  EXPECT_EQ(c.sync_signals, 2u);
+  EXPECT_EQ(c.sync_broadcasts, 2u);
+  EXPECT_EQ(c.sync_waits, 0u);
+}
+
+// A full producer/consumer handoff through a one-slot buffer is deterministic:
+// the same program replays to the identical trace digest, output and end time —
+// no spurious wakeups, no schedule-dependent signal delivery.
+TEST(SyncCond, ProducerConsumerReplaysBitIdentically) {
+  const char* source = R"(
+    monitor class Buffer
+      var slot: Int
+      var full: Int
+      cond notfull
+      cond notempty
+      op put(v: Int)
+        while full == 1 do
+          wait notfull
+        end
+        slot := v
+        full := 1
+        signal notempty
+      end
+      op get(): Int
+        while full == 0 do
+          wait notempty
+        end
+        full := 0
+        signal notfull
+        return slot
+      end
+    end
+    monitor class Sink
+      var sum: Int
+      var count: Int
+      cond donec
+      op add(v: Int)
+        sum := sum + v
+        count := count + 1
+        signal donec
+      end
+      op waitdone(n: Int)
+        while count < n do
+          wait donec
+        end
+      end
+      op total(): Int
+        return sum
+      end
+    end
+    class Producer
+      var junk: Int
+      op produce(b: Ref, n: Int)
+        var i: Int := 1
+        while i <= n do
+          b.put(i)
+          i := i + 1
+        end
+      end
+    end
+    class Consumer
+      var junk: Int
+      op consume(b: Ref, s: Ref, n: Int)
+        var i: Int := 0
+        while i < n do
+          var v: Int := b.get()
+          s.add(v)
+          i := i + 1
+        end
+      end
+    end
+    main
+      var b: Ref := new Buffer
+      var s: Ref := new Sink
+      var p: Ref := new Producer
+      var c: Ref := new Consumer
+      spawn p.produce(b, 15)
+      spawn c.consume(b, s, 15)
+      s.waitdone(15)
+      print s.total()
+    end
+  )";
+  auto run = [&](std::string* output, uint64_t* digest, double* end_us) {
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc());
+    ASSERT_TRUE(sys.Load(source)) << (sys.errors().empty() ? "" : sys.errors()[0]);
+    ASSERT_TRUE(sys.Run()) << sys.error();
+    *output = sys.output();
+    *digest = sys.world().tracer().digest();
+    *end_us = sys.world().NowMaxUs();
+  };
+  std::string out_a, out_b;
+  uint64_t dig_a = 0, dig_b = 0;
+  double end_a = 0.0, end_b = 0.0;
+  run(&out_a, &dig_a, &end_a);
+  run(&out_b, &dig_b, &end_b);
+  EXPECT_EQ(out_a, "120\n");  // 1 + 2 + ... + 15
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(dig_a, dig_b);
+  EXPECT_EQ(end_a, end_b);
+}
+
+// Reentrant wait: the waiter holds the monitor at depth 2 (a monitored op
+// calling a second op on self); wait must release the *whole* depth — or the
+// signaler could never enter — and restore it on re-acquisition.
+TEST(SyncCond, WaitReleasesReentrantDepthAndRestoresIt) {
+  EmeraldSystem sys;
+  sys.AddNode(SparcStationSlc());
+  ASSERT_TRUE(sys.Load(R"(
+    monitor class R
+      var ready: Int
+      var armed: Int
+      var result: Int
+      cond go
+      op inner()
+        armed := 1
+        while ready == 0 do
+          wait go
+        end
+        result := result + 1
+      end
+      op outer()
+        self.inner()
+        result := result + 10
+      end
+      op isarmed(): Int
+        return armed
+      end
+      op open()
+        ready := 1
+        signal go
+      end
+      op done(): Int
+        return result
+      end
+    end
+    main
+      var r: Ref := new R
+      spawn r.outer()
+      var a: Int := 0
+      while a == 0 do
+        a := r.isarmed()
+      end
+      r.open()
+      var d: Int := 0
+      while d < 11 do
+        d := r.done()
+      end
+      print d
+    end
+  )")) << (sys.errors().empty() ? "" : sys.errors()[0]);
+  ASSERT_TRUE(sys.Run()) << sys.error();
+  EXPECT_EQ(sys.output(), "11\n");
+}
+
+// Compile-time rules: `cond` members only in monitor classes, wait/signal only
+// inside monitor operations, and the named condition must exist.
+TEST(SyncCond, CompileErrorsForMisplacedCondConstructs) {
+  {
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc());
+    EXPECT_FALSE(sys.Load(R"(
+      class C
+        var n: Int
+        cond c
+        op f()
+          n := 1
+        end
+      end
+      main
+        print 0
+      end
+    )"));
+    ASSERT_FALSE(sys.errors().empty());
+    EXPECT_NE(sys.errors()[0].find("monitor"), std::string::npos);
+  }
+  {
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc());
+    EXPECT_FALSE(sys.Load(R"(
+      class C
+        var n: Int
+        op f()
+          signal c
+        end
+      end
+      main
+        print 0
+      end
+    )"));
+    EXPECT_FALSE(sys.errors().empty());
+  }
+  {
+    EmeraldSystem sys;
+    sys.AddNode(SparcStationSlc());
+    EXPECT_FALSE(sys.Load(R"(
+      monitor class M
+        var n: Int
+        cond a
+        op f()
+          wait b
+        end
+      end
+      main
+        print 0
+      end
+    )"));
+    ASSERT_FALSE(sys.errors().empty());
+    EXPECT_NE(sys.errors()[0].find("unknown condition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hetm
